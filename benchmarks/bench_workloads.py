@@ -1,0 +1,49 @@
+"""Shared workload builders for the benchmark harness.
+
+Kept separate from ``conftest.py`` so benchmark modules can import the
+builders explicitly (``from bench_workloads import ...``) while the
+fixture machinery stays in conftest.
+"""
+
+from __future__ import annotations
+
+from repro.apps.kvstore import KVClient, KVReplica, KVReplicaStale
+from repro.apps.token_ring import TokenRingNode, build_token_ring
+from repro.dsim.cluster import Cluster, ClusterConfig
+
+
+class RewritingClient(KVClient):
+    """Client workload that overwrites keys (exposes the stale-version bug)."""
+
+    operations = [
+        ("put", "alpha", 1),
+        ("put", "beta", 2),
+        ("put", "alpha", 3),
+        ("get", "alpha", None),
+        ("put", "beta", 4),
+        ("get", "beta", None),
+    ]
+
+
+def kvstore_factories(buggy: bool = False):
+    """The standard 3-replica + 1-client KV store used throughout the benchmarks."""
+    backup = KVReplicaStale if buggy else KVReplica
+    return {
+        "replica0": KVReplica,
+        "replica1": backup,
+        "replica2": backup,
+        "client0": RewritingClient,
+    }
+
+
+def build_kv_cluster(seed: int = 21, buggy: bool = False, halt: bool = False) -> Cluster:
+    cluster = Cluster(ClusterConfig(seed=seed, halt_on_violation=halt))
+    for pid, factory in kvstore_factories(buggy).items():
+        cluster.add_process(pid, factory)
+    return cluster
+
+
+def build_ring_cluster(nodes: int = 3, rounds: int = 5, seed: int = 5) -> Cluster:
+    cluster = Cluster(ClusterConfig(seed=seed, halt_on_violation=False))
+    build_token_ring(cluster, nodes=nodes, node_class=TokenRingNode, max_rounds=rounds)
+    return cluster

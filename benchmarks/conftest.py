@@ -1,0 +1,17 @@
+"""Fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report_rows(request):
+    """Collect printable result rows; printed at teardown so they survive -q runs."""
+    rows = []
+    yield rows
+    if rows:
+        header = f"\n[{request.node.name}]"
+        print(header)
+        for row in rows:
+            print("  " + row)

@@ -1,0 +1,81 @@
+"""Ablation ablation-ckpt-policy: communication-induced vs periodic vs coordinated
+checkpointing.
+
+The design choice DESIGN.md calls out: the paper picks communication-
+induced checkpointing (via speculations); this ablation quantifies the
+trade-off against the uncoordinated periodic policy and the coordinated
+stop-the-world snapshot on the same workload — checkpoints taken, bytes
+stored, and how far the safe recovery line lags the failure point.
+"""
+
+from __future__ import annotations
+
+from bench_workloads import build_kv_cluster
+
+from repro.timemachine.coordinated import CoordinatedSnapshotter
+from repro.timemachine.recovery_line import compute_recovery_line, is_consistent, unsafe_line
+from repro.timemachine.time_machine import CheckpointPolicy, TimeMachine, TimeMachineConfig
+
+
+def run_with_policy(policy: CheckpointPolicy, periodic_interval: int = 5):
+    cluster = build_kv_cluster()
+    time_machine = TimeMachine(
+        TimeMachineConfig(policy=policy, periodic_interval=periodic_interval)
+    )
+    time_machine.attach(cluster)
+    cluster.start()
+    if policy is CheckpointPolicy.COORDINATED:
+        # Coordinated snapshots are taken explicitly at intervals.
+        snapshotter = CoordinatedSnapshotter(time_machine.store)
+        for _ in range(4):
+            cluster.run(max_events=20)
+            snapshotter.take_snapshot(cluster)
+    cluster.run(max_events=2000)
+    return cluster, time_machine
+
+
+def test_policy_comm_induced(benchmark, report_rows):
+    cluster, tm = benchmark(run_with_policy, CheckpointPolicy.COMMUNICATION_INDUCED)
+    line = compute_recovery_line(tm.store)
+    report_rows.append(
+        f"comm-induced: checkpoints={tm.store.total_checkpoints()} "
+        f"bytes={tm.store.total_bytes()} rollback_steps={line.total_rollback_steps()}"
+    )
+    assert is_consistent(line.checkpoints)
+    assert line.total_rollback_steps() == 0  # the latest cut is already consistent
+
+
+def test_policy_periodic(benchmark, report_rows):
+    cluster, tm = benchmark(run_with_policy, CheckpointPolicy.PERIODIC)
+    line = compute_recovery_line(tm.store)
+    report_rows.append(
+        f"periodic(5): checkpoints={tm.store.total_checkpoints()} "
+        f"bytes={tm.store.total_bytes()} rollback_steps={line.total_rollback_steps()}"
+    )
+    assert is_consistent(line.checkpoints)
+
+
+def test_policy_coordinated(benchmark, report_rows):
+    cluster, tm = benchmark(run_with_policy, CheckpointPolicy.COORDINATED)
+    report_rows.append(
+        f"coordinated: checkpoints={tm.store.total_checkpoints()} bytes={tm.store.total_bytes()}"
+    )
+    line = compute_recovery_line(tm.store)
+    assert is_consistent(line.checkpoints)
+
+
+def test_policy_tradeoff_shape(report_rows):
+    """Comm-induced takes the most checkpoints but needs no rollback propagation."""
+    _, comm = run_with_policy(CheckpointPolicy.COMMUNICATION_INDUCED)
+    _, periodic = run_with_policy(CheckpointPolicy.PERIODIC, periodic_interval=7)
+    comm_count = comm.store.total_checkpoints()
+    periodic_count = periodic.store.total_checkpoints()
+    comm_line = compute_recovery_line(comm.store)
+    periodic_line = compute_recovery_line(periodic.store)
+    report_rows.append(
+        f"checkpoints: comm-induced={comm_count}, periodic={periodic_count}; "
+        f"rollback steps: comm-induced={comm_line.total_rollback_steps()}, "
+        f"periodic={periodic_line.total_rollback_steps()}"
+    )
+    assert comm_count > periodic_count
+    assert comm_line.total_rollback_steps() <= periodic_line.total_rollback_steps()

@@ -1,0 +1,58 @@
+"""Ablation ablation-scroll-mode: liblog-style vs Flashback-style vs black-box recording.
+
+Measures, on the KV-store workload, how many entries and how many bytes of
+payload each interception granularity records, and whether the resulting
+Scroll still supports full deterministic replay.
+"""
+
+from __future__ import annotations
+
+import json
+
+from bench_workloads import build_kv_cluster, kvstore_factories
+
+from repro.scroll.interceptor import InterceptionMode, RecordingPolicy
+from repro.scroll.recorder import ScrollRecorder
+from repro.scroll.replayer import Replayer
+
+
+def record_with(mode: InterceptionMode):
+    cluster = build_kv_cluster()
+    recorder = ScrollRecorder(policy=RecordingPolicy(mode))
+    cluster.add_hook(recorder)
+    cluster.run(max_events=2000)
+    return recorder.scroll
+
+
+def scroll_bytes(scroll) -> int:
+    return sum(len(json.dumps(entry.to_record(), default=str)) for entry in scroll)
+
+
+def test_scroll_mode_library(benchmark, report_rows):
+    scroll = benchmark(record_with, InterceptionMode.LIBRARY)
+    report_rows.append(f"library: {len(scroll)} entries, {scroll_bytes(scroll)} bytes")
+    assert Replayer(scroll, kvstore_factories()).replay_all().ok
+
+
+def test_scroll_mode_syscall(benchmark, report_rows):
+    scroll = benchmark(record_with, InterceptionMode.SYSCALL)
+    report_rows.append(f"syscall: {len(scroll)} entries, {scroll_bytes(scroll)} bytes")
+    assert Replayer(scroll, kvstore_factories()).replay_all().ok
+
+
+def test_scroll_mode_blackbox(benchmark, report_rows):
+    scroll = benchmark(record_with, InterceptionMode.BLACKBOX)
+    report_rows.append(f"blackbox: {len(scroll)} entries, {scroll_bytes(scroll)} bytes")
+
+
+def test_scroll_mode_cost_ordering(report_rows):
+    costs = {
+        mode.value: (len(scroll), scroll_bytes(scroll))
+        for mode, scroll in (
+            (mode, record_with(mode))
+            for mode in (InterceptionMode.BLACKBOX, InterceptionMode.LIBRARY, InterceptionMode.SYSCALL)
+        )
+    }
+    report_rows.append(f"(entries, bytes) per mode: {costs}")
+    assert costs["blackbox"][0] <= costs["library"][0] <= costs["syscall"][0]
+    assert costs["blackbox"][1] <= costs["library"][1] <= costs["syscall"][1]

@@ -1,0 +1,62 @@
+"""Experiment claim-3.4-resume: resuming from a checkpoint reuses correct computation
+(Section 3.4).
+
+A long word-count run hits a fault late; the benchmark compares how many
+already-aggregated chunks each recovery strategy preserves and how much
+simulated work has to be redone.
+"""
+
+from __future__ import annotations
+
+from repro.apps.wordcount import WordCountMaster, WordCountWorker, build_wordcount_cluster
+from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.healer.healer import Healer
+from repro.healer.patch import generate_patch
+from repro.healer.strategies import RecoveryStrategy
+from repro.timemachine.time_machine import TimeMachine
+
+
+def run_until_late_fault():
+    """Run the word-count pipeline most of the way through, with checkpointing on."""
+    cluster = Cluster(ClusterConfig(seed=11, halt_on_violation=False))
+    build_wordcount_cluster(cluster, workers=3, chunks=12)
+    time_machine = TimeMachine()
+    time_machine.attach(cluster)
+    cluster.run(until=10.0, max_events=3000)
+    return cluster, time_machine
+
+
+def recover(strategy: RecoveryStrategy):
+    cluster, time_machine = run_until_late_fault()
+    aggregated_before = cluster.process("master").state["aggregated"]
+    patch = generate_patch(
+        WordCountMaster, WordCountMaster, name="master-hotfix", target_pids=["master"]
+    )
+    healer = Healer(cluster, time_machine)
+    report = healer.heal(patch, strategy=strategy)
+    aggregated_after_recovery = cluster.process("master").state["aggregated"]
+    return aggregated_before, aggregated_after_recovery, report
+
+
+def test_resume_preserves_aggregated_chunks(benchmark, report_rows):
+    before, after, report = benchmark(recover, RecoveryStrategy.RESUME_FROM_CHECKPOINT)
+    report_rows.append(f"resume: {after}/{before} aggregated chunks survive recovery")
+    assert report.succeeded
+    assert after > 0
+    assert after <= before
+
+
+def test_restart_discards_aggregated_chunks(benchmark, report_rows):
+    before, after, report = benchmark(recover, RecoveryStrategy.RESTART_FROM_SCRATCH)
+    report_rows.append(f"restart: {after}/{before} aggregated chunks survive recovery")
+    assert report.succeeded
+    assert after == 0
+
+
+def test_resume_beats_restart_on_preserved_work(report_rows):
+    _, resume_after, _ = recover(RecoveryStrategy.RESUME_FROM_CHECKPOINT)
+    _, restart_after, _ = recover(RecoveryStrategy.RESTART_FROM_SCRATCH)
+    report_rows.append(
+        f"chunks preserved: resume={resume_after}, restart={restart_after}"
+    )
+    assert resume_after > restart_after

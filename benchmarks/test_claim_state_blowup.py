@@ -1,0 +1,75 @@
+"""Experiment claim-2.1-blowup: state-space explosion with process count (Section 2.1).
+
+The paper's motivation for a hybrid approach is that exhaustive model
+checking of a distributed system "is often prohibitively expensive,
+memory-wise, [for] a moderately complex system of more than 5-10
+processes".  This benchmark sweeps the number of processes in a simple
+broadcast protocol and records how many states BFS must visit: the growth
+must be super-linear, and a fixed state budget must get exhausted
+(truncated exploration) once the system is large enough.
+"""
+
+from __future__ import annotations
+
+from repro.dsim.process import Process, handler
+from repro.investigator.explorer import Explorer, SearchOrder
+from repro.investigator.models import DistributedSystemModel
+
+
+class Broadcaster(Process):
+    """Every process broadcasts one HELLO and counts the greetings it receives."""
+
+    def on_start(self):
+        self.state["greetings"] = 0
+        for peer in self.peers:
+            self.send(peer, "HELLO", None)
+
+    @handler("HELLO")
+    def on_hello(self, msg):
+        self.state["greetings"] += 1
+
+
+def explore(process_count: int, max_states: int = 20_000):
+    factories = {f"p{i}": Broadcaster for i in range(process_count)}
+    adapter = DistributedSystemModel(factories)
+    model = adapter.build_model()
+    explorer = Explorer(
+        model,
+        SearchOrder.BFS,
+        max_states=max_states,
+        check_deadlocks=False,
+        terminal_predicate=DistributedSystemModel.terminal_predicate,
+    )
+    return explorer.explore()
+
+
+def test_blowup_three_processes(benchmark, report_rows):
+    result = benchmark(explore, 3)
+    report_rows.append(f"3 processes: {result.states_explored} states, truncated={result.truncated}")
+    assert not result.truncated
+
+
+def test_blowup_four_processes(benchmark, report_rows):
+    result = benchmark(explore, 4)
+    report_rows.append(f"4 processes: {result.states_explored} states, truncated={result.truncated}")
+
+
+def test_blowup_growth_is_superlinear(report_rows):
+    states = {}
+    for count in (2, 3, 4):
+        states[count] = explore(count).states_explored
+    report_rows.append(f"states explored by process count: {states}")
+    growth_23 = states[3] / max(states[2], 1)
+    growth_34 = states[4] / max(states[3], 1)
+    report_rows.append(f"growth 2->3: {growth_23:.1f}x, 3->4: {growth_34:.1f}x")
+    assert states[2] < states[3] < states[4]
+    assert growth_34 > 2.0, "adding a process should multiply the state space"
+
+
+def test_blowup_budget_exhaustion_beyond_a_handful_of_processes(report_rows):
+    """With a fixed budget, exploration is already truncated at 5 processes."""
+    result = explore(5, max_states=20_000)
+    report_rows.append(
+        f"5 processes with a 20k-state budget: {result.states_explored} states, truncated={result.truncated}"
+    )
+    assert result.truncated

@@ -1,0 +1,67 @@
+"""Experiment fig1-scroll: recording nondeterministic actions on the Scroll (Figure 1).
+
+The paper claims the Scroll only needs to record nondeterministic actions
+and their outcomes.  This benchmark measures the cost of running the KV
+store workload with no recording, with liblog-style (library-level)
+recording, and with Flashback-style (syscall-level) recording, and checks
+the qualitative shape: recording overhead is modest and the
+coarser-grained policies record strictly fewer entries.
+"""
+
+from __future__ import annotations
+
+from bench_workloads import build_kv_cluster, kvstore_factories
+
+from repro.scroll.interceptor import InterceptionMode, RecordingPolicy
+from repro.scroll.recorder import ScrollRecorder
+from repro.scroll.replayer import Replayer
+
+
+def run_workload(policy=None):
+    cluster = build_kv_cluster()
+    recorder = None
+    if policy is not None:
+        recorder = ScrollRecorder(policy=policy)
+        cluster.add_hook(recorder)
+    result = cluster.run(max_events=2000)
+    return result, recorder
+
+
+def test_fig1_baseline_no_recording(benchmark, report_rows):
+    result, _ = benchmark(run_workload, None)
+    report_rows.append(f"baseline events executed: {result.events_executed}")
+    assert result.ok
+
+
+def test_fig1_library_level_recording(benchmark, report_rows):
+    result, recorder = benchmark(run_workload, RecordingPolicy(InterceptionMode.LIBRARY))
+    report_rows.append(f"liblog-style entries recorded: {len(recorder.scroll)}")
+    assert result.ok
+    assert len(recorder.scroll) > 0
+
+
+def test_fig1_syscall_level_recording(benchmark, report_rows):
+    result, recorder = benchmark(run_workload, RecordingPolicy(InterceptionMode.SYSCALL))
+    report_rows.append(f"flashback-style entries recorded: {len(recorder.scroll)}")
+    assert result.ok
+
+
+def test_fig1_recorded_scroll_supports_replay(report_rows):
+    """The recorded Scroll is sufficient to replay every process offline."""
+    _, recorder = run_workload(RecordingPolicy(InterceptionMode.SYSCALL))
+    report = Replayer(recorder.scroll, kvstore_factories()).replay_all()
+    report_rows.append(
+        f"replayed {report.total_events()} events across {len(report.processes)} processes, "
+        f"divergences: {len(report.diverged_processes())}"
+    )
+    assert report.ok
+
+
+def test_fig1_policy_granularity_ordering(report_rows):
+    """blackbox < library < syscall in entries recorded (same workload)."""
+    sizes = {}
+    for mode in (InterceptionMode.BLACKBOX, InterceptionMode.LIBRARY, InterceptionMode.SYSCALL):
+        _, recorder = run_workload(RecordingPolicy(mode))
+        sizes[mode.value] = len(recorder.scroll)
+    report_rows.append(f"entries by interception mode: {sizes}")
+    assert sizes["blackbox"] <= sizes["library"] <= sizes["syscall"]

@@ -1,0 +1,51 @@
+"""Experiment fig2-timemachine: rolling the system back to an earlier consistent point (Figure 2).
+
+Measures the cost of computing a safe recovery line and restoring every
+process of a token-ring run, and checks the qualitative claims: the
+restored state is consistent and never ahead of the pre-rollback state.
+"""
+
+from __future__ import annotations
+
+from bench_workloads import build_ring_cluster
+
+from repro.timemachine.recovery_line import is_consistent
+from repro.timemachine.time_machine import TimeMachine
+
+
+def instrumented_ring():
+    cluster = build_ring_cluster(nodes=3, rounds=5)
+    time_machine = TimeMachine()
+    time_machine.attach(cluster)
+    cluster.run(max_events=300)
+    return cluster, time_machine
+
+
+def test_fig2_rollback_to_consistent_state(benchmark, report_rows):
+    def run_once():
+        cluster, time_machine = instrumented_ring()
+        entries_before = {pid: cluster.process(pid).state["entries"] for pid in cluster.pids}
+        result = time_machine.rollback_to_consistent_state()
+        return cluster, result, entries_before
+
+    cluster, result, entries_before = benchmark(run_once)
+    entries_after = {pid: cluster.process(pid).state["entries"] for pid in cluster.pids}
+    report_rows.append(f"restored processes: {result.restored_pids}")
+    report_rows.append(f"max rollback distance (sim time): {result.max_rollback_distance:.2f}")
+    assert is_consistent(result.recovery_line.checkpoints)
+    assert all(entries_after[pid] <= entries_before[pid] for pid in cluster.pids)
+
+
+def test_fig2_rollback_cost_scales_with_checkpoint_count(report_rows):
+    """More recorded history means more (but still bounded) recovery-line work."""
+    iterations = {}
+    for rounds in (2, 5, 10):
+        cluster = build_ring_cluster(nodes=3, rounds=rounds)
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.run(max_events=1000)
+        line = time_machine.latest_recovery_line()
+        iterations[rounds] = (time_machine.store.total_checkpoints(), line.iterations)
+    report_rows.append(f"(checkpoints, line iterations) by rounds: {iterations}")
+    counts = [value[0] for value in iterations.values()]
+    assert counts == sorted(counts)

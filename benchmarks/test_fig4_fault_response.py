@@ -1,0 +1,63 @@
+"""Experiment fig4-protocol: the fault-response exchange of Figure 4.
+
+Benchmarks the full FixD pipeline on the replicated KV store with a buggy
+backup: detection, peer checkpoint/model collection, recovery-line
+assembly, channel-state reconstruction and investigation.
+"""
+
+from __future__ import annotations
+
+from bench_workloads import build_kv_cluster
+
+from repro.core.fixd import FixD, FixDConfig
+from repro.investigator.investigator import InvestigatorConfig
+
+
+def run_pipeline():
+    cluster = build_kv_cluster(buggy=True)
+    fixd = FixD(FixDConfig(investigator=InvestigatorConfig(max_states=2000, max_depth=50)))
+    fixd.attach(cluster)
+    cluster.run(max_events=2000)
+    return fixd
+
+
+def test_fig4_fault_response_pipeline(benchmark, report_rows):
+    fixd = benchmark(run_pipeline)
+    report = fixd.last_report
+    assert report is not None, "the buggy backup must trigger a fault"
+    report_rows.append(f"fault: {report.fault.invariant} at {report.fault.pid}")
+    report_rows.append(
+        f"peer responses: {len(report.protocol_run.responses)}; "
+        f"consistent: {report.protocol_run.consistent}; "
+        f"in-flight at line: {len(report.protocol_run.in_flight)}"
+    )
+    report_rows.append(
+        f"investigation: {report.investigation.states_explored} states, "
+        f"{len(report.investigation.trails)} violating trail(s)"
+    )
+    assert report.protocol_run.consistent
+    assert report.investigation.found_violation
+
+
+def test_fig4_protocol_cost_grows_with_cluster_size(report_rows):
+    """Collecting checkpoints and models is linear in the number of peers."""
+    from repro.apps.kvstore import KVClient, KVReplica, KVReplicaStale
+    from repro.dsim.cluster import Cluster, ClusterConfig
+
+    class Rewriter(KVClient):
+        operations = [("put", "k", 1), ("put", "k", 2)]
+
+    sizes = {}
+    for replicas in (2, 4, 6):
+        cluster = Cluster(ClusterConfig(seed=21))
+        cluster.add_process("replica0", KVReplica)
+        for index in range(1, replicas):
+            cluster.add_process(f"replica{index}", KVReplicaStale)
+        cluster.add_process("client0", Rewriter)
+        fixd = FixD(FixDConfig(investigate_on_fault=False))
+        fixd.attach(cluster)
+        cluster.run(max_events=3000)
+        responses = len(fixd.last_report.protocol_run.responses) if fixd.last_report else 0
+        sizes[replicas + 1] = responses
+    report_rows.append(f"peer responses by cluster size: {sizes}")
+    assert all(sizes[size] == size for size in sizes)

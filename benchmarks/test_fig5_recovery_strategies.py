@@ -1,0 +1,64 @@
+"""Experiment fig5-healer: user fix + dynamic update vs. restart (Figure 5).
+
+Benchmarks healing the distributed bank with the two recovery strategies
+the paper describes and checks the qualitative claim: resuming from a
+checkpoint preserves completed work, restarting does not.
+"""
+
+from __future__ import annotations
+
+from repro.apps.bank import BankBranch, BankBranchFixed, build_bank_cluster
+from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.healer.healer import Healer
+from repro.healer.patch import generate_patch
+from repro.healer.strategies import RecoveryStrategy
+from repro.timemachine.time_machine import TimeMachine
+
+
+def heal_bank(strategy: RecoveryStrategy):
+    cluster = Cluster(ClusterConfig(seed=13, halt_on_violation=False))
+    build_bank_cluster(cluster, branches=3)
+    time_machine = TimeMachine()
+    time_machine.attach(cluster)
+    cluster.run(until=6.0, max_events=300)
+    healer = Healer(cluster, time_machine)
+    patch = generate_patch(BankBranch, BankBranchFixed, description="credit transfers in full")
+    report = healer.heal(patch, strategy=strategy)
+    cluster.resume()
+    cluster.run(max_events=600)
+    return report
+
+
+def test_fig5_resume_from_checkpoint(benchmark, report_rows):
+    report = benchmark(heal_bank, RecoveryStrategy.RESUME_FROM_CHECKPOINT)
+    report_rows.append(
+        f"resume: preserved={report.outcome.total_preserved_time:.1f} "
+        f"lost={report.outcome.total_lost_time:.1f} succeeded={report.succeeded}"
+    )
+    assert report.succeeded
+    assert report.outcome.total_preserved_time > 0
+
+
+def test_fig5_restart_from_scratch(benchmark, report_rows):
+    report = benchmark(heal_bank, RecoveryStrategy.RESTART_FROM_SCRATCH)
+    report_rows.append(
+        f"restart: preserved={report.outcome.total_preserved_time:.1f} "
+        f"lost={report.outcome.total_lost_time:.1f} succeeded={report.succeeded}"
+    )
+    assert report.succeeded
+    assert report.outcome.total_preserved_time == 0
+
+
+def test_fig5_resume_preserves_more_work_than_restart(report_rows):
+    resume = heal_bank(RecoveryStrategy.RESUME_FROM_CHECKPOINT)
+    restart = heal_bank(RecoveryStrategy.RESTART_FROM_SCRATCH)
+    report_rows.append(
+        f"preserved sim-time: resume={resume.outcome.total_preserved_time:.1f}, "
+        f"restart={restart.outcome.total_preserved_time:.1f}"
+    )
+    report_rows.append(
+        f"lost sim-time: resume={resume.outcome.total_lost_time:.1f}, "
+        f"restart={restart.outcome.total_lost_time:.1f}"
+    )
+    assert resume.outcome.total_preserved_time > restart.outcome.total_preserved_time
+    assert resume.outcome.total_lost_time < restart.outcome.total_lost_time

@@ -1,0 +1,100 @@
+"""Experiment fig6-recovery-line: safe recovery lines from communication-induced
+checkpointing (Figure 6).
+
+Reproduces the figure's three-process message exchange and then random
+message graphs, checking the defining property: the computed recovery
+line is always consistent, whereas the naive "latest checkpoint of every
+process" cut need not be under uncoordinated checkpointing.
+"""
+
+from __future__ import annotations
+
+from repro.dsim.clock import VectorClock
+from repro.dsim.process import ProcessCheckpoint
+from repro.dsim.rng import DeterministicRNG
+from repro.timemachine.checkpoint import CheckpointStore
+from repro.timemachine.comm_induced import CommunicationInducedCheckpointing
+from repro.timemachine.recovery_line import compute_recovery_line, is_consistent, unsafe_line
+from repro.timemachine.time_machine import TimeMachine
+from bench_workloads import build_ring_cluster
+
+
+def _checkpoint(pid, sequence, time, vt):
+    return ProcessCheckpoint(
+        pid=pid, sequence=sequence, time=time, state={"seq": sequence},
+        vt=vt, lamport=0, rng_draws=0, sent_count=0, received_count=0,
+    )
+
+
+def figure6_exchange():
+    """The paper's drawing: A, B, C exchange messages; B fails after the last receive."""
+    clocks = {pid: VectorClock(pid) for pid in ("A", "B", "C")}
+    store = CheckpointStore()
+    sequence = {pid: 0 for pid in clocks}
+
+    def take(pid):
+        sequence[pid] += 1
+        store.add(_checkpoint(pid, sequence[pid], float(sum(sequence.values())), clocks[pid].snapshot()))
+
+    def send(src, dst):
+        ts = clocks[src].tick()
+        take(dst)                    # checkpoint before receive (comm-induced)
+        clocks[dst].merge(ts)
+
+    for pid in clocks:
+        take(pid)
+    send("A", "B")
+    send("B", "C")
+    send("C", "B")
+    send("A", "B")
+    return store
+
+
+def test_fig6_paper_exchange_has_safe_line(benchmark, report_rows):
+    store = figure6_exchange()
+    line = benchmark(compute_recovery_line, store)
+    report_rows.append(
+        "safe line: " + ", ".join(f"{pid}#{c.sequence}" for pid, c in sorted(line.checkpoints.items()))
+    )
+    report_rows.append(f"rollback steps: {line.rolled_back_steps}, domino: {line.domino_effect}")
+    assert is_consistent(line.checkpoints)
+
+
+def test_fig6_comm_induced_line_near_failure_point(report_rows):
+    """With comm-induced checkpoints the safe line is at most one receive behind."""
+    cluster = build_ring_cluster(nodes=3, rounds=6)
+    time_machine = TimeMachine()
+    time_machine.attach(cluster)
+    cluster.run(max_events=500)
+    line = compute_recovery_line(time_machine.store)
+    naive = unsafe_line(time_machine.store)
+    lag = {pid: naive[pid].sequence - line.checkpoints[pid].sequence for pid in line.checkpoints}
+    report_rows.append(f"checkpoints behind the naive line per process: {lag}")
+    assert is_consistent(line.checkpoints)
+    assert all(delta <= 1 for delta in lag.values())
+
+
+def test_fig6_random_graphs_always_yield_consistent_lines(benchmark, report_rows):
+    """Random communication graphs with comm-induced checkpointing: line is always safe."""
+    rng = DeterministicRNG(99)
+
+    def random_history():
+        pids = ["p0", "p1", "p2", "p3"]
+        clocks = {pid: VectorClock(pid) for pid in pids}
+        store = CheckpointStore()
+        sequence = {pid: 0 for pid in pids}
+        for pid in pids:
+            sequence[pid] += 1
+            store.add(_checkpoint(pid, sequence[pid], 0.0, clocks[pid].snapshot()))
+        for step in range(40):
+            src = rng.choice(pids)
+            dst = rng.choice([pid for pid in pids if pid != src])
+            ts = clocks[src].tick()
+            sequence[dst] += 1
+            store.add(_checkpoint(dst, sequence[dst], float(step + 1), clocks[dst].snapshot()))
+            clocks[dst].merge(ts)
+        return compute_recovery_line(store)
+
+    line = benchmark(random_history)
+    report_rows.append(f"random graph line iterations: {line.iterations}")
+    assert is_consistent(line.checkpoints)

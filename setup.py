@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package can still do a legacy
+editable install (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

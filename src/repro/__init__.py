@@ -1,0 +1,58 @@
+"""repro — a reproduction of FixD (Ţăpuş & Noblet, IPPS 2007).
+
+FixD is a hybrid framework for fault detection, bug reporting, and
+recoverability of distributed applications.  It is built from four
+cooperating components:
+
+* :mod:`repro.scroll` — the **Scroll**: records every nondeterministic
+  action of every process (message receipt, clock reads, random draws,
+  injected channel faults) so that an execution can be replayed or
+  investigated offline.
+* :mod:`repro.timemachine` — the **Time Machine**: lightweight
+  copy-on-write checkpoints, distributed speculations,
+  communication-induced checkpointing and safe global recovery lines, so
+  the system can be rolled back to a consistent state that predates an
+  invariant violation.
+* :mod:`repro.investigator` — the **Investigator**: an
+  implementation-level model checker (ModelD) that explores execution
+  paths from a restored global checkpoint and returns the trails that
+  lead to invariant violations.
+* :mod:`repro.healer` — the **Healer**: dynamic software update and
+  recovery strategies (restart-from-scratch vs. resume-from-checkpoint
+  with an in-place patch).
+
+Everything runs against :mod:`repro.dsim`, a deterministic discrete-event
+simulator of a message-passing cluster (with an optional
+``multiprocessing`` backend), and :mod:`repro.apps` provides realistic
+distributed applications (replicated KV store, two-phase commit, token
+ring, leader election, distributed bank) used by the examples, tests and
+benchmarks.
+
+The top-level orchestration — detect a fault, roll back, collect peer
+checkpoints and models, investigate, report, heal — lives in
+:mod:`repro.core` and is exposed through :class:`repro.core.fixd.FixD`.
+"""
+
+from repro.core.fixd import FixD, FixDConfig, FixDReport
+from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.dsim.process import Process, handler
+from repro.investigator.investigator import Investigator
+from repro.healer.healer import Healer
+from repro.scroll.scroll import Scroll
+from repro.timemachine.time_machine import TimeMachine
+
+__all__ = [
+    "FixD",
+    "FixDConfig",
+    "FixDReport",
+    "Cluster",
+    "ClusterConfig",
+    "Process",
+    "handler",
+    "Investigator",
+    "Healer",
+    "Scroll",
+    "TimeMachine",
+]
+
+__version__ = "0.1.0"

@@ -1,0 +1,19 @@
+"""Offline analysis of recorded runs: traces, statistics and report helpers.
+
+These utilities operate purely on Scrolls and run results — they never
+touch a live cluster — and are what the examples and benchmarks use to
+summarise what happened.
+"""
+
+from repro.analysis.stats import RunStatistics, compare_runs, summarize_scroll
+from repro.analysis.trace import CausalTrace, MessageFlow, build_causal_trace, message_flows
+
+__all__ = [
+    "RunStatistics",
+    "compare_runs",
+    "summarize_scroll",
+    "CausalTrace",
+    "MessageFlow",
+    "build_causal_trace",
+    "message_flows",
+]

@@ -1,0 +1,149 @@
+"""Causal trace reconstruction from a Scroll.
+
+The Scroll records actions per process; this module stitches them back
+into the cross-process structures developers actually read when hunting a
+bug: message flows (send matched with its receive) and a causal trace (an
+event order consistent with happens-before).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.scroll.entry import ActionKind, ScrollEntry
+from repro.scroll.scroll import Scroll
+
+
+@dataclass(frozen=True)
+class MessageFlow:
+    """One message's life: who sent it, who received it (if anyone), and when."""
+
+    msg_id: int
+    src: str
+    dst: str
+    kind: str
+    sent_at: Optional[float]
+    received_at: Optional[float]
+    dropped: bool
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.sent_at is None or self.received_at is None:
+            return None
+        return self.received_at - self.sent_at
+
+    @property
+    def delivered(self) -> bool:
+        return self.received_at is not None
+
+
+def message_flows(scroll: Scroll) -> List[MessageFlow]:
+    """Match SEND/RECEIVE/DROP entries into per-message flows."""
+    sends: Dict[int, ScrollEntry] = {}
+    receives: Dict[int, ScrollEntry] = {}
+    drops: Dict[int, ScrollEntry] = {}
+    for entry in scroll:
+        message = entry.detail.get("message")
+        if not message:
+            continue
+        msg_id = message.get("msg_id")
+        if msg_id is None:
+            continue
+        if entry.kind is ActionKind.SEND:
+            sends.setdefault(msg_id, entry)
+        elif entry.kind is ActionKind.RECEIVE:
+            receives.setdefault(msg_id, entry)
+        elif entry.kind is ActionKind.DROP:
+            drops.setdefault(msg_id, entry)
+
+    flows: List[MessageFlow] = []
+    for msg_id in sorted(set(sends) | set(receives) | set(drops)):
+        send = sends.get(msg_id)
+        receive = receives.get(msg_id)
+        reference = send or receive or drops.get(msg_id)
+        message = reference.detail["message"]
+        flows.append(
+            MessageFlow(
+                msg_id=msg_id,
+                src=message["src"],
+                dst=message["dst"],
+                kind=message["kind"],
+                sent_at=send.time if send else None,
+                received_at=receive.time if receive else None,
+                dropped=msg_id in drops,
+            )
+        )
+    return flows
+
+
+@dataclass
+class CausalTrace:
+    """A linearisation of the recorded events consistent with happens-before."""
+
+    entries: List[ScrollEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def actions_of(self, pid: str) -> List[ScrollEntry]:
+        return [entry for entry in self.entries if entry.pid == pid]
+
+    def describe(self, limit: Optional[int] = None) -> str:
+        shown = self.entries if limit is None else self.entries[:limit]
+        lines = [entry.describe() for entry in shown]
+        if limit is not None and len(self.entries) > limit:
+            lines.append(f"... {len(self.entries) - limit} more entries ...")
+        return "\n".join(lines)
+
+    def respects_send_before_receive(self) -> bool:
+        """Sanity check: every message's send appears before its receive."""
+        send_positions: Dict[int, int] = {}
+        for index, entry in enumerate(self.entries):
+            message = entry.detail.get("message")
+            if not message:
+                continue
+            msg_id = message.get("msg_id")
+            if entry.kind is ActionKind.SEND:
+                send_positions.setdefault(msg_id, index)
+            elif entry.kind is ActionKind.RECEIVE:
+                if msg_id not in send_positions or send_positions[msg_id] > index:
+                    return False
+        return True
+
+
+def build_causal_trace(scroll: Scroll) -> CausalTrace:
+    """Order the Scroll's entries so that causality (send before receive) holds.
+
+    The recorded times already respect causality in the simulator, so the
+    sort is primarily by time; vector-timestamp component sums and the
+    original sequence numbers break ties deterministically, and a final
+    fix-up pass demotes any receive that would otherwise precede its send
+    (possible when the recorder logged them with equal timestamps).
+    """
+    def key(entry: ScrollEntry):
+        weight = sum(entry.vt.as_dict().values()) if entry.vt is not None else 0
+        kind_rank = 0 if entry.kind is ActionKind.SEND else 1
+        return (entry.time, weight, kind_rank, entry.seq)
+
+    ordered = sorted(scroll.entries, key=key)
+
+    # Fix-up pass: ensure send precedes receive for the same message id.
+    positions: Dict[int, int] = {}
+    result: List[ScrollEntry] = []
+    deferred: Dict[int, List[ScrollEntry]] = {}
+    for entry in ordered:
+        message = entry.detail.get("message")
+        msg_id = message.get("msg_id") if message else None
+        if entry.kind is ActionKind.RECEIVE and msg_id is not None and msg_id not in positions:
+            deferred.setdefault(msg_id, []).append(entry)
+            continue
+        result.append(entry)
+        if entry.kind is ActionKind.SEND and msg_id is not None:
+            positions[msg_id] = len(result) - 1
+            for waiting in deferred.pop(msg_id, []):
+                result.append(waiting)
+    # Any receives whose send was never recorded go at the end, in original order.
+    for waiting_list in deferred.values():
+        result.extend(waiting_list)
+    return CausalTrace(entries=result)

@@ -1,0 +1,48 @@
+"""Example distributed applications used by examples, tests and benchmarks.
+
+Each application is written purely against the public process API
+(:class:`repro.dsim.process.Process`), declares its correctness
+invariants, and — where a FixD scenario needs a bug to find — ships both
+a buggy and a fixed version so patches can be generated between them:
+
+* :mod:`repro.apps.kvstore` — a primary/backup replicated key-value
+  store with read-your-writes and replica-consistency invariants.
+* :mod:`repro.apps.two_phase_commit` — a transaction coordinator and
+  participants with atomicity invariants.
+* :mod:`repro.apps.token_ring` — token-ring mutual exclusion
+  (single-token invariant).
+* :mod:`repro.apps.leader_election` — ring-based leader election
+  (Chang–Roberts style) with an at-most-one-leader invariant.
+* :mod:`repro.apps.bank` — a distributed bank whose transfers must
+  conserve the total balance.
+* :mod:`repro.apps.wordcount` — a master/worker word-count pipeline used
+  by the long-running recovery benchmarks.
+"""
+
+from repro.apps.bank import BankBranch, BankBranchFixed, total_balance_invariant
+from repro.apps.kvstore import KVClient, KVReplica, KVReplicaStale, replica_consistency_invariant
+from repro.apps.leader_election import RingElector, at_most_one_leader_invariant
+from repro.apps.token_ring import TokenRingNode, TokenRingNodeBuggy, single_token_invariant
+from repro.apps.two_phase_commit import Coordinator, Participant, ParticipantLossy, atomicity_invariant
+from repro.apps.wordcount import WordCountMaster, WordCountWorker
+
+__all__ = [
+    "BankBranch",
+    "BankBranchFixed",
+    "total_balance_invariant",
+    "KVClient",
+    "KVReplica",
+    "KVReplicaStale",
+    "replica_consistency_invariant",
+    "RingElector",
+    "at_most_one_leader_invariant",
+    "TokenRingNode",
+    "TokenRingNodeBuggy",
+    "single_token_invariant",
+    "Coordinator",
+    "Participant",
+    "ParticipantLossy",
+    "atomicity_invariant",
+    "WordCountMaster",
+    "WordCountWorker",
+]

@@ -1,0 +1,131 @@
+"""A distributed bank: branches transferring money between accounts.
+
+Each :class:`BankBranch` holds a set of local accounts.  Branches issue
+transfers to each other; a transfer debits the sender's account when the
+request is issued and credits the receiver's account when the message is
+applied.  Because money is "in flight" between debit and credit, the
+per-branch invariant only checks non-negativity; the interesting property
+is the global one: **total balance plus money in flight is conserved**.
+
+Seeded bug
+----------
+:class:`BankBranch` (the default, deliberately buggy version used in the
+healing example) applies a *fee* on the receiving side — it credits less
+than was debited — so the global conservation invariant eventually fails.
+:class:`BankBranchFixed` credits the full amount; the patch between them
+is the Figure 5 "user fix".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.dsim.message import Message
+from repro.dsim.process import Process, handler, invariant, timer_handler
+
+#: Initial balance per account; used by the conservation invariant.
+INITIAL_BALANCE = 100
+
+
+class BankBranch(Process):
+    """A bank branch (this version silently loses money on incoming transfers)."""
+
+    accounts_per_branch: int = 2
+    transfers_to_issue: int = 4
+    transfer_amount: int = 10
+    #: the bug: incoming transfers are credited minus this "fee"
+    incoming_fee: int = 1
+
+    def on_start(self) -> None:
+        self.state["accounts"] = {
+            f"{self.pid}-acct{index}": INITIAL_BALANCE for index in range(self.accounts_per_branch)
+        }
+        self.state["issued"] = 0
+        self.state["applied"] = 0
+        self.state["in_flight_debits"] = 0
+        # Stagger branches deterministically (hash() is salted per interpreter run,
+        # so derive the offset from the pid's characters instead).
+        offset = sum(ord(ch) for ch in self.pid) % 3
+        self.set_timer("transfer", 1.0 + offset * 0.1)
+
+    # ------------------------------------------------------------------
+    # issuing transfers
+    # ------------------------------------------------------------------
+    @timer_handler("transfer")
+    def issue_transfer(self, payload: Any) -> None:
+        if self.state["issued"] >= self.transfers_to_issue or not self.peers:
+            return
+        target_branch = self.choice(sorted(self.peers))
+        source_account = self.choice(sorted(self.state["accounts"]))
+        amount = min(self.transfer_amount, self.state["accounts"][source_account])
+        if amount > 0:
+            self.state["accounts"][source_account] -= amount
+            self.state["in_flight_debits"] += amount
+            self.send(target_branch, "TRANSFER", {"amount": amount, "from": source_account})
+        self.state["issued"] += 1
+        if self.state["issued"] < self.transfers_to_issue:
+            self.set_timer("transfer", 2.0)
+
+    # ------------------------------------------------------------------
+    # applying transfers
+    # ------------------------------------------------------------------
+    def credit_amount(self, amount: int) -> int:
+        """How much to credit for an incoming transfer of ``amount``.
+
+        The buggy version deducts a fee that is never accounted anywhere,
+        so money simply disappears from the system.
+        """
+        return amount - self.incoming_fee
+
+    @handler("TRANSFER")
+    def handle_transfer(self, msg: Message) -> None:
+        amount = msg.payload["amount"]
+        target_account = self.choice(sorted(self.state["accounts"]))
+        self.state["accounts"][target_account] += self.credit_amount(amount)
+        self.state["applied"] += 1
+        self.send(msg.src, "TRANSFER_ACK", {"amount": amount})
+
+    @handler("TRANSFER_ACK")
+    def handle_ack(self, msg: Message) -> None:
+        self.state["in_flight_debits"] -= msg.payload["amount"]
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant("non-negative-balances")
+    def non_negative(self) -> bool:
+        return all(balance >= 0 for balance in self.state["accounts"].values())
+
+    @invariant("in-flight-non-negative")
+    def in_flight_non_negative(self) -> bool:
+        return self.state["in_flight_debits"] >= 0
+
+
+class BankBranchFixed(BankBranch):
+    """The corrected branch: incoming transfers are credited in full."""
+
+    def credit_amount(self, amount: int) -> int:
+        return amount
+
+
+def total_balance_invariant(states: Dict[str, Dict[str, Any]]) -> bool:
+    """Global invariant: account balances plus in-flight debits equal the initial total."""
+    branches = [state for state in states.values() if "accounts" in state]
+    if not branches:
+        return True
+    total = sum(sum(state["accounts"].values()) for state in branches)
+    in_flight = sum(state.get("in_flight_debits", 0) for state in branches)
+    expected = sum(len(state["accounts"]) * INITIAL_BALANCE for state in branches)
+    return total + in_flight == expected
+
+
+def total_balance(states: Dict[str, Dict[str, Any]]) -> int:
+    """Current sum of all account balances (excluding in-flight money)."""
+    return sum(sum(state.get("accounts", {}).values()) for state in states.values())
+
+
+def build_bank_cluster(cluster, branches: int = 3, fixed: bool = False) -> None:
+    """Convenience wiring for a bank of ``branches`` branches."""
+    branch_class = BankBranchFixed if fixed else BankBranch
+    for index in range(branches):
+        cluster.add_process(f"branch{index}", branch_class)

@@ -1,0 +1,225 @@
+"""A primary/backup replicated key-value store.
+
+Topology
+--------
+One or more :class:`KVClient` processes issue ``PUT``/``GET`` requests to
+the primary replica; the primary applies writes locally and forwards them
+to every backup replica, acknowledging the client once applied locally
+(asynchronous replication).
+
+Invariants
+----------
+* per-replica: the version counter of each key never decreases
+  (monotonic versions);
+* global (used with the Investigator): every backup's store is a subset
+  of the primary's history — a backup must never hold a value the
+  primary never wrote.
+
+Seeded bug
+----------
+:class:`KVReplicaStale` is the buggy variant: it applies replicated
+writes but forgets to bump the version counter when overwriting an
+existing key, violating the monotonic-version invariant once a key is
+written twice.  The fixed class is :class:`KVReplica` itself, so a patch
+is simply ``generate_patch(KVReplicaStale, KVReplica)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.dsim.message import Message
+from repro.dsim.process import Process, handler, invariant, timer_handler
+
+
+class KVReplica(Process):
+    """A replica of the key-value store (primary or backup).
+
+    The primary is the replica whose pid equals the ``primary`` name
+    passed through the client's requests (by convention the first
+    replica, e.g. ``"replica0"``).
+    """
+
+    #: class-level knob so factories stay zero-argument
+    primary_pid: str = "replica0"
+
+    def on_start(self) -> None:
+        self.state["store"] = {}
+        self.state["versions"] = {}
+        self.state["applied_writes"] = 0
+        self.state["is_primary"] = self.pid == self.primary_pid
+
+    # ------------------------------------------------------------------
+    # client-facing operations
+    # ------------------------------------------------------------------
+    @handler("PUT")
+    def handle_put(self, msg: Message) -> None:
+        key, value = msg.payload["key"], msg.payload["value"]
+        self._apply_write(key, value)
+        if self.state["is_primary"]:
+            for peer in self.peers:
+                if peer.startswith("replica"):
+                    self.send(peer, "REPLICATE", {"key": key, "value": value})
+        self.send(msg.src, "PUT_ACK", {"key": key, "version": self.state["versions"][key]})
+
+    @handler("GET")
+    def handle_get(self, msg: Message) -> None:
+        key = msg.payload["key"]
+        self.send(
+            msg.src,
+            "GET_REPLY",
+            {
+                "key": key,
+                "value": self.state["store"].get(key),
+                "version": self.state["versions"].get(key, 0),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+    @handler("REPLICATE")
+    def handle_replicate(self, msg: Message) -> None:
+        self._apply_write(msg.payload["key"], msg.payload["value"])
+
+    def _apply_write(self, key: str, value: Any) -> None:
+        self.state["store"][key] = value
+        self.state["versions"][key] = self.state["versions"].get(key, 0) + 1
+        self.state["applied_writes"] += 1
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant("versions-track-store")
+    def versions_track_store(self) -> bool:
+        """Every stored key has a positive version and vice versa."""
+        store, versions = self.state["store"], self.state["versions"]
+        return set(store) == {key for key, version in versions.items() if version > 0} and all(
+            version >= 1 for version in versions.values()
+        ) or (not store and not versions)
+
+    @invariant("write-count-consistent")
+    def write_count_consistent(self) -> bool:
+        """The number of applied writes is at least the sum... of versions."""
+        return self.state["applied_writes"] >= 0
+
+
+class KVReplicaStale(KVReplica):
+    """Buggy replica: re-writing an existing key does not bump its version.
+
+    The bug only bites on overwrites, so short workloads look healthy —
+    exactly the kind of latent fault FixD is meant to catch and explain.
+    """
+
+    def _apply_write(self, key: str, value: Any) -> None:
+        self.state["store"][key] = value
+        if key not in self.state["versions"]:
+            self.state["versions"][key] = 1
+        # BUG: overwrite path forgets to increment the version counter.
+        self.state["applied_writes"] += 1
+
+    @invariant("overwrite-bumps-version")
+    def overwrite_bumps_version(self) -> bool:
+        """Versions must keep up with the number of writes once keys repeat."""
+        writes = self.state["applied_writes"]
+        total_versions = sum(self.state["versions"].values())
+        # After W writes over K keys the versions must sum to W (every write bumps).
+        return total_versions == writes
+
+
+class KVClient(Process):
+    """A closed-loop client issuing a scripted or generated workload.
+
+    The workload is configured through class attributes so instances stay
+    picklable factories:
+
+    * ``operations`` — explicit list of ``("put"|"get", key, value)``;
+    * ``generated_ops`` — when ``operations`` is empty, how many random
+      operations to generate over ``key_space`` keys.
+    """
+
+    target_replica: str = "replica0"
+    operations: List = []
+    generated_ops: int = 20
+    key_space: int = 4
+
+    def on_start(self) -> None:
+        self.state["pending"] = list(self.operations) or self._generate()
+        self.state["acks"] = 0
+        self.state["replies"] = 0
+        self.state["observed_versions"] = {}
+        self.set_timer("issue", 1.0)
+
+    def _generate(self) -> List:
+        ops = []
+        for index in range(self.generated_ops):
+            key = f"k{self.randint(0, self.key_space - 1)}"
+            if self.random() < 0.6:
+                ops.append(("put", key, index))
+            else:
+                ops.append(("get", key, None))
+        return ops
+
+    @timer_handler("issue")
+    def issue_next(self, payload: Any) -> None:
+        if not self.state["pending"]:
+            return
+        op, key, value = self.state["pending"].pop(0)
+        if op == "put":
+            self.send(self.target_replica, "PUT", {"key": key, "value": value})
+        else:
+            self.send(self.target_replica, "GET", {"key": key})
+        if self.state["pending"]:
+            self.set_timer("issue", 1.0)
+
+    @handler("PUT_ACK")
+    def handle_ack(self, msg: Message) -> None:
+        self.state["acks"] += 1
+        self._observe(msg.payload["key"], msg.payload["version"])
+
+    @handler("GET_REPLY")
+    def handle_reply(self, msg: Message) -> None:
+        self.state["replies"] += 1
+        self._observe(msg.payload["key"], msg.payload["version"])
+
+    def _observe(self, key: str, version: int) -> None:
+        self.state["observed_versions"][key] = max(
+            self.state["observed_versions"].get(key, 0), version
+        )
+
+    @invariant("versions-never-regress")
+    def versions_never_regress(self) -> bool:
+        """Client-observed versions are monotonically non-decreasing by construction."""
+        return all(version >= 0 for version in self.state["observed_versions"].values())
+
+
+def replica_consistency_invariant(states: Dict[str, Dict[str, Any]]) -> bool:
+    """Global invariant: every backup's store is a subset of the primary's store.
+
+    Intended for the Investigator's ``global_invariants`` argument: with
+    asynchronous replication the backups may *lag* the primary, but they
+    must never hold a key/value pair the primary does not have.
+    """
+    primary_state = None
+    for pid, state in states.items():
+        if state.get("is_primary"):
+            primary_state = state
+            break
+    if primary_state is None:
+        return True
+    primary_store = primary_state.get("store", {})
+    for pid, state in states.items():
+        if state.get("is_primary") or "store" not in state:
+            continue
+        for key, value in state["store"].items():
+            if key not in primary_store:
+                return False
+    return True
+
+
+def build_kvstore_cluster(cluster, replicas: int = 3, clients: int = 1) -> None:
+    """Convenience wiring used by examples and benchmarks."""
+    for index in range(replicas):
+        cluster.add_process(f"replica{index}", KVReplica)
+    for index in range(clients):
+        cluster.add_process(f"client{index}", KVClient)

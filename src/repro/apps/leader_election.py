@@ -1,0 +1,126 @@
+"""Ring-based leader election (Chang–Roberts).
+
+Every node owns a numeric identifier (derived deterministically from its
+pid).  Election messages circulate clockwise carrying the largest
+identifier seen so far; a node that receives its own identifier back
+declares itself the leader and announces the result.
+
+Invariants
+----------
+* per-node: a node that believes the election is over knows exactly one
+  leader;
+* global (:func:`at_most_one_leader_invariant`): no two nodes consider
+  *themselves* the leader.
+
+The election is also a convenient workload for crash-fault scenarios:
+crash the current leader mid-announcement and re-run the election after
+recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.dsim.message import Message
+from repro.dsim.process import Process, handler, invariant, timer_handler
+
+
+class RingElector(Process):
+    """One node of the election ring."""
+
+    ring_size: int = 4
+    ring_prefix: str = "elector"
+
+    def on_start(self) -> None:
+        self.state["node_id"] = self._my_index() * 7 + 3  # distinct, deterministic ids
+        self.state["leader"] = None
+        self.state["is_leader"] = False
+        self.state["messages_forwarded"] = 0
+        self.state["election_started"] = False
+        self.set_timer("kickoff", 1.0 + self._my_index())
+
+    # ------------------------------------------------------------------
+    # ring helpers
+    # ------------------------------------------------------------------
+    def _my_index(self) -> int:
+        return int(self.pid[len(self.ring_prefix):])
+
+    def _next_pid(self) -> str:
+        return f"{self.ring_prefix}{(self._my_index() + 1) % self.ring_size}"
+
+    # ------------------------------------------------------------------
+    # election
+    # ------------------------------------------------------------------
+    @timer_handler("kickoff")
+    def kickoff(self, payload: Any) -> None:
+        if self.state["election_started"] or self.state["leader"] is not None:
+            return
+        self.state["election_started"] = True
+        self.send(self._next_pid(), "ELECTION", {"candidate": self.state["node_id"]})
+
+    @handler("ELECTION")
+    def handle_election(self, msg: Message) -> None:
+        candidate = msg.payload["candidate"]
+        my_id = self.state["node_id"]
+        self.state["election_started"] = True
+        if candidate == my_id:
+            # My identifier made it all the way around: I am the leader.
+            self.state["is_leader"] = True
+            self.state["leader"] = my_id
+            self.send(self._next_pid(), "ELECTED", {"leader": my_id})
+        elif candidate > my_id:
+            self.state["messages_forwarded"] += 1
+            self.send(self._next_pid(), "ELECTION", {"candidate": candidate})
+        else:
+            # Swallow smaller candidates, substitute my own (if not already sent).
+            self.state["messages_forwarded"] += 1
+            self.send(self._next_pid(), "ELECTION", {"candidate": my_id})
+
+    @handler("ELECTED")
+    def handle_elected(self, msg: Message) -> None:
+        leader = msg.payload["leader"]
+        if self.state["leader"] == leader and self.state["is_leader"]:
+            return  # announcement completed the loop
+        self.state["leader"] = leader
+        if leader != self.state["node_id"]:
+            self.state["is_leader"] = False
+            self.send(self._next_pid(), "ELECTED", {"leader": leader})
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant("leader-is-known-id")
+    def leader_is_known_id(self) -> bool:
+        """The believed leader id is a plausible node id for this ring."""
+        leader = self.state["leader"]
+        if leader is None:
+            return True
+        return (leader - 3) % 7 == 0 and 0 <= (leader - 3) // 7 < self.ring_size
+
+    @invariant("self-leader-consistent")
+    def self_leader_consistent(self) -> bool:
+        """A node that thinks it is the leader must also record itself as leader."""
+        if not self.state["is_leader"]:
+            return True
+        return self.state["leader"] == self.state["node_id"]
+
+
+def at_most_one_leader_invariant(states: Dict[str, Dict[str, Any]]) -> bool:
+    """Global invariant: at most one node believes it is the leader."""
+    leaders = sum(1 for state in states.values() if state.get("is_leader"))
+    return leaders <= 1
+
+
+def elected_leader(states: Dict[str, Dict[str, Any]]) -> Optional[int]:
+    """The agreed leader id when every node agrees, otherwise None."""
+    leaders = {state.get("leader") for state in states.values() if "leader" in state}
+    if len(leaders) == 1:
+        return next(iter(leaders))
+    return None
+
+
+def build_election_ring(cluster, nodes: int = 4) -> None:
+    """Convenience wiring for an election ring of ``nodes`` processes."""
+    RingElector.ring_size = nodes
+    for index in range(nodes):
+        cluster.add_process(f"elector{index}", RingElector)

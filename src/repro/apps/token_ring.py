@@ -1,0 +1,131 @@
+"""Token-ring mutual exclusion.
+
+``N`` nodes are arranged in a logical ring.  A single token circulates;
+only the token holder may enter its critical section.  Each node performs
+a configurable amount of critical-section work per visit and then passes
+the token on.
+
+Invariants
+----------
+* per-node: a node is only ever in its critical section while it holds
+  the token;
+* global (:func:`single_token_invariant`): at most one node holds the
+  token (counting tokens in flight is the cluster's job — the invariant
+  is evaluated over process states, where "holds" means the node has
+  received and not yet forwarded the token).
+
+Seeded bug
+----------
+:class:`TokenRingNodeBuggy` *duplicates* the token under load: when its
+work counter crosses a threshold it forwards the token but also keeps a
+copy, so two nodes can end up in their critical sections at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.dsim.message import Message
+from repro.dsim.process import Process, handler, invariant, timer_handler
+
+
+class TokenRingNode(Process):
+    """A correct token-ring participant."""
+
+    ring_size: int = 3
+    ring_prefix: str = "node"
+    max_rounds: int = 5
+    cs_duration: float = 1.0
+
+    def on_start(self) -> None:
+        self.state["has_token"] = False
+        self.state["in_critical_section"] = False
+        self.state["entries"] = 0
+        self.state["rounds_seen"] = 0
+        if self._my_index() == 0:
+            # Node 0 creates the token.
+            self.state["has_token"] = True
+            self._enter_critical_section()
+
+    # ------------------------------------------------------------------
+    # ring helpers
+    # ------------------------------------------------------------------
+    def _my_index(self) -> int:
+        return int(self.pid[len(self.ring_prefix):])
+
+    def _next_pid(self) -> str:
+        return f"{self.ring_prefix}{(self._my_index() + 1) % self.ring_size}"
+
+    # ------------------------------------------------------------------
+    # critical section lifecycle
+    # ------------------------------------------------------------------
+    def _enter_critical_section(self) -> None:
+        self.state["in_critical_section"] = True
+        self.state["entries"] += 1
+        self.set_timer("leave-cs", self.cs_duration)
+
+    @timer_handler("leave-cs")
+    def leave_critical_section(self, payload: Any) -> None:
+        self.state["in_critical_section"] = False
+        self._pass_token()
+
+    def _pass_token(self) -> None:
+        if not self.state["has_token"]:
+            return
+        self.state["has_token"] = False
+        self.state["rounds_seen"] += 1
+        if self.state["rounds_seen"] <= self.max_rounds:
+            self.send(self._next_pid(), "TOKEN", {"round": self.state["rounds_seen"]})
+
+    @handler("TOKEN")
+    def handle_token(self, msg: Message) -> None:
+        self.state["has_token"] = True
+        self.state["rounds_seen"] = max(self.state["rounds_seen"], msg.payload["round"])
+        if self.state["rounds_seen"] <= self.max_rounds:
+            self._enter_critical_section()
+        else:
+            self.state["has_token"] = False  # retire the token
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    @invariant("cs-requires-token")
+    def cs_requires_token(self) -> bool:
+        return not self.state["in_critical_section"] or self.state["has_token"]
+
+
+class TokenRingNodeBuggy(TokenRingNode):
+    """Buggy node: duplicates the token once its entry counter passes a threshold."""
+
+    duplicate_after_entries: int = 2
+
+    def _pass_token(self) -> None:
+        if not self.state["has_token"]:
+            return
+        self.state["rounds_seen"] += 1
+        if self.state["rounds_seen"] <= self.max_rounds:
+            self.send(self._next_pid(), "TOKEN", {"round": self.state["rounds_seen"]})
+        if self.state["entries"] < self.duplicate_after_entries:
+            self.state["has_token"] = False
+        # BUG: beyond the threshold the node keeps a copy of the token,
+        # so both it and its successor believe they hold it.
+
+
+def single_token_invariant(states: Dict[str, Dict[str, Any]]) -> bool:
+    """Global invariant: at most one node holds the token at any instant."""
+    holders = sum(1 for state in states.values() if state.get("has_token"))
+    return holders <= 1
+
+
+def mutual_exclusion_invariant(states: Dict[str, Dict[str, Any]]) -> bool:
+    """Global invariant: at most one node is inside its critical section."""
+    inside = sum(1 for state in states.values() if state.get("in_critical_section"))
+    return inside <= 1
+
+
+def build_token_ring(cluster, nodes: int = 3, node_class=TokenRingNode, max_rounds: int = 5) -> None:
+    """Convenience wiring for a ring of ``nodes`` processes."""
+    node_class.ring_size = nodes
+    node_class.max_rounds = max_rounds
+    for index in range(nodes):
+        cluster.add_process(f"node{index}", node_class)

@@ -1,0 +1,210 @@
+"""Two-phase commit: a coordinator and N participants.
+
+Protocol
+--------
+The coordinator drives a sequence of transactions.  For each transaction
+it sends ``PREPARE`` to every participant; participants vote ``VOTE_YES``
+or ``VOTE_NO`` (based on a per-participant acceptance predicate); the
+coordinator sends ``COMMIT`` when every vote is yes and ``ABORT``
+otherwise; participants apply the decision and acknowledge.
+
+Invariants
+----------
+* per-participant: a participant never has a transaction both committed
+  and aborted;
+* global *atomicity* (:func:`atomicity_invariant`): no transaction is
+  committed at one participant and aborted at another.
+
+Seeded bug
+----------
+:class:`ParticipantLossy` is the buggy variant: when it votes *no* it
+unilaterally marks the transaction aborted **before** hearing the
+coordinator's decision.  If the other participants voted yes and a
+``COMMIT`` arrives anyway (e.g. because a vote was dropped by the network
+and the coordinator timed out assuming yes), atomicity breaks — the
+classic presumed-commit bug.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.dsim.message import Message
+from repro.dsim.process import Process, handler, invariant, timer_handler
+
+
+class Coordinator(Process):
+    """Drives ``transactions`` two-phase commits over every participant peer."""
+
+    transactions: int = 3
+    vote_timeout: float = 50.0
+    assume_yes_on_timeout: bool = False
+
+    def on_start(self) -> None:
+        self.state["current_txn"] = 0
+        self.state["votes"] = {}
+        self.state["decisions"] = {}
+        self.state["acks"] = {}
+        self.state["completed"] = 0
+        self.set_timer("begin", 1.0)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _participants(self) -> List[str]:
+        return [pid for pid in self.peers if pid.startswith("participant")]
+
+    def _begin_transaction(self) -> None:
+        txn = self.state["current_txn"]
+        if txn >= self.transactions:
+            return
+        self.state["votes"][txn] = {}
+        self.state["acks"][txn] = 0
+        for pid in self._participants():
+            self.send(pid, "PREPARE", {"txn": txn})
+        self.set_timer("vote-timeout", self.vote_timeout, {"txn": txn})
+
+    @timer_handler("begin")
+    def begin(self, payload: Any) -> None:
+        self._begin_transaction()
+
+    # ------------------------------------------------------------------
+    # vote collection
+    # ------------------------------------------------------------------
+    @handler("VOTE_YES")
+    def handle_yes(self, msg: Message) -> None:
+        self._record_vote(msg.payload["txn"], msg.src, True)
+
+    @handler("VOTE_NO")
+    def handle_no(self, msg: Message) -> None:
+        self._record_vote(msg.payload["txn"], msg.src, False)
+
+    def _record_vote(self, txn: int, pid: str, vote: bool) -> None:
+        votes = self.state["votes"].setdefault(txn, {})
+        if txn in self.state["decisions"]:
+            return  # decision already taken (e.g. after timeout)
+        votes[pid] = vote
+        if len(votes) == len(self._participants()):
+            self._decide(txn, all(votes.values()))
+
+    @timer_handler("vote-timeout")
+    def vote_timeout_fired(self, payload: Any) -> None:
+        txn = payload["txn"]
+        if txn in self.state["decisions"]:
+            return
+        votes = self.state["votes"].get(txn, {})
+        if self.assume_yes_on_timeout:
+            # Presume missing votes are yes — unsafe, used by the fault-injection scenario.
+            self._decide(txn, all(votes.values()) if votes else True)
+        else:
+            self._decide(txn, False)
+
+    def _decide(self, txn: int, commit: bool) -> None:
+        decision = "COMMIT" if commit else "ABORT"
+        self.state["decisions"][txn] = decision
+        for pid in self._participants():
+            self.send(pid, decision, {"txn": txn})
+
+    # ------------------------------------------------------------------
+    # acknowledgements
+    # ------------------------------------------------------------------
+    @handler("DECISION_ACK")
+    def handle_ack(self, msg: Message) -> None:
+        txn = msg.payload["txn"]
+        self.state["acks"][txn] = self.state["acks"].get(txn, 0) + 1
+        if self.state["acks"][txn] == len(self._participants()):
+            self.state["completed"] += 1
+            self.state["current_txn"] += 1
+            if self.state["current_txn"] < self.transactions:
+                self._begin_transaction()
+
+    @invariant("one-decision-per-transaction")
+    def one_decision(self) -> bool:
+        return all(decision in ("COMMIT", "ABORT") for decision in self.state["decisions"].values())
+
+
+class Participant(Process):
+    """A two-phase-commit participant.
+
+    ``accept_predicate`` decides the vote; the default accepts every
+    transaction.  Subclasses (and tests) override :meth:`will_accept`.
+    """
+
+    def on_start(self) -> None:
+        self.state["prepared"] = []
+        self.state["committed"] = []
+        self.state["aborted"] = []
+
+    def will_accept(self, txn: int) -> bool:
+        """Vote for transaction ``txn``; override to inject no-votes."""
+        return True
+
+    @handler("PREPARE")
+    def handle_prepare(self, msg: Message) -> None:
+        txn = msg.payload["txn"]
+        self.state["prepared"].append(txn)
+        if self.will_accept(txn):
+            self.send(msg.src, "VOTE_YES", {"txn": txn})
+        else:
+            self.send(msg.src, "VOTE_NO", {"txn": txn})
+
+    @handler("COMMIT")
+    def handle_commit(self, msg: Message) -> None:
+        txn = msg.payload["txn"]
+        if txn not in self.state["committed"]:
+            self.state["committed"].append(txn)
+        self.send(msg.src, "DECISION_ACK", {"txn": txn})
+
+    @handler("ABORT")
+    def handle_abort(self, msg: Message) -> None:
+        txn = msg.payload["txn"]
+        if txn not in self.state["aborted"]:
+            self.state["aborted"].append(txn)
+        self.send(msg.src, "DECISION_ACK", {"txn": txn})
+
+    @invariant("not-both-committed-and-aborted")
+    def not_both(self) -> bool:
+        return not (set(self.state["committed"]) & set(self.state["aborted"]))
+
+
+class ParticipantLossy(Participant):
+    """Buggy participant: a *no* vote unilaterally aborts before the decision.
+
+    Combined with a coordinator that presumes yes on a vote timeout (or a
+    dropped vote message), this yields a transaction committed at some
+    participants and aborted at this one — an atomicity violation.
+    """
+
+    reject_txns: tuple = (1,)
+
+    def will_accept(self, txn: int) -> bool:
+        return txn not in self.reject_txns
+
+    @handler("PREPARE")
+    def handle_prepare(self, msg: Message) -> None:
+        txn = msg.payload["txn"]
+        self.state["prepared"].append(txn)
+        if self.will_accept(txn):
+            self.send(msg.src, "VOTE_YES", {"txn": txn})
+        else:
+            # BUG: unilaterally abort without waiting for the coordinator.
+            self.state["aborted"].append(txn)
+            self.send(msg.src, "VOTE_NO", {"txn": txn})
+
+
+def atomicity_invariant(states: Dict[str, Dict[str, Any]]) -> bool:
+    """Global invariant: no transaction is committed somewhere and aborted elsewhere."""
+    committed: set = set()
+    aborted: set = set()
+    for state in states.values():
+        committed.update(state.get("committed", ()))
+        aborted.update(state.get("aborted", ()))
+    return not (committed & aborted)
+
+
+def build_2pc_cluster(cluster, participants: int = 3, transactions: int = 2) -> None:
+    """Convenience wiring: one coordinator plus N (correct) participants."""
+    Coordinator.transactions = transactions
+    cluster.add_process("coordinator", Coordinator)
+    for index in range(participants):
+        cluster.add_process(f"participant{index}", Participant)

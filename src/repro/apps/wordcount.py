@@ -1,0 +1,124 @@
+"""A master/worker word-count pipeline.
+
+This is the long-running "useful computation" workload for the recovery
+benchmarks (claim-3.4-resume): a master splits a corpus into chunks and
+hands them to workers; workers count words and send partial results back;
+the master aggregates.  A fault late in the run lets the benchmark
+compare how much completed work each recovery strategy preserves.
+
+Invariants
+----------
+* master: the number of aggregated chunks never exceeds the number of
+  chunks dispatched;
+* worker: a worker never reports more words for a chunk than the chunk
+  contains (checked against the chunk length it received).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.dsim.message import Message
+from repro.dsim.process import Process, handler, invariant, timer_handler
+
+#: A small deterministic corpus generator (no file I/O needed).
+_WORDS = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta")
+
+
+def generate_corpus(chunks: int, words_per_chunk: int = 20) -> List[List[str]]:
+    """Deterministic corpus: ``chunks`` lists of ``words_per_chunk`` words."""
+    corpus = []
+    for chunk_index in range(chunks):
+        chunk = [
+            _WORDS[(chunk_index * 31 + offset * 7) % len(_WORDS)] for offset in range(words_per_chunk)
+        ]
+        corpus.append(chunk)
+    return corpus
+
+
+class WordCountMaster(Process):
+    """Splits the corpus into chunks and aggregates the workers' counts."""
+
+    chunks: int = 12
+    words_per_chunk: int = 20
+
+    def on_start(self) -> None:
+        self.state["pending_chunks"] = list(range(self.chunks))
+        self.state["dispatched"] = 0
+        self.state["aggregated"] = 0
+        self.state["counts"] = {}
+        self.state["corpus_size"] = self.chunks * self.words_per_chunk
+        self.set_timer("dispatch", 1.0)
+
+    def _workers(self) -> List[str]:
+        return [pid for pid in self.peers if pid.startswith("worker")]
+
+    @timer_handler("dispatch")
+    def dispatch(self, payload: Any) -> None:
+        workers = self._workers()
+        if not workers or not self.state["pending_chunks"]:
+            return
+        corpus = generate_corpus(self.chunks, self.words_per_chunk)
+        chunk_id = self.state["pending_chunks"].pop(0)
+        worker = workers[chunk_id % len(workers)]
+        self.send(worker, "COUNT", {"chunk_id": chunk_id, "words": corpus[chunk_id]})
+        self.state["dispatched"] += 1
+        if self.state["pending_chunks"]:
+            self.set_timer("dispatch", 1.0)
+
+    @handler("COUNTED")
+    def handle_counted(self, msg: Message) -> None:
+        for word, count in msg.payload["counts"].items():
+            self.state["counts"][word] = self.state["counts"].get(word, 0) + count
+        self.state["aggregated"] += 1
+
+    @invariant("aggregated-bounded-by-dispatched")
+    def aggregated_bounded(self) -> bool:
+        return self.state["aggregated"] <= self.state["dispatched"]
+
+    @invariant("total-counted-bounded-by-corpus")
+    def total_bounded(self) -> bool:
+        return sum(self.state["counts"].values()) <= self.state["corpus_size"]
+
+    @property
+    def finished(self) -> bool:
+        return self.state["aggregated"] == self.chunks
+
+
+class WordCountWorker(Process):
+    """Counts the words of each chunk it receives and reports back."""
+
+    def on_start(self) -> None:
+        self.state["chunks_processed"] = 0
+        self.state["words_seen"] = 0
+
+    @handler("COUNT")
+    def handle_count(self, msg: Message) -> None:
+        words = msg.payload["words"]
+        counts: Dict[str, int] = {}
+        for word in words:
+            counts[word] = counts.get(word, 0) + 1
+        self.state["chunks_processed"] += 1
+        self.state["words_seen"] += len(words)
+        self.send(msg.src, "COUNTED", {"chunk_id": msg.payload["chunk_id"], "counts": counts})
+
+    @invariant("words-seen-consistent")
+    def words_seen_consistent(self) -> bool:
+        return self.state["words_seen"] >= self.state["chunks_processed"]
+
+
+def expected_counts(chunks: int, words_per_chunk: int = 20) -> Dict[str, int]:
+    """Ground-truth word counts for the generated corpus (used by tests)."""
+    counts: Dict[str, int] = {}
+    for chunk in generate_corpus(chunks, words_per_chunk):
+        for word in chunk:
+            counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+def build_wordcount_cluster(cluster, workers: int = 3, chunks: int = 12) -> None:
+    """Convenience wiring: one master plus ``workers`` workers."""
+    WordCountMaster.chunks = chunks
+    cluster.add_process("master", WordCountMaster)
+    for index in range(workers):
+        cluster.add_process(f"worker{index}", WordCountWorker)

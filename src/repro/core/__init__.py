@@ -1,0 +1,47 @@
+"""FixD core: fault detection and end-to-end orchestration.
+
+This package glues the four components together into the pipeline the
+paper describes (Figures 4 and 5):
+
+1. a process detects an invariant violation (:mod:`repro.core.faults`);
+2. the detecting process rolls back and notifies its peers; each peer
+   replies with a globally consistent checkpoint of its state and a
+   model of its behaviour (:mod:`repro.core.protocol`);
+3. the Investigator explores executions from the assembled global
+   checkpoint and returns violating trails;
+4. a bug report is produced for the programmer (:mod:`repro.core.report`);
+5. the Healer applies the programmer's patch, either restarting or
+   resuming from the checkpoint (:mod:`repro.core.fixd`).
+
+:mod:`repro.core.registry` reproduces the paper's Figure 8 comparison
+matrix from the capabilities of the implemented tools.
+"""
+
+from repro.core.events import FaultEvent, RecoveryTimeline, TimelineEvent
+from repro.core.faults import FaultDetector
+from repro.core.fixd import FixD, FixDConfig, FixDReport
+from repro.core.protocol import FaultResponseCoordinator, PeerResponse
+from repro.core.registry import (
+    CapabilityMatrix,
+    ServiceKind,
+    ToolCapability,
+    default_matrix,
+)
+from repro.core.report import BugReport
+
+__all__ = [
+    "FaultEvent",
+    "RecoveryTimeline",
+    "TimelineEvent",
+    "FaultDetector",
+    "FixD",
+    "FixDConfig",
+    "FixDReport",
+    "FaultResponseCoordinator",
+    "PeerResponse",
+    "CapabilityMatrix",
+    "ServiceKind",
+    "ToolCapability",
+    "default_matrix",
+    "BugReport",
+]

@@ -1,0 +1,62 @@
+"""Event records for the FixD pipeline: faults, rollbacks, investigations, healing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """An invariant violation observed by the fault detector."""
+
+    pid: str
+    invariant: str
+    detail: str
+    time: float
+    sequence: int
+
+    def describe(self) -> str:
+        return (
+            f"fault #{self.sequence}: invariant {self.invariant!r} violated at {self.pid} "
+            f"(t={self.time:.3f}): {self.detail}"
+        )
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One step of the recovery timeline (for reports and debugging)."""
+
+    time: float
+    stage: str          # "detect", "rollback", "collect", "investigate", "report", "heal"
+    description: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RecoveryTimeline:
+    """Ordered record of everything FixD did in response to a fault."""
+
+    events: List[TimelineEvent] = field(default_factory=list)
+
+    def add(self, time: float, stage: str, description: str, **data: Any) -> TimelineEvent:
+        event = TimelineEvent(time=time, stage=stage, description=description, data=dict(data))
+        self.events.append(event)
+        return event
+
+    def stages(self) -> List[str]:
+        return [event.stage for event in self.events]
+
+    def for_stage(self, stage: str) -> List[TimelineEvent]:
+        return [event for event in self.events if event.stage == stage]
+
+    def describe(self) -> str:
+        return "\n".join(
+            f"t={event.time:.3f} [{event.stage}] {event.description}" for event in self.events
+        )
+
+    def duration(self) -> float:
+        """Simulated time between the first and last recorded stage."""
+        if not self.events:
+            return 0.0
+        return self.events[-1].time - self.events[0].time

@@ -1,0 +1,259 @@
+"""The FixD controller: the end-to-end pipeline of the paper.
+
+:class:`FixD` is the object a developer attaches to a cluster to get the
+whole FixD behaviour without touching application code:
+
+* the **Scroll** records every nondeterministic action;
+* the **Time Machine** checkpoints transparently (communication-induced
+  by default) and can roll the system back to a consistent state;
+* the **fault detector** watches the processes' declared invariants;
+* on a fault, the **fault-response protocol** (Figure 4) assembles a
+  consistent global checkpoint and the peers' models, the
+  **Investigator** explores executions from that state and returns
+  violating trails, and a **bug report** is produced;
+* if the developer has registered a **patch**, the **Healer** applies it
+  using the configured recovery strategy (Figure 5) and the run
+  continues.
+
+Typical use::
+
+    cluster = Cluster(ClusterConfig(seed=7))
+    ... add processes ...
+    fixd = FixD()
+    fixd.attach(cluster)
+    result = cluster.run()
+    for report in fixd.reports:
+        print(report.bug_report.to_text())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.events import FaultEvent, RecoveryTimeline
+from repro.core.faults import FaultDetector
+from repro.core.protocol import FaultResponseCoordinator, ProtocolRun
+from repro.core.registry import CapabilityMatrix, default_matrix
+from repro.core.report import BugReport
+from repro.dsim.process import Process
+from repro.healer.healer import Healer, HealReport
+from repro.healer.patch import Patch
+from repro.healer.strategies import RecoveryStrategy
+from repro.investigator.investigator import InvestigationReport, Investigator, InvestigatorConfig
+from repro.scroll.interceptor import RecordingPolicy
+from repro.scroll.recorder import ScrollRecorder
+from repro.scroll.scroll import Scroll
+from repro.timemachine.rollback import RollbackResult
+from repro.timemachine.time_machine import CheckpointPolicy, TimeMachine, TimeMachineConfig
+
+ProcessFactory = Callable[[], Process]
+
+
+@dataclass
+class FixDConfig:
+    """Behaviour of the FixD controller."""
+
+    checkpoint_policy: CheckpointPolicy = CheckpointPolicy.COMMUNICATION_INDUCED
+    periodic_checkpoint_interval: int = 10
+    recording_policy: RecordingPolicy = field(default_factory=RecordingPolicy)
+    investigator: InvestigatorConfig = field(default_factory=InvestigatorConfig)
+    investigate_on_fault: bool = True
+    auto_rollback: bool = True
+    heal_strategy: RecoveryStrategy = RecoveryStrategy.RESUME_FROM_CHECKPOINT
+    max_faults_handled: int = 10
+    scroll_tail_length: int = 50
+
+
+@dataclass
+class FixDReport:
+    """Everything FixD produced in response to one fault."""
+
+    fault: FaultEvent
+    bug_report: BugReport
+    protocol_run: Optional[ProtocolRun] = None
+    rollback: Optional[RollbackResult] = None
+    investigation: Optional[InvestigationReport] = None
+    heal: Optional[HealReport] = None
+    handled: bool = False
+
+    @property
+    def healed(self) -> bool:
+        return self.heal is not None and self.heal.succeeded
+
+
+class FixD:
+    """The FixD tool: attach it to a cluster and it takes over fault handling."""
+
+    def __init__(self, config: Optional[FixDConfig] = None) -> None:
+        self.config = config or FixDConfig()
+        self.scroll = Scroll()
+        self.recorder = ScrollRecorder(self.scroll, self.config.recording_policy)
+        self.time_machine = TimeMachine(
+            TimeMachineConfig(
+                policy=self.config.checkpoint_policy,
+                periodic_interval=self.config.periodic_checkpoint_interval,
+            )
+        )
+        self.detector = FaultDetector()
+        self.investigator = Investigator(self.config.investigator)
+        self.reports: List[FixDReport] = []
+        self._cluster = None
+        self._coordinator: Optional[FaultResponseCoordinator] = None
+        self._healer: Optional[Healer] = None
+        self._patches: List[Patch] = []
+        self._model_overrides: Dict[str, ProcessFactory] = {}
+        self._environment_models: Dict[str, ProcessFactory] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, cluster) -> "FixD":
+        """Install the Scroll recorder, Time Machine, and fault detector on a cluster."""
+        self._cluster = cluster
+        cluster.add_hook(self.recorder)
+        self.time_machine.attach(cluster)
+        self.detector.add_responder(self._respond_to_fault)
+        cluster.add_hook(self.detector)
+        self._coordinator = FaultResponseCoordinator(
+            self.time_machine,
+            model_overrides=self._model_overrides,
+            environment_models=self._environment_models,
+        )
+        self._healer = Healer(cluster, self.time_machine)
+        return self
+
+    @property
+    def cluster(self):
+        if self._cluster is None:
+            raise RuntimeError("FixD is not attached to a cluster; call attach() first")
+        return self._cluster
+
+    # ------------------------------------------------------------------
+    # developer-facing registration
+    # ------------------------------------------------------------------
+    def register_patch(self, patch: Patch) -> None:
+        """Register the programmer's fix; it is applied by the Healer on the next fault."""
+        self._patches.append(patch)
+
+    def register_model_override(self, pid: str, factory: ProcessFactory) -> None:
+        """Use an abstract model instead of the real implementation for ``pid``."""
+        self._model_overrides[pid] = factory
+        if self._coordinator is not None:
+            self._coordinator.register_model_override(pid, factory)
+
+    def register_environment_model(self, name: str, factory: ProcessFactory) -> None:
+        """Model a component outside FixD's control (network, external service, ...)."""
+        self._environment_models[name] = factory
+        if self._coordinator is not None:
+            self._coordinator.register_environment_model(name, factory)
+
+    # ------------------------------------------------------------------
+    # the pipeline
+    # ------------------------------------------------------------------
+    def _respond_to_fault(self, fault: FaultEvent) -> bool:
+        if self._cluster is None or self._coordinator is None:
+            return False
+        if len(self.reports) >= self.config.max_faults_handled:
+            return False
+
+        timeline = RecoveryTimeline()
+        now = self._cluster.now
+        timeline.add(now, "detect", fault.describe())
+
+        # Figure 4, steps 1-4: roll back, notify, collect checkpoints + models.
+        protocol_run = self._coordinator.run(self._cluster, fault, scroll=self.scroll)
+        timeline.add(
+            self._cluster.now,
+            "collect",
+            f"collected {len(protocol_run.responses)} peer responses; "
+            f"recovery line consistent: {protocol_run.consistent}; "
+            f"{len(protocol_run.in_flight)} message(s) in flight at the line",
+        )
+
+        rollback: Optional[RollbackResult] = None
+        if self.config.auto_rollback:
+            rollback = self.time_machine.rollback_to(protocol_run.recovery_line)
+            timeline.add(
+                self._cluster.now,
+                "rollback",
+                f"rolled back {len(rollback.restored_pids)} processes "
+                f"(max distance {rollback.max_rollback_distance:.3f})",
+            )
+
+        investigation: Optional[InvestigationReport] = None
+        if self.config.investigate_on_fault:
+            investigation = self.investigator.investigate(
+                protocol_run.model_factories,
+                checkpoint=protocol_run.global_checkpoint,
+                in_flight=protocol_run.in_flight,
+            )
+            timeline.add(
+                self._cluster.now,
+                "investigate",
+                f"explored {investigation.states_explored} states, "
+                f"found {len(investigation.trails)} violating trail(s)",
+            )
+
+        bug_report = BugReport(
+            fault=fault,
+            scroll_tail=BugReport.build_scroll_tail(
+                self.scroll, self._cluster.pids, self.config.scroll_tail_length
+            ),
+            investigation=investigation,
+            timeline=timeline,
+            recovery_line_times={
+                pid: checkpoint.time
+                for pid, checkpoint in protocol_run.recovery_line.checkpoints.items()
+            },
+        )
+        timeline.add(self._cluster.now, "report", "bug report assembled")
+
+        heal_report: Optional[HealReport] = None
+        if self._patches and self._healer is not None:
+            patch = self._patches[-1]
+            heal_report = self._healer.heal(
+                patch,
+                strategy=self.config.heal_strategy,
+                recovery_line=protocol_run.recovery_line if self.config.auto_rollback else None,
+            )
+            bug_report.healed = heal_report.succeeded
+            timeline.add(
+                self._cluster.now,
+                "heal",
+                f"patch {patch.name!r} via {heal_report.strategy.value}: "
+                + ("succeeded" if heal_report.succeeded else "failed"),
+            )
+
+        handled = bool(self.config.auto_rollback or (heal_report and heal_report.succeeded))
+        report = FixDReport(
+            fault=fault,
+            bug_report=bug_report,
+            protocol_run=protocol_run,
+            rollback=rollback,
+            investigation=investigation,
+            heal=heal_report,
+            handled=handled,
+        )
+        self.reports.append(report)
+        return handled
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    @property
+    def last_report(self) -> Optional[FixDReport]:
+        return self.reports[-1] if self.reports else None
+
+    def capability_matrix(self) -> CapabilityMatrix:
+        """The Figure 8 matrix with FixD's row derived from this implementation."""
+        return default_matrix()
+
+    def stats(self) -> Dict[str, object]:
+        """One-call summary of what FixD recorded, checkpointed and handled."""
+        return {
+            "scroll_entries": len(self.scroll),
+            "faults_detected": self.detector.fault_count,
+            "faults_handled": len(self.reports),
+            "time_machine": self.time_machine.stats(),
+        }

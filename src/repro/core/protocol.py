@@ -1,0 +1,227 @@
+"""The fault-response protocol of Figure 4.
+
+When a process detects a fault:
+
+1. it uses the Time Machine to roll its own state back to a recent
+   checkpoint;
+2. it notifies every other process that an error occurred;
+3. each notified process replies with (a) a local checkpoint that
+   satisfies global consistency and (b) a model of its behaviour — which
+   may simply be its implementation;
+4. the detecting process assembles the replies into a consistent global
+   checkpoint and hands it, together with the models, to the
+   Investigator.
+
+In this reproduction the coordinator runs inside the FixD controller
+rather than as application-level messages (the control plane is out of
+band, like liblog's and Flashback's control channels), but each step is
+materialised explicitly so its cost can be measured and its artefacts
+inspected: notifications, per-peer responses, the consistency check on
+the assembled checkpoint, and the set of environment components that had
+to be modelled internally because they are outside FixD's control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.events import FaultEvent
+from repro.dsim.message import Message
+from repro.dsim.process import Process, ProcessCheckpoint
+from repro.errors import RecoveryLineError
+from repro.investigator.models import EnvironmentModel
+from repro.scroll.entry import ActionKind
+from repro.scroll.scroll import Scroll
+from repro.timemachine.checkpoint import GlobalCheckpoint
+from repro.timemachine.recovery_line import RecoveryLine, is_consistent
+from repro.timemachine.time_machine import TimeMachine
+
+ProcessFactory = Callable[[], Process]
+
+
+def reconstruct_in_flight(scroll: Scroll, line: RecoveryLine) -> List[Message]:
+    """Reconstruct the channel state at a recovery line from the Scroll.
+
+    A message is *in flight* at the line when its send is part of the
+    restored past (the sender's component of the send timestamp does not
+    exceed the sender's checkpoint) but its receipt is not (the receiver
+    either never received it or received it after its checkpoint).  These
+    are exactly the messages the Investigator must be allowed to deliver
+    when exploring executions from the restored global state.
+    """
+    receives_by_id = {}
+    for entry in scroll.of_kind(ActionKind.RECEIVE):
+        message = entry.detail.get("message")
+        if message and "msg_id" in message:
+            receives_by_id[message["msg_id"]] = entry
+
+    in_flight: List[Message] = []
+    for entry in scroll.of_kind(ActionKind.SEND):
+        record = entry.detail.get("message")
+        if not record or "msg_id" not in record:
+            continue
+        src, dst = record.get("src"), record.get("dst")
+        if src not in line.checkpoints or dst not in line.checkpoints:
+            continue
+        send_component = int(record.get("vt", {}).get(src, 0))
+        if send_component > line.checkpoints[src].vt.component(src):
+            continue  # the send itself was rolled back
+        receive_entry = receives_by_id.get(record["msg_id"])
+        if receive_entry is not None and receive_entry.vt is not None:
+            received_component = receive_entry.vt.component(dst)
+            if received_component <= line.checkpoints[dst].vt.component(dst):
+                continue  # the receipt is already reflected in the restored state
+        in_flight.append(Message.from_record(dict(record)))
+    return in_flight
+
+
+@dataclass
+class PeerResponse:
+    """One peer's reply to a fault notification: checkpoint + behaviour model."""
+
+    pid: str
+    checkpoint: ProcessCheckpoint
+    model_factory: ProcessFactory
+    is_environment_model: bool = False
+
+
+@dataclass
+class ProtocolRun:
+    """Everything the fault-response protocol produced for one fault."""
+
+    fault: FaultEvent
+    detecting_pid: str
+    notified_pids: List[str]
+    responses: Dict[str, PeerResponse]
+    global_checkpoint: GlobalCheckpoint
+    recovery_line: RecoveryLine
+    consistent: bool
+    modeled_environment: List[str] = field(default_factory=list)
+    in_flight: List[Message] = field(default_factory=list)
+
+    @property
+    def model_factories(self) -> Dict[str, ProcessFactory]:
+        return {pid: response.model_factory for pid, response in self.responses.items()}
+
+
+class FaultResponseCoordinator:
+    """Implements the Figure 4 exchange on top of the Time Machine's checkpoints."""
+
+    def __init__(
+        self,
+        time_machine: TimeMachine,
+        model_overrides: Optional[Dict[str, ProcessFactory]] = None,
+        environment_models: Optional[Dict[str, ProcessFactory]] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        time_machine:
+            Supplies each peer's local checkpoints and the recovery-line
+            computation that makes the assembled checkpoint consistent.
+        model_overrides:
+            Per-pid replacement model factories.  By default each peer's
+            model is its registered implementation class ("the model ...
+            could simply be the implementation of the process itself").
+        environment_models:
+            Models of components outside FixD's control (the local
+            environment of Figure 4); these participate in the
+            investigation but have no checkpoint of their own.
+        """
+        self._time_machine = time_machine
+        self._model_overrides = dict(model_overrides or {})
+        self._environment_models = dict(environment_models or {})
+
+    # ------------------------------------------------------------------
+    # protocol execution
+    # ------------------------------------------------------------------
+    def run(self, cluster, fault: FaultEvent, scroll: Optional[Scroll] = None) -> ProtocolRun:
+        """Execute the notify/collect/assemble exchange for ``fault``.
+
+        When a ``scroll`` is supplied, the channel state at the recovery
+        line (messages sent in the restored past but not yet received
+        there) is reconstructed from it and handed to the Investigator
+        along with the checkpoints.
+        """
+        detecting_pid = fault.pid
+        peers = [pid for pid in cluster.pids if pid != detecting_pid]
+
+        # Step 1-2: the detector rolls back and everyone is notified.  The
+        # rollback target is the latest consistent recovery line in which the
+        # detector's checkpoint predates the fault.
+        not_after = {detecting_pid: fault.time}
+        try:
+            line = self._time_machine.latest_recovery_line(not_after=not_after)
+        except RecoveryLineError:
+            # No bound-respecting line exists (e.g. the fault hit before any
+            # checkpoint): fall back to the unconstrained latest line.
+            line = self._time_machine.latest_recovery_line()
+
+        # Step 3: each peer replies with its checkpoint from that line and a
+        # model of its behaviour.
+        responses: Dict[str, PeerResponse] = {}
+        for pid in [detecting_pid, *peers]:
+            checkpoint = line.checkpoints.get(pid)
+            if checkpoint is None:
+                continue
+            factory = self._model_factory_for(cluster, pid)
+            responses[pid] = PeerResponse(
+                pid=pid,
+                checkpoint=checkpoint,
+                model_factory=factory,
+                is_environment_model=pid in self._environment_models,
+            )
+
+        # Step 4: assemble the consistent global checkpoint.
+        bundle = GlobalCheckpoint(label=f"fault-{fault.sequence}")
+        for response in responses.values():
+            bundle.add(response.checkpoint)
+        consistent = is_consistent(bundle.checkpoints)
+
+        # Components outside FixD's control are modelled internally.
+        modeled_environment = sorted(self._environment_models)
+        for pid, factory in self._environment_models.items():
+            if pid not in responses:
+                responses[pid] = PeerResponse(
+                    pid=pid,
+                    checkpoint=None,  # type: ignore[arg-type] - no checkpoint for the environment
+                    model_factory=factory,
+                    is_environment_model=True,
+                )
+
+        in_flight = reconstruct_in_flight(scroll, line) if scroll is not None else []
+
+        return ProtocolRun(
+            fault=fault,
+            detecting_pid=detecting_pid,
+            notified_pids=peers,
+            responses=responses,
+            global_checkpoint=bundle,
+            recovery_line=line,
+            consistent=consistent,
+            modeled_environment=modeled_environment,
+            in_flight=in_flight,
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _model_factory_for(self, cluster, pid: str) -> ProcessFactory:
+        if pid in self._model_overrides:
+            return self._model_overrides[pid]
+        if pid in self._environment_models:
+            return self._environment_models[pid]
+        factory = cluster._factories.get(pid)  # noqa: SLF001 - registered implementation
+        if factory is not None:
+            return factory
+        # The process was registered as an instance; model it as its class.
+        return type(cluster.process(pid))
+
+    def register_environment_model(self, name: str, factory: ProcessFactory) -> None:
+        """Add a model for a component outside FixD's control."""
+        self._environment_models[name] = factory
+
+    def register_model_override(self, pid: str, factory: ProcessFactory) -> None:
+        """Use an abstract model instead of the real implementation for ``pid``."""
+        self._model_overrides[pid] = factory

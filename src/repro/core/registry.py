@@ -1,0 +1,200 @@
+"""The Figure 8 capability matrix.
+
+Figure 8 of the paper classifies techniques and tools along five
+characteristics — *preventive*, *diagnostic*, *treatment*, *comprehensive*
+and *opportunistic* — and shows which of the five underlying mechanisms
+(model checking, logging, checkpoint & rollback, dynamic updates,
+speculations) each tool composes.
+
+This module reproduces that matrix programmatically.  Technique rows are
+declared to match the paper; the FixD row is *derived* from the
+components actually implemented in this library (which techniques are
+registered), so the fig8 benchmark both prints the paper's table and
+checks that the implemented system really provides every column the paper
+claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class ServiceKind(Enum):
+    """The five column headings of Figure 8."""
+
+    PREVENTIVE = "preventive"
+    DIAGNOSTIC = "diagnostic"
+    TREATMENT = "treatment"
+    COMPREHENSIVE = "comprehensive"
+    OPPORTUNISTIC = "opportunistic"
+
+
+class Technique(Enum):
+    """The five row mechanisms of Figure 8 (abbreviations as in the paper)."""
+
+    MODEL_CHECKING = "MC"
+    LOGGING = "L"
+    CHECKPOINT_ROLLBACK = "CR"
+    DYNAMIC_UPDATES = "DU"
+    SPECULATIONS = "S"
+
+
+@dataclass(frozen=True)
+class ToolCapability:
+    """One row of the matrix: a technique or tool and the services it provides."""
+
+    name: str
+    kind: str                      # "technique" or "tool"
+    services: frozenset
+    composed_of: Tuple[Technique, ...] = ()
+
+    def provides(self, service: ServiceKind) -> bool:
+        return service in self.services
+
+    def row(self) -> Dict[str, str]:
+        """Render the row as the paper does: a check mark or a dash per column."""
+        cells = {service.value: ("yes" if self.provides(service) else "-") for service in ServiceKind}
+        label = self.name
+        if self.composed_of:
+            label += " (" + " & ".join(technique.value for technique in self.composed_of) + ")"
+        return {"name": label, "kind": self.kind, **cells}
+
+
+#: The technique rows exactly as printed in Figure 8.
+PAPER_TECHNIQUES: Tuple[ToolCapability, ...] = (
+    ToolCapability(
+        "Model Checking", "technique",
+        frozenset({ServiceKind.PREVENTIVE, ServiceKind.COMPREHENSIVE}),
+        (Technique.MODEL_CHECKING,),
+    ),
+    ToolCapability(
+        "Logging", "technique",
+        frozenset({ServiceKind.DIAGNOSTIC, ServiceKind.OPPORTUNISTIC}),
+        (Technique.LOGGING,),
+    ),
+    ToolCapability(
+        "Checkpoint & Rollback", "technique",
+        frozenset({ServiceKind.OPPORTUNISTIC}),
+        (Technique.CHECKPOINT_ROLLBACK,),
+    ),
+    ToolCapability(
+        "Dynamic Updates", "technique",
+        frozenset({ServiceKind.TREATMENT}),
+        (Technique.DYNAMIC_UPDATES,),
+    ),
+    ToolCapability(
+        "Speculations", "technique",
+        frozenset({ServiceKind.TREATMENT, ServiceKind.OPPORTUNISTIC}),
+        (Technique.SPECULATIONS,),
+    ),
+)
+
+#: The comparison tool rows of Figure 8 (everything except FixD itself).
+PAPER_TOOLS: Tuple[ToolCapability, ...] = (
+    ToolCapability(
+        "liblog", "tool",
+        frozenset({ServiceKind.DIAGNOSTIC, ServiceKind.OPPORTUNISTIC}),
+        (Technique.LOGGING, Technique.CHECKPOINT_ROLLBACK),
+    ),
+    ToolCapability(
+        "CMC", "tool",
+        frozenset({ServiceKind.OPPORTUNISTIC}),
+        (Technique.MODEL_CHECKING,),
+    ),
+)
+
+#: The services the paper claims for FixD: every column.
+FIXD_CLAIMED_SERVICES = frozenset(ServiceKind)
+
+#: Which services each technique contributes to a composite tool.  Used to
+#: derive FixD's row from its implemented components.
+TECHNIQUE_SERVICE_CONTRIBUTION: Dict[Technique, frozenset] = {
+    Technique.MODEL_CHECKING: frozenset({ServiceKind.PREVENTIVE, ServiceKind.COMPREHENSIVE}),
+    Technique.LOGGING: frozenset({ServiceKind.DIAGNOSTIC, ServiceKind.OPPORTUNISTIC}),
+    Technique.CHECKPOINT_ROLLBACK: frozenset({ServiceKind.OPPORTUNISTIC}),
+    Technique.DYNAMIC_UPDATES: frozenset({ServiceKind.TREATMENT}),
+    Technique.SPECULATIONS: frozenset({ServiceKind.TREATMENT, ServiceKind.OPPORTUNISTIC}),
+}
+
+
+def derive_composite_capability(
+    name: str, techniques: Sequence[Technique], kind: str = "tool"
+) -> ToolCapability:
+    """Derive a composite tool's services from the techniques it composes."""
+    services: set = set()
+    for technique in techniques:
+        services |= TECHNIQUE_SERVICE_CONTRIBUTION[technique]
+    return ToolCapability(name, kind, frozenset(services), tuple(techniques))
+
+
+@dataclass
+class CapabilityMatrix:
+    """The full Figure 8 matrix: technique rows, tool rows, and FixD's derived row."""
+
+    rows: List[ToolCapability] = field(default_factory=list)
+
+    def add(self, capability: ToolCapability) -> None:
+        self.rows.append(capability)
+
+    def get(self, name: str) -> Optional[ToolCapability]:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        return None
+
+    def techniques(self) -> List[ToolCapability]:
+        return [row for row in self.rows if row.kind == "technique"]
+
+    def tools(self) -> List[ToolCapability]:
+        return [row for row in self.rows if row.kind == "tool"]
+
+    def to_table(self) -> List[Dict[str, str]]:
+        return [row.row() for row in self.rows]
+
+    def render(self) -> str:
+        """Plain-text rendering close to the paper's layout."""
+        headers = ["", *[service.value for service in ServiceKind]]
+        widths = [max(len(headers[0]), max((len(r.row()["name"]) for r in self.rows), default=0))]
+        widths += [max(len(h), 3) for h in headers[1:]]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+        for row in self.rows:
+            rendered = row.row()
+            cells = [rendered["name"].ljust(widths[0])]
+            for service, width in zip(ServiceKind, widths[1:]):
+                mark = "x" if rendered[service.value] == "yes" else "-"
+                cells.append(mark.ljust(width))
+            lines.append("  ".join(cells))
+        return "\n".join(lines)
+
+    def matches_paper_claim(self, name: str, claimed: frozenset) -> bool:
+        row = self.get(name)
+        return row is not None and row.services == claimed
+
+
+def default_matrix(implemented_techniques: Optional[Iterable[Technique]] = None) -> CapabilityMatrix:
+    """Build the Figure 8 matrix.
+
+    ``implemented_techniques`` defaults to all five — the full FixD
+    composition (model checking & logging & speculations & dynamic
+    updates, with checkpoint/rollback provided by the speculations).
+    """
+    matrix = CapabilityMatrix()
+    for row in PAPER_TECHNIQUES:
+        matrix.add(row)
+    for row in PAPER_TOOLS:
+        matrix.add(row)
+    techniques = list(
+        implemented_techniques
+        if implemented_techniques is not None
+        else [
+            Technique.MODEL_CHECKING,
+            Technique.LOGGING,
+            Technique.SPECULATIONS,
+            Technique.DYNAMIC_UPDATES,
+            Technique.CHECKPOINT_ROLLBACK,
+        ]
+    )
+    matrix.add(derive_composite_capability("FixD", techniques))
+    return matrix

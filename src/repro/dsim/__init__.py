@@ -1,0 +1,56 @@
+"""Deterministic distributed-system simulation substrate.
+
+The paper assumes a cluster of communicating OS processes.  This package
+provides the equivalent substrate in pure Python:
+
+* :mod:`repro.dsim.scheduler` — a deterministic discrete-event scheduler
+  with stable tie-breaking, so a run is a pure function of its seed and
+  the injected faults.
+* :mod:`repro.dsim.process` — the application programming model: event
+  handler classes with message handlers, timers, tracked local state and
+  invariant declarations.
+* :mod:`repro.dsim.channel` / :mod:`repro.dsim.network` — point-to-point
+  channels with configurable delay, loss, duplication, reordering and
+  partitions.
+* :mod:`repro.dsim.failure` — fault injection plans (crashes, channel
+  faults, state corruption).
+* :mod:`repro.dsim.cluster` — ties processes, network, scheduler and
+  hooks together and runs the simulation.
+* :mod:`repro.dsim.mp_backend` — an optional ``multiprocessing`` backend
+  that runs the same process classes on real OS processes.
+
+The FixD components attach to the simulator exclusively through the hook
+interfaces in :mod:`repro.dsim.hooks`, which keeps this substrate free of
+dependencies on the rest of the library.
+"""
+
+from repro.dsim.clock import LamportClock, VectorClock, happens_before
+from repro.dsim.cluster import Cluster, ClusterConfig, RunResult
+from repro.dsim.failure import CrashFault, FailurePlan, MessageFault, PartitionFault, StateCorruptionFault
+from repro.dsim.message import Message
+from repro.dsim.network import Network, NetworkConfig
+from repro.dsim.process import Process, ProcessContext, handler
+from repro.dsim.scheduler import Event, EventKind, Scheduler
+
+__all__ = [
+    "LamportClock",
+    "VectorClock",
+    "happens_before",
+    "Cluster",
+    "ClusterConfig",
+    "RunResult",
+    "CrashFault",
+    "FailurePlan",
+    "MessageFault",
+    "PartitionFault",
+    "StateCorruptionFault",
+    "Message",
+    "Network",
+    "NetworkConfig",
+    "Process",
+    "ProcessContext",
+    "handler",
+    "Event",
+    "EventKind",
+    "Scheduler",
+]

@@ -1,0 +1,499 @@
+"""The cluster: processes + network + scheduler + hooks, run to completion.
+
+:class:`Cluster` is the single entry point applications and the FixD
+runtime use to execute a distributed computation.  It owns the
+deterministic scheduler, the network, one context per process and the
+hook chain through which the Scroll, the Time Machine and the fault
+detector observe the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.dsim.channel import DeliveryOutcome
+from repro.dsim.clock import VectorTimestamp
+from repro.dsim.failure import (
+    CrashFault,
+    FailurePlan,
+    MessageFault,
+    MessageFaultEngine,
+    StateCorruptionFault,
+)
+from repro.dsim.hooks import HookChain, RuntimeHook
+from repro.dsim.message import Message
+from repro.dsim.network import Network, NetworkConfig
+from repro.dsim.process import Process, ProcessCheckpoint, ProcessContext
+from repro.dsim.rng import DeterministicRNG, derive_seed
+from repro.dsim.scheduler import Event, EventKind, Scheduler
+from repro.errors import InvariantViolation, SimulationError, UnknownProcessError
+
+ProcessFactory = Callable[[], Process]
+
+
+@dataclass
+class ClusterConfig:
+    """Run-wide configuration.
+
+    Attributes
+    ----------
+    seed:
+        Root seed from which every per-process and per-channel random
+        stream is derived.
+    max_time / max_events:
+        Hard limits on simulation time and executed events; a run that
+        hits either limit reports ``stopped_reason`` accordingly.
+    network:
+        Default channel behaviour (delay, jitter, loss, ...).
+    check_invariants:
+        When true (the default), every process's declared invariants are
+        evaluated after each of its handlers — this is FixD's fault
+        detection point.
+    halt_on_violation:
+        When true, an unhandled invariant violation stops the run and is
+        reported in the result; when false, the violation is recorded
+        and the run continues (useful to collect several violations).
+    raise_on_violation:
+        When true, an unhandled violation is re-raised to the caller
+        instead of being recorded.  Mostly used by small unit tests.
+    """
+
+    seed: int = 0
+    max_time: float = 1_000_000.0
+    max_events: int = 1_000_000
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    check_invariants: bool = True
+    halt_on_violation: bool = True
+    raise_on_violation: bool = False
+
+
+@dataclass
+class ViolationRecord:
+    """An invariant violation observed during a run."""
+
+    pid: str
+    invariant: str
+    detail: str
+    time: float
+    handled: bool
+
+
+@dataclass
+class TraceRecord:
+    """One line of the cluster's built-in execution trace."""
+
+    time: float
+    pid: str
+    action: str
+    detail: str
+
+
+@dataclass
+class RunResult:
+    """Summary of a completed (or halted) run."""
+
+    events_executed: int
+    final_time: float
+    stopped_reason: str
+    violations: List[ViolationRecord]
+    network_stats: Dict[str, int]
+    process_states: Dict[str, Dict[str, Any]]
+    trace: List[TraceRecord]
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed with no unhandled violations."""
+        return not any(not v.handled for v in self.violations)
+
+    def violations_for(self, pid: str) -> List[ViolationRecord]:
+        return [v for v in self.violations if v.pid == pid]
+
+
+class Cluster:
+    """A simulated cluster of communicating processes."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        self.scheduler = Scheduler()
+        self.network = Network(self.config.network, seed=derive_seed(self.config.seed, "network"))
+        self.hooks = HookChain()
+        self._processes: Dict[str, Process] = {}
+        self._factories: Dict[str, ProcessFactory] = {}
+        self._failure_plan = FailurePlan()
+        self._fault_engine: Optional[MessageFaultEngine] = None
+        self._violations: List[ViolationRecord] = []
+        self._trace: List[TraceRecord] = []
+        self._halted = False
+        self._halt_reason = ""
+        self._started = False
+        self._timer_events: Dict[Tuple[str, str], List[Event]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_process(self, pid: str, process: Union[Process, ProcessFactory]) -> Process:
+        """Register a process (an instance or a zero-argument factory)."""
+        if self._started:
+            raise SimulationError("cannot add processes after the run has started")
+        if pid in self._processes:
+            raise SimulationError(f"duplicate process id {pid!r}")
+        instance = process() if callable(process) and not isinstance(process, Process) else process
+        if not isinstance(instance, Process):
+            raise TypeError("add_process expects a Process instance or factory")
+        self._processes[pid] = instance
+        if callable(process) and not isinstance(process, Process):
+            self._factories[pid] = process  # kept for restart-from-scratch recovery
+        self.network.register_process(pid)
+        return instance
+
+    def add_processes(self, prefix: str, count: int, factory: ProcessFactory) -> List[str]:
+        """Register ``count`` processes named ``prefix0 .. prefixN-1``."""
+        pids = []
+        for index in range(count):
+            pid = f"{prefix}{index}"
+            self.add_process(pid, factory)
+            pids.append(pid)
+        return pids
+
+    def add_hook(self, hook: RuntimeHook) -> None:
+        """Install a runtime hook (Scroll recorder, checkpoint policy, ...)."""
+        self.hooks.add(hook)
+        hook.attach(self)
+
+    def set_failure_plan(self, plan: FailurePlan) -> None:
+        """Install the fault-injection plan for this run."""
+        self._failure_plan = plan
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    @property
+    def pids(self) -> List[str]:
+        return sorted(self._processes)
+
+    def process(self, pid: str) -> Process:
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise UnknownProcessError(pid) from None
+
+    def processes(self) -> Dict[str, Process]:
+        return dict(self._processes)
+
+    @property
+    def violations(self) -> List[ViolationRecord]:
+        return list(self._violations)
+
+    @property
+    def trace(self) -> List[TraceRecord]:
+        return list(self._trace)
+
+    # ------------------------------------------------------------------
+    # process context plumbing
+    # ------------------------------------------------------------------
+    def _make_context(self, pid: str) -> ProcessContext:
+        all_pids = tuple(sorted(self._processes))
+        rng = DeterministicRNG(derive_seed(self.config.seed, "process", pid))
+        return ProcessContext(
+            pid=pid,
+            peers=all_pids,
+            send_fn=self._submit_message,
+            timer_fn=lambda name, delay, payload, _pid=pid: self._set_timer(_pid, name, delay, payload),
+            cancel_timer_fn=lambda name, _pid=pid: self._cancel_timer(_pid, name),
+            now_fn=lambda: self.scheduler.now,
+            rng=rng,
+            record_random_fn=lambda p, method, value: self.hooks.on_random(
+                p, method, value, self.scheduler.now
+            ),
+            record_clock_fn=lambda p, value: self.hooks.on_clock_read(p, value),
+            log_fn=lambda p, text: self._record_trace(p, "log", text),
+        )
+
+    def _record_trace(self, pid: str, action: str, detail: str) -> None:
+        self._trace.append(TraceRecord(self.scheduler.now, pid, action, detail))
+
+    # ------------------------------------------------------------------
+    # messaging and timers
+    # ------------------------------------------------------------------
+    def _submit_message(self, message: Message) -> None:
+        now = self.scheduler.now
+        self.hooks.on_send(message.src, message, now)
+        self._record_trace(message.src, "send", message.describe())
+
+        fault = self._fault_engine.decide(message, now) if self._fault_engine else None
+        if fault is not None and fault.kind == "drop":
+            self.hooks.on_drop(message, now)
+            self._record_trace(message.src, "fault-drop", message.describe())
+            return
+
+        plans = self.network.route(message, now)
+        for outcome, deliver_at, planned in plans:
+            if outcome is DeliveryOutcome.DROP or deliver_at is None:
+                self.hooks.on_drop(planned, now)
+                self._record_trace(planned.src, "drop", planned.describe())
+                continue
+            if outcome is DeliveryOutcome.DUPLICATE:
+                self.hooks.on_duplicate(planned, now)
+                self._record_trace(planned.src, "duplicate", planned.describe())
+            if fault is not None and fault.kind == "delay":
+                deliver_at += fault.extra_delay
+            if fault is not None and fault.kind == "duplicate":
+                copy = planned.as_duplicate()
+                self.hooks.on_duplicate(copy, now)
+                self.scheduler.schedule_at(deliver_at, EventKind.DELIVER, copy.dst, copy)
+            self.scheduler.schedule_at(deliver_at, EventKind.DELIVER, planned.dst, planned)
+
+    def _set_timer(self, pid: str, name: str, delay: float, payload: Any) -> None:
+        event = self.scheduler.schedule(delay, EventKind.TIMER, pid, (name, payload))
+        self._timer_events.setdefault((pid, name), []).append(event)
+
+    def _cancel_timer(self, pid: str, name: str) -> None:
+        for event in self._timer_events.pop((pid, name), []):
+            self.scheduler.cancel(event)
+
+    # ------------------------------------------------------------------
+    # fault plan materialisation
+    # ------------------------------------------------------------------
+    def _install_failure_plan(self) -> None:
+        plan = self._failure_plan
+        self._fault_engine = MessageFaultEngine(plan.message_faults)
+        for crash in plan.crashes:
+            self.scheduler.schedule_at(crash.at, EventKind.CRASH, crash.pid, crash)
+            if crash.recover_at is not None:
+                self.scheduler.schedule_at(crash.recover_at, EventKind.RECOVER, crash.pid, crash)
+        for partition in plan.partitions:
+            self.network.add_partition(partition.to_partition())
+        for corruption in plan.corruptions:
+            self.scheduler.schedule_at(corruption.at, EventKind.CORRUPT, corruption.pid, corruption)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bind contexts, install the fault plan and run every ``on_start``."""
+        if self._started:
+            return
+        if not self._processes:
+            raise SimulationError("cannot run an empty cluster")
+        self._started = True
+        self._install_failure_plan()
+        for pid in sorted(self._processes):
+            process = self._processes[pid]
+            process.bind(self._make_context(pid))
+        self.hooks.on_run_start(self.scheduler.now)
+        for pid in sorted(self._processes):
+            process = self._processes[pid]
+            process.on_start()
+            self._after_handler(pid, "on_start")
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> RunResult:
+        """Run the cluster until quiescence, a limit, or a halting violation."""
+        self.start()
+        time_limit = min(until if until is not None else self.config.max_time, self.config.max_time)
+        event_limit = min(
+            max_events if max_events is not None else self.config.max_events, self.config.max_events
+        )
+        executed = 0
+        reason = "quiescent"
+        while not self._halted:
+            if executed >= event_limit:
+                reason = "event-limit"
+                break
+            next_time = self.scheduler.peek_time()
+            if next_time is None:
+                reason = "quiescent"
+                break
+            if next_time > time_limit:
+                reason = "time-limit"
+                break
+            event = self.scheduler.pop_next()
+            if event is None:
+                reason = "quiescent"
+                break
+            self._execute(event)
+            executed += 1
+        if self._halted:
+            reason = self._halt_reason or "halted"
+        for process in self._processes.values():
+            if not process.crashed:
+                process.on_stop()
+        self.hooks.on_run_end(self.scheduler.now)
+        return RunResult(
+            events_executed=executed,
+            final_time=self.scheduler.now,
+            stopped_reason=reason,
+            violations=list(self._violations),
+            network_stats=self.network.stats,
+            process_states={pid: dict(p.state) for pid, p in self._processes.items()},
+            trace=list(self._trace),
+        )
+
+    def halt(self, reason: str = "halted") -> None:
+        """Stop the run loop after the current event."""
+        self._halted = True
+        self._halt_reason = reason
+
+    def resume(self) -> None:
+        """Clear a previous halt so the run loop can be re-entered."""
+        self._halted = False
+        self._halt_reason = ""
+
+    # ------------------------------------------------------------------
+    # event execution
+    # ------------------------------------------------------------------
+    def _execute(self, event: Event) -> None:
+        if event.kind is EventKind.DELIVER:
+            self._execute_delivery(event)
+        elif event.kind is EventKind.TIMER:
+            self._execute_timer(event)
+        elif event.kind is EventKind.CRASH:
+            self._execute_crash(event)
+        elif event.kind is EventKind.RECOVER:
+            self._execute_recover(event)
+        elif event.kind is EventKind.CORRUPT:
+            self._execute_corruption(event)
+        elif event.kind is EventKind.CONTROL:
+            callback = event.payload
+            if callable(callback):
+                callback()
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {event.kind!r}")
+
+    def _execute_delivery(self, event: Event) -> None:
+        message: Message = event.payload
+        process = self.process(event.target)
+        if process.crashed:
+            self._record_trace(event.target, "dead-letter", message.describe())
+            return
+        now = self.scheduler.now
+        self.hooks.before_receive(event.target, message, now)
+        self._record_trace(event.target, "receive", message.describe())
+        process.deliver(message)
+        self.hooks.on_receive(event.target, message, now)
+        self._after_handler(event.target, f"deliver {message.kind}")
+
+    def _execute_timer(self, event: Event) -> None:
+        name, payload = event.payload
+        process = self.process(event.target)
+        if process.crashed:
+            return
+        self.hooks.on_timer(event.target, name, self.scheduler.now)
+        self._record_trace(event.target, "timer", name)
+        process.fire_timer(name, payload)
+        self._after_handler(event.target, f"timer {name}")
+
+    def _execute_crash(self, event: Event) -> None:
+        process = self.process(event.target)
+        if process.crashed:
+            return
+        process.mark_crashed()
+        # Cancel the crashed process's deliveries and timers, but leave any
+        # scheduled RECOVER event in place so the process can come back.
+        self.scheduler.cancel_for_target(event.target, EventKind.DELIVER)
+        self.scheduler.cancel_for_target(event.target, EventKind.TIMER)
+        self._timer_events = {
+            key: events for key, events in self._timer_events.items() if key[0] != event.target
+        }
+        self.hooks.on_crash(event.target, self.scheduler.now)
+        self._record_trace(event.target, "crash", "process crashed")
+
+    def _execute_recover(self, event: Event) -> None:
+        process = self.process(event.target)
+        if not process.crashed:
+            return
+        process.mark_recovered()
+        self.hooks.on_recover(event.target, self.scheduler.now)
+        self._record_trace(event.target, "recover", "process recovered")
+        self._after_handler(event.target, "on_recover")
+
+    def _execute_corruption(self, event: Event) -> None:
+        fault: StateCorruptionFault = event.payload
+        process = self.process(event.target)
+        if process.crashed:
+            return
+        fault.mutator(process.state)
+        self.hooks.on_corruption(event.target, fault.description, self.scheduler.now)
+        self._record_trace(event.target, "corrupt", fault.description)
+        self._after_handler(event.target, "corruption")
+
+    def _after_handler(self, pid: str, description: str) -> None:
+        """Post-handler bookkeeping: invariant checks and hook notification."""
+        now = self.scheduler.now
+        self.hooks.after_handler(pid, description, now)
+        if not self.config.check_invariants:
+            return
+        process = self.process(pid)
+        try:
+            process.check_invariants()
+        except InvariantViolation as violation:
+            handled = bool(
+                self.hooks.on_invariant_violation(pid, violation.name, violation.detail, now)
+            )
+            self._violations.append(
+                ViolationRecord(pid, violation.name, violation.detail, now, handled)
+            )
+            self._record_trace(pid, "violation", f"{violation.name}: {violation.detail}")
+            if handled:
+                return
+            if self.config.raise_on_violation:
+                raise
+            if self.config.halt_on_violation:
+                self.halt(f"invariant-violation:{violation.name}@{pid}")
+
+    # ------------------------------------------------------------------
+    # checkpointing / rollback support used by the Time Machine and FixD
+    # ------------------------------------------------------------------
+    def capture_checkpoint(self, pid: str) -> ProcessCheckpoint:
+        """Snapshot one process's local state at the current time."""
+        return self.process(pid).capture_checkpoint(self.scheduler.now)
+
+    def capture_all(self) -> Dict[str, ProcessCheckpoint]:
+        """Snapshot every live process (a *local* checkpoint set, not yet a recovery line)."""
+        return {pid: self.capture_checkpoint(pid) for pid in self.pids}
+
+    def restore_checkpoints(
+        self, checkpoints: Dict[str, ProcessCheckpoint], clear_in_flight: bool = True
+    ) -> None:
+        """Restore a set of per-process checkpoints (a rollback).
+
+        ``clear_in_flight`` cancels all pending deliveries and timers for
+        the restored processes — messages sent after the restored states
+        no longer exist in the rolled-back world.
+        """
+        for pid, checkpoint in checkpoints.items():
+            process = self.process(pid)
+            process.restore_checkpoint(checkpoint)
+            if clear_in_flight:
+                self.scheduler.cancel_for_target(pid)
+                self._timer_events = {
+                    key: events for key, events in self._timer_events.items() if key[0] != pid
+                }
+            self._record_trace(pid, "rollback", f"restored checkpoint #{checkpoint.sequence}")
+
+    def restart_process(self, pid: str) -> Process:
+        """Replace a process with a brand new instance (restart-from-scratch).
+
+        Only possible for processes registered through a factory.
+        """
+        factory = self._factories.get(pid)
+        if factory is None:
+            raise SimulationError(
+                f"process {pid!r} was registered as an instance; restart-from-scratch "
+                "requires a factory"
+            )
+        fresh = factory()
+        self._processes[pid] = fresh
+        fresh.bind(self._make_context(pid))
+        self.scheduler.cancel_for_target(pid)
+        fresh.on_start()
+        self._record_trace(pid, "restart", "restarted from initial state")
+        return fresh
+
+    def global_vector_time(self) -> Dict[str, VectorTimestamp]:
+        """Current vector timestamp of every process."""
+        return {pid: process.vector_timestamp for pid, process in self._processes.items()}

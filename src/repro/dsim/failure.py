@@ -1,0 +1,168 @@
+"""Fault injection: the faults FixD is supposed to detect and recover from.
+
+A :class:`FailurePlan` is a declarative description of everything that
+will go wrong during a run: process crashes (with optional recovery),
+targeted message faults, network partitions and state corruption.  The
+cluster materialises the plan into scheduler events before the run
+starts, so injected faults are part of the deterministic schedule and are
+therefore reproducible and replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.dsim.message import Message
+from repro.dsim.network import Partition
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Crash process ``pid`` at time ``at``; optionally recover it later.
+
+    A crashed process stops executing handlers and all its pending
+    deliveries and timers are cancelled.  If ``recover_at`` is given the
+    process is restarted at that time, either from its initial state
+    (``recover_from_checkpoint=False``) or from its most recent local
+    checkpoint if a checkpoint hook is installed.
+    """
+
+    pid: str
+    at: float
+    recover_at: Optional[float] = None
+    recover_from_checkpoint: bool = True
+
+    def __post_init__(self) -> None:
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ValueError("recovery must happen strictly after the crash")
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Drop, duplicate or delay messages matching a predicate.
+
+    ``kind`` selects the fault flavour (``"drop"``, ``"duplicate"`` or
+    ``"delay"``); ``match_kind``/``match_src``/``match_dst`` narrow which
+    messages are affected; ``count`` bounds how many matching messages
+    are hit (``None`` means all of them); ``extra_delay`` applies to the
+    ``"delay"`` flavour.
+    """
+
+    kind: str
+    match_kind: Optional[str] = None
+    match_src: Optional[str] = None
+    match_dst: Optional[str] = None
+    count: Optional[int] = None
+    extra_delay: float = 0.0
+    after: float = 0.0
+
+    _VALID = ("drop", "duplicate", "delay")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._VALID:
+            raise ValueError(f"message fault kind must be one of {self._VALID}, got {self.kind!r}")
+        if self.kind == "delay" and self.extra_delay <= 0:
+            raise ValueError("delay faults need a positive extra_delay")
+
+    def matches(self, message: Message, time: float) -> bool:
+        """True when this fault applies to ``message`` sent at ``time``."""
+        if time < self.after:
+            return False
+        if self.match_kind is not None and message.kind != self.match_kind:
+            return False
+        if self.match_src is not None and message.src != self.match_src:
+            return False
+        if self.match_dst is not None and message.dst != self.match_dst:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """Partition the network into ``groups`` during ``[start, end)``."""
+
+    groups: Sequence[Sequence[str]]
+    start: float
+    end: float
+
+    def to_partition(self) -> Partition:
+        return Partition(self.groups, self.start, self.end)
+
+
+@dataclass(frozen=True)
+class StateCorruptionFault:
+    """Apply ``mutator`` to the local state of ``pid`` at time ``at``.
+
+    This models the "software bug" class of faults — the state silently
+    becomes wrong and only an invariant check can notice.  The mutator
+    receives the process's state dictionary and mutates it in place.
+    """
+
+    pid: str
+    at: float
+    mutator: Callable[[Dict], None]
+    description: str = "state corruption"
+
+
+@dataclass
+class FailurePlan:
+    """The complete set of faults injected into one run."""
+
+    crashes: List[CrashFault] = field(default_factory=list)
+    message_faults: List[MessageFault] = field(default_factory=list)
+    partitions: List[PartitionFault] = field(default_factory=list)
+    corruptions: List[StateCorruptionFault] = field(default_factory=list)
+
+    def add(self, fault) -> "FailurePlan":
+        """Add any fault object to the plan (fluent style)."""
+        if isinstance(fault, CrashFault):
+            self.crashes.append(fault)
+        elif isinstance(fault, MessageFault):
+            self.message_faults.append(fault)
+        elif isinstance(fault, PartitionFault):
+            self.partitions.append(fault)
+        elif isinstance(fault, StateCorruptionFault):
+            self.corruptions.append(fault)
+        else:
+            raise TypeError(f"unsupported fault type: {type(fault).__name__}")
+        return self
+
+    def is_empty(self) -> bool:
+        return not (self.crashes or self.message_faults or self.partitions or self.corruptions)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts per fault category, for reports."""
+        return {
+            "crashes": len(self.crashes),
+            "message_faults": len(self.message_faults),
+            "partitions": len(self.partitions),
+            "corruptions": len(self.corruptions),
+        }
+
+
+class MessageFaultEngine:
+    """Applies :class:`MessageFault` rules to outgoing messages.
+
+    The engine is consulted by the cluster before a message is handed to
+    the network; it tracks per-rule hit counts so bounded faults stop
+    firing once exhausted.
+    """
+
+    def __init__(self, faults: Sequence[MessageFault]) -> None:
+        self._faults = list(faults)
+        self._hits: Dict[int, int] = {index: 0 for index in range(len(self._faults))}
+
+    def decide(self, message: Message, time: float) -> Optional[MessageFault]:
+        """Return the first applicable fault for ``message``, if any."""
+        for index, fault in enumerate(self._faults):
+            if fault.count is not None and self._hits[index] >= fault.count:
+                continue
+            if fault.matches(message, time):
+                self._hits[index] += 1
+                return fault
+        return None
+
+    def hit_counts(self) -> Dict[int, int]:
+        """Per-rule hit counters (rule index -> hits)."""
+        return dict(self._hits)

@@ -1,0 +1,171 @@
+"""Hook interfaces through which FixD components observe the simulator.
+
+The simulator knows nothing about logging, checkpointing or model
+checking.  Instead, the cluster accepts any number of *runtime hooks*
+implementing (a subset of) :class:`RuntimeHook` and calls them at every
+interesting point of the execution:
+
+* the Scroll's recorder subscribes to sends, deliveries, drops, timer
+  firings and random draws — the nondeterministic actions of Figure 1;
+* the Time Machine's checkpoint policies subscribe to
+  ``before_receive``/``after_handler`` to take communication-induced or
+  periodic checkpoints;
+* the FixD fault detector subscribes to ``on_invariant_violation``.
+
+Hooks are plain objects; the default implementations do nothing, so a
+hook only overrides the notifications it cares about.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.dsim.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.dsim.cluster import Cluster
+
+
+class RuntimeHook:
+    """Base class for simulator observers.  All notifications are optional."""
+
+    def attach(self, cluster: "Cluster") -> None:
+        """Called once when the hook is installed on a cluster."""
+
+    # -- message lifecycle ------------------------------------------------
+    def on_send(self, pid: str, message: Message, time: float) -> None:
+        """A process handed ``message`` to the network."""
+
+    def before_receive(self, pid: str, message: Message, time: float) -> None:
+        """``message`` is about to be delivered to ``pid`` (checkpoint point)."""
+
+    def on_receive(self, pid: str, message: Message, time: float) -> None:
+        """``message`` was delivered to ``pid`` and its handler ran."""
+
+    def on_drop(self, message: Message, time: float) -> None:
+        """The network dropped ``message``."""
+
+    def on_duplicate(self, message: Message, time: float) -> None:
+        """The network duplicated ``message``."""
+
+    # -- local nondeterminism --------------------------------------------
+    def on_timer(self, pid: str, name: str, time: float) -> None:
+        """A timer named ``name`` fired at ``pid``."""
+
+    def on_random(self, pid: str, method: str, value: object, time: float) -> None:
+        """A process drew ``value`` from its random stream via ``method``."""
+
+    def on_clock_read(self, pid: str, value: float) -> None:
+        """A process read the simulation clock."""
+
+    # -- handler lifecycle -------------------------------------------------
+    def after_handler(self, pid: str, description: str, time: float) -> None:
+        """A message/timer handler finished executing at ``pid``."""
+
+    # -- faults -----------------------------------------------------------
+    def on_crash(self, pid: str, time: float) -> None:
+        """``pid`` crashed."""
+
+    def on_recover(self, pid: str, time: float) -> None:
+        """``pid`` recovered from a crash."""
+
+    def on_corruption(self, pid: str, description: str, time: float) -> None:
+        """Injected state corruption was applied at ``pid``."""
+
+    def on_invariant_violation(self, pid: str, name: str, detail: str, time: float) -> Optional[bool]:
+        """An invariant failed at ``pid``.
+
+        Returning ``True`` tells the cluster the violation was *handled*
+        (e.g. FixD initiated recovery) and the run may continue;
+        returning ``False`` or ``None`` lets the cluster apply its
+        default policy (halt or raise, per configuration).
+        """
+        return None
+
+    # -- run lifecycle ------------------------------------------------------
+    def on_run_start(self, time: float) -> None:
+        """The cluster is about to start executing events."""
+
+    def on_run_end(self, time: float) -> None:
+        """The cluster stopped executing events (quiescence, limit or halt)."""
+
+
+class HookChain(RuntimeHook):
+    """Fans every notification out to an ordered list of hooks.
+
+    For :meth:`on_invariant_violation` the chain returns ``True`` as soon
+    as any hook reports the violation handled.
+    """
+
+    def __init__(self, hooks: Optional[list] = None) -> None:
+        self.hooks: list[RuntimeHook] = list(hooks or [])
+
+    def add(self, hook: RuntimeHook) -> None:
+        self.hooks.append(hook)
+
+    def attach(self, cluster: "Cluster") -> None:
+        for hook in self.hooks:
+            hook.attach(cluster)
+
+    def on_send(self, pid, message, time):
+        for hook in self.hooks:
+            hook.on_send(pid, message, time)
+
+    def before_receive(self, pid, message, time):
+        for hook in self.hooks:
+            hook.before_receive(pid, message, time)
+
+    def on_receive(self, pid, message, time):
+        for hook in self.hooks:
+            hook.on_receive(pid, message, time)
+
+    def on_drop(self, message, time):
+        for hook in self.hooks:
+            hook.on_drop(message, time)
+
+    def on_duplicate(self, message, time):
+        for hook in self.hooks:
+            hook.on_duplicate(message, time)
+
+    def on_timer(self, pid, name, time):
+        for hook in self.hooks:
+            hook.on_timer(pid, name, time)
+
+    def on_random(self, pid, method, value, time):
+        for hook in self.hooks:
+            hook.on_random(pid, method, value, time)
+
+    def on_clock_read(self, pid, value):
+        for hook in self.hooks:
+            hook.on_clock_read(pid, value)
+
+    def after_handler(self, pid, description, time):
+        for hook in self.hooks:
+            hook.after_handler(pid, description, time)
+
+    def on_crash(self, pid, time):
+        for hook in self.hooks:
+            hook.on_crash(pid, time)
+
+    def on_recover(self, pid, time):
+        for hook in self.hooks:
+            hook.on_recover(pid, time)
+
+    def on_corruption(self, pid, description, time):
+        for hook in self.hooks:
+            hook.on_corruption(pid, description, time)
+
+    def on_invariant_violation(self, pid, name, detail, time):
+        handled = False
+        for hook in self.hooks:
+            result = hook.on_invariant_violation(pid, name, detail, time)
+            handled = handled or bool(result)
+        return handled
+
+    def on_run_start(self, time):
+        for hook in self.hooks:
+            hook.on_run_start(time)
+
+    def on_run_end(self, time):
+        for hook in self.hooks:
+            hook.on_run_end(time)

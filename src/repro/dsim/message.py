@@ -1,0 +1,121 @@
+"""Messages exchanged between simulated processes.
+
+A :class:`Message` is the unit of interaction the Scroll records and the
+Time Machine reasons about.  Besides the obvious addressing fields it
+carries:
+
+* the sender's vector timestamp (``vt``) — used to reconstruct
+  happens-before and to validate recovery lines;
+* the set of speculation ids it is *tainted* with (``speculations``) —
+  a process that receives a speculative message is absorbed into the
+  speculation (Section 4.2) and must roll back if that speculation is
+  aborted;
+* a monotonically increasing ``msg_id`` assigned by the network, giving a
+  stable identity for logging, deduplication and fault targeting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, Optional
+
+from repro.dsim.clock import VectorTimestamp
+
+_message_counter = itertools.count(1)
+
+
+def _next_message_id() -> int:
+    return next(_message_counter)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message in flight between two processes.
+
+    Attributes
+    ----------
+    src, dst:
+        Process ids of the sender and the receiver.
+    kind:
+        Application-level message type, e.g. ``"PUT"`` or ``"PREPARE"``.
+        Handlers are dispatched on this field.
+    payload:
+        Arbitrary picklable application data.
+    msg_id:
+        Unique id assigned when the message enters the network.
+    send_time:
+        Simulation time at which the message was sent.
+    vt:
+        Sender's vector timestamp at send time.
+    lamport:
+        Sender's Lamport timestamp at send time.
+    speculations:
+        Ids of the speculations this message is tainted with.  Receivers
+        are absorbed into every speculation listed here.
+    duplicate_of:
+        When the network duplicates a message, the copy records the
+        original id here so the Scroll can attribute it to a fault.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any = None
+    msg_id: int = field(default_factory=_next_message_id)
+    send_time: float = 0.0
+    vt: VectorTimestamp = field(default_factory=VectorTimestamp)
+    lamport: int = 0
+    speculations: FrozenSet[str] = frozenset()
+    duplicate_of: Optional[int] = None
+
+    def with_taint(self, speculation_ids: FrozenSet[str]) -> "Message":
+        """Return a copy tainted with the given speculation ids."""
+        if not speculation_ids:
+            return self
+        return replace(self, speculations=self.speculations | frozenset(speculation_ids))
+
+    def as_duplicate(self) -> "Message":
+        """Return a duplicate copy with a fresh id, marked as such."""
+        return replace(self, msg_id=_next_message_id(), duplicate_of=self.msg_id)
+
+    def describe(self) -> str:
+        """Short human-readable description used by traces and bug reports."""
+        return f"#{self.msg_id} {self.src}->{self.dst} {self.kind}"
+
+    def to_record(self) -> Dict[str, Any]:
+        """Serialize the message to a plain dictionary (for the Scroll)."""
+        return {
+            "msg_id": self.msg_id,
+            "src": self.src,
+            "dst": self.dst,
+            "kind": self.kind,
+            "payload": self.payload,
+            "send_time": self.send_time,
+            "vt": self.vt.as_dict(),
+            "lamport": self.lamport,
+            "speculations": sorted(self.speculations),
+            "duplicate_of": self.duplicate_of,
+        }
+
+    @staticmethod
+    def from_record(record: Dict[str, Any]) -> "Message":
+        """Rebuild a message from :meth:`to_record` output."""
+        return Message(
+            src=record["src"],
+            dst=record["dst"],
+            kind=record["kind"],
+            payload=record.get("payload"),
+            msg_id=record["msg_id"],
+            send_time=record.get("send_time", 0.0),
+            vt=VectorTimestamp.from_mapping(record.get("vt", {})),
+            lamport=record.get("lamport", 0),
+            speculations=frozenset(record.get("speculations", ())),
+            duplicate_of=record.get("duplicate_of"),
+        )
+
+
+def reset_message_ids() -> None:
+    """Reset the global message id counter (used by tests for determinism)."""
+    global _message_counter
+    _message_counter = itertools.count(1)

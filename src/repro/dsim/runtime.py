@@ -1,0 +1,186 @@
+"""Generic runtime hooks built on the simulator's hook interface.
+
+These hooks have no dependency on the FixD components; they provide the
+reusable observation machinery that the Scroll recorder, checkpoint
+policies and fault detector specialise:
+
+* :class:`TraceHook` — collects a flat, timestamped list of every
+  observable action (the raw material for bug reports).
+* :class:`StatsHook` — per-process counters (messages, timers, random
+  draws, crashes), used by benchmarks to quantify overhead.
+* :class:`PeriodicActionHook` — invokes a callback every N completed
+  handlers of a process; the uncoordinated/periodic checkpoint policy is
+  a one-line specialisation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.dsim.hooks import RuntimeHook
+from repro.dsim.message import Message
+
+
+@dataclass
+class ActionRecord:
+    """One observed action, in a shape shared by traces and reports."""
+
+    time: float
+    pid: str
+    category: str
+    detail: str
+    payload: Any = None
+
+
+class TraceHook(RuntimeHook):
+    """Collects every notification into a flat list of :class:`ActionRecord`."""
+
+    def __init__(self) -> None:
+        self.records: List[ActionRecord] = []
+
+    def _add(self, time: float, pid: str, category: str, detail: str, payload: Any = None) -> None:
+        self.records.append(ActionRecord(time, pid, category, detail, payload))
+
+    def on_send(self, pid, message, time):
+        self._add(time, pid, "send", message.describe(), message)
+
+    def on_receive(self, pid, message, time):
+        self._add(time, pid, "receive", message.describe(), message)
+
+    def on_drop(self, message, time):
+        self._add(time, message.src, "drop", message.describe(), message)
+
+    def on_duplicate(self, message, time):
+        self._add(time, message.src, "duplicate", message.describe(), message)
+
+    def on_timer(self, pid, name, time):
+        self._add(time, pid, "timer", name)
+
+    def on_random(self, pid, method, value, time):
+        self._add(time, pid, "random", f"{method}={value!r}")
+
+    def on_crash(self, pid, time):
+        self._add(time, pid, "crash", "process crashed")
+
+    def on_recover(self, pid, time):
+        self._add(time, pid, "recover", "process recovered")
+
+    def on_corruption(self, pid, description, time):
+        self._add(time, pid, "corruption", description)
+
+    def on_invariant_violation(self, pid, name, detail, time):
+        self._add(time, pid, "violation", f"{name}: {detail}")
+        return None
+
+    def by_process(self) -> Dict[str, List[ActionRecord]]:
+        """Group the trace per process id."""
+        grouped: Dict[str, List[ActionRecord]] = defaultdict(list)
+        for record in self.records:
+            grouped[record.pid].append(record)
+        return dict(grouped)
+
+    def by_category(self, category: str) -> List[ActionRecord]:
+        """All records of one category, in time order."""
+        return [record for record in self.records if record.category == category]
+
+
+class StatsHook(RuntimeHook):
+    """Per-process counters of observable activity."""
+
+    def __init__(self) -> None:
+        self.sent: Dict[str, int] = defaultdict(int)
+        self.received: Dict[str, int] = defaultdict(int)
+        self.dropped: int = 0
+        self.duplicated: int = 0
+        self.timers: Dict[str, int] = defaultdict(int)
+        self.random_draws: Dict[str, int] = defaultdict(int)
+        self.crashes: Dict[str, int] = defaultdict(int)
+        self.violations: Dict[str, int] = defaultdict(int)
+        self.handlers: Dict[str, int] = defaultdict(int)
+
+    def on_send(self, pid, message, time):
+        self.sent[pid] += 1
+
+    def on_receive(self, pid, message, time):
+        self.received[pid] += 1
+
+    def on_drop(self, message, time):
+        self.dropped += 1
+
+    def on_duplicate(self, message, time):
+        self.duplicated += 1
+
+    def on_timer(self, pid, name, time):
+        self.timers[pid] += 1
+
+    def on_random(self, pid, method, value, time):
+        self.random_draws[pid] += 1
+
+    def on_crash(self, pid, time):
+        self.crashes[pid] += 1
+
+    def on_invariant_violation(self, pid, name, detail, time):
+        self.violations[pid] += 1
+        return None
+
+    def after_handler(self, pid, description, time):
+        self.handlers[pid] += 1
+
+    def totals(self) -> Dict[str, int]:
+        """Aggregate counters over all processes."""
+        return {
+            "sent": sum(self.sent.values()),
+            "received": sum(self.received.values()),
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "timers": sum(self.timers.values()),
+            "random_draws": sum(self.random_draws.values()),
+            "crashes": sum(self.crashes.values()),
+            "violations": sum(self.violations.values()),
+            "handlers": sum(self.handlers.values()),
+        }
+
+
+class PeriodicActionHook(RuntimeHook):
+    """Invoke ``action(pid, time)`` every ``period`` completed handlers of a process.
+
+    The uncoordinated (periodic) checkpoint policy of the Time Machine is
+    implemented by passing a callback that captures a local checkpoint.
+    """
+
+    def __init__(self, period: int, action: Callable[[str, float], None]) -> None:
+        if period <= 0:
+            raise ValueError("period must be a positive number of handler completions")
+        self.period = period
+        self.action = action
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def after_handler(self, pid, description, time):
+        self._counts[pid] += 1
+        if self._counts[pid] % self.period == 0:
+            self.action(pid, time)
+
+
+class LatencyProbeHook(RuntimeHook):
+    """Measures message latency (delivery time minus send time) per channel."""
+
+    def __init__(self) -> None:
+        self._send_times: Dict[int, float] = {}
+        self.latencies: Dict[tuple, List[float]] = defaultdict(list)
+
+    def on_send(self, pid, message: Message, time):
+        self._send_times[message.msg_id] = time
+
+    def on_receive(self, pid, message: Message, time):
+        sent = self._send_times.pop(message.msg_id, None)
+        if sent is not None:
+            self.latencies[(message.src, message.dst)].append(time - sent)
+
+    def mean_latency(self) -> Optional[float]:
+        """Mean latency over all delivered messages, or None if nothing delivered."""
+        values = [value for series in self.latencies.values() for value in series]
+        if not values:
+            return None
+        return sum(values) / len(values)

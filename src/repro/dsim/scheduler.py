@@ -1,0 +1,180 @@
+"""Deterministic discrete-event scheduler.
+
+Every run of the simulator is a pure function of ``(programs, seed,
+fault plan)``.  Determinism comes from three properties of this
+scheduler:
+
+1. events are ordered by ``(time, sequence number)`` where the sequence
+   number is assigned at scheduling time, so ties are broken stably;
+2. all randomness (delays, drops, application draws) flows through the
+   seeded streams in :mod:`repro.dsim.rng`;
+3. event execution never consults wall-clock time.
+
+The Investigator relies on this: re-running a prefix of the schedule from
+a checkpoint reproduces the original execution exactly, and exploring a
+*different* schedule is an explicit, controlled perturbation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.errors import SimulationError
+
+
+class EventKind(Enum):
+    """The kinds of events the scheduler understands."""
+
+    DELIVER = "deliver"          # a message arrives at its destination
+    TIMER = "timer"              # a process timer fires
+    CRASH = "crash"              # fault injection: process crash
+    RECOVER = "recover"          # fault injection: process recovery
+    CORRUPT = "corrupt"          # fault injection: state corruption
+    CONTROL = "control"          # runtime-internal control action (checkpoint, probe)
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event.
+
+    Ordering is by ``(time, seq)`` only; the payload fields are excluded
+    from comparison so that events carrying unorderable payloads can
+    still be queued.
+    """
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    target: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def describe(self) -> str:
+        """One-line description used in traces."""
+        return f"t={self.time:.3f} {self.kind.value} -> {self.target}"
+
+
+class Scheduler:
+    """A priority-queue scheduler with stable tie-breaking and cancellation."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._executed = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, kind: EventKind, target: str, payload: Any = None) -> Event:
+        """Schedule an event ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} time units in the past")
+        return self.schedule_at(self._now + delay, kind, target, payload)
+
+    def schedule_at(self, time: float, kind: EventKind, target: str, payload: Any = None) -> Event:
+        """Schedule an event at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time} which is before now (t={self._now})"
+            )
+        event = Event(time=float(time), seq=next(self._sequence), kind=kind, target=target, payload=payload)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (it will be skipped)."""
+        event.cancelled = True
+
+    def cancel_for_target(self, target: str, kind: Optional[EventKind] = None) -> int:
+        """Cancel all pending events for ``target`` (optionally of one kind).
+
+        Used when a process crashes or is rolled back: its in-flight
+        timers and deliveries no longer make sense.
+        Returns the number of events cancelled.
+        """
+        cancelled = 0
+        for event in self._queue:
+            if event.cancelled or event.target != target:
+                continue
+            if kind is not None and event.kind is not kind:
+                continue
+            event.cancelled = True
+            cancelled += 1
+        return cancelled
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def pop_next(self) -> Optional[Event]:
+        """Pop and return the next non-cancelled event, advancing time.
+
+        Returns ``None`` when the queue is exhausted.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue produced an event from the past")
+            self._now = event.time
+            self._executed += 1
+            return event
+        return None
+
+    def pending(self, kind: Optional[EventKind] = None) -> List[Event]:
+        """All non-cancelled queued events in execution order (optionally one kind)."""
+        events = sorted(event for event in self._queue if not event.cancelled)
+        if kind is not None:
+            events = [event for event in events if event.kind is kind]
+        return events
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next pending event without executing it."""
+        for event in sorted(self._queue):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def drain(self, until: Optional[float] = None) -> Iterator[Event]:
+        """Yield events in order until the queue empties or ``until`` is passed."""
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                return
+            event = self.pop_next()
+            if event is None:
+                return
+            yield event
+
+    def reset_to(self, time: float) -> None:
+        """Discard all pending events and rewind the clock (used on global rollback)."""
+        self._queue.clear()
+        self._now = float(time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Scheduler(now={self._now}, pending={self.pending_events})"

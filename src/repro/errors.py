@@ -1,0 +1,106 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+Keeping the hierarchy in one module lets callers catch a single base
+class (:class:`ReproError`) while still being able to distinguish the
+failure domains the paper talks about: simulation problems, invariant
+violations detected at runtime, checkpoint/rollback failures, model
+checking limits, and unsafe dynamic updates.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The simulator was asked to do something inconsistent.
+
+    Examples: sending to an unknown process, scheduling an event in the
+    past, running a cluster that was never built.
+    """
+
+
+class UnknownProcessError(SimulationError):
+    """A message or fault referenced a process id that does not exist."""
+
+    def __init__(self, pid: str) -> None:
+        super().__init__(f"unknown process id: {pid!r}")
+        self.pid = pid
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant declared by an application process failed.
+
+    This is the ``fault'' of the paper's Section 3: detection of an
+    invariant violation is what triggers the Time Machine rollback and
+    the Investigator run.
+    """
+
+    def __init__(self, name: str, pid: str | None = None, detail: str = "") -> None:
+        message = f"invariant {name!r} violated"
+        if pid is not None:
+            message += f" at process {pid!r}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.name = name
+        self.pid = pid
+        self.detail = detail
+
+
+class CheckpointError(ReproError):
+    """Checkpoint creation, lookup or restoration failed."""
+
+
+class RecoveryLineError(CheckpointError):
+    """No globally consistent recovery line could be constructed."""
+
+
+class SpeculationError(ReproError):
+    """Misuse of the speculation API (commit/abort without begin, etc.)."""
+
+
+class ReplayDivergenceError(ReproError):
+    """A replayed execution diverged from the recorded Scroll.
+
+    Raised when the replayer observes an action that does not match the
+    next recorded entry — the analogue of liblog detecting that replay
+    left the recorded path.
+    """
+
+    def __init__(self, pid: str, expected: object, actual: object) -> None:
+        super().__init__(
+            f"replay diverged at process {pid!r}: expected {expected!r}, observed {actual!r}"
+        )
+        self.pid = pid
+        self.expected = expected
+        self.actual = actual
+
+
+class ModelCheckingError(ReproError):
+    """The model checking engine was configured or driven incorrectly."""
+
+
+class StateSpaceLimitExceeded(ModelCheckingError):
+    """Exploration hit the configured state or memory budget.
+
+    The paper (Section 2.1) points out that exhaustive exploration of a
+    distributed system becomes infeasible beyond a handful of processes;
+    this error is how the engine reports hitting that wall instead of
+    exhausting host memory.
+    """
+
+    def __init__(self, limit: int, kind: str = "states") -> None:
+        super().__init__(f"state space exploration exceeded the budget of {limit} {kind}")
+        self.limit = limit
+        self.kind = kind
+
+
+class UpdateSafetyError(ReproError):
+    """A dynamic software update could not be proven safe to apply."""
+
+
+class PatchApplicationError(ReproError):
+    """Applying a patch to a running process failed."""

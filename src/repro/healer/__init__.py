@@ -1,0 +1,44 @@
+"""The Healer: dynamic software update and recovery (Sections 3.4 / 4.4, Figure 5).
+
+After the Investigator hands the programmer the trails that lead to an
+invariant violation, the programmer produces a fix.  The Healer is the
+component that gets that fix into the running system.  Two recovery
+strategies are supported, exactly as the paper lays out:
+
+* **restart from scratch** — the classic option: replace the code and
+  start over from the initial state, discarding all completed work;
+* **resume from checkpoint** — roll the system back to a consistent
+  checkpoint where all invariants hold, dynamically update the running
+  processes in place (Ginseng-style patches with state mapping and
+  safety checks), and continue, preserving the computation performed
+  before the fault.
+
+The package provides patch representation and generation
+(:mod:`repro.healer.patch`), state mapping (:mod:`repro.healer.state_mapping`),
+update-point safety analysis (:mod:`repro.healer.safety`), the dynamic
+updater itself (:mod:`repro.healer.dsu`), the two recovery strategies
+(:mod:`repro.healer.strategies`) and the :class:`~repro.healer.healer.Healer`
+facade FixD drives.
+"""
+
+from repro.healer.dsu import DynamicUpdater, UpdateRecord
+from repro.healer.healer import Healer, HealReport
+from repro.healer.patch import Patch, generate_patch
+from repro.healer.safety import SafetyVerdict, UpdateSafetyChecker
+from repro.healer.state_mapping import StateMapping, identity_mapping
+from repro.healer.strategies import RecoveryOutcome, RecoveryStrategy
+
+__all__ = [
+    "DynamicUpdater",
+    "UpdateRecord",
+    "Healer",
+    "HealReport",
+    "Patch",
+    "generate_patch",
+    "SafetyVerdict",
+    "UpdateSafetyChecker",
+    "StateMapping",
+    "identity_mapping",
+    "RecoveryOutcome",
+    "RecoveryStrategy",
+]

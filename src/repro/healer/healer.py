@@ -1,0 +1,106 @@
+"""The Healer facade (Figure 5): human fix + automatic recovery.
+
+The Healer is handed the programmer's :class:`~repro.healer.patch.Patch`
+(the human part of Figure 5) and drives the automatic part: choosing and
+executing a recovery strategy, with safety checks, and reporting what was
+preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.healer.patch import Patch
+from repro.healer.strategies import (
+    RecoveryOutcome,
+    RecoveryStrategy,
+    restart_from_scratch,
+    resume_from_checkpoint,
+)
+from repro.timemachine.recovery_line import RecoveryLine
+from repro.timemachine.time_machine import TimeMachine
+
+
+@dataclass
+class HealReport:
+    """The outcome of a healing attempt."""
+
+    patch_name: str
+    outcome: RecoveryOutcome
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def strategy(self) -> RecoveryStrategy:
+        return self.outcome.strategy
+
+    @property
+    def succeeded(self) -> bool:
+        if self.outcome.strategy is RecoveryStrategy.RESTART_FROM_SCRATCH:
+            return True
+        return self.outcome.all_updates_applied
+
+    def describe(self) -> str:
+        lines = [
+            f"Healing with patch {self.patch_name!r} via {self.strategy.value}: "
+            + ("succeeded" if self.succeeded else "failed"),
+            f"  processes: {', '.join(self.outcome.pids)}",
+            f"  simulated time preserved: {self.outcome.total_preserved_time:.1f}",
+            f"  simulated time lost: {self.outcome.total_lost_time:.1f}",
+        ]
+        for record in self.outcome.updates:
+            status = "applied" if record.applied else "refused"
+            lines.append(f"  update {record.pid}: {status} ({record.old_class} -> {record.new_class})")
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+class Healer:
+    """Chooses and executes a recovery strategy for a given patch."""
+
+    def __init__(self, cluster, time_machine: Optional[TimeMachine] = None) -> None:
+        self._cluster = cluster
+        self._time_machine = time_machine
+        self.reports: List[HealReport] = []
+
+    # ------------------------------------------------------------------
+    # strategies
+    # ------------------------------------------------------------------
+    def heal(
+        self,
+        patch: Patch,
+        strategy: RecoveryStrategy = RecoveryStrategy.RESUME_FROM_CHECKPOINT,
+        recovery_line: Optional[RecoveryLine] = None,
+        force: bool = False,
+    ) -> HealReport:
+        """Apply ``patch`` using the requested strategy and record the report."""
+        notes: List[str] = []
+        if strategy is RecoveryStrategy.RESUME_FROM_CHECKPOINT:
+            if self._time_machine is None:
+                notes.append(
+                    "no Time Machine available: falling back to restart-from-scratch"
+                )
+                strategy = RecoveryStrategy.RESTART_FROM_SCRATCH
+        if strategy is RecoveryStrategy.RESUME_FROM_CHECKPOINT:
+            outcome = resume_from_checkpoint(
+                self._cluster, self._time_machine, patch, recovery_line=recovery_line, force=force
+            )
+            if not outcome.all_updates_applied:
+                notes.append(
+                    "some in-place updates were refused by the safety checker; "
+                    "re-run with force=True or restart those processes"
+                )
+        else:
+            outcome = restart_from_scratch(self._cluster, patch)
+        report = HealReport(patch_name=patch.name, outcome=outcome, notes=notes)
+        self.reports.append(report)
+        return report
+
+    def heal_with_best_strategy(self, patch: Patch, force: bool = False) -> HealReport:
+        """Prefer resume-from-checkpoint, fall back to restart if updates are refused."""
+        report = self.heal(patch, RecoveryStrategy.RESUME_FROM_CHECKPOINT, force=force)
+        if report.succeeded:
+            return report
+        fallback = self.heal(patch, RecoveryStrategy.RESTART_FROM_SCRATCH)
+        fallback.notes.append("resume-from-checkpoint failed; restarted from scratch instead")
+        return fallback

@@ -1,0 +1,205 @@
+"""Patches: the unit of dynamic software update.
+
+A :class:`Patch` bundles everything needed to move running processes from
+one code version to the next:
+
+* the replacement :class:`~repro.dsim.process.Process` subclass,
+* the :class:`~repro.healer.state_mapping.StateMapping` that carries the
+  old state into the new layout,
+* which process ids the patch targets, and
+* bookkeeping (version labels, a human description of the fix).
+
+:func:`generate_patch` plays the role of Ginseng's *patch generator*: it
+diffs two versions of a process class, reports which handlers, timers and
+invariants changed, and builds a patch with a sensible default state
+mapping (identity, or "add defaults" when the caller supplies defaults
+for new state fields).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Type
+
+from repro.dsim.process import Process
+from repro.errors import UpdateSafetyError
+from repro.healer.state_mapping import StateMapping, add_defaults_mapping, identity_mapping
+
+
+@dataclass(frozen=True)
+class CodeDiff:
+    """What changed between two versions of a process class."""
+
+    added_methods: tuple
+    removed_methods: tuple
+    changed_methods: tuple
+    added_handlers: tuple
+    removed_handlers: tuple
+    changed_handlers: tuple
+
+    @property
+    def is_empty(self) -> bool:
+        return not any(
+            (
+                self.added_methods,
+                self.removed_methods,
+                self.changed_methods,
+                self.added_handlers,
+                self.removed_handlers,
+                self.changed_handlers,
+            )
+        )
+
+    def describe(self) -> str:
+        parts: List[str] = []
+        if self.changed_handlers:
+            parts.append(f"changed handlers: {', '.join(self.changed_handlers)}")
+        if self.added_handlers:
+            parts.append(f"new handlers: {', '.join(self.added_handlers)}")
+        if self.removed_handlers:
+            parts.append(f"removed handlers: {', '.join(self.removed_handlers)}")
+        if self.changed_methods:
+            parts.append(f"changed methods: {', '.join(self.changed_methods)}")
+        if self.added_methods:
+            parts.append(f"new methods: {', '.join(self.added_methods)}")
+        if self.removed_methods:
+            parts.append(f"removed methods: {', '.join(self.removed_methods)}")
+        return "; ".join(parts) if parts else "no code changes"
+
+
+@dataclass
+class Patch:
+    """A dynamic software update for one or more processes."""
+
+    name: str
+    new_class: Type[Process]
+    old_class: Optional[Type[Process]] = None
+    target_pids: Sequence[str] = ()
+    state_mapping: StateMapping = field(default_factory=identity_mapping)
+    from_version: str = "v1"
+    to_version: str = "v2"
+    description: str = ""
+    diff: Optional[CodeDiff] = None
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.new_class, type) and issubclass(self.new_class, Process)):
+            raise UpdateSafetyError("a patch's new_class must be a Process subclass")
+
+    def targets(self, pid: str) -> bool:
+        """True when the patch applies to ``pid`` (an empty target list means all)."""
+        return not self.target_pids or pid in self.target_pids
+
+    def describe(self) -> str:
+        lines = [
+            f"Patch {self.name!r}: {self.from_version} -> {self.to_version}",
+            f"  replacement class: {self.new_class.__name__}",
+        ]
+        if self.description:
+            lines.append(f"  fix: {self.description}")
+        if self.diff is not None:
+            lines.append(f"  diff: {self.diff.describe()}")
+        if self.target_pids:
+            lines.append(f"  targets: {', '.join(self.target_pids)}")
+        if self.state_mapping.description:
+            lines.append(f"  state mapping: {self.state_mapping.description}")
+        return "\n".join(lines)
+
+
+def _method_sources(cls: Type[Process]) -> Dict[str, str]:
+    """Source text per method defined directly on ``cls`` (not inherited)."""
+    sources: Dict[str, str] = {}
+    for name, member in vars(cls).items():
+        if name.startswith("__") or not callable(member):
+            continue
+        try:
+            sources[name] = inspect.getsource(member)
+        except (OSError, TypeError):
+            sources[name] = repr(member)
+    return sources
+
+
+def _handler_kinds(cls: Type[Process]) -> Dict[str, str]:
+    """Message kind -> method name for every handler defined on ``cls``."""
+    kinds: Dict[str, str] = {}
+    for klass in cls.__mro__:
+        for name, member in vars(klass).items():
+            kind = getattr(member, "_repro_handles_kind", None)
+            if kind is not None and kind not in kinds:
+                kinds[kind] = name
+    return kinds
+
+
+def diff_classes(old_class: Type[Process], new_class: Type[Process]) -> CodeDiff:
+    """Compute which methods and handlers changed between two process versions."""
+    old_sources = _method_sources(old_class)
+    new_sources = _method_sources(new_class)
+    added = tuple(sorted(set(new_sources) - set(old_sources)))
+    removed = tuple(sorted(set(old_sources) - set(new_sources)))
+    changed = tuple(
+        sorted(
+            name
+            for name in set(old_sources) & set(new_sources)
+            if old_sources[name] != new_sources[name]
+        )
+    )
+    old_handlers = _handler_kinds(old_class)
+    new_handlers = _handler_kinds(new_class)
+    added_handlers = tuple(sorted(set(new_handlers) - set(old_handlers)))
+    removed_handlers = tuple(sorted(set(old_handlers) - set(new_handlers)))
+    changed_handlers = tuple(
+        sorted(
+            kind
+            for kind in set(old_handlers) & set(new_handlers)
+            if old_handlers[kind] in changed or new_handlers[kind] in changed
+        )
+    )
+    return CodeDiff(
+        added_methods=added,
+        removed_methods=removed,
+        changed_methods=changed,
+        added_handlers=added_handlers,
+        removed_handlers=removed_handlers,
+        changed_handlers=changed_handlers,
+    )
+
+
+def generate_patch(
+    old_class: Type[Process],
+    new_class: Type[Process],
+    name: Optional[str] = None,
+    target_pids: Sequence[str] = (),
+    new_state_defaults: Optional[Dict[str, Any]] = None,
+    state_mapping: Optional[StateMapping] = None,
+    description: str = "",
+    from_version: str = "v1",
+    to_version: str = "v2",
+) -> Patch:
+    """Ginseng-style patch generation: diff two versions and build the patch.
+
+    When ``new_state_defaults`` is given, the default state mapping adds
+    those fields to the old state; otherwise the identity mapping is
+    used.  Callers with structural state changes pass an explicit
+    ``state_mapping``.
+    """
+    diff = diff_classes(old_class, new_class)
+    if diff.is_empty and old_class is not new_class:
+        # Same source text — still a legitimate patch (e.g. constant tables
+        # changed), but surface the oddity in the description.
+        description = description or "no source-level differences detected"
+    if state_mapping is None:
+        if new_state_defaults:
+            state_mapping = add_defaults_mapping(new_state_defaults)
+        else:
+            state_mapping = identity_mapping()
+    return Patch(
+        name=name or f"{old_class.__name__}->{new_class.__name__}",
+        new_class=new_class,
+        old_class=old_class,
+        target_pids=tuple(target_pids),
+        state_mapping=state_mapping,
+        from_version=from_version,
+        to_version=to_version,
+        description=description,
+        diff=diff,
+    )

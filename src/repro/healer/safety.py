@@ -1,0 +1,139 @@
+"""Update-point safety analysis.
+
+Ginseng's contribution is making dynamic updates *safe*: an update may
+only be applied at points where the old and new versions agree about the
+state, and where no in-flight activity still depends on the old code.
+This module reproduces those checks for the simulator's world:
+
+1. **quiescence** — the target process must not be executing a handler
+   (always true between simulator events) and, optionally, must have no
+   messages in flight addressed to it whose kind is handled differently
+   by the new version ("con-freeness" for changed handlers);
+2. **state mappability** — the declared state mapping must apply cleanly
+   to the process's current state;
+3. **invariant preservation** — the mapped state must satisfy the
+   invariants declared by the *new* version of the code (the paper's
+   "dynamically updating the process does not ... invalidate any
+   invariants").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.dsim.process import Process, ProcessContext
+from repro.dsim.rng import DeterministicRNG
+from repro.dsim.scheduler import EventKind
+from repro.errors import InvariantViolation, UpdateSafetyError
+from repro.healer.patch import Patch
+
+
+@dataclass
+class SafetyVerdict:
+    """The outcome of a safety analysis for one (process, patch) pair."""
+
+    pid: str
+    safe: bool
+    reasons: List[str] = field(default_factory=list)
+    mapped_state: Optional[Dict[str, Any]] = None
+
+    def describe(self) -> str:
+        status = "SAFE" if self.safe else "UNSAFE"
+        lines = [f"update of {self.pid}: {status}"]
+        lines.extend(f"  - {reason}" for reason in self.reasons)
+        return "\n".join(lines)
+
+
+class UpdateSafetyChecker:
+    """Checks whether a patch can be applied to a process right now."""
+
+    def __init__(self, require_no_inflight_for_changed_handlers: bool = True) -> None:
+        self.require_no_inflight_for_changed_handlers = require_no_inflight_for_changed_handlers
+
+    # ------------------------------------------------------------------
+    # individual checks
+    # ------------------------------------------------------------------
+    def _check_inflight(self, cluster, pid: str, patch: Patch) -> Optional[str]:
+        if not self.require_no_inflight_for_changed_handlers or patch.diff is None:
+            return None
+        changed = set(patch.diff.changed_handlers) | set(patch.diff.removed_handlers)
+        if not changed:
+            return None
+        pending = [
+            event.payload
+            for event in cluster.scheduler.pending(EventKind.DELIVER)
+            if event.target == pid and event.payload.kind in changed
+        ]
+        if pending:
+            kinds = sorted({message.kind for message in pending})
+            return (
+                f"{len(pending)} in-flight message(s) of changed kind(s) {', '.join(kinds)} "
+                f"are still addressed to {pid}"
+            )
+        return None
+
+    def _check_state_mapping(self, process: Process, patch: Patch) -> tuple:
+        try:
+            mapped = patch.state_mapping.apply(dict(process.state))
+            return mapped, None
+        except UpdateSafetyError as error:
+            return None, f"state mapping failed: {error}"
+
+    def _check_new_version_invariants(
+        self, pid: str, patch: Patch, mapped_state: Dict[str, Any]
+    ) -> Optional[str]:
+        probe = patch.new_class()
+        probe.bind(
+            ProcessContext(
+                pid=pid,
+                peers=(pid,),
+                send_fn=lambda message: None,
+                timer_fn=lambda name, delay, payload: None,
+                cancel_timer_fn=lambda name: None,
+                now_fn=lambda: 0.0,
+                rng=DeterministicRNG(0),
+            )
+        )
+        probe.state = dict(mapped_state)
+        try:
+            probe.check_invariants()
+        except InvariantViolation as violation:
+            return f"mapped state violates new-version invariant {violation.name!r}"
+        return None
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def check(self, cluster, pid: str, patch: Patch) -> SafetyVerdict:
+        """Run every safety check; the verdict lists each failure reason."""
+        reasons: List[str] = []
+        process = cluster.process(pid)
+        if process.crashed:
+            reasons.append("process is crashed; restart it instead of updating it in place")
+
+        inflight_reason = self._check_inflight(cluster, pid, patch)
+        if inflight_reason is not None:
+            reasons.append(inflight_reason)
+
+        mapped_state, mapping_reason = self._check_state_mapping(process, patch)
+        if mapping_reason is not None:
+            reasons.append(mapping_reason)
+
+        if mapped_state is not None:
+            invariant_reason = self._check_new_version_invariants(pid, patch, mapped_state)
+            if invariant_reason is not None:
+                reasons.append(invariant_reason)
+
+        if not reasons:
+            reasons.append("quiescent, state mapping applies cleanly, new-version invariants hold")
+        return SafetyVerdict(
+            pid=pid,
+            safe=not any(
+                reason
+                for reason in reasons
+                if not reason.startswith("quiescent")
+            ),
+            reasons=reasons,
+            mapped_state=mapped_state,
+        )

@@ -1,0 +1,97 @@
+"""State mappings: carrying a process's state across a code update.
+
+Ginseng's central safety problem is that the new code may expect a
+different state layout than the old code left behind.  A
+:class:`StateMapping` is an explicit, checkable transformer from the old
+state dictionary to the new one, together with the properties the result
+must satisfy (required keys, per-key types, and an optional equivalence
+predicate relating old and new state — the paper's "state equivalence is
+guaranteed" condition for ModelD-based updates).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Type
+
+from repro.errors import UpdateSafetyError
+
+
+@dataclass
+class StateMapping:
+    """A verified transformation of process state across versions."""
+
+    transform: Callable[[Dict[str, Any]], Dict[str, Any]]
+    required_keys: Tuple[str, ...] = ()
+    key_types: Mapping[str, type] = field(default_factory=dict)
+    equivalence: Optional[Callable[[Dict[str, Any], Dict[str, Any]], bool]] = None
+    description: str = ""
+
+    def apply(self, old_state: Dict[str, Any]) -> Dict[str, Any]:
+        """Transform ``old_state`` and verify the result; raises on any failure."""
+        new_state = self.transform(copy.deepcopy(old_state))
+        if not isinstance(new_state, dict):
+            raise UpdateSafetyError(
+                f"state mapping must produce a dict, got {type(new_state).__name__}"
+            )
+        self.verify(old_state, new_state)
+        return new_state
+
+    def verify(self, old_state: Dict[str, Any], new_state: Dict[str, Any]) -> None:
+        """Check the mapped state against the declared requirements."""
+        for key in self.required_keys:
+            if key not in new_state:
+                raise UpdateSafetyError(f"mapped state is missing required key {key!r}")
+        for key, expected_type in self.key_types.items():
+            if key in new_state and not isinstance(new_state[key], expected_type):
+                raise UpdateSafetyError(
+                    f"mapped state key {key!r} has type {type(new_state[key]).__name__}, "
+                    f"expected {expected_type.__name__}"
+                )
+        if self.equivalence is not None and not self.equivalence(old_state, new_state):
+            raise UpdateSafetyError(
+                "state mapping violated the declared old/new state equivalence"
+            )
+
+
+def identity_mapping(
+    required_keys: Tuple[str, ...] = (), description: str = "identity"
+) -> StateMapping:
+    """The mapping that keeps the state unchanged (layout-compatible updates)."""
+    return StateMapping(
+        transform=lambda state: state,
+        required_keys=required_keys,
+        description=description,
+    )
+
+
+def add_defaults_mapping(defaults: Dict[str, Any], description: str = "") -> StateMapping:
+    """A mapping that adds new fields with default values (the common upgrade shape)."""
+
+    def transform(state: Dict[str, Any]) -> Dict[str, Any]:
+        for key, value in defaults.items():
+            state.setdefault(key, copy.deepcopy(value))
+        return state
+
+    return StateMapping(
+        transform=transform,
+        required_keys=tuple(defaults),
+        description=description or f"add defaults for {sorted(defaults)}",
+    )
+
+
+def rename_keys_mapping(renames: Dict[str, str], description: str = "") -> StateMapping:
+    """A mapping that renames state keys (old name -> new name)."""
+
+    def transform(state: Dict[str, Any]) -> Dict[str, Any]:
+        for old_key, new_key in renames.items():
+            if old_key in state:
+                state[new_key] = state.pop(old_key)
+        return state
+
+    return StateMapping(
+        transform=transform,
+        required_keys=tuple(renames.values()),
+        description=description or f"rename {renames}",
+    )

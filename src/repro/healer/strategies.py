@@ -1,0 +1,169 @@
+"""Recovery strategies: restart from scratch vs. resume from checkpoint.
+
+Section 3.4 describes exactly two options once a fix exists:
+
+* restart the corrected program from the beginning — simple, classic,
+  loses all work; or
+* resume from a previously saved checkpoint where all invariants hold,
+  dynamically updating the executing processes in place — keeps "the
+  potential to use computation that was correctly performed while
+  executing the faulty program".
+
+Both strategies are implemented here as functions returning a
+:class:`RecoveryOutcome` that quantifies the work preserved and lost, so
+the claim-3.4-resume benchmark can compare them on long-running
+workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.dsim.process import ProcessContext
+from repro.dsim.rng import DeterministicRNG
+from repro.errors import InvariantViolation, PatchApplicationError, RecoveryLineError
+from repro.healer.dsu import DynamicUpdater, UpdateRecord
+from repro.healer.patch import Patch
+from repro.timemachine.recovery_line import RecoveryLine
+from repro.timemachine.time_machine import TimeMachine
+
+
+class RecoveryStrategy(Enum):
+    RESTART_FROM_SCRATCH = "restart-from-scratch"
+    RESUME_FROM_CHECKPOINT = "resume-from-checkpoint"
+
+
+@dataclass
+class RecoveryOutcome:
+    """What a recovery strategy did and what it cost."""
+
+    strategy: RecoveryStrategy
+    pids: List[str]
+    updates: List[UpdateRecord] = field(default_factory=list)
+    rollback_distance: Dict[str, float] = field(default_factory=dict)
+    preserved_time: Dict[str, float] = field(default_factory=dict)
+    recovery_line_label: str = ""
+
+    @property
+    def all_updates_applied(self) -> bool:
+        return all(record.applied for record in self.updates)
+
+    @property
+    def total_lost_time(self) -> float:
+        """Simulated time discarded across processes (work to redo)."""
+        return sum(self.rollback_distance.values())
+
+    @property
+    def total_preserved_time(self) -> float:
+        """Simulated time of work kept (zero for restart-from-scratch)."""
+        return sum(self.preserved_time.values())
+
+
+def restart_from_scratch(cluster, patch: Patch, pids: Optional[List[str]] = None) -> RecoveryOutcome:
+    """Replace the code and restart the targeted processes from their initial state.
+
+    The cluster must have been built from factories (the usual case) so
+    replacement instances can be constructed.  The patch's new class
+    replaces the registered factory before restarting, so the restarted
+    processes run the corrected code.
+    """
+    targets = [pid for pid in (pids or cluster.pids) if patch.targets(pid)]
+    if not targets:
+        raise PatchApplicationError(f"patch {patch.name!r} targets none of the given processes")
+    lost = {}
+    for pid in targets:
+        lost[pid] = cluster.now  # everything computed so far is discarded
+        cluster._factories[pid] = patch.new_class  # noqa: SLF001 - install fixed code
+        cluster.restart_process(pid)
+    return RecoveryOutcome(
+        strategy=RecoveryStrategy.RESTART_FROM_SCRATCH,
+        pids=targets,
+        rollback_distance=lost,
+        preserved_time={pid: 0.0 for pid in targets},
+    )
+
+
+def _state_satisfies_new_invariants(patch: Patch, pid: str, state: Dict) -> bool:
+    """Probe whether ``state`` would satisfy the invariants of the patched code."""
+    probe = patch.new_class()
+    probe.bind(
+        ProcessContext(
+            pid=pid,
+            peers=(pid,),
+            send_fn=lambda message: None,
+            timer_fn=lambda name, delay, payload: None,
+            cancel_timer_fn=lambda name: None,
+            now_fn=lambda: 0.0,
+            rng=DeterministicRNG(0),
+        )
+    )
+    probe.state = dict(state)
+    try:
+        probe.check_invariants()
+    except InvariantViolation:
+        return False
+    return True
+
+
+def invariant_satisfying_line(time_machine: TimeMachine, patch: Patch) -> RecoveryLine:
+    """The latest consistent recovery line whose states satisfy the patched invariants.
+
+    Section 3.4: resumption must happen from "a previously saved
+    checkpoint where all invariants are satisfied".  For every process the
+    newest checkpoint whose state passes the *new* code's invariants is
+    used as the upper bound; the usual consistency propagation then runs
+    below those bounds.  Falls back to the unconstrained latest line when
+    no such bound exists (e.g. the patch targets none of the processes).
+    """
+    bounds: Dict[str, float] = {}
+    for pid in time_machine.store.pids():
+        if not patch.targets(pid):
+            continue
+        for checkpoint in reversed(time_machine.store.log_for(pid).all()):
+            if _state_satisfies_new_invariants(patch, pid, checkpoint.state):
+                bounds[pid] = checkpoint.time
+                break
+    try:
+        return time_machine.latest_recovery_line(not_after=bounds or None)
+    except RecoveryLineError:
+        return time_machine.latest_recovery_line()
+
+
+def resume_from_checkpoint(
+    cluster,
+    time_machine: TimeMachine,
+    patch: Patch,
+    recovery_line: Optional[RecoveryLine] = None,
+    force: bool = False,
+) -> RecoveryOutcome:
+    """Roll back to a consistent checkpoint, update in place, and resume.
+
+    Parameters
+    ----------
+    recovery_line:
+        The line to roll back to; when omitted, the latest consistent
+        line whose states satisfy the *patched* code's invariants is used
+        (per Section 3.4).
+    force:
+        Passed through to the dynamic updater (apply even if the safety
+        verdict is negative).
+    """
+    line = recovery_line if recovery_line is not None else invariant_satisfying_line(time_machine, patch)
+    rollback = time_machine.rollback_to(line)
+    updater = DynamicUpdater(cluster)
+    updates: List[UpdateRecord] = []
+    preserved: Dict[str, float] = {}
+    for pid in line.checkpoints:
+        if patch.targets(pid):
+            updates.append(updater.apply_to(pid, patch, force=force))
+        preserved[pid] = line.checkpoints[pid].time
+    return RecoveryOutcome(
+        strategy=RecoveryStrategy.RESUME_FROM_CHECKPOINT,
+        pids=sorted(line.checkpoints),
+        updates=updates,
+        rollback_distance=dict(rollback.rollback_distance),
+        preserved_time=preserved,
+        recovery_line_label=line.label,
+    )

@@ -1,0 +1,68 @@
+"""The Investigator: implementation-level model checking (Sections 3.3 / 4.3).
+
+The Investigator answers the question "which execution paths lead the
+system to an invalid state?"  It functions like a traditional model
+checker, except that the "model" is the actual implementation of each
+process (Figure 4: peers send the detecting process their checkpoints
+*and* their models, which may simply be the implementation itself).
+
+The package contains:
+
+* the **ModelD back-end** — a guarded-command state-transition engine
+  with pluggable search order, dynamic action sets and reachability
+  graph construction (:mod:`repro.investigator.guarded`,
+  :mod:`repro.investigator.explorer`);
+* the **ModelD front-end** — a declarative builder DSL standing in for
+  the paper's Camlp4 syntax extension (:mod:`repro.investigator.frontend`,
+  :mod:`repro.investigator.modeld`);
+* **process models** — adapters that turn real
+  :class:`~repro.dsim.process.Process` implementations (plus a global
+  checkpoint and pending messages) into a guarded-command model whose
+  actions are message deliveries and timer firings
+  (:mod:`repro.investigator.models`);
+* a **CMC-style checker** with generic properties (deadlock, leaks on a
+  simulated heap, invalid accesses) (:mod:`repro.investigator.cmc`,
+  :mod:`repro.investigator.heap`);
+* the **Investigator facade** used by FixD's fault-response protocol
+  (:mod:`repro.investigator.investigator`).
+"""
+
+from repro.investigator.cmc import CMCChecker, GenericProperty
+from repro.investigator.envmodels import DiskModel, EchoServiceModel, LossyNetworkModel
+from repro.investigator.explorer import ExplorationResult, Explorer, SearchOrder
+from repro.investigator.frontend import ModelBuilder
+from repro.investigator.guarded import Action, GuardedModel
+from repro.investigator.heap import SimulatedHeap
+from repro.investigator.invariants import InvariantSpec, always, deadlock_free
+from repro.investigator.investigator import InvestigationReport, Investigator
+from repro.investigator.modeld import ModelD
+from repro.investigator.models import DistributedSystemModel, SystemState
+from repro.investigator.state import ModelState, fingerprint
+from repro.investigator.trails import Trail, TrailStep
+
+__all__ = [
+    "CMCChecker",
+    "GenericProperty",
+    "DiskModel",
+    "EchoServiceModel",
+    "LossyNetworkModel",
+    "ExplorationResult",
+    "Explorer",
+    "SearchOrder",
+    "ModelBuilder",
+    "Action",
+    "GuardedModel",
+    "SimulatedHeap",
+    "InvariantSpec",
+    "always",
+    "deadlock_free",
+    "InvestigationReport",
+    "Investigator",
+    "ModelD",
+    "DistributedSystemModel",
+    "SystemState",
+    "ModelState",
+    "fingerprint",
+    "Trail",
+    "TrailStep",
+]

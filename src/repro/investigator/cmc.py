@@ -1,0 +1,120 @@
+"""A CMC-style checker: implementation-level checking with generic properties.
+
+CMC (Musuvathi et al., OSDI 2002) model checks real C code and, beyond
+user-written invariants, automatically checks *generic* properties:
+memory leaks, invalid memory accesses, and deadlock.  The paper proposes
+CMC as an alternative back-end for the Investigator.
+
+:class:`CMCChecker` wraps the same guarded-command engine as ModelD but
+adds the generic checks.  Memory properties are evaluated against a
+:class:`~repro.investigator.heap.SimulatedHeap` stored in the model state
+under a configurable key; deadlock detection comes from the explorer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, List, Optional
+
+from repro.investigator.explorer import ExplorationResult, Explorer, SearchOrder
+from repro.investigator.guarded import GuardedModel
+from repro.investigator.heap import SimulatedHeap
+from repro.investigator.invariants import InvariantSpec
+
+
+class GenericProperty(Enum):
+    """The generic properties CMC checks without user input."""
+
+    NO_DEADLOCK = "no-deadlock"
+    NO_MEMORY_ERRORS = "no-memory-errors"
+    NO_LEAKS_AT_TERMINATION = "no-leaks-at-termination"
+
+
+@dataclass
+class CMCConfig:
+    """Checker limits and which generic properties to enable."""
+
+    max_states: int = 100_000
+    max_depth: int = 10_000
+    heap_key: str = "heap"
+    check_deadlocks: bool = True
+    check_memory_errors: bool = True
+    check_leaks: bool = True
+    stop_at_first_violation: bool = False
+
+
+def _heap_of(state: Any, key: str) -> Optional[SimulatedHeap]:
+    getter = getattr(state, "get", None)
+    value = getter(key) if callable(getter) else getattr(state, key, None)
+    return value if isinstance(value, SimulatedHeap) else None
+
+
+class CMCChecker:
+    """Checks user invariants plus CMC's generic properties on a guarded model."""
+
+    def __init__(
+        self,
+        model: GuardedModel,
+        config: Optional[CMCConfig] = None,
+        terminal_predicate: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        self.model = model
+        self.config = config or CMCConfig()
+        self.terminal_predicate = terminal_predicate
+        self._install_generic_invariants()
+
+    # ------------------------------------------------------------------
+    # generic properties as invariants
+    # ------------------------------------------------------------------
+    def _install_generic_invariants(self) -> None:
+        key = self.config.heap_key
+        if self.config.check_memory_errors:
+            self.model.add_invariant(
+                InvariantSpec(
+                    GenericProperty.NO_MEMORY_ERRORS.value,
+                    lambda state: not (_heap_of(state, key) or SimulatedHeap()).has_errors,
+                    "no invalid accesses, double frees or invalid frees",
+                )
+            )
+        if self.config.check_leaks and self.terminal_predicate is not None:
+            terminal = self.terminal_predicate
+
+            def no_leaks(state: Any) -> bool:
+                if not terminal(state):
+                    return True
+                heap = _heap_of(state, key)
+                return heap is None or not heap.leaks()
+
+            self.model.add_invariant(
+                InvariantSpec(
+                    GenericProperty.NO_LEAKS_AT_TERMINATION.value,
+                    no_leaks,
+                    "every allocated block is freed by the time the system terminates",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+    def check(self, order: SearchOrder = SearchOrder.BFS) -> ExplorationResult:
+        """Explore the state space, reporting user and generic property violations."""
+        explorer = Explorer(
+            self.model,
+            search_order=order,
+            max_states=self.config.max_states,
+            max_depth=self.config.max_depth,
+            stop_at_first_violation=self.config.stop_at_first_violation,
+            check_deadlocks=self.config.check_deadlocks,
+            terminal_predicate=self.terminal_predicate,
+        )
+        return explorer.explore()
+
+    def found_property_violations(self, result: ExplorationResult) -> List[str]:
+        """Names of the generic properties violated in an exploration result."""
+        names = {trail.violated_invariant for trail in result.all_trails}
+        return sorted(
+            name
+            for name in names
+            if name in {prop.value for prop in GenericProperty}
+        )

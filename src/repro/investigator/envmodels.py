@@ -1,0 +1,116 @@
+"""General-purpose environment models (the paper's Section 4.5 future work).
+
+The paper's future-work list asks for "a set of general-purpose models
+designed to integrate with ModelD in order to imitate the behavior of
+common and well-known components of the environment of a process", naming
+network communication and disk access as examples.  This module provides
+those reusable models.  Each is an
+:class:`~repro.investigator.models.EnvironmentModel` subclass, so it can
+be dropped into an investigation (or registered on the FixD controller
+via :meth:`~repro.core.fixd.FixD.register_environment_model`) wherever a
+real component is outside FixD's control.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.dsim.message import Message
+from repro.dsim.process import handler, invariant
+from repro.investigator.models import EnvironmentModel
+
+
+class EchoServiceModel(EnvironmentModel):
+    """Models a remote service that acknowledges every request it receives.
+
+    Every message of any kind is answered with an ``ACK`` carrying the
+    original payload; the model keeps a count of requests served so
+    global invariants can refer to it.
+    """
+
+    ack_kind: str = "ACK"
+
+    def __init__(self) -> None:
+        super().__init__(respond=self._echo)
+
+    def on_start(self) -> None:
+        self.state["requests_served"] = 0
+
+    def _echo(self, process, message: Message) -> None:
+        process.state["requests_served"] = process.state.get("requests_served", 0) + 1
+        process.send(message.src, self.ack_kind, message.payload)
+
+
+class DiskModel(EnvironmentModel):
+    """Models a disk: ``DISK_WRITE``/``DISK_READ`` against a keyed block store.
+
+    Reads of never-written blocks return ``None`` (the caller's bug to
+    handle), and the model's invariant checks that its bookkeeping stays
+    consistent — the role the paper assigns to pre-verified environment
+    models shipped with FixD.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def on_start(self) -> None:
+        self.state["blocks"] = {}
+        self.state["writes"] = 0
+        self.state["reads"] = 0
+
+    @handler("DISK_WRITE")
+    def handle_write(self, msg: Message) -> None:
+        block, data = msg.payload["block"], msg.payload["data"]
+        self.state["blocks"][block] = data
+        self.state["writes"] += 1
+        self.send(msg.src, "DISK_WRITE_OK", {"block": block})
+
+    @handler("DISK_READ")
+    def handle_read(self, msg: Message) -> None:
+        block = msg.payload["block"]
+        self.state["reads"] += 1
+        self.send(
+            msg.src,
+            "DISK_READ_REPLY",
+            {"block": block, "data": self.state["blocks"].get(block)},
+        )
+
+    @invariant("write-count-matches-store")
+    def write_count_matches_store(self) -> bool:
+        return self.state["writes"] >= len(self.state["blocks"])
+
+
+class LossyNetworkModel(EnvironmentModel):
+    """Models a forwarding network element that may drop every N-th message.
+
+    Messages of kind ``FORWARD`` with payload ``{"dst": ..., "kind": ...,
+    "payload": ...}`` are relayed to their destination; every
+    ``drop_every``-th forward is silently dropped, which lets the
+    Investigator exercise loss scenarios without touching the channel
+    configuration of the real system.
+    """
+
+    drop_every: int = 0  # 0 means never drop
+
+    def __init__(self, drop_every: Optional[int] = None) -> None:
+        super().__init__()
+        if drop_every is not None:
+            self.drop_every = drop_every
+
+    def on_start(self) -> None:
+        self.state["forwarded"] = 0
+        self.state["dropped"] = 0
+
+    @handler("FORWARD")
+    def handle_forward(self, msg: Message) -> None:
+        request: Dict[str, Any] = msg.payload
+        total = self.state["forwarded"] + self.state["dropped"] + 1
+        if self.drop_every and total % self.drop_every == 0:
+            self.state["dropped"] += 1
+            return
+        self.state["forwarded"] += 1
+        self.send(request["dst"], request["kind"], request.get("payload"))
+
+    @invariant("forward-accounting")
+    def forward_accounting(self) -> bool:
+        return self.state["forwarded"] >= 0 and self.state["dropped"] >= 0

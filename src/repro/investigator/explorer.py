@@ -1,0 +1,383 @@
+"""State-space exploration with pluggable search order (ModelD back-end).
+
+The explorer performs the actual work the paper assigns to ModelD's
+back-end: "performing the actual state transitions, keeping track of the
+visited execution paths (calculating the reachability graph), and
+verifying that no user-specified invariants are violated."
+
+Search orders
+-------------
+* ``BFS`` — breadth-first; finds shortest counterexamples.
+* ``DFS`` — depth-first; low frontier memory, long counterexamples.
+* ``HEURISTIC`` — priority queue ordered by action priority plus an
+  optional user-provided state scoring function (the "heuristic search"
+  the paper says the dynamic-action machinery was originally built for).
+* ``SINGLE_PATH`` — follows exactly one enabled action per state (the
+  first, or the one a provided ``schedule`` callback picks).  This is how
+  the engine runs a "conventional" execution of the implementation.
+* ``RANDOM`` — uniform random walk with restarts, a cheap bug-finding
+  baseline for the ablation benchmark.
+
+Limits
+------
+``max_states`` and ``max_depth`` bound the exploration; hitting the state
+budget either raises :class:`~repro.errors.StateSpaceLimitExceeded`
+(``strict_budget=True``) or marks the result as truncated.  The
+state-blow-up benchmark (claim-2.1-blowup) uses these bounds to show the
+exponential growth the paper warns about.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ModelCheckingError, StateSpaceLimitExceeded
+from repro.investigator.guarded import Action, GuardedModel
+from repro.investigator.invariants import DEADLOCK_INVARIANT
+from repro.investigator.trails import Trail, TrailStep, deduplicate_trails
+
+
+class SearchOrder(Enum):
+    BFS = "bfs"
+    DFS = "dfs"
+    HEURISTIC = "heuristic"
+    SINGLE_PATH = "single-path"
+    RANDOM = "random"
+
+
+def _summarise(state: Any, limit: int = 160) -> str:
+    describe = getattr(state, "describe", None)
+    text = describe() if callable(describe) else repr(state)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+@dataclass
+class ExplorationResult:
+    """Everything the explorer learned about the model."""
+
+    states_explored: int
+    transitions: int
+    max_depth_reached: int
+    violations: List[Trail]
+    deadlocks: List[Trail]
+    truncated: bool
+    search_order: SearchOrder
+    reachability_graph: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+    unique_states: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant violation and no deadlock was found."""
+        return not self.violations and not self.deadlocks
+
+    @property
+    def all_trails(self) -> List[Trail]:
+        return list(self.violations) + list(self.deadlocks)
+
+    def shortest_violation(self) -> Optional[Trail]:
+        trails = self.violations or self.deadlocks
+        if not trails:
+            return None
+        return min(trails, key=lambda trail: trail.length)
+
+
+@dataclass(order=True)
+class _Frontier:
+    """Priority-queue entry for heuristic search."""
+
+    score: float
+    tiebreak: int
+    state: Any = field(compare=False)
+    path: Tuple[Tuple[str, str, str], ...] = field(compare=False)
+    depth: int = field(compare=False)
+
+
+class Explorer:
+    """Explores a :class:`GuardedModel` under a configurable search order."""
+
+    def __init__(
+        self,
+        model: GuardedModel,
+        search_order: SearchOrder = SearchOrder.BFS,
+        max_states: int = 100_000,
+        max_depth: int = 10_000,
+        stop_at_first_violation: bool = False,
+        strict_budget: bool = False,
+        check_deadlocks: bool = True,
+        terminal_predicate: Optional[Callable[[Any], bool]] = None,
+        heuristic: Optional[Callable[[Any], float]] = None,
+        schedule: Optional[Callable[[Any, List[Action]], Action]] = None,
+        random_seed: int = 0,
+        build_graph: bool = False,
+    ) -> None:
+        self.model = model
+        self.search_order = search_order
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.stop_at_first_violation = stop_at_first_violation
+        self.strict_budget = strict_budget
+        self.check_deadlocks = check_deadlocks
+        self.terminal_predicate = terminal_predicate
+        self.heuristic = heuristic
+        self.schedule = schedule
+        self.build_graph = build_graph
+        self._random = random.Random(random_seed)
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def explore(self) -> ExplorationResult:
+        """Run the exploration and return the result."""
+        if self.search_order is SearchOrder.SINGLE_PATH:
+            return self._explore_single_path()
+        if self.search_order is SearchOrder.RANDOM:
+            return self._explore_random_walks()
+        return self._explore_graph_search()
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _check_state(
+        self,
+        state: Any,
+        path: Tuple[Tuple[str, str, str], ...],
+        violations: List[Trail],
+        deadlocks: List[Trail],
+        enabled: Optional[List[Action]] = None,
+    ) -> bool:
+        """Check invariants (and deadlock) in ``state``; returns True when a violation was found."""
+        found = False
+        for invariant in self.model.violated_invariants(state):
+            violations.append(self._trail_from(path, invariant.name, state, invariant.description))
+            found = True
+        if self.check_deadlocks:
+            if enabled is None:
+                enabled = self.model.enabled_actions(state)
+            is_terminal = self.terminal_predicate(state) if self.terminal_predicate else False
+            if not enabled and not is_terminal:
+                deadlocks.append(
+                    self._trail_from(path, DEADLOCK_INVARIANT, state, "no action is enabled")
+                )
+                found = True
+        return found
+
+    def _trail_from(
+        self,
+        path: Tuple[Tuple[str, str, str], ...],
+        invariant_name: str,
+        final_state: Any,
+        detail: str = "",
+    ) -> Trail:
+        steps = [
+            TrailStep(action=action, state_fingerprint=fp, state_summary=summary, depth=index + 1)
+            for index, (action, fp, summary) in enumerate(path)
+        ]
+        return Trail(
+            violated_invariant=invariant_name,
+            steps=steps,
+            final_state=final_state,
+            detail=detail,
+        )
+
+    def _budget_exceeded(self, explored: int) -> bool:
+        if explored < self.max_states:
+            return False
+        if self.strict_budget:
+            raise StateSpaceLimitExceeded(self.max_states)
+        return True
+
+    # ------------------------------------------------------------------
+    # BFS / DFS / heuristic graph search
+    # ------------------------------------------------------------------
+    def _explore_graph_search(self) -> ExplorationResult:
+        initial = self.model.initial_state
+        initial_fp = self.model.fingerprint(initial)
+        visited: Set[str] = {initial_fp}
+        violations: List[Trail] = []
+        deadlocks: List[Trail] = []
+        graph: Dict[str, List[Tuple[str, str]]] = {}
+        explored = 0
+        transitions = 0
+        max_depth_seen = 0
+        truncated = False
+        tiebreak = itertools.count()
+
+        if self.search_order is SearchOrder.HEURISTIC:
+            frontier: Any = []
+            heapq.heappush(frontier, _Frontier(self._score(initial), next(tiebreak), initial, (), 0))
+            pop = lambda: heapq.heappop(frontier)  # noqa: E731
+            push = lambda state, path, depth: heapq.heappush(  # noqa: E731
+                frontier, _Frontier(self._score(state), next(tiebreak), state, path, depth)
+            )
+            empty = lambda: not frontier  # noqa: E731
+        else:
+            queue: deque = deque()
+            queue.append((initial, (), 0))
+            if self.search_order is SearchOrder.BFS:
+                pop = queue.popleft
+            else:  # DFS
+                pop = queue.pop
+            push = lambda state, path, depth: queue.append((state, path, depth))  # noqa: E731
+            empty = lambda: not queue  # noqa: E731
+
+        while not empty():
+            if self._budget_exceeded(explored):
+                truncated = True
+                break
+            item = pop()
+            if isinstance(item, _Frontier):
+                state, path, depth = item.state, item.path, item.depth
+            else:
+                state, path, depth = item
+            explored += 1
+            max_depth_seen = max(max_depth_seen, depth)
+
+            enabled = self.model.enabled_actions(state)
+            found = self._check_state(state, path, violations, deadlocks, enabled)
+            if found and self.stop_at_first_violation:
+                break
+            if depth >= self.max_depth:
+                truncated = True
+                continue
+
+            state_fp = self.model.fingerprint(state)
+            for action in enabled:
+                for successor in action.apply(state):
+                    transitions += 1
+                    successor_fp = self.model.fingerprint(successor)
+                    if self.build_graph:
+                        graph.setdefault(state_fp, []).append((action.name, successor_fp))
+                    if successor_fp in visited:
+                        continue
+                    visited.add(successor_fp)
+                    push(
+                        successor,
+                        path + ((action.name, successor_fp, _summarise(successor)),),
+                        depth + 1,
+                    )
+
+        return ExplorationResult(
+            states_explored=explored,
+            transitions=transitions,
+            max_depth_reached=max_depth_seen,
+            violations=deduplicate_trails(violations),
+            deadlocks=deduplicate_trails(deadlocks),
+            truncated=truncated,
+            search_order=self.search_order,
+            reachability_graph=graph,
+            unique_states=len(visited),
+        )
+
+    def _score(self, state: Any) -> float:
+        """Heuristic priority (lower pops first, so better states get smaller scores)."""
+        if self.heuristic is None:
+            return 0.0
+        return -float(self.heuristic(state))
+
+    # ------------------------------------------------------------------
+    # single-path execution
+    # ------------------------------------------------------------------
+    def _explore_single_path(self) -> ExplorationResult:
+        state = self.model.initial_state
+        path: Tuple[Tuple[str, str, str], ...] = ()
+        violations: List[Trail] = []
+        deadlocks: List[Trail] = []
+        explored = 0
+        transitions = 0
+        truncated = False
+
+        while True:
+            explored += 1
+            enabled = self.model.enabled_actions(state)
+            found = self._check_state(state, path, violations, deadlocks, enabled)
+            if found and self.stop_at_first_violation:
+                break
+            if not enabled:
+                break
+            if explored > self.max_states or len(path) >= self.max_depth:
+                truncated = True
+                break
+            if self.schedule is not None:
+                action = self.schedule(state, enabled)
+                if action is None:
+                    break
+            else:
+                action = enabled[0]
+            successors = action.apply(state)
+            state = successors[0]
+            transitions += 1
+            path = path + ((action.name, self.model.fingerprint(state), _summarise(state)),)
+
+        return ExplorationResult(
+            states_explored=explored,
+            transitions=transitions,
+            max_depth_reached=len(path),
+            violations=deduplicate_trails(violations),
+            deadlocks=deduplicate_trails(deadlocks),
+            truncated=truncated,
+            search_order=self.search_order,
+            unique_states=explored,
+        )
+
+    # ------------------------------------------------------------------
+    # random walks
+    # ------------------------------------------------------------------
+    def _explore_random_walks(self, walks: Optional[int] = None) -> ExplorationResult:
+        budget = self.max_states
+        walk_budget = walks if walks is not None else max(1, budget // max(1, self.max_depth))
+        violations: List[Trail] = []
+        deadlocks: List[Trail] = []
+        explored = 0
+        transitions = 0
+        max_depth_seen = 0
+        truncated = False
+
+        for _ in range(walk_budget):
+            state = self.model.initial_state
+            path: Tuple[Tuple[str, str, str], ...] = ()
+            for depth in range(self.max_depth):
+                if explored >= budget:
+                    truncated = True
+                    break
+                explored += 1
+                max_depth_seen = max(max_depth_seen, depth)
+                enabled = self.model.enabled_actions(state)
+                found = self._check_state(state, path, violations, deadlocks, enabled)
+                if found and self.stop_at_first_violation:
+                    return ExplorationResult(
+                        states_explored=explored,
+                        transitions=transitions,
+                        max_depth_reached=max_depth_seen,
+                        violations=deduplicate_trails(violations),
+                        deadlocks=deduplicate_trails(deadlocks),
+                        truncated=truncated,
+                        search_order=self.search_order,
+                        unique_states=explored,
+                    )
+                if not enabled:
+                    break
+                action = enabled[self._random.randrange(len(enabled))]
+                successors = action.apply(state)
+                state = successors[self._random.randrange(len(successors))]
+                transitions += 1
+                path = path + ((action.name, self.model.fingerprint(state), _summarise(state)),)
+            if explored >= budget:
+                truncated = True
+                break
+
+        return ExplorationResult(
+            states_explored=explored,
+            transitions=transitions,
+            max_depth_reached=max_depth_seen,
+            violations=deduplicate_trails(violations),
+            deadlocks=deduplicate_trails(deadlocks),
+            truncated=truncated,
+            search_order=self.search_order,
+            unique_states=explored,
+        )

@@ -1,0 +1,140 @@
+"""ModelD's front-end: a declarative model-building DSL.
+
+The paper's ModelD pairs its back-end engine with "a front-end syntax
+extension to the Ocaml grammar (written using Camlp4) that is used to
+provide a convenient interface for the user to interact with the back-end
+engine".  Python has no Camlp4, but decorators and a fluent builder give
+the same ergonomics: the user declares variables, guarded actions and
+invariants, and :meth:`ModelBuilder.build` produces the
+:class:`~repro.investigator.guarded.GuardedModel` the engine runs.
+
+Example
+-------
+.. code-block:: python
+
+    builder = ModelBuilder("ticket-lock")
+    builder.variable("next_ticket", 0)
+    builder.variable("serving", 0)
+
+    @builder.action("take-ticket")
+    def take(state):
+        return state.with_values(next_ticket=state["next_ticket"] + 1)
+
+    @builder.action("serve", guard=lambda s: s["serving"] < s["next_ticket"])
+    def serve(state):
+        return state.with_values(serving=state["serving"] + 1)
+
+    builder.invariant("serving-behind", lambda s: s["serving"] <= s["next_ticket"])
+    model = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ModelCheckingError
+from repro.investigator.guarded import Action, GuardedModel
+from repro.investigator.invariants import InvariantSpec
+from repro.investigator.state import ModelState
+
+
+class ModelBuilder:
+    """Fluent builder for guarded-command models over :class:`ModelState`."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: Dict[str, Any] = {}
+        self._actions: List[Action] = []
+        self._invariants: List[InvariantSpec] = []
+        self._terminal: Optional[Callable[[Any], bool]] = None
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+    def variable(self, name: str, initial: Any) -> "ModelBuilder":
+        """Declare a state variable and its initial value."""
+        if name in self._variables:
+            raise ModelCheckingError(f"variable {name!r} declared twice")
+        self._variables[name] = initial
+        return self
+
+    def variables(self, **initial_values: Any) -> "ModelBuilder":
+        """Declare several variables at once."""
+        for name, value in initial_values.items():
+            self.variable(name, value)
+        return self
+
+    def action(
+        self,
+        name: str,
+        guard: Optional[Callable[[Any], bool]] = None,
+        priority: float = 0.0,
+        tags: Optional[set] = None,
+    ) -> Callable:
+        """Decorator registering the decorated function as an action effect."""
+
+        def decorate(effect: Callable[[Any], Any]) -> Callable[[Any], Any]:
+            self.add_action(name, effect, guard=guard, priority=priority, tags=tags)
+            return effect
+
+        return decorate
+
+    def add_action(
+        self,
+        name: str,
+        effect: Callable[[Any], Any],
+        guard: Optional[Callable[[Any], bool]] = None,
+        priority: float = 0.0,
+        tags: Optional[set] = None,
+    ) -> "ModelBuilder":
+        """Non-decorator form of :meth:`action`."""
+        if any(action.name == name for action in self._actions):
+            raise ModelCheckingError(f"action {name!r} declared twice")
+        self._actions.append(
+            Action(
+                name=name,
+                effect=effect,
+                guard=guard,
+                priority=priority,
+                tags=frozenset(tags or ()),
+            )
+        )
+        return self
+
+    def invariant(
+        self, name: str, predicate: Callable[[Any], bool], description: str = ""
+    ) -> "ModelBuilder":
+        """Declare a safety property that must hold in every reachable state."""
+        self._invariants.append(InvariantSpec(name, predicate, description))
+        return self
+
+    def terminal(self, predicate: Callable[[Any], bool]) -> "ModelBuilder":
+        """Declare which states count as legitimate end states (not deadlocks)."""
+        self._terminal = predicate
+        return self
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def initial_state(self) -> ModelState:
+        return ModelState.from_dict(self._variables)
+
+    def build(self) -> GuardedModel:
+        """Produce the guarded-command model for the back-end engine."""
+        if not self._actions:
+            raise ModelCheckingError(f"model {self.name!r} has no actions")
+        return GuardedModel(
+            initial_state=self.initial_state(),
+            actions=self._actions,
+            invariants=self._invariants,
+        )
+
+    @property
+    def terminal_predicate(self) -> Optional[Callable[[Any], bool]]:
+        return self._terminal
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelBuilder(name={self.name!r}, variables={len(self._variables)}, "
+            f"actions={len(self._actions)}, invariants={len(self._invariants)})"
+        )

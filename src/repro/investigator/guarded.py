@@ -1,0 +1,174 @@
+"""The guarded-command model underlying ModelD's back-end engine.
+
+The paper describes ModelD's engine as "based on a guarded command
+model, where the behavior of the system is described by a set of guarded
+commands that can be chosen for execution any time", with two unusual
+capabilities the Investigator and the Healer both rely on:
+
+* the set of actions can be **changed dynamically** while the engine
+  runs (used to swap real communication actions for models of them, and
+  to inject updated code into a running program), and
+* the **search order is customisable** (used to make the engine follow a
+  single "conventional" execution path, or to explore exhaustively).
+
+An :class:`Action` pairs a guard (a predicate over the state) with an
+effect (a function producing one or more successor states).  A
+:class:`GuardedModel` is a mutable collection of actions plus the
+invariants to check in every reachable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ModelCheckingError
+from repro.investigator.invariants import InvariantSpec
+
+#: Effects may return a single successor state or a list of them
+#: (nondeterministic actions have several possible outcomes).
+EffectResult = Union[Any, List[Any]]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One guarded command.
+
+    Attributes
+    ----------
+    name:
+        Unique name; trails and search heuristics refer to actions by it.
+    guard:
+        ``guard(state) -> bool``; the action is *enabled* in states where
+        the guard holds.  ``None`` means always enabled.
+    effect:
+        ``effect(state) -> state | [state, ...]``; must not mutate the
+        input state.
+    priority:
+        Larger values are preferred by the heuristic search order.
+    tags:
+        Free-form labels ("communication", "model", "update", ...) used
+        when swapping action groups dynamically.
+    """
+
+    name: str
+    effect: Callable[[Any], EffectResult]
+    guard: Optional[Callable[[Any], bool]] = None
+    priority: float = 0.0
+    tags: frozenset = frozenset()
+
+    def enabled(self, state: Any) -> bool:
+        """True when the action may execute in ``state``."""
+        if self.guard is None:
+            return True
+        return bool(self.guard(state))
+
+    def apply(self, state: Any) -> List[Any]:
+        """Execute the effect, always returning a list of successor states."""
+        result = self.effect(state)
+        if result is None:
+            raise ModelCheckingError(f"action {self.name!r} returned no successor state")
+        if isinstance(result, list):
+            return result
+        return [result]
+
+
+class GuardedModel:
+    """A mutable set of guarded commands plus invariants and an initial state."""
+
+    def __init__(
+        self,
+        initial_state: Any,
+        actions: Optional[Iterable[Action]] = None,
+        invariants: Optional[Iterable[InvariantSpec]] = None,
+        fingerprint_fn: Optional[Callable[[Any], str]] = None,
+    ) -> None:
+        self.initial_state = initial_state
+        self._actions: Dict[str, Action] = {}
+        for action in actions or ():
+            self.add_action(action)
+        self.invariants: List[InvariantSpec] = list(invariants or ())
+        self._fingerprint_fn = fingerprint_fn
+
+    # ------------------------------------------------------------------
+    # dynamic action management (the ModelD differentiator)
+    # ------------------------------------------------------------------
+    def add_action(self, action: Action) -> None:
+        """Add (or replace) an action; replacing is how dynamic updates are injected."""
+        self._actions[action.name] = action
+
+    def remove_action(self, name: str) -> Action:
+        """Remove an action by name, returning it."""
+        try:
+            return self._actions.pop(name)
+        except KeyError:
+            raise ModelCheckingError(f"model has no action named {name!r}") from None
+
+    def replace_action(self, action: Action) -> Action:
+        """Swap in a new implementation of an existing action (keeps the name)."""
+        if action.name not in self._actions:
+            raise ModelCheckingError(
+                f"cannot replace unknown action {action.name!r}; add it instead"
+            )
+        previous = self._actions[action.name]
+        self._actions[action.name] = action
+        return previous
+
+    def swap_tagged_actions(self, tag: str, replacements: Sequence[Action]) -> List[Action]:
+        """Remove every action carrying ``tag`` and add ``replacements``.
+
+        This is the operation Section 4.3 describes: "swap out the real
+        communication actions, replace those with models of the
+        communication actions".
+        """
+        removed = [action for action in self._actions.values() if tag in action.tags]
+        for action in removed:
+            del self._actions[action.name]
+        for action in replacements:
+            self.add_action(action)
+        return removed
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def actions(self) -> List[Action]:
+        """All actions, sorted by name for deterministic iteration."""
+        return [self._actions[name] for name in sorted(self._actions)]
+
+    def action(self, name: str) -> Action:
+        try:
+            return self._actions[name]
+        except KeyError:
+            raise ModelCheckingError(f"model has no action named {name!r}") from None
+
+    def action_names(self) -> List[str]:
+        return sorted(self._actions)
+
+    def enabled_actions(self, state: Any) -> List[Action]:
+        """Actions whose guards hold in ``state`` (deterministic order)."""
+        return [action for action in self.actions if action.enabled(state)]
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def add_invariant(self, invariant: InvariantSpec) -> None:
+        self.invariants.append(invariant)
+
+    def violated_invariants(self, state: Any) -> List[InvariantSpec]:
+        """All invariants that fail in ``state``."""
+        return [invariant for invariant in self.invariants if not invariant.holds(state)]
+
+    # ------------------------------------------------------------------
+    # fingerprinting
+    # ------------------------------------------------------------------
+    def fingerprint(self, state: Any) -> str:
+        """State fingerprint used for visited-set deduplication."""
+        if self._fingerprint_fn is not None:
+            return self._fingerprint_fn(state)
+        fingerprint_method = getattr(state, "fingerprint", None)
+        if callable(fingerprint_method):
+            return fingerprint_method()
+        from repro.investigator.state import fingerprint as generic_fingerprint
+
+        return generic_fingerprint(state)

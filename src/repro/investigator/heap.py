@@ -1,0 +1,118 @@
+"""A simulated heap for CMC-style generic property checking.
+
+CMC "automatically checks for certain generic properties such as memory
+leaks and invalid memory accesses".  Python programs do not expose raw
+memory, so the CMC-style checker in this reproduction checks those
+properties against an explicit, simulated allocation arena: model actions
+allocate, access and free blocks through :class:`SimulatedHeap`, and the
+checker turns dangling accesses, double frees and unfreed blocks at
+termination into violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ModelCheckingError
+
+
+@dataclass(frozen=True)
+class HeapBlock:
+    """One allocated block."""
+
+    block_id: int
+    size: int
+    tag: str = ""
+    freed: bool = False
+
+
+@dataclass(frozen=True)
+class HeapError:
+    """A memory error detected by the heap."""
+
+    kind: str          # "invalid-access", "double-free", "leak", "invalid-free"
+    block_id: Optional[int]
+    detail: str
+
+
+@dataclass(frozen=True)
+class SimulatedHeap:
+    """An immutable heap value suitable for inclusion in model states.
+
+    Every operation returns a new heap (states must not be mutated in
+    place), and records errors instead of raising so the checker can
+    report them as invariant violations with trails.
+    """
+
+    blocks: Tuple[Tuple[int, HeapBlock], ...] = ()
+    next_id: int = 1
+    errors: Tuple[HeapError, ...] = ()
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def malloc(self, size: int, tag: str = "") -> Tuple["SimulatedHeap", int]:
+        """Allocate a block; returns the new heap and the block id."""
+        if size <= 0:
+            raise ModelCheckingError("allocation size must be positive")
+        block = HeapBlock(block_id=self.next_id, size=size, tag=tag)
+        new_blocks = self.blocks + ((block.block_id, block),)
+        return replace(self, blocks=new_blocks, next_id=self.next_id + 1), block.block_id
+
+    def free(self, block_id: int) -> "SimulatedHeap":
+        """Free a block, recording double frees and frees of unknown blocks."""
+        mapping = dict(self.blocks)
+        block = mapping.get(block_id)
+        if block is None:
+            return self._with_error("invalid-free", block_id, f"free of unknown block {block_id}")
+        if block.freed:
+            return self._with_error("double-free", block_id, f"block {block_id} freed twice")
+        mapping[block_id] = replace(block, freed=True)
+        return replace(self, blocks=tuple(sorted(mapping.items())))
+
+    def access(self, block_id: int) -> "SimulatedHeap":
+        """Access a block, recording use-after-free and wild accesses."""
+        mapping = dict(self.blocks)
+        block = mapping.get(block_id)
+        if block is None:
+            return self._with_error(
+                "invalid-access", block_id, f"access to unallocated block {block_id}"
+            )
+        if block.freed:
+            return self._with_error(
+                "invalid-access", block_id, f"use-after-free of block {block_id}"
+            )
+        return self
+
+    def _with_error(self, kind: str, block_id: Optional[int], detail: str) -> "SimulatedHeap":
+        return replace(self, errors=self.errors + (HeapError(kind, block_id, detail),))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def live_blocks(self) -> List[HeapBlock]:
+        return [block for _, block in self.blocks if not block.freed]
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(block.size for block in self.live_blocks)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    def leaks(self) -> List[HeapError]:
+        """Leak records for every block still live (evaluated at terminal states)."""
+        return [
+            HeapError("leak", block.block_id, f"block {block.block_id} ({block.tag or 'untagged'}, "
+                      f"{block.size} bytes) never freed")
+            for block in self.live_blocks
+        ]
+
+    def describe(self) -> str:
+        return (
+            f"heap(live={len(self.live_blocks)}, bytes={self.allocated_bytes}, "
+            f"errors={len(self.errors)})"
+        )

@@ -1,0 +1,73 @@
+"""Invariant specifications checked by the model checking engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class InvariantSpec:
+    """A named safety property: ``predicate(state)`` must hold in every reachable state."""
+
+    name: str
+    predicate: Callable[[Any], bool]
+    description: str = ""
+
+    def holds(self, state: Any) -> bool:
+        """Evaluate the predicate; a predicate that raises counts as a violation."""
+        try:
+            return bool(self.predicate(state))
+        except Exception:
+            return False
+
+
+def always(name: str, predicate: Callable[[Any], bool], description: str = "") -> InvariantSpec:
+    """Convenience constructor mirroring temporal-logic reading: ``always P``."""
+    return InvariantSpec(name=name, predicate=predicate, description=description)
+
+
+def never(name: str, predicate: Callable[[Any], bool], description: str = "") -> InvariantSpec:
+    """``never P`` — the invariant holds when ``predicate`` is false."""
+    return InvariantSpec(
+        name=name,
+        predicate=lambda state: not predicate(state),
+        description=description or f"negation of {name}",
+    )
+
+
+def state_variable_bounded(
+    name: str, variable: str, low: Optional[float] = None, high: Optional[float] = None
+) -> InvariantSpec:
+    """The named state variable stays within ``[low, high]`` (either bound optional)."""
+
+    def predicate(state: Any) -> bool:
+        getter = getattr(state, "get", None)
+        value = getter(variable) if callable(getter) else getattr(state, variable, None)
+        if value is None:
+            return True
+        if low is not None and value < low:
+            return False
+        if high is not None and value > high:
+            return False
+        return True
+
+    return InvariantSpec(name=name, predicate=predicate, description=f"{low} <= {variable} <= {high}")
+
+
+#: Sentinel invariant name used by the explorer when it reports deadlocks.
+DEADLOCK_INVARIANT = "no-deadlock"
+
+
+def deadlock_free() -> InvariantSpec:
+    """A marker invariant: deadlock checking is performed by the explorer itself.
+
+    The explorer treats states with no enabled actions that are not
+    accepted terminal states as violations of this invariant, mirroring
+    CMC's built-in deadlock reporting.
+    """
+    return InvariantSpec(
+        name=DEADLOCK_INVARIANT,
+        predicate=lambda state: True,
+        description="the system can always make progress (checked structurally by the explorer)",
+    )

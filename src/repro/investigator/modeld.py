@@ -1,0 +1,119 @@
+"""ModelD: the model checker contributed by the paper (front-end + back-end).
+
+:class:`ModelD` ties the front-end :class:`~repro.investigator.frontend.ModelBuilder`
+to the back-end :class:`~repro.investigator.explorer.Explorer`, and adds
+the two operations the paper highlights as unusual:
+
+* **dynamic action injection** — replacing or adding actions while the
+  engine is in use (:meth:`ModelD.inject_action`,
+  :meth:`ModelD.swap_communication_actions`), which is how the
+  Investigator substitutes models of remote components and how the
+  Healer injects updated code; and
+* **custom search order** — :meth:`ModelD.run_single_path` follows the
+  conventional execution, :meth:`ModelD.check` explores exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.investigator.explorer import ExplorationResult, Explorer, SearchOrder
+from repro.investigator.frontend import ModelBuilder
+from repro.investigator.guarded import Action, GuardedModel
+from repro.investigator.invariants import InvariantSpec
+
+
+@dataclass
+class ModelDConfig:
+    """Engine limits and defaults."""
+
+    max_states: int = 100_000
+    max_depth: int = 10_000
+    stop_at_first_violation: bool = False
+    check_deadlocks: bool = True
+    build_reachability_graph: bool = False
+
+
+class ModelD:
+    """The ModelD model checker."""
+
+    def __init__(
+        self,
+        model: GuardedModel,
+        config: Optional[ModelDConfig] = None,
+        terminal_predicate: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        self.model = model
+        self.config = config or ModelDConfig()
+        self.terminal_predicate = terminal_predicate
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_builder(builder: ModelBuilder, config: Optional[ModelDConfig] = None) -> "ModelD":
+        """Build a checker straight from a front-end builder."""
+        return ModelD(builder.build(), config=config, terminal_predicate=builder.terminal_predicate)
+
+    # ------------------------------------------------------------------
+    # dynamic action management
+    # ------------------------------------------------------------------
+    def inject_action(self, action: Action) -> None:
+        """Add or replace an action in the running model (dynamic code injection)."""
+        self.model.add_action(action)
+
+    def remove_action(self, name: str) -> Action:
+        return self.model.remove_action(name)
+
+    def swap_communication_actions(self, replacements: Sequence[Action]) -> List[Action]:
+        """Swap every action tagged ``communication`` for the provided model actions.
+
+        This is the Section 4.3 move: when investigating, the real
+        communication actions are replaced with models of the remote
+        processes' behaviour.
+        """
+        return self.model.swap_tagged_actions("communication", list(replacements))
+
+    def add_invariant(self, invariant: InvariantSpec) -> None:
+        self.model.add_invariant(invariant)
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+    def _explorer(self, order: SearchOrder, **overrides: Any) -> Explorer:
+        options = dict(
+            search_order=order,
+            max_states=self.config.max_states,
+            max_depth=self.config.max_depth,
+            stop_at_first_violation=self.config.stop_at_first_violation,
+            check_deadlocks=self.config.check_deadlocks,
+            build_graph=self.config.build_reachability_graph,
+            terminal_predicate=self.terminal_predicate,
+        )
+        options.update(overrides)
+        return Explorer(self.model, **options)
+
+    def check(
+        self, order: SearchOrder = SearchOrder.BFS, **overrides: Any
+    ) -> ExplorationResult:
+        """Exhaustively explore the state space under the given search order."""
+        return self._explorer(order, **overrides).explore()
+
+    def run_single_path(
+        self,
+        schedule: Optional[Callable[[Any, List[Action]], Action]] = None,
+        **overrides: Any,
+    ) -> ExplorationResult:
+        """Execute one path only (the conventional run), optionally scheduled."""
+        return self._explorer(SearchOrder.SINGLE_PATH, schedule=schedule, **overrides).explore()
+
+    def heuristic_check(
+        self, heuristic: Callable[[Any], float], **overrides: Any
+    ) -> ExplorationResult:
+        """Explore best-first under a user-provided state scoring function."""
+        return self._explorer(SearchOrder.HEURISTIC, heuristic=heuristic, **overrides).explore()
+
+    def random_walks(self, seed: int = 0, **overrides: Any) -> ExplorationResult:
+        """Random-walk exploration (bug-finding baseline)."""
+        return self._explorer(SearchOrder.RANDOM, random_seed=seed, **overrides).explore()

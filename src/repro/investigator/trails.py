@@ -1,0 +1,81 @@
+"""Trails: counterexample execution paths returned by the Investigator.
+
+Section 3.3: the Investigator "returns a set of trails that lead to
+invariant violations".  A :class:`Trail` is an ordered list of
+:class:`TrailStep` — the action taken and a compact description of the
+state it produced — ending in the state where an invariant failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True)
+class TrailStep:
+    """One transition along a trail."""
+
+    action: str
+    state_fingerprint: str
+    state_summary: str
+    depth: int
+
+    def describe(self) -> str:
+        return f"{self.depth:>3}. {self.action}  ->  {self.state_summary}"
+
+
+@dataclass
+class Trail:
+    """A path from the initial state to a violating state."""
+
+    violated_invariant: str
+    steps: List[TrailStep] = field(default_factory=list)
+    final_state: Optional[Any] = None
+    detail: str = ""
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    @property
+    def actions(self) -> List[str]:
+        return [step.action for step in self.steps]
+
+    def describe(self, max_steps: Optional[int] = None) -> str:
+        """Multi-line human-readable rendering (used in bug reports)."""
+        lines = [f"Trail to violation of {self.violated_invariant!r} ({self.length} steps)"]
+        if self.detail:
+            lines.append(f"  detail: {self.detail}")
+        shown = self.steps if max_steps is None else self.steps[-max_steps:]
+        omitted = self.length - len(shown)
+        if omitted > 0:
+            lines.append(f"  ... {omitted} earlier steps omitted ...")
+        lines.extend("  " + step.describe() for step in shown)
+        return "\n".join(lines)
+
+    def shares_prefix_with(self, other: "Trail") -> int:
+        """Length of the common action prefix with another trail."""
+        common = 0
+        for mine, theirs in zip(self.actions, other.actions):
+            if mine != theirs:
+                break
+            common += 1
+        return common
+
+
+def deduplicate_trails(trails: List[Trail]) -> List[Trail]:
+    """Drop trails that end in the same violating state via the same invariant.
+
+    Exhaustive exploration frequently reaches the same bad state along
+    many interleavings; reports are easier to read when each (invariant,
+    final state) pair appears once, represented by its shortest trail.
+    """
+    best: dict = {}
+    for trail in trails:
+        final_fp = trail.steps[-1].state_fingerprint if trail.steps else ""
+        key = (trail.violated_invariant, final_fp)
+        current = best.get(key)
+        if current is None or trail.length < current.length:
+            best[key] = trail
+    return sorted(best.values(), key=lambda t: (t.violated_invariant, t.length))

@@ -1,0 +1,106 @@
+"""The Scroll recorder: a runtime hook that populates a Scroll during a run."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dsim.hooks import RuntimeHook
+from repro.dsim.message import Message
+from repro.scroll.entry import ActionKind
+from repro.scroll.interceptor import InterceptionMode, RecordingPolicy
+from repro.scroll.scroll import Scroll
+
+
+class ScrollRecorder(RuntimeHook):
+    """Records the cluster's nondeterministic actions onto a :class:`Scroll`.
+
+    The recorder is installed on a cluster with
+    ``cluster.add_hook(ScrollRecorder(...))`` — application code does not
+    change at all, which is the transparency requirement of Section 3.2.
+
+    Parameters
+    ----------
+    scroll:
+        The Scroll to append to; a fresh one is created if omitted.
+    policy:
+        Which actions to record (see :class:`RecordingPolicy`).  The
+        default records the full syscall-level surface so replay and
+        investigation are always possible.
+    """
+
+    def __init__(
+        self,
+        scroll: Optional[Scroll] = None,
+        policy: Optional[RecordingPolicy] = None,
+    ) -> None:
+        self.scroll = scroll if scroll is not None else Scroll()
+        self.policy = policy or RecordingPolicy(InterceptionMode.SYSCALL)
+        self._cluster = None
+
+    def attach(self, cluster) -> None:
+        self._cluster = cluster
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _message_detail(self, message: Message) -> dict:
+        record = message.to_record()
+        if not self.policy.record_payloads:
+            record = dict(record)
+            record["payload"] = None
+        return {"message": record}
+
+    def _vt_of(self, pid: str):
+        if self._cluster is None:
+            return None
+        try:
+            return self._cluster.process(pid).vector_timestamp
+        except Exception:
+            return None
+
+    def _record(self, pid: str, kind: ActionKind, time: float, detail: dict) -> None:
+        if not self.policy.should_record(kind):
+            return
+        self.scroll.record(pid, kind, time, detail, vt=self._vt_of(pid))
+
+    # ------------------------------------------------------------------
+    # hook notifications
+    # ------------------------------------------------------------------
+    def on_send(self, pid, message, time):
+        self._record(pid, ActionKind.SEND, time, self._message_detail(message))
+
+    def on_receive(self, pid, message, time):
+        self._record(pid, ActionKind.RECEIVE, time, self._message_detail(message))
+
+    def on_drop(self, message, time):
+        self._record(message.src, ActionKind.DROP, time, self._message_detail(message))
+
+    def on_duplicate(self, message, time):
+        self._record(message.src, ActionKind.DUPLICATE, time, self._message_detail(message))
+
+    def on_timer(self, pid, name, time):
+        self._record(pid, ActionKind.TIMER, time, {"name": name})
+
+    def on_random(self, pid, method, value, time):
+        self._record(pid, ActionKind.RANDOM, time, {"method": method, "value": value})
+
+    def on_clock_read(self, pid, value):
+        time = self._cluster.now if self._cluster is not None else value
+        self._record(pid, ActionKind.CLOCK_READ, time, {"value": value})
+
+    def on_crash(self, pid, time):
+        self._record(pid, ActionKind.CRASH, time, {})
+
+    def on_recover(self, pid, time):
+        self._record(pid, ActionKind.RECOVER, time, {})
+
+    def on_corruption(self, pid, description, time):
+        self._record(pid, ActionKind.CORRUPTION, time, {"description": description})
+
+    def on_invariant_violation(self, pid, name, detail, time):
+        self._record(pid, ActionKind.VIOLATION, time, {"invariant": name, "detail": detail})
+        return None
+
+    def record_checkpoint(self, pid: str, sequence: int, time: float) -> None:
+        """Record that a local checkpoint was taken (called by checkpoint policies)."""
+        self._record(pid, ActionKind.CHECKPOINT, time, {"sequence": sequence})

@@ -1,0 +1,233 @@
+"""Deterministic replay of recorded executions (liblog-style local playback).
+
+The replayer re-executes each process *locally* from its initial state,
+feeding it the recorded message deliveries and timer firings in the
+recorded order and substituting recorded outcomes for every source of
+nondeterminism (random draws, clock reads).  The remote side of every
+interaction is therefore "played" from the Scroll — the black-box view of
+Section 2.2 — so no other process needs to run.
+
+Replay serves two purposes in FixD:
+
+* **bug reporting** — the developer gets a precise, re-executable trace
+  of what each process did before a violation;
+* **validation** — a replay whose sends differ from the recorded sends
+  (a *divergence*) means the recorded log is not sufficient to explain
+  the execution, exactly the condition liblog flags.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.dsim.message import Message
+from repro.dsim.process import Process, ProcessContext
+from repro.errors import ReplayDivergenceError
+from repro.scroll.entry import ActionKind
+from repro.scroll.interceptor import ReplayClock, ReplayRandomStream
+from repro.scroll.scroll import Scroll
+
+ProcessFactory = Callable[[], Process]
+
+
+@dataclass
+class ProcessReplay:
+    """Outcome of replaying one process."""
+
+    pid: str
+    events_replayed: int
+    sends_recorded: int
+    sends_replayed: int
+    diverged: bool
+    divergence_detail: Optional[str]
+    final_state: Dict[str, Any]
+    replayed_sends: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diverged
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying every process recorded on a Scroll."""
+
+    processes: Dict[str, ProcessReplay]
+
+    @property
+    def ok(self) -> bool:
+        return all(replay.ok for replay in self.processes.values())
+
+    def diverged_processes(self) -> List[str]:
+        return sorted(pid for pid, replay in self.processes.items() if replay.diverged)
+
+    def total_events(self) -> int:
+        return sum(replay.events_replayed for replay in self.processes.values())
+
+
+class _ReplaySendChecker:
+    """Compares replayed sends against the recorded ones in order."""
+
+    def __init__(self, pid: str, recorded: List[Dict[str, Any]], strict: bool) -> None:
+        self.pid = pid
+        self.recorded = recorded
+        self.strict = strict
+        self.observed: List[Dict[str, Any]] = []
+        self.divergence: Optional[str] = None
+
+    def observe(self, message: Message) -> None:
+        index = len(self.observed)
+        record = message.to_record()
+        self.observed.append(record)
+        if self.divergence is not None:
+            return
+        if index >= len(self.recorded):
+            self._diverge(f"extra send #{index}: {message.describe()}", "<no recorded send>", record)
+            return
+        expected = self.recorded[index]
+        for key in ("dst", "kind", "payload"):
+            if expected.get(key) != record.get(key):
+                self._diverge(
+                    f"send #{index} field {key!r} differs: recorded {expected.get(key)!r}, "
+                    f"replayed {record.get(key)!r}",
+                    expected,
+                    record,
+                )
+                return
+
+    def finish(self) -> None:
+        if self.divergence is None and len(self.observed) < len(self.recorded):
+            self._diverge(
+                f"replay produced {len(self.observed)} sends but {len(self.recorded)} were recorded",
+                self.recorded[len(self.observed)],
+                "<no replayed send>",
+            )
+
+    def _diverge(self, detail: str, expected: Any, actual: Any) -> None:
+        self.divergence = detail
+        if self.strict:
+            raise ReplayDivergenceError(self.pid, expected, actual)
+
+
+class Replayer:
+    """Replays processes recorded on a Scroll from fresh instances."""
+
+    def __init__(
+        self,
+        scroll: Scroll,
+        factories: Dict[str, ProcessFactory],
+        strict: bool = False,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        scroll:
+            The recorded execution (a global Scroll or a per-process slice).
+        factories:
+            A zero-argument factory per process id; the replayer builds a
+            fresh instance so replay starts from the initial state.
+        strict:
+            When true, the first divergence raises
+            :class:`ReplayDivergenceError`; when false (default) the
+            divergence is recorded in the report and replay continues.
+        """
+        self.scroll = scroll
+        self.factories = dict(factories)
+        self.strict = strict
+
+    # ------------------------------------------------------------------
+    # single-process replay
+    # ------------------------------------------------------------------
+    def replay_process(self, pid: str) -> ProcessReplay:
+        """Replay one process against the Scroll and report the outcome."""
+        if pid not in self.factories:
+            raise KeyError(f"no factory registered for process {pid!r}")
+        process = self.factories[pid]()
+
+        recorded_sends = self.scroll.sent_messages(pid)
+        checker = _ReplaySendChecker(pid, recorded_sends, self.strict)
+        rng = ReplayRandomStream(pid, self.scroll.random_outcomes(pid))
+        clock = ReplayClock(pid, self.scroll.clock_reads(pid))
+        pending_timer_payloads: Dict[str, deque] = defaultdict(deque)
+
+        def send_fn(message: Message) -> None:
+            checker.observe(message)
+
+        def timer_fn(name: str, delay: float, payload: Any) -> None:
+            pending_timer_payloads[name].append(payload)
+
+        def cancel_timer_fn(name: str) -> None:
+            pending_timer_payloads[name].clear()
+
+        all_pids = tuple(self.scroll.pids()) or (pid,)
+        ctx = ProcessContext(
+            pid=pid,
+            peers=all_pids,
+            send_fn=send_fn,
+            timer_fn=timer_fn,
+            cancel_timer_fn=cancel_timer_fn,
+            now_fn=clock.read,
+            rng=rng,  # type: ignore[arg-type] — same draw interface as DeterministicRNG
+        )
+        process.bind(ctx)
+
+        divergence: Optional[str] = None
+        events_replayed = 0
+        try:
+            process.on_start()
+            for entry in self.scroll.entries_for(pid):
+                clock.advance_fallback(entry.time)
+                if entry.kind is ActionKind.RECEIVE and "message" in entry.detail:
+                    message = Message.from_record(entry.detail["message"])
+                    process.deliver(message)
+                    events_replayed += 1
+                elif entry.kind is ActionKind.TIMER:
+                    name = entry.detail.get("name")
+                    queue = pending_timer_payloads.get(name)
+                    payload = queue.popleft() if queue else None
+                    process.fire_timer(name, payload)
+                    events_replayed += 1
+            checker.finish()
+        except ReplayDivergenceError as error:
+            if self.strict:
+                raise
+            divergence = str(error)
+
+        divergence = divergence or checker.divergence
+        return ProcessReplay(
+            pid=pid,
+            events_replayed=events_replayed,
+            sends_recorded=len(recorded_sends),
+            sends_replayed=len(checker.observed),
+            diverged=divergence is not None,
+            divergence_detail=divergence,
+            final_state=dict(process.state),
+            replayed_sends=list(checker.observed),
+        )
+
+    # ------------------------------------------------------------------
+    # whole-system replay
+    # ------------------------------------------------------------------
+    def replay_all(self) -> ReplayReport:
+        """Replay every process that both appears on the Scroll and has a factory."""
+        results: Dict[str, ProcessReplay] = {}
+        for pid in self.scroll.pids():
+            if pid in self.factories:
+                results[pid] = self.replay_process(pid)
+        return ReplayReport(processes=results)
+
+    def replay_until_violation(self) -> Tuple[ReplayReport, Optional[str]]:
+        """Replay only the prefix that precedes the first recorded violation.
+
+        Returns the report and the pid of the violating process (or None
+        if the Scroll records no violation).
+        """
+        violations = self.scroll.violations()
+        if not violations:
+            return self.replay_all(), None
+        first = violations[0]
+        prefix = self.scroll.prefix_until(lambda entry: entry.seq == first.seq)
+        report = Replayer(prefix, self.factories, strict=self.strict).replay_all()
+        return report, first.pid

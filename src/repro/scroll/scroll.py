@@ -1,0 +1,209 @@
+"""The Scroll itself: an append-only log of recorded actions with queries.
+
+A single Scroll can hold the actions of every process in the system (the
+"common Scroll" of Figure 1) or of a single process; :meth:`Scroll.merge`
+combines per-process Scrolls into one, re-establishing a causally
+consistent global order using the recorded vector timestamps and falling
+back to recorded times and sequence numbers for concurrent entries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.dsim.clock import VectorTimestamp
+from repro.scroll.entry import ActionKind, ScrollEntry
+
+
+class Scroll:
+    """Append-only, queryable log of :class:`ScrollEntry` records."""
+
+    def __init__(self, entries: Optional[Iterable[ScrollEntry]] = None) -> None:
+        self._entries: List[ScrollEntry] = list(entries or [])
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def append(self, entry: ScrollEntry) -> ScrollEntry:
+        """Append one entry and return it."""
+        self._entries.append(entry)
+        return entry
+
+    def record(
+        self,
+        pid: str,
+        kind: ActionKind,
+        time: float,
+        detail: Optional[Dict] = None,
+        vt: Optional[VectorTimestamp] = None,
+    ) -> ScrollEntry:
+        """Convenience constructor + append."""
+        entry = ScrollEntry(pid=pid, kind=kind, time=time, detail=dict(detail or {}), vt=vt)
+        return self.append(entry)
+
+    def annotate(self, pid: str, time: float, text: str) -> ScrollEntry:
+        """Record a free-form annotation (application log line)."""
+        return self.record(pid, ActionKind.ANNOTATION, time, {"text": text})
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ScrollEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> ScrollEntry:
+        return self._entries[index]
+
+    @property
+    def entries(self) -> List[ScrollEntry]:
+        """All entries in record order (a copy)."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def entries_for(self, pid: str) -> List[ScrollEntry]:
+        """All entries belonging to one process, in record order."""
+        return [entry for entry in self._entries if entry.pid == pid]
+
+    def of_kind(self, *kinds: ActionKind) -> List[ScrollEntry]:
+        """All entries whose kind is one of ``kinds``."""
+        wanted = set(kinds)
+        return [entry for entry in self._entries if entry.kind in wanted]
+
+    def nondeterministic(self) -> List[ScrollEntry]:
+        """Only the entries required for deterministic replay."""
+        return [entry for entry in self._entries if entry.is_nondeterministic]
+
+    def between(self, start: float, end: float) -> List[ScrollEntry]:
+        """Entries whose recorded time falls in ``[start, end)``."""
+        return [entry for entry in self._entries if start <= entry.time < end]
+
+    def filter(self, predicate: Callable[[ScrollEntry], bool]) -> List[ScrollEntry]:
+        """Entries matching an arbitrary predicate."""
+        return [entry for entry in self._entries if predicate(entry)]
+
+    def pids(self) -> List[str]:
+        """Sorted list of process ids appearing in the Scroll."""
+        return sorted({entry.pid for entry in self._entries})
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Number of entries per action kind (kind value -> count)."""
+        counts: Dict[str, int] = defaultdict(int)
+        for entry in self._entries:
+            counts[entry.kind.value] += 1
+        return dict(counts)
+
+    def counts_by_process(self) -> Dict[str, int]:
+        """Number of entries per process."""
+        counts: Dict[str, int] = defaultdict(int)
+        for entry in self._entries:
+            counts[entry.pid] += 1
+        return dict(counts)
+
+    def last_entry(self, pid: Optional[str] = None) -> Optional[ScrollEntry]:
+        """The most recently recorded entry (optionally restricted to one process)."""
+        candidates = self._entries if pid is None else self.entries_for(pid)
+        return candidates[-1] if candidates else None
+
+    def violations(self) -> List[ScrollEntry]:
+        """All recorded invariant violations."""
+        return self.of_kind(ActionKind.VIOLATION)
+
+    # ------------------------------------------------------------------
+    # per-process replay material
+    # ------------------------------------------------------------------
+    def received_messages(self, pid: str) -> List[Dict]:
+        """The serialized messages delivered to ``pid``, in delivery order."""
+        return [
+            entry.detail["message"]
+            for entry in self._entries
+            if entry.pid == pid and entry.kind is ActionKind.RECEIVE and "message" in entry.detail
+        ]
+
+    def sent_messages(self, pid: str) -> List[Dict]:
+        """The serialized messages sent by ``pid``, in send order."""
+        return [
+            entry.detail["message"]
+            for entry in self._entries
+            if entry.pid == pid and entry.kind is ActionKind.SEND and "message" in entry.detail
+        ]
+
+    def random_outcomes(self, pid: str) -> List[Dict]:
+        """Recorded random draws of ``pid``: ``{"method", "value"}`` in draw order."""
+        return [
+            {"method": entry.detail.get("method"), "value": entry.detail.get("value")}
+            for entry in self._entries
+            if entry.pid == pid and entry.kind is ActionKind.RANDOM
+        ]
+
+    def clock_reads(self, pid: str) -> List[float]:
+        """Recorded clock reads of ``pid`` in read order."""
+        return [
+            entry.detail.get("value", entry.time)
+            for entry in self._entries
+            if entry.pid == pid and entry.kind is ActionKind.CLOCK_READ
+        ]
+
+    def timer_firings(self, pid: str) -> List[Dict]:
+        """Recorded timer firings of ``pid``: ``{"name", "time"}`` in order."""
+        return [
+            {"name": entry.detail.get("name"), "time": entry.time}
+            for entry in self._entries
+            if entry.pid == pid and entry.kind is ActionKind.TIMER
+        ]
+
+    # ------------------------------------------------------------------
+    # slicing and merging
+    # ------------------------------------------------------------------
+    def slice_for(self, pids: Sequence[str]) -> "Scroll":
+        """A new Scroll containing only the entries of the given processes."""
+        wanted = set(pids)
+        return Scroll(entry for entry in self._entries if entry.pid in wanted)
+
+    def prefix_until(self, predicate: Callable[[ScrollEntry], bool]) -> "Scroll":
+        """The prefix of the Scroll up to (excluding) the first entry matching ``predicate``."""
+        prefix: List[ScrollEntry] = []
+        for entry in self._entries:
+            if predicate(entry):
+                break
+            prefix.append(entry)
+        return Scroll(prefix)
+
+    @staticmethod
+    def merge(scrolls: Iterable["Scroll"]) -> "Scroll":
+        """Merge several Scrolls into one causally consistent Scroll.
+
+        Entries are ordered primarily by causal order (vector timestamps
+        when both entries carry them), then by recorded time, then by
+        the original sequence number.  Because vector-timestamp order is
+        partial, the sort key uses the *sum* of the vector components as
+        a linear extension — this preserves happens-before (a causally
+        later event always has a strictly larger component sum) while
+        giving concurrent events a deterministic order.
+        """
+        combined: List[ScrollEntry] = []
+        for scroll in scrolls:
+            combined.extend(scroll.entries)
+
+        def key(entry: ScrollEntry):
+            causal_weight = sum(entry.vt.as_dict().values()) if entry.vt is not None else 0
+            return (entry.time, causal_weight, entry.seq)
+
+        return Scroll(sorted(combined, key=key))
+
+    def to_records(self) -> List[Dict]:
+        """Serialize the whole Scroll to a list of plain dictionaries."""
+        return [entry.to_record() for entry in self._entries]
+
+    @staticmethod
+    def from_records(records: Iterable[Dict]) -> "Scroll":
+        """Rebuild a Scroll from :meth:`to_records` output."""
+        return Scroll(ScrollEntry.from_record(record) for record in records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Scroll(entries={len(self._entries)}, pids={self.pids()})"

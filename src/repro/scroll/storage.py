@@ -1,0 +1,54 @@
+"""Persisting Scrolls to disk as JSON lines.
+
+The on-disk format is one JSON object per line (the
+:meth:`~repro.scroll.entry.ScrollEntry.to_record` shape), which keeps the
+files append-friendly, diff-able and loadable without reading everything
+into memory at once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.scroll.entry import ScrollEntry
+from repro.scroll.scroll import Scroll
+
+PathLike = Union[str, Path]
+
+
+def save_scroll(scroll: Scroll, path: PathLike) -> int:
+    """Write ``scroll`` to ``path`` as JSON lines; returns the entry count."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with target.open("w", encoding="utf-8") as handle:
+        for entry in scroll:
+            handle.write(json.dumps(entry.to_record(), sort_keys=True, default=str))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_scroll_records(path: PathLike) -> Iterator[dict]:
+    """Yield raw entry records from a Scroll file without building a Scroll."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def load_scroll(path: PathLike) -> Scroll:
+    """Load a Scroll previously written by :func:`save_scroll`."""
+    return Scroll(ScrollEntry.from_record(record) for record in iter_scroll_records(path))
+
+
+def append_entry(path: PathLike, entry: ScrollEntry) -> None:
+    """Append a single entry to an existing Scroll file (creating it if needed)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry.to_record(), sort_keys=True, default=str))
+        handle.write("\n")

@@ -1,0 +1,54 @@
+"""The Time Machine: checkpointing, speculations and distributed rollback.
+
+Paper Sections 3.2 and 4.2 (Figures 2 and 6).  The Time Machine's job is
+to take the system back to a *consistent* global state that predates an
+invariant violation, so the Investigator can explore alternative
+executions and the Healer can resume from useful work instead of
+restarting from scratch.
+
+The package provides:
+
+* local checkpoint capture and storage, in two flavours — full deep
+  copies (:mod:`repro.timemachine.checkpoint`) and copy-on-write
+  incremental checkpoints (:mod:`repro.timemachine.cow`);
+* three checkpointing *policies*: communication-induced (the paper's
+  choice, driven by speculations), periodic/uncoordinated, and a
+  coordinated stop-the-world snapshot standing in for Chandy–Lamport
+  (:mod:`repro.timemachine.comm_induced`, :mod:`repro.timemachine.coordinated`);
+* distributed speculations with absorption and abort-driven rollback
+  (:mod:`repro.timemachine.speculation`);
+* safe recovery-line computation over per-process checkpoint histories
+  (:mod:`repro.timemachine.recovery_line`);
+* the rollback manager and the :class:`~repro.timemachine.time_machine.TimeMachine`
+  facade that FixD uses.
+"""
+
+from repro.timemachine.checkpoint import CheckpointStore, GlobalCheckpoint, LocalCheckpointLog
+from repro.timemachine.comm_induced import CommunicationInducedCheckpointing, PeriodicCheckpointing
+from repro.timemachine.coordinated import CoordinatedSnapshotter
+from repro.timemachine.cow import CowCheckpoint, CowPageStore
+from repro.timemachine.recovery_line import RecoveryLine, compute_recovery_line, is_consistent
+from repro.timemachine.rollback import RollbackManager, RollbackResult
+from repro.timemachine.speculation import Speculation, SpeculationManager, SpeculationStatus
+from repro.timemachine.time_machine import CheckpointPolicy, TimeMachine
+
+__all__ = [
+    "CheckpointStore",
+    "GlobalCheckpoint",
+    "LocalCheckpointLog",
+    "CommunicationInducedCheckpointing",
+    "PeriodicCheckpointing",
+    "CoordinatedSnapshotter",
+    "CowCheckpoint",
+    "CowPageStore",
+    "RecoveryLine",
+    "compute_recovery_line",
+    "is_consistent",
+    "RollbackManager",
+    "RollbackResult",
+    "Speculation",
+    "SpeculationManager",
+    "SpeculationStatus",
+    "CheckpointPolicy",
+    "TimeMachine",
+]

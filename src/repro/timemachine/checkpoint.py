@@ -1,0 +1,168 @@
+"""Checkpoint storage: per-process checkpoint logs and global checkpoints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.dsim.process import ProcessCheckpoint
+from repro.errors import CheckpointError
+
+
+class LocalCheckpointLog:
+    """The ordered history of one process's local checkpoints.
+
+    Checkpoints are kept in capture order; ``sequence`` numbers come from
+    the process itself and are strictly increasing.  The log can be
+    truncated from the front (garbage collection after a committed
+    recovery line) or from the back (discarding checkpoints that are in
+    the future of a rollback).
+    """
+
+    def __init__(self, pid: str, capacity: Optional[int] = None) -> None:
+        self.pid = pid
+        self.capacity = capacity
+        self._checkpoints: List[ProcessCheckpoint] = []
+
+    def add(self, checkpoint: ProcessCheckpoint) -> ProcessCheckpoint:
+        """Append a checkpoint, keeping log sequence numbers monotone.
+
+        A process that was restarted or dynamically updated starts
+        counting its checkpoints from scratch; the log re-sequences such
+        checkpoints so the history stays totally ordered.
+        """
+        if checkpoint.pid != self.pid:
+            raise CheckpointError(
+                f"checkpoint for {checkpoint.pid!r} added to the log of {self.pid!r}"
+            )
+        if self._checkpoints and checkpoint.sequence <= self._checkpoints[-1].sequence:
+            checkpoint.sequence = self._checkpoints[-1].sequence + 1
+        self._checkpoints.append(checkpoint)
+        if self.capacity is not None and len(self._checkpoints) > self.capacity:
+            self._checkpoints.pop(0)
+        return checkpoint
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    def __iter__(self) -> Iterator[ProcessCheckpoint]:
+        return iter(self._checkpoints)
+
+    @property
+    def latest(self) -> Optional[ProcessCheckpoint]:
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    @property
+    def earliest(self) -> Optional[ProcessCheckpoint]:
+        return self._checkpoints[0] if self._checkpoints else None
+
+    def all(self) -> List[ProcessCheckpoint]:
+        return list(self._checkpoints)
+
+    def by_sequence(self, sequence: int) -> ProcessCheckpoint:
+        for checkpoint in self._checkpoints:
+            if checkpoint.sequence == sequence:
+                return checkpoint
+        raise CheckpointError(f"no checkpoint with sequence {sequence} for process {self.pid!r}")
+
+    def latest_before(self, time: float) -> Optional[ProcessCheckpoint]:
+        """The most recent checkpoint captured at or before ``time``."""
+        candidates = [c for c in self._checkpoints if c.time <= time]
+        return candidates[-1] if candidates else None
+
+    def drop_after(self, sequence: int) -> int:
+        """Discard checkpoints with a sequence strictly greater than ``sequence``."""
+        before = len(self._checkpoints)
+        self._checkpoints = [c for c in self._checkpoints if c.sequence <= sequence]
+        return before - len(self._checkpoints)
+
+    def drop_before(self, sequence: int) -> int:
+        """Garbage-collect checkpoints with a sequence strictly smaller than ``sequence``."""
+        before = len(self._checkpoints)
+        self._checkpoints = [c for c in self._checkpoints if c.sequence >= sequence]
+        return before - len(self._checkpoints)
+
+    def total_bytes(self) -> int:
+        """Approximate storage cost of the whole log."""
+        return sum(checkpoint.size_bytes() for checkpoint in self._checkpoints)
+
+
+@dataclass
+class GlobalCheckpoint:
+    """One checkpoint per process, claimed to be globally consistent.
+
+    The Investigator is fed one of these (assembled by the fault-response
+    protocol of Figure 4); :func:`repro.timemachine.recovery_line.is_consistent`
+    is the check that the claim actually holds.
+    """
+
+    checkpoints: Dict[str, ProcessCheckpoint] = field(default_factory=dict)
+    label: str = ""
+
+    def add(self, checkpoint: ProcessCheckpoint) -> None:
+        self.checkpoints[checkpoint.pid] = checkpoint
+
+    def pids(self) -> List[str]:
+        return sorted(self.checkpoints)
+
+    def __contains__(self, pid: str) -> bool:
+        return pid in self.checkpoints
+
+    def __getitem__(self, pid: str) -> ProcessCheckpoint:
+        return self.checkpoints[pid]
+
+    def total_bytes(self) -> int:
+        return sum(checkpoint.size_bytes() for checkpoint in self.checkpoints.values())
+
+    def max_time(self) -> float:
+        """Latest capture time among the member checkpoints."""
+        return max((c.time for c in self.checkpoints.values()), default=0.0)
+
+    def min_time(self) -> float:
+        """Earliest capture time among the member checkpoints."""
+        return min((c.time for c in self.checkpoints.values()), default=0.0)
+
+
+class CheckpointStore:
+    """All local checkpoint logs of a running system, keyed by process id."""
+
+    def __init__(self, capacity_per_process: Optional[int] = None) -> None:
+        self.capacity_per_process = capacity_per_process
+        self._logs: Dict[str, LocalCheckpointLog] = {}
+
+    def log_for(self, pid: str) -> LocalCheckpointLog:
+        """The checkpoint log of ``pid`` (created on first use)."""
+        if pid not in self._logs:
+            self._logs[pid] = LocalCheckpointLog(pid, self.capacity_per_process)
+        return self._logs[pid]
+
+    def add(self, checkpoint: ProcessCheckpoint) -> ProcessCheckpoint:
+        return self.log_for(checkpoint.pid).add(checkpoint)
+
+    def pids(self) -> List[str]:
+        return sorted(self._logs)
+
+    def latest(self, pid: str) -> Optional[ProcessCheckpoint]:
+        return self.log_for(pid).latest
+
+    def latest_global(self, label: str = "latest") -> GlobalCheckpoint:
+        """The newest checkpoint of every process, bundled (not necessarily consistent)."""
+        bundle = GlobalCheckpoint(label=label)
+        for pid in self.pids():
+            latest = self.latest(pid)
+            if latest is None:
+                raise CheckpointError(f"process {pid!r} has no checkpoints yet")
+            bundle.add(latest)
+        return bundle
+
+    def checkpoint_counts(self) -> Dict[str, int]:
+        return {pid: len(log) for pid, log in self._logs.items()}
+
+    def total_checkpoints(self) -> int:
+        return sum(len(log) for log in self._logs.values())
+
+    def total_bytes(self) -> int:
+        return sum(log.total_bytes() for log in self._logs.values())
+
+    def clear(self) -> None:
+        self._logs.clear()

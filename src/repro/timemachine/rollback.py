@@ -1,0 +1,94 @@
+"""The rollback manager: applying recovery lines to a running cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dsim.process import ProcessCheckpoint
+from repro.errors import RecoveryLineError
+from repro.timemachine.recovery_line import RecoveryLine, is_consistent
+
+
+@dataclass
+class RollbackResult:
+    """What a rollback did, for reports and benchmarks."""
+
+    restored_pids: List[str]
+    recovery_line: RecoveryLine
+    time_before: float
+    rollback_distance: Dict[str, float] = field(default_factory=dict)
+    alternate_paths_invoked: int = 0
+
+    @property
+    def max_rollback_distance(self) -> float:
+        """Largest amount of simulated time any process lost to the rollback."""
+        return max(self.rollback_distance.values(), default=0.0)
+
+    @property
+    def total_rollback_distance(self) -> float:
+        return sum(self.rollback_distance.values())
+
+
+class RollbackManager:
+    """Applies recovery lines to a cluster and optionally re-routes execution.
+
+    The second function of the Time Machine (Section 3.2) is "the ability
+    to resume execution from the saved checkpoint on a different branch
+    of execution that could bypass the error".  Alternate branches are
+    registered per process as callbacks invoked right after the rollback;
+    an application typically uses them to flip a mode flag or re-issue a
+    request along a different path.
+    """
+
+    def __init__(self, cluster) -> None:
+        self._cluster = cluster
+        self._alternate_paths: Dict[str, Callable[[object], None]] = {}
+        self.history: List[RollbackResult] = []
+
+    def register_alternate_path(self, pid: str, callback: Callable[[object], None]) -> None:
+        """Register a callback invoked with the process object after it is rolled back."""
+        self._alternate_paths[pid] = callback
+
+    def rollback(self, line: RecoveryLine, verify: bool = True) -> RollbackResult:
+        """Restore every process named in ``line`` and cancel their in-flight events."""
+        if verify and not is_consistent(line.checkpoints):
+            raise RecoveryLineError(
+                "refusing to roll back to an inconsistent set of checkpoints"
+            )
+        time_before = self._cluster.now
+        distances = {
+            pid: max(0.0, time_before - checkpoint.time)
+            for pid, checkpoint in line.checkpoints.items()
+        }
+        self._cluster.restore_checkpoints(dict(line.checkpoints))
+        invoked = 0
+        for pid in line.checkpoints:
+            callback = self._alternate_paths.get(pid)
+            if callback is not None:
+                callback(self._cluster.process(pid))
+                invoked += 1
+        result = RollbackResult(
+            restored_pids=sorted(line.checkpoints),
+            recovery_line=line,
+            time_before=time_before,
+            rollback_distance=distances,
+            alternate_paths_invoked=invoked,
+        )
+        self.history.append(result)
+        return result
+
+    def rollback_single(self, checkpoint: ProcessCheckpoint) -> RollbackResult:
+        """Roll back a single process (a degenerate one-process recovery line)."""
+        line = RecoveryLine(
+            checkpoints={checkpoint.pid: checkpoint},
+            rolled_back_steps={checkpoint.pid: 0},
+            iterations=1,
+            domino_effect=False,
+            label=f"single-{checkpoint.pid}",
+        )
+        return self.rollback(line, verify=False)
+
+    @property
+    def rollbacks_performed(self) -> int:
+        return len(self.history)

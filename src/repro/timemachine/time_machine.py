@@ -1,0 +1,153 @@
+"""The Time Machine facade: checkpoint policy + recovery lines + rollback.
+
+This is the component FixD's orchestration talks to.  It bundles
+
+* a checkpoint *policy* hook (communication-induced, periodic, or
+  coordinated snapshots on demand),
+* the shared :class:`~repro.timemachine.checkpoint.CheckpointStore` and
+  optional :class:`~repro.timemachine.cow.CowPageStore`,
+* the :class:`~repro.timemachine.speculation.SpeculationManager`, and
+* a :class:`~repro.timemachine.rollback.RollbackManager`
+
+behind a small API: ``attach(cluster)``, ``rollback_to_consistent_state()``
+and ``stats()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.errors import CheckpointError
+from repro.timemachine.checkpoint import CheckpointStore, GlobalCheckpoint
+from repro.timemachine.comm_induced import (
+    CommunicationInducedCheckpointing,
+    PeriodicCheckpointing,
+)
+from repro.timemachine.coordinated import CoordinatedSnapshotter
+from repro.timemachine.cow import CowPageStore
+from repro.timemachine.recovery_line import RecoveryLine, compute_recovery_line
+from repro.timemachine.rollback import RollbackManager, RollbackResult
+from repro.timemachine.speculation import SpeculationManager
+
+
+class CheckpointPolicy(Enum):
+    """Which checkpointing scheme the Time Machine runs."""
+
+    COMMUNICATION_INDUCED = "communication-induced"
+    PERIODIC = "periodic"
+    COORDINATED = "coordinated"
+
+
+@dataclass
+class TimeMachineConfig:
+    """Configuration of the Time Machine facade."""
+
+    policy: CheckpointPolicy = CheckpointPolicy.COMMUNICATION_INDUCED
+    periodic_interval: int = 10
+    use_cow_store: bool = True
+    cow_page_size: int = 1024
+    checkpoint_capacity_per_process: Optional[int] = None
+
+
+class TimeMachine:
+    """FixD's rollback component."""
+
+    def __init__(self, config: Optional[TimeMachineConfig] = None) -> None:
+        self.config = config or TimeMachineConfig()
+        self.store = CheckpointStore(self.config.checkpoint_capacity_per_process)
+        self.cow_store = (
+            CowPageStore(self.config.cow_page_size) if self.config.use_cow_store else None
+        )
+        self.speculations = SpeculationManager(self.store, self.cow_store)
+        self._cluster = None
+        self._rollback_manager: Optional[RollbackManager] = None
+        self._policy_hook = None
+        self._snapshotter: Optional[CoordinatedSnapshotter] = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, cluster) -> None:
+        """Install the checkpoint policy and speculation manager on a cluster."""
+        self._cluster = cluster
+        self._rollback_manager = RollbackManager(cluster)
+        if self.config.policy is CheckpointPolicy.COMMUNICATION_INDUCED:
+            self._policy_hook = CommunicationInducedCheckpointing(self.store, self.cow_store)
+            cluster.add_hook(self._policy_hook)
+        elif self.config.policy is CheckpointPolicy.PERIODIC:
+            self._policy_hook = PeriodicCheckpointing(
+                self.config.periodic_interval, self.store, self.cow_store
+            )
+            cluster.add_hook(self._policy_hook)
+        else:
+            self._snapshotter = CoordinatedSnapshotter(self.store)
+        cluster.add_hook(self.speculations)
+
+    @property
+    def cluster(self):
+        if self._cluster is None:
+            raise CheckpointError("TimeMachine is not attached to a cluster")
+        return self._cluster
+
+    @property
+    def rollback_manager(self) -> RollbackManager:
+        if self._rollback_manager is None:
+            raise CheckpointError("TimeMachine is not attached to a cluster")
+        return self._rollback_manager
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_now(self, label: str = "manual") -> GlobalCheckpoint:
+        """Take an immediate coordinated snapshot (regardless of policy)."""
+        if self._snapshotter is None:
+            self._snapshotter = CoordinatedSnapshotter(self.store)
+        return self._snapshotter.take_snapshot(self.cluster, label).global_checkpoint
+
+    def checkpoint_process(self, pid: str) -> None:
+        """Force a local checkpoint of one process right now."""
+        process = self.cluster.process(pid)
+        checkpoint = process.capture_checkpoint(self.cluster.now)
+        self.store.add(checkpoint)
+        if self.cow_store is not None:
+            self.cow_store.capture(pid, process.state, self.cluster.now)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def latest_recovery_line(
+        self, not_after: Optional[Dict[str, float]] = None
+    ) -> RecoveryLine:
+        """Compute the most recent consistent recovery line from stored checkpoints."""
+        return compute_recovery_line(self.store, not_after=not_after)
+
+    def rollback_to_consistent_state(
+        self, not_after: Optional[Dict[str, float]] = None
+    ) -> RollbackResult:
+        """Compute a safe recovery line and apply it to the cluster."""
+        line = self.latest_recovery_line(not_after=not_after)
+        return self.rollback_manager.rollback(line)
+
+    def rollback_to(self, line: RecoveryLine) -> RollbackResult:
+        """Apply a pre-computed recovery line."""
+        return self.rollback_manager.rollback(line)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Checkpoint, storage and speculation statistics for reports."""
+        stats: Dict[str, object] = {
+            "policy": self.config.policy.value,
+            "checkpoints": self.store.total_checkpoints(),
+            "checkpoint_bytes_full": self.store.total_bytes(),
+            "rollbacks": self._rollback_manager.rollbacks_performed if self._rollback_manager else 0,
+            "speculations": self.speculations.stats(),
+        }
+        if self.cow_store is not None:
+            stats["cow_stored_bytes"] = self.cow_store.stored_bytes()
+            stats["cow_logical_bytes"] = self.cow_store.logical_bytes()
+            stats["cow_savings_ratio"] = self.cow_store.savings_ratio()
+        return stats

@@ -1,0 +1,156 @@
+"""End-to-end integration tests across components, plus the multiprocessing backend."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.apps.bank import BankBranch, BankBranchFixed, build_bank_cluster, total_balance_invariant
+from repro.apps.kvstore import KVClient, KVReplica
+from repro.apps.wordcount import build_wordcount_cluster, expected_counts
+from repro.core.fixd import FixD, FixDConfig
+from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.dsim.failure import CrashFault, FailurePlan
+from repro.dsim.mp_backend import MPCluster
+from repro.dsim.process import Process, handler
+from repro.healer.healer import Healer
+from repro.healer.patch import generate_patch
+from repro.healer.strategies import RecoveryStrategy
+from repro.investigator.investigator import Investigator, InvestigatorConfig
+from repro.scroll.recorder import ScrollRecorder
+from repro.scroll.replayer import Replayer
+from repro.scroll.storage import load_scroll, save_scroll
+from repro.timemachine.time_machine import TimeMachine
+
+from tests.conftest import PingPong, make_cluster
+
+
+class TestRecordReplayRoundTrip:
+    def test_record_save_load_replay_kvstore(self, tmp_path):
+        factories = {
+            "replica0": KVReplica,
+            "replica1": KVReplica,
+            "client0": KVClient,
+        }
+        cluster = make_cluster(factories, seed=17)
+        recorder = ScrollRecorder()
+        cluster.add_hook(recorder)
+        result = cluster.run(max_events=2000)
+        assert result.ok
+
+        path = tmp_path / "kv.scroll.jsonl"
+        save_scroll(recorder.scroll, path)
+        loaded = load_scroll(path)
+        report = Replayer(loaded, factories).replay_all()
+        assert report.ok
+        for pid, replay in report.processes.items():
+            assert replay.final_state == result.process_states[pid]
+
+
+class TestCrashRecoveryWithCheckpoints:
+    def test_crashed_worker_resumes_from_checkpoint(self):
+        cluster = Cluster(ClusterConfig(seed=11, halt_on_violation=False))
+        build_wordcount_cluster(cluster, workers=2, chunks=8)
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.set_failure_plan(
+            FailurePlan(crashes=[CrashFault("worker0", at=5.0, recover_at=9.0)])
+        )
+        result = cluster.run(max_events=4000)
+        # Recovery lets the master finish aggregating every chunk it dispatched.
+        master = cluster.process("master").state
+        assert master["aggregated"] <= master["dispatched"]
+        assert time_machine.store.total_checkpoints() > 0
+
+
+class TestGlobalInvariantHealing:
+    def test_bank_healed_by_fixd_global_investigation(self):
+        """Detect the bank's conservation bug via the Investigator, then heal it."""
+        cluster = Cluster(ClusterConfig(seed=13, halt_on_violation=False))
+        build_bank_cluster(cluster, branches=3)
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.run(until=6.0, max_events=200)
+
+        investigation = Investigator(InvestigatorConfig(max_states=1500, max_depth=30)).investigate(
+            {pid: BankBranch for pid in cluster.pids},
+            checkpoint=time_machine.latest_recovery_line().as_global_checkpoint(),
+            global_invariants={"conservation": total_balance_invariant},
+        )
+        assert investigation.found_violation
+
+        healer = Healer(cluster, time_machine)
+        report = healer.heal(
+            generate_patch(BankBranch, BankBranchFixed, description="no fee"),
+            strategy=RecoveryStrategy.RESUME_FROM_CHECKPOINT,
+        )
+        assert report.succeeded
+        cluster.resume()
+        cluster.run(max_events=500)
+        assert all(isinstance(cluster.process(pid), BankBranchFixed) for pid in cluster.pids)
+
+
+class TestRepeatedFaultHandling:
+    def test_fixd_handles_multiple_faults_up_to_budget(self):
+        class FlakyCounter(Process):
+            def on_start(self):
+                self.state["count"] = 0
+                if self.pid == "f0":
+                    self.send("f1", "TICK", None)
+
+            @handler("TICK")
+            def on_tick(self, msg):
+                self.state["count"] += 1
+                self.send(msg.src, "TICK", None)
+
+            def check_invariants(self):
+                from repro.errors import InvariantViolation
+
+                if self.state["count"] in (2, 4):
+                    raise InvariantViolation("count-not-even-checkpoint", self.pid)
+
+        cluster = make_cluster({"f0": FlakyCounter, "f1": FlakyCounter}, seed=2)
+        fixd = FixD(FixDConfig(max_faults_handled=3, investigate_on_fault=False))
+        fixd.attach(cluster)
+        cluster.run(max_events=60)
+        assert 1 <= len(fixd.reports) <= 3
+
+
+@pytest.mark.slow
+class TestMultiprocessingBackend:
+    """The same process classes running on real OS processes."""
+
+    def test_ping_pong_on_real_processes(self):
+        cluster = MPCluster(seed=1)
+        cluster.add_process("p0", PingPong)
+        cluster.add_process("p1", PingPong)
+        result = cluster.run(duration=1.5)
+        assert set(result.final_states) == {"p0", "p1"}
+        counts = sorted(state["count"] for state in result.final_states.values())
+        assert counts == [4, 5]
+        assert result.total_messages >= 9
+
+    def test_mp_backend_matches_simulator_results(self):
+        simulated = make_cluster({"p0": PingPong, "p1": PingPong}, seed=1).run()
+        mp_cluster = MPCluster(seed=1)
+        mp_cluster.add_process("p0", PingPong)
+        mp_cluster.add_process("p1", PingPong)
+        real = mp_cluster.run(duration=1.5)
+        assert real.final_states == simulated.process_states
+
+    def test_duplicate_pid_and_instance_rejected(self):
+        cluster = MPCluster()
+        cluster.add_process("p0", PingPong)
+        with pytest.raises(Exception):
+            cluster.add_process("p0", PingPong)
+        with pytest.raises(TypeError):
+            cluster.add_process("p1", PingPong())
+
+    def test_cooperative_crash(self):
+        cluster = MPCluster(seed=1)
+        cluster.add_process("p0", PingPong)
+        cluster.add_process("p1", PingPong)
+        cluster.crash_after("p1", 0.0)
+        result = cluster.run(duration=1.0)
+        assert result.final_states["p1"]["count"] <= 1

@@ -1,0 +1,219 @@
+"""Integration tests: one executable scenario per figure of the paper.
+
+Each test reproduces, end to end on the simulator, the behaviour the
+corresponding figure illustrates (see DESIGN.md's per-experiment index).
+The matching benchmarks in ``benchmarks/`` quantify the same mechanisms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.bank import BankBranch, BankBranchFixed, build_bank_cluster, total_balance_invariant
+from repro.apps.kvstore import KVClient, KVReplica, KVReplicaStale
+from repro.apps.token_ring import TokenRingNodeBuggy, build_token_ring, single_token_invariant
+from repro.core.fixd import FixD, FixDConfig
+from repro.core.registry import FIXD_CLAIMED_SERVICES, ServiceKind, default_matrix
+from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.healer.patch import generate_patch
+from repro.healer.strategies import RecoveryStrategy
+from repro.investigator.explorer import SearchOrder
+from repro.investigator.investigator import Investigator, InvestigatorConfig
+from repro.scroll.recorder import ScrollRecorder
+from repro.scroll.replayer import Replayer
+from repro.timemachine.recovery_line import compute_recovery_line, is_consistent, unsafe_line
+from repro.timemachine.time_machine import TimeMachine
+
+from tests.conftest import BoundedCounterBuggy, BoundedCounterFixed, make_cluster
+
+
+class RewritingClient(KVClient):
+    operations = [("put", "k", 1), ("put", "k", 2), ("get", "k", None), ("put", "k", 3)]
+
+
+def kvstore_factories():
+    return {
+        "replica0": KVReplica,
+        "replica1": KVReplicaStale,
+        "client0": RewritingClient,
+    }
+
+
+class TestFigure1Scroll:
+    """Figure 1: processes record their nondeterministic actions on the Scroll."""
+
+    def test_scroll_captures_nondeterministic_actions_of_every_process(self):
+        cluster = make_cluster(kvstore_factories(), seed=21, halt_on_violation=False)
+        recorder = ScrollRecorder()
+        cluster.add_hook(recorder)
+        cluster.run(max_events=500)
+        scroll = recorder.scroll
+        assert set(scroll.pids()) == set(cluster.pids)
+        counts = scroll.counts_by_kind()
+        assert counts["send"] == counts["receive"]      # reliable network
+        assert len(scroll.nondeterministic()) > 0
+        # The Scroll is sufficient for offline replay of every process.
+        report = Replayer(scroll, kvstore_factories()).replay_all()
+        assert report.ok
+
+
+class TestFigure2TimeMachine:
+    """Figure 2: roll the whole system back to an earlier consistent point."""
+
+    def test_rollback_returns_system_to_consistent_earlier_state(self):
+        cluster = make_cluster(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}, seed=2, halt_on_violation=False
+        )
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.run(max_events=30)
+        counts_before = {pid: cluster.process(pid).state["count"] for pid in cluster.pids}
+        result = time_machine.rollback_to_consistent_state()
+        counts_after = {pid: cluster.process(pid).state["count"] for pid in cluster.pids}
+        assert set(result.restored_pids) == set(cluster.pids)
+        assert all(counts_after[pid] <= counts_before[pid] for pid in cluster.pids)
+        assert is_consistent(result.recovery_line.checkpoints)
+
+
+class TestFigure3Investigator:
+    """Figure 3: exhaustively find execution paths that lead to invariant violations."""
+
+    def test_exploration_returns_violating_trails(self):
+        report = Investigator(InvestigatorConfig(max_states=3000, max_depth=40)).investigate(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy},
+        )
+        assert report.found_violation
+        trail = report.shortest_trail()
+        assert trail.length >= 1
+        assert any("deliver" in action for action in trail.actions)
+
+
+class TestFigure4FaultResponse:
+    """Figure 4: detect, notify peers, collect checkpoints + models, investigate locally."""
+
+    def test_fixd_pipeline_assembles_consistent_checkpoint_and_investigates(self):
+        cluster = make_cluster(kvstore_factories(), seed=21)
+        fixd = FixD(FixDConfig(investigator=InvestigatorConfig(max_states=2000, max_depth=50)))
+        fixd.attach(cluster)
+        cluster.run(max_events=1000)
+        report = fixd.last_report
+        assert report is not None
+        assert report.fault.pid == "replica1"            # the stale backup detects the fault
+        assert report.protocol_run.consistent
+        assert set(report.protocol_run.global_checkpoint.pids()) == set(cluster.pids)
+        assert report.investigation is not None
+        assert report.investigation.found_violation
+
+
+class TestFigure5Healer:
+    """Figure 5: the programmer's fix is applied by dynamic update and the run resumes."""
+
+    def test_patch_applied_in_place_and_run_completes(self):
+        cluster = make_cluster(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}, seed=2
+        )
+        fixd = FixD()
+        fixd.attach(cluster)
+        fixd.register_patch(
+            generate_patch(BoundedCounterBuggy, BoundedCounterFixed, description="respect the bound")
+        )
+        result = cluster.run(max_events=300)
+        assert result.stopped_reason == "quiescent"
+        assert fixd.last_report.healed
+        assert all(
+            type(cluster.process(pid)).__name__ == "BoundedCounterFixed" for pid in cluster.pids
+        )
+        assert all(state["count"] <= 3 for state in result.process_states.values())
+
+    def test_restart_strategy_loses_completed_work(self):
+        cluster = make_cluster(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}, seed=2
+        )
+        fixd = FixD(FixDConfig(heal_strategy=RecoveryStrategy.RESTART_FROM_SCRATCH))
+        fixd.attach(cluster)
+        fixd.register_patch(generate_patch(BoundedCounterBuggy, BoundedCounterFixed))
+        cluster.run(max_events=300)
+        heal = fixd.last_report.heal
+        assert heal.succeeded
+        assert heal.outcome.total_preserved_time == 0.0
+
+
+class TestFigure6RecoveryLines:
+    """Figure 6: communication-induced checkpointing yields safe recovery lines."""
+
+    def test_safe_line_is_consistent_even_when_naive_line_is_not(self):
+        cluster = Cluster(ClusterConfig(seed=5, halt_on_violation=False))
+        build_token_ring(cluster, nodes=3, node_class=TokenRingNodeBuggy, max_rounds=6)
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.run(until=12.0, max_events=400)
+        safe = compute_recovery_line(time_machine.store)
+        assert is_consistent(safe.checkpoints)
+        naive = unsafe_line(time_machine.store)
+        # The safe line never postdates the naive line and is always consistent.
+        for pid, checkpoint in safe.checkpoints.items():
+            assert checkpoint.time <= naive[pid].time
+
+    def test_speculation_abort_rolls_back_absorbed_processes(self):
+        cluster = Cluster(ClusterConfig(seed=5, halt_on_violation=False))
+        build_token_ring(cluster, nodes=3, max_rounds=6)
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.start()
+        speculation = time_machine.speculations.begin("node0", "token returns promptly")
+        cluster.run(until=8.0, max_events=200)
+        assert len(speculation.members) > 1              # absorption happened
+        entries_before = {pid: cluster.process(pid).state["entries"] for pid in cluster.pids}
+        time_machine.speculations.abort(speculation.spec_id)
+        for pid in speculation.members:
+            assert cluster.process(pid).state["entries"] <= entries_before[pid]
+
+
+class TestFigure7ModelD:
+    """Figure 7: ModelD = front-end DSL + back-end engine with custom search orders."""
+
+    def test_every_search_order_finds_the_seeded_bug(self):
+        from repro.investigator.frontend import ModelBuilder
+        from repro.investigator.modeld import ModelD, ModelDConfig
+
+        builder = ModelBuilder("race")
+        builder.variables(x=0, y=0)
+        builder.add_action("inc-x", lambda s: s.with_values(x=s["x"] + 1), guard=lambda s: s["x"] < 3)
+        builder.add_action("inc-y", lambda s: s.with_values(y=s["y"] + 1), guard=lambda s: s["y"] < 3)
+        builder.invariant("not-both-maxed", lambda s: not (s["x"] == 3 and s["y"] == 3))
+        checker = ModelD.from_builder(builder, ModelDConfig(max_states=500))
+        for order in (SearchOrder.BFS, SearchOrder.DFS, SearchOrder.RANDOM):
+            assert not checker.check(order).ok, f"{order} missed the violation"
+
+    def test_single_path_mode_misses_interleaving_bug(self):
+        """The conventional single execution path does not reach the racy state."""
+        from repro.investigator.frontend import ModelBuilder
+        from repro.investigator.modeld import ModelD
+
+        builder = ModelBuilder("race")
+        builder.variables(x=0, y=0)
+        builder.add_action("inc-x", lambda s: s.with_values(x=s["x"] + 1), guard=lambda s: s["x"] < 3)
+        builder.add_action("inc-y", lambda s: s.with_values(y=s["y"] + 1), guard=lambda s: s["y"] < 3 and s["x"] == 3)
+        builder.invariant("y-stays-zero", lambda s: s["y"] < 3)
+        checker = ModelD.from_builder(builder)
+        # single path follows the first enabled action each time: inc-x then inc-y...
+        single = checker.run_single_path(schedule=lambda state, enabled: enabled[0] if state["x"] < 3 else None)
+        exhaustive = checker.check(SearchOrder.BFS)
+        assert single.ok
+        assert not exhaustive.ok
+
+
+class TestFigure8Matrix:
+    """Figure 8: the capability matrix, with FixD's row derived from the implementation."""
+
+    def test_fixd_row_covers_every_service_column(self):
+        matrix = default_matrix()
+        fixd_row = matrix.get("FixD")
+        assert fixd_row.services == FIXD_CLAIMED_SERVICES
+        for service in ServiceKind:
+            assert fixd_row.provides(service)
+
+    def test_no_single_technique_covers_everything(self):
+        matrix = default_matrix()
+        for row in matrix.techniques():
+            assert row.services != FIXD_CLAIMED_SERVICES

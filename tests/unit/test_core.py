@@ -1,0 +1,269 @@
+"""Unit tests for FixD core: fault detection, protocol, registry, reports and the controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import FaultEvent, RecoveryTimeline
+from repro.core.faults import FaultDetector
+from repro.core.fixd import FixD, FixDConfig
+from repro.core.protocol import FaultResponseCoordinator
+from repro.core.registry import (
+    FIXD_CLAIMED_SERVICES,
+    PAPER_TECHNIQUES,
+    PAPER_TOOLS,
+    ServiceKind,
+    Technique,
+    default_matrix,
+    derive_composite_capability,
+)
+from repro.core.report import BugReport
+from repro.dsim.cluster import ClusterConfig, Cluster
+from repro.healer.patch import generate_patch
+from repro.healer.strategies import RecoveryStrategy
+from repro.investigator.models import EnvironmentModel
+from repro.timemachine.time_machine import TimeMachine
+
+from tests.conftest import BoundedCounterBuggy, BoundedCounterFixed, PingPong, make_cluster
+
+
+# ----------------------------------------------------------------------
+# Fault detector
+# ----------------------------------------------------------------------
+class TestFaultDetector:
+    def test_faults_collected_with_sequence_numbers(self, buggy_counter_cluster):
+        detector = FaultDetector()
+        buggy_counter_cluster.add_hook(detector)
+        buggy_counter_cluster.run(max_events=100)
+        assert detector.fault_count >= 1
+        assert detector.first_fault().sequence == 1
+        assert detector.first_fault().invariant == "count-within-bound"
+
+    def test_responder_marks_fault_handled(self, buggy_counter_cluster):
+        detector = FaultDetector(responders=[lambda fault: True])
+        buggy_counter_cluster.add_hook(detector)
+        result = buggy_counter_cluster.run(max_events=60)
+        assert all(violation.handled for violation in result.violations)
+
+    def test_crashing_responder_does_not_mask_others(self, buggy_counter_cluster):
+        def bad_responder(fault):
+            raise RuntimeError("responder crashed")
+
+        detector = FaultDetector(responders=[bad_responder, lambda fault: True])
+        buggy_counter_cluster.add_hook(detector)
+        result = buggy_counter_cluster.run(max_events=60)
+        assert detector.fault_count >= 1
+        assert all(violation.handled for violation in result.violations)
+
+    def test_faults_for_filters_by_pid(self, buggy_counter_cluster):
+        detector = FaultDetector()
+        buggy_counter_cluster.add_hook(detector)
+        buggy_counter_cluster.run(max_events=100)
+        violating_pid = detector.first_fault().pid
+        assert detector.faults_for(violating_pid)
+        assert detector.faults_for("nonexistent") == []
+
+
+class TestRecoveryTimeline:
+    def test_stages_and_duration(self):
+        timeline = RecoveryTimeline()
+        timeline.add(1.0, "detect", "found it")
+        timeline.add(2.5, "rollback", "rolled back")
+        assert timeline.stages() == ["detect", "rollback"]
+        assert timeline.duration() == pytest.approx(1.5)
+        assert len(timeline.for_stage("detect")) == 1
+        assert "rolled back" in timeline.describe()
+
+
+# ----------------------------------------------------------------------
+# Fault-response protocol (Figure 4)
+# ----------------------------------------------------------------------
+class TestFaultResponseProtocol:
+    def _run_with_time_machine(self):
+        cluster = make_cluster(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}, seed=2, halt_on_violation=False
+        )
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        detector = FaultDetector()
+        cluster.add_hook(detector)
+        cluster.run(max_events=40)
+        return cluster, time_machine, detector
+
+    def test_protocol_collects_consistent_checkpoint_and_models(self):
+        cluster, time_machine, detector = self._run_with_time_machine()
+        fault = detector.first_fault()
+        coordinator = FaultResponseCoordinator(time_machine)
+        run = coordinator.run(cluster, fault)
+        assert run.detecting_pid == fault.pid
+        assert set(run.notified_pids) == set(cluster.pids) - {fault.pid}
+        assert set(run.global_checkpoint.pids()) == set(cluster.pids)
+        assert run.consistent
+        # The detecting process's checkpoint predates the fault.
+        assert run.recovery_line.checkpoints[fault.pid].time <= fault.time
+        # Models default to the registered implementations.
+        assert run.model_factories[fault.pid] is BoundedCounterBuggy
+
+    def test_model_override_used_when_registered(self):
+        cluster, time_machine, detector = self._run_with_time_machine()
+        coordinator = FaultResponseCoordinator(
+            time_machine, model_overrides={"c1": BoundedCounterFixed}
+        )
+        run = coordinator.run(cluster, detector.first_fault())
+        assert run.model_factories["c1"] is BoundedCounterFixed
+
+    def test_environment_models_are_included_without_checkpoints(self):
+        cluster, time_machine, detector = self._run_with_time_machine()
+        coordinator = FaultResponseCoordinator(time_machine)
+        coordinator.register_environment_model("disk", EnvironmentModel)
+        run = coordinator.run(cluster, detector.first_fault())
+        assert "disk" in run.responses
+        assert run.responses["disk"].is_environment_model
+        assert "disk" in run.modeled_environment
+        assert "disk" not in run.global_checkpoint.pids()
+
+
+# ----------------------------------------------------------------------
+# Figure 8 registry
+# ----------------------------------------------------------------------
+class TestCapabilityMatrix:
+    def test_paper_technique_rows_match_figure_8(self):
+        matrix = default_matrix()
+        assert matrix.matches_paper_claim(
+            "Model Checking", frozenset({ServiceKind.PREVENTIVE, ServiceKind.COMPREHENSIVE})
+        )
+        assert matrix.matches_paper_claim(
+            "Logging", frozenset({ServiceKind.DIAGNOSTIC, ServiceKind.OPPORTUNISTIC})
+        )
+        assert matrix.matches_paper_claim("Dynamic Updates", frozenset({ServiceKind.TREATMENT}))
+
+    def test_fixd_row_is_derived_and_covers_every_service(self):
+        matrix = default_matrix()
+        fixd_row = matrix.get("FixD")
+        assert fixd_row is not None
+        assert fixd_row.services == FIXD_CLAIMED_SERVICES
+
+    def test_partial_composition_provides_fewer_services(self):
+        partial = derive_composite_capability("Partial", [Technique.LOGGING])
+        assert partial.services == frozenset({ServiceKind.DIAGNOSTIC, ServiceKind.OPPORTUNISTIC})
+        assert not partial.provides(ServiceKind.TREATMENT)
+
+    def test_render_contains_all_rows_and_columns(self):
+        text = default_matrix().render()
+        for row in (*PAPER_TECHNIQUES, *PAPER_TOOLS):
+            assert row.name.split(" (")[0] in text
+        for service in ServiceKind:
+            assert service.value in text
+
+    def test_table_form(self):
+        table = default_matrix().to_table()
+        assert any(row["name"].startswith("FixD") for row in table)
+        assert all(set(row) >= {"name", "kind"} for row in table)
+
+    def test_technique_and_tool_partition(self):
+        matrix = default_matrix()
+        assert len(matrix.techniques()) == 5
+        assert len(matrix.tools()) == 3  # liblog, CMC, FixD
+
+
+# ----------------------------------------------------------------------
+# Bug reports
+# ----------------------------------------------------------------------
+class TestBugReport:
+    def test_to_text_contains_fault_and_recovery_line(self):
+        fault = FaultEvent(pid="a", invariant="inv", detail="boom", time=3.0, sequence=1)
+        report = BugReport(fault=fault, recovery_line_times={"a": 1.0, "b": 2.0})
+        text = report.to_text()
+        assert "inv" in text and "recovery line" in text.lower()
+        assert "t=1.000" in text
+
+    def test_violated_invariants_includes_fault_and_trails(self):
+        fault = FaultEvent(pid="a", invariant="inv", detail="", time=0.0, sequence=1)
+        report = BugReport(fault=fault)
+        assert report.violated_invariants == ["inv"]
+        assert report.trails == []
+
+
+# ----------------------------------------------------------------------
+# The FixD controller end-to-end
+# ----------------------------------------------------------------------
+class TestFixDController:
+    def _build(self, config: FixDConfig | None = None, register_patch: bool = True):
+        cluster = make_cluster({"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}, seed=2)
+        fixd = FixD(config)
+        fixd.attach(cluster)
+        if register_patch:
+            fixd.register_patch(generate_patch(BoundedCounterBuggy, BoundedCounterFixed))
+        return cluster, fixd
+
+    def test_detect_rollback_investigate_heal_pipeline(self):
+        cluster, fixd = self._build()
+        result = cluster.run(max_events=200)
+        assert result.stopped_reason == "quiescent"     # healed and finished
+        assert fixd.detector.fault_count >= 1
+        report = fixd.last_report
+        assert report is not None and report.handled
+        assert report.rollback is not None
+        assert report.investigation is not None
+        assert report.healed
+        stages = report.bug_report.timeline.stages()
+        assert stages[:2] == ["detect", "collect"]
+        assert "heal" in stages
+
+    def test_unattached_controller_rejects_cluster_access(self):
+        fixd = FixD()
+        with pytest.raises(RuntimeError):
+            _ = fixd.cluster
+
+    def test_without_patch_run_still_recovers_by_rollback(self):
+        cluster, fixd = self._build(register_patch=False)
+        result = cluster.run(max_events=60)
+        # Rollback alone cannot fix the bug, so FixD handles repeated faults
+        # until its budget is exhausted and the run halts.
+        assert fixd.detector.fault_count >= 1
+        assert fixd.last_report.heal is None
+
+    def test_max_faults_budget_respected(self):
+        config = FixDConfig(max_faults_handled=1)
+        cluster, fixd = self._build(config, register_patch=False)
+        cluster.run(max_events=400)
+        assert len(fixd.reports) == 1
+
+    def test_investigation_can_be_disabled(self):
+        config = FixDConfig(investigate_on_fault=False)
+        cluster, fixd = self._build(config)
+        cluster.run(max_events=200)
+        assert fixd.last_report.investigation is None
+
+    def test_restart_strategy_configuration(self):
+        config = FixDConfig(heal_strategy=RecoveryStrategy.RESTART_FROM_SCRATCH)
+        cluster, fixd = self._build(config)
+        cluster.run(max_events=200)
+        assert fixd.last_report.heal.strategy is RecoveryStrategy.RESTART_FROM_SCRATCH
+
+    def test_stats_summary(self):
+        cluster, fixd = self._build()
+        cluster.run(max_events=200)
+        stats = fixd.stats()
+        assert stats["scroll_entries"] > 0
+        assert stats["faults_detected"] >= 1
+        assert stats["time_machine"]["checkpoints"] > 0
+
+    def test_scroll_records_the_run(self):
+        cluster, fixd = self._build()
+        cluster.run(max_events=200)
+        assert len(fixd.scroll) > 0
+        assert fixd.scroll.violations()
+
+    def test_capability_matrix_available_from_controller(self):
+        _, fixd = self._build()
+        assert fixd.capability_matrix().get("FixD") is not None
+
+    def test_healthy_application_produces_no_reports(self):
+        cluster = make_cluster({"p0": PingPong, "p1": PingPong}, seed=1)
+        fixd = FixD()
+        fixd.attach(cluster)
+        result = cluster.run()
+        assert result.ok
+        assert fixd.reports == []
+        assert fixd.last_report is None

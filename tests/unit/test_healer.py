@@ -1,0 +1,266 @@
+"""Unit tests for the Healer: state mappings, patches, safety, DSU and strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.dsim.process import Process, handler, invariant
+from repro.errors import PatchApplicationError, UpdateSafetyError
+from repro.healer.dsu import DynamicUpdater
+from repro.healer.healer import Healer
+from repro.healer.patch import Patch, diff_classes, generate_patch
+from repro.healer.safety import UpdateSafetyChecker
+from repro.healer.state_mapping import (
+    StateMapping,
+    add_defaults_mapping,
+    identity_mapping,
+    rename_keys_mapping,
+)
+from repro.healer.strategies import (
+    RecoveryStrategy,
+    restart_from_scratch,
+    resume_from_checkpoint,
+)
+from repro.timemachine.time_machine import TimeMachine
+
+from tests.conftest import BoundedCounterBuggy, BoundedCounterFixed, make_cluster
+
+
+# ----------------------------------------------------------------------
+# State mappings
+# ----------------------------------------------------------------------
+class TestStateMapping:
+    def test_identity_keeps_state(self):
+        mapping = identity_mapping(required_keys=("count",))
+        assert mapping.apply({"count": 3}) == {"count": 3}
+
+    def test_missing_required_key_rejected(self):
+        mapping = identity_mapping(required_keys=("missing",))
+        with pytest.raises(UpdateSafetyError):
+            mapping.apply({"count": 3})
+
+    def test_add_defaults(self):
+        mapping = add_defaults_mapping({"retries": 0})
+        assert mapping.apply({"count": 3}) == {"count": 3, "retries": 0}
+        # existing values are not overwritten
+        assert mapping.apply({"retries": 7})["retries"] == 7
+
+    def test_rename_keys(self):
+        mapping = rename_keys_mapping({"old": "new"})
+        assert mapping.apply({"old": 1}) == {"new": 1}
+
+    def test_type_check_enforced(self):
+        mapping = StateMapping(transform=lambda s: s, key_types={"count": int})
+        assert mapping.apply({"count": 1}) == {"count": 1}
+        with pytest.raises(UpdateSafetyError):
+            mapping.apply({"count": "oops"})
+
+    def test_equivalence_predicate_enforced(self):
+        mapping = StateMapping(
+            transform=lambda s: {"count": 0},
+            equivalence=lambda old, new: old.get("count") == new.get("count"),
+        )
+        with pytest.raises(UpdateSafetyError):
+            mapping.apply({"count": 5})
+
+    def test_non_dict_result_rejected(self):
+        mapping = StateMapping(transform=lambda s: ["not", "a", "dict"])
+        with pytest.raises(UpdateSafetyError):
+            mapping.apply({})
+
+    def test_transform_does_not_mutate_input(self):
+        mapping = add_defaults_mapping({"extra": 1})
+        original = {"count": 1}
+        mapping.apply(original)
+        assert original == {"count": 1}
+
+
+# ----------------------------------------------------------------------
+# Patches and patch generation
+# ----------------------------------------------------------------------
+class TestPatchGeneration:
+    def test_diff_detects_changed_handler(self):
+        diff = diff_classes(BoundedCounterBuggy, BoundedCounterFixed)
+        assert "on_tick" in diff.changed_methods
+        assert "TICK" in diff.changed_handlers
+        assert not diff.is_empty
+        assert "changed handlers" in diff.describe()
+
+    def test_generate_patch_defaults(self):
+        patch = generate_patch(BoundedCounterBuggy, BoundedCounterFixed)
+        assert patch.new_class is BoundedCounterFixed
+        assert patch.diff is not None
+        assert patch.targets("anything")   # empty target list means all
+
+    def test_generate_patch_with_state_defaults(self):
+        patch = generate_patch(
+            BoundedCounterBuggy, BoundedCounterFixed, new_state_defaults={"patched": True}
+        )
+        assert patch.state_mapping.apply({"count": 1}) == {"count": 1, "patched": True}
+
+    def test_patch_targeting(self):
+        patch = generate_patch(BoundedCounterBuggy, BoundedCounterFixed, target_pids=["c0"])
+        assert patch.targets("c0") and not patch.targets("c1")
+
+    def test_patch_requires_process_subclass(self):
+        with pytest.raises(UpdateSafetyError):
+            Patch(name="bad", new_class=dict)  # type: ignore[arg-type]
+
+    def test_describe_mentions_versions_and_diff(self):
+        patch = generate_patch(
+            BoundedCounterBuggy, BoundedCounterFixed, description="stop at bound",
+            from_version="1.0", to_version="1.1",
+        )
+        text = patch.describe()
+        assert "1.0 -> 1.1" in text and "stop at bound" in text
+
+
+# ----------------------------------------------------------------------
+# Safety checker and dynamic updater
+# ----------------------------------------------------------------------
+def run_buggy_cluster(max_events: int = 6):
+    """Run the buggy counters just short of the bound (states still satisfy invariants)."""
+    cluster = make_cluster(
+        {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}, seed=2, halt_on_violation=False
+    )
+    cluster.run(max_events=max_events)
+    return cluster
+
+
+class TestSafetyAndDSU:
+    def test_safe_update_applies_and_changes_behaviour(self):
+        cluster = run_buggy_cluster()
+        patch = generate_patch(BoundedCounterBuggy, BoundedCounterFixed)
+        # The run stopped mid-exchange, so TICKs (a changed handler) are still in
+        # flight; relax that particular check to exercise the happy path here.
+        updater = DynamicUpdater(
+            cluster, UpdateSafetyChecker(require_no_inflight_for_changed_handlers=False)
+        )
+        records = updater.apply(patch)
+        assert all(record.applied for record in records)
+        assert all(isinstance(cluster.process(pid), BoundedCounterFixed) for pid in cluster.pids)
+        # State carried across the update.
+        assert all(cluster.process(pid).state["count"] >= 0 for pid in cluster.pids)
+        assert len(updater.applied_updates()) == 2
+
+    def test_update_preserves_identity_counters(self):
+        cluster = run_buggy_cluster()
+        sent_before = cluster.process("c0").messages_sent
+        patch = generate_patch(BoundedCounterBuggy, BoundedCounterFixed)
+        DynamicUpdater(cluster).apply_to("c0", patch)
+        assert cluster.process("c0").messages_sent == sent_before
+
+    def test_unsafe_mapping_refused_without_force(self):
+        cluster = run_buggy_cluster()
+        patch = generate_patch(
+            BoundedCounterBuggy,
+            BoundedCounterFixed,
+            state_mapping=identity_mapping(required_keys=("nonexistent-key",)),
+        )
+        updater = DynamicUpdater(cluster)
+        record = updater.apply_to("c0", patch)
+        assert not record.applied
+        assert updater.refused_updates()
+        # force=True applies anyway, falling back to the raw state
+        forced = updater.apply_to("c0", patch, force=True)
+        assert forced.applied
+
+    def test_update_refused_when_new_invariants_fail(self):
+        class StrictCounter(BoundedCounterFixed):
+            @invariant("count-is-zero")
+            def count_is_zero(self):
+                return self.state["count"] == 0
+
+        cluster = run_buggy_cluster()
+        assert cluster.process("c0").state["count"] > 0
+        patch = generate_patch(BoundedCounterBuggy, StrictCounter)
+        record = DynamicUpdater(cluster).apply_to("c0", patch)
+        assert not record.applied
+        assert any("invariant" in reason for reason in record.verdict.reasons)
+
+    def test_update_refused_with_inflight_changed_messages(self):
+        cluster = make_cluster(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}, seed=2, halt_on_violation=False
+        )
+        cluster.run(max_events=3)   # stop mid-exchange: TICKs still in flight
+        patch = generate_patch(BoundedCounterBuggy, BoundedCounterFixed)
+        verdict = UpdateSafetyChecker().check(cluster, "c1", patch)
+        pending_kinds = [e.payload.kind for e in cluster.scheduler.pending() if e.kind.value == "deliver"]
+        if "TICK" in pending_kinds and any(e.payload.dst == "c1" for e in cluster.scheduler.pending() if e.kind.value == "deliver"):
+            assert not verdict.safe
+        # With the in-flight requirement disabled the same update is allowed.
+        relaxed = UpdateSafetyChecker(require_no_inflight_for_changed_handlers=False)
+        assert relaxed.check(cluster, "c1", patch).safe
+
+    def test_patch_not_targeting_pid_rejected(self):
+        cluster = run_buggy_cluster()
+        patch = generate_patch(BoundedCounterBuggy, BoundedCounterFixed, target_pids=["c0"])
+        with pytest.raises(PatchApplicationError):
+            DynamicUpdater(cluster).apply_to("c1", patch)
+
+
+# ----------------------------------------------------------------------
+# Recovery strategies and the Healer facade
+# ----------------------------------------------------------------------
+class TestRecoveryStrategies:
+    def _instrumented_cluster(self):
+        cluster = make_cluster(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}, seed=2, halt_on_violation=False
+        )
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.run(max_events=20)
+        return cluster, time_machine
+
+    def test_restart_from_scratch_resets_state_and_installs_new_code(self):
+        cluster, _ = self._instrumented_cluster()
+        patch = generate_patch(BoundedCounterBuggy, BoundedCounterFixed)
+        outcome = restart_from_scratch(cluster, patch)
+        assert outcome.strategy is RecoveryStrategy.RESTART_FROM_SCRATCH
+        assert outcome.total_preserved_time == 0.0
+        assert outcome.total_lost_time > 0.0
+        for pid in cluster.pids:
+            assert isinstance(cluster.process(pid), BoundedCounterFixed)
+            assert cluster.process(pid).state["count"] == 0
+
+    def test_resume_from_checkpoint_preserves_work(self):
+        cluster, time_machine = self._instrumented_cluster()
+        patch = generate_patch(BoundedCounterBuggy, BoundedCounterFixed)
+        outcome = resume_from_checkpoint(cluster, time_machine, patch)
+        assert outcome.strategy is RecoveryStrategy.RESUME_FROM_CHECKPOINT
+        assert outcome.total_preserved_time > 0.0
+        assert outcome.all_updates_applied
+        for pid in cluster.pids:
+            assert isinstance(cluster.process(pid), BoundedCounterFixed)
+
+    def test_restart_with_untargeted_patch_rejected(self):
+        cluster, _ = self._instrumented_cluster()
+        patch = generate_patch(BoundedCounterBuggy, BoundedCounterFixed, target_pids=["zzz"])
+        with pytest.raises(PatchApplicationError):
+            restart_from_scratch(cluster, patch)
+
+    def test_healer_resume_strategy(self):
+        cluster, time_machine = self._instrumented_cluster()
+        healer = Healer(cluster, time_machine)
+        report = healer.heal(generate_patch(BoundedCounterBuggy, BoundedCounterFixed))
+        assert report.succeeded
+        assert report.strategy is RecoveryStrategy.RESUME_FROM_CHECKPOINT
+        assert "Healing with patch" in report.describe()
+
+    def test_healer_without_time_machine_falls_back_to_restart(self):
+        cluster = make_cluster(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}, seed=2, halt_on_violation=False
+        )
+        cluster.run(max_events=20)
+        healer = Healer(cluster, time_machine=None)
+        report = healer.heal(generate_patch(BoundedCounterBuggy, BoundedCounterFixed))
+        assert report.strategy is RecoveryStrategy.RESTART_FROM_SCRATCH
+        assert report.succeeded
+        assert any("falling back" in note for note in report.notes)
+
+    def test_heal_with_best_strategy_prefers_resume(self):
+        cluster, time_machine = self._instrumented_cluster()
+        healer = Healer(cluster, time_machine)
+        report = healer.heal_with_best_strategy(generate_patch(BoundedCounterBuggy, BoundedCounterFixed))
+        assert report.strategy is RecoveryStrategy.RESUME_FROM_CHECKPOINT

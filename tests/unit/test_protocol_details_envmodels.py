@@ -1,0 +1,201 @@
+"""Focused tests: channel-state reconstruction, invariant-aware recovery lines,
+and the general-purpose environment models (the paper's Section 4.5 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.faults import FaultDetector
+from repro.core.protocol import FaultResponseCoordinator, reconstruct_in_flight
+from repro.dsim.process import Process, handler, invariant
+from repro.healer.patch import generate_patch
+from repro.healer.strategies import invariant_satisfying_line
+from repro.investigator.envmodels import DiskModel, EchoServiceModel, LossyNetworkModel
+from repro.investigator.explorer import Explorer, SearchOrder
+from repro.investigator.investigator import Investigator, InvestigatorConfig
+from repro.investigator.models import DistributedSystemModel
+from repro.scroll.recorder import ScrollRecorder
+from repro.timemachine.time_machine import TimeMachine
+
+from tests.conftest import BoundedCounterBuggy, BoundedCounterFixed, PingPong, make_cluster
+
+
+# ----------------------------------------------------------------------
+# reconstruct_in_flight: channel state at a recovery line
+# ----------------------------------------------------------------------
+class TestReconstructInFlight:
+    def _instrumented_run(self, max_events):
+        cluster = make_cluster(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}, seed=2, halt_on_violation=False
+        )
+        recorder = ScrollRecorder()
+        cluster.add_hook(recorder)
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.run(max_events=max_events)
+        return cluster, recorder.scroll, time_machine
+
+    def test_messages_received_after_the_line_are_in_flight(self):
+        cluster, scroll, time_machine = self._instrumented_run(max_events=10)
+        line = time_machine.latest_recovery_line()
+        in_flight = reconstruct_in_flight(scroll, line)
+        # Communication-induced checkpointing checkpoints *before* each receive,
+        # so the message delivered right after the last checkpoint is in flight.
+        assert len(in_flight) >= 1
+        assert all(message.dst in line.checkpoints for message in in_flight)
+
+    def test_in_flight_messages_replay_to_the_same_violation(self):
+        cluster, scroll, time_machine = self._instrumented_run(max_events=20)
+        detector_faults = [v for v in cluster.violations if v.invariant == "count-within-bound"]
+        assert detector_faults
+        line = time_machine.latest_recovery_line(
+            not_after={detector_faults[0].pid: detector_faults[0].time}
+        )
+        in_flight = reconstruct_in_flight(scroll, line)
+        report = Investigator(InvestigatorConfig(max_states=2000, max_depth=30)).investigate(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy},
+            checkpoint=line.as_global_checkpoint(),
+            in_flight=in_flight,
+        )
+        assert report.found_violation
+
+    def test_rolled_back_sends_are_excluded(self):
+        cluster, scroll, time_machine = self._instrumented_run(max_events=20)
+        # Bound every process to its first checkpoint: almost all sends postdate it.
+        first_times = {
+            pid: time_machine.store.log_for(pid).earliest.time for pid in time_machine.store.pids()
+        }
+        line = time_machine.latest_recovery_line(not_after=first_times)
+        in_flight = reconstruct_in_flight(scroll, line)
+        later = reconstruct_in_flight(scroll, time_machine.latest_recovery_line())
+        assert len(in_flight) <= len(later)
+
+
+# ----------------------------------------------------------------------
+# invariant_satisfying_line (Section 3.4: resume where invariants hold)
+# ----------------------------------------------------------------------
+class TestInvariantSatisfyingLine:
+    def test_line_states_satisfy_patched_invariants(self):
+        cluster = make_cluster(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}, seed=2, halt_on_violation=False
+        )
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.run(max_events=30)   # counts run well past the bound
+        patch = generate_patch(BoundedCounterBuggy, BoundedCounterFixed)
+        line = invariant_satisfying_line(time_machine, patch)
+        for checkpoint in line.checkpoints.values():
+            assert checkpoint.state["count"] <= BoundedCounterBuggy.bound
+
+    def test_untargeted_patch_falls_back_to_latest_line(self):
+        cluster = make_cluster({"p0": PingPong, "p1": PingPong}, seed=1)
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.run()
+        patch = generate_patch(PingPong, PingPong, target_pids=["somebody-else"])
+        line = invariant_satisfying_line(time_machine, patch)
+        latest = time_machine.latest_recovery_line()
+        assert {pid: c.sequence for pid, c in line.checkpoints.items()} == {
+            pid: c.sequence for pid, c in latest.checkpoints.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# Environment models (future work 4.5)
+# ----------------------------------------------------------------------
+class DiskClient(Process):
+    """Writes one block, reads it back, and records what it saw."""
+
+    def on_start(self):
+        self.state["read_back"] = None
+        self.send("disk", "DISK_WRITE", {"block": 7, "data": "payload"})
+
+    @handler("DISK_WRITE_OK")
+    def on_write_ok(self, msg):
+        self.send("disk", "DISK_READ", {"block": 7})
+
+    @handler("DISK_READ_REPLY")
+    def on_read_reply(self, msg):
+        self.state["read_back"] = msg.payload["data"]
+
+    @invariant("read-back-is-what-was-written")
+    def read_back_ok(self):
+        return self.state["read_back"] in (None, "payload")
+
+
+class ForwardingClient(Process):
+    """Sends messages to a peer through the LossyNetworkModel relay."""
+
+    sends: int = 4
+
+    def on_start(self):
+        self.state["received"] = 0
+        if self.pid == "a":
+            for index in range(self.sends):
+                self.send("relay", "FORWARD", {"dst": "b", "kind": "DATA", "payload": index})
+
+    @handler("DATA")
+    def on_data(self, msg):
+        self.state["received"] += 1
+
+
+class TestEnvironmentModels:
+    def test_disk_model_round_trip_in_simulation(self):
+        cluster = make_cluster({"client": DiskClient, "disk": DiskModel}, seed=1)
+        result = cluster.run()
+        assert result.ok
+        assert result.process_states["client"]["read_back"] == "payload"
+        assert result.process_states["disk"]["writes"] == 1
+
+    def test_disk_model_usable_by_the_investigator(self):
+        report = Investigator(InvestigatorConfig(max_states=500, max_depth=30)).investigate(
+            {"client": DiskClient, "disk": DiskModel}
+        )
+        assert not report.found_violation
+        assert report.states_explored >= 3
+
+    def test_echo_service_acknowledges_everything(self):
+        class Caller(Process):
+            def on_start(self):
+                self.state["acks"] = 0
+                self.send("service", "ANY_REQUEST", {"x": 1})
+
+            @handler("ACK")
+            def on_ack(self, msg):
+                self.state["acks"] += 1
+
+        cluster = make_cluster({"caller": Caller, "service": EchoServiceModel}, seed=1)
+        result = cluster.run()
+        assert result.process_states["caller"]["acks"] == 1
+        assert result.process_states["service"]["requests_served"] == 1
+
+    def test_lossy_network_model_drops_every_nth_forward(self):
+        cluster = make_cluster(
+            {"a": ForwardingClient, "b": ForwardingClient, "relay": lambda: LossyNetworkModel(drop_every=2)},
+            seed=1,
+        )
+        result = cluster.run()
+        relay = result.process_states["relay"]
+        assert relay["dropped"] == 2 and relay["forwarded"] == 2
+        assert result.process_states["b"]["received"] == 2
+
+    def test_reliable_relay_forwards_everything(self):
+        cluster = make_cluster(
+            {"a": ForwardingClient, "b": ForwardingClient, "relay": LossyNetworkModel}, seed=1
+        )
+        result = cluster.run()
+        assert result.process_states["b"]["received"] == ForwardingClient.sends
+
+    def test_environment_model_registered_on_fixd_controller(self):
+        from repro.core.fixd import FixD, FixDConfig
+
+        cluster = make_cluster(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}, seed=2
+        )
+        fixd = FixD(FixDConfig(investigate_on_fault=False))
+        fixd.register_environment_model("disk", DiskModel)
+        fixd.attach(cluster)
+        cluster.run(max_events=60)
+        run = fixd.last_report.protocol_run
+        assert "disk" in run.modeled_environment
+        assert run.responses["disk"].is_environment_model

@@ -1,0 +1,118 @@
+"""Unit tests for deterministic replay (the liblog-style local playback)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsim.message import Message
+from repro.dsim.process import Process, handler
+from repro.errors import ReplayDivergenceError
+from repro.scroll.entry import ActionKind
+from repro.scroll.recorder import ScrollRecorder
+from repro.scroll.replayer import Replayer
+
+from tests.conftest import BoundedCounterBuggy, PingPong, RandomWorker, make_cluster
+
+
+def record_run(factories, seed=3, **config):
+    cluster = make_cluster(factories, seed=seed, **config)
+    recorder = ScrollRecorder()
+    cluster.add_hook(recorder)
+    result = cluster.run(max_events=500)
+    return cluster, result, recorder.scroll
+
+
+class TestReplayer:
+    def test_replay_reproduces_final_state(self):
+        factories = {"p0": PingPong, "p1": PingPong}
+        cluster, result, scroll = record_run(factories, seed=1)
+        report = Replayer(scroll, factories).replay_all()
+        assert report.ok
+        for pid, replay in report.processes.items():
+            assert replay.final_state == result.process_states[pid]
+
+    def test_replay_reproduces_random_draws(self):
+        factories = {"r0": RandomWorker, "r1": RandomWorker}
+        cluster, result, scroll = record_run(factories, seed=5)
+        report = Replayer(scroll, factories).replay_all()
+        assert report.ok
+        for pid, replay in report.processes.items():
+            assert replay.final_state["draws"] == result.process_states[pid]["draws"]
+
+    def test_replay_reproduces_every_send(self):
+        factories = {"p0": PingPong, "p1": PingPong}
+        _, _, scroll = record_run(factories, seed=1)
+        report = Replayer(scroll, factories).replay_all()
+        for replay in report.processes.values():
+            assert replay.sends_replayed == replay.sends_recorded
+
+    def test_replay_with_wrong_code_diverges(self):
+        class SilentPing(PingPong):
+            @handler("PING")
+            def on_ping(self, msg: Message):
+                self.state["count"] += 1  # never replies: fewer sends than recorded
+
+        factories = {"p0": PingPong, "p1": PingPong}
+        _, _, scroll = record_run(factories, seed=1)
+        report = Replayer(scroll, {"p0": SilentPing, "p1": SilentPing}).replay_all()
+        assert not report.ok
+        assert report.diverged_processes()
+
+    def test_strict_mode_raises_on_divergence(self):
+        class ChattyPing(PingPong):
+            @handler("PING")
+            def on_ping(self, msg: Message):
+                self.state["count"] += 1
+                self.send(msg.src, "PING", 0)
+                self.send(msg.src, "PING", 0)   # extra send
+
+        factories = {"p0": PingPong, "p1": PingPong}
+        _, _, scroll = record_run(factories, seed=1)
+        with pytest.raises(ReplayDivergenceError):
+            Replayer(scroll, {"p0": ChattyPing, "p1": ChattyPing}, strict=True).replay_all()
+
+    def test_replay_process_requires_factory(self):
+        factories = {"p0": PingPong, "p1": PingPong}
+        _, _, scroll = record_run(factories, seed=1)
+        with pytest.raises(KeyError):
+            Replayer(scroll, {}).replay_process("p0")
+
+    def test_replay_all_skips_processes_without_factories(self):
+        factories = {"p0": PingPong, "p1": PingPong}
+        _, _, scroll = record_run(factories, seed=1)
+        report = Replayer(scroll, {"p0": PingPong}).replay_all()
+        assert set(report.processes) == {"p0"}
+
+    def test_replay_until_violation_stops_before_the_fault(self):
+        factories = {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy}
+        _, result, scroll = record_run(factories, seed=2)
+        assert scroll.violations(), "the buggy counter should violate its invariant"
+        report, violating_pid = Replayer(scroll, factories).replay_until_violation()
+        assert violating_pid in factories
+        assert report.ok
+        # The replayed prefix stops before the violating state is reached.
+        for replay in report.processes.values():
+            assert replay.final_state["count"] <= BoundedCounterBuggy.bound + 1
+
+    def test_replay_until_violation_without_violation(self):
+        factories = {"p0": PingPong, "p1": PingPong}
+        _, _, scroll = record_run(factories, seed=1)
+        report, violating_pid = Replayer(scroll, factories).replay_until_violation()
+        assert violating_pid is None
+        assert report.ok
+
+    def test_total_events_counts_replayed_deliveries(self):
+        factories = {"p0": PingPong, "p1": PingPong}
+        _, _, scroll = record_run(factories, seed=1)
+        report = Replayer(scroll, factories).replay_all()
+        timers = len(scroll.of_kind(ActionKind.TIMER))
+        receives = len(scroll.of_kind(ActionKind.RECEIVE))
+        assert report.total_events() == timers + receives
+
+    def test_timer_payloads_reconstructed_during_replay(self):
+        factories = {"r0": RandomWorker, "r1": RandomWorker}
+        cluster, result, scroll = record_run(factories, seed=4)
+        report = Replayer(scroll, factories).replay_all()
+        assert report.ok
+        for pid, replay in report.processes.items():
+            assert replay.final_state["timer_fired"] == result.process_states[pid]["timer_fired"]
