@@ -2,7 +2,23 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark is `slow`: excluded from the default quick run.
+
+    The hook receives the whole session's items, so restrict the marker
+    to this directory.  The full sweep still runs under ``pytest -m ""``
+    (see pytest.ini).
+    """
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture

@@ -1,0 +1,288 @@
+"""Seed (pre-index) reference implementations of the three hot paths.
+
+These are byte-for-byte ports of the implementations this repository
+shipped with before the hot-path overhaul: linear-scan Scroll queries, a
+scheduler whose ``peek_time`` sorts the whole queue, and a COW capture
+that re-pickles and re-hashes the entire state on every checkpoint.
+
+They serve two purposes:
+
+* ``benchmarks/test_perf_hotpaths.py`` and ``benchmarks/run_bench.py``
+  measure the indexed implementations against them;
+* ``tests/property/test_hotpath_equivalence.py`` asserts the optimized
+  implementations produce *identical* observable behavior.
+
+Keep them dumb and obviously correct — they are the oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import pickle
+import statistics
+import time as _time
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.dsim.scheduler import Event, EventKind
+from repro.errors import SimulationError
+from repro.scroll.entry import ActionKind, ScrollEntry
+
+# ----------------------------------------------------------------------
+# Scroll baseline: every query is a full linear scan
+# ----------------------------------------------------------------------
+
+
+class NaiveScrollQueries:
+    """Linear-scan versions of the Scroll query surface."""
+
+    def __init__(self, entries: Iterable[ScrollEntry]) -> None:
+        self._entries: List[ScrollEntry] = list(entries)
+
+    def entries_for(self, pid: str) -> List[ScrollEntry]:
+        return [entry for entry in self._entries if entry.pid == pid]
+
+    def of_kind(self, *kinds: ActionKind) -> List[ScrollEntry]:
+        wanted = set(kinds)
+        return [entry for entry in self._entries if entry.kind in wanted]
+
+    def nondeterministic(self) -> List[ScrollEntry]:
+        return [entry for entry in self._entries if entry.is_nondeterministic]
+
+    def between(self, start: float, end: float) -> List[ScrollEntry]:
+        return [entry for entry in self._entries if start <= entry.time < end]
+
+    def pids(self) -> List[str]:
+        return sorted({entry.pid for entry in self._entries})
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self._entries:
+            counts[entry.kind.value] = counts.get(entry.kind.value, 0) + 1
+        return counts
+
+    def counts_by_process(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self._entries:
+            counts[entry.pid] = counts.get(entry.pid, 0) + 1
+        return counts
+
+    def last_entry(self, pid: Optional[str] = None) -> Optional[ScrollEntry]:
+        candidates = self._entries if pid is None else self.entries_for(pid)
+        return candidates[-1] if candidates else None
+
+    def received_messages(self, pid: str) -> List[Dict]:
+        return [
+            entry.detail["message"]
+            for entry in self._entries
+            if entry.pid == pid and entry.kind is ActionKind.RECEIVE and "message" in entry.detail
+        ]
+
+    def sent_messages(self, pid: str) -> List[Dict]:
+        return [
+            entry.detail["message"]
+            for entry in self._entries
+            if entry.pid == pid and entry.kind is ActionKind.SEND and "message" in entry.detail
+        ]
+
+    def random_outcomes(self, pid: str) -> List[Dict]:
+        return [
+            {"method": entry.detail.get("method"), "value": entry.detail.get("value")}
+            for entry in self._entries
+            if entry.pid == pid and entry.kind is ActionKind.RANDOM
+        ]
+
+    def clock_reads(self, pid: str) -> List[float]:
+        return [
+            entry.detail.get("value", entry.time)
+            for entry in self._entries
+            if entry.pid == pid and entry.kind is ActionKind.CLOCK_READ
+        ]
+
+    def timer_firings(self, pid: str) -> List[Dict]:
+        return [
+            {"name": entry.detail.get("name"), "time": entry.time}
+            for entry in self._entries
+            if entry.pid == pid and entry.kind is ActionKind.TIMER
+        ]
+
+    @staticmethod
+    def merge_key(entry: ScrollEntry):
+        causal_weight = sum(entry.vt.as_dict().values()) if entry.vt is not None else 0
+        return (entry.time, causal_weight, entry.seq)
+
+    @staticmethod
+    def merge(scroll_entry_lists: Iterable[Iterable[ScrollEntry]]) -> List[ScrollEntry]:
+        combined: List[ScrollEntry] = []
+        for entries in scroll_entry_lists:
+            combined.extend(entries)
+        return sorted(combined, key=NaiveScrollQueries.merge_key)
+
+
+# ----------------------------------------------------------------------
+# Scheduler baseline: sorted(queue) per peek, full scans on cancel
+# ----------------------------------------------------------------------
+
+
+class NaiveScheduler:
+    """The seed scheduler: correct, but peek/cancel/pending scan everything."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._executed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(self, delay: float, kind: EventKind, target: str, payload: Any = None) -> Event:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} time units in the past")
+        return self.schedule_at(self._now + delay, kind, target, payload)
+
+    def schedule_at(self, time: float, kind: EventKind, target: str, payload: Any = None) -> Event:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at t={time} which is before now (t={self._now})"
+            )
+        event = Event(time=float(time), seq=next(self._sequence), kind=kind, target=target, payload=payload)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        event.cancelled = True
+
+    def cancel_for_target(self, target: str, kind: Optional[EventKind] = None) -> int:
+        cancelled = 0
+        for event in self._queue:
+            if event.cancelled or event.target != target:
+                continue
+            if kind is not None and event.kind is not kind:
+                continue
+            event.cancelled = True
+            cancelled += 1
+        return cancelled
+
+    def pop_next(self) -> Optional[Event]:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue produced an event from the past")
+            self._now = event.time
+            self._executed += 1
+            return event
+        return None
+
+    def pending(self, kind: Optional[EventKind] = None) -> List[Event]:
+        events = sorted(event for event in self._queue if not event.cancelled)
+        if kind is not None:
+            events = [event for event in events if event.kind is kind]
+        return events
+
+    def peek_time(self) -> Optional[float]:
+        for event in sorted(self._queue):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def drain(self, until: Optional[float] = None):
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                return
+            event = self.pop_next()
+            if event is None:
+                return
+            yield event
+
+    def reset_to(self, time: float) -> None:
+        self._queue.clear()
+        self._now = float(time)
+
+
+# ----------------------------------------------------------------------
+# COW baseline: re-pickle and re-hash the whole state per capture
+# ----------------------------------------------------------------------
+
+
+class NaiveCowCapture:
+    """The seed capture loop, instrumented to count bytes hashed."""
+
+    def __init__(self, page_size: int = 1024) -> None:
+        self.page_size = page_size
+        self._pages: Dict[str, bytes] = {}
+        self.hashed_bytes_total = 0
+        self.serialized_bytes_total = 0
+
+    def capture(self, state: Dict[str, Any]) -> List[str]:
+        blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        self.serialized_bytes_total += len(blob)
+        pages = [
+            blob[offset : offset + self.page_size]
+            for offset in range(0, len(blob), self.page_size)
+        ] or [b""]
+        hashes = []
+        for page in pages:
+            self.hashed_bytes_total += len(page)
+            digest = hashlib.sha1(page).hexdigest()
+            hashes.append(digest)
+            if digest not in self._pages:
+                self._pages[digest] = page
+        return hashes
+
+
+# ----------------------------------------------------------------------
+# timing helper
+# ----------------------------------------------------------------------
+
+
+def sample_ns_per_op(fn: Callable[[], int], repeats: int = 5) -> List[float]:
+    """Nanoseconds per operation for each of ``repeats`` runs.
+
+    ``fn`` performs a batch of work and returns the operation count of
+    that batch.
+    """
+    samples = []
+    for _ in range(repeats):
+        start = _time.perf_counter_ns()
+        ops = fn()
+        elapsed = _time.perf_counter_ns() - start
+        samples.append(elapsed / max(1, ops))
+    return samples
+
+
+def interleaved_ns_per_op(
+    a: Callable[[], int], b: Callable[[], int], repeats: int = 5
+) -> tuple:
+    """Alternate timing of two workloads so machine-load drift hits both.
+
+    Returns ``(samples_a, samples_b)``; compare their minima for a
+    contention-resistant ratio (the minimum approximates the
+    uncontended cost), and report medians for the trajectory file.
+    """
+    samples_a: List[float] = []
+    samples_b: List[float] = []
+    for _ in range(repeats):
+        samples_a.extend(sample_ns_per_op(a, 1))
+        samples_b.extend(sample_ns_per_op(b, 1))
+    return samples_a, samples_b
+
+
+def median_ns_per_op(fn: Callable[[], int], repeats: int = 5) -> float:
+    """Median nanoseconds per operation over ``repeats`` runs."""
+    return statistics.median(sample_ns_per_op(fn, repeats))

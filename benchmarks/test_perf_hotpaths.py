@@ -1,0 +1,52 @@
+"""Hot-path microbenchmarks: indexed Scroll, O(log n) scheduler, dirty-page COW.
+
+Quantifies the three asymptotic wins of the hot-path overhaul against
+the seed implementations preserved in :mod:`hotpath_baselines`:
+
+* per-pid Scroll queries: index-backed O(k) vs full-log linear scans;
+* ``Scheduler.drain`` with cancellations: lazy deletion + per-target
+  index vs sort-the-queue-per-peek;
+* ``CowPageStore.capture``: per-key dirty tracking vs re-pickling and
+  re-hashing the whole state every checkpoint.
+
+The speedup thresholds asserted here (10x / 10x / 5x) are the issue's
+acceptance floors; the measured ratios are typically 1-2 orders of
+magnitude above them, so the assertions are robust to machine noise.
+"""
+
+from __future__ import annotations
+
+from run_bench import measure_cow, measure_scheduler, measure_scroll
+
+N_EVENTS = 50_000
+
+
+def test_scroll_per_pid_queries_10x(report_rows):
+    metrics = measure_scroll(n=N_EVENTS, pids=100, repeats=5)
+    report_rows.append(
+        f"indexed={metrics['indexed_ns_per_query']:.0f}ns/query "
+        f"naive={metrics['naive_ns_per_query']:.0f}ns/query "
+        f"speedup={metrics['speedup']:.1f}x"
+    )
+    assert metrics["speedup"] >= 10.0
+
+
+def test_scheduler_drain_with_cancellations_10x(report_rows):
+    metrics = measure_scheduler(n=N_EVENTS, targets=100, repeats=3, naive_sample=25)
+    report_rows.append(
+        f"indexed={metrics['indexed_ns_per_event']:.0f}ns/event "
+        f"naive={metrics['naive_ns_per_event']:.0f}ns/event "
+        f"speedup={metrics['speedup']:.1f}x"
+    )
+    assert metrics["speedup"] >= 10.0
+
+
+def test_cow_capture_hashes_5x_fewer_bytes(report_rows):
+    metrics = measure_cow(keys=200, key_bytes=512, captures=50, mutate_fraction=0.01)
+    report_rows.append(
+        f"cow={metrics['cow_hashed_bytes_per_capture']:.0f}B/capture "
+        f"naive={metrics['naive_hashed_bytes_per_capture']:.0f}B/capture "
+        f"reduction={metrics['hash_reduction']:.1f}x"
+    )
+    assert metrics["restore_ok"], "dirty-page captures must restore the exact state"
+    assert metrics["hash_reduction"] >= 5.0

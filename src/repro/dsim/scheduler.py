@@ -13,6 +13,20 @@ scheduler:
 The Investigator relies on this: re-running a prefix of the schedule from
 a checkpoint reproduces the original execution exactly, and exploring a
 *different* schedule is an explicit, controlled perturbation.
+
+Cancellation is *lazy*: cancelling an event only flips a flag and
+adjusts the live-event counter; the heap is never rebuilt or scanned.
+Cancelled events are discarded when they surface at the heap head
+(:meth:`Scheduler.peek_time` / :meth:`Scheduler.pop_next`), so every
+scheduler operation is O(log n) or better:
+
+* :meth:`Scheduler.peek_time` pops dead heads instead of sorting the
+  whole queue;
+* :attr:`Scheduler.pending_events` reads a counter maintained on
+  push/cancel/pop instead of scanning;
+* :meth:`Scheduler.cancel_for_target` walks a per-target index (crash
+  and rollback handling cancels a single process's events, which used to
+  scan every queued event in the system).
 """
 
 from __future__ import annotations
@@ -21,7 +35,7 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import SimulationError
 
@@ -52,6 +66,9 @@ class Event:
     target: str = field(compare=False)
     payload: Any = field(compare=False, default=None)
     cancelled: bool = field(compare=False, default=False)
+    #: True while the event sits in the scheduler's heap; maintained by the
+    #: scheduler so cancellation bookkeeping never double-counts an event.
+    in_queue: bool = field(compare=False, default=False, repr=False)
 
     def describe(self) -> str:
         """One-line description used in traces."""
@@ -59,13 +76,18 @@ class Event:
 
 
 class Scheduler:
-    """A priority-queue scheduler with stable tie-breaking and cancellation."""
+    """A priority-queue scheduler with stable tie-breaking and lazy cancellation."""
 
     def __init__(self) -> None:
         self._queue: List[Event] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._executed = 0
+        #: number of queued events that are not cancelled (kept exact)
+        self._live = 0
+        #: queued events per target; pruned lazily, rebuilt when mostly dead
+        self._by_target: Dict[str, List[Event]] = {}
+        self._index_dead = 0
 
     # ------------------------------------------------------------------
     # time
@@ -82,8 +104,8 @@ class Scheduler:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live events still queued (cancelled events excluded)."""
+        return self._live
 
     # ------------------------------------------------------------------
     # scheduling
@@ -101,29 +123,64 @@ class Scheduler:
                 f"cannot schedule an event at t={time} which is before now (t={self._now})"
             )
         event = Event(time=float(time), seq=next(self._sequence), kind=kind, target=target, payload=payload)
+        event.in_queue = True
         heapq.heappush(self._queue, event)
+        self._live += 1
+        self._by_target.setdefault(target, []).append(event)
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously scheduled event (it will be skipped)."""
+        """Cancel a previously scheduled event (it will be skipped).
+
+        Cancelling an event that already executed, or one that was
+        already cancelled, is a no-op.
+        """
+        if event.cancelled or not event.in_queue:
+            return
         event.cancelled = True
+        self._live -= 1
 
     def cancel_for_target(self, target: str, kind: Optional[EventKind] = None) -> int:
         """Cancel all pending events for ``target`` (optionally of one kind).
 
         Used when a process crashes or is rolled back: its in-flight
-        timers and deliveries no longer make sense.
+        timers and deliveries no longer make sense.  Walks only the
+        target's own index bucket, not the whole queue.
         Returns the number of events cancelled.
         """
+        bucket = self._by_target.get(target)
+        if not bucket:
+            return 0
         cancelled = 0
-        for event in self._queue:
-            if event.cancelled or event.target != target:
-                continue
-            if kind is not None and event.kind is not kind:
-                continue
-            event.cancelled = True
-            cancelled += 1
+        survivors: List[Event] = []
+        for event in bucket:
+            if not event.in_queue or event.cancelled:
+                continue  # executed or already cancelled: drop from the index
+            if kind is None or event.kind is kind:
+                event.cancelled = True
+                self._live -= 1
+                cancelled += 1
+            else:
+                survivors.append(event)
+        if survivors:
+            self._by_target[target] = survivors
+        else:
+            del self._by_target[target]
         return cancelled
+
+    def _note_dead(self, count: int = 1) -> None:
+        """Track events that left the heap but may linger in the target index."""
+        self._index_dead += count
+        if self._index_dead > max(64, 2 * self._live):
+            self._rebuild_target_index()
+
+    def _rebuild_target_index(self) -> None:
+        rebuilt: Dict[str, List[Event]] = {}
+        for event in self._queue:
+            if event.in_queue and not event.cancelled:
+                rebuilt.setdefault(event.target, []).append(event)
+        self._by_target = rebuilt
+        self._index_dead = 0
 
     # ------------------------------------------------------------------
     # execution
@@ -135,10 +192,13 @@ class Scheduler:
         """
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.in_queue = False
+            self._note_dead()
             if event.cancelled:
                 continue
             if event.time < self._now:
                 raise SimulationError("event queue produced an event from the past")
+            self._live -= 1
             self._now = event.time
             self._executed += 1
             return event
@@ -152,11 +212,17 @@ class Scheduler:
         return events
 
     def peek_time(self) -> Optional[float]:
-        """Return the time of the next pending event without executing it."""
-        for event in sorted(self._queue):
-            if not event.cancelled:
-                return event.time
-        return None
+        """Return the time of the next pending event without executing it.
+
+        Lazily discards cancelled events that surfaced at the heap head,
+        so the amortized cost is O(log n) rather than a full sort.
+        """
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            event = heapq.heappop(queue)
+            event.in_queue = False
+            self._note_dead()
+        return queue[0].time if queue else None
 
     def drain(self, until: Optional[float] = None) -> Iterator[Event]:
         """Yield events in order until the queue empties or ``until`` is passed."""
@@ -173,7 +239,12 @@ class Scheduler:
 
     def reset_to(self, time: float) -> None:
         """Discard all pending events and rewind the clock (used on global rollback)."""
+        for event in self._queue:
+            event.in_queue = False
         self._queue.clear()
+        self._by_target.clear()
+        self._live = 0
+        self._index_dead = 0
         self._now = float(time)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -54,29 +54,39 @@ class RecordingPolicy:
 
     def recorded_kinds(self) -> frozenset:
         """The action kinds this policy records."""
-        if self.mode is InterceptionMode.BLACKBOX:
-            return frozenset({ActionKind.SEND, ActionKind.RECEIVE})
-        library = frozenset(
-            {
-                ActionKind.SEND,
-                ActionKind.RECEIVE,
-                ActionKind.DROP,
-                ActionKind.DUPLICATE,
-                ActionKind.RANDOM,
-                ActionKind.TIMER,
-                ActionKind.VIOLATION,
-                ActionKind.CRASH,
-                ActionKind.RECOVER,
-                ActionKind.CORRUPTION,
-            }
-        )
-        if self.mode is InterceptionMode.LIBRARY:
-            return library
-        return library | frozenset({ActionKind.CLOCK_READ, ActionKind.CHECKPOINT})
+        return _KINDS_BY_MODE[self.mode]
 
     def should_record(self, kind: ActionKind) -> bool:
-        """True when entries of ``kind`` are recorded under this policy."""
-        return kind in self.recorded_kinds()
+        """True when entries of ``kind`` are recorded under this policy.
+
+        Called once per intercepted action, so it must not rebuild the
+        kind set; the per-mode sets are precomputed at import time.
+        """
+        return kind in _KINDS_BY_MODE[self.mode]
+
+
+_LIBRARY_KINDS = frozenset(
+    {
+        ActionKind.SEND,
+        ActionKind.RECEIVE,
+        ActionKind.DROP,
+        ActionKind.DUPLICATE,
+        ActionKind.RANDOM,
+        ActionKind.TIMER,
+        ActionKind.VIOLATION,
+        ActionKind.CRASH,
+        ActionKind.RECOVER,
+        ActionKind.CORRUPTION,
+    }
+)
+
+#: Recorded kind set per interception mode, computed once.
+_KINDS_BY_MODE = {
+    InterceptionMode.BLACKBOX: frozenset({ActionKind.SEND, ActionKind.RECEIVE}),
+    InterceptionMode.LIBRARY: _LIBRARY_KINDS,
+    InterceptionMode.SYSCALL: _LIBRARY_KINDS
+    | frozenset({ActionKind.CLOCK_READ, ActionKind.CHECKPOINT}),
+}
 
 
 class ReplayRandomStream:

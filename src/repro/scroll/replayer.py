@@ -14,6 +14,13 @@ Replay serves two purposes in FixD:
 * **validation** — a replay whose sends differ from the recorded sends
   (a *divergence*) means the recorded log is not sufficient to explain
   the execution, exactly the condition liblog flags.
+
+Replaying every process of a global Scroll is O(n) in the log size: the
+per-process views the replayer consumes (``entries_for``,
+``sent_messages``, ``random_outcomes``, ``clock_reads``) are backed by
+the Scroll's ``(pid, kind)`` indexes, so each process's replay touches
+only its own entries instead of rescanning the whole log once per
+process.
 """
 
 from __future__ import annotations
@@ -146,6 +153,9 @@ class Replayer:
             raise KeyError(f"no factory registered for process {pid!r}")
         process = self.factories[pid]()
 
+        # Index-backed per-process views: each is O(k) in the process's
+        # own entry count, independent of the global log size.
+        history = self.scroll.entries_for(pid)
         recorded_sends = self.scroll.sent_messages(pid)
         checker = _ReplaySendChecker(pid, recorded_sends, self.strict)
         rng = ReplayRandomStream(pid, self.scroll.random_outcomes(pid))
@@ -177,7 +187,7 @@ class Replayer:
         events_replayed = 0
         try:
             process.on_start()
-            for entry in self.scroll.entries_for(pid):
+            for entry in history:
                 clock.advance_fallback(entry.time)
                 if entry.kind is ActionKind.RECEIVE and "message" in entry.detail:
                     message = Message.from_record(entry.detail["message"])

@@ -5,29 +5,108 @@ A single Scroll can hold the actions of every process in the system (the
 combines per-process Scrolls into one, re-establishing a causally
 consistent global order using the recorded vector timestamps and falling
 back to recorded times and sequence numbers for concurrent entries.
+
+Because the Scroll sits on the recording hot path (every nondeterministic
+action of every process lands here) and on the replay hot path (the
+Replayer queries per-process views once per process), the log maintains
+positional indexes as it grows:
+
+* a per-process index, a per-kind index and a per-``(pid, kind)`` index,
+  each a sorted list of positions into the backing entry list — so
+  ``entries_for``/``of_kind``/``received_messages`` and friends are
+  O(k) in the result size instead of O(n) scans;
+* a parallel list of record times, so :meth:`between` can bisect when the
+  log is time-monotone (the common case for live recordings);
+* :meth:`merge` streams already-ordered per-process logs through a heap
+  (O(n log p)) instead of concatenating and re-sorting (O(n log n)).
+
+Appends stay O(1) amortized; all query results are materialized lists
+except :attr:`entries`, which is a zero-copy read-only view.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+import heapq
+from bisect import bisect_left
+from collections.abc import Sequence as _SequenceABC
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dsim.clock import VectorTimestamp
 from repro.scroll.entry import ActionKind, ScrollEntry
+
+
+class ScrollView(_SequenceABC):
+    """A zero-copy, read-only view over a Scroll's backing entry list.
+
+    Supports the full read-only sequence protocol (len, indexing,
+    slicing, iteration, containment) and equality against other sequences
+    of entries; it never copies the underlying list.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: List[ScrollEntry]) -> None:
+        self._entries = entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index):
+        return self._entries[index]
+
+    def __iter__(self) -> Iterator[ScrollEntry]:
+        return iter(self._entries)
+
+    def __reversed__(self) -> Iterator[ScrollEntry]:
+        return reversed(self._entries)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._entries
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ScrollView):
+            return self._entries == other._entries
+        if isinstance(other, (list, tuple)):
+            return len(self._entries) == len(other) and all(
+                mine == theirs for mine, theirs in zip(self._entries, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScrollView({len(self._entries)} entries)"
 
 
 class Scroll:
     """Append-only, queryable log of :class:`ScrollEntry` records."""
 
     def __init__(self, entries: Optional[Iterable[ScrollEntry]] = None) -> None:
-        self._entries: List[ScrollEntry] = list(entries or [])
+        self._entries: List[ScrollEntry] = []
+        #: positions (into _entries) per process, per kind and per (pid, kind)
+        self._by_pid: Dict[str, List[int]] = {}
+        self._by_kind: Dict[ActionKind, List[int]] = {}
+        self._by_pid_kind: Dict[Tuple[str, ActionKind], List[int]] = {}
+        self._nondet: List[int] = []
+        #: record times in append order; bisectable while monotone
+        self._times: List[float] = []
+        self._time_monotone = True
+        for entry in entries or ():
+            self.append(entry)
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
     def append(self, entry: ScrollEntry) -> ScrollEntry:
-        """Append one entry and return it."""
+        """Append one entry, updating the positional indexes, and return it."""
+        position = len(self._entries)
         self._entries.append(entry)
+        self._by_pid.setdefault(entry.pid, []).append(position)
+        self._by_kind.setdefault(entry.kind, []).append(position)
+        self._by_pid_kind.setdefault((entry.pid, entry.kind), []).append(position)
+        if entry.is_nondeterministic:
+            self._nondet.append(position)
+        if self._time_monotone and self._times and entry.time < self._times[-1]:
+            self._time_monotone = False
+        self._times.append(entry.time)
         return entry
 
     def record(
@@ -59,28 +138,44 @@ class Scroll:
         return self._entries[index]
 
     @property
-    def entries(self) -> List[ScrollEntry]:
-        """All entries in record order (a copy)."""
-        return list(self._entries)
+    def entries(self) -> ScrollView:
+        """All entries in record order (a zero-copy read-only view)."""
+        return ScrollView(self._entries)
 
     # ------------------------------------------------------------------
-    # queries
+    # queries (index-backed: O(k) in the result size)
     # ------------------------------------------------------------------
+    def _at(self, positions: Iterable[int]) -> List[ScrollEntry]:
+        entries = self._entries
+        return [entries[position] for position in positions]
+
     def entries_for(self, pid: str) -> List[ScrollEntry]:
         """All entries belonging to one process, in record order."""
-        return [entry for entry in self._entries if entry.pid == pid]
+        return self._at(self._by_pid.get(pid, ()))
 
     def of_kind(self, *kinds: ActionKind) -> List[ScrollEntry]:
-        """All entries whose kind is one of ``kinds``."""
-        wanted = set(kinds)
-        return [entry for entry in self._entries if entry.kind in wanted]
+        """All entries whose kind is one of ``kinds``, in record order."""
+        unique = list(dict.fromkeys(kinds))
+        if len(unique) == 1:
+            return self._at(self._by_kind.get(unique[0], ()))
+        runs = [self._by_kind.get(kind, ()) for kind in unique]
+        return self._at(heapq.merge(*runs))
 
     def nondeterministic(self) -> List[ScrollEntry]:
         """Only the entries required for deterministic replay."""
-        return [entry for entry in self._entries if entry.is_nondeterministic]
+        return self._at(self._nondet)
 
     def between(self, start: float, end: float) -> List[ScrollEntry]:
-        """Entries whose recorded time falls in ``[start, end)``."""
+        """Entries whose recorded time falls in ``[start, end)``.
+
+        O(log n + k) via bisection while the log is time-monotone (live
+        recordings always are); falls back to a linear scan when entries
+        were appended out of time order.
+        """
+        if self._time_monotone:
+            lo = bisect_left(self._times, start)
+            hi = bisect_left(self._times, end)
+            return self._entries[lo:hi]
         return [entry for entry in self._entries if start <= entry.time < end]
 
     def filter(self, predicate: Callable[[ScrollEntry], bool]) -> List[ScrollEntry]:
@@ -89,72 +184,68 @@ class Scroll:
 
     def pids(self) -> List[str]:
         """Sorted list of process ids appearing in the Scroll."""
-        return sorted({entry.pid for entry in self._entries})
+        return sorted(self._by_pid)
 
     def counts_by_kind(self) -> Dict[str, int]:
         """Number of entries per action kind (kind value -> count)."""
-        counts: Dict[str, int] = defaultdict(int)
-        for entry in self._entries:
-            counts[entry.kind.value] += 1
-        return dict(counts)
+        return {kind.value: len(positions) for kind, positions in self._by_kind.items()}
 
     def counts_by_process(self) -> Dict[str, int]:
         """Number of entries per process."""
-        counts: Dict[str, int] = defaultdict(int)
-        for entry in self._entries:
-            counts[entry.pid] += 1
-        return dict(counts)
+        return {pid: len(positions) for pid, positions in self._by_pid.items()}
 
     def last_entry(self, pid: Optional[str] = None) -> Optional[ScrollEntry]:
         """The most recently recorded entry (optionally restricted to one process)."""
-        candidates = self._entries if pid is None else self.entries_for(pid)
-        return candidates[-1] if candidates else None
+        if pid is None:
+            return self._entries[-1] if self._entries else None
+        positions = self._by_pid.get(pid)
+        return self._entries[positions[-1]] if positions else None
 
     def violations(self) -> List[ScrollEntry]:
         """All recorded invariant violations."""
         return self.of_kind(ActionKind.VIOLATION)
 
     # ------------------------------------------------------------------
-    # per-process replay material
+    # per-process replay material (all O(k) via the (pid, kind) index)
     # ------------------------------------------------------------------
+    def _for_pid_kind(self, pid: str, kind: ActionKind) -> List[ScrollEntry]:
+        return self._at(self._by_pid_kind.get((pid, kind), ()))
+
     def received_messages(self, pid: str) -> List[Dict]:
         """The serialized messages delivered to ``pid``, in delivery order."""
         return [
             entry.detail["message"]
-            for entry in self._entries
-            if entry.pid == pid and entry.kind is ActionKind.RECEIVE and "message" in entry.detail
+            for entry in self._for_pid_kind(pid, ActionKind.RECEIVE)
+            if "message" in entry.detail
         ]
 
     def sent_messages(self, pid: str) -> List[Dict]:
         """The serialized messages sent by ``pid``, in send order."""
         return [
             entry.detail["message"]
-            for entry in self._entries
-            if entry.pid == pid and entry.kind is ActionKind.SEND and "message" in entry.detail
+            for entry in self._for_pid_kind(pid, ActionKind.SEND)
+            if "message" in entry.detail
         ]
 
     def random_outcomes(self, pid: str) -> List[Dict]:
         """Recorded random draws of ``pid``: ``{"method", "value"}`` in draw order."""
         return [
             {"method": entry.detail.get("method"), "value": entry.detail.get("value")}
-            for entry in self._entries
-            if entry.pid == pid and entry.kind is ActionKind.RANDOM
+            for entry in self._for_pid_kind(pid, ActionKind.RANDOM)
         ]
 
     def clock_reads(self, pid: str) -> List[float]:
         """Recorded clock reads of ``pid`` in read order."""
         return [
             entry.detail.get("value", entry.time)
-            for entry in self._entries
-            if entry.pid == pid and entry.kind is ActionKind.CLOCK_READ
+            for entry in self._for_pid_kind(pid, ActionKind.CLOCK_READ)
         ]
 
     def timer_firings(self, pid: str) -> List[Dict]:
         """Recorded timer firings of ``pid``: ``{"name", "time"}`` in order."""
         return [
             {"name": entry.detail.get("name"), "time": entry.time}
-            for entry in self._entries
-            if entry.pid == pid and entry.kind is ActionKind.TIMER
+            for entry in self._for_pid_kind(pid, ActionKind.TIMER)
         ]
 
     # ------------------------------------------------------------------
@@ -162,8 +253,8 @@ class Scroll:
     # ------------------------------------------------------------------
     def slice_for(self, pids: Sequence[str]) -> "Scroll":
         """A new Scroll containing only the entries of the given processes."""
-        wanted = set(pids)
-        return Scroll(entry for entry in self._entries if entry.pid in wanted)
+        runs = [self._by_pid.get(pid, ()) for pid in dict.fromkeys(pids)]
+        return Scroll(self._at(heapq.merge(*runs)))
 
     def prefix_until(self, predicate: Callable[[ScrollEntry], bool]) -> "Scroll":
         """The prefix of the Scroll up to (excluding) the first entry matching ``predicate``."""
@@ -176,25 +267,47 @@ class Scroll:
 
     @staticmethod
     def merge(scrolls: Iterable["Scroll"]) -> "Scroll":
-        """Merge several Scrolls into one causally consistent Scroll.
+        """Merge several Scrolls into one globally ordered Scroll.
 
-        Entries are ordered primarily by causal order (vector timestamps
-        when both entries carry them), then by recorded time, then by
-        the original sequence number.  Because vector-timestamp order is
-        partial, the sort key uses the *sum* of the vector components as
-        a linear extension — this preserves happens-before (a causally
-        later event always has a strictly larger component sum) while
-        giving concurrent events a deterministic order.
+        Entries are ordered by the composite key ``(time, causal_weight,
+        seq)``: recorded time first, then the sum of the entry's vector
+        timestamp components, then the original sequence number.  The
+        causal weight is a linear extension of the (partial)
+        vector-timestamp order — a causally later event always has a
+        strictly larger component sum — so among entries with equal
+        recorded times the key preserves happens-before while giving
+        concurrent entries a deterministic order.
+
+        Per-process Scrolls are recorded in nondecreasing key order, so
+        the merge streams them through a heap (O(n log p) for p scrolls)
+        instead of concatenating and re-sorting; inputs that are not
+        key-sorted fall back to a stable sort with identical output.
         """
-        combined: List[ScrollEntry] = []
-        for scroll in scrolls:
-            combined.extend(scroll.entries)
 
         def key(entry: ScrollEntry):
             causal_weight = sum(entry.vt.as_dict().values()) if entry.vt is not None else 0
             return (entry.time, causal_weight, entry.seq)
 
-        return Scroll(sorted(combined, key=key))
+        # Decorate each run with (key, run index, position) so heap order
+        # matches a stable sort of the concatenation exactly.
+        decorated: List[List[tuple]] = []
+        presorted = True
+        for run_index, scroll in enumerate(scrolls):
+            run = []
+            previous = None
+            for position, entry in enumerate(scroll):
+                entry_key = key(entry)
+                if previous is not None and entry_key < previous:
+                    presorted = False
+                previous = entry_key
+                run.append((entry_key, run_index, position, entry))
+            decorated.append(run)
+
+        if presorted:
+            return Scroll(item[3] for item in heapq.merge(*decorated))
+        combined = [item for run in decorated for item in run]
+        combined.sort()
+        return Scroll(item[3] for item in combined)
 
     def to_records(self) -> List[Dict]:
         """Serialize the whole Scroll to a list of plain dictionaries."""

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
@@ -60,15 +61,21 @@ class LocalCheckpointLog:
         return list(self._checkpoints)
 
     def by_sequence(self, sequence: int) -> ProcessCheckpoint:
-        for checkpoint in self._checkpoints:
-            if checkpoint.sequence == sequence:
-                return checkpoint
+        # add() keeps sequences strictly increasing, so the log bisects.
+        index = bisect_left(self._checkpoints, sequence, key=lambda c: c.sequence)
+        if index < len(self._checkpoints) and self._checkpoints[index].sequence == sequence:
+            return self._checkpoints[index]
         raise CheckpointError(f"no checkpoint with sequence {sequence} for process {self.pid!r}")
 
     def latest_before(self, time: float) -> Optional[ProcessCheckpoint]:
         """The most recent checkpoint captured at or before ``time``."""
-        candidates = [c for c in self._checkpoints if c.time <= time]
-        return candidates[-1] if candidates else None
+        # Scan from the newest end: recovery lines sit near the tail, so
+        # the common case returns after a few steps instead of copying
+        # every matching checkpoint.
+        for checkpoint in reversed(self._checkpoints):
+            if checkpoint.time <= time:
+                return checkpoint
+        return None
 
     def drop_after(self, sequence: int) -> int:
         """Discard checkpoints with a sequence strictly greater than ``sequence``."""

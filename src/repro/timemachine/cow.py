@@ -4,33 +4,74 @@ Section 4.2 gives two reasons the paper prefers speculations over
 traditional checkpointing, the first being that "speculations use a
 copy-on-write mechanism to build lightweight, incremental checkpoints of
 processes".  This module reproduces that mechanism at the level of
-*state pages*: a process's state dictionary is serialized into fixed-size
-pages, pages are content-addressed (SHA-1 of their bytes), and an
-incremental checkpoint stores only the pages that changed since the
-previous checkpoint plus references to unchanged pages.
+*state pages*: each top-level key of a process's state dictionary is
+serialized independently, split into fixed-size pages, and pages are
+content-addressed (SHA-1 of their bytes); an incremental checkpoint
+stores only the pages of keys mutated since the previous checkpoint plus
+references to unchanged pages.
+
+The dirty-page part of the copy-on-write idea lives in a per-process
+key cache: for every key the store remembers the bytes and page hashes
+of the version it captured last.  At the next capture a key is *clean* —
+its cached pages are referenced without any pickling or hashing — when
+its value is an immutable scalar that compares bit-identical to the
+cached one; a key holding a mutable value is re-serialized, but if the
+bytes come out unchanged the cached page hashes are reused without
+re-hashing a single page.  Only genuinely dirty keys pay for hashing and
+page storage, so a checkpoint after a 1% mutation hashes about 1% of
+the state instead of all of it.
+
+Garbage collection is incremental: every page carries a reference count
+(one per checkpoint that references it), so dropping old checkpoints
+releases exactly their newly unreferenced pages in time proportional to
+the dropped checkpoints — not to the whole store.
 
 The claim-4.2-cow benchmark compares the bytes written per checkpoint by
-this store against full deep-copy checkpoints across mutation ratios.
+this store against full deep-copy checkpoints across mutation ratios;
+``benchmarks/test_perf_hotpaths.py`` additionally tracks bytes hashed
+per capture against the always-rehash baseline.
 """
 
 from __future__ import annotations
 
 import hashlib
 import pickle
+import struct
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.errors import CheckpointError
 
 DEFAULT_PAGE_SIZE = 1024
 
+#: Value types whose equality is a safe substitute for byte-identical
+#: pickles (exact type match required — a bool is not an int here, and a
+#: str subclass may pickle extra state).
+_SCALAR_TYPES = (str, bytes, int, float, bool, type(None))
+
+#: Sentinel stored in the key cache for values we never trust by equality.
+_OPAQUE = object()
+
+#: Cache slot for states captured as one whole-dict blob (aliased states).
+_WHOLE_STATE = object()
+
 
 def _serialize_state(state: Dict[str, Any]) -> bytes:
-    """Stable serialization of a state dictionary."""
+    """Stable serialization of a whole state dictionary (full-copy baseline)."""
     try:
         return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:  # unpicklable application state is a hard error
         raise CheckpointError(f"process state is not serializable: {exc}") from exc
+
+
+def _serialize_value(key: str, value: Any) -> bytes:
+    """Stable serialization of one state value."""
+    try:
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(
+            f"process state key {key!r} is not serializable: {exc}"
+        ) from exc
 
 
 def _paginate(blob: bytes, page_size: int) -> List[bytes]:
@@ -42,9 +83,48 @@ def _page_hash(page: bytes) -> str:
     return hashlib.sha1(page).hexdigest()
 
 
+def _trusted_scalar(value: Any) -> bool:
+    """True when ``value`` can be declared clean by comparison alone."""
+    return type(value) in _SCALAR_TYPES
+
+
+def _has_top_level_aliasing(state: Dict[str, Any]) -> bool:
+    """True when two top-level values are the same object (or the state itself)."""
+    seen: set = set()
+    for value in state.values():
+        if _trusted_scalar(value):
+            continue
+        if value is state:
+            return True
+        marker = id(value)
+        if marker in seen:
+            return True
+        seen.add(marker)
+    return False
+
+
+def _scalars_equal(cached: Any, value: Any) -> bool:
+    """Bit-exact equality for trusted scalars (so 1 != True, 0.0 != -0.0)."""
+    if type(cached) is not type(value):
+        return False
+    if isinstance(cached, float):
+        # == would conflate 0.0/-0.0 and reject NaN==NaN; compare the bits.
+        return struct.pack("<d", cached) == struct.pack("<d", value)
+    return cached == value
+
+
+@dataclass
+class _CachedKey:
+    """The last captured version of one state key of one process."""
+
+    value: Any               # the scalar value, or _OPAQUE for mutable types
+    blob: bytes              # serialized bytes of the captured version
+    hashes: List[str]        # page hashes of ``blob``
+
+
 @dataclass
 class CowCheckpoint:
-    """An incremental checkpoint: a list of page hashes plus metadata.
+    """An incremental checkpoint: page hashes per state key plus metadata.
 
     The actual page bytes live in the :class:`CowPageStore`; a checkpoint
     only references them, which is what makes checkpoints after small
@@ -59,6 +139,13 @@ class CowCheckpoint:
     new_bytes: int
     new_pages: int
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: page hashes grouped per state key in the state's iteration order;
+    #: ``None`` only for legacy whole-blob checkpoints.
+    key_pages: Optional[Dict[str, List[str]]] = None
+    #: bytes actually SHA-1'd while capturing this checkpoint (dirty keys only)
+    hashed_bytes: int = 0
+    #: bytes actually pickled while capturing this checkpoint
+    serialized_bytes: int = 0
 
     @property
     def pages(self) -> int:
@@ -73,60 +160,184 @@ class CowCheckpoint:
 
 
 class CowPageStore:
-    """A content-addressed page store with per-process checkpoint chains."""
+    """A content-addressed page store with per-process checkpoint chains.
+
+    Pages are reference-counted: each checkpoint referencing a page holds
+    one reference per occurrence, so garbage collection after
+    :meth:`drop_before` releases pages incrementally instead of
+    re-deriving the full reachable set.
+    """
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
         if page_size <= 0:
             raise ValueError("page_size must be positive")
         self.page_size = page_size
         self._pages: Dict[str, bytes] = {}
+        self._page_refs: Dict[str, int] = {}
         self._checkpoints: Dict[str, List[CowCheckpoint]] = {}
         self._sequence: Dict[str, int] = {}
+        #: pid -> key -> last captured version (the dirty-tracking cache)
+        self._key_cache: Dict[str, Dict[str, _CachedKey]] = {}
+        #: lifetime counters for the capture hot path
+        self.hashed_bytes_total = 0
+        self.serialized_bytes_total = 0
 
     # ------------------------------------------------------------------
     # capture
     # ------------------------------------------------------------------
     def capture(self, pid: str, state: Dict[str, Any], time: float, **extra: Any) -> CowCheckpoint:
-        """Capture an incremental checkpoint of ``state`` for ``pid``."""
-        blob = _serialize_state(state)
-        pages = _paginate(blob, self.page_size)
-        hashes: List[str] = []
+        """Capture an incremental checkpoint of ``state`` for ``pid``.
+
+        Only keys mutated since the previous capture of ``pid`` are
+        pickled and hashed; clean keys re-reference their cached pages.
+
+        States whose top-level values alias each other (or the state
+        dict itself) are captured as a single whole-dict blob so
+        :meth:`restore` preserves the identity sharing; per-key capture
+        would restore independent copies.  Aliasing nested deeper than
+        one level (e.g. two keys whose *elements* are shared) is not
+        detected and restores as copies.
+        """
+        if _has_top_level_aliasing(state):
+            return self._capture_whole(pid, state, time, extra)
+        cache = self._key_cache.get(pid, {})
+        next_cache: Dict[str, _CachedKey] = {}
+        key_pages: Dict[str, List[str]] = {}
+        total_bytes = 0
         new_bytes = 0
         new_pages = 0
-        for page in pages:
-            digest = _page_hash(page)
-            hashes.append(digest)
-            if digest not in self._pages:
-                self._pages[digest] = page
-                new_bytes += len(page)
-                new_pages += 1
+        hashed_bytes = 0
+        serialized_bytes = 0
+
+        for key, value in state.items():
+            cached = cache.get(key)
+            entry: Optional[_CachedKey] = None
+            if cached is not None and cached.value is not _OPAQUE and _scalars_equal(cached.value, value):
+                entry = cached  # clean scalar: no pickling, no hashing
+            else:
+                blob = _serialize_value(key, value)
+                serialized_bytes += len(blob)
+                if cached is not None and blob == cached.blob:
+                    entry = cached  # unchanged bytes: reuse hashes, skip hashing
+                else:
+                    hashes: List[str] = []
+                    for page in _paginate(blob, self.page_size):
+                        hashed_bytes += len(page)
+                        hashes.append(_page_hash(page))
+                    entry = _CachedKey(
+                        value=value if _trusted_scalar(value) else _OPAQUE,
+                        blob=blob,
+                        hashes=hashes,
+                    )
+            next_cache[key] = entry
+            key_pages[key] = entry.hashes
+            total_bytes += len(entry.blob)
+            new_bytes, new_pages = self._reference_pages(entry, new_bytes, new_pages)
+
+        self._key_cache[pid] = next_cache
+        self.hashed_bytes_total += hashed_bytes
+        self.serialized_bytes_total += serialized_bytes
         self._sequence[pid] = self._sequence.get(pid, 0) + 1
         checkpoint = CowCheckpoint(
             pid=pid,
             sequence=self._sequence[pid],
             time=time,
-            page_hashes=hashes,
+            page_hashes=[digest for hashes in key_pages.values() for digest in hashes],
+            total_bytes=total_bytes,
+            new_bytes=new_bytes,
+            new_pages=new_pages,
+            extra=dict(extra),
+            key_pages=key_pages,
+            hashed_bytes=hashed_bytes,
+            serialized_bytes=serialized_bytes,
+        )
+        self._checkpoints.setdefault(pid, []).append(checkpoint)
+        return checkpoint
+
+    def _capture_whole(self, pid: str, state: Dict[str, Any], time: float, extra: Dict[str, Any]) -> CowCheckpoint:
+        """Whole-dict capture for aliased states (legacy layout, key_pages=None).
+
+        Dirty tracking still applies at the whole-state granularity: if
+        the serialized bytes match the previous whole-state capture, the
+        cached page hashes are reused without re-hashing.
+        """
+        cache = self._key_cache.get(pid, {})
+        cached = cache.get(_WHOLE_STATE)
+        blob = _serialize_state(state)
+        serialized_bytes = len(blob)
+        hashed_bytes = 0
+        if cached is not None and blob == cached.blob:
+            entry = cached
+        else:
+            hashes: List[str] = []
+            for page in _paginate(blob, self.page_size):
+                hashed_bytes += len(page)
+                hashes.append(_page_hash(page))
+            entry = _CachedKey(value=_OPAQUE, blob=blob, hashes=hashes)
+        self._key_cache[pid] = {_WHOLE_STATE: entry}
+        self.hashed_bytes_total += hashed_bytes
+        self.serialized_bytes_total += serialized_bytes
+        new_bytes, new_pages = self._reference_pages(entry, 0, 0)
+        self._sequence[pid] = self._sequence.get(pid, 0) + 1
+        checkpoint = CowCheckpoint(
+            pid=pid,
+            sequence=self._sequence[pid],
+            time=time,
+            page_hashes=list(entry.hashes),
             total_bytes=len(blob),
             new_bytes=new_bytes,
             new_pages=new_pages,
             extra=dict(extra),
+            key_pages=None,
+            hashed_bytes=hashed_bytes,
+            serialized_bytes=serialized_bytes,
         )
         self._checkpoints.setdefault(pid, []).append(checkpoint)
         return checkpoint
+
+    def _reference_pages(self, entry: _CachedKey, new_bytes: int, new_pages: int) -> tuple:
+        """Add one reference per page of ``entry``, materializing missing pages.
+
+        A clean key's pages may have been garbage-collected since they
+        were cached (the chain that referenced them was dropped); they
+        are re-derived from the cached bytes rather than treated as a
+        cache hit on missing data.
+        """
+        pages_by_hash = None
+        for digest in entry.hashes:
+            if digest not in self._pages:
+                if pages_by_hash is None:
+                    pages_by_hash = {
+                        _page_hash(page): page for page in _paginate(entry.blob, self.page_size)
+                    }
+                page = pages_by_hash[digest]
+                self._pages[digest] = page
+                new_bytes += len(page)
+                new_pages += 1
+            self._page_refs[digest] = self._page_refs.get(digest, 0) + 1
+        return new_bytes, new_pages
 
     # ------------------------------------------------------------------
     # restore
     # ------------------------------------------------------------------
     def restore(self, checkpoint: CowCheckpoint) -> Dict[str, Any]:
         """Reconstruct the state dictionary referenced by ``checkpoint``."""
+        if checkpoint.key_pages is None:
+            blob = self._join_pages(checkpoint, checkpoint.page_hashes)
+            return pickle.loads(blob)
+        state: Dict[str, Any] = {}
+        for key, hashes in checkpoint.key_pages.items():
+            state[key] = pickle.loads(self._join_pages(checkpoint, hashes))
+        return state
+
+    def _join_pages(self, checkpoint: CowCheckpoint, hashes: List[str]) -> bytes:
         try:
-            blob = b"".join(self._pages[digest] for digest in checkpoint.page_hashes)
+            return b"".join(self._pages[digest] for digest in hashes)
         except KeyError as exc:
             raise CheckpointError(
                 f"page {exc.args[0]!r} referenced by checkpoint {checkpoint.sequence} "
                 f"of {checkpoint.pid!r} is missing from the store"
             ) from None
-        return pickle.loads(blob)
 
     def latest(self, pid: str) -> Optional[CowCheckpoint]:
         chain = self._checkpoints.get(pid)
@@ -165,24 +376,47 @@ class CowPageStore:
     # garbage collection
     # ------------------------------------------------------------------
     def drop_before(self, pid: str, sequence: int) -> int:
-        """Forget checkpoints of ``pid`` older than ``sequence``; returns pages freed."""
-        chain = self._checkpoints.get(pid, [])
-        keep = [c for c in chain if c.sequence >= sequence]
-        self._checkpoints[pid] = keep
-        return self._collect_garbage()
+        """Forget checkpoints of ``pid`` older than ``sequence``; returns pages freed.
 
-    def _collect_garbage(self) -> int:
-        """Drop pages no longer referenced by any checkpoint."""
-        referenced = {
-            digest
-            for chain in self._checkpoints.values()
-            for checkpoint in chain
-            for digest in checkpoint.page_hashes
-        }
-        unreferenced = [digest for digest in self._pages if digest not in referenced]
-        for digest in unreferenced:
-            del self._pages[digest]
-        return len(unreferenced)
+        Reference counts make this incremental: only the dropped
+        checkpoints' own references are released, so the cost is
+        proportional to what was dropped rather than to the whole store.
+        """
+        chain = self._checkpoints.get(pid, [])
+        dropped = [c for c in chain if c.sequence < sequence]
+        self._checkpoints[pid] = [c for c in chain if c.sequence >= sequence]
+        freed = 0
+        for checkpoint in dropped:
+            freed += self._release_pages(checkpoint.page_hashes)
+        return freed
+
+    def drop_checkpoint(self, pid: str, sequence: int) -> int:
+        """Forget exactly one checkpoint of ``pid``; returns pages freed.
+
+        Releases only that checkpoint's references, leaving every other
+        checkpoint of the chain (e.g. periodic or communication-induced
+        ones interleaved with it) restorable.  Dropping an unknown
+        sequence is a no-op.
+        """
+        chain = self._checkpoints.get(pid, [])
+        for index, checkpoint in enumerate(chain):
+            if checkpoint.sequence == sequence:
+                del chain[index]
+                return self._release_pages(checkpoint.page_hashes)
+        return 0
+
+    def _release_pages(self, hashes: List[str]) -> int:
+        """Drop one reference per page hash; free pages that hit zero."""
+        freed = 0
+        for digest in hashes:
+            remaining = self._page_refs.get(digest, 0) - 1
+            if remaining > 0:
+                self._page_refs[digest] = remaining
+            else:
+                self._page_refs.pop(digest, None)
+                if self._pages.pop(digest, None) is not None:
+                    freed += 1
+        return freed
 
 
 def full_checkpoint_bytes(state: Dict[str, Any]) -> int:

@@ -39,7 +39,7 @@ from repro.dsim.hooks import RuntimeHook
 from repro.dsim.process import ProcessCheckpoint
 from repro.errors import SpeculationError
 from repro.timemachine.checkpoint import CheckpointStore
-from repro.timemachine.cow import CowPageStore
+from repro.timemachine.cow import CowCheckpoint, CowPageStore
 
 
 class SpeculationStatus(Enum):
@@ -62,6 +62,9 @@ class Speculation:
     status: SpeculationStatus = SpeculationStatus.ACTIVE
     members: Set[str] = field(default_factory=set)
     checkpoints: Dict[str, ProcessCheckpoint] = field(default_factory=dict)
+    #: the incremental COW checkpoint each member took on entry (when a
+    #: CowPageStore is attached); released when the speculation resolves
+    cow_checkpoints: Dict[str, CowCheckpoint] = field(default_factory=dict)
     alternate_path: Optional[Callable[[str], None]] = None
     resolved_at: Optional[float] = None
 
@@ -95,6 +98,8 @@ class SpeculationManager(RuntimeHook):
         self._message_taint: Dict[int, Set[str]] = {}
         self.rollbacks_performed = 0
         self.absorptions = 0
+        #: pages released by incremental COW garbage collection on resolve
+        self.cow_pages_freed = 0
 
     def attach(self, cluster) -> None:
         self._cluster = cluster
@@ -115,8 +120,11 @@ class SpeculationManager(RuntimeHook):
         spec_id = f"spec-{next(_speculation_counter)}"
         checkpoint = process.capture_checkpoint(self._cluster.now)
         self.store.add(checkpoint)
+        cow_checkpoints: Dict[str, CowCheckpoint] = {}
         if self.cow_store is not None:
-            self.cow_store.capture(pid, process.state, self._cluster.now, speculation=spec_id)
+            cow_checkpoints[pid] = self.cow_store.capture(
+                pid, process.state, self._cluster.now, speculation=spec_id
+            )
         speculation = Speculation(
             spec_id=spec_id,
             initiator=pid,
@@ -124,6 +132,7 @@ class SpeculationManager(RuntimeHook):
             started_at=self._cluster.now,
             members={pid},
             checkpoints={pid: checkpoint},
+            cow_checkpoints=cow_checkpoints,
             alternate_path=alternate_path,
         )
         self._speculations[spec_id] = speculation
@@ -174,6 +183,23 @@ class SpeculationManager(RuntimeHook):
             active = self._active_by_pid.get(pid)
             if active is not None:
                 active.discard(speculation.spec_id)
+        self._release_cow_checkpoints(speculation)
+
+    def _release_cow_checkpoints(self, speculation: Speculation) -> None:
+        """Discard the resolved speculation's incremental checkpoints.
+
+        Section 4.2: a committed speculation's checkpoint is discarded
+        (and an aborted one's has been consumed by the rollback).  Only
+        the checkpoints this speculation itself captured are dropped —
+        the COW store is shared with the periodic/communication-induced
+        policies, whose chains must stay restorable.
+        """
+        if self.cow_store is None:
+            return
+        for pid, cow_checkpoint in speculation.cow_checkpoints.items():
+            self.cow_pages_freed += self.cow_store.drop_checkpoint(
+                pid, cow_checkpoint.sequence
+            )
 
     # ------------------------------------------------------------------
     # queries
@@ -222,7 +248,9 @@ class SpeculationManager(RuntimeHook):
         checkpoint = process.capture_checkpoint(time)
         self.store.add(checkpoint)
         if self.cow_store is not None:
-            self.cow_store.capture(pid, process.state, time, speculation=speculation.spec_id)
+            speculation.cow_checkpoints[pid] = self.cow_store.capture(
+                pid, process.state, time, speculation=speculation.spec_id
+            )
         speculation.members.add(pid)
         speculation.checkpoints[pid] = checkpoint
         self._active_by_pid.setdefault(pid, set()).add(speculation.spec_id)
@@ -239,5 +267,6 @@ class SpeculationManager(RuntimeHook):
             "total": len(self._speculations),
             "absorptions": self.absorptions,
             "rollbacks": self.rollbacks_performed,
+            "cow_pages_freed": self.cow_pages_freed,
             **by_status,
         }

@@ -150,4 +150,8 @@ class TimeMachine:
             stats["cow_stored_bytes"] = self.cow_store.stored_bytes()
             stats["cow_logical_bytes"] = self.cow_store.logical_bytes()
             stats["cow_savings_ratio"] = self.cow_store.savings_ratio()
+            # dirty-tracking effectiveness: how much capture work the
+            # per-key cache avoided across the run
+            stats["cow_hashed_bytes"] = self.cow_store.hashed_bytes_total
+            stats["cow_serialized_bytes"] = self.cow_store.serialized_bytes_total
         return stats

@@ -1,0 +1,182 @@
+"""Equivalence properties for the hot-path overhaul.
+
+The indexed Scroll and the lazy-deletion Scheduler are pure
+optimizations: for ANY input they must produce results identical to the
+seed implementations, which live on as oracles in
+``benchmarks/hotpath_baselines.py``.  Hypothesis drives both through
+random logs (including out-of-time-order appends, which disable the
+bisect fast path) and random schedules with random cancellations.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from hotpath_baselines import NaiveScheduler, NaiveScrollQueries  # noqa: E402
+
+from repro.dsim.clock import VectorTimestamp
+from repro.dsim.scheduler import EventKind, Scheduler
+from repro.scroll.entry import ActionKind, ScrollEntry
+from repro.scroll.scroll import Scroll
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+pids = st.sampled_from(["a", "b", "c", "d"])
+kinds = st.sampled_from(list(ActionKind))
+times = st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def scroll_entries(draw):
+    pid = draw(pids)
+    kind = draw(kinds)
+    time = draw(times)
+    detail = {}
+    if kind in (ActionKind.SEND, ActionKind.RECEIVE):
+        if draw(st.booleans()):
+            detail = {"message": {"msg_id": draw(st.integers(0, 50)), "src": pid, "dst": "a", "kind": "X"}}
+    elif kind is ActionKind.RANDOM:
+        detail = {"method": draw(st.sampled_from(["random", "randint"])), "value": draw(st.integers(0, 9))}
+    elif kind is ActionKind.CLOCK_READ:
+        if draw(st.booleans()):
+            detail = {"value": draw(times)}
+    elif kind is ActionKind.TIMER:
+        detail = {"name": draw(st.sampled_from(["t0", "t1"]))}
+    vt = None
+    if draw(st.booleans()):
+        vt = VectorTimestamp.from_mapping(draw(st.dictionaries(pids, st.integers(0, 10), max_size=4)))
+    return ScrollEntry(pid=pid, kind=kind, time=time, detail=detail, vt=vt)
+
+
+entry_lists = st.lists(scroll_entries(), max_size=60)
+
+
+# ----------------------------------------------------------------------
+# Scroll: indexed queries == linear-scan queries
+# ----------------------------------------------------------------------
+class TestScrollEquivalence:
+    @given(entries=entry_lists, start=times, end=times)
+    @settings(max_examples=60, deadline=None)
+    def test_all_queries_match_linear_reference(self, entries, start, end):
+        indexed = Scroll(entries)
+        naive = NaiveScrollQueries(entries)
+
+        assert list(indexed.entries) == list(entries)
+        assert indexed.pids() == naive.pids()
+        assert indexed.counts_by_kind() == naive.counts_by_kind()
+        assert indexed.counts_by_process() == naive.counts_by_process()
+        assert indexed.nondeterministic() == naive.nondeterministic()
+        assert indexed.between(start, end) == naive.between(start, end)
+        assert indexed.last_entry() == naive.last_entry()
+
+        for pid in ("a", "b", "c", "d", "missing"):
+            assert indexed.entries_for(pid) == naive.entries_for(pid)
+            assert indexed.received_messages(pid) == naive.received_messages(pid)
+            assert indexed.sent_messages(pid) == naive.sent_messages(pid)
+            assert indexed.random_outcomes(pid) == naive.random_outcomes(pid)
+            assert indexed.clock_reads(pid) == naive.clock_reads(pid)
+            assert indexed.timer_firings(pid) == naive.timer_firings(pid)
+            assert indexed.last_entry(pid) == naive.last_entry(pid)
+
+        for kind_pair in ((ActionKind.SEND,), (ActionKind.SEND, ActionKind.RECEIVE),
+                          (ActionKind.TIMER, ActionKind.RANDOM, ActionKind.VIOLATION)):
+            assert indexed.of_kind(*kind_pair) == naive.of_kind(*kind_pair)
+
+    @given(runs=st.lists(entry_lists, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_merge_matches_concat_and_sort(self, runs):
+        merged = Scroll.merge([Scroll(run) for run in runs])
+        reference = NaiveScrollQueries.merge(runs)
+        assert list(merged) == reference
+
+    @given(entries=entry_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_append_after_queries_keeps_indexes_fresh(self, entries):
+        indexed = Scroll()
+        naive_entries = []
+        for entry in entries:
+            indexed.append(entry)
+            naive_entries.append(entry)
+            naive = NaiveScrollQueries(naive_entries)
+            assert indexed.entries_for(entry.pid) == naive.entries_for(entry.pid)
+            assert len(indexed) == len(naive_entries)
+
+
+# ----------------------------------------------------------------------
+# Scheduler: lazy deletion == seed scheduler, op for op
+# ----------------------------------------------------------------------
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.floats(0.0, 10.0, allow_nan=False), st.sampled_from(list(EventKind)),
+                  st.sampled_from(["a", "b", "c"])),
+        st.tuples(st.just("cancel_target"), st.sampled_from(["a", "b", "c", "missing"]),
+                  st.one_of(st.none(), st.sampled_from(list(EventKind)))),
+        st.tuples(st.just("cancel_index"), st.integers(0, 200)),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("peek")),
+    ),
+    max_size=80,
+)
+
+
+class TestSchedulerEquivalence:
+    @given(operations=ops)
+    @settings(max_examples=80, deadline=None)
+    def test_identical_execution_order_under_random_cancellations(self, operations):
+        fast, slow = Scheduler(), NaiveScheduler()
+        fast_events, slow_events = [], []
+
+        for op in operations:
+            name = op[0]
+            if name == "schedule":
+                _, delay, kind, target = op
+                fast_events.append(fast.schedule(delay, kind, target))
+                slow_events.append(slow.schedule(delay, kind, target))
+            elif name == "cancel_target":
+                _, target, kind = op
+                assert fast.cancel_for_target(target, kind) == slow.cancel_for_target(target, kind)
+            elif name == "cancel_index":
+                _, index = op
+                if fast_events:
+                    fast.cancel(fast_events[index % len(fast_events)])
+                    slow.cancel(slow_events[index % len(slow_events)])
+            elif name == "pop":
+                fast_popped, slow_popped = fast.pop_next(), slow.pop_next()
+                assert _signature(fast_popped) == _signature(slow_popped)
+            elif name == "peek":
+                assert fast.peek_time() == slow.peek_time()
+            assert fast.pending_events == slow.pending_events
+            assert fast.now == slow.now
+
+        assert [_signature(e) for e in fast.drain()] == [_signature(e) for e in slow.drain()]
+        assert fast.executed_events == slow.executed_events
+
+    @given(operations=ops, until=st.floats(0.0, 12.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_drain_until_matches(self, operations, until):
+        fast, slow = Scheduler(), NaiveScheduler()
+        for op in operations:
+            if op[0] == "schedule":
+                _, delay, kind, target = op
+                fast.schedule(delay, kind, target)
+                slow.schedule(delay, kind, target)
+            elif op[0] == "cancel_target":
+                _, target, kind = op
+                fast.cancel_for_target(target, kind)
+                slow.cancel_for_target(target, kind)
+        assert [_signature(e) for e in fast.drain(until=until)] == [
+            _signature(e) for e in slow.drain(until=until)
+        ]
+        assert fast.pending_events == slow.pending_events
+
+
+def _signature(event):
+    if event is None:
+        return None
+    return (event.time, event.seq, event.kind, event.target)

@@ -1,0 +1,243 @@
+"""Edge cases for CowPageStore's per-key dirty tracking and refcount GC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.timemachine.cow import CowPageStore
+from repro.timemachine.speculation import SpeculationManager
+
+from tests.conftest import PingPong, make_cluster
+
+
+class TestDirtyTracking:
+    def test_clean_scalar_keys_skip_hashing(self):
+        store = CowPageStore(page_size=64)
+        state = {"blob": "x" * 500, "counter": 0}
+        store.capture("a", state, 0.0)
+        hashed_first = store.hashed_bytes_total
+        assert hashed_first > 0
+        store.capture("a", state, 1.0)
+        assert store.hashed_bytes_total == hashed_first  # nothing re-hashed
+
+    def test_mutated_scalar_key_is_rehashed(self):
+        store = CowPageStore(page_size=64)
+        state = {"blob": "x" * 500, "counter": 0}
+        store.capture("a", state, 0.0)
+        hashed_first = store.hashed_bytes_total
+        state["counter"] = 1
+        second = store.capture("a", state, 1.0)
+        assert store.hashed_bytes_total > hashed_first
+        # only the small counter key was re-hashed, not the 500-byte blob
+        assert store.hashed_bytes_total - hashed_first < 100
+        assert store.restore(second) == state
+
+    def test_key_deletion_restores_without_the_key(self):
+        store = CowPageStore(page_size=32)
+        state = {"keep": "v" * 100, "drop": "w" * 100}
+        store.capture("a", state, 0.0)
+        del state["drop"]
+        second = store.capture("a", state, 1.0)
+        assert store.restore(second) == {"keep": "v" * 100}
+
+    def test_key_reappearing_after_deletion(self):
+        store = CowPageStore(page_size=32)
+        state = {"k": "v1"}
+        store.capture("a", state, 0.0)
+        del state["k"]
+        store.capture("a", state, 1.0)
+        state["k"] = "v2"
+        third = store.capture("a", state, 2.0)
+        assert store.restore(third) == {"k": "v2"}
+
+    def test_nested_dict_mutation_is_detected(self):
+        store = CowPageStore(page_size=32)
+        state = {"cfg": {"retries": 1, "hosts": ["h1"]}}
+        first = store.capture("a", state, 0.0)
+        state["cfg"]["retries"] = 2
+        state["cfg"]["hosts"].append("h2")
+        second = store.capture("a", state, 1.0)
+        assert store.restore(second) == {"cfg": {"retries": 2, "hosts": ["h1", "h2"]}}
+        assert store.restore(first) == {"cfg": {"retries": 1, "hosts": ["h1"]}}
+
+    def test_unchanged_mutable_key_reuses_pages_without_new_bytes(self):
+        store = CowPageStore(page_size=32)
+        state = {"cfg": {"retries": 1}}
+        store.capture("a", state, 0.0)
+        second = store.capture("a", state, 1.0)
+        assert second.new_bytes == 0
+        assert second.hashed_bytes == 0       # byte-identical pickle: hashes reused
+        assert second.serialized_bytes > 0    # but the mutable key was re-pickled
+
+    def test_bool_and_int_are_not_conflated(self):
+        store = CowPageStore()
+        state = {"flag": 1}
+        store.capture("a", state, 0.0)
+        state["flag"] = True  # 1 == True, but the restored value must be a bool
+        second = store.capture("a", state, 1.0)
+        restored = store.restore(second)
+        assert restored["flag"] is True
+
+    def test_negative_zero_is_not_conflated_with_zero(self):
+        store = CowPageStore()
+        state = {"x": 0.0}
+        store.capture("a", state, 0.0)
+        state["x"] = -0.0
+        second = store.capture("a", state, 1.0)
+        assert str(store.restore(second)["x"]) == "-0.0"
+
+    def test_per_pid_caches_are_independent(self):
+        store = CowPageStore(page_size=32)
+        store.capture("a", {"v": "shared" * 20}, 0.0)
+        hashed_after_a = store.hashed_bytes_total
+        # same content for another pid: pages dedupe, but the capture still hashes
+        checkpoint = store.capture("b", {"v": "shared" * 20}, 0.0)
+        assert store.hashed_bytes_total > hashed_after_a
+        assert checkpoint.new_bytes == 0  # content-addressing shares across pids
+
+
+class TestAliasedStates:
+    def test_cross_key_aliasing_survives_restore(self):
+        store = CowPageStore(page_size=32)
+        shared = [1, 2, 3]
+        state = {"a": shared, "b": shared, "n": 7}
+        checkpoint = store.capture("p", state, 0.0)
+        restored = store.restore(checkpoint)
+        assert restored == state
+        assert restored["a"] is restored["b"]  # identity sharing preserved
+
+    def test_self_referential_state_survives_restore(self):
+        store = CowPageStore(page_size=32)
+        state = {"v": 1}
+        state["self"] = state
+        checkpoint = store.capture("p", state, 0.0)
+        restored = store.restore(checkpoint)
+        assert restored["self"] is restored
+        assert restored["v"] == 1
+
+    def test_aliased_capture_still_skips_rehash_when_unchanged(self):
+        store = CowPageStore(page_size=32)
+        shared = ["x"] * 50
+        state = {"a": shared, "b": shared}
+        store.capture("p", state, 0.0)
+        hashed_first = store.hashed_bytes_total
+        second = store.capture("p", state, 1.0)
+        assert store.hashed_bytes_total == hashed_first  # blob unchanged: no re-hash
+        assert second.new_bytes == 0
+        restored = store.restore(second)
+        assert restored["a"] is restored["b"]
+
+
+class TestRefcountGC:
+    def test_drop_checkpoint_leaves_interleaved_chain_restorable(self):
+        # the speculation manager shares the store with periodic
+        # checkpointing: dropping the speculation's own checkpoint must
+        # not take the periodic ones with it
+        store = CowPageStore(page_size=32)
+        state = {"hot": "v1"}
+        periodic = store.capture("p", state, 0.0)
+        state["hot"] = "v2"
+        spec_entry = store.capture("p", state, 1.0)
+        state["hot"] = "v3"
+        later = store.capture("p", state, 2.0)
+        freed = store.drop_checkpoint("p", spec_entry.sequence)
+        assert freed >= 1
+        assert store.restore(periodic) == {"hot": "v1"}
+        assert store.restore(later) == {"hot": "v3"}
+        with pytest.raises(CheckpointError):
+            store.restore(spec_entry)
+
+    def test_drop_checkpoint_unknown_sequence_is_noop(self):
+        store = CowPageStore(page_size=32)
+        checkpoint = store.capture("p", {"v": 1}, 0.0)
+        assert store.drop_checkpoint("p", checkpoint.sequence + 5) == 0
+        assert store.drop_checkpoint("other", 1) == 0
+        assert store.restore(checkpoint) == {"v": 1}
+
+    def test_speculation_resolve_spares_other_policies_checkpoints(self):
+        # A periodic-policy checkpoint taken before the speculation must
+        # survive the speculation's commit-time GC of the shared store.
+        store = CowPageStore(page_size=32)
+        cluster = make_cluster({"p0": PingPong, "p1": PingPong}, seed=1)
+        manager = SpeculationManager(cow_store=store)
+        cluster.add_hook(manager)
+        cluster.start()
+        process = cluster.process("p0")
+        periodic = store.capture("p0", process.state, cluster.now, policy="periodic")
+        spec = manager.begin("p0", "remote will ack")
+        manager.commit(spec.spec_id)
+        assert manager.cow_pages_freed >= 0
+        assert store.restore(periodic) == process.state
+        # the speculation's own entry checkpoint is gone from the chain
+        remaining = [c.sequence for c in store.chain("p0")]
+        assert spec.cow_checkpoints["p0"].sequence not in remaining
+        assert periodic.sequence in remaining
+
+    def test_drop_before_frees_only_unshared_pages(self):
+        store = CowPageStore(page_size=32)
+        state = {"stable": "s" * 200, "hot": "v1"}
+        first = store.capture("a", state, 0.0)
+        state["hot"] = "v2"
+        second = store.capture("a", state, 1.0)
+        pages_before = store.stored_pages()
+        freed = store.drop_before("a", second.sequence)
+        # only the old "hot" page goes; the shared "stable" pages survive
+        assert freed >= 1
+        assert store.stored_pages() == pages_before - freed
+        assert store.restore(second) == state
+        with pytest.raises(CheckpointError):
+            store.restore(first)
+
+    def test_restore_after_dropping_entire_chain(self):
+        store = CowPageStore(page_size=32)
+        state = {"v": "x" * 100}
+        last = store.capture("a", state, 0.0)
+        freed = store.drop_before("a", last.sequence + 1)
+        assert freed > 0
+        with pytest.raises(CheckpointError):
+            store.restore(last)
+
+    def test_capture_after_full_gc_rematerializes_clean_pages(self):
+        store = CowPageStore(page_size=32)
+        state = {"v": "x" * 100}
+        last = store.capture("a", state, 0.0)
+        store.drop_before("a", last.sequence + 1)  # frees every page
+        # the key is clean in the cache, but its pages are gone: capture
+        # must put them back rather than reference missing pages
+        fresh = store.capture("a", state, 1.0)
+        assert store.restore(fresh) == state
+
+    def test_drop_before_is_per_pid(self):
+        store = CowPageStore(page_size=32)
+        a_ckpt = store.capture("a", {"v": "a" * 100}, 0.0)
+        b_ckpt = store.capture("b", {"v": "b" * 100}, 0.0)
+        store.drop_before("a", a_ckpt.sequence + 1)
+        assert store.restore(b_ckpt) == {"v": "b" * 100}
+        with pytest.raises(CheckpointError):
+            store.restore(a_ckpt)
+
+    def test_shared_pages_survive_until_last_reference(self):
+        store = CowPageStore(page_size=32)
+        state = {"v": "same" * 50}
+        first = store.capture("a", state, 0.0)
+        second = store.capture("a", state, 1.0)  # same pages, +1 ref each
+        freed = store.drop_before("a", second.sequence)
+        assert freed == 0  # second still references every page
+        assert store.restore(second) == state
+        freed = store.drop_before("a", second.sequence + 1)
+        assert freed > 0
+
+    def test_interleaved_capture_and_gc_accounting_stays_exact(self):
+        store = CowPageStore(page_size=64)
+        state = {f"k{i}": f"v0-{i}" * 10 for i in range(10)}
+        checkpoints = [store.capture("a", state, 0.0)]
+        for round_index in range(1, 8):
+            state[f"k{round_index % 10}"] = f"v{round_index}" * 10
+            checkpoints.append(store.capture("a", state, float(round_index)))
+            if round_index % 3 == 0:
+                store.drop_before("a", checkpoints[-2].sequence)
+        latest = checkpoints[-1]
+        assert store.restore(latest) == state
+        # stored never exceeds logical (the COW invariant)
+        assert store.stored_bytes() <= store.logical_bytes()
