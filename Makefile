@@ -1,0 +1,31 @@
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: verify tier1 tier1-core matrix bench-smoke bench test-all
+
+## The one-command gate: core tests, the fault matrix, benchmark smoke —
+## each exactly once (tier1-core deselects what the later steps own).
+verify: tier1-core matrix bench-smoke
+
+## The plain default suite (what CI and `pytest -x -q` run): includes the
+## matrix and the in-process bench smoke test.
+tier1:
+	python -m pytest -x -q
+
+tier1-core:
+	python -m pytest -x -q -m "not slow and not matrix" \
+		--ignore=tests/integration/test_bench_smoke.py
+
+matrix:
+	python -m pytest -m matrix -q
+
+bench-smoke:
+	python benchmarks/run_bench.py --quick --check
+
+## Regenerate the committed benchmark baseline (full + quick profiles).
+bench:
+	python benchmarks/run_bench.py
+
+## Everything, including slow benchmarks (minutes).
+test-all:
+	python -m pytest -m "" -q

@@ -1,15 +1,27 @@
 #!/usr/bin/env python
-"""Hot-path microbenchmark entry point: emits ``BENCH_hotpaths.json``.
+"""Hot-path benchmark entry point: emits and checks ``BENCH_hotpaths.json``.
 
-Measures the three hot paths the perf overhaul targets — indexed Scroll
-queries, the lazy-deletion scheduler, and dirty-page COW captures —
-against the seed (pre-overhaul) reference implementations in
-:mod:`hotpath_baselines`, and writes median ns/op (and bytes hashed per
-capture) so future PRs can track the perf trajectory::
+Measures the hot paths the perf PRs target — indexed Scroll queries, the
+lazy-deletion scheduler, dirty-page COW captures, and (since the tiered
+storage PR) whole-log replay from a spilled Scroll — and writes the
+results as two profiles::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--out PATH]
+    PYTHONPATH=src python benchmarks/run_bench.py            # full + quick
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # quick only
+    PYTHONPATH=src python benchmarks/run_bench.py --quick --check   # CI smoke
 
-The same measurement functions back ``benchmarks/test_perf_hotpaths.py``.
+``BENCH_hotpaths.json`` holds a ``full`` profile (the committed perf
+trajectory at production-ish sizes) and a ``quick`` profile (small sizes,
+cheap enough for the default test run).  ``--check`` re-measures the
+selected profile(s) and fails (exit 1) when a guarded metric regresses
+more than 20% against the committed baseline.  Guarded metrics are the
+machine-relative ratios (speedups, reduction factors, slowdowns) — raw
+ns/op numbers vary across machines and are reported but not guarded;
+each guard also has a green zone derived from the issue's acceptance
+floors so scheduler-scale ratios (~10^4x) can't flap CI on timing noise.
+
+The same measurement functions back ``benchmarks/test_perf_hotpaths.py``
+and the non-slow smoke test in ``tests/integration/test_bench_smoke.py``.
 """
 
 from __future__ import annotations
@@ -18,7 +30,7 @@ import argparse
 import json
 import os
 import sys
-from typing import Dict
+from typing import Dict, List, Tuple
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
@@ -31,10 +43,16 @@ from hotpath_baselines import (  # noqa: E402
     interleaved_ns_per_op,
 )
 
+from repro.dsim.process import Process, handler  # noqa: E402
 from repro.dsim.scheduler import EventKind, Scheduler  # noqa: E402
 from repro.scroll.entry import ActionKind, ScrollEntry  # noqa: E402
+from repro.scroll.replayer import Replayer  # noqa: E402
 from repro.scroll.scroll import Scroll  # noqa: E402
 from repro.timemachine.cow import CowPageStore  # noqa: E402
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_hotpaths.json"
+)
 
 _QUERY_KINDS = [
     ActionKind.RECEIVE,
@@ -190,38 +208,237 @@ def measure_cow(
     }
 
 
-def run_all(quick: bool = False) -> Dict[str, Dict[str, float]]:
-    if quick:
+# ----------------------------------------------------------------------
+# tiered Scroll: replay from a spilled log vs from memory
+# ----------------------------------------------------------------------
+class _ReplaySink(Process):
+    """Minimal replayable consumer: counts and checksums delivered messages."""
+
+    def on_start(self):
+        self.state["received"] = 0
+        self.state["checksum"] = 0
+
+    @handler("X")
+    def on_x(self, msg):
+        self.state["received"] += 1
+        self.state["checksum"] = (self.state["checksum"] * 31 + (msg.payload or 0)) % 1_000_003
+
+
+def make_replay_entries(n: int, pids: int):
+    """A deterministic all-RECEIVE log that replays cleanly through _ReplaySink."""
+    entries = []
+    for index in range(n):
+        pid = f"p{index % pids}"
+        message = {
+            "msg_id": index + 1,
+            "src": f"p{(index + 1) % pids}",
+            "dst": pid,
+            "kind": "X",
+            "payload": index % 9973,
+        }
+        entries.append(
+            ScrollEntry(
+                pid=pid, kind=ActionKind.RECEIVE, time=index * 0.001, detail={"message": message}
+            )
+        )
+    return entries
+
+
+def measure_scroll_spill(
+    n: int = 100_000, pids: int = 20, hot_fraction: float = 0.10, repeats: int = 3
+) -> Dict[str, float]:
+    """Whole-system replay driven from a spilled Scroll vs an in-memory one.
+
+    This is the workload tiered storage exists for: the log has
+    outgrown memory (only ``hot_fraction`` of it stays hot), and the
+    replay driver pulls every process's history back through the
+    segment index.  Reported gates: ``replay_slowdown`` (spilled replay
+    wall-time over in-memory replay wall-time; acceptance ceiling 2x)
+    and ``memory_reduction`` (resident entry-storage bytes, in-memory
+    over tiered; acceptance floor 5x at a 10% hot window).
+    """
+    entries = make_replay_entries(n, pids)
+    hot_window = max(1, int(n * hot_fraction))
+    memory = Scroll(entries)
+    tiered = Scroll(entries, hot_window=hot_window)
+    factories = {f"p{i}": _ReplaySink for i in range(pids)}
+
+    def replay(log) -> int:
+        report = Replayer(log, factories).replay_all()
+        return report.total_events()
+
+    # correctness first: both logs must replay to identical states
+    from_memory = Replayer(memory, factories).replay_all()
+    from_tiered = Replayer(tiered, factories).replay_all()
+    replay_equivalent = from_memory.ok == from_tiered.ok and all(
+        from_memory.processes[pid].final_state == from_tiered.processes[pid].final_state
+        for pid in from_memory.processes
+    )
+
+    memory_samples, tiered_samples = interleaved_ns_per_op(
+        lambda: replay(memory), lambda: replay(tiered), repeats
+    )
+    resident_memory = memory.resident_bytes()
+    resident_tiered = tiered.resident_bytes()  # steady state: cache warm after replays
+    metrics = {
+        "n_entries": n,
+        "hot_window": hot_window,
+        "spilled_entries": tiered.spill_watermark,
+        "segments": tiered.storage_stats()["store"]["segments"],
+        "replay_equivalent": replay_equivalent,
+        "memory_replay_ns_per_event": statistics.median(memory_samples),
+        "tiered_replay_ns_per_event": statistics.median(tiered_samples),
+        "replay_slowdown": min(tiered_samples) / min(memory_samples),
+        "resident_bytes_memory": resident_memory,
+        "resident_bytes_tiered": resident_tiered,
+        "memory_reduction": resident_memory / resident_tiered,
+    }
+    tiered.close()
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# profiles and the regression guard
+# ----------------------------------------------------------------------
+def run_profile(profile: str) -> Dict[str, Dict[str, float]]:
+    """Measure every section at the sizes of ``profile`` ("full"|"quick")."""
+    if profile == "quick":
         return {
             "scroll_per_pid_queries": measure_scroll(n=10_000, pids=20, repeats=3),
-            "scheduler_drain_cancellations": measure_scheduler(n=10_000, targets=50, repeats=2, naive_sample=15),
+            "scheduler_drain_cancellations": measure_scheduler(
+                n=10_000, targets=50, repeats=2, naive_sample=15
+            ),
             "cow_capture_dirty_pages": measure_cow(keys=100, captures=20),
+            "scroll_spill_replay": measure_scroll_spill(n=20_000, pids=10, repeats=2),
         }
     return {
         "scroll_per_pid_queries": measure_scroll(),
         "scheduler_drain_cancellations": measure_scheduler(),
         "cow_capture_dirty_pages": measure_cow(),
+        "scroll_spill_replay": measure_scroll_spill(),
     }
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--quick", action="store_true", help="smaller workloads (CI smoke)")
-    parser.add_argument("--out", default="BENCH_hotpaths.json", help="output path")
-    args = parser.parse_args(argv)
+#: (section, metric, direction, green_zone) — the regression guard.
+#:
+#: direction "higher": regression when current < baseline * 0.8;
+#: direction "lower":  regression when current > baseline * 1.2.
+#: The green zone (derived from each metric's acceptance criterion with
+#: margin) overrides the relative check: values on its safe side never
+#: fail, so enormous noisy ratios can't flap the guard.
+GUARDED_METRICS: List[Tuple[str, str, str, float]] = [
+    ("scroll_per_pid_queries", "speedup", "higher", 10.0),
+    ("scheduler_drain_cancellations", "speedup", "higher", 100.0),
+    ("cow_capture_dirty_pages", "hash_reduction", "higher", 10.0),
+    ("scroll_spill_replay", "memory_reduction", "higher", 5.0),
+    ("scroll_spill_replay", "replay_slowdown", "lower", 1.6),
+]
 
-    results = run_all(quick=args.quick)
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2, sort_keys=True)
-        handle.write("\n")
 
+def check_against(
+    baseline: Dict[str, Dict[str, float]],
+    current: Dict[str, Dict[str, float]],
+    tolerance: float = 0.20,
+) -> List[str]:
+    """Compare guarded metrics; returns human-readable failure strings."""
+    failures: List[str] = []
+    for section, metric, direction, green_zone in GUARDED_METRICS:
+        if section not in baseline or section not in current:
+            failures.append(f"{section}: missing from {'baseline' if section not in baseline else 'current run'}")
+            continue
+        base = baseline[section].get(metric)
+        now = current[section].get(metric)
+        if base is None or now is None:
+            failures.append(f"{section}.{metric}: missing value (baseline={base}, current={now})")
+            continue
+        if direction == "higher":
+            if now >= green_zone:
+                continue
+            if now < base * (1.0 - tolerance):
+                failures.append(
+                    f"{section}.{metric}: {now:.2f} regressed >{tolerance:.0%} vs baseline {base:.2f}"
+                )
+        else:
+            if now <= green_zone:
+                continue
+            if now > base * (1.0 + tolerance):
+                failures.append(
+                    f"{section}.{metric}: {now:.2f} regressed >{tolerance:.0%} vs baseline {base:.2f}"
+                )
+    # hard correctness gates ride along with the guard
+    spill = current.get("scroll_spill_replay", {})
+    if spill and not spill.get("replay_equivalent", True):
+        failures.append("scroll_spill_replay: spilled replay is NOT equivalent to in-memory replay")
+    cow = current.get("cow_capture_dirty_pages", {})
+    if cow and not cow.get("restore_ok", True):
+        failures.append("cow_capture_dirty_pages: restore mismatch")
+    return failures
+
+
+def load_baseline(path: str) -> Dict[str, Dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _print_profile(profile: str, results: Dict[str, Dict[str, float]]) -> None:
     for name, metrics in results.items():
         line = ", ".join(
             f"{key}={value:.1f}" if isinstance(value, float) else f"{key}={value}"
             for key, value in metrics.items()
         )
-        print(f"{name}: {line}")
-    print(f"wrote {args.out}")
+        print(f"[{profile}] {name}: {line}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="measure only the quick (CI smoke) profile")
+    parser.add_argument("--out", default=DEFAULT_BASELINE, help="output path for profile JSON")
+    parser.add_argument(
+        "--check",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="BASELINE",
+        help="do not write results; fail if a guarded metric regresses >20%% "
+        "vs BASELINE (default: the committed BENCH_hotpaths.json)",
+    )
+    args = parser.parse_args(argv)
+
+    profiles = ["quick"] if args.quick else ["full", "quick"]
+    results = {profile: run_profile(profile) for profile in profiles}
+    for profile in profiles:
+        _print_profile(profile, results[profile])
+
+    if args.check is not None:
+        baseline = load_baseline(args.check)
+        failed = False
+        for profile in profiles:
+            if profile not in baseline:
+                print(f"check[{profile}]: no such profile in {args.check}")
+                failed = True
+                continue
+            failures = check_against(baseline[profile], results[profile])
+            if failures:
+                failed = True
+                for failure in failures:
+                    print(f"check[{profile}] FAIL: {failure}")
+            else:
+                print(f"check[{profile}]: all guarded metrics within 20% of baseline")
+        return 1 if failed else 0
+
+    # Merge into an existing baseline rather than overwrite it: a
+    # `--quick` run must not silently drop the committed full profile.
+    merged = {}
+    if os.path.exists(args.out):
+        try:
+            merged = load_baseline(args.out)
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(results)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out} (profiles: {', '.join(sorted(merged))})")
     return 0
 
 

@@ -16,7 +16,7 @@ magnitude above them, so the assertions are robust to machine noise.
 
 from __future__ import annotations
 
-from run_bench import measure_cow, measure_scheduler, measure_scroll
+from run_bench import measure_cow, measure_scheduler, measure_scroll, measure_scroll_spill
 
 N_EVENTS = 50_000
 
@@ -39,6 +39,24 @@ def test_scheduler_drain_with_cancellations_10x(report_rows):
         f"speedup={metrics['speedup']:.1f}x"
     )
     assert metrics["speedup"] >= 10.0
+
+
+def test_spilled_scroll_replay_within_2x_and_5x_leaner(report_rows):
+    """Tiered-storage acceptance: on a 100k-entry log spilled to a 10% hot
+    window, whole-system replay stays within 2x of the in-memory path while
+    resident entry storage shrinks at least 5x — and the replayed states are
+    identical."""
+    metrics = measure_scroll_spill(n=100_000, pids=20, hot_fraction=0.10, repeats=3)
+    report_rows.append(
+        f"replay memory={metrics['memory_replay_ns_per_event']:.0f}ns/event "
+        f"tiered={metrics['tiered_replay_ns_per_event']:.0f}ns/event "
+        f"slowdown={metrics['replay_slowdown']:.2f}x "
+        f"memory_reduction={metrics['memory_reduction']:.1f}x "
+        f"({metrics['spilled_entries']} of {metrics['n_entries']} entries spilled)"
+    )
+    assert metrics["replay_equivalent"], "spilled replay must match in-memory replay"
+    assert metrics["replay_slowdown"] <= 2.0
+    assert metrics["memory_reduction"] >= 5.0
 
 
 def test_cow_capture_hashes_5x_fewer_bytes(report_rows):

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# One-command verification. Delegates to `make verify` so the gate
+# pipeline (core tests, fault-scenario matrix, benchmark smoke) has a
+# single source of truth in the Makefile.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+if ! command -v make >/dev/null 2>&1; then
+    echo "scripts/check.sh requires make; run the Makefile 'verify' steps manually:" >&2
+    grep -A2 '^verify:' Makefile >&2
+    exit 1
+fi
+exec make verify

@@ -40,7 +40,7 @@ class FaultDetector(RuntimeHook):
     # ------------------------------------------------------------------
     # hook notification
     # ------------------------------------------------------------------
-    def on_invariant_violation(self, pid, name, detail, time):
+    def on_invariant_violation(self, pid, name, detail, time, vt=None):
         event = FaultEvent(
             pid=pid, invariant=name, detail=detail, time=time, sequence=next(self._sequence)
         )

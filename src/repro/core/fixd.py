@@ -43,7 +43,6 @@ from repro.healer.strategies import RecoveryStrategy
 from repro.investigator.investigator import InvestigationReport, Investigator, InvestigatorConfig
 from repro.scroll.interceptor import RecordingPolicy
 from repro.scroll.recorder import ScrollRecorder
-from repro.scroll.scroll import Scroll
 from repro.timemachine.rollback import RollbackResult
 from repro.timemachine.time_machine import CheckpointPolicy, TimeMachine, TimeMachineConfig
 
@@ -63,6 +62,12 @@ class FixDConfig:
     heal_strategy: RecoveryStrategy = RecoveryStrategy.RESUME_FROM_CHECKPOINT
     max_faults_handled: int = 10
     scroll_tail_length: int = 50
+    #: After a rollback (and once the bug report's Scroll tail is safely
+    #: assembled), truncate the Scroll — both the hot tier and the
+    #: spilled segments — to the recovery line's recorded log position,
+    #: so the log never describes a future the rolled-back system will
+    #: re-execute differently.
+    truncate_scroll_on_rollback: bool = False
 
 
 @dataclass
@@ -87,8 +92,10 @@ class FixD:
 
     def __init__(self, config: Optional[FixDConfig] = None) -> None:
         self.config = config or FixDConfig()
-        self.scroll = Scroll()
-        self.recorder = ScrollRecorder(self.scroll, self.config.recording_policy)
+        # The recorder builds the Scroll from the recording policy:
+        # tiered (spill-to-disk) when the policy sets a hot_window.
+        self.recorder = ScrollRecorder(policy=self.config.recording_policy)
+        self.scroll = self.recorder.scroll
         self.time_machine = TimeMachine(
             TimeMachineConfig(
                 policy=self.config.checkpoint_policy,
@@ -225,6 +232,19 @@ class FixD:
                 + ("succeeded" if heal_report.succeeded else "failed"),
             )
 
+        # Truncation happens last: the bug report above needs the Scroll
+        # tail that led to the fault, which truncation discards.
+        if rollback is not None and self.config.truncate_scroll_on_rollback:
+            truncated = self.time_machine.rollback_manager.truncate_scroll_to(
+                protocol_run.recovery_line
+            )
+            rollback.scroll_entries_truncated = truncated
+            timeline.add(
+                self._cluster.now,
+                "truncate",
+                f"discarded {truncated} Scroll entries past the recovery line",
+            )
+
         handled = bool(self.config.auto_rollback or (heal_report and heal_report.succeeded))
         report = FixDReport(
             fault=fault,
@@ -253,6 +273,7 @@ class FixD:
         """One-call summary of what FixD recorded, checkpointed and handled."""
         return {
             "scroll_entries": len(self.scroll),
+            "scroll_storage": self.scroll.storage_stats(),
             "faults_detected": self.detector.fault_count,
             "faults_handled": len(self.reports),
             "time_machine": self.time_machine.stats(),

@@ -100,3 +100,44 @@ class BugReport:
         """The last ``limit`` Scroll entries touching the given processes."""
         relevant = [entry for entry in scroll if entry.pid in set(pids)]
         return relevant[-limit:]
+
+
+def incident_report(plan, scroll: Scroll, result) -> str:
+    """A run-level incident summary: injected faults versus observed effects.
+
+    Bug reports require a detected invariant violation; many injected
+    faults (a tolerated message drop, a crash that recovery absorbs) are
+    handled without one.  The fault-scenario matrix still needs an
+    artefact proving the run *noticed* the fault, so this report pairs
+    the :class:`~repro.dsim.failure.FailurePlan` with what the Scroll
+    recorded and how the run ended.
+    """
+    lines: List[str] = []
+    lines.append("=" * 72)
+    lines.append("FixD incident report")
+    lines.append("=" * 72)
+    lines.append("Injected faults:")
+    for category, count in sorted(plan.summary().items()):
+        lines.append(f"  {category}: {count}")
+    lines.append("")
+    lines.append("Observed on the Scroll:")
+    counts = scroll.counts_by_kind()
+    for kind in ("crash", "recover", "drop", "duplicate", "corruption", "violation"):
+        lines.append(f"  {kind}: {counts.get(kind, 0)}")
+    lines.append(f"  total entries: {len(scroll)}")
+    storage = scroll.storage_stats()
+    if storage.get("tiered"):
+        lines.append(
+            f"  scroll tiers: {storage['hot_entries']} hot / "
+            f"{storage['spilled_entries']} spilled"
+        )
+    lines.append("")
+    lines.append(f"Run stopped: {result.stopped_reason} at t={result.final_time:.3f} "
+                 f"after {result.events_executed} events")
+    for violation in result.violations:
+        status = "handled" if violation.handled else "UNHANDLED"
+        lines.append(
+            f"  violation {violation.invariant!r} at {violation.pid} "
+            f"t={violation.time:.3f} [{status}]"
+        )
+    return "\n".join(lines)

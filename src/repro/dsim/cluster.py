@@ -128,6 +128,7 @@ class Cluster:
         self._halt_reason = ""
         self._started = False
         self._timer_events: Dict[Tuple[str, str], List[Event]] = {}
+        self._scroll = None
 
     # ------------------------------------------------------------------
     # construction
@@ -165,6 +166,26 @@ class Cluster:
         """Install the fault-injection plan for this run."""
         self._failure_plan = plan
 
+    def register_scroll(self, scroll) -> None:
+        """Make the run's Scroll known to the cluster.
+
+        The Scroll recorder calls this on attach.  Knowing the log lets
+        checkpoints record the Scroll position at capture time (so a
+        rollback can truncate both storage tiers to the recovery line)
+        and lets :class:`~repro.timemachine.rollback.RollbackManager`
+        find the log to truncate.
+        """
+        self._scroll = scroll
+
+    @property
+    def scroll(self):
+        """The Scroll registered for this run, if any."""
+        return self._scroll
+
+    def scroll_position(self) -> Optional[int]:
+        """Current end position of the registered Scroll (None when unset)."""
+        return len(self._scroll) if self._scroll is not None else None
+
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
@@ -190,6 +211,17 @@ class Cluster:
         return list(self._violations)
 
     @property
+    def fault_engine(self) -> Optional[MessageFaultEngine]:
+        """The message-fault engine for this run (None before ``start``).
+
+        Its :meth:`~repro.dsim.failure.MessageFaultEngine.hit_counts`
+        are the ground truth for "did the injected message fault fire",
+        which matters for fault kinds the Scroll has no entry for
+        (delays).
+        """
+        return self._fault_engine
+
+    @property
     def trace(self) -> List[TraceRecord]:
         return list(self._trace)
 
@@ -208,11 +240,19 @@ class Cluster:
             now_fn=lambda: self.scheduler.now,
             rng=rng,
             record_random_fn=lambda p, method, value: self.hooks.on_random(
-                p, method, value, self.scheduler.now
+                p, method, value, self.scheduler.now, self._vt_of(p)
             ),
-            record_clock_fn=lambda p, value: self.hooks.on_clock_read(p, value),
+            record_clock_fn=lambda p, value: self.hooks.on_clock_read(
+                p, value, self._vt_of(p)
+            ),
             log_fn=lambda p, text: self._record_trace(p, "log", text),
+            scroll_position_fn=self.scroll_position,
         )
+
+    def _vt_of(self, pid: str):
+        """Vector timestamp carried in hook payloads (None for unknown pids)."""
+        process = self._processes.get(pid)
+        return process.vector_timestamp if process is not None else None
 
     def _record_trace(self, pid: str, action: str, detail: str) -> None:
         self._trace.append(TraceRecord(self.scheduler.now, pid, action, detail))
@@ -222,29 +262,30 @@ class Cluster:
     # ------------------------------------------------------------------
     def _submit_message(self, message: Message) -> None:
         now = self.scheduler.now
-        self.hooks.on_send(message.src, message, now)
+        sender_vt = self._vt_of(message.src)
+        self.hooks.on_send(message.src, message, now, sender_vt)
         self._record_trace(message.src, "send", message.describe())
 
         fault = self._fault_engine.decide(message, now) if self._fault_engine else None
         if fault is not None and fault.kind == "drop":
-            self.hooks.on_drop(message, now)
+            self.hooks.on_drop(message, now, sender_vt)
             self._record_trace(message.src, "fault-drop", message.describe())
             return
 
         plans = self.network.route(message, now)
         for outcome, deliver_at, planned in plans:
             if outcome is DeliveryOutcome.DROP or deliver_at is None:
-                self.hooks.on_drop(planned, now)
+                self.hooks.on_drop(planned, now, sender_vt)
                 self._record_trace(planned.src, "drop", planned.describe())
                 continue
             if outcome is DeliveryOutcome.DUPLICATE:
-                self.hooks.on_duplicate(planned, now)
+                self.hooks.on_duplicate(planned, now, sender_vt)
                 self._record_trace(planned.src, "duplicate", planned.describe())
             if fault is not None and fault.kind == "delay":
                 deliver_at += fault.extra_delay
             if fault is not None and fault.kind == "duplicate":
                 copy = planned.as_duplicate()
-                self.hooks.on_duplicate(copy, now)
+                self.hooks.on_duplicate(copy, now, sender_vt)
                 self.scheduler.schedule_at(deliver_at, EventKind.DELIVER, copy.dst, copy)
             self.scheduler.schedule_at(deliver_at, EventKind.DELIVER, planned.dst, planned)
 
@@ -374,7 +415,7 @@ class Cluster:
         self.hooks.before_receive(event.target, message, now)
         self._record_trace(event.target, "receive", message.describe())
         process.deliver(message)
-        self.hooks.on_receive(event.target, message, now)
+        self.hooks.on_receive(event.target, message, now, process.vector_timestamp)
         self._after_handler(event.target, f"deliver {message.kind}")
 
     def _execute_timer(self, event: Event) -> None:
@@ -382,7 +423,7 @@ class Cluster:
         process = self.process(event.target)
         if process.crashed:
             return
-        self.hooks.on_timer(event.target, name, self.scheduler.now)
+        self.hooks.on_timer(event.target, name, self.scheduler.now, process.vector_timestamp)
         self._record_trace(event.target, "timer", name)
         process.fire_timer(name, payload)
         self._after_handler(event.target, f"timer {name}")
@@ -399,7 +440,7 @@ class Cluster:
         self._timer_events = {
             key: events for key, events in self._timer_events.items() if key[0] != event.target
         }
-        self.hooks.on_crash(event.target, self.scheduler.now)
+        self.hooks.on_crash(event.target, self.scheduler.now, process.vector_timestamp)
         self._record_trace(event.target, "crash", "process crashed")
 
     def _execute_recover(self, event: Event) -> None:
@@ -407,7 +448,7 @@ class Cluster:
         if not process.crashed:
             return
         process.mark_recovered()
-        self.hooks.on_recover(event.target, self.scheduler.now)
+        self.hooks.on_recover(event.target, self.scheduler.now, process.vector_timestamp)
         self._record_trace(event.target, "recover", "process recovered")
         self._after_handler(event.target, "on_recover")
 
@@ -417,7 +458,9 @@ class Cluster:
         if process.crashed:
             return
         fault.mutator(process.state)
-        self.hooks.on_corruption(event.target, fault.description, self.scheduler.now)
+        self.hooks.on_corruption(
+            event.target, fault.description, self.scheduler.now, process.vector_timestamp
+        )
         self._record_trace(event.target, "corrupt", fault.description)
         self._after_handler(event.target, "corruption")
 
@@ -432,7 +475,9 @@ class Cluster:
             process.check_invariants()
         except InvariantViolation as violation:
             handled = bool(
-                self.hooks.on_invariant_violation(pid, violation.name, violation.detail, now)
+                self.hooks.on_invariant_violation(
+                    pid, violation.name, violation.detail, now, process.vector_timestamp
+                )
             )
             self._violations.append(
                 ViolationRecord(pid, violation.name, violation.detail, now, handled)

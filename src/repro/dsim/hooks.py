@@ -14,6 +14,13 @@ interesting point of the execution:
 
 Hooks are plain objects; the default implementations do nothing, so a
 hook only overrides the notifications it cares about.
+
+Action notifications carry the acting process's vector timestamp as the
+trailing ``vt`` keyword when the caller has it at hand (the cluster
+always does): recording hooks need the timestamp for every entry, and
+resolving it at the notification site means consumers don't each pay a
+process-table lookup per recorded action.  ``vt`` may be ``None`` when
+the notifier has no cheap timestamp (e.g. alternative backends).
 """
 
 from __future__ import annotations
@@ -33,29 +40,29 @@ class RuntimeHook:
         """Called once when the hook is installed on a cluster."""
 
     # -- message lifecycle ------------------------------------------------
-    def on_send(self, pid: str, message: Message, time: float) -> None:
+    def on_send(self, pid: str, message: Message, time: float, vt=None) -> None:
         """A process handed ``message`` to the network."""
 
     def before_receive(self, pid: str, message: Message, time: float) -> None:
         """``message`` is about to be delivered to ``pid`` (checkpoint point)."""
 
-    def on_receive(self, pid: str, message: Message, time: float) -> None:
+    def on_receive(self, pid: str, message: Message, time: float, vt=None) -> None:
         """``message`` was delivered to ``pid`` and its handler ran."""
 
-    def on_drop(self, message: Message, time: float) -> None:
-        """The network dropped ``message``."""
+    def on_drop(self, message: Message, time: float, vt=None) -> None:
+        """The network dropped ``message`` (``vt`` is the sender's)."""
 
-    def on_duplicate(self, message: Message, time: float) -> None:
-        """The network duplicated ``message``."""
+    def on_duplicate(self, message: Message, time: float, vt=None) -> None:
+        """The network duplicated ``message`` (``vt`` is the sender's)."""
 
     # -- local nondeterminism --------------------------------------------
-    def on_timer(self, pid: str, name: str, time: float) -> None:
+    def on_timer(self, pid: str, name: str, time: float, vt=None) -> None:
         """A timer named ``name`` fired at ``pid``."""
 
-    def on_random(self, pid: str, method: str, value: object, time: float) -> None:
+    def on_random(self, pid: str, method: str, value: object, time: float, vt=None) -> None:
         """A process drew ``value`` from its random stream via ``method``."""
 
-    def on_clock_read(self, pid: str, value: float) -> None:
+    def on_clock_read(self, pid: str, value: float, vt=None) -> None:
         """A process read the simulation clock."""
 
     # -- handler lifecycle -------------------------------------------------
@@ -63,16 +70,18 @@ class RuntimeHook:
         """A message/timer handler finished executing at ``pid``."""
 
     # -- faults -----------------------------------------------------------
-    def on_crash(self, pid: str, time: float) -> None:
+    def on_crash(self, pid: str, time: float, vt=None) -> None:
         """``pid`` crashed."""
 
-    def on_recover(self, pid: str, time: float) -> None:
+    def on_recover(self, pid: str, time: float, vt=None) -> None:
         """``pid`` recovered from a crash."""
 
-    def on_corruption(self, pid: str, description: str, time: float) -> None:
+    def on_corruption(self, pid: str, description: str, time: float, vt=None) -> None:
         """Injected state corruption was applied at ``pid``."""
 
-    def on_invariant_violation(self, pid: str, name: str, detail: str, time: float) -> Optional[bool]:
+    def on_invariant_violation(
+        self, pid: str, name: str, detail: str, time: float, vt=None
+    ) -> Optional[bool]:
         """An invariant failed at ``pid``.
 
         Returning ``True`` tells the cluster the violation was *handled*
@@ -107,58 +116,58 @@ class HookChain(RuntimeHook):
         for hook in self.hooks:
             hook.attach(cluster)
 
-    def on_send(self, pid, message, time):
+    def on_send(self, pid, message, time, vt=None):
         for hook in self.hooks:
-            hook.on_send(pid, message, time)
+            hook.on_send(pid, message, time, vt)
 
     def before_receive(self, pid, message, time):
         for hook in self.hooks:
             hook.before_receive(pid, message, time)
 
-    def on_receive(self, pid, message, time):
+    def on_receive(self, pid, message, time, vt=None):
         for hook in self.hooks:
-            hook.on_receive(pid, message, time)
+            hook.on_receive(pid, message, time, vt)
 
-    def on_drop(self, message, time):
+    def on_drop(self, message, time, vt=None):
         for hook in self.hooks:
-            hook.on_drop(message, time)
+            hook.on_drop(message, time, vt)
 
-    def on_duplicate(self, message, time):
+    def on_duplicate(self, message, time, vt=None):
         for hook in self.hooks:
-            hook.on_duplicate(message, time)
+            hook.on_duplicate(message, time, vt)
 
-    def on_timer(self, pid, name, time):
+    def on_timer(self, pid, name, time, vt=None):
         for hook in self.hooks:
-            hook.on_timer(pid, name, time)
+            hook.on_timer(pid, name, time, vt)
 
-    def on_random(self, pid, method, value, time):
+    def on_random(self, pid, method, value, time, vt=None):
         for hook in self.hooks:
-            hook.on_random(pid, method, value, time)
+            hook.on_random(pid, method, value, time, vt)
 
-    def on_clock_read(self, pid, value):
+    def on_clock_read(self, pid, value, vt=None):
         for hook in self.hooks:
-            hook.on_clock_read(pid, value)
+            hook.on_clock_read(pid, value, vt)
 
     def after_handler(self, pid, description, time):
         for hook in self.hooks:
             hook.after_handler(pid, description, time)
 
-    def on_crash(self, pid, time):
+    def on_crash(self, pid, time, vt=None):
         for hook in self.hooks:
-            hook.on_crash(pid, time)
+            hook.on_crash(pid, time, vt)
 
-    def on_recover(self, pid, time):
+    def on_recover(self, pid, time, vt=None):
         for hook in self.hooks:
-            hook.on_recover(pid, time)
+            hook.on_recover(pid, time, vt)
 
-    def on_corruption(self, pid, description, time):
+    def on_corruption(self, pid, description, time, vt=None):
         for hook in self.hooks:
-            hook.on_corruption(pid, description, time)
+            hook.on_corruption(pid, description, time, vt)
 
-    def on_invariant_violation(self, pid, name, detail, time):
+    def on_invariant_violation(self, pid, name, detail, time, vt=None):
         handled = False
         for hook in self.hooks:
-            result = hook.on_invariant_violation(pid, name, detail, time)
+            result = hook.on_invariant_violation(pid, name, detail, time, vt)
             handled = handled or bool(result)
         return handled
 

@@ -100,6 +100,14 @@ class ProcessContext:
     record_random_fn: Optional[Callable[[str, str, Any], None]] = None
     record_clock_fn: Optional[Callable[[str, float], None]] = None
     log_fn: Optional[Callable[[str, str], None]] = None
+    #: the application-visible clock used by :meth:`Process.now`; defaults
+    #: to ``now_fn``.  Replay substitutes the recorded-outcome stream here
+    #: while ``now_fn`` stays ambient (message timestamps and other
+    #: runtime bookkeeping must not consume recorded clock reads).
+    read_clock_fn: Optional[Callable[[], float]] = None
+    #: current end position of the run's Scroll, when one is recording;
+    #: checkpoints stamp it so rollback can truncate the log's tiers.
+    scroll_position_fn: Optional[Callable[[], Optional[int]]] = None
 
 
 @dataclass
@@ -255,7 +263,8 @@ class Process:
 
     def now(self) -> float:
         """Read the simulation clock (a recorded nondeterministic action)."""
-        value = self.ctx.now_fn()
+        read = self.ctx.read_clock_fn or self.ctx.now_fn
+        value = read()
         if self.ctx.record_clock_fn is not None:
             self.ctx.record_clock_fn(self.pid, value)
         return value
@@ -370,9 +379,15 @@ class Process:
     # checkpointing support
     # ------------------------------------------------------------------
     def capture_checkpoint(self, time: float) -> ProcessCheckpoint:
-        """Capture a deep snapshot of the local state."""
+        """Capture a deep snapshot of the local state.
+
+        When the environment records a Scroll, the checkpoint also
+        stamps the log's current end position (``extra["scroll_position"]``
+        — the spill watermark plus the hot-tier length), which is what
+        lets a rollback truncate both storage tiers to the recovery line.
+        """
         self._checkpoint_sequence += 1
-        return ProcessCheckpoint(
+        checkpoint = ProcessCheckpoint(
             pid=self.pid,
             sequence=self._checkpoint_sequence,
             time=time,
@@ -383,6 +398,12 @@ class Process:
             sent_count=self._sent_count,
             received_count=self._received_count,
         )
+        position_fn = self.ctx.scroll_position_fn
+        if position_fn is not None:
+            position = position_fn()
+            if position is not None:
+                checkpoint.extra["scroll_position"] = position
+        return checkpoint
 
     def restore_checkpoint(self, checkpoint: ProcessCheckpoint) -> None:
         """Restore local state, clocks and the random stream from a snapshot."""

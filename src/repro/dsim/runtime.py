@@ -43,34 +43,34 @@ class TraceHook(RuntimeHook):
     def _add(self, time: float, pid: str, category: str, detail: str, payload: Any = None) -> None:
         self.records.append(ActionRecord(time, pid, category, detail, payload))
 
-    def on_send(self, pid, message, time):
+    def on_send(self, pid, message, time, vt=None):
         self._add(time, pid, "send", message.describe(), message)
 
-    def on_receive(self, pid, message, time):
+    def on_receive(self, pid, message, time, vt=None):
         self._add(time, pid, "receive", message.describe(), message)
 
-    def on_drop(self, message, time):
+    def on_drop(self, message, time, vt=None):
         self._add(time, message.src, "drop", message.describe(), message)
 
-    def on_duplicate(self, message, time):
+    def on_duplicate(self, message, time, vt=None):
         self._add(time, message.src, "duplicate", message.describe(), message)
 
-    def on_timer(self, pid, name, time):
+    def on_timer(self, pid, name, time, vt=None):
         self._add(time, pid, "timer", name)
 
-    def on_random(self, pid, method, value, time):
+    def on_random(self, pid, method, value, time, vt=None):
         self._add(time, pid, "random", f"{method}={value!r}")
 
-    def on_crash(self, pid, time):
+    def on_crash(self, pid, time, vt=None):
         self._add(time, pid, "crash", "process crashed")
 
-    def on_recover(self, pid, time):
+    def on_recover(self, pid, time, vt=None):
         self._add(time, pid, "recover", "process recovered")
 
-    def on_corruption(self, pid, description, time):
+    def on_corruption(self, pid, description, time, vt=None):
         self._add(time, pid, "corruption", description)
 
-    def on_invariant_violation(self, pid, name, detail, time):
+    def on_invariant_violation(self, pid, name, detail, time, vt=None):
         self._add(time, pid, "violation", f"{name}: {detail}")
         return None
 
@@ -100,28 +100,28 @@ class StatsHook(RuntimeHook):
         self.violations: Dict[str, int] = defaultdict(int)
         self.handlers: Dict[str, int] = defaultdict(int)
 
-    def on_send(self, pid, message, time):
+    def on_send(self, pid, message, time, vt=None):
         self.sent[pid] += 1
 
-    def on_receive(self, pid, message, time):
+    def on_receive(self, pid, message, time, vt=None):
         self.received[pid] += 1
 
-    def on_drop(self, message, time):
+    def on_drop(self, message, time, vt=None):
         self.dropped += 1
 
-    def on_duplicate(self, message, time):
+    def on_duplicate(self, message, time, vt=None):
         self.duplicated += 1
 
-    def on_timer(self, pid, name, time):
+    def on_timer(self, pid, name, time, vt=None):
         self.timers[pid] += 1
 
-    def on_random(self, pid, method, value, time):
+    def on_random(self, pid, method, value, time, vt=None):
         self.random_draws[pid] += 1
 
-    def on_crash(self, pid, time):
+    def on_crash(self, pid, time, vt=None):
         self.crashes[pid] += 1
 
-    def on_invariant_violation(self, pid, name, detail, time):
+    def on_invariant_violation(self, pid, name, detail, time, vt=None):
         self.violations[pid] += 1
         return None
 
@@ -170,10 +170,10 @@ class LatencyProbeHook(RuntimeHook):
         self._send_times: Dict[int, float] = {}
         self.latencies: Dict[tuple, List[float]] = defaultdict(list)
 
-    def on_send(self, pid, message: Message, time):
+    def on_send(self, pid, message: Message, time, vt=None):
         self._send_times[message.msg_id] = time
 
-    def on_receive(self, pid, message: Message, time):
+    def on_receive(self, pid, message: Message, time, vt=None):
         sent = self._send_times.pop(message.msg_id, None)
         if sent is not None:
             self.latencies[(message.src, message.dst)].append(time - sent)

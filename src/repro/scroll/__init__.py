@@ -15,14 +15,21 @@ Two interception granularities are provided, mirroring the paper's two
 implementation proposals: *library-level* recording in the style of
 liblog and *syscall-level* recording in the style of Flashback, plus a
 *black-box* mode that only records interactions with remote components.
+
+For long runs the Scroll is *tiered*: constructed with a ``hot_window``
+it keeps only the most recent entries in memory and spills cold entries
+to immutable on-disk segments indexed by an in-memory offset table
+(:class:`repro.scroll.storage.SegmentStore`), preserving every query
+contract — and replay equivalence — while resident memory tracks the
+hot window instead of the run length.
 """
 
 from repro.scroll.entry import ActionKind, ScrollEntry
 from repro.scroll.interceptor import InterceptionMode, RecordingPolicy, ReplayRandomStream
 from repro.scroll.recorder import ScrollRecorder
 from repro.scroll.replayer import ProcessReplay, Replayer, ReplayReport
-from repro.scroll.scroll import Scroll
-from repro.scroll.storage import load_scroll, save_scroll
+from repro.scroll.scroll import Scroll, ScrollView
+from repro.scroll.storage import SegmentStore, load_scroll, save_scroll
 
 __all__ = [
     "ActionKind",
@@ -35,6 +42,8 @@ __all__ = [
     "Replayer",
     "ReplayReport",
     "Scroll",
+    "ScrollView",
+    "SegmentStore",
     "load_scroll",
     "save_scroll",
 ]

@@ -124,6 +124,8 @@ class ScrollEntry:
             kind=ActionKind(record["kind"]),
             time=record["time"],
             detail=dict(record.get("detail", {})),
-            vt=VectorTimestamp.from_mapping(vt) if vt else None,
+            # An empty mapping is a real (empty) timestamp; only an
+            # absent/null field means "not recorded".
+            vt=VectorTimestamp.from_mapping(vt) if vt is not None else None,
             seq=record["seq"],
         )

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ReplayDivergenceError
 from repro.scroll.entry import ActionKind
@@ -47,10 +47,19 @@ class RecordingPolicy:
     ``record_payloads`` controls whether full message payloads are
     stored (needed for replay) or only metadata (cheaper, enough for
     tracing).
+
+    ``hot_window`` and ``spill_dir`` configure *where* the recording
+    lives: when ``hot_window`` is set, the recorder builds a tiered
+    :class:`~repro.scroll.scroll.Scroll` that keeps at most that many
+    entries in memory and spills cold segments to ``spill_dir`` (a
+    private temporary directory when unset).  ``None`` keeps the whole
+    log in memory — the right choice for short runs and unit tests.
     """
 
     mode: InterceptionMode = InterceptionMode.SYSCALL
     record_payloads: bool = True
+    hot_window: Optional[int] = None
+    spill_dir: Optional[str] = None
 
     def recorded_kinds(self) -> frozenset:
         """The action kinds this policy records."""
@@ -160,12 +169,25 @@ class ReplayClock:
         self._fallback = fallback
 
     def read(self) -> float:
-        """Return the next recorded clock value (or the last known one)."""
+        """Return the next recorded clock value (or the last known one).
+
+        Only *application* clock reads (:meth:`Process.now`) consume the
+        recorded stream; runtime bookkeeping reads :meth:`ambient`.
+        """
         if self._cursor < len(self._readings):
             value = self._readings[self._cursor]
             self._cursor += 1
             self._fallback = value
             return value
+        return self._fallback
+
+    def ambient(self) -> float:
+        """The current replay time, without consuming a recorded reading.
+
+        Used as the context's ``now_fn`` during replay so internal
+        timestamping (e.g. ``send_time`` on outgoing messages) does not
+        steal recorded clock outcomes from the application.
+        """
         return self._fallback
 
     def advance_fallback(self, value: float) -> None:

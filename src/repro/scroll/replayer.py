@@ -16,11 +16,14 @@ Replay serves two purposes in FixD:
   the execution, exactly the condition liblog flags.
 
 Replaying every process of a global Scroll is O(n) in the log size: the
-per-process views the replayer consumes (``entries_for``,
+per-process views the replayer consumes (``iter_entries_for``,
 ``sent_messages``, ``random_outcomes``, ``clock_reads``) are backed by
 the Scroll's ``(pid, kind)`` indexes, so each process's replay touches
 only its own entries instead of rescanning the whole log once per
-process.
+process.  The views are tier-transparent: against a spilled Scroll the
+per-process history is streamed in batches from the on-disk segments
+(see :mod:`repro.scroll.storage`), so replaying a log much larger than
+memory holds only one batch of cold entries at a time.
 """
 
 from __future__ import annotations
@@ -154,8 +157,9 @@ class Replayer:
         process = self.factories[pid]()
 
         # Index-backed per-process views: each is O(k) in the process's
-        # own entry count, independent of the global log size.
-        history = self.scroll.entries_for(pid)
+        # own entry count, independent of the global log size.  The
+        # history is streamed so spilled logs are not rematerialized.
+        history = self.scroll.iter_entries_for(pid)
         recorded_sends = self.scroll.sent_messages(pid)
         checker = _ReplaySendChecker(pid, recorded_sends, self.strict)
         rng = ReplayRandomStream(pid, self.scroll.random_outcomes(pid))
@@ -178,8 +182,11 @@ class Replayer:
             send_fn=send_fn,
             timer_fn=timer_fn,
             cancel_timer_fn=cancel_timer_fn,
-            now_fn=clock.read,
+            # the ambient clock timestamps runtime artefacts; only
+            # Process.now() consumes the recorded reads (read_clock_fn)
+            now_fn=clock.ambient,
             rng=rng,  # type: ignore[arg-type] — same draw interface as DeterministicRNG
+            read_clock_fn=clock.read,
         )
         process.bind(ctx)
 

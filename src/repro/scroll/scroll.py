@@ -12,7 +12,7 @@ Replayer queries per-process views once per process), the log maintains
 positional indexes as it grows:
 
 * a per-process index, a per-kind index and a per-``(pid, kind)`` index,
-  each a sorted list of positions into the backing entry list — so
+  each a sorted list of positions into the log — so
   ``entries_for``/``of_kind``/``received_messages`` and friends are
   O(k) in the result size instead of O(n) scans;
 * a parallel list of record times, so :meth:`between` can bisect when the
@@ -20,68 +20,138 @@ positional indexes as it grows:
 * :meth:`merge` streams already-ordered per-process logs through a heap
   (O(n log p)) instead of concatenating and re-sorting (O(n log n)).
 
-Appends stay O(1) amortized; all query results are materialized lists
-except :attr:`entries`, which is a zero-copy read-only view.
+**Tiered storage.**  A Scroll constructed with a ``hot_window`` spills
+cold entries to disk so long production runs don't hold the whole log in
+memory.  Entries live in two tiers:
+
+* the *hot tier* — the most recent entries, plain Python objects in a
+  list;
+* the *cold tier* — everything older, serialized into immutable on-disk
+  segments managed by a :class:`~repro.scroll.storage.SegmentStore`
+  whose in-memory index maps each spilled position to its segment and
+  byte offset.
+
+Whenever the hot tier exceeds ``hot_window`` entries, the oldest
+``segment_size`` of them (half the window by default) are written out as
+one segment and dropped from memory; the *spill watermark* — the count
+of spilled entries — separates the tiers.  All positional indexes store
+global positions, so every query contract is preserved: index hits below
+the watermark are served by seek-reads (with an LRU decode cache), hits
+above come straight from the hot list, and both appends and queries keep
+their amortized costs.  :meth:`truncate` cuts both tiers (and the
+indexes) at a position, which is how a Time-Machine rollback discards
+log suffixes that are in the rolled-back future.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
 from bisect import bisect_left
 from collections.abc import Sequence as _SequenceABC
+from itertools import islice
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dsim.clock import VectorTimestamp
 from repro.scroll.entry import ActionKind, ScrollEntry
+from repro.scroll.storage import PathLike, SegmentStore
 
 
 class ScrollView(_SequenceABC):
-    """A zero-copy, read-only view over a Scroll's backing entry list.
+    """A zero-copy, read-only sequence view over a Scroll's entries.
 
     Supports the full read-only sequence protocol (len, indexing,
-    slicing, iteration, containment) and equality against other sequences
-    of entries; it never copies the underlying list.
+    slicing, iteration, containment) and equality against other
+    sequences of entries.  It holds no entries of its own: hot entries
+    are read through the Scroll, spilled entries are fetched on access.
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_source",)
 
-    def __init__(self, entries: List[ScrollEntry]) -> None:
-        self._entries = entries
+    def __init__(self, source) -> None:
+        self._source = source
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._source)
 
     def __getitem__(self, index):
-        return self._entries[index]
+        return self._source[index]
 
     def __iter__(self) -> Iterator[ScrollEntry]:
-        return iter(self._entries)
+        return iter(self._source)
 
     def __reversed__(self) -> Iterator[ScrollEntry]:
-        return reversed(self._entries)
+        for index in range(len(self._source) - 1, -1, -1):
+            yield self._source[index]
 
     def __contains__(self, item: object) -> bool:
-        return item in self._entries
+        return any(entry == item for entry in self._source)
 
     def __eq__(self, other: object) -> bool:
-        if isinstance(other, ScrollView):
-            return self._entries == other._entries
-        if isinstance(other, (list, tuple)):
-            return len(self._entries) == len(other) and all(
-                mine == theirs for mine, theirs in zip(self._entries, other)
+        if isinstance(other, (ScrollView, list, tuple)):
+            return len(self) == len(other) and all(
+                mine == theirs for mine, theirs in zip(self, other)
             )
         return NotImplemented
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ScrollView({len(self._entries)} entries)"
+        return f"ScrollView({len(self._source)} entries)"
+
+
+def _entry_resident_bytes(entry: ScrollEntry) -> int:
+    """Rough resident size of one in-memory entry (benchmark accounting)."""
+    size = sys.getsizeof(entry) + sys.getsizeof(entry.pid) + sys.getsizeof(entry.time)
+    size += sys.getsizeof(entry.detail)
+    for key, value in entry.detail.items():
+        size += sys.getsizeof(key) + sys.getsizeof(value)
+        if isinstance(value, dict):
+            for inner_key, inner_value in value.items():
+                size += sys.getsizeof(inner_key) + sys.getsizeof(inner_value)
+    if entry.vt is not None:
+        size += sys.getsizeof(entry.vt) + 16 * len(entry.vt.entries)
+    return size
 
 
 class Scroll:
-    """Append-only, queryable log of :class:`ScrollEntry` records."""
+    """Append-only, queryable log of :class:`ScrollEntry` records.
 
-    def __init__(self, entries: Optional[Iterable[ScrollEntry]] = None) -> None:
-        self._entries: List[ScrollEntry] = []
-        #: positions (into _entries) per process, per kind and per (pid, kind)
+    Parameters
+    ----------
+    entries:
+        Initial entries to append.
+    hot_window:
+        When given, enables tiered storage: the hot tier is kept at or
+        below this many entries by spilling the oldest to disk.
+    storage_dir:
+        Directory for the cold tier's segment files; a private temporary
+        directory (removed with the Scroll) is used when omitted.
+    segment_size:
+        Entries per spilled segment; defaults to half the hot window.
+    store:
+        An explicit :class:`SegmentStore` to spill into (overrides
+        ``storage_dir``).
+    """
+
+    def __init__(
+        self,
+        entries: Optional[Iterable[ScrollEntry]] = None,
+        *,
+        hot_window: Optional[int] = None,
+        storage_dir: Optional[PathLike] = None,
+        segment_size: Optional[int] = None,
+        store: Optional[SegmentStore] = None,
+    ) -> None:
+        if hot_window is not None and hot_window < 1:
+            raise ValueError("hot_window must be at least 1")
+        self._hot: List[ScrollEntry] = []
+        self._hot_window = hot_window
+        self._segment_size = segment_size
+        self._storage_dir = storage_dir
+        self._store = store
+        #: number of entries spilled to the cold tier; global positions
+        #: below the watermark are on disk, the rest are in ``_hot``.
+        self._watermark = 0
+        #: positions (global) per process, per kind and per (pid, kind)
         self._by_pid: Dict[str, List[int]] = {}
         self._by_kind: Dict[ActionKind, List[int]] = {}
         self._by_pid_kind: Dict[Tuple[str, ActionKind], List[int]] = {}
@@ -93,12 +163,81 @@ class Scroll:
             self.append(entry)
 
     # ------------------------------------------------------------------
+    # tiering
+    # ------------------------------------------------------------------
+    @property
+    def is_tiered(self) -> bool:
+        """True when this Scroll spills cold entries to disk."""
+        return self._hot_window is not None or self._store is not None
+
+    @property
+    def spill_watermark(self) -> int:
+        """Number of entries currently in the cold tier."""
+        return self._watermark
+
+    @property
+    def hot_entries(self) -> int:
+        """Number of entries currently resident in the hot tier."""
+        return len(self._hot)
+
+    def _ensure_store(self) -> SegmentStore:
+        if self._store is None:
+            # Sized to hold one process's replay material (the replayer
+            # issues several queries over the same positions back to
+            # back) while staying small next to the hot window.
+            cache = max(1024, (self._hot_window or 0) // 2)
+            self._store = SegmentStore(self._storage_dir, cache_size=cache)
+        return self._store
+
+    def _spill(self) -> None:
+        """Move the oldest hot entries into one new on-disk segment."""
+        segment_size = self._segment_size or max(1, (self._hot_window or 2) // 2)
+        count = min(segment_size, len(self._hot) - 1)  # keep the newest hot
+        if count <= 0:
+            return
+        store = self._ensure_store()
+        store.append_segment(self._hot[:count])
+        del self._hot[:count]
+        self._watermark += count
+
+    def storage_stats(self) -> Dict[str, object]:
+        """Tier occupancy and cold-store statistics (for FixD stats/reports)."""
+        stats: Dict[str, object] = {
+            "entries": len(self),
+            "hot_entries": len(self._hot),
+            "spilled_entries": self._watermark,
+            "tiered": self.is_tiered,
+        }
+        if self._store is not None:
+            stats["store"] = self._store.stats()
+            stats["disk_bytes"] = self._store.disk_bytes()
+        return stats
+
+    def resident_bytes(self) -> int:
+        """Approximate memory held by entry storage (hot tier + cold index).
+
+        Positional indexes are excluded: both tiered and in-memory
+        Scrolls maintain identical index structures, so this number
+        isolates what tiering actually changes — entry objects resident
+        in RAM versus a 24-byte-per-entry offset index.
+        """
+        total = sys.getsizeof(self._hot) + sum(
+            _entry_resident_bytes(entry) for entry in self._hot
+        )
+        if self._store is not None:
+            total += self._store.index_bytes()
+            total += sum(
+                _entry_resident_bytes(entry) for entry in self._store.cached_entries()
+            )
+        return total
+
+    # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
     def append(self, entry: ScrollEntry) -> ScrollEntry:
         """Append one entry, updating the positional indexes, and return it."""
-        position = len(self._entries)
-        self._entries.append(entry)
+        position = self._watermark + len(self._hot)
+        self._hot.append(entry)
         self._by_pid.setdefault(entry.pid, []).append(position)
         self._by_kind.setdefault(entry.kind, []).append(position)
         self._by_pid_kind.setdefault((entry.pid, entry.kind), []).append(position)
@@ -107,6 +246,8 @@ class Scroll:
         if self._time_monotone and self._times and entry.time < self._times[-1]:
             self._time_monotone = False
         self._times.append(entry.time)
+        if self._hot_window is not None and len(self._hot) > self._hot_window:
+            self._spill()
         return entry
 
     def record(
@@ -126,32 +267,137 @@ class Scroll:
         return self.record(pid, ActionKind.ANNOTATION, time, {"text": text})
 
     # ------------------------------------------------------------------
+    # truncation (rollback support)
+    # ------------------------------------------------------------------
+    def truncate(self, length: int) -> int:
+        """Forget every entry at position >= ``length`` in both tiers.
+
+        Called when the Time Machine rolls the system back to a recovery
+        line whose checkpoints recorded the Scroll position (the spill
+        watermark plus the hot length at capture time): entries after
+        the line describe a future that no longer exists.  Cuts the hot
+        list, drops or shrinks cold segments, and trims every positional
+        index.  Returns the number of entries discarded.
+        """
+        length = max(0, min(length, len(self)))
+        removed = len(self) - length
+        if removed == 0:
+            return 0
+        for index_map in (self._by_pid, self._by_kind, self._by_pid_kind):
+            dead = []
+            for key, positions in index_map.items():
+                cut = bisect_left(positions, length)
+                if cut < len(positions):
+                    del positions[cut:]
+                if not positions:
+                    dead.append(key)
+            for key in dead:
+                del index_map[key]
+        del self._nondet[bisect_left(self._nondet, length):]
+        del self._times[length:]
+        if length >= self._watermark:
+            del self._hot[length - self._watermark:]
+        else:
+            self._store.truncate(length)
+            self._watermark = length
+            self._hot = []
+        return removed
+
+    # ------------------------------------------------------------------
     # container protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._watermark + len(self._hot)
 
     def __iter__(self) -> Iterator[ScrollEntry]:
-        return iter(self._entries)
+        # Any tiered Scroll gets the append-safe path, spilled yet or
+        # not: the first spill during iteration would otherwise shift
+        # the hot list under a live list iterator.
+        if self.is_tiered:
+            return self._iter_tiered()
+        return iter(self._hot)
 
-    def __getitem__(self, index: int) -> ScrollEntry:
-        return self._entries[index]
+    def _iter_tiered(self, chunk: int = 1024) -> Iterator[ScrollEntry]:
+        # Iterate by global position in materialized chunks rather than
+        # holding live iterators over the tiers: an append between
+        # yields may spill hot entries (moving the watermark), which
+        # would make a snapshot-of-the-tiers iterator silently skip the
+        # newly cold positions.  Fetching each chunk atomically through
+        # the position-addressed path keeps iteration append-safe, like
+        # iterating the plain backing list used to be.
+        position = 0
+        while position < len(self):
+            batch = self._range(position, min(position + chunk, len(self)))
+            yield from batch
+            position += len(batch)
+
+    def _entry_at(self, position: int) -> ScrollEntry:
+        if position >= self._watermark:
+            return self._hot[position - self._watermark]
+        return self._store.get(position)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step == 1:
+                return self._range(start, stop)
+            return [self._entry_at(position) for position in range(start, stop, step)]
+        position = index
+        if position < 0:
+            position += len(self)
+        if not 0 <= position < len(self):
+            raise IndexError("Scroll index out of range")
+        return self._entry_at(position)
 
     @property
     def entries(self) -> ScrollView:
         """All entries in record order (a zero-copy read-only view)."""
-        return ScrollView(self._entries)
+        return ScrollView(self)
 
     # ------------------------------------------------------------------
     # queries (index-backed: O(k) in the result size)
     # ------------------------------------------------------------------
     def _at(self, positions: Iterable[int]) -> List[ScrollEntry]:
-        entries = self._entries
-        return [entries[position] for position in positions]
+        """Materialize entries for sorted global positions, tier-aware."""
+        positions = list(positions)
+        watermark = self._watermark
+        if not watermark:
+            hot = self._hot
+            return [hot[position] for position in positions]
+        split = bisect_left(positions, watermark)
+        cold = self._store.get_many(positions[:split]) if split else []
+        hot = self._hot
+        cold.extend(hot[position - watermark] for position in islice(positions, split, None))
+        return cold
+
+    def _range(self, start: int, stop: int) -> List[ScrollEntry]:
+        """Materialize the contiguous position range ``[start, stop)``."""
+        stop = min(stop, len(self))
+        start = max(0, start)
+        if start >= stop:
+            return []
+        watermark = self._watermark
+        if start >= watermark:
+            return self._hot[start - watermark:stop - watermark]
+        cold = list(self._store.iter_range(start, min(stop, watermark)))
+        if stop > watermark:
+            cold.extend(self._hot[:stop - watermark])
+        return cold
 
     def entries_for(self, pid: str) -> List[ScrollEntry]:
         """All entries belonging to one process, in record order."""
         return self._at(self._by_pid.get(pid, ()))
+
+    def iter_entries_for(self, pid: str, batch: int = 1024) -> Iterator[ScrollEntry]:
+        """Stream one process's entries without materializing them all.
+
+        The replay driver uses this so replaying one process of a
+        heavily spilled log keeps at most ``batch`` cold entries alive
+        at a time.
+        """
+        positions = self._by_pid.get(pid, ())
+        for start in range(0, len(positions), batch):
+            yield from self._at(positions[start:start + batch])
 
     def of_kind(self, *kinds: ActionKind) -> List[ScrollEntry]:
         """All entries whose kind is one of ``kinds``, in record order."""
@@ -175,12 +421,12 @@ class Scroll:
         if self._time_monotone:
             lo = bisect_left(self._times, start)
             hi = bisect_left(self._times, end)
-            return self._entries[lo:hi]
-        return [entry for entry in self._entries if start <= entry.time < end]
+            return self._range(lo, hi)
+        return [entry for entry in self if start <= entry.time < end]
 
     def filter(self, predicate: Callable[[ScrollEntry], bool]) -> List[ScrollEntry]:
         """Entries matching an arbitrary predicate."""
-        return [entry for entry in self._entries if predicate(entry)]
+        return [entry for entry in self if predicate(entry)]
 
     def pids(self) -> List[str]:
         """Sorted list of process ids appearing in the Scroll."""
@@ -197,9 +443,9 @@ class Scroll:
     def last_entry(self, pid: Optional[str] = None) -> Optional[ScrollEntry]:
         """The most recently recorded entry (optionally restricted to one process)."""
         if pid is None:
-            return self._entries[-1] if self._entries else None
+            return self._entry_at(len(self) - 1) if len(self) else None
         positions = self._by_pid.get(pid)
-        return self._entries[positions[-1]] if positions else None
+        return self._entry_at(positions[-1]) if positions else None
 
     def violations(self) -> List[ScrollEntry]:
         """All recorded invariant violations."""
@@ -259,7 +505,7 @@ class Scroll:
     def prefix_until(self, predicate: Callable[[ScrollEntry], bool]) -> "Scroll":
         """The prefix of the Scroll up to (excluding) the first entry matching ``predicate``."""
         prefix: List[ScrollEntry] = []
-        for entry in self._entries:
+        for entry in self:
             if predicate(entry):
                 break
             prefix.append(entry)
@@ -311,12 +557,20 @@ class Scroll:
 
     def to_records(self) -> List[Dict]:
         """Serialize the whole Scroll to a list of plain dictionaries."""
-        return [entry.to_record() for entry in self._entries]
+        return [entry.to_record() for entry in self]
 
     @staticmethod
     def from_records(records: Iterable[Dict]) -> "Scroll":
         """Rebuild a Scroll from :meth:`to_records` output."""
         return Scroll(ScrollEntry.from_record(record) for record in records)
 
+    def close(self) -> None:
+        """Release the cold tier (file handles and any owned directory)."""
+        if self._store is not None:
+            self._store.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Scroll(entries={len(self._entries)}, pids={self.pids()})"
+        return (
+            f"Scroll(entries={len(self)}, hot={len(self._hot)}, "
+            f"spilled={self._watermark}, pids={self.pids()})"
+        )

@@ -4,10 +4,26 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.dsim.process import ProcessCheckpoint
 from repro.errors import CheckpointError
+
+
+def stamped_scroll_position(checkpoints: Iterable[ProcessCheckpoint]) -> Optional[int]:
+    """Earliest Scroll position stamped on a set of checkpoints.
+
+    Checkpoints captured while a Scroll was recording carry the log's
+    end position (``extra["scroll_position"]``); a consistent set is
+    safe to truncate the log to the *minimum* of those positions — the
+    prefix every member agrees happened.  ``None`` when the set is
+    empty or any member lacks the stamp (truncating on a guess could
+    discard entries a stampless process still depends on).
+    """
+    positions = [checkpoint.extra.get("scroll_position") for checkpoint in checkpoints]
+    if not positions or any(position is None for position in positions):
+        return None
+    return min(positions)
 
 
 class LocalCheckpointLog:
@@ -128,6 +144,11 @@ class GlobalCheckpoint:
     def min_time(self) -> float:
         """Earliest capture time among the member checkpoints."""
         return min((c.time for c in self.checkpoints.values()), default=0.0)
+
+    def scroll_position(self) -> Optional[int]:
+        """Earliest Scroll position stamped on the member checkpoints
+        (see :func:`stamped_scroll_position`)."""
+        return stamped_scroll_position(self.checkpoints.values())
 
 
 class CheckpointStore:

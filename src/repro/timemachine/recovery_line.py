@@ -39,7 +39,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dsim.process import ProcessCheckpoint
 from repro.errors import RecoveryLineError
-from repro.timemachine.checkpoint import CheckpointStore, GlobalCheckpoint
+from repro.timemachine.checkpoint import (
+    CheckpointStore,
+    GlobalCheckpoint,
+    stamped_scroll_position,
+)
 
 
 def is_consistent(checkpoints: Dict[str, ProcessCheckpoint]) -> bool:
@@ -99,6 +103,16 @@ class RecoveryLine:
 
     def latest_time(self) -> float:
         return max((c.time for c in self.checkpoints.values()), default=0.0)
+
+    def scroll_position(self) -> Optional[int]:
+        """Scroll end position the line corresponds to, when recorded.
+
+        Everything after the earliest stamped position belongs to at
+        least one process's rolled-back future, so that is where a
+        rollback may truncate the log (see
+        :func:`~repro.timemachine.checkpoint.stamped_scroll_position`).
+        """
+        return stamped_scroll_position(self.checkpoints.values())
 
 
 def _initial_candidates(

@@ -19,6 +19,8 @@ class RollbackResult:
     time_before: float
     rollback_distance: Dict[str, float] = field(default_factory=dict)
     alternate_paths_invoked: int = 0
+    #: Scroll entries discarded (both tiers) when log truncation was requested.
+    scroll_entries_truncated: int = 0
 
     @property
     def max_rollback_distance(self) -> float:
@@ -50,8 +52,18 @@ class RollbackManager:
         """Register a callback invoked with the process object after it is rolled back."""
         self._alternate_paths[pid] = callback
 
-    def rollback(self, line: RecoveryLine, verify: bool = True) -> RollbackResult:
-        """Restore every process named in ``line`` and cancel their in-flight events."""
+    def rollback(
+        self, line: RecoveryLine, verify: bool = True, truncate_scroll: bool = False
+    ) -> RollbackResult:
+        """Restore every process named in ``line`` and cancel their in-flight events.
+
+        With ``truncate_scroll=True`` the cluster's registered Scroll is
+        also cut back to the line's recorded log position (the spill
+        watermark + hot length stamped on the member checkpoints), so
+        both storage tiers forget the rolled-back future.  Callers that
+        still need the post-line log — e.g. to assemble a bug report
+        tail — truncate explicitly afterwards instead.
+        """
         if verify and not is_consistent(line.checkpoints):
             raise RecoveryLineError(
                 "refusing to roll back to an inconsistent set of checkpoints"
@@ -68,15 +80,45 @@ class RollbackManager:
             if callback is not None:
                 callback(self._cluster.process(pid))
                 invoked += 1
+        truncated = 0
+        if truncate_scroll:
+            truncated = self.truncate_scroll_to(line)
         result = RollbackResult(
             restored_pids=sorted(line.checkpoints),
             recovery_line=line,
             time_before=time_before,
             rollback_distance=distances,
             alternate_paths_invoked=invoked,
+            scroll_entries_truncated=truncated,
         )
         self.history.append(result)
         return result
+
+    def truncate_scroll_to(self, line: RecoveryLine) -> int:
+        """Cut the cluster's Scroll back to ``line``'s recorded position.
+
+        The cut is the *earliest* position stamped on the line's
+        checkpoints, so the kept prefix is history every member agrees
+        happened.  Members checkpointed later than the cut lose the
+        window between the cut and their own stamp — including recorded
+        nondeterminism their restored state has already consumed — so a
+        truncated log explains the post-rollback era *from the recovery
+        line's restored states*, not from process genesis.  That is the
+        deliberate trade: bounded log growth and a log that never
+        describes the rolled-back future, at the cost of
+        replay-from-genesis across the cut.  Callers needing a
+        genesis-replayable artefact of the pre-rollback run should
+        ``save_scroll`` before truncating (FixD captures the bug-report
+        tail first for the same reason).
+
+        Returns the number of entries discarded (0 when the cluster has
+        no registered Scroll or the line predates Scroll recording).
+        """
+        scroll = getattr(self._cluster, "scroll", None)
+        position = line.scroll_position()
+        if scroll is None or position is None:
+            return 0
+        return scroll.truncate(position)
 
     def rollback_single(self, checkpoint: ProcessCheckpoint) -> RollbackResult:
         """Roll back a single process (a degenerate one-process recovery line)."""

@@ -223,7 +223,7 @@ class SpeculationManager(RuntimeHook):
     # ------------------------------------------------------------------
     # hook notifications: taint propagation and absorption
     # ------------------------------------------------------------------
-    def on_send(self, pid, message, time):
+    def on_send(self, pid, message, time, vt=None):
         active = self._active_by_pid.get(pid)
         if active:
             self._message_taint[message.msg_id] = set(active)

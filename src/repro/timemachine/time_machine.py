@@ -124,15 +124,20 @@ class TimeMachine:
         return compute_recovery_line(self.store, not_after=not_after)
 
     def rollback_to_consistent_state(
-        self, not_after: Optional[Dict[str, float]] = None
+        self, not_after: Optional[Dict[str, float]] = None, truncate_scroll: bool = False
     ) -> RollbackResult:
         """Compute a safe recovery line and apply it to the cluster."""
         line = self.latest_recovery_line(not_after=not_after)
-        return self.rollback_manager.rollback(line)
+        return self.rollback_manager.rollback(line, truncate_scroll=truncate_scroll)
 
-    def rollback_to(self, line: RecoveryLine) -> RollbackResult:
-        """Apply a pre-computed recovery line."""
-        return self.rollback_manager.rollback(line)
+    def rollback_to(self, line: RecoveryLine, truncate_scroll: bool = False) -> RollbackResult:
+        """Apply a pre-computed recovery line.
+
+        ``truncate_scroll`` additionally cuts the cluster's registered
+        Scroll (hot tier and spilled segments alike) back to the log
+        position stamped on the line's checkpoints.
+        """
+        return self.rollback_manager.rollback(line, truncate_scroll=truncate_scroll)
 
     # ------------------------------------------------------------------
     # statistics

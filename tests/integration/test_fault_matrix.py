@@ -1,0 +1,370 @@
+"""The fault-scenario matrix: six demo apps × four injected fault types.
+
+Every scenario runs a real application cluster with FixD attached (the
+Scroll recording into a *tiered* spill-to-disk log, communication-induced
+checkpointing, fault detection + rollback) while the failure plan injects
+one fault class, and asserts the three FixD promises:
+
+1. **detection** — the run noticed the fault: crash/drop/duplicate
+   entries land on the Scroll, delay rules register hits on the fault
+   engine, and provoked invariant violations reach the detector;
+2. **reporting** — an artefact a developer could act on exists: a
+   :class:`BugReport` when an invariant fired, and the run-level
+   :func:`incident_report` always;
+3. **recovery/consistency** — the system ends in a consistent state:
+   app-specific global invariants hold over the final states, crashed
+   processes with scheduled recoveries are back, and FixD handled (rolled
+   back) every provoked violation.
+
+Scenario design notes: *benign* faults are ones the application protocol
+tolerates (a lagging backup, a lost token, an aborted transaction), so
+the global invariant must hold at the end of the run outright.
+*Violating* faults provoke a real invariant violation (double-applied
+transfer acknowledgement, double-counted chunk) that FixD must detect,
+report and roll back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import pytest
+
+from repro.apps.bank import INITIAL_BALANCE, build_bank_cluster, total_balance_invariant
+from repro.apps.kvstore import build_kvstore_cluster, replica_consistency_invariant
+from repro.apps.leader_election import at_most_one_leader_invariant, build_election_ring
+from repro.apps.token_ring import (
+    build_token_ring,
+    mutual_exclusion_invariant,
+    single_token_invariant,
+)
+from repro.apps.two_phase_commit import atomicity_invariant, build_2pc_cluster
+from repro.apps.wordcount import build_wordcount_cluster
+from repro.core.fixd import FixD, FixDConfig
+from repro.core.report import incident_report
+from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.dsim.failure import CrashFault, FailurePlan, MessageFault
+from repro.scroll.entry import ActionKind
+from repro.scroll.interceptor import RecordingPolicy
+
+#: Small hot window so every scenario also exercises the tiered Scroll.
+MATRIX_RECORDING = RecordingPolicy(hot_window=48)
+
+
+def _states(cluster: Cluster) -> Dict[str, Dict[str, Any]]:
+    return {pid: dict(cluster.process(pid).state) for pid in cluster.pids}
+
+
+def wordcount_consistent(states: Dict[str, Dict[str, Any]]) -> bool:
+    master = states["master"]
+    return (
+        master["aggregated"] <= master["dispatched"]
+        and sum(master["counts"].values()) <= master["corpus_size"]
+    )
+
+
+def bank_locally_consistent(states: Dict[str, Dict[str, Any]]) -> bool:
+    return all(
+        all(balance >= 0 for balance in state["accounts"].values())
+        and state["in_flight_debits"] >= 0
+        for state in states.values()
+    )
+
+
+def bank_crash_consistent(states: Dict[str, Dict[str, Any]]) -> bool:
+    """Conservation under crashes: nothing invented, every gap in flight.
+
+    A branch that crashes after a peer credited its transfer never sees
+    the acknowledgement, so exact ``total + in_flight == expected``
+    overcounts that transfer forever.  The defensible claim is one-sided:
+    balances never exceed the initial supply, and whatever is missing
+    from balances is fully covered by tracked in-flight debits.
+    """
+    expected = sum(len(state["accounts"]) * INITIAL_BALANCE for state in states.values())
+    total = sum(sum(state["accounts"].values()) for state in states.values())
+    in_flight = sum(state["in_flight_debits"] for state in states.values())
+    return bank_locally_consistent(states) and total <= expected <= total + in_flight
+
+
+def token_ring_consistent(states: Dict[str, Dict[str, Any]]) -> bool:
+    return single_token_invariant(states) and mutual_exclusion_invariant(states)
+
+
+@dataclass
+class Scenario:
+    """One cell of the app × fault matrix."""
+
+    app: str
+    fault: str  # "crash" | "drop" | "duplicate" | "delay"
+    build: Callable[[Cluster], None]
+    plan: FailurePlan
+    consistent: Callable[[Dict[str, Dict[str, Any]]], bool]
+    expect_violation: bool = False
+    seed: int = 7
+    max_events: int = 4000
+    #: pids that crash with a scheduled recovery (asserted back alive)
+    recovering: tuple = ()
+    id: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.id = f"{self.app}-{self.fault}"
+
+
+def _crash(pid: str, at: float, recover_at: Optional[float]) -> FailurePlan:
+    return FailurePlan(crashes=[CrashFault(pid, at=at, recover_at=recover_at)])
+
+
+def _message(kind: str, match_kind: str, count: int = 1, extra_delay: float = 0.0) -> FailurePlan:
+    return FailurePlan(
+        message_faults=[
+            MessageFault(kind, match_kind=match_kind, count=count, extra_delay=extra_delay)
+        ]
+    )
+
+
+SCENARIOS = [
+    # ------------------------------------------------------------------
+    # primary/backup key-value store: backups may lag but never lead
+    # ------------------------------------------------------------------
+    Scenario(
+        "kvstore", "crash",
+        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
+        _crash("replica1", at=3.0, recover_at=8.0),
+        replica_consistency_invariant, recovering=("replica1",),
+    ),
+    Scenario(
+        "kvstore", "drop",
+        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
+        _message("drop", "REPLICATE"),
+        replica_consistency_invariant,
+    ),
+    Scenario(
+        "kvstore", "duplicate",
+        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
+        _message("duplicate", "REPLICATE"),
+        replica_consistency_invariant,
+    ),
+    Scenario(
+        "kvstore", "delay",
+        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
+        _message("delay", "REPLICATE", count=2, extra_delay=3.0),
+        replica_consistency_invariant,
+    ),
+    # ------------------------------------------------------------------
+    # bank (fixed branches): money is conserved across transfers
+    # ------------------------------------------------------------------
+    Scenario(
+        "bank", "crash",
+        lambda c: build_bank_cluster(c, branches=3, fixed=True),
+        _crash("branch2", at=3.0, recover_at=7.0),
+        bank_crash_consistent, recovering=("branch2",),
+    ),
+    Scenario(
+        "bank", "drop",
+        lambda c: build_bank_cluster(c, branches=3, fixed=True),
+        _message("drop", "TRANSFER"),
+        total_balance_invariant,
+    ),
+    Scenario(
+        # A duplicated acknowledgement double-settles one transfer:
+        # in-flight accounting goes negative — a provoked violation FixD
+        # must detect and roll back.
+        "bank", "duplicate",
+        lambda c: build_bank_cluster(c, branches=3, fixed=True),
+        _message("duplicate", "TRANSFER_ACK"),
+        bank_locally_consistent, expect_violation=True,
+    ),
+    Scenario(
+        "bank", "delay",
+        lambda c: build_bank_cluster(c, branches=3, fixed=True),
+        _message("delay", "TRANSFER", count=2, extra_delay=4.0),
+        total_balance_invariant,
+    ),
+    # ------------------------------------------------------------------
+    # token ring: at most one token / one process in its critical section
+    # ------------------------------------------------------------------
+    Scenario(
+        "token_ring", "crash",
+        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
+        _crash("node1", at=2.5, recover_at=6.0),
+        token_ring_consistent, recovering=("node1",),
+    ),
+    Scenario(
+        "token_ring", "drop",
+        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
+        _message("drop", "TOKEN"),
+        token_ring_consistent,
+    ),
+    Scenario(
+        "token_ring", "duplicate",
+        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
+        _message("duplicate", "TOKEN"),
+        token_ring_consistent,
+    ),
+    Scenario(
+        "token_ring", "delay",
+        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
+        _message("delay", "TOKEN", count=1, extra_delay=2.5),
+        token_ring_consistent,
+    ),
+    # ------------------------------------------------------------------
+    # leader election: never two leaders, crashed nodes come back
+    # ------------------------------------------------------------------
+    Scenario(
+        "leader_election", "crash",
+        lambda c: build_election_ring(c, nodes=4),
+        _crash("elector3", at=1.5, recover_at=20.0),
+        at_most_one_leader_invariant, recovering=("elector3",),
+    ),
+    Scenario(
+        "leader_election", "drop",
+        lambda c: build_election_ring(c, nodes=4),
+        _message("drop", "ELECTION"),
+        at_most_one_leader_invariant,
+    ),
+    Scenario(
+        "leader_election", "duplicate",
+        lambda c: build_election_ring(c, nodes=4),
+        _message("duplicate", "ELECTION"),
+        at_most_one_leader_invariant,
+    ),
+    Scenario(
+        "leader_election", "delay",
+        lambda c: build_election_ring(c, nodes=4),
+        _message("delay", "ELECTED", count=1, extra_delay=4.0),
+        at_most_one_leader_invariant,
+    ),
+    # ------------------------------------------------------------------
+    # two-phase commit: no transaction both committed and aborted
+    # ------------------------------------------------------------------
+    Scenario(
+        "two_phase_commit", "crash",
+        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
+        _crash("participant1", at=1.5, recover_at=10.0),
+        atomicity_invariant, recovering=("participant1",),
+    ),
+    Scenario(
+        "two_phase_commit", "drop",
+        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
+        _message("drop", "VOTE_YES"),
+        atomicity_invariant,
+    ),
+    Scenario(
+        "two_phase_commit", "duplicate",
+        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
+        _message("duplicate", "VOTE_YES"),
+        atomicity_invariant,
+    ),
+    Scenario(
+        "two_phase_commit", "delay",
+        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
+        _message("delay", "COMMIT", count=1, extra_delay=5.0),
+        atomicity_invariant,
+    ),
+    # ------------------------------------------------------------------
+    # wordcount: aggregation never outruns dispatch or the corpus
+    # ------------------------------------------------------------------
+    Scenario(
+        "wordcount", "crash",
+        lambda c: build_wordcount_cluster(c, workers=2, chunks=8),
+        _crash("worker0", at=4.0, recover_at=8.0),
+        wordcount_consistent, recovering=("worker0",),
+    ),
+    Scenario(
+        "wordcount", "drop",
+        lambda c: build_wordcount_cluster(c, workers=2, chunks=8),
+        _message("drop", "COUNT"),
+        wordcount_consistent,
+    ),
+    Scenario(
+        # A duplicated result message double-counts one chunk, pushing
+        # the master past its corpus bound — provoked violation.
+        "wordcount", "duplicate",
+        lambda c: build_wordcount_cluster(c, workers=2, chunks=8),
+        _message("duplicate", "COUNTED"),
+        wordcount_consistent, expect_violation=True,
+    ),
+    Scenario(
+        "wordcount", "delay",
+        lambda c: build_wordcount_cluster(c, workers=2, chunks=8),
+        _message("delay", "COUNT", count=2, extra_delay=3.0),
+        wordcount_consistent,
+    ),
+]
+
+
+def run_scenario(scenario: Scenario):
+    cluster = Cluster(ClusterConfig(seed=scenario.seed, halt_on_violation=False))
+    scenario.build(cluster)
+    fixd = FixD(
+        FixDConfig(
+            investigate_on_fault=False,
+            recording_policy=MATRIX_RECORDING,
+            max_faults_handled=4,
+        )
+    )
+    fixd.attach(cluster)
+    cluster.set_failure_plan(scenario.plan)
+    result = cluster.run(max_events=scenario.max_events)
+    return cluster, fixd, result
+
+
+@pytest.mark.matrix
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.id)
+def test_fault_scenario(scenario: Scenario):
+    cluster, fixd, result = run_scenario(scenario)
+    scroll = fixd.scroll
+
+    # --- detection -----------------------------------------------------
+    if scenario.fault == "crash":
+        assert scroll.of_kind(ActionKind.CRASH), "crash not recorded on the Scroll"
+        assert scroll.of_kind(ActionKind.RECOVER), "recovery not recorded on the Scroll"
+    elif scenario.fault == "drop":
+        assert scroll.of_kind(ActionKind.DROP), "drop not recorded on the Scroll"
+    elif scenario.fault == "duplicate":
+        assert scroll.of_kind(ActionKind.DUPLICATE), "duplicate not recorded on the Scroll"
+    if scenario.fault in ("drop", "duplicate", "delay"):
+        hits = cluster.fault_engine.hit_counts()
+        assert sum(hits.values()) >= 1, "injected message-fault rule never fired"
+    if scenario.expect_violation:
+        assert fixd.detector.fault_count >= 1, "provoked violation was not detected"
+
+    # --- reporting -----------------------------------------------------
+    report_text = incident_report(scenario.plan, scroll, result)
+    assert "Injected faults" in report_text and "Observed on the Scroll" in report_text
+    assert f"{scenario.fault if scenario.fault != 'delay' else 'crash'}:" in report_text
+    if scenario.expect_violation:
+        assert fixd.reports, "no FixD bug report for the provoked violation"
+        bug_text = fixd.reports[0].bug_report.to_text()
+        assert fixd.reports[0].fault.invariant in bug_text
+        assert fixd.reports[0].bug_report.scroll_tail
+
+    # --- recovery / consistency ---------------------------------------
+    states = _states(cluster)
+    assert scenario.consistent(states), f"final state inconsistent: {states}"
+    for pid in scenario.recovering:
+        assert not cluster.process(pid).crashed, f"{pid} did not recover"
+    if scenario.expect_violation:
+        assert all(report.handled for report in fixd.reports)
+        assert all(
+            report.rollback is not None and report.rollback.restored_pids
+            for report in fixd.reports
+        )
+        assert result.ok, "violations should have been handled by FixD"
+
+    # every scenario exercises the tiered Scroll in integration
+    assert scroll.is_tiered
+    if len(scroll) > MATRIX_RECORDING.hot_window:
+        assert scroll.spill_watermark > 0
+
+
+@pytest.mark.matrix
+def test_matrix_covers_all_apps_and_faults():
+    """The matrix itself must stay complete: 6 apps × 4 fault types."""
+    apps = {scenario.app for scenario in SCENARIOS}
+    faults = {scenario.fault for scenario in SCENARIOS}
+    assert len(apps) == 6
+    assert faults == {"crash", "drop", "duplicate", "delay"}
+    assert len(SCENARIOS) >= 20
+    assert len({scenario.id for scenario in SCENARIOS}) == len(SCENARIOS)

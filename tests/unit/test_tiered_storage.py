@@ -1,0 +1,324 @@
+"""Tiered Scroll storage: segment store, spill behaviour, truncation, vt fast path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fixd import FixD, FixDConfig
+from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.dsim.message import Message
+from repro.scroll.entry import ActionKind, ScrollEntry
+from repro.scroll.interceptor import InterceptionMode, RecordingPolicy
+from repro.scroll.recorder import ScrollRecorder
+from repro.scroll.scroll import Scroll
+from repro.scroll.storage import SegmentStore
+from repro.timemachine.time_machine import TimeMachine
+
+from tests.conftest import BoundedCounterBuggy, PingPong, RandomWorker, make_cluster
+
+
+def make_entries(n: int, pids: int = 3):
+    entries = []
+    for index in range(n):
+        pid = f"p{index % pids}"
+        kind = [ActionKind.SEND, ActionKind.RECEIVE, ActionKind.RANDOM][index % 3]
+        if kind is ActionKind.RANDOM:
+            detail = {"method": "random", "value": index / 7.0}
+        else:
+            detail = {
+                "message": {
+                    "msg_id": index,
+                    "src": pid,
+                    "dst": "p0",
+                    "kind": "X",
+                    "payload": index,
+                }
+            }
+        entries.append(ScrollEntry(pid=pid, kind=kind, time=index * 0.25, detail=detail))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# SegmentStore
+# ----------------------------------------------------------------------
+class TestSegmentStore:
+    def test_round_trip_point_and_range_reads(self, tmp_path):
+        entries = make_entries(40)
+        store = SegmentStore(tmp_path / "segs")
+        store.append_segment(entries[:25])
+        store.append_segment(entries[25:])
+        assert len(store) == 40
+        assert store.get(0) == entries[0]
+        assert store.get(39) == entries[39]
+        assert store.get_many(range(10, 30)) == entries[10:30]
+        assert list(store.iter_range(0, 40)) == entries
+        assert list(store.iter_range(20, 28)) == entries[20:28]
+        assert store.segment_count() == 2
+        assert store.disk_bytes() > 0
+
+    def test_empty_segment_rejected(self, tmp_path):
+        store = SegmentStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.append_segment([])
+
+    def test_lru_cache_bounds_and_hits(self, tmp_path):
+        entries = make_entries(20)
+        store = SegmentStore(tmp_path, cache_size=4)
+        store.append_segment(entries)
+        for position in range(8):
+            store.get(position)
+        assert store.stats()["cache_entries"] == 4
+        before = store.cache_hits
+        store.get(7)  # most recent — must be a hit
+        assert store.cache_hits == before + 1
+
+    def test_truncate_drops_segments_and_index(self, tmp_path):
+        entries = make_entries(30)
+        store = SegmentStore(tmp_path / "t")
+        first = store.append_segment(entries[:10])
+        second = store.append_segment(entries[10:20])
+        third = store.append_segment(entries[20:])
+        assert store.truncate(15) == 15
+        assert len(store) == 15
+        # whole segment past the cut is unlinked; boundary file remains
+        assert not third.path.exists()
+        assert second.path.exists() and first.path.exists()
+        assert list(store.iter_range(0, 15)) == entries[:15]
+        with pytest.raises(IndexError):
+            store.get(15)
+        # appending after a truncate keeps positions contiguous
+        store.append_segment(entries[15:18])
+        assert store.get_many([14, 15, 16, 17]) == entries[14:18]
+
+    def test_owned_tempdir_is_cleaned_on_close(self):
+        store = SegmentStore()
+        directory = store.directory
+        store.append_segment(make_entries(5))
+        assert directory.exists()
+        store.close()
+        assert not directory.exists()
+
+
+# ----------------------------------------------------------------------
+# tiered Scroll
+# ----------------------------------------------------------------------
+class TestTieredScroll:
+    def test_spills_past_hot_window_and_preserves_queries(self, tmp_path):
+        entries = make_entries(400)
+        memory = Scroll(entries)
+        tiered = Scroll(entries, hot_window=64, storage_dir=tmp_path / "cold")
+        assert tiered.is_tiered
+        assert tiered.spill_watermark > 0
+        assert tiered.hot_entries <= 64
+        assert len(tiered) == len(memory) == 400
+        for pid in ("p0", "p1", "p2"):
+            assert tiered.entries_for(pid) == memory.entries_for(pid)
+            assert tiered.received_messages(pid) == memory.received_messages(pid)
+            assert tiered.random_outcomes(pid) == memory.random_outcomes(pid)
+            assert list(tiered.iter_entries_for(pid, batch=17)) == memory.entries_for(pid)
+        assert tiered.of_kind(ActionKind.SEND) == memory.of_kind(ActionKind.SEND)
+        assert tiered.nondeterministic() == memory.nondeterministic()
+        assert tiered.between(3.0, 77.0) == memory.between(3.0, 77.0)
+        assert list(tiered) == entries
+        assert tiered.entries == memory.entries
+        assert tiered[0] == entries[0] and tiered[-1] == entries[-1]
+        assert tiered[10:50] == entries[10:50]
+        assert tiered.last_entry("p1") == memory.last_entry("p1")
+
+    def test_resident_memory_tracks_hot_window(self, tmp_path):
+        entries = make_entries(2000)
+        memory = Scroll(entries)
+        tiered = Scroll(entries, hot_window=200, storage_dir=tmp_path / "cold")
+        assert memory.resident_bytes() / tiered.resident_bytes() >= 4.0
+
+    def test_truncate_inside_hot_tier(self):
+        entries = make_entries(100)
+        tiered = Scroll(entries, hot_window=60)
+        oracle = Scroll(entries[:80])
+        assert tiered.truncate(80) == 20
+        assert list(tiered) == list(oracle)
+        assert tiered.counts_by_kind() == oracle.counts_by_kind()
+
+    def test_truncate_into_cold_tier_then_append(self):
+        entries = make_entries(300)
+        tiered = Scroll(entries, hot_window=32)
+        assert tiered.spill_watermark > 40
+        tiered.truncate(40)
+        oracle = Scroll(entries[:40])
+        assert list(tiered) == list(oracle)
+        for entry in entries[40:90]:
+            tiered.append(entry)
+            oracle.append(entry)
+        assert list(tiered) == list(oracle)
+        assert tiered.entries_for("p2") == oracle.entries_for("p2")
+        assert tiered.pids() == oracle.pids()
+
+    def test_interleaved_iterators_share_segment_handles_safely(self):
+        """Two live iterators over the same spilled segments must not corrupt
+        each other's stream (the per-segment file handle is shared)."""
+        entries = make_entries(50)
+        tiered = Scroll(entries, hot_window=4)
+        assert tiered.entries == tiered.entries  # two interleaved iterations
+        paired = list(zip(iter(tiered), iter(tiered)))
+        assert paired == [(entry, entry) for entry in entries]
+        # a cache-missing point read in the middle of an iteration
+        tiered._store.clear_cache()
+        seen = []
+        for index, entry in enumerate(tiered):
+            if index % 7 == 0:
+                tiered[index // 2]  # interleaved point get on the same segments
+            seen.append(entry)
+        assert seen == entries
+
+    def test_iteration_survives_appends_that_spill(self):
+        """Appending (and spilling) mid-iteration must never skip existing
+        entries — recording while saving is a supported pattern."""
+        entries = make_entries(16)
+        tiered = Scroll(entries[:10], hot_window=4)
+        extra = iter(entries[10:])
+        seen = []
+        for index, entry in enumerate(tiered._iter_tiered(chunk=2)):
+            seen.append(entry)
+            if index == 3:
+                for late in extra:  # six appends -> at least one spill
+                    tiered.append(late)
+        assert seen == entries
+
+    def test_iteration_survives_first_spill_mid_iteration(self):
+        """Even a tiered Scroll that has not spilled yet must iterate
+        append-safely: the FIRST spill shifts the hot list."""
+        entries = make_entries(16)
+        tiered = Scroll(entries[:8], hot_window=10)  # tiered, nothing spilled yet
+        assert tiered.spill_watermark == 0
+        seen = []
+        appended = False
+        for entry in tiered:
+            seen.append(entry)
+            if not appended:
+                appended = True
+                for late in entries[8:]:  # pushes past the window -> first spill
+                    tiered.append(late)
+        assert seen == entries
+
+    def test_storage_stats_shape(self):
+        tiered = Scroll(make_entries(100), hot_window=10)
+        stats = tiered.storage_stats()
+        assert stats["tiered"] and stats["entries"] == 100
+        assert stats["spilled_entries"] + stats["hot_entries"] == 100
+        assert stats["store"]["segments"] >= 1
+
+    def test_hot_window_validation(self):
+        with pytest.raises(ValueError):
+            Scroll(hot_window=0)
+
+
+# ----------------------------------------------------------------------
+# recorder: tiered construction + vector timestamps in the hook payload
+# ----------------------------------------------------------------------
+class TestRecorderFastPath:
+    def test_policy_hot_window_builds_tiered_scroll(self):
+        recorder = ScrollRecorder(policy=RecordingPolicy(hot_window=128))
+        assert recorder.scroll.is_tiered
+
+    def test_recorder_uses_payload_vt_without_process_lookup(self, monkeypatch):
+        recorder = ScrollRecorder()
+
+        def boom(pid):  # the slow path must not run when vt is carried
+            raise AssertionError("_vt_of consulted despite vt in payload")
+
+        monkeypatch.setattr(recorder, "_vt_of", boom)
+        cluster = make_cluster({"r0": RandomWorker, "r1": RandomWorker}, seed=3)
+        cluster.add_hook(recorder)
+        cluster.run(max_events=200)
+        recorded = recorder.scroll
+        assert len(recorded) > 0
+        vt_kinds = (ActionKind.SEND, ActionKind.RECEIVE, ActionKind.RANDOM, ActionKind.TIMER)
+        assert all(entry.vt is not None for entry in recorded.of_kind(*vt_kinds))
+
+    def test_fallback_vt_lookup_still_works(self):
+        recorder = ScrollRecorder()
+        message = Message(src="a", dst="b", kind="X", payload=1)
+        recorder.on_send("a", message, 1.0)  # no vt, no cluster -> vt stays None
+        assert recorder.scroll.last_entry().vt is None
+
+    def test_violation_entries_carry_vt(self):
+        recorder = ScrollRecorder()
+        cluster = make_cluster(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy},
+            seed=2,
+            halt_on_violation=False,
+        )
+        cluster.add_hook(recorder)
+        cluster.run(max_events=40)
+        violations = recorder.scroll.violations()
+        assert violations and all(entry.vt is not None for entry in violations)
+
+
+# ----------------------------------------------------------------------
+# checkpoints record the spill watermark; rollback truncates both tiers
+# ----------------------------------------------------------------------
+class TestRollbackTruncation:
+    def _run_with_recorder(self, hot_window=None):
+        policy = RecordingPolicy(InterceptionMode.SYSCALL, hot_window=hot_window)
+        recorder = ScrollRecorder(policy=policy)
+        cluster = make_cluster({"p0": PingPong, "p1": PingPong}, seed=1)
+        cluster.add_hook(recorder)
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.run()
+        return cluster, recorder.scroll, time_machine
+
+    def test_checkpoints_stamp_scroll_position(self):
+        _, scroll, time_machine = self._run_with_recorder()
+        positions = [
+            checkpoint.extra.get("scroll_position")
+            for pid in time_machine.store.pids()
+            for checkpoint in time_machine.store.log_for(pid)
+        ]
+        assert positions and all(p is not None for p in positions)
+        assert max(positions) <= len(scroll)
+        line_position = time_machine.latest_recovery_line().scroll_position()
+        assert line_position is not None
+
+    def test_rollback_truncates_both_tiers(self):
+        cluster, scroll, time_machine = self._run_with_recorder(hot_window=4)
+        assert scroll.spill_watermark > 0
+        line = time_machine.latest_recovery_line()
+        expected = line.scroll_position()
+        before = len(scroll)
+        result = time_machine.rollback_to(line, truncate_scroll=True)
+        assert result.scroll_entries_truncated == before - expected
+        assert len(scroll) == expected
+        assert cluster.scroll is scroll
+
+    def test_rollback_without_flag_keeps_scroll(self):
+        _, scroll, time_machine = self._run_with_recorder()
+        before = len(scroll)
+        result = time_machine.rollback_to(time_machine.latest_recovery_line())
+        assert result.scroll_entries_truncated == 0
+        assert len(scroll) == before
+
+    def test_fixd_truncates_after_report_assembly(self):
+        cluster = make_cluster(
+            {"c0": BoundedCounterBuggy, "c1": BoundedCounterBuggy},
+            seed=2,
+            halt_on_violation=False,
+        )
+        fixd = FixD(
+            FixDConfig(
+                investigate_on_fault=False,
+                max_faults_handled=1,
+                truncate_scroll_on_rollback=True,
+            )
+        )
+        fixd.attach(cluster)
+        cluster.run(max_events=60)
+        assert fixd.reports
+        report = fixd.reports[0]
+        assert report.rollback is not None
+        assert report.rollback.scroll_entries_truncated > 0
+        # the report's tail was captured before truncation
+        assert report.bug_report.scroll_tail
+        assert len(fixd.scroll) <= report.rollback.recovery_line.scroll_position() + len(
+            fixd.scroll.entries_for("c0")
+        )
