@@ -1,11 +1,12 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: verify tier1 tier1-core matrix bench-smoke bench test-all
+.PHONY: verify tier1 tier1-core matrix parity bench-smoke bench test-all
 
-## The one-command gate: core tests, the fault matrix, benchmark smoke —
-## each exactly once (tier1-core deselects what the later steps own).
-verify: tier1-core matrix bench-smoke
+## The one-command gate: core tests, the fault matrix, backend parity,
+## benchmark smoke — each exactly once (tier1-core deselects what the
+## later steps own).
+verify: tier1-core matrix parity bench-smoke
 
 ## The plain default suite (what CI and `pytest -x -q` run): includes the
 ## matrix and the in-process bench smoke test.
@@ -13,11 +14,15 @@ tier1:
 	python -m pytest -x -q
 
 tier1-core:
-	python -m pytest -x -q -m "not slow and not matrix" \
+	python -m pytest -x -q -m "not slow and not matrix and not parity" \
 		--ignore=tests/integration/test_bench_smoke.py
 
 matrix:
 	python -m pytest -m matrix -q
+
+## Every demo app on both substrates (simulator + real processes).
+parity:
+	python -m pytest -m parity -q
 
 bench-smoke:
 	python benchmarks/run_bench.py --quick --check

@@ -43,6 +43,9 @@ from hotpath_baselines import (  # noqa: E402
     interleaved_ns_per_op,
 )
 
+from repro.apps.wordcount import build_wordcount_burst_cluster, expected_counts  # noqa: E402
+from repro.dsim.backend import MPBackend, MPBackendOptions  # noqa: E402
+from repro.dsim.cluster import Cluster, ClusterConfig  # noqa: E402
 from repro.dsim.process import Process, handler  # noqa: E402
 from repro.dsim.scheduler import EventKind, Scheduler  # noqa: E402
 from repro.scroll.entry import ActionKind, ScrollEntry  # noqa: E402
@@ -298,6 +301,62 @@ def measure_scroll_spill(
 
 
 # ----------------------------------------------------------------------
+# multiprocessing transport: batched vs per-message pipe writes
+# ----------------------------------------------------------------------
+def measure_mp_batching(
+    workers: int = 4, chunks: int = 360, words_per_chunk: int = 12, seed: int = 3
+) -> Dict[str, float]:
+    """Pipe writes and wall time for a heavy-traffic wordcount on real processes.
+
+    Runs the burst-dispatching wordcount twice on the ``mp`` backend:
+    once with the batched transport (workers flush at the watermark, the
+    router writes one batch per destination per tick) and once degraded
+    to one pickled pipe write per message — the pre-batching behaviour.
+    Both runs must aggregate the full corpus to the exact expected
+    counts; the guarded metric is ``pipe_write_reduction`` (acceptance
+    floor 2x), with wall-clock reported alongside.
+    """
+    import time as wall_clock
+
+    def run(batched: bool):
+        options = MPBackendOptions(
+            time_scale=0.01,
+            flush_watermark=64 if batched else 1,
+            batch_deliveries=batched,
+        )
+        backend = MPBackend(options)
+        cluster = Cluster(ClusterConfig(seed=seed), backend=backend)
+        build_wordcount_burst_cluster(
+            cluster, workers=workers, chunks=chunks, words_per_chunk=words_per_chunk
+        )
+        began = wall_clock.perf_counter()
+        result = cluster.run(until=1000.0)
+        wall = wall_clock.perf_counter() - began
+        master = result.process_states.get("master", {})
+        complete = (
+            master.get("aggregated") == chunks
+            and master.get("counts") == expected_counts(chunks, words_per_chunk)
+        )
+        return wall, backend.transport_stats, complete
+
+    batched_wall, batched_stats, batched_ok = run(True)
+    unbatched_wall, unbatched_stats, unbatched_ok = run(False)
+    return {
+        "workers": workers,
+        "chunks": chunks,
+        "messages": batched_stats["messages_routed"],
+        "pipe_writes_batched": batched_stats["pipe_writes"],
+        "pipe_writes_unbatched": unbatched_stats["pipe_writes"],
+        "pipe_write_reduction": unbatched_stats["pipe_writes"] / batched_stats["pipe_writes"],
+        "max_batch": batched_stats["max_batch"],
+        "wall_batched_s": batched_wall,
+        "wall_unbatched_s": unbatched_wall,
+        "wall_speedup": unbatched_wall / batched_wall,
+        "results_complete": batched_ok and unbatched_ok,
+    }
+
+
+# ----------------------------------------------------------------------
 # profiles and the regression guard
 # ----------------------------------------------------------------------
 def run_profile(profile: str) -> Dict[str, Dict[str, float]]:
@@ -310,12 +369,14 @@ def run_profile(profile: str) -> Dict[str, Dict[str, float]]:
             ),
             "cow_capture_dirty_pages": measure_cow(keys=100, captures=20),
             "scroll_spill_replay": measure_scroll_spill(n=20_000, pids=10, repeats=2),
+            "mp_batching": measure_mp_batching(workers=2, chunks=120),
         }
     return {
         "scroll_per_pid_queries": measure_scroll(),
         "scheduler_drain_cancellations": measure_scheduler(),
         "cow_capture_dirty_pages": measure_cow(),
         "scroll_spill_replay": measure_scroll_spill(),
+        "mp_batching": measure_mp_batching(),
     }
 
 
@@ -332,6 +393,7 @@ GUARDED_METRICS: List[Tuple[str, str, str, float]] = [
     ("cow_capture_dirty_pages", "hash_reduction", "higher", 10.0),
     ("scroll_spill_replay", "memory_reduction", "higher", 5.0),
     ("scroll_spill_replay", "replay_slowdown", "lower", 1.6),
+    ("mp_batching", "pipe_write_reduction", "higher", 2.0),
 ]
 
 
@@ -372,6 +434,9 @@ def check_against(
     cow = current.get("cow_capture_dirty_pages", {})
     if cow and not cow.get("restore_ok", True):
         failures.append("cow_capture_dirty_pages: restore mismatch")
+    batching = current.get("mp_batching", {})
+    if batching and not batching.get("results_complete", True):
+        failures.append("mp_batching: a run failed to aggregate the full corpus")
     return failures
 
 

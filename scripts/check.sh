@@ -1,9 +1,31 @@
 #!/usr/bin/env bash
-# One-command verification. Delegates to `make verify` so the gate
-# pipeline (core tests, fault-scenario matrix, benchmark smoke) has a
-# single source of truth in the Makefile.
+# One-command verification: API boundary guard + the Makefile gate
+# pipeline (core tests, fault-scenario matrix, backend parity,
+# benchmark smoke).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# ----------------------------------------------------------------------
+# API boundary guard: repro.dsim.mp_backend is a deprecated internal
+# shim.  The sanctioned multiprocessing surface is the unified backend
+# (`Cluster(..., backend="mp")` / repro.dsim.backend.MPBackend), so any
+# import of the shim outside src/repro/dsim/ is an accidental boundary
+# violation.  A line may opt out with a trailing `# legacy-shim-ok`
+# marker (used only by the shim's own regression test).
+# ----------------------------------------------------------------------
+violations=$(grep -rn --include='*.py' -E \
+    '(from|import)[[:space:]]+repro\.dsim\.mp_backend|from[[:space:]]+repro\.dsim[[:space:]]+import[[:space:]].*mp_backend|import_module\([^)]*mp_backend' \
+    src tests benchmarks examples 2>/dev/null \
+    | grep -v '^src/repro/dsim/' \
+    | grep -v 'legacy-shim-ok' || true)
+if [[ -n "$violations" ]]; then
+    echo "API boundary violation: repro.dsim.mp_backend imported outside src/repro/dsim/" >&2
+    echo "Use Cluster(..., backend=\"mp\") or repro.dsim.backend.MPBackend instead:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "boundary guard: no mp_backend imports outside dsim/"
+
 if ! command -v make >/dev/null 2>&1; then
     echo "scripts/check.sh requires make; run the Makefile 'verify' steps manually:" >&2
     grep -A2 '^verify:' Makefile >&2

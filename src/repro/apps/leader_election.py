@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.dsim.message import Message
-from repro.dsim.process import Process, handler, invariant, timer_handler
+from repro.dsim.process import ConfiguredFactory, Process, handler, invariant, timer_handler
 
 
 class RingElector(Process):
@@ -121,6 +121,6 @@ def elected_leader(states: Dict[str, Dict[str, Any]]) -> Optional[int]:
 
 def build_election_ring(cluster, nodes: int = 4) -> None:
     """Convenience wiring for an election ring of ``nodes`` processes."""
-    RingElector.ring_size = nodes
+    RingElector.ring_size = nodes  # kept for code constructing the class directly
     for index in range(nodes):
-        cluster.add_process(f"elector{index}", RingElector)
+        cluster.add_process(f"elector{index}", ConfiguredFactory(RingElector, ring_size=nodes))

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.dsim.message import Message
-from repro.dsim.process import Process, handler, invariant, timer_handler
+from repro.dsim.process import ConfiguredFactory, Process, handler, invariant, timer_handler
 
 
 class TokenRingNode(Process):
@@ -125,7 +125,10 @@ def mutual_exclusion_invariant(states: Dict[str, Dict[str, Any]]) -> bool:
 
 def build_token_ring(cluster, nodes: int = 3, node_class=TokenRingNode, max_rounds: int = 5) -> None:
     """Convenience wiring for a ring of ``nodes`` processes."""
-    node_class.ring_size = nodes
+    node_class.ring_size = nodes  # kept for code constructing the class directly
     node_class.max_rounds = max_rounds
     for index in range(nodes):
-        cluster.add_process(f"node{index}", node_class)
+        cluster.add_process(
+            f"node{index}",
+            ConfiguredFactory(node_class, ring_size=nodes, max_rounds=max_rounds),
+        )

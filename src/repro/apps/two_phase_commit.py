@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.dsim.message import Message
-from repro.dsim.process import Process, handler, invariant, timer_handler
+from repro.dsim.process import ConfiguredFactory, Process, handler, invariant, timer_handler
 
 
 class Coordinator(Process):
@@ -204,7 +204,7 @@ def atomicity_invariant(states: Dict[str, Dict[str, Any]]) -> bool:
 
 def build_2pc_cluster(cluster, participants: int = 3, transactions: int = 2) -> None:
     """Convenience wiring: one coordinator plus N (correct) participants."""
-    Coordinator.transactions = transactions
-    cluster.add_process("coordinator", Coordinator)
+    Coordinator.transactions = transactions  # kept for code constructing the class directly
+    cluster.add_process("coordinator", ConfiguredFactory(Coordinator, transactions=transactions))
     for index in range(participants):
         cluster.add_process(f"participant{index}", Participant)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from repro.dsim.message import Message
-from repro.dsim.process import Process, handler, invariant, timer_handler
+from repro.dsim.process import ConfiguredFactory, Process, handler, invariant, timer_handler
 
 #: A small deterministic corpus generator (no file I/O needed).
 _WORDS = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta")
@@ -107,6 +107,30 @@ class WordCountWorker(Process):
         return self.state["words_seen"] >= self.state["chunks_processed"]
 
 
+class WordCountBurstMaster(WordCountMaster):
+    """Dispatches the whole corpus in one burst instead of one chunk per tick.
+
+    This is the heavy-traffic profile used by the multiprocessing
+    batching benchmark and the backend-parity suite: a single handler
+    emits ``chunks`` messages back to back, which is exactly the shape
+    the batched pipe transport amortizes (one pickled write per
+    destination instead of one per message).  The aggregation protocol
+    and all invariants are inherited unchanged.
+    """
+
+    @timer_handler("dispatch")
+    def dispatch(self, payload: Any) -> None:
+        workers = self._workers()
+        if not workers:
+            return
+        corpus = generate_corpus(self.chunks, self.words_per_chunk)
+        while self.state["pending_chunks"]:
+            chunk_id = self.state["pending_chunks"].pop(0)
+            worker = workers[chunk_id % len(workers)]
+            self.send(worker, "COUNT", {"chunk_id": chunk_id, "words": corpus[chunk_id]})
+            self.state["dispatched"] += 1
+
+
 def expected_counts(chunks: int, words_per_chunk: int = 20) -> Dict[str, int]:
     """Ground-truth word counts for the generated corpus (used by tests)."""
     counts: Dict[str, int] = {}
@@ -118,7 +142,19 @@ def expected_counts(chunks: int, words_per_chunk: int = 20) -> Dict[str, int]:
 
 def build_wordcount_cluster(cluster, workers: int = 3, chunks: int = 12) -> None:
     """Convenience wiring: one master plus ``workers`` workers."""
-    WordCountMaster.chunks = chunks
-    cluster.add_process("master", WordCountMaster)
+    WordCountMaster.chunks = chunks  # kept for code constructing the class directly
+    cluster.add_process("master", ConfiguredFactory(WordCountMaster, chunks=chunks))
+    for index in range(workers):
+        cluster.add_process(f"worker{index}", WordCountWorker)
+
+
+def build_wordcount_burst_cluster(
+    cluster, workers: int = 4, chunks: int = 200, words_per_chunk: int = 12
+) -> None:
+    """Heavy-traffic wiring: a burst-dispatching master plus ``workers`` workers."""
+    cluster.add_process(
+        "master",
+        ConfiguredFactory(WordCountBurstMaster, chunks=chunks, words_per_chunk=words_per_chunk),
+    )
     for index in range(workers):
         cluster.add_process(f"worker{index}", WordCountWorker)

@@ -2,10 +2,19 @@
 
 FixD's replacement for ``printf`` debugging starts here: application
 processes declare invariants (via the :func:`repro.dsim.process.invariant`
-decorator), the cluster evaluates them after every handler, and this hook
+decorator), the runtime evaluates them after every handler, and this hook
 converts failures into :class:`~repro.core.events.FaultEvent` records and
 invokes the registered responders (the FixD controller installs itself as
 one).
+
+Detection is substrate-independent: on the simulator backend the cluster
+frontend checks invariants inline after each handler; on the
+multiprocessing backend each worker checks its own process in-process
+and ships failures to the parent router, which feeds them through the
+same :meth:`on_invariant_violation` hook.  Either way the detector sees
+one stream of :class:`FaultEvent` records — what differs per backend is
+only what a responder can *do* about them (rollback needs the
+checkpoint/rollback capabilities the simulator advertises).
 """
 
 from __future__ import annotations

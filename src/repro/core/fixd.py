@@ -53,6 +53,11 @@ ProcessFactory = Callable[[], Process]
 class FixDConfig:
     """Behaviour of the FixD controller."""
 
+    #: which execution substrate :meth:`FixD.make_cluster` builds:
+    #: ``"sim"`` (deterministic simulator, full pipeline) or ``"mp"``
+    #: (real OS processes; FixD degrades to detection + reporting
+    #: because the backend advertises no checkpoint/rollback capability).
+    backend: str = "sim"
     checkpoint_policy: CheckpointPolicy = CheckpointPolicy.COMMUNICATION_INDUCED
     periodic_checkpoint_interval: int = 10
     recording_policy: RecordingPolicy = field(default_factory=RecordingPolicy)
@@ -106,6 +111,7 @@ class FixD:
         self.investigator = Investigator(self.config.investigator)
         self.reports: List[FixDReport] = []
         self._cluster = None
+        self._can_recover = True
         self._coordinator: Optional[FaultResponseCoordinator] = None
         self._healer: Optional[Healer] = None
         self._patches: List[Patch] = []
@@ -115,11 +121,42 @@ class FixD:
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
+    @staticmethod
+    def _backend_capabilities(cluster) -> frozenset:
+        backend = getattr(cluster, "backend", None)
+        return getattr(backend, "capabilities", frozenset())
+
+    def make_cluster(self, cluster_config=None):
+        """Build a cluster on the configured backend with FixD attached.
+
+        The one-call entry point for "run this application under FixD on
+        substrate X": ``FixD(FixDConfig(backend="mp")).make_cluster()``
+        yields a real-process cluster with recording and detection wired
+        up; the default yields the fully recoverable simulator.
+        """
+        from repro.dsim.cluster import Cluster
+
+        cluster = Cluster(cluster_config, backend=self.config.backend)
+        self.attach(cluster)
+        return cluster
+
     def attach(self, cluster) -> "FixD":
-        """Install the Scroll recorder, Time Machine, and fault detector on a cluster."""
+        """Install the Scroll recorder, Time Machine, and fault detector on a cluster.
+
+        What attaches depends on the backend's advertised capabilities:
+        recording and fault detection are substrate-independent, but the
+        Time Machine's checkpoint policies and the Healer need frontend
+        access to live process state, which only checkpoint-capable
+        backends (the simulator) provide.  On other substrates FixD
+        degrades gracefully to detection + bug reporting.
+        """
         self._cluster = cluster
+        capabilities = self._backend_capabilities(cluster)
         cluster.add_hook(self.recorder)
-        self.time_machine.attach(cluster)
+        self._can_recover = "checkpoint" in capabilities and "rollback" in capabilities
+        if self._can_recover:
+            self.time_machine.attach(cluster)
+            self._healer = Healer(cluster, self.time_machine)
         self.detector.add_responder(self._respond_to_fault)
         cluster.add_hook(self.detector)
         self._coordinator = FaultResponseCoordinator(
@@ -127,7 +164,6 @@ class FixD:
             model_overrides=self._model_overrides,
             environment_models=self._environment_models,
         )
-        self._healer = Healer(cluster, self.time_machine)
         return self
 
     @property
@@ -163,6 +199,8 @@ class FixD:
             return False
         if len(self.reports) >= self.config.max_faults_handled:
             return False
+        if not self._can_recover:
+            return self._report_without_recovery(fault)
 
         timeline = RecoveryTimeline()
         now = self._cluster.now
@@ -257,6 +295,34 @@ class FixD:
         )
         self.reports.append(report)
         return handled
+
+    def _report_without_recovery(self, fault: FaultEvent) -> bool:
+        """Detection + reporting on substrates without checkpoint/rollback.
+
+        Real-process backends detect violations in the workers and feed
+        them through the same hook chain, but FixD cannot assemble a
+        recovery line there — so the response is the bug-report artefact
+        alone: the fault, the Scroll tail that led to it, and a timeline
+        stating why recovery was skipped.
+        """
+        timeline = RecoveryTimeline()
+        now = self._cluster.now
+        timeline.add(now, "detect", fault.describe())
+        bug_report = BugReport(
+            fault=fault,
+            scroll_tail=BugReport.build_scroll_tail(
+                self.scroll, self._cluster.pids, self.config.scroll_tail_length
+            ),
+            timeline=timeline,
+            notes=[
+                "recovery skipped: backend "
+                f"{getattr(self._cluster.backend, 'name', '?')!r} has no "
+                "checkpoint/rollback capability"
+            ],
+        )
+        timeline.add(now, "report", "bug report assembled (detection-only substrate)")
+        self.reports.append(FixDReport(fault=fault, bug_report=bug_report, handled=False))
+        return False
 
     # ------------------------------------------------------------------
     # conveniences

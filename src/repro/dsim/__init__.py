@@ -14,16 +14,20 @@ provides the equivalent substrate in pure Python:
   partitions.
 * :mod:`repro.dsim.failure` — fault injection plans (crashes, channel
   faults, state corruption).
-* :mod:`repro.dsim.cluster` — ties processes, network, scheduler and
-  hooks together and runs the simulation.
-* :mod:`repro.dsim.mp_backend` — an optional ``multiprocessing`` backend
-  that runs the same process classes on real OS processes.
+* :mod:`repro.dsim.cluster` — the frontend: process registration, hooks,
+  failure plans and the violation policy over a pluggable backend.
+* :mod:`repro.dsim.backend` — the :class:`~repro.dsim.backend.Backend`
+  protocol with two substrates: the deterministic simulator
+  (:class:`~repro.dsim.backend.SimBackend`, the default) and real OS
+  processes over a batched pipe transport
+  (:class:`~repro.dsim.backend.MPBackend`).
 
 The FixD components attach to the simulator exclusively through the hook
 interfaces in :mod:`repro.dsim.hooks`, which keeps this substrate free of
 dependencies on the rest of the library.
 """
 
+from repro.dsim.backend import Backend, MPBackend, MPBackendOptions, SimBackend
 from repro.dsim.clock import LamportClock, VectorClock, happens_before
 from repro.dsim.cluster import Cluster, ClusterConfig, RunResult
 from repro.dsim.failure import CrashFault, FailurePlan, MessageFault, PartitionFault, StateCorruptionFault
@@ -33,6 +37,10 @@ from repro.dsim.process import Process, ProcessContext, handler
 from repro.dsim.scheduler import Event, EventKind, Scheduler
 
 __all__ = [
+    "Backend",
+    "SimBackend",
+    "MPBackend",
+    "MPBackendOptions",
     "LamportClock",
     "VectorClock",
     "happens_before",

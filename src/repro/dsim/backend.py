@@ -1,0 +1,1218 @@
+"""Pluggable execution backends: one cluster API over two substrates.
+
+The paper's FixD architecture assumes a single runtime substrate — a
+cluster of communicating POSIX processes — underneath its detection,
+reporting and recovery layers.  This module makes that substrate
+pluggable.  :class:`~repro.dsim.cluster.Cluster` is a thin frontend
+(process table, hooks, failure plan, violation policy); everything that
+actually *executes* lives behind the :class:`Backend` protocol:
+
+* :class:`SimBackend` — the deterministic discrete-event simulator
+  (scheduler + network + channels), refactored out of the old
+  monolithic ``Cluster``.  Fully deterministic, supports checkpointing,
+  rollback and in-flight message control, which is why it is the
+  substrate the Time Machine and the Investigator require.
+
+* :class:`MPBackend` — the same :class:`~repro.dsim.process.Process`
+  subclasses on real OS processes.  The parent routes messages between
+  per-worker duplex pipes and **batches** them: a worker accumulates
+  outgoing messages up to a *flush watermark* and ships them as one
+  pickled pipe write; the parent groups each routing tick's deliveries
+  per destination and writes one batch per worker.  Batches preserve
+  per-sender FIFO order and every message carries its sender's vector
+  timestamp, so recording hooks observe the same causal surface as on
+  the simulator.  Fault plans map directly: crashes/recoveries become
+  control messages, message faults and partitions are applied by the
+  parent router, state corruptions fire inside the worker.
+
+Capability flags tell the FixD layers what a backend can do, so e.g.
+checkpoint/rollback machinery attaches only where it is meaningful.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing as mp
+import pickle
+import queue as queue_module
+import sys
+import threading
+import time as wall_time
+from dataclasses import dataclass
+from multiprocessing.connection import wait as mp_wait
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dsim.channel import DeliveryOutcome
+from repro.dsim.failure import MessageFaultEngine, StateCorruptionFault
+from repro.dsim.message import Message
+from repro.dsim.network import Network
+from repro.dsim.process import ProcessContext
+from repro.dsim.rng import DeterministicRNG, derive_seed
+from repro.dsim.scheduler import Event, EventKind, Scheduler
+from repro.errors import InvariantViolation, SimulationError, UnknownProcessError
+
+#: Capability names backends may advertise.
+CAP_DETERMINISTIC = "deterministic"    # a run is a pure function of (programs, seed, plan)
+CAP_CHECKPOINT = "checkpoint"          # process state can be captured from the frontend
+CAP_ROLLBACK = "rollback"              # captured state can be restored (Time Machine)
+CAP_IN_FLIGHT = "in-flight-control"    # pending deliveries/timers can be cancelled
+CAP_REAL_PROCESSES = "real-processes"  # runs on real OS processes
+
+
+class Backend:
+    """The execution substrate behind a :class:`~repro.dsim.cluster.Cluster`.
+
+    A backend receives the frontend via :meth:`bind`, learns about
+    processes through :meth:`register_process`, and owns the whole run
+    loop in :meth:`run`.  Substrate-specific surfaces (``scheduler``,
+    ``network``) raise :class:`SimulationError` unless the backend
+    provides them, so callers fail loudly instead of silently diverging.
+    """
+
+    name = "abstract"
+    capabilities: frozenset = frozenset()
+
+    def __init__(self) -> None:
+        self._cluster = None
+
+    # -- wiring ------------------------------------------------------------
+    def bind(self, cluster) -> None:
+        """Attach the frontend; called once from ``Cluster.__init__``.
+
+        A backend instance carries run state (scheduler time, queued
+        events, transport accounting), so it belongs to exactly one
+        cluster — silently rebinding would leak one run's clock and
+        events into the next.
+        """
+        if self._cluster is not None and self._cluster is not cluster:
+            raise SimulationError(
+                f"this {self.name} backend is already bound to another cluster; "
+                "create a fresh backend instance per cluster"
+            )
+        self._cluster = cluster
+
+    @property
+    def cluster(self):
+        if self._cluster is None:
+            raise SimulationError(f"{self.name} backend is not bound to a cluster")
+        return self._cluster
+
+    def register_process(self, pid: str) -> None:
+        """A process id became known to the frontend."""
+
+    # -- substrate surfaces ------------------------------------------------
+    @property
+    def scheduler(self) -> Scheduler:
+        raise SimulationError(f"the {self.name} backend has no deterministic scheduler")
+
+    @property
+    def network(self) -> Network:
+        raise SimulationError(f"the {self.name} backend has no simulated network")
+
+    @property
+    def fault_engine(self) -> Optional[MessageFaultEngine]:
+        return None
+
+    @property
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def make_context(self, pid: str) -> ProcessContext:
+        raise SimulationError(f"the {self.name} backend cannot build frontend process contexts")
+
+    def clear_in_flight(self, pid: str) -> None:
+        raise SimulationError(
+            f"the {self.name} backend cannot cancel in-flight events "
+            f"(capability {CAP_IN_FLIGHT!r} missing)"
+        )
+
+    # -- execution ---------------------------------------------------------
+    def start(self) -> None:
+        """Prepare the run (bind contexts, install the fault plan, ``on_start``)."""
+        raise NotImplementedError
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None):
+        """Execute until quiescence or a limit; returns a ``RunResult``."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# the deterministic simulator backend
+# ----------------------------------------------------------------------
+class SimBackend(Backend):
+    """The discrete-event simulation substrate (the library's default).
+
+    This is the event loop that used to live inside ``Cluster``: a
+    deterministic scheduler orders deliveries, timers and injected
+    faults; the simulated network decides per-channel delay, loss and
+    duplication; and every observable action flows through the
+    frontend's hook chain.
+    """
+
+    name = "sim"
+    capabilities = frozenset(
+        {CAP_DETERMINISTIC, CAP_CHECKPOINT, CAP_ROLLBACK, CAP_IN_FLIGHT}
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._scheduler = Scheduler()
+        self._network: Optional[Network] = None
+        self._fault_engine: Optional[MessageFaultEngine] = None
+        self._timer_events: Dict[Tuple[str, str], List[Event]] = {}
+
+    def bind(self, cluster) -> None:
+        super().bind(cluster)
+        self._network = Network(
+            cluster.config.network, seed=derive_seed(cluster.config.seed, "network")
+        )
+
+    def register_process(self, pid: str) -> None:
+        self.network.register_process(pid)
+
+    # -- substrate surfaces ------------------------------------------------
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    @property
+    def network(self) -> Network:
+        if self._network is None:
+            raise SimulationError("sim backend is not bound to a cluster")
+        return self._network
+
+    @property
+    def fault_engine(self) -> Optional[MessageFaultEngine]:
+        return self._fault_engine
+
+    @property
+    def now(self) -> float:
+        return self._scheduler.now
+
+    # -- process context plumbing -----------------------------------------
+    def make_context(self, pid: str) -> ProcessContext:
+        cluster = self.cluster
+        all_pids = tuple(cluster.pids)  # already sorted, no dict copy
+        rng = DeterministicRNG(derive_seed(cluster.config.seed, "process", pid))
+        return ProcessContext(
+            pid=pid,
+            peers=all_pids,
+            send_fn=self._submit_message,
+            timer_fn=lambda name, delay, payload, _pid=pid: self._set_timer(
+                _pid, name, delay, payload
+            ),
+            cancel_timer_fn=lambda name, _pid=pid: self._cancel_timer(_pid, name),
+            now_fn=lambda: self._scheduler.now,
+            rng=rng,
+            record_random_fn=lambda p, method, value: cluster.hooks.on_random(
+                p, method, value, self._scheduler.now, cluster._vt_of(p)
+            ),
+            record_clock_fn=lambda p, value: cluster.hooks.on_clock_read(
+                p, value, cluster._vt_of(p)
+            ),
+            log_fn=lambda p, text: cluster._record_trace(p, "log", text),
+            scroll_position_fn=cluster.scroll_position,
+        )
+
+    # -- messaging and timers ----------------------------------------------
+    def _submit_message(self, message: Message) -> None:
+        cluster = self.cluster
+        now = self._scheduler.now
+        sender_vt = cluster._vt_of(message.src)
+        cluster.hooks.on_send(message.src, message, now, sender_vt)
+        cluster._record_trace(message.src, "send", message.describe())
+
+        fault = self._fault_engine.decide(message, now) if self._fault_engine else None
+        if fault is not None and fault.kind == "drop":
+            cluster.hooks.on_drop(message, now, sender_vt)
+            cluster._record_trace(message.src, "fault-drop", message.describe())
+            return
+
+        plans = self.network.route(message, now)
+        for outcome, deliver_at, planned in plans:
+            if outcome is DeliveryOutcome.DROP or deliver_at is None:
+                cluster.hooks.on_drop(planned, now, sender_vt)
+                cluster._record_trace(planned.src, "drop", planned.describe())
+                continue
+            if outcome is DeliveryOutcome.DUPLICATE:
+                cluster.hooks.on_duplicate(planned, now, sender_vt)
+                cluster._record_trace(planned.src, "duplicate", planned.describe())
+            if fault is not None and fault.kind == "delay":
+                deliver_at += fault.extra_delay
+            if fault is not None and fault.kind == "duplicate":
+                copy = planned.as_duplicate()
+                cluster.hooks.on_duplicate(copy, now, sender_vt)
+                self._scheduler.schedule_at(deliver_at, EventKind.DELIVER, copy.dst, copy)
+            self._scheduler.schedule_at(deliver_at, EventKind.DELIVER, planned.dst, planned)
+
+    def _set_timer(self, pid: str, name: str, delay: float, payload: Any) -> None:
+        event = self._scheduler.schedule(delay, EventKind.TIMER, pid, (name, payload))
+        self._timer_events.setdefault((pid, name), []).append(event)
+
+    def _cancel_timer(self, pid: str, name: str) -> None:
+        for event in self._timer_events.pop((pid, name), []):
+            self._scheduler.cancel(event)
+
+    def clear_in_flight(self, pid: str) -> None:
+        self._scheduler.cancel_for_target(pid)
+        self._timer_events = {
+            key: events for key, events in self._timer_events.items() if key[0] != pid
+        }
+
+    # -- fault plan materialisation ----------------------------------------
+    def _install_failure_plan(self) -> None:
+        plan = self.cluster.failure_plan
+        self._fault_engine = MessageFaultEngine(plan.message_faults)
+        for crash in plan.crashes:
+            self._scheduler.schedule_at(crash.at, EventKind.CRASH, crash.pid, crash)
+            if crash.recover_at is not None:
+                self._scheduler.schedule_at(crash.recover_at, EventKind.RECOVER, crash.pid, crash)
+        for partition in plan.partitions:
+            self.network.add_partition(partition.to_partition())
+        for corruption in plan.corruptions:
+            self._scheduler.schedule_at(corruption.at, EventKind.CORRUPT, corruption.pid, corruption)
+
+    # -- run loop ----------------------------------------------------------
+    def start(self) -> None:
+        cluster = self.cluster
+        if cluster._started:
+            return
+        cluster._started = True
+        self._install_failure_plan()
+        processes = cluster.processes()
+        for pid in sorted(processes):
+            processes[pid].bind(self.make_context(pid))
+        cluster.hooks.on_run_start(self._scheduler.now)
+        for pid in sorted(processes):
+            processes[pid].on_start()
+            cluster._after_handler(pid, "on_start")
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None):
+        from repro.dsim.cluster import RunResult
+
+        cluster = self.cluster
+        self.start()
+        config = cluster.config
+        time_limit = min(until if until is not None else config.max_time, config.max_time)
+        event_limit = min(
+            max_events if max_events is not None else config.max_events, config.max_events
+        )
+        executed = 0
+        reason = "quiescent"
+        while not cluster._halted:
+            if executed >= event_limit:
+                reason = "event-limit"
+                break
+            next_time = self._scheduler.peek_time()
+            if next_time is None:
+                reason = "quiescent"
+                break
+            if next_time > time_limit:
+                reason = "time-limit"
+                break
+            event = self._scheduler.pop_next()
+            if event is None:
+                reason = "quiescent"
+                break
+            self._execute(event)
+            executed += 1
+        if cluster._halted:
+            reason = cluster._halt_reason or "halted"
+        for process in cluster.processes().values():
+            if not process.crashed:
+                process.on_stop()
+        cluster.hooks.on_run_end(self._scheduler.now)
+        return RunResult(
+            events_executed=executed,
+            final_time=self._scheduler.now,
+            stopped_reason=reason,
+            violations=list(cluster._violations),
+            network_stats=self.network.stats,
+            process_states={pid: dict(p.state) for pid, p in cluster.processes().items()},
+            trace=list(cluster._trace),
+        )
+
+    # -- event execution ---------------------------------------------------
+    def _execute(self, event: Event) -> None:
+        if event.kind is EventKind.DELIVER:
+            self._execute_delivery(event)
+        elif event.kind is EventKind.TIMER:
+            self._execute_timer(event)
+        elif event.kind is EventKind.CRASH:
+            self._execute_crash(event)
+        elif event.kind is EventKind.RECOVER:
+            self._execute_recover(event)
+        elif event.kind is EventKind.CORRUPT:
+            self._execute_corruption(event)
+        elif event.kind is EventKind.CONTROL:
+            callback = event.payload
+            if callable(callback):
+                callback()
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {event.kind!r}")
+
+    def _execute_delivery(self, event: Event) -> None:
+        cluster = self.cluster
+        message: Message = event.payload
+        process = cluster.process(event.target)
+        if process.crashed:
+            cluster._record_trace(event.target, "dead-letter", message.describe())
+            return
+        now = self._scheduler.now
+        cluster.hooks.before_receive(event.target, message, now)
+        cluster._record_trace(event.target, "receive", message.describe())
+        process.deliver(message)
+        cluster.hooks.on_receive(event.target, message, now, process.vector_timestamp)
+        cluster._after_handler(event.target, f"deliver {message.kind}")
+
+    def _execute_timer(self, event: Event) -> None:
+        cluster = self.cluster
+        name, payload = event.payload
+        process = cluster.process(event.target)
+        if process.crashed:
+            return
+        cluster.hooks.on_timer(event.target, name, self._scheduler.now, process.vector_timestamp)
+        cluster._record_trace(event.target, "timer", name)
+        process.fire_timer(name, payload)
+        cluster._after_handler(event.target, f"timer {name}")
+
+    def _execute_crash(self, event: Event) -> None:
+        cluster = self.cluster
+        process = cluster.process(event.target)
+        if process.crashed:
+            return
+        process.mark_crashed()
+        # Cancel the crashed process's deliveries and timers, but leave any
+        # scheduled RECOVER event in place so the process can come back.
+        self._scheduler.cancel_for_target(event.target, EventKind.DELIVER)
+        self._scheduler.cancel_for_target(event.target, EventKind.TIMER)
+        self._timer_events = {
+            key: events for key, events in self._timer_events.items() if key[0] != event.target
+        }
+        cluster.hooks.on_crash(event.target, self._scheduler.now, process.vector_timestamp)
+        cluster._record_trace(event.target, "crash", "process crashed")
+
+    def _execute_recover(self, event: Event) -> None:
+        cluster = self.cluster
+        process = cluster.process(event.target)
+        if not process.crashed:
+            return
+        process.mark_recovered()
+        cluster.hooks.on_recover(event.target, self._scheduler.now, process.vector_timestamp)
+        cluster._record_trace(event.target, "recover", "process recovered")
+        cluster._after_handler(event.target, "on_recover")
+
+    def _execute_corruption(self, event: Event) -> None:
+        cluster = self.cluster
+        fault: StateCorruptionFault = event.payload
+        process = cluster.process(event.target)
+        if process.crashed:
+            return
+        fault.mutator(process.state)
+        cluster.hooks.on_corruption(
+            event.target, fault.description, self._scheduler.now, process.vector_timestamp
+        )
+        cluster._record_trace(event.target, "corrupt", fault.description)
+        cluster._after_handler(event.target, "corruption")
+
+
+# ----------------------------------------------------------------------
+# the multiprocessing backend: real OS processes, batched pipe transport
+# ----------------------------------------------------------------------
+@dataclass
+class MPBackendOptions:
+    """Tuning knobs of the multiprocessing substrate.
+
+    Attributes
+    ----------
+    time_scale:
+        Wall-clock seconds per simulated time unit.  Application timers
+        and fault-plan times are expressed in simulated units on both
+        backends; the workers convert them with this factor, so a plan
+        written for the simulator injects at the equivalent wall moment.
+    flush_watermark:
+        A worker flushes its outgoing batch once it holds this many
+        messages (it also flushes whenever it goes idle, so the
+        watermark bounds batch size, not latency).  ``1`` degenerates to
+        one pipe write per message — the pre-batching behaviour, kept
+        reachable for the batching benchmark's baseline.
+    batch_deliveries:
+        When true (default) the parent groups one routing tick's
+        deliveries per destination worker and writes one batch per
+        worker; when false it writes one message per pipe write.
+    max_batch_messages:
+        Upper bound on messages per parent batch write; very large
+        bursts are split so a single pipe write stays well under the OS
+        pipe buffer (both sides always drain eagerly, this is the
+        belt-and-braces bound).
+    max_wall_seconds:
+        Hard wall-clock cap on a run, protecting the test suite from a
+        quiescence-detection bug or a livelocked application.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` on Linux
+        (cheap worker startup, no pickling of factories) and ``spawn``
+        everywhere else — including macOS, where CPython deliberately
+        stopped defaulting to fork (unsafe under ObjC/CoreFoundation).
+        Under ``spawn``, configure processes via
+        picklable factories that set *instance* attributes
+        (:class:`repro.dsim.process.ConfiguredFactory`, which the demo
+        app builders use) — mutating class attributes in the parent does
+        not cross the spawn boundary.
+    """
+
+    time_scale: float = 0.02
+    flush_watermark: int = 64
+    batch_deliveries: bool = True
+    max_batch_messages: int = 128
+    max_wall_seconds: float = 30.0
+    start_method: Optional[str] = None
+
+    def resolved_start_method(self) -> str:
+        if self.start_method:
+            return self.start_method
+        if sys.platform.startswith("linux") and "fork" in mp.get_all_start_methods():
+            return "fork"
+        return "spawn"
+
+
+def _mp_worker_main(
+    pid: str,
+    factory,
+    all_pids: Tuple[str, ...],
+    seed: int,
+    conn,
+    options: MPBackendOptions,
+    check_invariants: bool,
+    wall_limit: float,
+    corruptions: List[Tuple[float, bytes]],
+    msg_id_base: int,
+) -> None:
+    """Entry point of one worker process.
+
+    The worker owns its :class:`Process` instance, services timers with
+    wall-clock granularity, and talks to the parent router over one
+    duplex pipe.  Outgoing messages, delivery receipts, timer firings
+    and detected violations accumulate in a *flush buffer* shipped as a
+    single pickled pipe write — per-sender FIFO order is preserved
+    because the buffer is drained in append order.
+    """
+    from repro.dsim.message import reset_message_ids
+
+    # each worker owns a disjoint msg_id range so ids stay cluster-unique
+    # (the counter is interpreter-global; fork would otherwise clone it)
+    reset_message_ids(msg_id_base)
+    start = wall_time.monotonic()
+    scale = options.time_scale
+    watermark = max(1, options.flush_watermark)
+
+    def sim_now() -> float:
+        return (wall_time.monotonic() - start) / scale
+
+    process = factory()
+    timers: List[Tuple[float, int, str, Any]] = []
+    timer_seq = 0
+    crashed = False
+    uplink_writes = 0
+    timer_fires = 0
+    recorded = 0
+
+    # flush buffer: ONE tagged log in occurrence order, so the router
+    # replays sends, receipts, timer firings, violations and fault
+    # events exactly as they interleaved inside the worker — hooks see
+    # the same causal surface a simulator run would record.
+    flush_log: List[Tuple] = []
+    # sends, delivery receipts and violations all count toward the
+    # watermark (bookkeeping entries don't): a receive-heavy worker under
+    # sustained traffic still flushes regularly, bounding both its buffer
+    # and the router's in-flight map, and violations ship promptly.
+    pending_units = 0
+
+    def flush() -> None:
+        nonlocal uplink_writes, flush_log, pending_units
+        if not flush_log:
+            return
+        conn.send(("flush", pid, flush_log))
+        uplink_writes += 1
+        flush_log = []
+        pending_units = 0
+
+    def note_unit() -> None:
+        nonlocal pending_units
+        pending_units += 1
+        if pending_units >= watermark:
+            flush()
+
+    def send_fn(message: Message) -> None:
+        flush_log.append(("sent", message))
+        note_unit()
+
+    def timer_fn(name: str, delay: float, payload: Any) -> None:
+        nonlocal timer_seq
+        timer_seq += 1
+        heapq.heappush(timers, (wall_time.monotonic() + delay * scale, timer_seq, name, payload))
+
+    def cancel_timer_fn(name: str) -> None:
+        nonlocal timers
+        timers = [entry for entry in timers if entry[2] != name]
+        heapq.heapify(timers)
+
+    def record_action(*_args) -> None:
+        nonlocal recorded
+        recorded += 1
+
+    ctx = ProcessContext(
+        pid=pid,
+        peers=all_pids,
+        send_fn=send_fn,
+        timer_fn=timer_fn,
+        cancel_timer_fn=cancel_timer_fn,
+        now_fn=sim_now,
+        rng=DeterministicRNG(derive_seed(seed, "process", pid)),
+        record_random_fn=record_action,
+        record_clock_fn=record_action,
+    )
+
+    def after_handler() -> None:
+        if not check_invariants or crashed:
+            return
+        try:
+            process.check_invariants()
+        except InvariantViolation as violation:
+            flush_log.append(
+                (
+                    "violation",
+                    violation.name,
+                    violation.detail,
+                    sim_now(),
+                    process.vector_timestamp,
+                )
+            )
+            note_unit()
+
+    corruption_schedule = sorted(
+        (at * scale + 0.0, blob) for at, blob in corruptions
+    )
+    corruption_index = 0
+
+    error: Optional[str] = None
+    try:
+        process.bind(ctx)
+        process.on_start()
+        flush_log.append(("handled", "on_start", sim_now()))
+        after_handler()
+
+        deadline = start + wall_limit
+        while wall_time.monotonic() < deadline:
+            now_w = wall_time.monotonic()
+            # injected state corruptions due at this wall moment
+            while (
+                corruption_index < len(corruption_schedule)
+                and corruption_schedule[corruption_index][0] <= now_w - start
+            ):
+                _, blob = corruption_schedule[corruption_index]
+                corruption_index += 1
+                if not crashed:
+                    fault: StateCorruptionFault = pickle.loads(blob)
+                    fault.mutator(process.state)
+                    flush_log.append(
+                        ("event", "corrupt", fault.description, sim_now(), process.vector_timestamp)
+                    )
+                    flush_log.append(("handled", "corruption", sim_now()))
+                    after_handler()
+            # fire due timers
+            while timers and timers[0][0] <= wall_time.monotonic() and not crashed:
+                _, _, name, payload = heapq.heappop(timers)
+                flush_log.append(("timer", name, sim_now(), process.vector_timestamp))
+                process.fire_timer(name, payload)
+                timer_fires += 1
+                flush_log.append(("handled", f"timer {name}", sim_now()))
+                after_handler()
+            # wait for parent traffic until the next timer (or a short idle poll)
+            timeout = 0.002
+            if timers:
+                timeout = min(timeout, max(0.0, timers[0][0] - wall_time.monotonic()))
+            if corruption_index < len(corruption_schedule):
+                due = corruption_schedule[corruption_index][0] - (wall_time.monotonic() - start)
+                timeout = min(timeout, max(0.0, due))
+            if not conn.poll(timeout):
+                flush()  # idle: everything buffered goes out now
+                continue
+            item = conn.recv()
+            tag = item[0]
+            if tag == "batch":
+                for tseq, message in item[1]:
+                    if crashed:
+                        flush_log.append(("dead", tseq))
+                        continue
+                    flush_log.append(("brecv", tseq, sim_now()))
+                    process.deliver(message)
+                    flush_log.append(("recv", tseq, sim_now(), process.vector_timestamp))
+                    flush_log.append(("handled", f"deliver {message.kind}", sim_now()))
+                    note_unit()
+                    after_handler()
+            elif tag == "crash":
+                if not crashed:
+                    process.mark_crashed()
+                    crashed = True
+                    timers.clear()
+                    flush_log.append(("event", "crash", "", sim_now(), process.vector_timestamp))
+                    flush()
+            elif tag == "recover":
+                if crashed:
+                    process.mark_recovered()
+                    crashed = False
+                    flush_log.append(("event", "recover", "", sim_now(), process.vector_timestamp))
+                    flush_log.append(("handled", "on_recover", sim_now()))
+                    after_handler()
+                    flush()
+            elif tag == "probe":
+                flush()
+                conn.send(
+                    (
+                        "probe_ack",
+                        pid,
+                        item[1],
+                        {
+                            "sent_total": process.messages_sent,
+                            "timers_armed": 0 if crashed else len(timers),
+                            # scheduled-but-unfired corruptions count as
+                            # armed work: the router must not quiesce past
+                            # them (exact, clock-skew-free accounting)
+                            "corruptions_pending": len(corruption_schedule) - corruption_index,
+                            "crashed": crashed,
+                        },
+                    )
+                )
+                uplink_writes += 1
+            elif tag == "stop":
+                break
+    except EOFError:  # parent went away: nothing left to report to
+        return
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent verbatim
+        error = f"{type(exc).__name__}: {exc}"
+
+    try:
+        try:
+            if not crashed and error is None:
+                process.on_stop()
+        except Exception as exc:  # noqa: BLE001 - must not lose the final state
+            error = f"on_stop: {type(exc).__name__}: {exc}"
+        flush()
+        conn.send(
+            (
+                "result",
+                pid,
+                {
+                    "state": dict(process.state),
+                    "sent": process.messages_sent,
+                    "received": process.messages_received,
+                    "recorded": recorded,
+                    "timer_fires": timer_fires,
+                    "uplink_writes": uplink_writes + 1,  # counting this result write
+                    "error": error,
+                },
+            )
+        )
+    except (EOFError, BrokenPipeError, OSError):  # pragma: no cover - parent gone
+        pass
+
+
+class _WorkerLink:
+    """Parent-side handle for one worker: its pipe plus a sender thread.
+
+    All router→worker writes go through a queue drained by a dedicated
+    thread, so the router's main loop *never blocks on a pipe write*.
+    This is what makes the transport deadlock-free under arbitrary
+    payload sizes: a worker blocked mid-flush (its uplink full) is
+    always eventually drained by the router loop, because the router is
+    never itself stuck in ``send`` — at worst its sender thread is, and
+    that thread unblocks as soon as the worker finishes flushing.  A
+    worker that died simply absorbs the remaining queue (broken-pipe
+    writes are dropped, not raised into ``run()``).
+    """
+
+    def __init__(self, conn) -> None:
+        self.conn = conn
+        self.writes = 0
+        self._queue: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
+        self._thread = threading.Thread(target=self._pump, daemon=True)
+        self._thread.start()
+
+    _CLOSE = object()
+
+    def _pump(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is self._CLOSE:
+                return
+            try:
+                self.conn.send(item)
+                self.writes += 1
+            except (BrokenPipeError, OSError):
+                continue  # worker gone: keep draining so close() terminates
+
+    def send(self, item) -> None:
+        self._queue.put(item)
+
+    def close(self, timeout: float = 2.0) -> None:
+        self._queue.put(self._CLOSE)
+        self._thread.join(timeout=timeout)
+
+
+class MPBackend(Backend):
+    """Real OS processes behind the cluster API, with a batched transport.
+
+    Limitations (documented, deliberate):
+
+    * timers are serviced with wall-clock granularity, so runs are not
+      bit-for-bit deterministic — which is exactly the nondeterminism
+      the Scroll exists to capture;
+    * crash injection is cooperative (the worker stops processing)
+      rather than ``SIGKILL``, so final state can still be collected;
+    * there is no frontend access to live process state, hence no
+      checkpoint/rollback capability — FixD degrades to detection and
+      reporting on this substrate;
+    * ``max_events`` is not enforced (runs are wall-clock bounded);
+    * ``halt_on_violation`` is asynchronous: the violating worker checks
+      invariants in-process but the router only halts once the
+      violation's flush arrives, so workers keep executing for a short
+      window after the violation — final states reflect state at the
+      (slightly later) halt, not at the violating handler as on the
+      simulator.
+
+    The run ends at *quiescence*, detected with a probe protocol: when
+    the router has nothing queued, delayed or in flight and no fault
+    events still scheduled, it probes every worker; a worker answers
+    after draining its inbox (the pipe is FIFO) with its armed-timer and
+    sent-message counters.  The system is quiescent when all answers
+    agree with the router's own accounting and nothing new arrived
+    during the round.
+    """
+
+    name = "mp"
+    capabilities = frozenset({CAP_REAL_PROCESSES})
+
+    def __init__(self, options: Optional[MPBackendOptions] = None) -> None:
+        super().__init__()
+        self.options = options or MPBackendOptions()
+        self._now = 0.0
+        self._fault_engine: Optional[MessageFaultEngine] = None
+        #: transport accounting of the last run (the batching benchmark's metric)
+        self.transport_stats: Dict[str, int] = {}
+        #: per-worker counters of the last run (sent/received/recorded/...)
+        self.worker_stats: Dict[str, Dict[str, int]] = {}
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def fault_engine(self) -> Optional[MessageFaultEngine]:
+        return self._fault_engine
+
+    def start(self) -> None:
+        """No-op: workers are started inside :meth:`run`."""
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None):
+        from repro.dsim.cluster import RunResult
+
+        cluster = self.cluster
+        if cluster._started:
+            raise SimulationError("the mp backend cannot re-enter a finished run")
+        if max_events is not None:
+            raise SimulationError(
+                "the mp backend cannot enforce max_events (runs are wall-clock "
+                "bounded); pass until= instead"
+            )
+        config = cluster.config
+        options = self.options
+        scale = options.time_scale
+
+        pids = tuple(cluster.pids)
+        factories = {}
+        for pid in pids:
+            factory = cluster.factory_for(pid)
+            if factory is None:
+                raise SimulationError(
+                    f"process {pid!r} was registered as an instance; the mp backend "
+                    "needs zero-argument factories to build workers"
+                )
+            factories[pid] = factory
+
+        plan = cluster.failure_plan
+        known_pids = set(pids)
+        for crash in plan.crashes:
+            if crash.pid not in known_pids:
+                raise UnknownProcessError(crash.pid)
+        for corruption in plan.corruptions:
+            if corruption.pid not in known_pids:
+                raise UnknownProcessError(corruption.pid)
+        self._fault_engine = MessageFaultEngine(plan.message_faults)
+        partitions = [p.to_partition() for p in plan.partitions]
+
+        sim_limit = min(until if until is not None else config.max_time, config.max_time)
+        wall_limit = min(sim_limit * scale, options.max_wall_seconds)
+
+        # crash/recover schedule driven by the router (sorted by wall time)
+        schedule: List[Tuple[float, int, str, str]] = []
+        order = 0
+        for crash in plan.crashes:
+            schedule.append((crash.at * scale, order, "crash", crash.pid))
+            order += 1
+            if crash.recover_at is not None:
+                schedule.append((crash.recover_at * scale, order, "recover", crash.pid))
+                order += 1
+        schedule.sort()
+        corruptions_by_pid: Dict[str, List[Tuple[float, bytes]]] = {}
+        for corruption in plan.corruptions:
+            try:
+                blob = pickle.dumps(corruption, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                raise SimulationError(
+                    "mp backend state-corruption faults must be picklable "
+                    f"(mutator for {corruption.pid!r} is not: {exc})"
+                ) from exc
+            corruptions_by_pid.setdefault(corruption.pid, []).append((corruption.at, blob))
+
+        # setup validated: the run is now committed (workers about to start)
+        cluster._started = True
+        ctx = mp.get_context(options.resolved_start_method())
+        conns = {}
+        links: Dict[str, _WorkerLink] = {}
+        workers = []
+        start_wall = wall_time.monotonic()
+        for index, pid in enumerate(pids):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            worker = ctx.Process(
+                target=_mp_worker_main,
+                args=(
+                    pid,
+                    factories[pid],
+                    pids,
+                    config.seed,
+                    child_conn,
+                    options,
+                    config.check_invariants,
+                    wall_limit,
+                    corruptions_by_pid.get(pid, []),
+                    # disjoint per-worker msg_id ranges; the router (range
+                    # below 10^9, used for injected duplicates) never collides
+                    (index + 1) * 1_000_000_000,
+                ),
+                daemon=True,
+            )
+            worker.start()
+            child_conn.close()
+            conns[pid] = parent_conn
+            workers.append(worker)
+        # The sender threads start only after every worker process exists:
+        # forking a child while another link's thread may hold a lock is
+        # the classic fork-with-threads hazard.  Writes go through these
+        # threads so the router loop (also the only reader) can never
+        # block on a full pipe.
+        for pid, conn in conns.items():
+            links[pid] = _WorkerLink(conn)
+        conn_to_pid = {conn: pid for pid, conn in conns.items()}
+
+        hooks = cluster.hooks
+        hooks.on_run_start(0.0)
+
+        # router state
+        tseq_counter = 0
+        in_flight: Dict[int, Tuple[str, Message]] = {}
+        pending_out: Dict[str, List[Tuple[int, Message]]] = {pid: [] for pid in pids}
+        delayed: List[Tuple[float, int, Message]] = []
+        crashed_pids: set = set()
+        schedule_index = 0
+        parent_writes = 0
+        routed = 0
+        delivered_batches = 0
+        max_batch = 0
+        dropped = 0
+        duplicated = 0
+        dead_letters = 0
+        uplink_messages = 0
+        probe_seq = 0
+        probe_round_dirty = True
+        probe_acks: Dict[str, Dict[str, int]] = {}
+        last_probe_at = -1.0
+        #: minimum wall seconds between probe rounds; bounds the idle-churn
+        #: writes while workers sit on long-armed timers
+        probe_interval = 0.005
+        results: Dict[str, Dict[str, Any]] = {}
+        reason = "time-limit"
+
+        def elapsed() -> float:
+            return wall_time.monotonic() - start_wall
+
+        def update_now() -> None:
+            self._now = elapsed() / scale
+
+        def enqueue(dst: str, message: Message) -> None:
+            nonlocal tseq_counter, dead_letters, probe_round_dirty
+            if dst not in pending_out:
+                raise UnknownProcessError(dst)
+            if dst in crashed_pids:
+                dead_letters += 1
+                cluster._record_trace(dst, "dead-letter", message.describe())
+                return
+            tseq_counter += 1
+            in_flight[tseq_counter] = (dst, message)
+            pending_out[dst].append((tseq_counter, message))
+            probe_round_dirty = True
+
+        def route(message: Message) -> None:
+            nonlocal routed, dropped, duplicated
+            routed += 1
+            sent_at = message.send_time
+            hooks.on_send(message.src, message, sent_at, message.vt)
+            cluster._record_trace(message.src, "send", message.describe())
+            fault = self._fault_engine.decide(message, sent_at)
+            if fault is not None and fault.kind == "drop":
+                dropped += 1
+                hooks.on_drop(message, sent_at, message.vt)
+                cluster._record_trace(message.src, "fault-drop", message.describe())
+                return
+            if any(p.active_at(sent_at) and p.separates(message.src, message.dst) for p in partitions):
+                dropped += 1
+                hooks.on_drop(message, sent_at, message.vt)
+                cluster._record_trace(message.src, "drop", message.describe())
+                return
+            if fault is not None and fault.kind == "duplicate":
+                duplicated += 1
+                copy = message.as_duplicate()
+                hooks.on_duplicate(copy, sent_at, message.vt)
+                cluster._record_trace(copy.src, "duplicate", copy.describe())
+                enqueue(copy.dst, copy)
+            if fault is not None and fault.kind == "delay":
+                heapq.heappush(
+                    delayed, ((sent_at + fault.extra_delay) * scale, message.msg_id, message)
+                )
+                return
+            enqueue(message.dst, message)
+
+        def handle_flush(pid: str, log: List[Tuple]) -> None:
+            """Replay one worker flush *in occurrence order*.
+
+            The log interleaves sends, delivery receipts, timer firings,
+            violations and fault events exactly as they happened inside
+            the worker, so the hook chain (and therefore the Scroll and
+            any bug-report tail) observes the same ordering a simulator
+            run would produce.
+            """
+            nonlocal uplink_messages, probe_round_dirty
+            update_now()
+            for entry in log:
+                tag = entry[0]
+                if tag == "sent":
+                    uplink_messages += 1
+                    route(entry[1])
+                elif tag == "brecv":
+                    _, tseq, at = entry
+                    dst, message = in_flight[tseq]
+                    hooks.before_receive(dst, message, at)
+                elif tag == "handled":
+                    _, description, at = entry
+                    hooks.after_handler(pid, description, at)
+                elif tag == "recv":
+                    _, tseq, at, vt = entry
+                    dst, message = in_flight.pop(tseq)
+                    cluster._record_trace(dst, "receive", message.describe())
+                    hooks.on_receive(dst, message, at, vt)
+                elif tag == "dead":
+                    dst, message = in_flight.pop(entry[1])
+                    cluster._record_trace(dst, "dead-letter", message.describe())
+                elif tag == "timer":
+                    _, name, at, vt = entry
+                    cluster._record_trace(pid, "timer", name)
+                    hooks.on_timer(pid, name, at, vt)
+                elif tag == "violation":
+                    _, name, detail, at, vt = entry
+                    cluster._handle_violation(pid, name, detail, at, vt)
+                elif tag == "event":
+                    _, kind, detail, at, vt = entry
+                    if kind == "crash":
+                        cluster._record_trace(pid, "crash", "process crashed")
+                        hooks.on_crash(pid, at, vt)
+                    elif kind == "recover":
+                        cluster._record_trace(pid, "recover", "process recovered")
+                        hooks.on_recover(pid, at, vt)
+                    elif kind == "corrupt":
+                        cluster._record_trace(pid, "corrupt", detail)
+                        hooks.on_corruption(pid, detail, at, vt)
+                    probe_round_dirty = True
+
+        def handle_item(pid: str, item) -> None:
+            nonlocal reason
+            tag = item[0]
+            if tag == "flush":
+                handle_flush(item[1], item[2])
+            elif tag == "probe_ack":
+                if item[2] == probe_seq:
+                    probe_acks[item[1]] = item[3]
+            elif tag == "result":
+                results[item[1]] = item[2]
+                if item[2].get("error"):
+                    cluster._record_trace(item[1], "error", item[2]["error"])
+                    cluster.halt(f"worker-error:{item[1]}")
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unexpected uplink item {tag!r} from {pid!r}")
+
+        try:
+            while True:
+                update_now()
+                if elapsed() >= wall_limit:
+                    reason = "time-limit"
+                    break
+                if cluster._halted:
+                    reason = cluster._halt_reason or "halted"
+                    break
+                # fault schedule (crash / recover control messages)
+                while schedule_index < len(schedule) and schedule[schedule_index][0] <= elapsed():
+                    _, _, kind, target = schedule[schedule_index]
+                    schedule_index += 1
+                    links[target].send((kind,))
+                    if kind == "crash":
+                        crashed_pids.add(target)
+                        # in-flight deliveries to a crashed worker dead-letter
+                        # inside the worker; stop queueing new ones here.
+                    else:
+                        crashed_pids.discard(target)
+                    probe_round_dirty = True
+                # delayed messages whose injection deadline passed
+                while delayed and delayed[0][0] <= elapsed():
+                    _, _, message = heapq.heappop(delayed)
+                    enqueue(message.dst, message)
+                # drain worker uplinks
+                ready = mp_wait(list(conns.values()), timeout=0.002)
+                for conn in ready:
+                    pid = conn_to_pid[conn]
+                    try:
+                        while conn.poll():
+                            handle_item(pid, conn.recv())
+                    except (EOFError, OSError):
+                        # The worker's pipe closed.  Drop it from the wait
+                        # set (a closed pipe reports permanently ready and
+                        # would busy-spin the router) and treat a death
+                        # without a result as a lost worker.
+                        conns.pop(pid, None)
+                        if pid not in results:
+                            cluster._record_trace(
+                                pid, "error", "worker pipe closed unexpectedly"
+                            )
+                            cluster.halt(f"worker-lost:{pid}")
+                        continue
+                # ship this tick's deliveries, one batch per destination
+                for dst, batch in pending_out.items():
+                    if not batch:
+                        continue
+                    if options.batch_deliveries:
+                        for cut in range(0, len(batch), options.max_batch_messages):
+                            piece = batch[cut:cut + options.max_batch_messages]
+                            links[dst].send(("batch", piece))
+                            delivered_batches += 1
+                            max_batch = max(max_batch, len(piece))
+                    else:
+                        for entry in batch:
+                            links[dst].send(("batch", [entry]))
+                            delivered_batches += 1
+                            max_batch = max(max_batch, 1)
+                    pending_out[dst] = []
+                # quiescence detection
+                busy = (
+                    in_flight
+                    or delayed
+                    or schedule_index < len(schedule)
+                    or any(pending_out.values())
+                )
+                if busy:
+                    probe_acks.clear()
+                    probe_round_dirty = True
+                    continue
+                if probe_round_dirty or len(probe_acks) < len(pids):
+                    if probe_round_dirty and elapsed() - last_probe_at >= probe_interval:
+                        probe_seq += 1
+                        probe_acks.clear()
+                        probe_round_dirty = False
+                        last_probe_at = elapsed()
+                        for link in links.values():
+                            link.send(("probe", probe_seq))
+                    continue
+                sent_total = sum(ack["sent_total"] for ack in probe_acks.values())
+                armed = sum(
+                    ack["timers_armed"] + ack.get("corruptions_pending", 0)
+                    for ack in probe_acks.values()
+                )
+                if sent_total == uplink_messages and armed == 0 and not in_flight:
+                    reason = "quiescent"
+                    break
+                # workers still have armed timers or scheduled corruptions
+                # (or a flush is in transit): fresh round on the next pass
+                probe_round_dirty = True
+        finally:
+            update_now()
+            for link in links.values():
+                link.send(("stop",))
+            # collect results (late flushes keep hooks complete)
+            collect_deadline = wall_time.monotonic() + 5.0
+            live = dict(conns)
+            while len(results) < len(pids) and wall_time.monotonic() < collect_deadline:
+                ready = mp_wait(list(live.values()), timeout=0.1)
+                for conn in ready:
+                    pid = conn_to_pid[conn]
+                    try:
+                        handle_item(pid, conn.recv())
+                    except (EOFError, OSError):
+                        live.pop(pid, None)
+            for link in links.values():
+                link.close()
+            parent_writes = sum(link.writes for link in links.values())
+            for worker in workers:
+                worker.join(timeout=2.0)
+                if worker.is_alive():  # pragma: no cover - defensive cleanup
+                    worker.terminate()
+            for conn in conn_to_pid:  # every pipe, including dropped ones
+                conn.close()
+            hooks.on_run_end(self._now)
+
+        # a worker error discovered while collecting results (e.g. a failing
+        # on_stop) must not masquerade as a clean quiescent run
+        if reason == "quiescent":
+            for pid, result in results.items():
+                if result.get("error"):
+                    reason = f"worker-error:{pid}"
+                    break
+        worker_writes = sum(result.get("uplink_writes", 0) for result in results.values())
+        self.worker_stats = results
+        self.transport_stats = {
+            "messages_routed": routed,
+            "messages_delivered": sum(r.get("received", 0) for r in results.values()),
+            "dropped": dropped,
+            "duplicated": duplicated,
+            "dead_letters": dead_letters,
+            "parent_pipe_writes": parent_writes,
+            "worker_pipe_writes": worker_writes,
+            "pipe_writes": parent_writes + worker_writes,
+            "delivery_batches": delivered_batches,
+            "max_batch": max_batch,
+        }
+        events = sum(
+            result.get("received", 0) + result.get("timer_fires", 0)
+            for result in results.values()
+        )
+        return RunResult(
+            events_executed=events,
+            final_time=self._now,
+            stopped_reason=reason,
+            violations=list(cluster._violations),
+            network_stats={
+                "delivered": sum(r.get("received", 0) for r in results.values()),
+                "dropped": dropped,
+                "duplicated": duplicated,
+            },
+            process_states={
+                pid: dict(result.get("state", {})) for pid, result in results.items()
+            },
+            trace=list(cluster._trace),
+        )

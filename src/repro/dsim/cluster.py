@@ -1,32 +1,34 @@
-"""The cluster: processes + network + scheduler + hooks, run to completion.
+"""The cluster frontend: processes + hooks + policy over a pluggable backend.
 
 :class:`Cluster` is the single entry point applications and the FixD
-runtime use to execute a distributed computation.  It owns the
-deterministic scheduler, the network, one context per process and the
-hook chain through which the Scroll, the Time Machine and the fault
-detector observe the run.
+runtime use to execute a distributed computation.  Since the Backend
+refactor it is a thin *frontend*: it owns what is substrate-independent —
+the process table, the hook chain through which the Scroll, the Time
+Machine and the fault detector observe the run, the failure plan, the
+violation policy and the run trace — and delegates execution to a
+:class:`~repro.dsim.backend.Backend`:
+
+* :class:`~repro.dsim.backend.SimBackend` (the default) executes the
+  deterministic discrete-event simulation (scheduler + network +
+  channels);
+* :class:`~repro.dsim.backend.MPBackend` runs the same process classes
+  on real OS processes with a batched pipe transport.
+
+Both backends accept the same registration surface (``add_process``,
+``add_hook``, ``set_failure_plan``, ``register_scroll``) and the same
+``run()`` entry point, and report through the same :class:`RunResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.dsim.channel import DeliveryOutcome
 from repro.dsim.clock import VectorTimestamp
-from repro.dsim.failure import (
-    CrashFault,
-    FailurePlan,
-    MessageFault,
-    MessageFaultEngine,
-    StateCorruptionFault,
-)
+from repro.dsim.failure import FailurePlan
 from repro.dsim.hooks import HookChain, RuntimeHook
-from repro.dsim.message import Message
-from repro.dsim.network import Network, NetworkConfig
-from repro.dsim.process import Process, ProcessCheckpoint, ProcessContext
-from repro.dsim.rng import DeterministicRNG, derive_seed
-from repro.dsim.scheduler import Event, EventKind, Scheduler
+from repro.dsim.network import NetworkConfig
+from repro.dsim.process import Process, ProcessCheckpoint
 from repro.errors import InvariantViolation, SimulationError, UnknownProcessError
 
 ProcessFactory = Callable[[], Process]
@@ -45,11 +47,14 @@ class ClusterConfig:
         Hard limits on simulation time and executed events; a run that
         hits either limit reports ``stopped_reason`` accordingly.
     network:
-        Default channel behaviour (delay, jitter, loss, ...).
+        Default channel behaviour (delay, jitter, loss, ...).  Only
+        meaningful on the simulator backend; real processes talk over
+        pipes with no injected latency.
     check_invariants:
         When true (the default), every process's declared invariants are
         evaluated after each of its handlers — this is FixD's fault
-        detection point.
+        detection point.  Honoured by both backends (the multiprocessing
+        workers check in-process and report violations to the parent).
     halt_on_violation:
         When true, an unhandled invariant violation stops the run and is
         reported in the result; when false, the violation is recorded
@@ -91,7 +96,7 @@ class TraceRecord:
 
 @dataclass
 class RunResult:
-    """Summary of a completed (or halted) run."""
+    """Summary of a completed (or halted) run — identical for both backends."""
 
     events_executed: int
     final_time: float
@@ -110,25 +115,48 @@ class RunResult:
         return [v for v in self.violations if v.pid == pid]
 
 
-class Cluster:
-    """A simulated cluster of communicating processes."""
+def _resolve_backend(spec):
+    """Turn a backend spec (None, "sim", "mp", or an instance) into a Backend."""
+    # Imported lazily: backend.py needs this module's dataclasses.
+    from repro.dsim.backend import Backend, MPBackend, SimBackend
 
-    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+    if spec is None or spec == "sim":
+        return SimBackend()
+    if spec == "mp":
+        return MPBackend()
+    if isinstance(spec, Backend):
+        return spec
+    raise SimulationError(
+        f"unknown backend {spec!r}; expected 'sim', 'mp' or a Backend instance"
+    )
+
+
+class Cluster:
+    """A cluster of communicating processes over a pluggable backend."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        backend: Union[None, str, "object"] = None,
+    ) -> None:
         self.config = config or ClusterConfig()
-        self.scheduler = Scheduler()
-        self.network = Network(self.config.network, seed=derive_seed(self.config.seed, "network"))
         self.hooks = HookChain()
         self._processes: Dict[str, Process] = {}
         self._factories: Dict[str, ProcessFactory] = {}
         self._failure_plan = FailurePlan()
-        self._fault_engine: Optional[MessageFaultEngine] = None
         self._violations: List[ViolationRecord] = []
         self._trace: List[TraceRecord] = []
         self._halted = False
         self._halt_reason = ""
         self._started = False
-        self._timer_events: Dict[Tuple[str, str], List[Event]] = {}
         self._scroll = None
+        self.backend = _resolve_backend(backend)
+        self.backend.bind(self)
+        #: computed once: whether the frontend instances carry live state
+        #: (checked on every process() call — the simulator's hot path)
+        self._frontend_state_live = "checkpoint" in getattr(
+            self.backend, "capabilities", frozenset()
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -145,7 +173,7 @@ class Cluster:
         self._processes[pid] = instance
         if callable(process) and not isinstance(process, Process):
             self._factories[pid] = process  # kept for restart-from-scratch recovery
-        self.network.register_process(pid)
+        self.backend.register_process(pid)
         return instance
 
     def add_processes(self, prefix: str, count: int, factory: ProcessFactory) -> List[str]:
@@ -163,8 +191,17 @@ class Cluster:
         hook.attach(self)
 
     def set_failure_plan(self, plan: FailurePlan) -> None:
-        """Install the fault-injection plan for this run."""
+        """Install the fault-injection plan for this run (both backends)."""
         self._failure_plan = plan
+
+    @property
+    def failure_plan(self) -> FailurePlan:
+        """The fault-injection plan installed for this run."""
+        return self._failure_plan
+
+    def factory_for(self, pid: str) -> Optional[ProcessFactory]:
+        """The zero-argument factory ``pid`` was registered with, if any."""
+        return self._factories.get(pid)
 
     def register_scroll(self, scroll) -> None:
         """Make the run's Scroll known to the cluster.
@@ -187,23 +224,66 @@ class Cluster:
         return len(self._scroll) if self._scroll is not None else None
 
     # ------------------------------------------------------------------
-    # accessors
+    # backend delegation
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
-        return self.scheduler.now
+        return self.backend.now
 
+    @property
+    def scheduler(self):
+        """The deterministic scheduler (simulator backend only)."""
+        return self.backend.scheduler
+
+    @property
+    def network(self):
+        """The simulated network (simulator backend only)."""
+        return self.backend.network
+
+    @property
+    def fault_engine(self):
+        """The message-fault engine for this run (None before ``start``).
+
+        Its :meth:`~repro.dsim.failure.MessageFaultEngine.hit_counts`
+        are the ground truth for "did the injected message fault fire",
+        which matters for fault kinds the Scroll has no entry for
+        (delays).  Available on both backends.
+        """
+        return self.backend.fault_engine
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
     @property
     def pids(self) -> List[str]:
         return sorted(self._processes)
 
+    def _check_frontend_state_access(self) -> None:
+        """Fail loudly when the backend holds process state out of reach.
+
+        On substrates without the ``checkpoint`` capability (real OS
+        processes) the frontend's instances are never-executed
+        prototypes — returning them after the run started would silently
+        hand back empty state where the simulator hands back live state.
+        Callers there must read ``RunResult.process_states`` instead.
+        """
+        if self._frontend_state_live or not self._started:
+            return
+        raise SimulationError(
+            f"process state lives inside the {self.backend.name} backend's workers; "
+            "read RunResult.process_states instead of the frontend instances"
+        )
+
     def process(self, pid: str) -> Process:
+        if not self._frontend_state_live:
+            self._check_frontend_state_access()
         try:
             return self._processes[pid]
         except KeyError:
             raise UnknownProcessError(pid) from None
 
     def processes(self) -> Dict[str, Process]:
+        self._check_frontend_state_access()
         return dict(self._processes)
 
     @property
@@ -211,109 +291,68 @@ class Cluster:
         return list(self._violations)
 
     @property
-    def fault_engine(self) -> Optional[MessageFaultEngine]:
-        """The message-fault engine for this run (None before ``start``).
-
-        Its :meth:`~repro.dsim.failure.MessageFaultEngine.hit_counts`
-        are the ground truth for "did the injected message fault fire",
-        which matters for fault kinds the Scroll has no entry for
-        (delays).
-        """
-        return self._fault_engine
-
-    @property
     def trace(self) -> List[TraceRecord]:
         return list(self._trace)
 
     # ------------------------------------------------------------------
-    # process context plumbing
+    # shared plumbing used by backends
     # ------------------------------------------------------------------
-    def _make_context(self, pid: str) -> ProcessContext:
-        all_pids = tuple(sorted(self._processes))
-        rng = DeterministicRNG(derive_seed(self.config.seed, "process", pid))
-        return ProcessContext(
-            pid=pid,
-            peers=all_pids,
-            send_fn=self._submit_message,
-            timer_fn=lambda name, delay, payload, _pid=pid: self._set_timer(_pid, name, delay, payload),
-            cancel_timer_fn=lambda name, _pid=pid: self._cancel_timer(_pid, name),
-            now_fn=lambda: self.scheduler.now,
-            rng=rng,
-            record_random_fn=lambda p, method, value: self.hooks.on_random(
-                p, method, value, self.scheduler.now, self._vt_of(p)
-            ),
-            record_clock_fn=lambda p, value: self.hooks.on_clock_read(
-                p, value, self._vt_of(p)
-            ),
-            log_fn=lambda p, text: self._record_trace(p, "log", text),
-            scroll_position_fn=self.scroll_position,
-        )
-
     def _vt_of(self, pid: str):
         """Vector timestamp carried in hook payloads (None for unknown pids)."""
         process = self._processes.get(pid)
         return process.vector_timestamp if process is not None else None
 
     def _record_trace(self, pid: str, action: str, detail: str) -> None:
-        self._trace.append(TraceRecord(self.scheduler.now, pid, action, detail))
+        self._trace.append(TraceRecord(self.backend.now, pid, action, detail))
 
-    # ------------------------------------------------------------------
-    # messaging and timers
-    # ------------------------------------------------------------------
-    def _submit_message(self, message: Message) -> None:
-        now = self.scheduler.now
-        sender_vt = self._vt_of(message.src)
-        self.hooks.on_send(message.src, message, now, sender_vt)
-        self._record_trace(message.src, "send", message.describe())
+    def _handle_violation(
+        self,
+        pid: str,
+        name: str,
+        detail: str,
+        time: float,
+        vt=None,
+        exc: Optional[InvariantViolation] = None,
+    ) -> bool:
+        """Apply the violation policy (shared by both backends).
 
-        fault = self._fault_engine.decide(message, now) if self._fault_engine else None
-        if fault is not None and fault.kind == "drop":
-            self.hooks.on_drop(message, now, sender_vt)
-            self._record_trace(message.src, "fault-drop", message.describe())
+        Notifies the hook chain (which is where the FixD fault detector
+        and its responders live), records the violation, and applies the
+        configured raise/halt policy when no hook handled it.  Returns
+        whether the violation was handled.
+        """
+        handled = bool(self.hooks.on_invariant_violation(pid, name, detail, time, vt))
+        self._violations.append(ViolationRecord(pid, name, detail, time, handled))
+        self._record_trace(pid, "violation", f"{name}: {detail}")
+        if handled:
+            return True
+        if self.config.raise_on_violation:
+            raise exc if exc is not None else InvariantViolation(name, pid, detail)
+        if self.config.halt_on_violation:
+            self.halt(f"invariant-violation:{name}@{pid}")
+        return False
+
+    def _after_handler(self, pid: str, description: str) -> None:
+        """Post-handler bookkeeping: invariant checks and hook notification."""
+        now = self.backend.now
+        self.hooks.after_handler(pid, description, now)
+        if not self.config.check_invariants:
             return
-
-        plans = self.network.route(message, now)
-        for outcome, deliver_at, planned in plans:
-            if outcome is DeliveryOutcome.DROP or deliver_at is None:
-                self.hooks.on_drop(planned, now, sender_vt)
-                self._record_trace(planned.src, "drop", planned.describe())
-                continue
-            if outcome is DeliveryOutcome.DUPLICATE:
-                self.hooks.on_duplicate(planned, now, sender_vt)
-                self._record_trace(planned.src, "duplicate", planned.describe())
-            if fault is not None and fault.kind == "delay":
-                deliver_at += fault.extra_delay
-            if fault is not None and fault.kind == "duplicate":
-                copy = planned.as_duplicate()
-                self.hooks.on_duplicate(copy, now, sender_vt)
-                self.scheduler.schedule_at(deliver_at, EventKind.DELIVER, copy.dst, copy)
-            self.scheduler.schedule_at(deliver_at, EventKind.DELIVER, planned.dst, planned)
-
-    def _set_timer(self, pid: str, name: str, delay: float, payload: Any) -> None:
-        event = self.scheduler.schedule(delay, EventKind.TIMER, pid, (name, payload))
-        self._timer_events.setdefault((pid, name), []).append(event)
-
-    def _cancel_timer(self, pid: str, name: str) -> None:
-        for event in self._timer_events.pop((pid, name), []):
-            self.scheduler.cancel(event)
+        process = self.process(pid)
+        try:
+            process.check_invariants()
+        except InvariantViolation as violation:
+            self._handle_violation(
+                pid,
+                violation.name,
+                violation.detail,
+                now,
+                process.vector_timestamp,
+                exc=violation,
+            )
 
     # ------------------------------------------------------------------
-    # fault plan materialisation
-    # ------------------------------------------------------------------
-    def _install_failure_plan(self) -> None:
-        plan = self._failure_plan
-        self._fault_engine = MessageFaultEngine(plan.message_faults)
-        for crash in plan.crashes:
-            self.scheduler.schedule_at(crash.at, EventKind.CRASH, crash.pid, crash)
-            if crash.recover_at is not None:
-                self.scheduler.schedule_at(crash.recover_at, EventKind.RECOVER, crash.pid, crash)
-        for partition in plan.partitions:
-            self.network.add_partition(partition.to_partition())
-        for corruption in plan.corruptions:
-            self.scheduler.schedule_at(corruption.at, EventKind.CORRUPT, corruption.pid, corruption)
-
-    # ------------------------------------------------------------------
-    # run loop
+    # run control
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Bind contexts, install the fault plan and run every ``on_start``."""
@@ -321,58 +360,13 @@ class Cluster:
             return
         if not self._processes:
             raise SimulationError("cannot run an empty cluster")
-        self._started = True
-        self._install_failure_plan()
-        for pid in sorted(self._processes):
-            process = self._processes[pid]
-            process.bind(self._make_context(pid))
-        self.hooks.on_run_start(self.scheduler.now)
-        for pid in sorted(self._processes):
-            process = self._processes[pid]
-            process.on_start()
-            self._after_handler(pid, "on_start")
+        self.backend.start()
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> RunResult:
         """Run the cluster until quiescence, a limit, or a halting violation."""
-        self.start()
-        time_limit = min(until if until is not None else self.config.max_time, self.config.max_time)
-        event_limit = min(
-            max_events if max_events is not None else self.config.max_events, self.config.max_events
-        )
-        executed = 0
-        reason = "quiescent"
-        while not self._halted:
-            if executed >= event_limit:
-                reason = "event-limit"
-                break
-            next_time = self.scheduler.peek_time()
-            if next_time is None:
-                reason = "quiescent"
-                break
-            if next_time > time_limit:
-                reason = "time-limit"
-                break
-            event = self.scheduler.pop_next()
-            if event is None:
-                reason = "quiescent"
-                break
-            self._execute(event)
-            executed += 1
-        if self._halted:
-            reason = self._halt_reason or "halted"
-        for process in self._processes.values():
-            if not process.crashed:
-                process.on_stop()
-        self.hooks.on_run_end(self.scheduler.now)
-        return RunResult(
-            events_executed=executed,
-            final_time=self.scheduler.now,
-            stopped_reason=reason,
-            violations=list(self._violations),
-            network_stats=self.network.stats,
-            process_states={pid: dict(p.state) for pid, p in self._processes.items()},
-            trace=list(self._trace),
-        )
+        if not self._processes:
+            raise SimulationError("cannot run an empty cluster")
+        return self.backend.run(until=until, max_events=max_events)
 
     def halt(self, reason: str = "halted") -> None:
         """Stop the run loop after the current event."""
@@ -385,117 +379,11 @@ class Cluster:
         self._halt_reason = ""
 
     # ------------------------------------------------------------------
-    # event execution
-    # ------------------------------------------------------------------
-    def _execute(self, event: Event) -> None:
-        if event.kind is EventKind.DELIVER:
-            self._execute_delivery(event)
-        elif event.kind is EventKind.TIMER:
-            self._execute_timer(event)
-        elif event.kind is EventKind.CRASH:
-            self._execute_crash(event)
-        elif event.kind is EventKind.RECOVER:
-            self._execute_recover(event)
-        elif event.kind is EventKind.CORRUPT:
-            self._execute_corruption(event)
-        elif event.kind is EventKind.CONTROL:
-            callback = event.payload
-            if callable(callback):
-                callback()
-        else:  # pragma: no cover - defensive
-            raise SimulationError(f"unknown event kind {event.kind!r}")
-
-    def _execute_delivery(self, event: Event) -> None:
-        message: Message = event.payload
-        process = self.process(event.target)
-        if process.crashed:
-            self._record_trace(event.target, "dead-letter", message.describe())
-            return
-        now = self.scheduler.now
-        self.hooks.before_receive(event.target, message, now)
-        self._record_trace(event.target, "receive", message.describe())
-        process.deliver(message)
-        self.hooks.on_receive(event.target, message, now, process.vector_timestamp)
-        self._after_handler(event.target, f"deliver {message.kind}")
-
-    def _execute_timer(self, event: Event) -> None:
-        name, payload = event.payload
-        process = self.process(event.target)
-        if process.crashed:
-            return
-        self.hooks.on_timer(event.target, name, self.scheduler.now, process.vector_timestamp)
-        self._record_trace(event.target, "timer", name)
-        process.fire_timer(name, payload)
-        self._after_handler(event.target, f"timer {name}")
-
-    def _execute_crash(self, event: Event) -> None:
-        process = self.process(event.target)
-        if process.crashed:
-            return
-        process.mark_crashed()
-        # Cancel the crashed process's deliveries and timers, but leave any
-        # scheduled RECOVER event in place so the process can come back.
-        self.scheduler.cancel_for_target(event.target, EventKind.DELIVER)
-        self.scheduler.cancel_for_target(event.target, EventKind.TIMER)
-        self._timer_events = {
-            key: events for key, events in self._timer_events.items() if key[0] != event.target
-        }
-        self.hooks.on_crash(event.target, self.scheduler.now, process.vector_timestamp)
-        self._record_trace(event.target, "crash", "process crashed")
-
-    def _execute_recover(self, event: Event) -> None:
-        process = self.process(event.target)
-        if not process.crashed:
-            return
-        process.mark_recovered()
-        self.hooks.on_recover(event.target, self.scheduler.now, process.vector_timestamp)
-        self._record_trace(event.target, "recover", "process recovered")
-        self._after_handler(event.target, "on_recover")
-
-    def _execute_corruption(self, event: Event) -> None:
-        fault: StateCorruptionFault = event.payload
-        process = self.process(event.target)
-        if process.crashed:
-            return
-        fault.mutator(process.state)
-        self.hooks.on_corruption(
-            event.target, fault.description, self.scheduler.now, process.vector_timestamp
-        )
-        self._record_trace(event.target, "corrupt", fault.description)
-        self._after_handler(event.target, "corruption")
-
-    def _after_handler(self, pid: str, description: str) -> None:
-        """Post-handler bookkeeping: invariant checks and hook notification."""
-        now = self.scheduler.now
-        self.hooks.after_handler(pid, description, now)
-        if not self.config.check_invariants:
-            return
-        process = self.process(pid)
-        try:
-            process.check_invariants()
-        except InvariantViolation as violation:
-            handled = bool(
-                self.hooks.on_invariant_violation(
-                    pid, violation.name, violation.detail, now, process.vector_timestamp
-                )
-            )
-            self._violations.append(
-                ViolationRecord(pid, violation.name, violation.detail, now, handled)
-            )
-            self._record_trace(pid, "violation", f"{violation.name}: {violation.detail}")
-            if handled:
-                return
-            if self.config.raise_on_violation:
-                raise
-            if self.config.halt_on_violation:
-                self.halt(f"invariant-violation:{violation.name}@{pid}")
-
-    # ------------------------------------------------------------------
     # checkpointing / rollback support used by the Time Machine and FixD
     # ------------------------------------------------------------------
     def capture_checkpoint(self, pid: str) -> ProcessCheckpoint:
         """Snapshot one process's local state at the current time."""
-        return self.process(pid).capture_checkpoint(self.scheduler.now)
+        return self.process(pid).capture_checkpoint(self.backend.now)
 
     def capture_all(self) -> Dict[str, ProcessCheckpoint]:
         """Snapshot every live process (a *local* checkpoint set, not yet a recovery line)."""
@@ -514,10 +402,7 @@ class Cluster:
             process = self.process(pid)
             process.restore_checkpoint(checkpoint)
             if clear_in_flight:
-                self.scheduler.cancel_for_target(pid)
-                self._timer_events = {
-                    key: events for key, events in self._timer_events.items() if key[0] != pid
-                }
+                self.backend.clear_in_flight(pid)
             self._record_trace(pid, "rollback", f"restored checkpoint #{checkpoint.sequence}")
 
     def restart_process(self, pid: str) -> Process:
@@ -533,8 +418,8 @@ class Cluster:
             )
         fresh = factory()
         self._processes[pid] = fresh
-        fresh.bind(self._make_context(pid))
-        self.scheduler.cancel_for_target(pid)
+        fresh.bind(self.backend.make_context(pid))
+        self.backend.clear_in_flight(pid)
         fresh.on_start()
         self._record_trace(pid, "restart", "restarted from initial state")
         return fresh

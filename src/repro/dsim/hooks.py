@@ -1,9 +1,10 @@
-"""Hook interfaces through which FixD components observe the simulator.
+"""Hook interfaces through which FixD components observe a running cluster.
 
-The simulator knows nothing about logging, checkpointing or model
-checking.  Instead, the cluster accepts any number of *runtime hooks*
-implementing (a subset of) :class:`RuntimeHook` and calls them at every
-interesting point of the execution:
+The execution substrate knows nothing about logging, checkpointing or
+model checking.  Instead, the cluster frontend accepts any number of
+*runtime hooks* implementing (a subset of) :class:`RuntimeHook` and —
+whichever :class:`~repro.dsim.backend.Backend` executes the run — calls
+them at every interesting point of the execution:
 
 * the Scroll's recorder subscribes to sends, deliveries, drops, timer
   firings and random draws — the nondeterministic actions of Figure 1;
@@ -16,11 +17,17 @@ Hooks are plain objects; the default implementations do nothing, so a
 hook only overrides the notifications it cares about.
 
 Action notifications carry the acting process's vector timestamp as the
-trailing ``vt`` keyword when the caller has it at hand (the cluster
-always does): recording hooks need the timestamp for every entry, and
-resolving it at the notification site means consumers don't each pay a
-process-table lookup per recorded action.  ``vt`` may be ``None`` when
-the notifier has no cheap timestamp (e.g. alternative backends).
+trailing ``vt`` keyword when the caller has it at hand: recording hooks
+need the timestamp for every entry, and resolving it at the
+notification site means consumers don't each pay a process-table lookup
+per recorded action.  The simulator backend reads it off the live
+process; the multiprocessing backend's workers stamp it into every
+message, receipt and event they ship to the router (replayed in exact
+occurrence order), so hooks observe the same causal surface on both
+substrates — with one scoped exception: per-draw randomness and clock
+reads (``on_random``/``on_clock_read``) are counted but not shipped by
+the mp workers (see the ROADMAP item on mp recording depth).  ``vt``
+may still be ``None`` for notifiers with no cheap timestamp.
 """
 
 from __future__ import annotations

@@ -115,7 +115,14 @@ class Message:
         )
 
 
-def reset_message_ids() -> None:
-    """Reset the global message id counter (used by tests for determinism)."""
+def reset_message_ids(start: int = 1) -> None:
+    """Reset the global message id counter (tests; per-worker namespaces).
+
+    The counter is interpreter-global, so every OS process of the
+    multiprocessing backend has its own — each worker rebases its
+    counter into a disjoint range (``start``) so msg_ids stay unique
+    across the whole cluster and Scroll-based message tracing can keep
+    keying on them.
+    """
     global _message_counter
-    _message_counter = itertools.count(1)
+    _message_counter = itertools.count(start)

@@ -1,45 +1,34 @@
-"""``multiprocessing`` backend: run the same process classes on real OS processes.
+"""Deprecated shim over :class:`repro.dsim.backend.MPBackend`.
 
-The discrete-event simulator is the primary substrate because it is
-deterministic and cheap to roll back.  This backend exists for fidelity:
-it runs the *same* :class:`~repro.dsim.process.Process` subclasses as
-real OS processes exchanging pickled messages over queues, which is the
-closest laptop-scale equivalent of the paper's cluster of communicating
-POSIX processes.  It is used by the overhead benchmarks (how expensive is
-Scroll-style recording on real processes?) and by integration tests that
-check the two backends compute the same application results.
+This module used to hold a standalone ``multiprocessing`` cluster with
+its own registration, routing, crash-injection and result-collection
+logic, shipping one pickled queue write per message.  That substrate now
+lives behind the unified :class:`~repro.dsim.backend.Backend` protocol:
+build a :class:`~repro.dsim.cluster.Cluster` with ``backend="mp"`` (or
+an explicit :class:`~repro.dsim.backend.MPBackend`) and use the normal
+cluster API — the transport batches deliveries into one pipe write per
+destination worker.
 
-Limitations (documented, deliberate):
-
-* timers are serviced with wall-clock granularity (~1 ms), so runs are
-  not bit-for-bit deterministic — which is exactly the nondeterminism
-  the Scroll exists to capture;
-* crash injection is cooperative (the worker stops processing) rather
-  than ``SIGKILL``, so final state can still be collected.
+:class:`MPCluster` remains only as a thin adapter for the old call
+sites; new code must not import this module (``scripts/check.sh``
+enforces the boundary).
 """
 
 from __future__ import annotations
 
-import heapq
-import multiprocessing as mp
-import queue as queue_module
-import time as wall_time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
-from repro.dsim.clock import VectorTimestamp
-from repro.dsim.message import Message
-from repro.dsim.process import Process, ProcessContext
-from repro.dsim.rng import DeterministicRNG, derive_seed
+from repro.dsim.backend import MPBackend, MPBackendOptions
+from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.dsim.failure import CrashFault, FailurePlan
+from repro.dsim.process import Process
 from repro.errors import SimulationError
-
-_STOP = "__repro_stop__"
-_CRASH = "__repro_crash__"
 
 
 @dataclass
 class MPRunResult:
-    """Result of a multiprocessing run."""
+    """Result of a multiprocessing run (legacy shape)."""
 
     final_states: Dict[str, Dict[str, Any]]
     messages_sent: Dict[str, int]
@@ -52,107 +41,14 @@ class MPRunResult:
         return sum(self.messages_sent.values())
 
 
-def _worker_main(
-    pid: str,
-    factory: Callable[[], Process],
-    all_pids: Tuple[str, ...],
-    seed: int,
-    inbox: mp.Queue,
-    router: mp.Queue,
-    results: mp.Queue,
-    duration: float,
-    record_actions: bool,
-) -> None:
-    """Entry point of one worker process."""
-    process = factory()
-    start = wall_time.monotonic()
-    timers: List[Tuple[float, int, str, Any]] = []
-    timer_seq = 0
-    recorded = 0
-    crashed = False
-
-    def now_fn() -> float:
-        return wall_time.monotonic() - start
-
-    def send_fn(message: Message) -> None:
-        nonlocal recorded
-        if record_actions:
-            recorded += 1
-        router.put(("msg", message.to_record()))
-
-    def timer_fn(name: str, delay: float, payload: Any) -> None:
-        nonlocal timer_seq
-        timer_seq += 1
-        heapq.heappush(timers, (now_fn() + delay, timer_seq, name, payload))
-
-    def cancel_timer_fn(name: str) -> None:
-        nonlocal timers
-        timers = [entry for entry in timers if entry[2] != name]
-        heapq.heapify(timers)
-
-    def record_random(pid_: str, method: str, value: Any) -> None:
-        nonlocal recorded
-        if record_actions:
-            recorded += 1
-
-    ctx = ProcessContext(
-        pid=pid,
-        peers=all_pids,
-        send_fn=send_fn,
-        timer_fn=timer_fn,
-        cancel_timer_fn=cancel_timer_fn,
-        now_fn=now_fn,
-        rng=DeterministicRNG(derive_seed(seed, "mp-process", pid)),
-        record_random_fn=record_random if record_actions else None,
-    )
-    process.bind(ctx)
-    process.on_start()
-
-    deadline = start + duration
-    while wall_time.monotonic() < deadline:
-        # fire due timers first
-        fired_timer = False
-        while timers and timers[0][0] <= now_fn() and not crashed:
-            _, _, name, payload = heapq.heappop(timers)
-            process.fire_timer(name, payload)
-            fired_timer = True
-        timeout = 0.001 if fired_timer else 0.01
-        try:
-            item = inbox.get(timeout=timeout)
-        except queue_module.Empty:
-            continue
-        if item == _STOP:
-            break
-        if item == _CRASH:
-            crashed = True
-            process.mark_crashed()
-            continue
-        if crashed:
-            continue
-        message = Message.from_record(item)
-        if record_actions:
-            recorded += 1
-        process.deliver(message)
-
-    process.on_stop()
-    results.put(
-        (
-            pid,
-            dict(process.state),
-            process.messages_sent,
-            process.messages_received,
-            recorded,
-        )
-    )
-
-
 class MPCluster:
-    """Runs :class:`Process` subclasses on real OS processes.
+    """Legacy adapter: the old ``MPCluster`` API over the unified backend.
 
-    Usage mirrors :class:`~repro.dsim.cluster.Cluster`: register process
-    factories, then :meth:`run` for a wall-clock duration.  Messages are
-    routed by the parent process, which also honours cooperative crash
-    injection via :meth:`crash_after`.
+    Registration mirrors the old class (factories only, wall-clock crash
+    times, ``run(duration)`` in wall seconds).  Execution is the batched
+    :class:`~repro.dsim.backend.MPBackend`; ``time_scale`` is pinned to
+    1.0 so one simulated time unit equals one wall second, matching the
+    old semantics.
     """
 
     def __init__(self, seed: int = 0, record_actions: bool = False) -> None:
@@ -166,7 +62,9 @@ class MPCluster:
         if pid in self._factories:
             raise SimulationError(f"duplicate process id {pid!r}")
         if isinstance(factory, Process):
-            raise TypeError("the multiprocessing backend requires picklable factories, not instances")
+            raise TypeError(
+                "the multiprocessing backend requires zero-argument factories, not instances"
+            )
         self._factories[pid] = factory
 
     def crash_after(self, pid: str, seconds: float) -> None:
@@ -176,82 +74,37 @@ class MPCluster:
         self._crash_requests.append((seconds, pid))
 
     def run(self, duration: float = 1.0) -> MPRunResult:
-        """Run all workers for ``duration`` wall-clock seconds and collect results."""
+        """Run all workers for up to ``duration`` wall seconds and collect results."""
         if not self._factories:
             raise SimulationError("cannot run an empty MPCluster")
-        ctx = mp.get_context("spawn") if mp.get_start_method(allow_none=True) is None else mp.get_context()
-        all_pids = tuple(sorted(self._factories))
-        inboxes: Dict[str, mp.Queue] = {pid: ctx.Queue() for pid in all_pids}
-        router: mp.Queue = ctx.Queue()
-        results: mp.Queue = ctx.Queue()
-
-        workers = []
-        start = wall_time.monotonic()
-        for pid in all_pids:
-            worker = ctx.Process(
-                target=_worker_main,
-                args=(
-                    pid,
-                    self._factories[pid],
-                    all_pids,
-                    self.seed,
-                    inboxes[pid],
-                    router,
-                    results,
-                    duration,
-                    self.record_actions,
-                ),
-                daemon=True,
-            )
-            worker.start()
-            workers.append(worker)
-
-        crash_schedule = sorted(self._crash_requests)
-        crash_index = 0
-        deadline = start + duration
-        # Route messages until the deadline passes.
-        while wall_time.monotonic() < deadline:
-            elapsed = wall_time.monotonic() - start
-            while crash_index < len(crash_schedule) and crash_schedule[crash_index][0] <= elapsed:
-                _, crash_pid = crash_schedule[crash_index]
-                inboxes[crash_pid].put(_CRASH)
-                crash_index += 1
-            try:
-                tag, record = router.get(timeout=0.01)
-            except queue_module.Empty:
-                continue
-            if tag != "msg":
-                continue
-            dst = record["dst"]
-            if dst in inboxes:
-                inboxes[dst].put(record)
-
-        for pid in all_pids:
-            inboxes[pid].put(_STOP)
-
-        final_states: Dict[str, Dict[str, Any]] = {}
-        sent: Dict[str, int] = {}
-        received: Dict[str, int] = {}
-        recorded: Dict[str, int] = {}
-        for _ in all_pids:
-            try:
-                pid, state, n_sent, n_received, n_recorded = results.get(timeout=5.0)
-            except queue_module.Empty:  # pragma: no cover - only on pathological hangs
-                break
-            final_states[pid] = state
-            sent[pid] = n_sent
-            received[pid] = n_received
-            recorded[pid] = n_recorded
-
-        for worker in workers:
-            worker.join(timeout=5.0)
-            if worker.is_alive():  # pragma: no cover - defensive cleanup
-                worker.terminate()
-
+        # The requested duration must win over the backend's default wall
+        # cap, matching the old "run for duration seconds" contract.
+        backend = MPBackend(
+            MPBackendOptions(time_scale=1.0, max_wall_seconds=duration + 5.0)
+        )
+        cluster = Cluster(ClusterConfig(seed=self.seed), backend=backend)
+        for pid, factory in self._factories.items():
+            cluster.add_process(pid, factory)
+        plan = FailurePlan()
+        for seconds, pid in self._crash_requests:
+            plan.add(CrashFault(pid, at=max(seconds, 1e-9)))
+        cluster.set_failure_plan(plan)
+        result = cluster.run(until=duration)
+        stats = backend.worker_stats
+        # Old semantics: recorded_actions counted sends, deliveries and
+        # random draws, and only when recording was requested.
+        recorded = (
+            {
+                pid: s.get("sent", 0) + s.get("received", 0) + s.get("recorded", 0)
+                for pid, s in stats.items()
+            }
+            if self.record_actions
+            else {}
+        )
         return MPRunResult(
-            final_states=final_states,
-            messages_sent=sent,
-            messages_received=received,
-            wall_seconds=wall_time.monotonic() - start,
+            final_states=result.process_states,
+            messages_sent={pid: s.get("sent", 0) for pid, s in stats.items()},
+            messages_received={pid: s.get("received", 0) for pid, s in stats.items()},
+            wall_seconds=result.final_time,  # time_scale=1.0: sim units are wall seconds
             recorded_actions=recorded,
         )

@@ -138,6 +138,35 @@ class ProcessCheckpoint:
         return len(pickle.dumps(self.state, protocol=pickle.HIGHEST_PROTOCOL))
 
 
+class ConfiguredFactory:
+    """A picklable zero-argument factory: a Process class plus instance attributes.
+
+    Application builders traditionally parameterise process classes by
+    mutating class attributes (``Master.chunks = n``).  That pattern
+    breaks on the multiprocessing backend's ``spawn`` start method — the
+    worker re-imports the module and sees the class defaults — and leaks
+    configuration between clusters built in one interpreter.  This
+    factory instead stamps the configuration onto each *instance*
+    (shadowing the class attributes), and pickles cleanly, so the
+    configuration travels with the factory wherever the worker is
+    started.
+    """
+
+    def __init__(self, cls, **attrs) -> None:
+        self.cls = cls
+        self.attrs = attrs
+
+    def __call__(self) -> "Process":
+        process = self.cls()
+        for name, value in self.attrs.items():
+            setattr(process, name, value)
+        return process
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.attrs.items())
+        return f"ConfiguredFactory({self.cls.__name__}, {inner})"
+
+
 class Process:
     """Base class for all simulated application processes."""
 

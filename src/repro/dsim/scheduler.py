@@ -15,10 +15,16 @@ a checkpoint reproduces the original execution exactly, and exploring a
 *different* schedule is an explicit, controlled perturbation.
 
 Cancellation is *lazy*: cancelling an event only flips a flag and
-adjusts the live-event counter; the heap is never rebuilt or scanned.
-Cancelled events are discarded when they surface at the heap head
-(:meth:`Scheduler.peek_time` / :meth:`Scheduler.pop_next`), so every
-scheduler operation is O(log n) or better:
+adjusts the live-event counter; the heap is normally never rebuilt or
+scanned.  Cancelled events are discarded when they surface at the heap
+head (:meth:`Scheduler.peek_time` / :meth:`Scheduler.pop_next`), so
+every scheduler operation is O(log n) or better.  Long runs with heavy
+cancellation (crash storms, repeated rollbacks) would otherwise carry
+dead events in the heap until they surface, so the scheduler *compacts*
+— drops cancelled entries and re-heapifies — whenever dead entries
+outnumber half the heap; the O(n) cost is amortized against the >= n/2
+cancellations that triggered it, keeping the heap within a constant
+factor of the live-event count:
 
 * :meth:`Scheduler.peek_time` pops dead heads instead of sorting the
   whole queue;
@@ -88,6 +94,8 @@ class Scheduler:
         #: queued events per target; pruned lazily, rebuilt when mostly dead
         self._by_target: Dict[str, List[Event]] = {}
         self._index_dead = 0
+        #: cancelled events still sitting in the heap; compaction trigger
+        self._heap_dead = 0
 
     # ------------------------------------------------------------------
     # time
@@ -106,6 +114,11 @@ class Scheduler:
     def pending_events(self) -> int:
         """Number of live events still queued (cancelled events excluded)."""
         return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Entries physically in the heap, live or dead (compaction bound)."""
+        return len(self._queue)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -139,6 +152,7 @@ class Scheduler:
             return
         event.cancelled = True
         self._live -= 1
+        self._note_heap_dead()
 
     def cancel_for_target(self, target: str, kind: Optional[EventKind] = None) -> int:
         """Cancel all pending events for ``target`` (optionally of one kind).
@@ -166,7 +180,37 @@ class Scheduler:
             self._by_target[target] = survivors
         else:
             del self._by_target[target]
+        if cancelled:
+            self._note_heap_dead(cancelled)
         return cancelled
+
+    def _note_heap_dead(self, count: int = 1) -> None:
+        """Track freshly cancelled heap entries; compact when mostly dead."""
+        self._heap_dead += count
+        if self._heap_dead > 64 and self._heap_dead * 2 > len(self._queue):
+            self._compact_heap()
+
+    def _compact_heap(self) -> None:
+        """Drop cancelled entries from the heap and restore the heap invariant.
+
+        O(n) in the heap size, amortized O(1) per cancellation because it
+        only runs once dead entries exceed half the heap.  Keeps very
+        long cancellation-heavy runs at O(live) memory instead of
+        O(everything ever cancelled-but-unsurfaced).
+        """
+        survivors: List[Event] = []
+        dropped = 0
+        for event in self._queue:
+            if event.cancelled:
+                event.in_queue = False
+                dropped += 1
+            else:
+                survivors.append(event)
+        self._queue = survivors
+        heapq.heapify(self._queue)
+        self._heap_dead = 0
+        if dropped:
+            self._note_dead(dropped)  # one batched index-GC check, not one per event
 
     def _note_dead(self, count: int = 1) -> None:
         """Track events that left the heap but may linger in the target index."""
@@ -195,6 +239,7 @@ class Scheduler:
             event.in_queue = False
             self._note_dead()
             if event.cancelled:
+                self._heap_dead -= 1
                 continue
             if event.time < self._now:
                 raise SimulationError("event queue produced an event from the past")
@@ -221,6 +266,7 @@ class Scheduler:
         while queue and queue[0].cancelled:
             event = heapq.heappop(queue)
             event.in_queue = False
+            self._heap_dead -= 1
             self._note_dead()
         return queue[0].time if queue else None
 
@@ -245,6 +291,7 @@ class Scheduler:
         self._by_target.clear()
         self._live = 0
         self._index_dead = 0
+        self._heap_dead = 0
         self._now = float(time)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -156,8 +156,11 @@ class Scroll:
         self._by_kind: Dict[ActionKind, List[int]] = {}
         self._by_pid_kind: Dict[Tuple[str, ActionKind], List[int]] = {}
         self._nondet: List[int] = []
-        #: record times in append order; bisectable while monotone
+        #: record times in append order; bisectable while monotone.  The
+        #: list is trimmed by :meth:`collect` along with the cold tier, so
+        #: ``self._times[p - self._times_base]`` is position ``p``'s time.
         self._times: List[float] = []
+        self._times_base = 0
         self._time_monotone = True
         for entry in entries or ():
             self.append(entry)
@@ -205,7 +208,10 @@ class Scroll:
         stats: Dict[str, object] = {
             "entries": len(self),
             "hot_entries": len(self._hot),
-            "spilled_entries": self._watermark,
+            # reachable spill only, agreeing with the store's own stats;
+            # the GC'd prefix is reported separately
+            "spilled_entries": self._watermark - self.collected_base,
+            "collected_entries": self.collected_base,
             "tiered": self.is_tiered,
         }
         if self._store is not None:
@@ -267,6 +273,51 @@ class Scroll:
         return self.record(pid, ActionKind.ANNOTATION, time, {"text": text})
 
     # ------------------------------------------------------------------
+    # garbage collection (committed recovery lines)
+    # ------------------------------------------------------------------
+    @property
+    def collected_base(self) -> int:
+        """Global position of the first still-reachable entry (0 when no GC ran)."""
+        return self._store.base if self._store is not None else 0
+
+    def collect(self, min_position: int) -> int:
+        """Garbage-collect the log prefix below ``min_position``.
+
+        Called when a recovery line is *committed*: the system can never
+        roll back past the line, so entries before its recorded Scroll
+        position are unreachable for recovery and their cold segments
+        can be unlinked from disk.  Only whole segments at or below the
+        spill watermark are dropped (the hot tier is never collected),
+        and the positional indexes are trimmed so queries stop mapping
+        the collected range.  Positions stay global: ``len(self)`` is
+        unchanged and later entries keep their positions; indexing into
+        the collected prefix raises ``IndexError``.  Returns the number
+        of entries collected.
+        """
+        if self._store is None:
+            return 0
+        removed = self._store.collect(min(min_position, self._watermark))
+        if not removed:
+            return 0
+        base = self._store.base
+        for index_map in (self._by_pid, self._by_kind, self._by_pid_kind):
+            dead = []
+            for key, positions in index_map.items():
+                cut = bisect_left(positions, base)
+                if cut:
+                    del positions[:cut]
+                if not positions:
+                    dead.append(key)
+            for key in dead:
+                del index_map[key]
+        del self._nondet[:bisect_left(self._nondet, base)]
+        # the times column is per-position too: reclaim the collected
+        # prefix so resident cost tracks the reachable window
+        del self._times[:base - self._times_base]
+        self._times_base = base
+        return removed
+
+    # ------------------------------------------------------------------
     # truncation (rollback support)
     # ------------------------------------------------------------------
     def truncate(self, length: int) -> int:
@@ -279,7 +330,7 @@ class Scroll:
         list, drops or shrinks cold segments, and trims every positional
         index.  Returns the number of entries discarded.
         """
-        length = max(0, min(length, len(self)))
+        length = max(self.collected_base, min(length, len(self)))
         removed = len(self) - length
         if removed == 0:
             return 0
@@ -294,7 +345,7 @@ class Scroll:
             for key in dead:
                 del index_map[key]
         del self._nondet[bisect_left(self._nondet, length):]
-        del self._times[length:]
+        del self._times[length - self._times_base:]
         if length >= self._watermark:
             del self._hot[length - self._watermark:]
         else:
@@ -325,9 +376,12 @@ class Scroll:
         # newly cold positions.  Fetching each chunk atomically through
         # the position-addressed path keeps iteration append-safe, like
         # iterating the plain backing list used to be.
-        position = 0
+        position = self.collected_base
         while position < len(self):
+            position = max(position, self.collected_base)  # GC between yields
             batch = self._range(position, min(position + chunk, len(self)))
+            if not batch:
+                return
             yield from batch
             position += len(batch)
 
@@ -341,7 +395,13 @@ class Scroll:
             start, stop, step = index.indices(len(self))
             if step == 1:
                 return self._range(start, stop)
-            return [self._entry_at(position) for position in range(start, stop, step)]
+            # skip the collected prefix like the contiguous path does
+            base = self.collected_base
+            return [
+                self._entry_at(position)
+                for position in range(start, stop, step)
+                if position >= base
+            ]
         position = index
         if position < 0:
             position += len(self)
@@ -371,9 +431,13 @@ class Scroll:
         return cold
 
     def _range(self, start: int, stop: int) -> List[ScrollEntry]:
-        """Materialize the contiguous position range ``[start, stop)``."""
+        """Materialize the contiguous position range ``[start, stop)``.
+
+        Positions below a garbage-collected base are silently skipped —
+        they no longer exist on any tier.
+        """
         stop = min(stop, len(self))
-        start = max(0, start)
+        start = max(self.collected_base, start)
         if start >= stop:
             return []
         watermark = self._watermark
@@ -419,8 +483,8 @@ class Scroll:
         were appended out of time order.
         """
         if self._time_monotone:
-            lo = bisect_left(self._times, start)
-            hi = bisect_left(self._times, end)
+            lo = self._times_base + bisect_left(self._times, start)
+            hi = self._times_base + bisect_left(self._times, end)
             return self._range(lo, hi)
         return [entry for entry in self if start <= entry.time < end]
 

@@ -26,7 +26,15 @@ decodes each spilled entry once.
 
 Segments are append-only and immutable; :meth:`SegmentStore.truncate`
 (rollback support) drops whole segments past the cut and shrinks the
-index into a boundary segment without rewriting its file.
+index into a boundary segment without rewriting its file.  The mirror
+operation, :meth:`SegmentStore.collect` (garbage collection), unlinks
+whole segments *before* a position: once a recovery line is committed
+the system can never roll back past it, so the log prefix below the
+line's recorded position is unreachable for recovery and its segments
+can be deleted.  Collection re-bases the offset index — the dropped
+rows are removed and every later position maps through a ``base``
+offset — so positions stay *global* and disk plus index cost stay
+proportional to the reachable window, not the whole history.
 
 The original whole-Scroll helpers (:func:`save_scroll`,
 :func:`load_scroll`, :func:`iter_scroll_records`, :func:`append_entry`)
@@ -136,7 +144,10 @@ class SegmentStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.cache_size = cache_size
         self._segments: List[SegmentInfo] = []
-        # Parallel index columns, one slot per spilled position.
+        #: global position of the first still-reachable (uncollected) entry;
+        #: index row for global position p is ``p - _base``.
+        self._base = 0
+        # Parallel index columns, one slot per reachable spilled position.
         self._seg_ids = array("q")
         self._offsets = array("q")
         self._lengths = array("q")
@@ -155,7 +166,7 @@ class SegmentStore:
             raise ValueError("cannot write an empty segment")
         segment_id = self._segments[-1].segment_id + 1 if self._segments else 0
         path = self.directory / SEGMENT_PATTERN.format(segment_id)
-        first_position = len(self._seg_ids)
+        first_position = self._base + len(self._seg_ids)
         # Index the segment only after every byte is written: a failed
         # write (full disk) must not leave phantom index rows pointing
         # into a segment that was never registered.
@@ -186,7 +197,13 @@ class SegmentStore:
     # reading
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._seg_ids)
+        """End position of the store (collected prefix included in the count)."""
+        return self._base + len(self._seg_ids)
+
+    @property
+    def base(self) -> int:
+        """Global position of the first still-reachable entry (GC watermark)."""
+        return self._base
 
     def _handle_for(self, segment_id: int) -> IO[bytes]:
         handle = self._handles.get(segment_id)
@@ -205,9 +222,10 @@ class SegmentStore:
         raise KeyError(f"no segment with id {segment_id}")
 
     def _read_position(self, position: int) -> ScrollEntry:
-        handle = self._handle_for(self._seg_ids[position])
-        handle.seek(self._offsets[position])
-        return decode_entry(handle.read(self._lengths[position]))
+        row = position - self._base
+        handle = self._handle_for(self._seg_ids[row])
+        handle.seek(self._offsets[row])
+        return decode_entry(handle.read(self._lengths[row]))
 
     def _cache_put(self, position: int, entry: ScrollEntry) -> None:
         if self.cache_size <= 0:
@@ -219,7 +237,11 @@ class SegmentStore:
 
     def get(self, position: int) -> ScrollEntry:
         """Fetch one spilled entry by its global position."""
-        if not 0 <= position < len(self._seg_ids):
+        if position < self._base:
+            raise IndexError(
+                f"spilled position {position} was garbage-collected (base {self._base})"
+            )
+        if position >= len(self):
             raise IndexError(f"spilled position {position} out of range")
         cached = self._cache.get(position)
         if cached is not None:
@@ -249,6 +271,12 @@ class SegmentStore:
         out: List[Optional[ScrollEntry]] = [None] * len(positions)
         misses: List[Tuple[int, int]] = []  # (output index, position)
         for index, position in enumerate(positions):
+            if position < self._base:
+                # must fail as loudly as get(): a negative row would
+                # silently alias into the live index
+                raise IndexError(
+                    f"spilled position {position} was garbage-collected (base {self._base})"
+                )
             cached = self._cache.get(position)
             if cached is not None:
                 self._cache.move_to_end(position)
@@ -258,11 +286,12 @@ class SegmentStore:
                 self.cache_misses += 1
                 misses.append((index, position))
         run: List[Tuple[int, int]] = []
+        rebase = self._base
 
         def flush_run() -> None:
             if not run:
                 return
-            first, last = run[0][1], run[-1][1]
+            first, last = run[0][1] - rebase, run[-1][1] - rebase
             span = self._offsets[last] + self._lengths[last] - self._offsets[first]
             if len(run) >= 4 and span <= len(run) * self._SPAN_BYTES_PER_HIT:
                 handle = self._handle_for(self._seg_ids[first])
@@ -270,8 +299,9 @@ class SegmentStore:
                 handle.seek(base)
                 blob = handle.read(span)
                 for index, position in run:
-                    start = self._offsets[position] - base
-                    entry = decode_entry(blob[start:start + self._lengths[position]])
+                    row = position - rebase
+                    start = self._offsets[row] - base
+                    entry = decode_entry(blob[start:start + self._lengths[row]])
                     out[index] = entry
                     self._cache_put(position, entry)
             else:
@@ -283,7 +313,8 @@ class SegmentStore:
 
         for index, position in misses:
             if run and (
-                self._seg_ids[position] != self._seg_ids[run[0][1]] or position < run[-1][1]
+                self._seg_ids[position - rebase] != self._seg_ids[run[0][1] - rebase]
+                or position < run[-1][1]
             ):
                 flush_run()
             run.append((index, position))
@@ -301,12 +332,13 @@ class SegmentStore:
         whole-log iteration path (merge, to_records, filter) one
         buffered pass per segment.
         """
-        stop = min(stop, len(self._seg_ids))
-        position = max(0, start)
+        stop = min(stop, len(self))
+        position = max(self._base, start)
         while position < stop:
-            handle = self._handle_for(self._seg_ids[position])
-            handle.seek(self._offsets[position])
-            yield decode_entry(handle.read(self._lengths[position]))
+            row = position - self._base
+            handle = self._handle_for(self._seg_ids[row])
+            handle.seek(self._offsets[row])
+            yield decode_entry(handle.read(self._lengths[row]))
             position += 1
 
     # ------------------------------------------------------------------
@@ -320,13 +352,14 @@ class SegmentStore:
         so the discarded tail bytes become unreachable.  Returns the
         number of entries dropped.
         """
-        new_length = max(0, new_length)
-        removed = len(self._seg_ids) - new_length
+        new_length = max(self._base, new_length)
+        removed = len(self) - new_length
         if removed <= 0:
             return 0
-        del self._seg_ids[new_length:]
-        del self._offsets[new_length:]
-        del self._lengths[new_length:]
+        cut_row = new_length - self._base
+        del self._seg_ids[cut_row:]
+        del self._offsets[cut_row:]
+        del self._lengths[cut_row:]
         kept: List[SegmentInfo] = []
         for info in self._segments:
             if info.first_position >= new_length:
@@ -340,6 +373,45 @@ class SegmentStore:
         self._segments = kept
         for position in [p for p in self._cache if p >= new_length]:
             del self._cache[position]
+        return removed
+
+    # ------------------------------------------------------------------
+    # garbage collection (committed recovery lines)
+    # ------------------------------------------------------------------
+    def collect(self, min_position: int) -> int:
+        """Unlink whole segments whose entries all precede ``min_position``.
+
+        The caller asserts that no future read will ask for a position
+        below ``min_position`` — in FixD that assertion is a *committed*
+        recovery line: the system can never roll back past it, so the
+        log prefix below the line's recorded position is unreachable.
+        Only whole segments are dropped (a boundary segment keeps its
+        immutable file); the offset index is re-based so the resident
+        index cost shrinks with the collected prefix.  Returns the
+        number of entries collected.
+        """
+        min_position = min(min_position, len(self))
+        removed = 0
+        kept_from = 0
+        for info in self._segments:
+            if info.end_position > min_position:
+                break
+            handle = self._handles.pop(info.segment_id, None)
+            if handle is not None:
+                handle.close()
+            info.path.unlink(missing_ok=True)
+            removed += info.count
+            kept_from += 1
+        if removed == 0:
+            return 0
+        self._segments = self._segments[kept_from:]
+        del self._seg_ids[:removed]
+        del self._offsets[:removed]
+        del self._lengths[:removed]
+        new_base = self._base + removed
+        for position in [p for p in self._cache if p < new_base]:
+            del self._cache[position]
+        self._base = new_base
         return removed
 
     # ------------------------------------------------------------------
@@ -357,7 +429,7 @@ class SegmentStore:
         total = 0
         for info in self._segments:
             if info.count:
-                last = info.first_position + info.count - 1
+                last = info.first_position + info.count - 1 - self._base
                 total += self._offsets[last] + self._lengths[last]
         return total
 
@@ -379,6 +451,7 @@ class SegmentStore:
     def stats(self) -> Dict[str, int]:
         return {
             "spilled_entries": len(self._seg_ids),
+            "collected_entries": self._base,
             "segments": len(self._segments),
             "index_bytes": self.index_bytes(),
             "cache_entries": len(self._cache),

@@ -47,6 +47,8 @@ class RollbackManager:
         self._cluster = cluster
         self._alternate_paths: Dict[str, Callable[[object], None]] = {}
         self.history: List[RollbackResult] = []
+        #: recovery lines the caller promised never to roll back past
+        self.committed_lines: List[RecoveryLine] = []
 
     def register_alternate_path(self, pid: str, callback: Callable[[object], None]) -> None:
         """Register a callback invoked with the process object after it is rolled back."""
@@ -68,6 +70,7 @@ class RollbackManager:
             raise RecoveryLineError(
                 "refusing to roll back to an inconsistent set of checkpoints"
             )
+        self._check_not_past_commit(line)
         time_before = self._cluster.now
         distances = {
             pid: max(0.0, time_before - checkpoint.time)
@@ -119,6 +122,50 @@ class RollbackManager:
         if scroll is None or position is None:
             return 0
         return scroll.truncate(position)
+
+    def _check_not_past_commit(self, line: RecoveryLine) -> None:
+        """Refuse to roll back past a committed recovery line.
+
+        Committing a line garbage-collects the Scroll prefix below its
+        recorded position; a rollback to an *earlier* line would restore
+        state whose replay window was already unlinked from disk, so the
+        promise behind :meth:`commit` must be enforced, not assumed.
+        """
+        position = line.scroll_position()
+        if position is None:
+            return
+        for committed in self.committed_lines:
+            committed_position = committed.scroll_position()
+            if committed_position is not None and position < committed_position:
+                raise RecoveryLineError(
+                    f"recovery line at Scroll position {position} predates the "
+                    f"committed line at position {committed_position}; its replay "
+                    "window was garbage-collected and the rollback is unsound"
+                )
+
+    def commit(self, line: RecoveryLine, collect_scroll: bool = True) -> int:
+        """Commit a recovery line: the system will never roll back past it.
+
+        Committing is the garbage-collection trigger of the log-bounding
+        story: everything on the Scroll *before* the committed line's
+        recorded position is unreachable for any future rollback, so the
+        cold-tier segments holding it are unlinked from disk and the
+        offset index is re-based
+        (:meth:`repro.scroll.scroll.Scroll.collect`).  The line itself
+        and everything after it stay fully replayable.  Returns the
+        number of Scroll entries collected (0 when the cluster has no
+        registered Scroll, the Scroll is untiered, or nothing had
+        spilled below the line yet).
+        """
+        self.committed_lines.append(line)
+        if not collect_scroll:
+            return 0
+        scroll = getattr(self._cluster, "scroll", None)
+        position = line.scroll_position()
+        if scroll is None or position is None:
+            return 0
+        collector = getattr(scroll, "collect", None)
+        return collector(position) if collector is not None else 0
 
     def rollback_single(self, checkpoint: ProcessCheckpoint) -> RollbackResult:
         """Roll back a single process (a degenerate one-process recovery line)."""

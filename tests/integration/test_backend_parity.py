@@ -1,0 +1,195 @@
+"""Backend parity: every demo app computes the same result on both substrates.
+
+The Backend refactor promises one cluster API over two substrates — the
+deterministic simulator and real OS processes behind the batched pipe
+transport.  These tests run each of the six demo applications
+*fault-free* on :class:`~repro.dsim.backend.SimBackend` and
+:class:`~repro.dsim.backend.MPBackend` and assert the application-level
+final states are identical.
+
+"Application-level" is per app: the multiprocessing substrate services
+timers with wall-clock granularity, so sub-millisecond interleavings of
+*concurrent* events can differ between runs — protocol outcomes must
+not.  Each app therefore declares a projection of its final states that
+captures what the protocol guarantees deterministically (complete
+aggregates, commit decisions, elected leaders, conserved totals), and
+parity means equal projections.  For apps whose entire state is
+causally ordered (wordcount, kvstore with one client, the token ring,
+2PC) the projection is the full per-process state.
+
+Selected with ``-m parity``; excluded from the fast tier because every
+scenario boots real worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+import pytest
+
+from repro.apps.bank import INITIAL_BALANCE, build_bank_cluster
+from repro.apps.kvstore import build_kvstore_cluster
+from repro.apps.leader_election import build_election_ring
+from repro.apps.token_ring import build_token_ring
+from repro.apps.two_phase_commit import build_2pc_cluster
+from repro.apps.wordcount import (
+    build_wordcount_burst_cluster,
+    build_wordcount_cluster,
+    expected_counts,
+)
+from repro.dsim.backend import MPBackend, MPBackendOptions, SimBackend
+from repro.dsim.cluster import Cluster, ClusterConfig
+
+States = Dict[str, Dict[str, Any]]
+
+
+def _full_state(states: States) -> States:
+    return states
+
+
+def _bank_projection(states: States) -> Dict[str, Any]:
+    """What the bank protocol guarantees at quiescence, independent of
+    per-arrival randomness: global conservation and per-branch totals."""
+    return {
+        "total_balance": sum(sum(s["accounts"].values()) for s in states.values()),
+        "in_flight": sum(s["in_flight_debits"] for s in states.values()),
+        "issued": sum(s["issued"] for s in states.values()),
+        "applied": sum(s["applied"] for s in states.values()),
+        "expected_supply": sum(
+            len(s["accounts"]) * INITIAL_BALANCE for s in states.values()
+        ),
+    }
+
+
+def _election_projection(states: States) -> Dict[str, Any]:
+    """Leadership is deterministic; forwarding counts depend on kickoff
+    interleaving (a node that hears an election first never kicks off)."""
+    return {
+        pid: {"leader": s["leader"], "is_leader": s["is_leader"]}
+        for pid, s in states.items()
+    }
+
+
+@dataclass
+class ParityCase:
+    app: str
+    build: Callable[[Cluster], None]
+    project: Callable[[States], Any] = _full_state
+    seed: int = 7
+    until: float = 200.0
+    check: Callable[[States], None] = field(default=lambda states: None)
+
+
+def _wordcount_check(states: States) -> None:
+    assert states["master"]["aggregated"] == 6
+    assert states["master"]["counts"] == expected_counts(6, 20)
+
+
+def _wordcount_burst_check(states: States) -> None:
+    assert states["master"]["aggregated"] == 24
+    assert states["master"]["counts"] == expected_counts(24, 12)
+
+
+def _2pc_check(states: States) -> None:
+    assert states["coordinator"]["completed"] == 2
+    assert all(
+        s["committed"] == [0, 1] and s["aborted"] == []
+        for pid, s in states.items()
+        if pid.startswith("participant")
+    )
+
+
+CASES = [
+    ParityCase(
+        "wordcount",
+        lambda c: build_wordcount_cluster(c, workers=2, chunks=6),
+        check=_wordcount_check,
+    ),
+    ParityCase(
+        "wordcount_burst",
+        lambda c: build_wordcount_burst_cluster(c, workers=3, chunks=24, words_per_chunk=12),
+        check=_wordcount_burst_check,
+    ),
+    ParityCase(
+        "kvstore",
+        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
+        until=400.0,
+    ),
+    ParityCase(
+        "bank",
+        lambda c: build_bank_cluster(c, branches=3, fixed=True),
+        project=_bank_projection,
+    ),
+    ParityCase(
+        "token_ring",
+        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
+    ),
+    ParityCase(
+        "leader_election",
+        lambda c: build_election_ring(c, nodes=4),
+        project=_election_projection,
+    ),
+    ParityCase(
+        "two_phase_commit",
+        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
+        check=_2pc_check,
+    ),
+]
+
+
+def _run(case: ParityCase, backend) -> States:
+    cluster = Cluster(ClusterConfig(seed=case.seed), backend=backend)
+    case.build(cluster)
+    result = cluster.run(until=case.until)
+    assert result.ok, f"{case.app}: unhandled violations on {cluster.backend.name}"
+    assert result.stopped_reason == "quiescent", (
+        f"{case.app} on {cluster.backend.name} stopped for "
+        f"{result.stopped_reason!r}, expected quiescence"
+    )
+    return result.process_states
+
+
+@pytest.mark.parity
+@pytest.mark.parametrize("case", CASES, ids=lambda case: case.app)
+def test_fault_free_parity(case: ParityCase):
+    sim_states = _run(case, SimBackend())
+    mp_states = _run(case, MPBackend(MPBackendOptions(time_scale=0.01)))
+    assert set(sim_states) == set(mp_states)
+    case.check(sim_states)
+    case.check(mp_states)
+    assert case.project(sim_states) == case.project(mp_states), (
+        f"{case.app}: application-level final states diverge between backends"
+    )
+
+
+@pytest.mark.parity
+def test_parity_covers_all_demo_apps():
+    """The parity suite must cover every demo application."""
+    apps = {case.app for case in CASES}
+    assert {
+        "wordcount",
+        "kvstore",
+        "bank",
+        "token_ring",
+        "leader_election",
+        "two_phase_commit",
+    } <= apps
+
+
+@pytest.mark.parity
+def test_mp_batching_preserves_results():
+    """Batched and unbatched transports must compute identical states."""
+    def run(batched: bool) -> States:
+        options = MPBackendOptions(
+            time_scale=0.01,
+            flush_watermark=64 if batched else 1,
+            batch_deliveries=batched,
+        )
+        cluster = Cluster(ClusterConfig(seed=11), backend=MPBackend(options))
+        build_wordcount_burst_cluster(cluster, workers=3, chunks=30, words_per_chunk=10)
+        result = cluster.run(until=200.0)
+        assert result.ok
+        return result.process_states
+
+    assert run(True) == run(False)

@@ -11,8 +11,8 @@ from repro.apps.kvstore import KVClient, KVReplica
 from repro.apps.wordcount import build_wordcount_cluster, expected_counts
 from repro.core.fixd import FixD, FixDConfig
 from repro.dsim.cluster import Cluster, ClusterConfig
-from repro.dsim.failure import CrashFault, FailurePlan
-from repro.dsim.mp_backend import MPCluster
+from repro.dsim.backend import MPBackend, MPBackendOptions
+from repro.dsim.failure import CrashFault, FailurePlan, MessageFault
 from repro.dsim.process import Process, handler
 from repro.healer.healer import Healer
 from repro.healer.patch import generate_patch
@@ -117,40 +117,158 @@ class TestRepeatedFaultHandling:
         assert 1 <= len(fixd.reports) <= 3
 
 
+def _overcount(state):
+    """Module-level corruption mutator (must pickle across the pipe)."""
+    state["count"] = state.get("count", 0) + 100
+
+
+class _StopExploder(PingPong):
+    """PingPong whose shutdown callback fails (worker error-path coverage)."""
+
+    def on_stop(self):
+        raise ValueError("boom in on_stop")
+
+
 @pytest.mark.slow
 class TestMultiprocessingBackend:
-    """The same process classes running on real OS processes."""
+    """The same process classes running on real OS processes via the unified API."""
 
-    def test_ping_pong_on_real_processes(self):
-        cluster = MPCluster(seed=1)
+    @staticmethod
+    def _mp_cluster(seed=1) -> Cluster:
+        cluster = Cluster(ClusterConfig(seed=seed), backend=MPBackend())
         cluster.add_process("p0", PingPong)
         cluster.add_process("p1", PingPong)
-        result = cluster.run(duration=1.5)
-        assert set(result.final_states) == {"p0", "p1"}
-        counts = sorted(state["count"] for state in result.final_states.values())
+        return cluster
+
+    def test_ping_pong_on_real_processes(self):
+        cluster = self._mp_cluster()
+        result = cluster.run(until=60)
+        assert result.stopped_reason == "quiescent"
+        assert set(result.process_states) == {"p0", "p1"}
+        counts = sorted(state["count"] for state in result.process_states.values())
         assert counts == [4, 5]
-        assert result.total_messages >= 9
+        assert cluster.backend.transport_stats["messages_routed"] >= 9
 
     def test_mp_backend_matches_simulator_results(self):
         simulated = make_cluster({"p0": PingPong, "p1": PingPong}, seed=1).run()
-        mp_cluster = MPCluster(seed=1)
-        mp_cluster.add_process("p0", PingPong)
-        mp_cluster.add_process("p1", PingPong)
-        real = mp_cluster.run(duration=1.5)
-        assert real.final_states == simulated.process_states
+        real = self._mp_cluster().run(until=60)
+        assert real.process_states == simulated.process_states
 
     def test_duplicate_pid_and_instance_rejected(self):
-        cluster = MPCluster()
+        cluster = Cluster(backend=MPBackend())
         cluster.add_process("p0", PingPong)
         with pytest.raises(Exception):
             cluster.add_process("p0", PingPong)
-        with pytest.raises(TypeError):
-            cluster.add_process("p1", PingPong())
+        # instances register fine on the frontend, but the mp backend
+        # needs factories to build workers — the run rejects them.
+        cluster.add_process("p1", PingPong())
+        with pytest.raises(Exception):
+            cluster.run(until=1.0)
 
     def test_cooperative_crash(self):
-        cluster = MPCluster(seed=1)
+        cluster = self._mp_cluster()
+        cluster.set_failure_plan(FailurePlan(crashes=[CrashFault("p1", at=1e-6)]))
+        result = cluster.run(until=60)
+        assert result.process_states["p1"]["count"] <= 1
+
+    def test_message_fault_injection_on_real_processes(self):
+        cluster = self._mp_cluster()
+        cluster.set_failure_plan(
+            FailurePlan(message_faults=[MessageFault("drop", match_kind="PING", count=1)])
+        )
+        result = cluster.run(until=60)
+        # the very first PING is dropped: the conversation never starts
+        counts = sorted(state["count"] for state in result.process_states.values())
+        assert counts == [0, 0]
+        assert sum(cluster.fault_engine.hit_counts().values()) == 1
+
+    def test_hook_surface_on_real_processes(self):
+        """Generic runtime hooks observe the run on the mp substrate too."""
+        from repro.dsim.runtime import StatsHook
+
+        cluster = self._mp_cluster()
+        stats = StatsHook()
+        cluster.add_hook(stats)
+        result = cluster.run(until=60)
+        totals = stats.totals()
+        assert totals["sent"] == 9 and totals["received"] == 9
+        assert totals["handlers"] >= 9  # after_handler fires per delivery + on_start
+        # msg_ids are cluster-unique across workers (per-worker id ranges)
+        from repro.scroll.recorder import ScrollRecorder
+        from repro.scroll.entry import ActionKind
+
+        cluster2 = self._mp_cluster()
+        recorder = ScrollRecorder()
+        cluster2.add_hook(recorder)
+        cluster2.run(until=60)
+        sent_ids = [
+            e.detail["message"]["msg_id"] for e in recorder.scroll.of_kind(ActionKind.SEND)
+        ]
+        assert len(sent_ids) == len(set(sent_ids)), "msg_ids collide across workers"
+
+    def test_state_corruption_fires_even_after_app_quiesces(self):
+        from repro.dsim.failure import StateCorruptionFault
+
+        cluster = Cluster(
+            ClusterConfig(seed=1, halt_on_violation=False),
+            backend=MPBackend(MPBackendOptions(time_scale=0.01)),
+        )
         cluster.add_process("p0", PingPong)
         cluster.add_process("p1", PingPong)
-        cluster.crash_after("p1", 0.0)
-        result = cluster.run(duration=1.0)
-        assert result.final_states["p1"]["count"] <= 1
+        # the ping-pong exchange is over almost immediately; the
+        # corruption is scheduled long after — quiescence must wait
+        cluster.set_failure_plan(
+            FailurePlan(
+                corruptions=[
+                    StateCorruptionFault(
+                        "p1", at=20.0, mutator=_overcount, description="count overflow"
+                    )
+                ]
+            )
+        )
+        result = cluster.run(until=200)
+        assert any(t.action == "corrupt" for t in result.trace), "corruption never fired"
+        assert result.violations, "corrupted invariant was not detected"
+
+    def test_frontend_process_state_access_fails_loudly(self):
+        cluster = self._mp_cluster()
+        prototype = cluster.process("p0")  # fine before the run starts
+        assert prototype.state == {}
+        result = cluster.run(until=60)
+        assert result.process_states["p0"]["count"] > 0
+        with pytest.raises(Exception, match="RunResult.process_states"):
+            cluster.process("p0")
+        with pytest.raises(Exception, match="RunResult.process_states"):
+            cluster.processes()
+
+    def test_on_stop_exception_preserves_final_state(self):
+        cluster = Cluster(ClusterConfig(seed=1), backend=MPBackend())
+        cluster.add_process("s0", _StopExploder)
+        cluster.add_process("s1", _StopExploder)
+        result = cluster.run(until=60)
+        assert result.stopped_reason.startswith("worker-error:")
+        # final states survive the on_stop failure instead of vanishing
+        assert set(result.process_states) == {"s0", "s1"}
+        assert any("on_stop" in t.detail for t in result.trace if t.action == "error")
+
+    def test_fault_plan_unknown_pid_rejected_before_spawn(self):
+        from repro.errors import UnknownProcessError
+
+        cluster = self._mp_cluster()
+        cluster.set_failure_plan(FailurePlan(crashes=[CrashFault("ghost", at=0.5)]))
+        with pytest.raises(UnknownProcessError):
+            cluster.run(until=1.0)
+        # the failed validation must not poison the cluster
+        cluster.set_failure_plan(FailurePlan())
+        assert cluster.run(until=60).stopped_reason == "quiescent"
+
+    def test_legacy_mp_cluster_shim_still_works(self):
+        from repro.dsim.mp_backend import MPCluster  # legacy-shim-ok
+
+        legacy = MPCluster(seed=1)
+        legacy.add_process("p0", PingPong)
+        legacy.add_process("p1", PingPong)
+        result = legacy.run(duration=30.0)
+        counts = sorted(state["count"] for state in result.final_states.values())
+        assert counts == [4, 5]
+        assert result.total_messages >= 9

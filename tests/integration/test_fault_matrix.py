@@ -1,4 +1,4 @@
-"""The fault-scenario matrix: six demo apps × four injected fault types.
+"""The fault-scenario matrix: six demo apps × six injected fault types.
 
 Every scenario runs a real application cluster with FixD attached (the
 Scroll recording into a *tiered* spill-to-disk log, communication-induced
@@ -44,7 +44,13 @@ from repro.apps.wordcount import build_wordcount_cluster
 from repro.core.fixd import FixD, FixDConfig
 from repro.core.report import incident_report
 from repro.dsim.cluster import Cluster, ClusterConfig
-from repro.dsim.failure import CrashFault, FailurePlan, MessageFault
+from repro.dsim.failure import (
+    CrashFault,
+    FailurePlan,
+    MessageFault,
+    PartitionFault,
+    StateCorruptionFault,
+)
 from repro.scroll.entry import ActionKind
 from repro.scroll.interceptor import RecordingPolicy
 
@@ -96,7 +102,7 @@ class Scenario:
     """One cell of the app × fault matrix."""
 
     app: str
-    fault: str  # "crash" | "drop" | "duplicate" | "delay"
+    fault: str  # "crash" | "drop" | "duplicate" | "delay" | "partition" | "state_corruption"
     build: Callable[[Cluster], None]
     plan: FailurePlan
     consistent: Callable[[Dict[str, Dict[str, Any]]], bool]
@@ -120,6 +126,16 @@ def _message(kind: str, match_kind: str, count: int = 1, extra_delay: float = 0.
         message_faults=[
             MessageFault(kind, match_kind=match_kind, count=count, extra_delay=extra_delay)
         ]
+    )
+
+
+def _partition(groups, start: float, end: float) -> FailurePlan:
+    return FailurePlan(partitions=[PartitionFault(groups=groups, start=start, end=end)])
+
+
+def _corrupt(pid: str, at: float, mutator, description: str) -> FailurePlan:
+    return FailurePlan(
+        corruptions=[StateCorruptionFault(pid=pid, at=at, mutator=mutator, description=description)]
     )
 
 
@@ -151,6 +167,25 @@ SCENARIOS = [
         _message("delay", "REPLICATE", count=2, extra_delay=3.0),
         replica_consistency_invariant,
     ),
+    Scenario(
+        # The backup is cut off mid-replication: it lags but never leads.
+        "kvstore", "partition",
+        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
+        _partition([["replica0", "client0"], ["replica1"]], start=2.0, end=6.0),
+        replica_consistency_invariant,
+    ),
+    Scenario(
+        # A rogue key appears on the backup without a version entry —
+        # the versions-track-store invariant fires and FixD rolls back.
+        "kvstore", "state_corruption",
+        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
+        _corrupt(
+            "replica1", 4.0,
+            lambda state: state["store"].__setitem__("rogue", "corrupt"),
+            "rogue unversioned key on backup",
+        ),
+        replica_consistency_invariant, expect_violation=True,
+    ),
     # ------------------------------------------------------------------
     # bank (fixed branches): money is conserved across transfers
     # ------------------------------------------------------------------
@@ -181,6 +216,26 @@ SCENARIOS = [
         _message("delay", "TRANSFER", count=2, extra_delay=4.0),
         total_balance_invariant,
     ),
+    Scenario(
+        # Transfers into the isolated branch drop: money stays tracked
+        # as in-flight debits, so the one-sided conservation bound holds.
+        "bank", "partition",
+        lambda c: build_bank_cluster(c, branches=3, fixed=True),
+        _partition([["branch0", "branch1"], ["branch2"]], start=2.0, end=6.0),
+        bank_crash_consistent,
+    ),
+    Scenario(
+        # In-flight accounting is silently driven negative — a provoked
+        # violation of in-flight-non-negative that FixD must roll back.
+        "bank", "state_corruption",
+        lambda c: build_bank_cluster(c, branches=3, fixed=True),
+        _corrupt(
+            "branch1", 3.5,
+            lambda state: state.__setitem__("in_flight_debits", -5),
+            "in-flight debit counter corrupted negative",
+        ),
+        bank_locally_consistent, expect_violation=True,
+    ),
     # ------------------------------------------------------------------
     # token ring: at most one token / one process in its critical section
     # ------------------------------------------------------------------
@@ -207,6 +262,28 @@ SCENARIOS = [
         lambda c: build_token_ring(c, nodes=3, max_rounds=4),
         _message("delay", "TOKEN", count=1, extra_delay=2.5),
         token_ring_consistent,
+    ),
+    Scenario(
+        # The token is lost crossing the cut — a lost token is benign for
+        # safety: at most one holder / one critical section still holds.
+        "token_ring", "partition",
+        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
+        _partition([["node0"], ["node1", "node2"]], start=0.5, end=3.0),
+        token_ring_consistent,
+    ),
+    Scenario(
+        # A node is forced into its critical section without the token —
+        # the cs-requires-token invariant fires immediately.
+        "token_ring", "state_corruption",
+        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
+        _corrupt(
+            # 3.5: node1 has already passed the token on (at 3.0) — being
+            # in the critical section without it is a real violation.
+            "node1", 3.5,
+            lambda state: state.__setitem__("in_critical_section", True),
+            "critical section entered without token",
+        ),
+        token_ring_consistent, expect_violation=True,
     ),
     # ------------------------------------------------------------------
     # leader election: never two leaders, crashed nodes come back
@@ -235,6 +312,26 @@ SCENARIOS = [
         _message("delay", "ELECTED", count=1, extra_delay=4.0),
         at_most_one_leader_invariant,
     ),
+    Scenario(
+        # Election traffic across the cut drops; whatever happens, two
+        # nodes never both believe they are the leader.
+        "leader_election", "partition",
+        lambda c: build_election_ring(c, nodes=4),
+        _partition([["elector0", "elector1"], ["elector2", "elector3"]], start=1.5, end=7.0),
+        at_most_one_leader_invariant,
+    ),
+    Scenario(
+        # A node is corrupted into believing it leads without recording a
+        # leader id — self-leader-consistent fires.
+        "leader_election", "state_corruption",
+        lambda c: build_election_ring(c, nodes=4),
+        _corrupt(
+            "elector1", 2.5,
+            lambda state: state.__setitem__("is_leader", True),
+            "node believes it leads without an election",
+        ),
+        at_most_one_leader_invariant, expect_violation=True,
+    ),
     # ------------------------------------------------------------------
     # two-phase commit: no transaction both committed and aborted
     # ------------------------------------------------------------------
@@ -261,6 +358,29 @@ SCENARIOS = [
         lambda c: build_2pc_cluster(c, participants=3, transactions=2),
         _message("delay", "COMMIT", count=1, extra_delay=5.0),
         atomicity_invariant,
+    ),
+    Scenario(
+        # One participant is unreachable during prepare: its vote never
+        # arrives, the coordinator times out and aborts — atomically.
+        "two_phase_commit", "partition",
+        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
+        _partition(
+            [["coordinator", "participant0", "participant1"], ["participant2"]],
+            start=1.0, end=4.0,
+        ),
+        atomicity_invariant, max_events=6000,
+    ),
+    Scenario(
+        # A participant's decision log is corrupted to hold a transaction
+        # both committed and aborted — not-both fires, FixD rolls back.
+        "two_phase_commit", "state_corruption",
+        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
+        _corrupt(
+            "participant1", 3.0,
+            lambda state: (state["committed"].append(99), state["aborted"].append(99)),
+            "transaction recorded both committed and aborted",
+        ),
+        atomicity_invariant, expect_violation=True,
     ),
     # ------------------------------------------------------------------
     # wordcount: aggregation never outruns dispatch or the corpus
@@ -291,6 +411,26 @@ SCENARIOS = [
         _message("delay", "COUNT", count=2, extra_delay=3.0),
         wordcount_consistent,
     ),
+    Scenario(
+        # Chunks routed to the cut-off worker drop: aggregation simply
+        # never outruns dispatch.
+        "wordcount", "partition",
+        lambda c: build_wordcount_cluster(c, workers=2, chunks=8),
+        _partition([["master", "worker0"], ["worker1"]], start=2.0, end=6.0),
+        wordcount_consistent,
+    ),
+    Scenario(
+        # The master's aggregation counter jumps ahead of dispatch — the
+        # aggregated-bounded-by-dispatched invariant fires.
+        "wordcount", "state_corruption",
+        lambda c: build_wordcount_cluster(c, workers=2, chunks=8),
+        _corrupt(
+            "master", 4.0,
+            lambda state: state.__setitem__("aggregated", state["aggregated"] + 5),
+            "aggregation counter corrupted past dispatch",
+        ),
+        wordcount_consistent, expect_violation=True,
+    ),
 ]
 
 
@@ -320,10 +460,14 @@ def test_fault_scenario(scenario: Scenario):
     if scenario.fault == "crash":
         assert scroll.of_kind(ActionKind.CRASH), "crash not recorded on the Scroll"
         assert scroll.of_kind(ActionKind.RECOVER), "recovery not recorded on the Scroll"
-    elif scenario.fault == "drop":
+    elif scenario.fault in ("drop", "partition"):
         assert scroll.of_kind(ActionKind.DROP), "drop not recorded on the Scroll"
     elif scenario.fault == "duplicate":
         assert scroll.of_kind(ActionKind.DUPLICATE), "duplicate not recorded on the Scroll"
+    elif scenario.fault == "state_corruption":
+        assert scroll.of_kind(ActionKind.CORRUPTION), "corruption not recorded on the Scroll"
+    if scenario.fault == "partition":
+        assert result.network_stats["dropped"] >= 1, "partition never dropped a message"
     if scenario.fault in ("drop", "duplicate", "delay"):
         hits = cluster.fault_engine.hit_counts()
         assert sum(hits.values()) >= 1, "injected message-fault rule never fired"
@@ -333,7 +477,11 @@ def test_fault_scenario(scenario: Scenario):
     # --- reporting -----------------------------------------------------
     report_text = incident_report(scenario.plan, scroll, result)
     assert "Injected faults" in report_text and "Observed on the Scroll" in report_text
-    assert f"{scenario.fault if scenario.fault != 'delay' else 'crash'}:" in report_text
+    observed_keyword = {
+        "crash": "crash", "drop": "drop", "duplicate": "duplicate",
+        "delay": "crash", "partition": "drop", "state_corruption": "corruption",
+    }[scenario.fault]
+    assert f"{observed_keyword}:" in report_text
     if scenario.expect_violation:
         assert fixd.reports, "no FixD bug report for the provoked violation"
         bug_text = fixd.reports[0].bug_report.to_text()
@@ -361,10 +509,14 @@ def test_fault_scenario(scenario: Scenario):
 
 @pytest.mark.matrix
 def test_matrix_covers_all_apps_and_faults():
-    """The matrix itself must stay complete: 6 apps × 4 fault types."""
+    """The matrix itself must stay complete: 6 apps × 6 fault types."""
     apps = {scenario.app for scenario in SCENARIOS}
     faults = {scenario.fault for scenario in SCENARIOS}
     assert len(apps) == 6
-    assert faults == {"crash", "drop", "duplicate", "delay"}
-    assert len(SCENARIOS) >= 20
+    assert faults == {"crash", "drop", "duplicate", "delay", "partition", "state_corruption"}
+    cells = {(scenario.app, scenario.fault) for scenario in SCENARIOS}
+    assert cells == {(app, fault) for app in apps for fault in faults}, (
+        "every app must face every fault kind"
+    )
+    assert len(SCENARIOS) >= 36
     assert len({scenario.id for scenario in SCENARIOS}) == len(SCENARIOS)

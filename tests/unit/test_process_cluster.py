@@ -303,3 +303,18 @@ class TestClusterFaultInjection:
         result = cluster.run()
         assert result.network_stats["dropped"] >= 1
         assert all(state["count"] == 0 for state in result.process_states.values())
+
+
+class TestBackendBinding:
+    def test_backend_instance_cannot_be_shared_between_clusters(self):
+        from repro.dsim.backend import SimBackend
+
+        backend = SimBackend()
+        first = Cluster(ClusterConfig(seed=1), backend=backend)
+        assert first.backend is backend
+        with pytest.raises(SimulationError, match="already bound"):
+            Cluster(ClusterConfig(seed=1), backend=backend)
+
+    def test_unknown_backend_spec_rejected(self):
+        with pytest.raises(SimulationError, match="unknown backend"):
+            Cluster(ClusterConfig(seed=1), backend="quantum")

@@ -115,6 +115,59 @@ class TestScheduler:
         assert scheduler.executed_events == 1
 
 
+class TestSchedulerHeapCompaction:
+    """Dead (cancelled) heap entries are compacted before they dominate."""
+
+    def test_heavy_cancel_for_target_churn_keeps_heap_bounded(self):
+        scheduler = Scheduler()
+        survivors = 0
+        for round_index in range(200):
+            # a burst of work for one doomed target plus one survivor
+            for offset in range(50):
+                scheduler.schedule(
+                    1.0 + round_index + offset * 0.001, EventKind.DELIVER, "doomed"
+                )
+            scheduler.schedule(500.0 + round_index, EventKind.TIMER, "survivor")
+            survivors += 1
+            cancelled = scheduler.cancel_for_target("doomed")
+            assert cancelled == 50
+            # invariant: the heap never holds more than live + max(64, live)
+            # entries — dead events cannot exceed half once compaction runs
+            assert scheduler.heap_size <= 2 * scheduler.pending_events + 65
+        assert scheduler.pending_events == survivors
+        # 10_000 events were cancelled over the run; without compaction the
+        # heap would hold them all until drain.  It must stay near `live`.
+        assert scheduler.heap_size < 1_000
+        drained = [event.target for event in scheduler.drain()]
+        assert drained == ["survivor"] * survivors
+
+    def test_scattered_single_cancels_trigger_compaction(self):
+        scheduler = Scheduler()
+        events = [
+            scheduler.schedule(1.0 + index * 0.01, EventKind.TIMER, f"t{index % 7}")
+            for index in range(2_000)
+        ]
+        for index, event in enumerate(events):
+            if index % 10:  # cancel 90%
+                scheduler.cancel(event)
+        assert scheduler.pending_events == 200
+        assert scheduler.heap_size <= 2 * scheduler.pending_events + 65
+        assert len(list(scheduler.drain())) == 200
+
+    def test_compaction_preserves_order_and_counters(self):
+        scheduler = Scheduler()
+        keep = []
+        for index in range(500):
+            event = scheduler.schedule(float(500 - index), EventKind.TIMER, "t")
+            if index % 5 == 0:
+                keep.append(event)
+            else:
+                scheduler.cancel(event)
+        order = [event.time for event in scheduler.drain()]
+        assert order == sorted(event.time for event in keep)
+        assert scheduler.pending_events == 0
+
+
 # ----------------------------------------------------------------------
 # Network
 # ----------------------------------------------------------------------

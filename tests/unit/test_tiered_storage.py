@@ -322,3 +322,204 @@ class TestRollbackTruncation:
         assert len(fixd.scroll) <= report.rollback.recovery_line.scroll_position() + len(
             fixd.scroll.entries_for("c0")
         )
+
+
+# ----------------------------------------------------------------------
+# Segment garbage collection (committed recovery lines)
+# ----------------------------------------------------------------------
+class TestSegmentCollection:
+    def _spilled_store(self, tmp_path, segments=4, per_segment=10):
+        entries = make_entries(segments * per_segment)
+        store = SegmentStore(tmp_path / "segs")
+        for index in range(segments):
+            store.append_segment(entries[index * per_segment:(index + 1) * per_segment])
+        return store, entries
+
+    def test_collect_unlinks_whole_prefix_segments(self, tmp_path):
+        store, entries = self._spilled_store(tmp_path)
+        files_before = sorted(store.directory.glob("*.seg"))
+        assert len(files_before) == 4
+        # position 25 sits inside segment 2: only segments 0 and 1 qualify
+        removed = store.collect(25)
+        assert removed == 20
+        assert store.base == 20
+        assert store.segment_count() == 2
+        assert len(sorted(store.directory.glob("*.seg"))) == 2
+        # reachable reads are untouched, collected positions fail loudly
+        for position in range(20, 40):
+            assert store.get(position) == entries[position]
+        with pytest.raises(IndexError):
+            store.get(19)
+        assert store.get_many(list(range(20, 40))) == entries[20:40]
+        assert list(store.iter_range(0, 40)) == entries[20:40]
+
+    def test_collect_rebases_the_offset_index(self, tmp_path):
+        store, _ = self._spilled_store(tmp_path)
+        index_before = store.index_bytes()
+        disk_before = store.disk_bytes()
+        store.collect(20)
+        assert store.index_bytes() < index_before
+        assert store.disk_bytes() < disk_before
+        assert store.stats()["collected_entries"] == 20
+        assert len(store) == 40  # positions stay global
+
+    def test_append_and_truncate_after_collect(self, tmp_path):
+        store, entries = self._spilled_store(tmp_path)
+        store.collect(20)
+        extra = make_entries(50)[40:]
+        store.append_segment(extra)
+        assert len(store) == 50
+        assert store.get(45) == extra[5]
+        # truncation above the base still works row-accurately
+        removed = store.truncate(42)
+        assert removed == 8
+        assert store.get(41) == extra[1]
+        with pytest.raises(IndexError):
+            store.get(42)
+        # truncation cannot descend below the collected base
+        assert store.truncate(5) == 42 - 20
+        assert len(store) == 20
+
+    def test_collect_is_noop_below_segment_boundary(self, tmp_path):
+        store, _ = self._spilled_store(tmp_path)
+        assert store.collect(9) == 0  # inside the first segment
+        assert store.base == 0
+        assert store.segment_count() == 4
+
+
+class TestScrollCollection:
+    def _tiered_scroll(self, n=60, hot_window=10):
+        return Scroll(make_entries(n), hot_window=hot_window)
+
+    def test_collect_trims_indexes_and_keeps_later_queries(self):
+        scroll = self._tiered_scroll()
+        watermark = scroll.spill_watermark
+        assert watermark > 0
+        all_entries = list(scroll)
+        removed = scroll.collect(watermark // 2)
+        assert removed > 0
+        base = scroll.collected_base
+        assert 0 < base <= watermark // 2
+        assert len(scroll) == 60  # positions stay global
+        # per-pid / per-kind queries only return reachable entries
+        for pid in ("p0", "p1", "p2"):
+            expected = [e for i, e in enumerate(all_entries) if i >= base and e.pid == pid]
+            assert scroll.entries_for(pid) == expected
+        expected_random = [
+            e for i, e in enumerate(all_entries)
+            if i >= base and e.kind is ActionKind.RANDOM
+        ]
+        assert scroll.of_kind(ActionKind.RANDOM) == expected_random
+        # iteration and ranges skip the collected prefix
+        assert list(scroll) == all_entries[base:]
+        assert scroll[base] == all_entries[base]
+        with pytest.raises(IndexError):
+            scroll[base - 1]
+        # contiguous and stepped slices agree: both silently skip the prefix
+        assert scroll[0:base + 4] == all_entries[base:base + 4]
+        assert scroll[0:base + 4:2] == [
+            e for i, e in enumerate(all_entries[:base + 4]) if i % 2 == 0 and i >= base
+        ]
+
+    def test_collect_never_touches_the_hot_tier(self):
+        scroll = self._tiered_scroll()
+        removed = scroll.collect(len(scroll))  # ask for everything
+        assert scroll.collected_base <= scroll.spill_watermark
+        assert scroll.hot_entries > 0
+        assert removed <= scroll.spill_watermark
+
+    def test_untiered_scroll_collect_is_noop(self):
+        scroll = Scroll(make_entries(20))
+        assert scroll.collect(10) == 0
+        assert scroll.collected_base == 0
+
+    def test_append_after_collect_keeps_global_positions(self):
+        scroll = self._tiered_scroll()
+        scroll.collect(scroll.spill_watermark)
+        entry = ScrollEntry(pid="p9", kind=ActionKind.TIMER, time=99.0, detail={"name": "t"})
+        scroll.append(entry)
+        assert scroll.last_entry("p9") == entry
+        assert scroll.entries_for("p9") == [entry]
+
+    def test_between_and_times_survive_collect(self):
+        scroll = self._tiered_scroll()
+        all_entries = list(scroll)
+        scroll.collect(scroll.spill_watermark)
+        base = scroll.collected_base
+        # time-range queries bisect correctly through the re-based times column
+        expected = [e for i, e in enumerate(all_entries) if i >= base and 5.0 <= e.time < 10.0]
+        assert scroll.between(5.0, 10.0) == expected
+        # appends after collection keep the time column aligned
+        entry = ScrollEntry(pid="p0", kind=ActionKind.TIMER, time=200.0, detail={"name": "t"})
+        scroll.append(entry)
+        assert scroll.between(199.0, 201.0) == [entry]
+
+
+class TestRollbackCommitCollectsSegments:
+    def test_committed_line_unlinks_unreachable_segments(self):
+        policy = RecordingPolicy(InterceptionMode.SYSCALL, hot_window=4)
+        recorder = ScrollRecorder(policy=policy)
+        cluster = make_cluster({"p0": PingPong, "p1": PingPong}, seed=1)
+        cluster.add_hook(recorder)
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.run()
+        scroll = recorder.scroll
+        assert scroll.spill_watermark > 0
+        line = time_machine.latest_recovery_line()
+        manager = time_machine.rollback_manager
+        collected = manager.commit(line)
+        assert manager.committed_lines == [line]
+        assert collected >= 0
+        assert scroll.collected_base <= (line.scroll_position() or 0)
+        # the line itself and everything after it stay reachable
+        for entry in scroll.entries_for("p0"):
+            assert entry.pid == "p0"
+        # a later rollback with truncation still works above the base
+        result = time_machine.rollback_to(line, truncate_scroll=True)
+        assert len(scroll) == line.scroll_position()
+        assert result.restored_pids
+
+    def test_commit_without_scroll_is_safe(self):
+        cluster = make_cluster({"p0": PingPong, "p1": PingPong}, seed=1)
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        cluster.run()
+        line = time_machine.latest_recovery_line()
+        assert time_machine.rollback_manager.commit(line) == 0
+
+
+class TestCommittedLineEnforcement:
+    def test_rollback_past_committed_line_is_refused(self):
+        from repro.errors import RecoveryLineError
+
+        policy = RecordingPolicy(InterceptionMode.SYSCALL, hot_window=4)
+        recorder = ScrollRecorder(policy=policy)
+        cluster = make_cluster({"p0": PingPong, "p1": PingPong}, seed=1)
+        cluster.add_hook(recorder)
+        time_machine = TimeMachine()
+        time_machine.attach(cluster)
+        # capture an early line mid-run, then a later one at the end
+        cluster.run(max_events=4)
+        early_line = time_machine.latest_recovery_line()
+        cluster.resume()
+        cluster.run()
+        late_line = time_machine.latest_recovery_line()
+        manager = time_machine.rollback_manager
+        manager.commit(late_line)
+        early = early_line.scroll_position()
+        late = late_line.scroll_position()
+        if early is not None and late is not None and early < late:
+            with pytest.raises(RecoveryLineError, match="committed line"):
+                manager.rollback(early_line)
+        # rolling back to the committed line itself stays legal
+        result = manager.rollback(late_line)
+        assert result.restored_pids
+
+    def test_storage_stats_agree_after_collect(self):
+        scroll = Scroll(make_entries(60), hot_window=10)
+        scroll.collect(scroll.spill_watermark)
+        stats = scroll.storage_stats()
+        assert stats["collected_entries"] == scroll.collected_base
+        assert stats["spilled_entries"] == scroll.spill_watermark - scroll.collected_base
+        assert stats["spilled_entries"] == stats["store"]["spilled_entries"]
