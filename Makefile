@@ -1,12 +1,12 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: verify tier1 tier1-core matrix parity bench-smoke bench test-all
+.PHONY: verify tier1 tier1-core matrix parity bench-smoke suite-smoke bench test-all
 
 ## The one-command gate: core tests, the fault matrix, backend parity,
-## benchmark smoke — each exactly once (tier1-core deselects what the
-## later steps own).
-verify: tier1-core matrix parity bench-smoke
+## benchmark smoke, and a suite-file run through the repro.api facade —
+## each exactly once (tier1-core deselects what the later steps own).
+verify: tier1-core matrix parity bench-smoke suite-smoke
 
 ## The plain default suite (what CI and `pytest -x -q` run): includes the
 ## matrix and the in-process bench smoke test.
@@ -26,6 +26,11 @@ parity:
 
 bench-smoke:
 	python benchmarks/run_bench.py --quick --check
+
+## Run the committed multi-fault suite artefact end to end through the
+## declarative facade (load_suite -> Experiment -> Outcome assertions).
+suite-smoke:
+	python -m repro.api suites/crash_during_partition.json
 
 ## Regenerate the committed benchmark baseline (full + quick profiles).
 bench:

@@ -2,27 +2,21 @@
 
 Kept separate from ``conftest.py`` so benchmark modules can import the
 builders explicitly (``from bench_workloads import ...``) while the
-fixture machinery stays in conftest.
+fixture machinery stays in conftest.  Everything is expressed through
+the ``repro.api`` facade: clusters come from the app registry, and the
+process classes the deep-dive benchmarks need come from the registry's
+exports.
 """
 
 from __future__ import annotations
 
-from repro.apps.kvstore import KVClient, KVReplica, KVReplicaStale
-from repro.apps.token_ring import TokenRingNode, build_token_ring
-from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.api import Cluster, ClusterConfig, apps
 
-
-class RewritingClient(KVClient):
-    """Client workload that overwrites keys (exposes the stale-version bug)."""
-
-    operations = [
-        ("put", "alpha", 1),
-        ("put", "beta", 2),
-        ("put", "alpha", 3),
-        ("get", "alpha", None),
-        ("put", "beta", 4),
-        ("get", "beta", None),
-    ]
+_KV = apps.app("kvstore").exports
+KVReplica = _KV["KVReplica"]
+KVReplicaStale = _KV["KVReplicaStale"]
+#: overwrite-heavy client workload (exposes the stale-version bug)
+RewritingClient = _KV["KVRewritingClient"]
 
 
 def kvstore_factories(buggy: bool = False):
@@ -38,12 +32,18 @@ def kvstore_factories(buggy: bool = False):
 
 def build_kv_cluster(seed: int = 21, buggy: bool = False, halt: bool = False) -> Cluster:
     cluster = Cluster(ClusterConfig(seed=seed, halt_on_violation=halt))
-    for pid, factory in kvstore_factories(buggy).items():
-        cluster.add_process(pid, factory)
+    apps.build(
+        cluster,
+        "kvstore",
+        replicas=3,
+        clients=1,
+        stale_backups=buggy,
+        rewriting_clients=True,
+    )
     return cluster
 
 
 def build_ring_cluster(nodes: int = 3, rounds: int = 5, seed: int = 5) -> Cluster:
     cluster = Cluster(ClusterConfig(seed=seed, halt_on_violation=False))
-    build_token_ring(cluster, nodes=nodes, node_class=TokenRingNode, max_rounds=rounds)
+    apps.build(cluster, "token_ring", nodes=nodes, max_rounds=rounds)
     return cluster

@@ -25,7 +25,7 @@ import statistics
 import time as _time
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
-from repro.dsim.scheduler import Event, EventKind
+from repro.dsim.scheduler import Event, EventKind  # facade-ok: seed-behaviour oracle of the scheduler internals
 from repro.errors import SimulationError
 from repro.scroll.entry import ActionKind, ScrollEntry
 

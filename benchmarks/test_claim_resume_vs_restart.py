@@ -8,8 +8,11 @@ simulated work has to be redone.
 
 from __future__ import annotations
 
-from repro.apps.wordcount import WordCountMaster, WordCountWorker, build_wordcount_cluster
-from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.api import Cluster, ClusterConfig, apps
+
+_WC = apps.app("wordcount").exports
+WordCountMaster = _WC["WordCountMaster"]
+WordCountWorker = _WC["WordCountWorker"]
 from repro.healer.healer import Healer
 from repro.healer.patch import generate_patch
 from repro.healer.strategies import RecoveryStrategy
@@ -19,7 +22,7 @@ from repro.timemachine.time_machine import TimeMachine
 def run_until_late_fault():
     """Run the word-count pipeline most of the way through, with checkpointing on."""
     cluster = Cluster(ClusterConfig(seed=11, halt_on_violation=False))
-    build_wordcount_cluster(cluster, workers=3, chunks=12)
+    apps.build(cluster, "wordcount", workers=3, chunks=12)
     time_machine = TimeMachine()
     time_machine.attach(cluster)
     cluster.run(until=10.0, max_events=3000)

@@ -11,7 +11,7 @@ must be super-linear, and a fixed state budget must get exhausted
 
 from __future__ import annotations
 
-from repro.dsim.process import Process, handler
+from repro.api import Process, handler
 from repro.investigator.explorer import Explorer, SearchOrder
 from repro.investigator.models import DistributedSystemModel
 

@@ -8,7 +8,7 @@ exact interleaving.
 
 from __future__ import annotations
 
-from repro.dsim.process import Process, handler, invariant
+from repro.api import Process, handler, invariant
 from repro.investigator.explorer import SearchOrder
 from repro.investigator.investigator import Investigator, InvestigatorConfig
 

@@ -41,8 +41,12 @@ def test_fig4_fault_response_pipeline(benchmark, report_rows):
 
 def test_fig4_protocol_cost_grows_with_cluster_size(report_rows):
     """Collecting checkpoints and models is linear in the number of peers."""
-    from repro.apps.kvstore import KVClient, KVReplica, KVReplicaStale
-    from repro.dsim.cluster import Cluster, ClusterConfig
+    from repro.api import Cluster, ClusterConfig, apps
+
+    _kv = apps.app("kvstore").exports
+    KVClient = _kv["KVClient"]
+    KVReplica = _kv["KVReplica"]
+    KVReplicaStale = _kv["KVReplicaStale"]
 
     class Rewriter(KVClient):
         operations = [("put", "k", 1), ("put", "k", 2)]

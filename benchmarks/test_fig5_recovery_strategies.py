@@ -7,8 +7,11 @@ checkpoint preserves completed work, restarting does not.
 
 from __future__ import annotations
 
-from repro.apps.bank import BankBranch, BankBranchFixed, build_bank_cluster
-from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.api import Cluster, ClusterConfig, apps
+
+_BANK = apps.app("bank").exports
+BankBranch = _BANK["BankBranch"]
+BankBranchFixed = _BANK["BankBranchFixed"]
 from repro.healer.healer import Healer
 from repro.healer.patch import generate_patch
 from repro.healer.strategies import RecoveryStrategy
@@ -17,7 +20,7 @@ from repro.timemachine.time_machine import TimeMachine
 
 def heal_bank(strategy: RecoveryStrategy):
     cluster = Cluster(ClusterConfig(seed=13, halt_on_violation=False))
-    build_bank_cluster(cluster, branches=3)
+    apps.build(cluster, "bank", branches=3)
     time_machine = TimeMachine()
     time_machine.attach(cluster)
     cluster.run(until=6.0, max_events=300)

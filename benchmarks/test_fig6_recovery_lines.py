@@ -9,9 +9,9 @@ process" cut need not be under uncoordinated checkpointing.
 
 from __future__ import annotations
 
-from repro.dsim.clock import VectorClock
-from repro.dsim.process import ProcessCheckpoint
-from repro.dsim.rng import DeterministicRNG
+from repro.dsim.clock import VectorClock  # facade-ok: recovery-line mechanics measured on synthetic checkpoints
+from repro.dsim.process import ProcessCheckpoint  # facade-ok: recovery-line mechanics measured on synthetic checkpoints
+from repro.dsim.rng import DeterministicRNG  # facade-ok: recovery-line mechanics measured on synthetic checkpoints
 from repro.timemachine.checkpoint import CheckpointStore
 from repro.timemachine.comm_induced import CommunicationInducedCheckpointing
 from repro.timemachine.recovery_line import compute_recovery_line, is_consistent, unsafe_line

@@ -1,18 +1,19 @@
-"""One application, two substrates: the unified Backend layer.
+"""One scenario, two substrates: backends are just a Scenario field.
 
-Runs the same word-count application twice through the identical cluster
-API — once on the deterministic simulator, once on real OS processes
-over the batched pipe transport — and shows that:
+Runs the same declarative word-count scenario through the facade twice —
+once on the deterministic simulator, once on real OS processes over the
+batched pipe transport — and shows that:
 
-* the application code and the registration calls are byte-identical;
+* the scenario differs *only* in its ``backend`` field (the grid builds
+  both cells from one spec);
 * FixD's recording layer attaches backend-agnostically (the Scroll
   fills on both substrates);
 * fault-free final states agree, and the batched transport ships many
-  messages per pickled pipe write.
+  messages per pickled pipe write (``outcome.transport``).
 
-(Fault plans map onto both substrates through the same
-``set_failure_plan`` call; see ``tests/integration/test_end_to_end.py``
-for crash and message-fault injection on real processes.)
+(Fault schedules map onto both substrates the same way; the mp slice of
+the fault matrix — ``pytest -m matrix`` — injects crash/drop/delay on
+real processes through the identical Scenario path.)
 
 Run with::
 
@@ -21,38 +22,43 @@ Run with::
 
 from __future__ import annotations
 
-from repro.apps.wordcount import build_wordcount_burst_cluster, expected_counts
-from repro.core.fixd import FixD, FixDConfig
-from repro.dsim.cluster import ClusterConfig
-
-
-def run_on(backend_name: str):
-    fixd = FixD(FixDConfig(backend=backend_name, investigate_on_fault=False))
-    cluster = fixd.make_cluster(ClusterConfig(seed=42))
-    build_wordcount_burst_cluster(cluster, workers=3, chunks=30, words_per_chunk=10)
-    result = cluster.run(until=300.0)
-    return cluster, fixd, result
+from repro.api import Experiment, apps
 
 
 def main() -> None:
-    states = {}
-    for backend_name in ("sim", "mp"):
-        cluster, fixd, result = run_on(backend_name)
-        master = result.process_states["master"]
-        states[backend_name] = master["counts"]
-        print(f"[{backend_name}] stopped: {result.stopped_reason} "
-              f"after {result.events_executed} events "
-              f"(capabilities: {sorted(cluster.backend.capabilities) or ['-']})")
-        print(f"[{backend_name}] aggregated {master['aggregated']}/30 chunks, "
-              f"scroll recorded {len(fixd.scroll)} actions")
-        transport = getattr(cluster.backend, "transport_stats", None)
-        if transport:
-            ratio = transport["messages_routed"] / max(1, transport["delivery_batches"])
-            print(f"[{backend_name}] transport: {transport['messages_routed']} messages "
-                  f"in {transport['delivery_batches']} batched writes "
-                  f"({ratio:.1f} msgs/write, largest batch {transport['max_batch']})")
+    experiment = Experiment.grid(
+        apps=("wordcount_burst",),
+        backends=("sim", "mp"),
+        params={"workers": 3, "chunks": 30, "words_per_chunk": 10},
+        seeds=(42,),
+        until=300.0,
+    )
+    outcomes = {outcome.backend: outcome for outcome in experiment.run()}
 
-    assert states["sim"] == states["mp"] == expected_counts(30, 10)
+    for backend, outcome in outcomes.items():
+        master = outcome.final_states["master"]
+        print(
+            f"[{backend}] stopped: {outcome.stopped_reason} after "
+            f"{outcome.events_executed} events"
+        )
+        print(
+            f"[{backend}] aggregated {master['aggregated']}/30 chunks, "
+            f"scroll recorded {outcome.scroll['entries']} actions"
+        )
+        if outcome.transport:
+            transport = outcome.transport
+            ratio = transport["messages_routed"] / max(1, transport["delivery_batches"])
+            print(
+                f"[{backend}] transport: {transport['messages_routed']} messages "
+                f"in {transport['delivery_batches']} batched writes "
+                f"({ratio:.1f} msgs/write, largest batch {transport['max_batch']})"
+            )
+
+    expected = apps.app("wordcount_burst").exports["expected_counts"](30, 10)
+    sim_counts = outcomes["sim"].final_states["master"]["counts"]
+    mp_counts = outcomes["mp"].final_states["master"]["counts"]
+    assert sim_counts == mp_counts == expected
+    assert experiment.passed
     print("parity: identical word counts on both substrates ✓")
 
 

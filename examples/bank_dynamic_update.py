@@ -19,25 +19,24 @@ Run with::
     python examples/bank_dynamic_update.py
 """
 
-from repro import Cluster, ClusterConfig
-from repro.apps.bank import (
-    BankBranch,
-    BankBranchFixed,
-    build_bank_cluster,
-    total_balance,
-    total_balance_invariant,
-)
+from repro.api import Cluster, ClusterConfig, apps
+from repro.api.modelcheck import Investigator, InvestigatorConfig
 from repro.healer.healer import Healer
 from repro.healer.patch import generate_patch
 from repro.healer.strategies import RecoveryStrategy
-from repro.investigator.investigator import Investigator, InvestigatorConfig
 from repro.timemachine.time_machine import TimeMachine
+
+_BANK = apps.app("bank")
+BankBranch = _BANK.exports["BankBranch"]
+BankBranchFixed = _BANK.exports["BankBranchFixed"]
+total_balance = _BANK.exports["total_balance"]
+total_balance_invariant = _BANK.exports["total_balance_invariant"]
 
 
 def run_bank(strategy: RecoveryStrategy) -> dict:
     """Run the buggy bank, detect the drift, heal with ``strategy``, finish the run."""
     cluster = Cluster(ClusterConfig(seed=13, halt_on_violation=False))
-    build_bank_cluster(cluster, branches=3)
+    apps.build(cluster, "bank", branches=3)
 
     time_machine = TimeMachine()
     time_machine.attach(cluster)

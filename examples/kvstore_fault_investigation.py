@@ -1,8 +1,10 @@
 """Scenario: a replicated key-value store with a latent replication bug.
 
-The backup replicas run :class:`KVReplicaStale`, which forgets to bump a
-key's version on overwrite.  The bug only shows up once a client rewrites
-a key, so a short run looks healthy.  FixD:
+The registry's ``"kvstore"`` app can run its backups as
+``KVReplicaStale`` (forgets to bump a key's version on overwrite) under
+an overwrite-heavy client workload — the bug only shows up once a client
+rewrites a key, so a short run looks healthy.  Declared as a
+``repro.api`` scenario, FixD:
 
 1. records the whole run on the Scroll;
 2. detects the ``overwrite-bumps-version`` invariant violation at a
@@ -11,53 +13,38 @@ a key, so a short run looks healthy.  FixD:
 4. runs the Investigator over the peers' *implementations* from the
    restored global checkpoint, returning the trails that reach the
    violation; and
-5. replays the faulty process's recorded execution offline (liblog-style)
-   to show the developer exactly what it did.
+5. replays the faulty process's recorded execution offline
+   (liblog-style) to show the developer exactly what it did.
+
+The deep dive (replay, global-invariant investigation) uses the live
+:class:`~repro.api.ScenarioRun` handle that ``execute`` returns.
 
 Run with::
 
-    python examples/kvstore_fault_investigation.py
+    PYTHONPATH=src python examples/kvstore_fault_investigation.py
 """
 
-from repro import Cluster, ClusterConfig, FixD
-from repro.apps.kvstore import KVClient, KVReplica, KVReplicaStale, replica_consistency_invariant
-from repro.core.fixd import FixDConfig
-from repro.investigator.investigator import InvestigatorConfig
+from repro.api import FaultSchedule, Scenario, apps, execute
 from repro.scroll.replayer import Replayer
 
 
-class RewritingClient(KVClient):
-    """A client whose workload rewrites the same key, exposing the stale-version bug."""
-
-    operations = [
-        ("put", "config", 1),
-        ("get", "config", None),
-        ("put", "config", 2),   # overwrite: the backup's version counter goes stale here
-        ("put", "config", 3),
-        ("get", "config", None),
-    ]
-
-
-def build_cluster() -> tuple:
-    cluster = Cluster(ClusterConfig(seed=21))
-    cluster.add_process("replica0", KVReplica)        # healthy primary
-    cluster.add_process("replica1", KVReplicaStale)   # buggy backup
-    cluster.add_process("replica2", KVReplicaStale)   # buggy backup
-    cluster.add_process("client0", RewritingClient)
-    return cluster
-
-
 def main() -> None:
-    cluster = build_cluster()
-    fixd = FixD(FixDConfig(investigator=InvestigatorConfig(max_states=5000, max_depth=60)))
-    fixd.attach(cluster)
-
-    result = cluster.run(max_events=1000)
-    print("run finished:", result.stopped_reason)
-    print("violations observed:", [(v.pid, v.invariant) for v in result.violations])
+    scenario = Scenario(
+        app="kvstore",
+        name="stale-version-investigation",
+        params={"replicas": 3, "clients": 1, "stale_backups": True, "rewriting_clients": True},
+        seed=21,
+        max_events=1000,
+        faults=FaultSchedule(),  # no injected faults: the bug is in the code
+        expect_violation=True,
+        investigate=True,
+    )
+    run = execute(scenario)
+    print(run.outcome.summary())
+    print("violations observed:", [(v["pid"], v["invariant"]) for v in run.outcome.violations])
     print()
 
-    report = fixd.last_report
+    report = run.fixd.last_report
     if report is None:
         print("no fault detected — try a longer workload")
         return
@@ -65,28 +52,24 @@ def main() -> None:
     print(report.bug_report.to_text())
 
     # liblog-style offline replay of the faulty process from the Scroll.
-    factories = {
-        "replica0": KVReplica,
-        "replica1": KVReplicaStale,
-        "replica2": KVReplicaStale,
-        "client0": RewritingClient,
-    }
-    replayer = Replayer(fixd.scroll, factories)
+    factories = run.replay_factories()
+    replayer = Replayer(run.fixd.scroll, factories)
     replay, violating_pid = replayer.replay_until_violation()
     print("offline replay up to the first recorded violation:")
     print("  faulty process:", violating_pid)
-    for pid, outcome in sorted(replay.processes.items()):
+    for pid, replay_outcome in sorted(replay.processes.items()):
         print(
-            f"  {pid}: replayed {outcome.events_replayed} events, "
-            f"{outcome.sends_replayed}/{outcome.sends_recorded} sends reproduced, "
-            f"diverged={outcome.diverged}"
+            f"  {pid}: replayed {replay_outcome.events_replayed} events, "
+            f"{replay_outcome.sends_replayed}/{replay_outcome.sends_recorded} sends reproduced, "
+            f"diverged={replay_outcome.diverged}"
         )
 
     # The Investigator can also check a *global* invariant across replicas.
-    investigation = fixd.investigator.investigate(
+    replica_consistency = apps.app("kvstore").check("default")
+    investigation = run.fixd.investigator.investigate(
         factories,
         checkpoint=report.protocol_run.global_checkpoint,
-        global_invariants={"replica-consistency": replica_consistency_invariant},
+        global_invariants={"replica-consistency": replica_consistency},
     )
     print()
     print("global-invariant investigation:")

@@ -13,12 +13,16 @@ Run with::
     python examples/modeld_mutex.py
 """
 
-from repro.investigator.cmc import CMCChecker, CMCConfig
-from repro.investigator.explorer import SearchOrder
-from repro.investigator.frontend import ModelBuilder
-from repro.investigator.guarded import Action
-from repro.investigator.heap import SimulatedHeap
-from repro.investigator.modeld import ModelD, ModelDConfig
+from repro.api.modelcheck import (
+    Action,
+    CMCChecker,
+    CMCConfig,
+    ModelBuilder,
+    ModelD,
+    ModelDConfig,
+    SearchOrder,
+    SimulatedHeap,
+)
 
 
 def build_buggy_mutex() -> ModelBuilder:

@@ -1,76 +1,53 @@
-"""Quickstart: attach FixD to a small distributed application.
+"""Quickstart: declarative FixD scenarios through the ``repro.api`` facade.
 
-The application is a two-process counter with a deliberate bug (it counts
-past its declared bound).  FixD detects the invariant violation, rolls
-the system back to a consistent checkpoint, investigates which execution
-paths reach the bad state, produces a bug report, and — because we
-register the programmer's patch — heals the running system in place so
-the run finishes cleanly.
+A scenario is *data*: which registered application to run, which faults
+to inject (several compose into one schedule), and what the run must
+establish.  Running one returns a structured outcome — detected,
+reported, rolled back, consistent — and the scenario itself serializes
+to JSON, so the fault schedule that broke a run is a shareable repro
+artefact.  This file is the README's "Public API" walkthrough, verbatim.
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro import Cluster, ClusterConfig, FixD, Process, handler
-from repro.dsim.process import invariant
-from repro.healer.patch import generate_patch
-
-
-class CounterV1(Process):
-    """Two processes bounce a TICK message and count receipts — past the bound (bug)."""
-
-    def on_start(self):
-        self.state["count"] = 0
-        if self.pid == "counter0":
-            self.send("counter1", "TICK", None)
-
-    @handler("TICK")
-    def on_tick(self, msg):
-        self.state["count"] += 1
-        self.send(msg.src, "TICK", None)  # BUG: never stops
-
-    @invariant("count-bounded")
-    def count_bounded(self):
-        return self.state["count"] <= 3
-
-
-class CounterV2(CounterV1):
-    """The fix: stop bouncing once the bound is reached."""
-
-    @handler("TICK")
-    def on_tick(self, msg):
-        if self.state["count"] < 3:
-            self.state["count"] += 1
-            self.send(msg.src, "TICK", None)
+from repro.api import Crash, Duplicate, Experiment, FaultSchedule, Partition, Scenario
 
 
 def main() -> None:
-    cluster = Cluster(ClusterConfig(seed=7))
-    cluster.add_process("counter0", CounterV1)
-    cluster.add_process("counter1", CounterV1)
-
-    fixd = FixD()
-    fixd.attach(cluster)
-    fixd.register_patch(
-        generate_patch(CounterV1, CounterV2, description="stop ticking at the bound")
+    # One scenario: a backup replica crashes *while* the network is
+    # partitioned, and must be back and consistent after both clear.
+    scenario = Scenario(
+        app="kvstore",
+        name="replica-crash-during-partition",
+        params={"replicas": 2, "clients": 1},
+        faults=FaultSchedule.of(
+            Partition(groups=(("replica0", "client0"), ("replica1",)), start=2.0, end=6.0),
+            Crash(pid="replica1", at=3.0, recover_at=8.0),
+        ),
+        recovering=("replica1",),
     )
+    outcome = Experiment([scenario]).run()[0]
+    print(outcome.summary())
+    assert outcome.passed and outcome.detected
 
-    result = cluster.run(max_events=200)
+    # Scenarios are data: this JSON is the whole repro artefact
+    # (Scenario.from_json / load_suite bring it back to life).
+    print(scenario.to_json())
+    print()
 
-    print("run finished:", result.stopped_reason)
-    print("final states:", result.process_states)
-    print()
-    print("FixD statistics:", fixd.stats())
-    print()
-    report = fixd.last_report
-    if report is not None:
-        print(report.bug_report.to_text())
-        if report.heal is not None:
-            print(report.heal.describe())
-    print()
-    print("Figure 8 capability matrix (derived from this implementation):")
-    print(fixd.capability_matrix().render())
+    # A grid: three registry apps each face a duplicate storm, fanned
+    # out over a process pool.  The registry knows each app's default
+    # consistency check, so every cell is asserted end to end.
+    experiment = Experiment.grid(
+        apps=("bank", "token_ring", "wordcount"),
+        faults=(FaultSchedule(), FaultSchedule.of(Duplicate(count=2))),
+        processes=2,
+    )
+    experiment.run()
+    print(experiment.describe())
+    print("grid passed:", experiment.passed)
 
 
 if __name__ == "__main__":

@@ -18,16 +18,17 @@ Run with::
     python examples/token_ring_speculation.py
 """
 
-from repro import Cluster, ClusterConfig
-from repro.apps.token_ring import TokenRingNodeBuggy, build_token_ring, single_token_invariant
+from repro.api import Cluster, ClusterConfig, apps
 from repro.scroll.recorder import ScrollRecorder
 from repro.timemachine.recovery_line import compute_recovery_line, is_consistent, unsafe_line
 from repro.timemachine.time_machine import TimeMachine
 
+single_token_invariant = apps.app("token_ring").check("single-token")
+
 
 def main() -> None:
     cluster = Cluster(ClusterConfig(seed=5, halt_on_violation=False))
-    build_token_ring(cluster, nodes=3, node_class=TokenRingNodeBuggy, max_rounds=6)
+    apps.build(cluster, "token_ring", nodes=3, buggy=True, max_rounds=6)
 
     recorder = ScrollRecorder()
     cluster.add_hook(recorder)

@@ -26,6 +26,29 @@ if [[ -n "$violations" ]]; then
 fi
 echo "boundary guard: no mp_backend imports outside dsim/"
 
+# ----------------------------------------------------------------------
+# Facade boundary guard: examples/ and benchmarks/ express workloads
+# through the public facade (`repro.api`) — the execution substrate
+# (repro.dsim.*) and the demo-app builders (repro.apps.*) are internal.
+# Apps are addressed by registry name (repro.api.apps.build), process
+# classes come from registry exports, and the programming model
+# (Process/handler/...) is re-exported by repro.api.  A line may opt
+# out with a trailing `# facade-ok: <reason>` marker — reserved for
+# benchmarks that measure an internal mechanism itself (the scheduler
+# hot path, transport batching knobs, synthetic recovery lines).
+# ----------------------------------------------------------------------
+violations=$(grep -rn --include='*.py' -E \
+    '(from|import)[[:space:]]+repro\.(dsim|apps)\b|from[[:space:]]+repro[[:space:]]+import[^#]*\b(dsim|apps)\b' \
+    examples benchmarks 2>/dev/null \
+    | grep -v 'facade-ok' || true)
+if [[ -n "$violations" ]]; then
+    echo "Facade boundary violation: examples/ and benchmarks/ must import repro.api," >&2
+    echo "not repro.dsim.* or the repro.apps builders:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "boundary guard: examples/ and benchmarks/ import only the repro.api facade"
+
 if ! command -v make >/dev/null 2>&1; then
     echo "scripts/check.sh requires make; run the Makefile 'verify' steps manually:" >&2
     grep -A2 '^verify:' Makefile >&2

@@ -1,0 +1,40 @@
+"""Run scenario suite files from the command line::
+
+    python -m repro.api suites/crash_during_partition.json [more.json ...]
+
+Exits non-zero when any scenario fails its declared expectations, so a
+suite file doubles as a CI gate (see ``make verify``'s suite smoke).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.api.suite import run_suite
+from repro.errors import ReproError
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    paths = sys.argv[1:] if argv is None else list(argv)
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in paths:
+        print(f"== suite {path}")
+        try:
+            passed, lines = run_suite(path)
+        except ReproError as error:
+            print(f"  error: {error}", file=sys.stderr)
+            failures += 1
+            continue
+        for line in lines:
+            print(f"  {line}")
+        if not passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

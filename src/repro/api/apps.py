@@ -1,0 +1,309 @@
+"""The application registry: demo apps addressable by name.
+
+A :class:`~repro.api.scenario.Scenario` names its application as a
+string, so scenarios stay pure data and suite files can reference any
+registered workload.  Each registry entry bundles
+
+* a **builder** — ``builder(cluster, **params)`` registers the app's
+  processes on a cluster;
+* **defaults** — the parameter values a scenario's ``params`` override;
+* **checks** — named global-consistency predicates over the final
+  ``{pid: state}`` map (``"default"`` is what a scenario asserts unless
+  it picks another by name); and
+* **exports** — the app's public classes and helpers for callers that
+  need more than a named build (patch generation, replay factories,
+  expected-output oracles) without importing ``repro.apps`` internals.
+
+The six demo applications (plus the heavy-traffic word-count burst
+profile) are registered at import time; :func:`register_app` adds more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+from repro.errors import ScenarioError, UnknownAppError
+
+States = Dict[str, Dict[str, Any]]
+Check = Callable[[States], bool]
+Builder = Callable[..., None]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One registered application."""
+
+    name: str
+    builder: Builder
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    checks: Mapping[str, Check] = field(default_factory=dict)
+    exports: Mapping[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def check(self, name: str = "default") -> Check:
+        try:
+            return self.checks[name]
+        except KeyError:
+            raise ScenarioError(
+                f"app {self.name!r} has no consistency check {name!r}; "
+                f"known checks: {sorted(self.checks)}"
+            ) from None
+
+
+_REGISTRY: Dict[str, AppSpec] = {}
+
+
+def register_app(
+    name: str,
+    builder: Builder,
+    *,
+    defaults: Mapping[str, Any] | None = None,
+    checks: Mapping[str, Check] | None = None,
+    exports: Mapping[str, Any] | None = None,
+    description: str = "",
+    replace: bool = False,
+) -> AppSpec:
+    """Register an application under ``name``; fails on silent re-registration."""
+    if name in _REGISTRY and not replace:
+        raise ScenarioError(
+            f"app {name!r} is already registered; pass replace=True to override"
+        )
+    checks = dict(checks or {})
+    if "default" not in checks:
+        raise ScenarioError(f"app {name!r} needs a 'default' consistency check")
+    spec = AppSpec(
+        name=name,
+        builder=builder,
+        defaults=dict(defaults or {}),
+        checks=checks,
+        exports=dict(exports or {}),
+        description=description,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def app(name: str) -> AppSpec:
+    """Look up a registered application, failing loudly on unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownAppError(name, app_names()) from None
+
+
+def app_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def build(cluster, name: str, **params) -> AppSpec:
+    """Build app ``name`` onto ``cluster``, merging ``params`` over its defaults."""
+    spec = app(name)
+    unknown = set(params) - set(spec.defaults)
+    if unknown:
+        raise ScenarioError(
+            f"app {name!r} does not accept parameter(s) {sorted(unknown)}; "
+            f"known parameters: {sorted(spec.defaults)}"
+        )
+    spec.builder(cluster, **{**spec.defaults, **params})
+    return spec
+
+
+# ----------------------------------------------------------------------
+# canonical global-consistency checks (previously scattered through the
+# fault-matrix test; these are the facade-level ground truth)
+# ----------------------------------------------------------------------
+def wordcount_consistent(states: States) -> bool:
+    """Aggregation never outruns dispatch or the corpus."""
+    master = states["master"]
+    return (
+        master["aggregated"] <= master["dispatched"]
+        and sum(master["counts"].values()) <= master["corpus_size"]
+    )
+
+
+def bank_locally_consistent(states: States) -> bool:
+    """Every branch's books are locally sane (no negative balances/in-flight)."""
+    return all(
+        all(balance >= 0 for balance in state["accounts"].values())
+        and state["in_flight_debits"] >= 0
+        for state in states.values()
+    )
+
+
+def token_ring_consistent(states: States) -> bool:
+    """At most one token holder and at most one critical section."""
+    from repro.apps.token_ring import mutual_exclusion_invariant, single_token_invariant
+
+    return single_token_invariant(states) and mutual_exclusion_invariant(states)
+
+
+def _register_builtin_apps() -> None:
+    from repro.apps.bank import (
+        INITIAL_BALANCE,
+        BankBranch,
+        BankBranchFixed,
+        build_bank_cluster,
+        total_balance,
+        total_balance_invariant,
+    )
+    from repro.apps.kvstore import (
+        KVClient,
+        KVReplica,
+        KVReplicaStale,
+        KVRewritingClient,
+        build_kvstore_cluster,
+        replica_consistency_invariant,
+    )
+    from repro.apps.leader_election import (
+        RingElector,
+        at_most_one_leader_invariant,
+        build_election_ring,
+    )
+    from repro.apps.token_ring import (
+        TokenRingNode,
+        TokenRingNodeBuggy,
+        build_token_ring,
+        mutual_exclusion_invariant,
+        single_token_invariant,
+    )
+    from repro.apps.two_phase_commit import (
+        Coordinator,
+        Participant,
+        ParticipantLossy,
+        atomicity_invariant,
+        build_2pc_cluster,
+    )
+    from repro.apps.wordcount import (
+        WordCountBurstMaster,
+        WordCountMaster,
+        WordCountWorker,
+        build_wordcount_burst_cluster,
+        build_wordcount_cluster,
+        expected_counts,
+    )
+
+    def bank_crash_consistent(states: States) -> bool:
+        """Conservation under crashes: nothing invented, every gap in flight.
+
+        A branch that crashes after a peer credited its transfer never
+        sees the acknowledgement, so exact ``total + in_flight ==
+        expected`` overcounts that transfer forever.  The defensible
+        claim is one-sided: balances never exceed the initial supply,
+        and whatever is missing from balances is fully covered by
+        tracked in-flight debits.
+        """
+        expected = sum(len(state["accounts"]) * INITIAL_BALANCE for state in states.values())
+        total = sum(sum(state["accounts"].values()) for state in states.values())
+        in_flight = sum(state["in_flight_debits"] for state in states.values())
+        return bank_locally_consistent(states) and total <= expected <= total + in_flight
+
+    register_app(
+        "kvstore",
+        build_kvstore_cluster,
+        defaults={"replicas": 3, "clients": 1, "stale_backups": False, "rewriting_clients": False},
+        checks={"default": replica_consistency_invariant},
+        exports={
+            "KVReplica": KVReplica,
+            "KVReplicaStale": KVReplicaStale,
+            "KVClient": KVClient,
+            "KVRewritingClient": KVRewritingClient,
+            "replica_consistency_invariant": replica_consistency_invariant,
+        },
+        description="primary/backup replicated key-value store",
+    )
+    register_app(
+        "bank",
+        build_bank_cluster,
+        defaults={"branches": 3, "fixed": False},
+        checks={
+            "default": bank_locally_consistent,
+            "local": bank_locally_consistent,
+            "conservation": total_balance_invariant,
+            "conservation-bound": bank_crash_consistent,
+        },
+        exports={
+            "BankBranch": BankBranch,
+            "BankBranchFixed": BankBranchFixed,
+            "total_balance": total_balance,
+            "total_balance_invariant": total_balance_invariant,
+        },
+        description="distributed bank whose transfers conserve the total balance",
+    )
+
+    def build_token_ring_app(cluster, nodes: int, max_rounds: int, buggy: bool) -> None:
+        build_token_ring(
+            cluster,
+            nodes=nodes,
+            node_class=TokenRingNodeBuggy if buggy else TokenRingNode,
+            max_rounds=max_rounds,
+        )
+
+    register_app(
+        "token_ring",
+        build_token_ring_app,
+        defaults={"nodes": 3, "max_rounds": 5, "buggy": False},
+        checks={
+            "default": token_ring_consistent,
+            "single-token": single_token_invariant,
+            "mutual-exclusion": mutual_exclusion_invariant,
+        },
+        exports={
+            "TokenRingNode": TokenRingNode,
+            "TokenRingNodeBuggy": TokenRingNodeBuggy,
+            "single_token_invariant": single_token_invariant,
+            "mutual_exclusion_invariant": mutual_exclusion_invariant,
+        },
+        description="token-ring mutual exclusion",
+    )
+    register_app(
+        "leader_election",
+        build_election_ring,
+        defaults={"nodes": 4},
+        checks={"default": at_most_one_leader_invariant},
+        exports={
+            "RingElector": RingElector,
+            "at_most_one_leader_invariant": at_most_one_leader_invariant,
+        },
+        description="Chang-Roberts ring leader election",
+    )
+    register_app(
+        "two_phase_commit",
+        build_2pc_cluster,
+        defaults={"participants": 3, "transactions": 2},
+        checks={"default": atomicity_invariant},
+        exports={
+            "Coordinator": Coordinator,
+            "Participant": Participant,
+            "ParticipantLossy": ParticipantLossy,
+            "atomicity_invariant": atomicity_invariant,
+        },
+        description="transaction coordinator + participants with atomic outcomes",
+    )
+    register_app(
+        "wordcount",
+        build_wordcount_cluster,
+        defaults={"workers": 3, "chunks": 12},
+        checks={"default": wordcount_consistent},
+        exports={
+            "WordCountMaster": WordCountMaster,
+            "WordCountWorker": WordCountWorker,
+            "expected_counts": expected_counts,
+        },
+        description="master/worker word-count pipeline",
+    )
+    register_app(
+        "wordcount_burst",
+        build_wordcount_burst_cluster,
+        defaults={"workers": 4, "chunks": 200, "words_per_chunk": 12},
+        checks={"default": wordcount_consistent},
+        exports={
+            "WordCountBurstMaster": WordCountBurstMaster,
+            "WordCountWorker": WordCountWorker,
+            "expected_counts": expected_counts,
+        },
+        description="burst-dispatching word count (heavy-traffic profile)",
+    )
+
+
+_register_builtin_apps()

@@ -1,0 +1,201 @@
+"""The :class:`Experiment` runner: execute one scenario or a whole grid.
+
+``run_scenario`` is the one-call path from a declarative
+:class:`~repro.api.scenario.Scenario` to a structured
+:class:`~repro.api.outcome.Outcome`; ``execute`` returns the live
+:class:`ScenarioRun` handle (cluster, FixD controller, raw result) for
+deep dives — offline replay, investigation, healing — that need more
+than the outcome record.  :meth:`Experiment.grid` builds the cross
+product of apps x backends x fault schedules x seeds, and ``processes=N``
+fans scenario execution out over a process pool (scenarios are pure
+data, so they ship to workers as-is).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence
+
+from repro.api import apps as app_registry
+from repro.api.faults import FaultSchedule
+from repro.api.outcome import Outcome
+from repro.api.scenario import Scenario
+from repro.core.fixd import FixD, FixDConfig
+from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.errors import ScenarioError
+from repro.scroll.interceptor import RecordingPolicy
+
+
+@dataclass
+class ScenarioRun:
+    """A completed run with its live objects, for post-run deep dives."""
+
+    scenario: Scenario
+    cluster: Any
+    fixd: Any
+    result: Any
+    outcome: Outcome
+
+    def replay_factories(self):
+        """Per-pid process factories, e.g. for :class:`~repro.scroll.replayer.Replayer`."""
+        return {pid: self.cluster.factory_for(pid) for pid in self.cluster.pids}
+
+
+def _fixd_config(scenario: Scenario) -> FixDConfig:
+    policy = (
+        RecordingPolicy(hot_window=scenario.hot_window)
+        if scenario.hot_window
+        else RecordingPolicy()
+    )
+    return FixDConfig(
+        backend=scenario.backend,
+        recording_policy=policy,
+        investigate_on_fault=scenario.investigate,
+        max_faults_handled=scenario.max_faults_handled,
+        auto_commit_interval=scenario.auto_commit_interval,
+    )
+
+
+def _make_backend(scenario: Scenario):
+    if scenario.backend == "sim":
+        from repro.dsim.backend import SimBackend
+
+        return SimBackend()
+    from repro.dsim.backend import MPBackend, MPBackendOptions
+
+    return MPBackend(MPBackendOptions(time_scale=scenario.time_scale))
+
+
+def execute(scenario: Scenario, fixd_config: Optional[FixDConfig] = None) -> ScenarioRun:
+    """Run ``scenario`` end to end and return the live run handle.
+
+    ``fixd_config`` overrides the scenario-derived FixD configuration —
+    the escape hatch for non-serializable tuning (custom Investigator
+    limits, recording policies) that a JSON artefact cannot carry.
+    """
+    spec = app_registry.app(scenario.app)
+    check = spec.check(scenario.check)
+    cluster = Cluster(
+        ClusterConfig(seed=scenario.seed, halt_on_violation=False),
+        backend=_make_backend(scenario),
+    )
+    app_registry.build(cluster, scenario.app, **scenario.params)
+    fixd = FixD(fixd_config or _fixd_config(scenario))
+    fixd.attach(cluster)
+    plan = scenario.faults.to_plan()
+    if not plan.is_empty():
+        cluster.set_failure_plan(plan)
+    if scenario.backend == "mp":
+        result = cluster.run(until=scenario.until)
+    else:
+        result = cluster.run(until=scenario.until, max_events=scenario.max_events)
+    outcome = Outcome.from_run(scenario, cluster, fixd, result, check)
+    return ScenarioRun(scenario=scenario, cluster=cluster, fixd=fixd, result=result, outcome=outcome)
+
+
+def run_scenario(scenario: Scenario) -> Outcome:
+    """Run one scenario and return its structured outcome."""
+    return execute(scenario).outcome
+
+
+class Experiment:
+    """A batch of scenarios executed together.
+
+    ``processes=N`` runs scenarios on a process pool (each worker builds
+    its own cluster; outcomes come back as pure data).  Scenario order
+    is preserved in the returned outcome list either way.
+    """
+
+    def __init__(
+        self, scenarios: Iterable[Scenario], processes: Optional[int] = None
+    ) -> None:
+        self.scenarios: List[Scenario] = list(scenarios)
+        for scenario in self.scenarios:
+            if not isinstance(scenario, Scenario):
+                raise ScenarioError(
+                    f"experiments run Scenario objects, got {type(scenario).__name__}"
+                )
+        names = [scenario.name for scenario in self.scenarios]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ScenarioError(
+                f"duplicate scenario name(s) in experiment: {sorted(duplicates)}; "
+                "give colliding scenarios explicit names"
+            )
+        if processes is not None and processes < 1:
+            raise ScenarioError("processes must be a positive worker count")
+        self.processes = processes
+        self.outcomes: List[Outcome] = []
+
+    @classmethod
+    def grid(
+        cls,
+        apps: Sequence[str],
+        faults: Sequence[FaultSchedule] = (FaultSchedule(),),
+        backends: Sequence[str] = ("sim",),
+        seeds: Sequence[int] = (7,),
+        processes: Optional[int] = None,
+        **scenario_overrides,
+    ) -> "Experiment":
+        """The cross product apps x faults x backends x seeds as one experiment.
+
+        Extra keyword arguments become :class:`Scenario` fields shared
+        by every cell (``params=...``, ``until=...``, ``hot_window=...``).
+        """
+        faults = list(faults)
+        for schedule in faults:
+            if not isinstance(schedule, FaultSchedule):
+                raise ScenarioError(
+                    "grid faults must be FaultSchedule instances "
+                    f"(got {type(schedule).__name__}); wrap specs with FaultSchedule.of(...)"
+                )
+        # Two schedules with the same kind-set share a label; qualify the
+        # label with the schedule's grid position so cell names never collide.
+        labels = [schedule.label for schedule in faults]
+        fault_tags = [
+            label if labels.count(label) == 1 else f"{label}#{index}"
+            for index, label in enumerate(labels)
+        ]
+        scenarios = []
+        many_seeds = len(tuple(seeds)) > 1
+        for app_name in apps:
+            for backend in backends:
+                for schedule, fault_tag in zip(faults, fault_tags):
+                    for seed in seeds:
+                        name = f"{app_name}-{fault_tag}-{backend}"
+                        if many_seeds:
+                            name += f"-s{seed}"
+                        scenarios.append(
+                            Scenario(
+                                app=app_name,
+                                name=name,
+                                backend=backend,
+                                faults=schedule,
+                                seed=seed,
+                                **scenario_overrides,
+                            )
+                        )
+        return cls(scenarios, processes=processes)
+
+    def run(self) -> List[Outcome]:
+        """Execute every scenario; outcomes are returned and kept on the object."""
+        if self.processes and len(self.scenarios) > 1:
+            with ProcessPoolExecutor(max_workers=self.processes) as pool:
+                self.outcomes = list(pool.map(run_scenario, self.scenarios))
+        else:
+            self.outcomes = [run_scenario(scenario) for scenario in self.scenarios]
+        return self.outcomes
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.outcomes) and all(outcome.passed for outcome in self.outcomes)
+
+    def failures(self) -> List[Outcome]:
+        return [outcome for outcome in self.outcomes if not outcome.passed]
+
+    def describe(self) -> str:
+        """A per-scenario summary table (run() first)."""
+        if not self.outcomes:
+            return f"experiment with {len(self.scenarios)} scenario(s), not yet run"
+        return "\n".join(outcome.summary() for outcome in self.outcomes)

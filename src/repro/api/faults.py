@@ -1,0 +1,320 @@
+"""Declarative, serializable fault specifications and composable schedules.
+
+The execution layer's :class:`~repro.dsim.failure.FailurePlan` is already
+declarative, but it is not a *shareable artefact*: corruption faults
+carry arbitrary callables and the plan classes have no canonical JSON
+form.  This module defines the facade-level fault vocabulary —
+:class:`Crash`, :class:`Drop`, :class:`Duplicate`, :class:`Delay`,
+:class:`Partition`, :class:`Corrupt` — as pure-data frozen dataclasses
+that
+
+* round-trip losslessly through JSON (state corruption is expressed as
+  a small list of ``(op, path, value)`` mutation instructions instead of
+  a callable), and
+* compile onto the execution layer with :meth:`FaultSchedule.to_plan`.
+
+A :class:`FaultSchedule` composes any number of specs into one run's
+worth of injected trouble — multi-fault scenarios (a crash during a
+partition, corruption under a duplicate storm) are just schedules with
+more than one entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Iterable, List, Optional, Tuple
+
+from repro.dsim.failure import (
+    CrashFault,
+    FailurePlan,
+    MessageFault,
+    PartitionFault,
+    StateCorruptionFault,
+)
+from repro.errors import ScenarioError
+
+#: message-fault spec kinds (compile to :class:`MessageFault` rules, in
+#: schedule order — rule index ``i`` is the schedule's ``i``-th such spec)
+MESSAGE_KINDS = ("drop", "duplicate", "delay")
+
+
+def _freeze(value: Any) -> Any:
+    """Lists arriving from JSON become tuples so specs stay hashable data."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Tuples become lists on the way out to JSON."""
+    if isinstance(value, tuple):
+        return [_thaw(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Crash ``pid`` at ``at``; optionally recover it at ``recover_at``."""
+
+    kind: ClassVar[str] = "crash"
+
+    pid: str
+    at: float
+    recover_at: Optional[float] = None
+    recover_from_checkpoint: bool = True
+
+    def __post_init__(self) -> None:
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ScenarioError(
+                f"crash of {self.pid!r}: recovery at {self.recover_at} must come "
+                f"strictly after the crash at {self.at}"
+            )
+
+    def to_fault(self) -> CrashFault:
+        return CrashFault(
+            self.pid,
+            at=self.at,
+            recover_at=self.recover_at,
+            recover_from_checkpoint=self.recover_from_checkpoint,
+        )
+
+
+@dataclass(frozen=True)
+class _MessageSpec:
+    """Shared shape of the three message-fault flavours."""
+
+    kind: ClassVar[str]
+
+    match_kind: Optional[str] = None
+    match_src: Optional[str] = None
+    match_dst: Optional[str] = None
+    count: Optional[int] = 1
+    after: float = 0.0
+
+    def _extra_delay(self) -> float:
+        return 0.0
+
+    def to_fault(self) -> MessageFault:
+        return MessageFault(
+            self.kind,
+            match_kind=self.match_kind,
+            match_src=self.match_src,
+            match_dst=self.match_dst,
+            count=self.count,
+            extra_delay=self._extra_delay(),
+            after=self.after,
+        )
+
+
+@dataclass(frozen=True)
+class Drop(_MessageSpec):
+    """Drop up to ``count`` messages matching the predicates (``None`` = all)."""
+
+    kind: ClassVar[str] = "drop"
+
+
+@dataclass(frozen=True)
+class Duplicate(_MessageSpec):
+    """Deliver matching messages twice."""
+
+    kind: ClassVar[str] = "duplicate"
+
+
+@dataclass(frozen=True)
+class Delay(_MessageSpec):
+    """Delay matching messages by ``extra_delay`` simulated time units."""
+
+    kind: ClassVar[str] = "delay"
+
+    extra_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.extra_delay <= 0:
+            raise ScenarioError("delay faults need a positive extra_delay")
+
+    def _extra_delay(self) -> float:
+        return self.extra_delay
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Split the network into ``groups`` during ``[start, end)``."""
+
+    kind: ClassVar[str] = "partition"
+
+    groups: Tuple[Tuple[str, ...], ...]
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "groups", _freeze(self.groups))
+        if self.end <= self.start:
+            raise ScenarioError("partition end must come strictly after its start")
+        if len(self.groups) < 2:
+            raise ScenarioError("a partition needs at least two groups")
+
+    def to_fault(self) -> PartitionFault:
+        return PartitionFault(groups=[list(group) for group in self.groups], start=self.start, end=self.end)
+
+
+#: mutation opcodes understood by :class:`Corrupt`
+_CORRUPT_OPS = ("set", "add", "append")
+
+
+def apply_corruption_ops(state: Dict[str, Any], ops: Iterable[Tuple[Any, ...]]) -> None:
+    """Apply ``(op, path, value)`` instructions to a state dict in place."""
+    for op, path, value in ops:
+        target = state
+        for key in path[:-1]:
+            target = target[key]
+        leaf = path[-1]
+        if op == "set":
+            target[leaf] = value
+        elif op == "add":
+            target[leaf] = target[leaf] + value
+        elif op == "append":
+            target[leaf].append(value)
+        else:  # pragma: no cover - rejected at construction
+            raise ScenarioError(f"unknown corruption op {op!r}")
+
+
+@dataclass(frozen=True)
+class Corrupt:
+    """Silently mutate ``pid``'s local state at time ``at``.
+
+    The paper's "software bug" fault class — only an invariant check can
+    notice.  Instead of an arbitrary callable, the mutation is a tuple of
+    ``(op, path, value)`` instructions (``op`` one of ``set``/``add``/
+    ``append``, ``path`` a key path into the state dict), so corruption
+    scenarios serialize and travel as repro artefacts.
+    """
+
+    kind: ClassVar[str] = "corruption"
+
+    pid: str
+    at: float
+    ops: Tuple[Tuple[Any, ...], ...]
+    description: str = "state corruption"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ops", _freeze(self.ops))
+        if not self.ops:
+            raise ScenarioError("a corruption needs at least one (op, path, value) instruction")
+        for entry in self.ops:
+            if len(entry) != 3:
+                raise ScenarioError(f"corruption op must be (op, path, value), got {entry!r}")
+            op, path, _value = entry
+            if op not in _CORRUPT_OPS:
+                raise ScenarioError(f"unknown corruption op {op!r}; expected one of {_CORRUPT_OPS}")
+            if not isinstance(path, tuple) or not path:
+                raise ScenarioError(f"corruption path must be a non-empty key sequence, got {path!r}")
+
+    def to_fault(self) -> StateCorruptionFault:
+        ops = self.ops
+        return StateCorruptionFault(
+            pid=self.pid,
+            at=self.at,
+            mutator=lambda state: apply_corruption_ops(state, ops),
+            description=self.description,
+        )
+
+
+#: JSON ``kind`` discriminator -> spec class
+SPEC_TYPES = {
+    spec.kind: spec for spec in (Crash, Drop, Duplicate, Delay, Partition, Corrupt)
+}
+
+
+def spec_to_dict(spec) -> Dict[str, Any]:
+    """One fault spec as a JSON-ready dict tagged with its ``kind``."""
+    payload: Dict[str, Any] = {"kind": spec.kind}
+    for spec_field in fields(spec):
+        payload[spec_field.name] = _thaw(getattr(spec, spec_field.name))
+    return payload
+
+
+def spec_from_dict(payload: Dict[str, Any]):
+    """Rebuild a fault spec from its tagged dict, failing loudly on junk."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ScenarioError(f"fault spec must be a dict with a 'kind' tag, got {payload!r}")
+    kind = payload["kind"]
+    spec_class = SPEC_TYPES.get(kind)
+    if spec_class is None:
+        raise ScenarioError(
+            f"unknown fault kind {kind!r}; expected one of {sorted(SPEC_TYPES)}"
+        )
+    known = {spec_field.name for spec_field in fields(spec_class)}
+    extra = set(payload) - known - {"kind"}
+    if extra:
+        raise ScenarioError(f"{kind} fault spec has unknown fields: {sorted(extra)}")
+    kwargs = {key: _freeze(value) for key, value in payload.items() if key != "kind"}
+    return spec_class(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, composable collection of fault specs for one run.
+
+    Order matters for message faults (the engine applies the first
+    matching rule), so composition preserves it: ``a + b`` and
+    ``schedule.then(spec)`` append.
+    """
+
+    faults: Tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        spec_classes = tuple(SPEC_TYPES.values())
+        for spec in self.faults:
+            if not isinstance(spec, spec_classes):
+                raise ScenarioError(
+                    f"fault schedules hold fault specs, got {type(spec).__name__}"
+                )
+
+    @staticmethod
+    def of(*faults) -> "FaultSchedule":
+        return FaultSchedule(faults=faults)
+
+    def then(self, spec) -> "FaultSchedule":
+        return FaultSchedule(faults=self.faults + (spec,))
+
+    def __add__(self, other: "FaultSchedule") -> "FaultSchedule":
+        return FaultSchedule(faults=self.faults + tuple(other.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def is_empty(self) -> bool:
+        return not self.faults
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        """Distinct fault kinds in first-appearance order."""
+        seen: List[str] = []
+        for spec in self.faults:
+            if spec.kind not in seen:
+                seen.append(spec.kind)
+        return tuple(seen)
+
+    @property
+    def label(self) -> str:
+        """Human-readable tag: ``"crash+partition"`` or ``"fault-free"``."""
+        return "+".join(self.kinds) if self.faults else "fault-free"
+
+    def message_specs(self) -> List[Any]:
+        """The message-fault specs in rule order (engine rule ``i`` = entry ``i``)."""
+        return [spec for spec in self.faults if spec.kind in MESSAGE_KINDS]
+
+    def to_plan(self) -> FailurePlan:
+        """Compile the schedule onto the execution layer's failure plan."""
+        plan = FailurePlan()
+        for spec in self.faults:
+            plan.add(spec.to_fault())
+        return plan
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [spec_to_dict(spec) for spec in self.faults]
+
+    @staticmethod
+    def from_dicts(payloads: Iterable[Dict[str, Any]]) -> "FaultSchedule":
+        return FaultSchedule(faults=tuple(spec_from_dict(payload) for payload in payloads))

@@ -1,0 +1,28 @@
+"""Facade re-exports for the model-checking toolkit (ModelD + CMC).
+
+The Investigator's front-end DSL and engines are part of the public
+surface — examples and downstream code should reach them through
+``repro.api.modelcheck`` rather than spelunking ``repro.investigator``
+module paths.
+"""
+
+from repro.investigator.cmc import CMCChecker, CMCConfig
+from repro.investigator.explorer import SearchOrder
+from repro.investigator.frontend import ModelBuilder
+from repro.investigator.guarded import Action
+from repro.investigator.heap import SimulatedHeap
+from repro.investigator.investigator import Investigator, InvestigatorConfig
+from repro.investigator.modeld import ModelD, ModelDConfig
+
+__all__ = [
+    "Action",
+    "CMCChecker",
+    "CMCConfig",
+    "Investigator",
+    "InvestigatorConfig",
+    "ModelBuilder",
+    "ModelD",
+    "ModelDConfig",
+    "SearchOrder",
+    "SimulatedHeap",
+]

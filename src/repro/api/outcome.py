@@ -1,0 +1,276 @@
+"""The structured :class:`Outcome` of running one scenario.
+
+Replaces the tuple-poking of ``(cluster, fixd, result)`` with one
+self-describing record: did the run *notice* each injected fault kind
+(``observed``/``detected``), what reporting artefacts exist (the
+run-level incident report plus per-violation bug-report summaries), did
+FixD roll back / heal, does the scenario's consistency check hold over
+the final states, did crashed processes come back, and what did the
+transport and Scroll storage do.  ``projection()`` is the canonical
+deterministic subset — two runs of the same serialized scenario on the
+simulator must produce equal projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.api.scenario import Scenario
+from repro.core.report import incident_report
+from repro.scroll.entry import ActionKind
+
+
+@dataclass
+class Outcome:
+    """Everything a caller should need to assert about one scenario run."""
+
+    scenario_id: str
+    app: str
+    backend: str
+    #: run shape
+    stopped_reason: str = ""
+    events_executed: int = 0
+    final_time: float = 0.0
+    ok: bool = True
+    #: detection: per injected fault kind -> evidence seen
+    observed: Dict[str, bool] = field(default_factory=dict)
+    detected: bool = True
+    faults_detected: int = 0
+    fault_hits: Dict[str, int] = field(default_factory=dict)
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    #: reporting
+    incident: str = ""
+    reports: int = 0
+    bug_reports: List[Dict[str, Any]] = field(default_factory=list)
+    #: recovery
+    rolled_back: bool = False
+    rollbacks: int = 0
+    healed: bool = False
+    auto_commits: int = 0
+    scroll_entries_collected: int = 0
+    recovered: Dict[str, bool] = field(default_factory=dict)
+    #: consistency
+    consistent: bool = True
+    final_states: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: instrumentation
+    scroll: Dict[str, Any] = field(default_factory=dict)
+    transport: Optional[Dict[str, int]] = None
+    #: expectation evaluation (empty == passed)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every expectation the scenario declared was met."""
+        return not self.failures
+
+    @property
+    def reported(self) -> bool:
+        """An artefact a developer could act on exists."""
+        return bool(self.incident)
+
+    def summary(self) -> str:
+        """One-line human summary for suite runners and experiment tables."""
+        status = "PASS" if self.passed else "FAIL"
+        tail = "" if self.passed else f" failures={self.failures}"
+        return (
+            f"{self.scenario_id} [{self.backend}] {status}: detected={self.detected} "
+            f"violations={len(self.violations)} reports={self.reports} "
+            f"rolled_back={self.rolled_back} healed={self.healed} "
+            f"consistent={self.consistent} stopped={self.stopped_reason} "
+            f"events={self.events_executed}{tail}"
+        )
+
+    def projection(self) -> Dict[str, Any]:
+        """The deterministic, comparable view of the run.
+
+        Two executions of the same serialized scenario on the simulator
+        backend must agree on this projection exactly.  Storage- and
+        wall-clock-dependent numbers (disk bytes, transport batch sizes)
+        are deliberately excluded.
+        """
+        return {
+            "scenario": self.scenario_id,
+            "backend": self.backend,
+            "stopped_reason": self.stopped_reason,
+            "events_executed": self.events_executed,
+            "final_time": self.final_time,
+            "ok": self.ok,
+            "observed": dict(self.observed),
+            "detected": self.detected,
+            "faults_detected": self.faults_detected,
+            "fault_hits": dict(self.fault_hits),
+            "violations": [dict(v) for v in self.violations],
+            "reports": self.reports,
+            "bug_reports": [dict(r) for r in self.bug_reports],
+            "rolled_back": self.rolled_back,
+            "rollbacks": self.rollbacks,
+            "healed": self.healed,
+            "recovered": dict(self.recovered),
+            "consistent": self.consistent,
+            "final_states": self.final_states,
+            "scroll_counts": dict(self.scroll.get("counts", {})),
+            "scroll_entries": self.scroll.get("entries", 0),
+            "failures": list(self.failures),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full record (projection + instrumentation + report text)."""
+        payload = self.projection()
+        payload.update(
+            {
+                "app": self.app,
+                "incident": self.incident,
+                "scroll": dict(self.scroll),
+                "transport": dict(self.transport) if self.transport else None,
+                "auto_commits": self.auto_commits,
+                "scroll_entries_collected": self.scroll_entries_collected,
+            }
+        )
+        return payload
+
+    # ------------------------------------------------------------------
+    # construction from a finished run
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_run(scenario: Scenario, cluster, fixd, result, check) -> "Outcome":
+        """Assemble the outcome of a completed run and evaluate expectations."""
+        scroll = fixd.scroll
+        counts = scroll.counts_by_kind()
+        capabilities = getattr(cluster.backend, "capabilities", frozenset())
+        can_rollback = "rollback" in capabilities
+
+        # -- detection evidence per injected fault kind ------------------
+        hits = cluster.fault_engine.hit_counts() if cluster.fault_engine else {}
+        fault_hits: Dict[str, int] = {}
+        for index, spec in enumerate(scenario.faults.message_specs()):
+            fault_hits[f"{spec.kind}[{index}]"] = hits.get(index, 0)
+        dropped = result.network_stats.get("dropped", 0)
+        evidence = {
+            "crash": counts.get("crash", 0) > 0,
+            "drop": counts.get("drop", 0) > 0 or dropped > 0,
+            "duplicate": counts.get("duplicate", 0) > 0,
+            "delay": False,  # refined from per-rule hits below
+            "partition": counts.get("drop", 0) > 0 or dropped > 0,
+            "corruption": counts.get("corruption", 0) > 0,
+        }
+        for index, spec in enumerate(scenario.faults.message_specs()):
+            if hits.get(index, 0) > 0:
+                evidence[spec.kind] = True
+        observed = {kind: evidence.get(kind, False) for kind in scenario.faults.kinds}
+        if scenario.expect_violation:
+            observed["violation"] = fixd.detector.fault_count >= 1
+        detected = all(observed.values()) if observed else True
+
+        # -- reporting ---------------------------------------------------
+        bug_reports = [
+            {
+                "invariant": report.fault.invariant,
+                "pid": report.fault.pid,
+                "handled": report.handled,
+                "rolled_back": bool(report.rollback and report.rollback.restored_pids),
+                "healed": report.healed,
+                "scroll_tail_entries": len(report.bug_report.scroll_tail),
+            }
+            for report in fixd.reports
+        ]
+
+        # -- recovery ----------------------------------------------------
+        # The simulator's frontend instances carry live state (checkpoint
+        # capability); on other substrates the evidence is the Scroll's
+        # RECOVER entry plus the worker's shipped final state.
+        frontend_live = "checkpoint" in capabilities
+        recovered = {}
+        if scenario.recovering:
+            recovered_pids = {
+                entry.pid
+                for entry in scroll.of_kind(ActionKind.RECOVER)
+            }
+            for pid in scenario.recovering:
+                if frontend_live:
+                    recovered[pid] = not cluster.process(pid).crashed
+                else:
+                    recovered[pid] = pid in recovered_pids and pid in result.process_states
+        committer = getattr(fixd, "auto_committer", None)
+
+        # -- consistency -------------------------------------------------
+        final_states = result.process_states
+        consistent = bool(check(final_states))
+
+        storage = scroll.storage_stats()
+        outcome = Outcome(
+            scenario_id=scenario.name,
+            app=scenario.app,
+            backend=scenario.backend,
+            stopped_reason=result.stopped_reason,
+            events_executed=result.events_executed,
+            final_time=result.final_time,
+            ok=result.ok,
+            observed=observed,
+            detected=detected,
+            faults_detected=fixd.detector.fault_count,
+            fault_hits=fault_hits,
+            violations=[
+                {
+                    "pid": v.pid,
+                    "invariant": v.invariant,
+                    "handled": v.handled,
+                    "time": v.time,
+                }
+                for v in result.violations
+            ],
+            incident=incident_report(cluster.failure_plan, scroll, result),
+            reports=len(fixd.reports),
+            bug_reports=bug_reports,
+            rolled_back=any(r["rolled_back"] for r in bug_reports),
+            rollbacks=sum(1 for r in bug_reports if r["rolled_back"]),
+            healed=any(r["healed"] for r in bug_reports),
+            auto_commits=committer.commits if committer else 0,
+            scroll_entries_collected=committer.entries_collected if committer else 0,
+            recovered=recovered,
+            consistent=consistent,
+            final_states=final_states,
+            scroll={
+                "entries": len(scroll),
+                "counts": counts,
+                "storage": storage,
+            },
+            transport=dict(getattr(cluster.backend, "transport_stats", None) or {}) or None,
+        )
+        outcome.failures = _evaluate_expectations(scenario, outcome, can_rollback)
+        return outcome
+
+
+def _evaluate_expectations(
+    scenario: Scenario, outcome: Outcome, can_rollback: bool
+) -> List[str]:
+    """The scenario's declared promises, checked against the outcome."""
+    failures: List[str] = []
+    if not outcome.detected:
+        missed = sorted(kind for kind, seen in outcome.observed.items() if not seen)
+        failures.append(f"injected fault kind(s) never observed: {missed}")
+    if not outcome.consistent:
+        failures.append(
+            f"consistency check {scenario.check!r} failed over the final states"
+        )
+    if not outcome.reported:
+        failures.append("no incident report was assembled")
+    for pid, back in outcome.recovered.items():
+        if not back:
+            failures.append(f"process {pid!r} did not recover from its crash")
+    if scenario.expect_violation:
+        if outcome.faults_detected < 1:
+            failures.append("expected an invariant violation; none was detected")
+        if outcome.reports < 1:
+            failures.append("expected a FixD bug report; none was produced")
+        if can_rollback:
+            unhandled = [r for r in outcome.bug_reports if not r["handled"]]
+            if unhandled:
+                failures.append(f"{len(unhandled)} provoked fault(s) not handled")
+            if outcome.bug_reports and not outcome.rolled_back:
+                failures.append("expected a rollback; none restored any process")
+            if not outcome.ok:
+                failures.append("run ended with unhandled violations")
+    elif not outcome.ok:
+        failures.append("run ended with unhandled violations")
+    return failures

@@ -1,0 +1,151 @@
+"""The :class:`Scenario` — one declarative, shareable description of a run.
+
+A scenario is *data*: which registered application to build (and with
+which parameters), which backend executes it, the seed and run limits,
+the composable :class:`~repro.api.faults.FaultSchedule` of injected
+trouble, and what the run is expected to establish (which consistency
+check must hold, whether an invariant violation is provoked, which
+crashed processes must be back).  Because every field is a JSON-basic
+value, scenarios serialize canonically (:meth:`Scenario.to_json` is
+byte-stable) and travel as repro artefacts — the fault schedule that
+broke a run *is* the bug report attachment that reproduces it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.api.faults import FaultSchedule
+from repro.errors import ScenarioError
+
+BACKENDS = ("sim", "mp")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One run of one application under one fault schedule.
+
+    Attributes
+    ----------
+    app:
+        Name of a registered application (see :mod:`repro.api.apps`).
+    name:
+        Stable identifier for reports and suite files; defaults to
+        ``"<app>-<schedule label>"`` (plus the backend when not ``sim``).
+    params:
+        Application parameters merged over the registry defaults.
+    backend:
+        Execution substrate: ``"sim"`` (deterministic simulator, full
+        FixD pipeline) or ``"mp"`` (real OS processes; detection +
+        reporting only).  ``mp`` scenarios must set ``until``.
+    seed / until / max_events:
+        Determinism root and run limits (``max_events`` applies to the
+        simulator only).
+    faults:
+        The composable fault schedule; multi-fault scenarios simply
+        list several specs.
+    check:
+        Which of the app's registered consistency checks the outcome
+        asserts over the final states.
+    expect_violation:
+        When true, the schedule is expected to provoke an invariant
+        violation that FixD must detect, report and (on capable
+        backends) roll back.
+    recovering:
+        Pids that crash with a scheduled recovery and must be back
+        alive at the end of the run.
+    hot_window / investigate / max_faults_handled / auto_commit_interval:
+        FixD tuning: tiered-Scroll hot window, run the Investigator on
+        faults, fault-handling budget, and the periodic recovery-line
+        commit interval (Scroll segment GC).
+    time_scale:
+        Wall seconds per simulated unit on the ``mp`` backend.
+    """
+
+    app: str
+    name: str = ""
+    params: Mapping[str, Any] = field(default_factory=dict)
+    backend: str = "sim"
+    seed: int = 7
+    until: Optional[float] = None
+    max_events: Optional[int] = 4000
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    check: str = "default"
+    expect_violation: bool = False
+    recovering: Tuple[str, ...] = ()
+    hot_window: Optional[int] = None
+    investigate: bool = False
+    max_faults_handled: int = 4
+    auto_commit_interval: Optional[float] = None
+    time_scale: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not self.app or not isinstance(self.app, str):
+            raise ScenarioError(f"scenario needs an application name, got {self.app!r}")
+        if self.backend not in BACKENDS:
+            raise ScenarioError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if not isinstance(self.faults, FaultSchedule):
+            raise ScenarioError("scenario faults must be a FaultSchedule")
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "recovering", tuple(self.recovering))
+        if not self.name:
+            suffix = "" if self.backend == "sim" else f"-{self.backend}"
+            object.__setattr__(self, "name", f"{self.app}-{self.faults.label}{suffix}")
+        if self.backend == "mp" and self.until is None:
+            raise ScenarioError(
+                f"scenario {self.name!r}: the mp backend detects quiescence in wall "
+                "time, so an explicit until=... bound is required"
+            )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-ready form (every field, schedule as tagged dicts)."""
+        return {
+            "app": self.app,
+            "name": self.name,
+            "params": dict(self.params),
+            "backend": self.backend,
+            "seed": self.seed,
+            "until": self.until,
+            "max_events": self.max_events,
+            "faults": self.faults.to_dicts(),
+            "check": self.check,
+            "expect_violation": self.expect_violation,
+            "recovering": list(self.recovering),
+            "hot_window": self.hot_window,
+            "investigate": self.investigate,
+            "max_faults_handled": self.max_faults_handled,
+            "auto_commit_interval": self.auto_commit_interval,
+            "time_scale": self.time_scale,
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable canonical JSON (sorted keys, compact separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "Scenario":
+        if not isinstance(payload, Mapping):
+            raise ScenarioError(f"scenario payload must be an object, got {payload!r}")
+        known = {spec_field.name for spec_field in fields(Scenario)}
+        extra = set(payload) - known
+        if extra:
+            raise ScenarioError(f"scenario has unknown fields: {sorted(extra)}")
+        kwargs = dict(payload)
+        kwargs["faults"] = FaultSchedule.from_dicts(kwargs.get("faults", []))
+        kwargs["recovering"] = tuple(kwargs.get("recovering", ()))
+        return Scenario(**kwargs)
+
+    @staticmethod
+    def from_json(text: str) -> "Scenario":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioError(f"scenario is not valid JSON: {error}") from None
+        return Scenario.from_dict(payload)

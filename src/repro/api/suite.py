@@ -1,0 +1,69 @@
+"""Scenario suite files: fault schedules as shareable repro artefacts.
+
+A suite file is a JSON document holding one or more serialized
+scenarios::
+
+    {
+      "version": 1,
+      "scenarios": [ { ...Scenario.to_dict()... }, ... ]
+    }
+
+``load_suite`` turns it back into :class:`~repro.api.scenario.Scenario`
+objects; ``run_suite`` executes it and reports pass/fail — the same
+entry point ``python -m repro.api <suite.json>`` uses, so a suite file
+attached to a bug report reproduces the run with no test code at all.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.api.scenario import Scenario
+from repro.errors import ScenarioError
+
+SUITE_VERSION = 1
+
+
+def save_suite(scenarios: Iterable[Scenario], path) -> Path:
+    """Write scenarios as a (human-readable) suite file; returns the path."""
+    scenarios = list(scenarios)
+    if not scenarios:
+        raise ScenarioError("refusing to save an empty suite")
+    payload = {
+        "version": SUITE_VERSION,
+        "scenarios": [scenario.to_dict() for scenario in scenarios],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def load_suite(path) -> List[Scenario]:
+    """Load a suite file, failing loudly on malformed content."""
+    path = Path(path)
+    if not path.exists():
+        raise ScenarioError(f"suite file not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise ScenarioError(f"suite file {path} is not valid JSON: {error}") from None
+    if not isinstance(payload, dict) or "scenarios" not in payload:
+        raise ScenarioError(f"suite file {path} needs a top-level 'scenarios' list")
+    version = payload.get("version", SUITE_VERSION)
+    if version != SUITE_VERSION:
+        raise ScenarioError(f"suite file {path} has unsupported version {version!r}")
+    scenarios = [Scenario.from_dict(entry) for entry in payload["scenarios"]]
+    if not scenarios:
+        raise ScenarioError(f"suite file {path} holds no scenarios")
+    return scenarios
+
+
+def run_suite(path, processes=None) -> Tuple[bool, List[str]]:
+    """Run a suite file; returns (all passed, per-scenario summary lines)."""
+    from repro.api.experiment import Experiment
+
+    experiment = Experiment(load_suite(path), processes=processes)
+    outcomes = experiment.run()
+    return experiment.passed, [outcome.summary() for outcome in outcomes]

@@ -20,7 +20,13 @@ a buggy and a fixed version so patches can be generated between them:
 """
 
 from repro.apps.bank import BankBranch, BankBranchFixed, total_balance_invariant
-from repro.apps.kvstore import KVClient, KVReplica, KVReplicaStale, replica_consistency_invariant
+from repro.apps.kvstore import (
+    KVClient,
+    KVReplica,
+    KVReplicaStale,
+    KVRewritingClient,
+    replica_consistency_invariant,
+)
 from repro.apps.leader_election import RingElector, at_most_one_leader_invariant
 from repro.apps.token_ring import TokenRingNode, TokenRingNodeBuggy, single_token_invariant
 from repro.apps.two_phase_commit import Coordinator, Participant, ParticipantLossy, atomicity_invariant
@@ -33,6 +39,7 @@ __all__ = [
     "KVClient",
     "KVReplica",
     "KVReplicaStale",
+    "KVRewritingClient",
     "replica_consistency_invariant",
     "RingElector",
     "at_most_one_leader_invariant",

@@ -193,6 +193,25 @@ class KVClient(Process):
         return all(version >= 0 for version in self.state["observed_versions"].values())
 
 
+class KVRewritingClient(KVClient):
+    """A client whose scripted workload overwrites keys it already wrote.
+
+    Overwrites are what expose :class:`KVReplicaStale`'s stale-version
+    bug, so this is the canonical "provoke the latent replication bug"
+    workload shared by the fault-investigation example and the
+    benchmarks.
+    """
+
+    operations = [
+        ("put", "alpha", 1),
+        ("put", "beta", 2),
+        ("put", "alpha", 3),
+        ("get", "alpha", None),
+        ("put", "beta", 4),
+        ("get", "beta", None),
+    ]
+
+
 def replica_consistency_invariant(states: Dict[str, Dict[str, Any]]) -> bool:
     """Global invariant: every backup's store is a subset of the primary's store.
 
@@ -217,9 +236,24 @@ def replica_consistency_invariant(states: Dict[str, Dict[str, Any]]) -> bool:
     return True
 
 
-def build_kvstore_cluster(cluster, replicas: int = 3, clients: int = 1) -> None:
-    """Convenience wiring used by examples and benchmarks."""
+def build_kvstore_cluster(
+    cluster,
+    replicas: int = 3,
+    clients: int = 1,
+    stale_backups: bool = False,
+    rewriting_clients: bool = False,
+) -> None:
+    """Internal wiring behind the ``"kvstore"`` registry entry.
+
+    ``stale_backups`` runs every non-primary replica as the buggy
+    :class:`KVReplicaStale`; ``rewriting_clients`` issues the
+    overwrite-heavy :class:`KVRewritingClient` workload that exposes it.
+    Prefer ``repro.api.apps.build(cluster, "kvstore", ...)`` outside
+    ``src/repro/``.
+    """
+    client_class = KVRewritingClient if rewriting_clients else KVClient
     for index in range(replicas):
-        cluster.add_process(f"replica{index}", KVReplica)
+        replica_class = KVReplicaStale if stale_backups and index > 0 else KVReplica
+        cluster.add_process(f"replica{index}", replica_class)
     for index in range(clients):
-        cluster.add_process(f"client{index}", KVClient)
+        cluster.add_process(f"client{index}", client_class)

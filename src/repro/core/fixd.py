@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.events import FaultEvent, RecoveryTimeline
 from repro.core.faults import FaultDetector
+from repro.errors import AttachmentError, RecoveryLineError
 from repro.core.protocol import FaultResponseCoordinator, ProtocolRun
 from repro.core.registry import CapabilityMatrix, default_matrix
 from repro.core.report import BugReport
@@ -41,6 +42,7 @@ from repro.healer.healer import Healer, HealReport
 from repro.healer.patch import Patch
 from repro.healer.strategies import RecoveryStrategy
 from repro.investigator.investigator import InvestigationReport, Investigator, InvestigatorConfig
+from repro.dsim.hooks import RuntimeHook
 from repro.scroll.interceptor import RecordingPolicy
 from repro.scroll.recorder import ScrollRecorder
 from repro.timemachine.rollback import RollbackResult
@@ -73,6 +75,14 @@ class FixDConfig:
     #: so the log never describes a future the rolled-back system will
     #: re-execute differently.
     truncate_scroll_on_rollback: bool = False
+    #: Every ``auto_commit_interval`` simulated time units, commit the
+    #: newest consistent recovery line that is at least one interval old
+    #: (:meth:`~repro.timemachine.rollback.RollbackManager.commit`),
+    #: garbage-collecting the Scroll segments below it — so a tiered log
+    #: stays disk-bounded without manual commit calls.  ``None`` (the
+    #: default) keeps the whole log.  Committing is a promise: later
+    #: rollbacks cannot reach past a committed line.
+    auto_commit_interval: Optional[float] = None
 
 
 @dataclass
@@ -90,6 +100,58 @@ class FixDReport:
     @property
     def healed(self) -> bool:
         return self.heal is not None and self.heal.succeeded
+
+
+class PeriodicLineCommitter(RuntimeHook):
+    """Periodically commits an old-enough recovery line (Scroll segment GC).
+
+    Every ``interval`` simulated time units this hook computes the
+    newest *consistent* recovery line whose checkpoints are all at
+    least ``interval`` old, and commits it through the Time Machine's
+    :class:`~repro.timemachine.rollback.RollbackManager` — which
+    unlinks the cold Scroll segments below the line's recorded log
+    position.  The age bound keeps a healthy margin between the commit
+    frontier and where a fault-response rollback would land, since a
+    committed line is a hard floor for future rollbacks.
+    """
+
+    def __init__(self, time_machine: TimeMachine, interval: float) -> None:
+        if interval <= 0:
+            raise ValueError("auto_commit_interval must be positive")
+        self._time_machine = time_machine
+        self.interval = interval
+        self._last_attempt = 0.0
+        self.commits = 0
+        self.entries_collected = 0
+
+    def after_handler(self, pid: str, description: str, time: float) -> None:
+        if time - self._last_attempt < self.interval:
+            return
+        self._last_attempt = time
+        bound = time - self.interval
+        if bound <= 0:
+            return
+        store = self._time_machine.store
+        pids = store.pids()
+        if not pids:
+            return
+        try:
+            line = self._time_machine.latest_recovery_line(
+                not_after={line_pid: bound for line_pid in pids}
+            )
+        except RecoveryLineError:
+            return  # no old-enough consistent line yet; try next interval
+        position = line.scroll_position()
+        if position is None:
+            return  # nothing stamped to collect against
+        manager = self._time_machine.rollback_manager
+        committed = manager.committed_lines
+        if committed:
+            last_position = committed[-1].scroll_position()
+            if last_position is not None and position <= last_position:
+                return  # would not advance the commit frontier
+        self.entries_collected += manager.commit(line)
+        self.commits += 1
 
 
 class FixD:
@@ -117,6 +179,7 @@ class FixD:
         self._patches: List[Patch] = []
         self._model_overrides: Dict[str, ProcessFactory] = {}
         self._environment_models: Dict[str, ProcessFactory] = {}
+        self.auto_committer: Optional[PeriodicLineCommitter] = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -149,7 +212,19 @@ class FixD:
         access to live process state, which only checkpoint-capable
         backends (the simulator) provide.  On other substrates FixD
         degrades gracefully to detection + bug reporting.
+
+        A FixD instance attaches exactly once: re-attaching would
+        install the recorder/detector hooks a second time and duplicate
+        the fault responders, so a second call raises
+        :class:`~repro.errors.AttachmentError` — build a fresh
+        :class:`FixD` per cluster instead.
         """
+        if self._cluster is not None:
+            raise AttachmentError(
+                "this FixD instance is already attached to a cluster; re-attaching "
+                "would duplicate its recorder/detector hooks and fault responders. "
+                "Create a new FixD (or use FixD.make_cluster exactly once) per run."
+            )
         self._cluster = cluster
         capabilities = self._backend_capabilities(cluster)
         cluster.add_hook(self.recorder)
@@ -157,6 +232,11 @@ class FixD:
         if self._can_recover:
             self.time_machine.attach(cluster)
             self._healer = Healer(cluster, self.time_machine)
+            if self.config.auto_commit_interval is not None:
+                self.auto_committer = PeriodicLineCommitter(
+                    self.time_machine, self.config.auto_commit_interval
+                )
+                cluster.add_hook(self.auto_committer)
         self.detector.add_responder(self._respond_to_fault)
         cluster.add_hook(self.detector)
         self._coordinator = FaultResponseCoordinator(
@@ -337,10 +417,14 @@ class FixD:
 
     def stats(self) -> Dict[str, object]:
         """One-call summary of what FixD recorded, checkpointed and handled."""
-        return {
+        stats: Dict[str, object] = {
             "scroll_entries": len(self.scroll),
             "scroll_storage": self.scroll.storage_stats(),
             "faults_detected": self.detector.fault_count,
             "faults_handled": len(self.reports),
             "time_machine": self.time_machine.stats(),
         }
+        if self.auto_committer is not None:
+            stats["auto_commits"] = self.auto_committer.commits
+            stats["scroll_entries_collected"] = self.auto_committer.entries_collected
+        return stats

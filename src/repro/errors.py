@@ -50,6 +50,35 @@ class InvariantViolation(ReproError):
         self.detail = detail
 
 
+class AttachmentError(ReproError):
+    """A FixD controller was attached to a cluster more than once.
+
+    Re-attaching would install the Scroll recorder and fault detector
+    hooks a second time and duplicate the fault responders, silently
+    double-recording every action and double-handling every fault — so
+    the second ``attach`` fails loudly instead.
+    """
+
+
+class FacadeError(ReproError):
+    """Misuse of the declarative :mod:`repro.api` facade."""
+
+
+class UnknownAppError(FacadeError):
+    """A scenario referenced an application name missing from the registry."""
+
+    def __init__(self, name: str, known: "list[str]") -> None:
+        super().__init__(
+            f"unknown application {name!r}; registered apps: {', '.join(known) or '(none)'}"
+        )
+        self.name = name
+        self.known = list(known)
+
+
+class ScenarioError(FacadeError):
+    """A scenario or fault schedule specification is invalid."""
+
+
 class CheckpointError(ReproError):
     """Checkpoint creation, lookup or restoration failed."""
 

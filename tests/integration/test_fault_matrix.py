@@ -1,522 +1,483 @@
-"""The fault-scenario matrix: six demo apps × six injected fault types.
+"""The fault-scenario matrix, declared through the ``repro.api`` facade.
 
-Every scenario runs a real application cluster with FixD attached (the
-Scroll recording into a *tiered* spill-to-disk log, communication-induced
-checkpointing, fault detection + rollback) while the failure plan injects
-one fault class, and asserts the three FixD promises:
+Every cell of the 6-app x 6-fault matrix is now a declarative
+:class:`repro.api.Scenario` — the app addressed by registry name, the
+injected trouble a serializable :class:`FaultSchedule`, the promises
+(`expect_violation`, `recovering`, the named consistency check) part of
+the scenario itself — and the assertions read off the structured
+:class:`Outcome` instead of poking clusters and FixD internals.  The
+three FixD promises per cell are unchanged:
 
-1. **detection** — the run noticed the fault: crash/drop/duplicate
-   entries land on the Scroll, delay rules register hits on the fault
-   engine, and provoked invariant violations reach the detector;
-2. **reporting** — an artefact a developer could act on exists: a
-   :class:`BugReport` when an invariant fired, and the run-level
-   :func:`incident_report` always;
-3. **recovery/consistency** — the system ends in a consistent state:
-   app-specific global invariants hold over the final states, crashed
-   processes with scheduled recoveries are back, and FixD handled (rolled
-   back) every provoked violation.
+1. **detection** — ``outcome.observed`` has evidence for every injected
+   fault kind (Scroll entries, fault-engine rule hits, network drops)
+   and provoked violations reached the detector;
+2. **reporting** — the run-level incident report exists, plus a
+   :class:`BugReport` summary per provoked violation;
+3. **recovery/consistency** — the app's declared global check holds
+   over the final states, crashed processes with scheduled recoveries
+   are back, and FixD rolled back every provoked violation.
 
-Scenario design notes: *benign* faults are ones the application protocol
-tolerates (a lagging backup, a lost token, an aborted transaction), so
-the global invariant must hold at the end of the run outright.
-*Violating* faults provoke a real invariant violation (double-applied
-transfer acknowledgement, double-counted chunk) that FixD must detect,
-report and roll back.
+Beyond the single-fault matrix this file adds what the facade makes
+cheap: **multi-fault schedules** (crash during partition, corruption
+under a duplicate storm), a serialized **suite file** loaded with
+``load_suite`` and asserted end to end, and an **mp-backend slice**
+(crash / drop / delay on real OS processes — marked ``slow`` so
+``-m matrix`` runs it but the default tier doesn't boot workers).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from pathlib import Path
 
 import pytest
 
-from repro.apps.bank import INITIAL_BALANCE, build_bank_cluster, total_balance_invariant
-from repro.apps.kvstore import build_kvstore_cluster, replica_consistency_invariant
-from repro.apps.leader_election import at_most_one_leader_invariant, build_election_ring
-from repro.apps.token_ring import (
-    build_token_ring,
-    mutual_exclusion_invariant,
-    single_token_invariant,
+from repro.api import (
+    Corrupt,
+    Crash,
+    Delay,
+    Drop,
+    Duplicate,
+    Experiment,
+    FaultSchedule,
+    Partition,
+    Scenario,
+    load_suite,
+    run_scenario,
 )
-from repro.apps.two_phase_commit import atomicity_invariant, build_2pc_cluster
-from repro.apps.wordcount import build_wordcount_cluster
-from repro.core.fixd import FixD, FixDConfig
-from repro.core.report import incident_report
-from repro.dsim.cluster import Cluster, ClusterConfig
-from repro.dsim.failure import (
-    CrashFault,
-    FailurePlan,
-    MessageFault,
-    PartitionFault,
-    StateCorruptionFault,
-)
-from repro.scroll.entry import ActionKind
-from repro.scroll.interceptor import RecordingPolicy
 
 #: Small hot window so every scenario also exercises the tiered Scroll.
-MATRIX_RECORDING = RecordingPolicy(hot_window=48)
+MATRIX_HOT_WINDOW = 48
+
+#: Repo-level suite artefact: the multi-fault schedules as shareable JSON.
+SUITE_PATH = Path(__file__).resolve().parents[2] / "suites" / "crash_during_partition.json"
+
+APP_PARAMS = {
+    "kvstore": {"replicas": 2, "clients": 1},
+    "bank": {"branches": 3, "fixed": True},
+    "token_ring": {"nodes": 3, "max_rounds": 4},
+    "leader_election": {"nodes": 4},
+    "two_phase_commit": {"participants": 3, "transactions": 2},
+    "wordcount": {"workers": 2, "chunks": 8},
+}
 
 
-def _states(cluster: Cluster) -> Dict[str, Dict[str, Any]]:
-    return {pid: dict(cluster.process(pid).state) for pid in cluster.pids}
-
-
-def wordcount_consistent(states: Dict[str, Dict[str, Any]]) -> bool:
-    master = states["master"]
-    return (
-        master["aggregated"] <= master["dispatched"]
-        and sum(master["counts"].values()) <= master["corpus_size"]
+def cell(app: str, fault: str, schedule: FaultSchedule, **overrides) -> Scenario:
+    """One matrix cell as a Scenario named ``<app>-<fault>``."""
+    settings = dict(
+        app=app,
+        name=f"{app}-{fault}",
+        params=APP_PARAMS[app],
+        seed=7,
+        max_events=4000,
+        faults=schedule,
+        hot_window=MATRIX_HOT_WINDOW,
     )
-
-
-def bank_locally_consistent(states: Dict[str, Dict[str, Any]]) -> bool:
-    return all(
-        all(balance >= 0 for balance in state["accounts"].values())
-        and state["in_flight_debits"] >= 0
-        for state in states.values()
-    )
-
-
-def bank_crash_consistent(states: Dict[str, Dict[str, Any]]) -> bool:
-    """Conservation under crashes: nothing invented, every gap in flight.
-
-    A branch that crashes after a peer credited its transfer never sees
-    the acknowledgement, so exact ``total + in_flight == expected``
-    overcounts that transfer forever.  The defensible claim is one-sided:
-    balances never exceed the initial supply, and whatever is missing
-    from balances is fully covered by tracked in-flight debits.
-    """
-    expected = sum(len(state["accounts"]) * INITIAL_BALANCE for state in states.values())
-    total = sum(sum(state["accounts"].values()) for state in states.values())
-    in_flight = sum(state["in_flight_debits"] for state in states.values())
-    return bank_locally_consistent(states) and total <= expected <= total + in_flight
-
-
-def token_ring_consistent(states: Dict[str, Dict[str, Any]]) -> bool:
-    return single_token_invariant(states) and mutual_exclusion_invariant(states)
-
-
-@dataclass
-class Scenario:
-    """One cell of the app × fault matrix."""
-
-    app: str
-    fault: str  # "crash" | "drop" | "duplicate" | "delay" | "partition" | "state_corruption"
-    build: Callable[[Cluster], None]
-    plan: FailurePlan
-    consistent: Callable[[Dict[str, Dict[str, Any]]], bool]
-    expect_violation: bool = False
-    seed: int = 7
-    max_events: int = 4000
-    #: pids that crash with a scheduled recovery (asserted back alive)
-    recovering: tuple = ()
-    id: str = field(init=False)
-
-    def __post_init__(self) -> None:
-        self.id = f"{self.app}-{self.fault}"
-
-
-def _crash(pid: str, at: float, recover_at: Optional[float]) -> FailurePlan:
-    return FailurePlan(crashes=[CrashFault(pid, at=at, recover_at=recover_at)])
-
-
-def _message(kind: str, match_kind: str, count: int = 1, extra_delay: float = 0.0) -> FailurePlan:
-    return FailurePlan(
-        message_faults=[
-            MessageFault(kind, match_kind=match_kind, count=count, extra_delay=extra_delay)
-        ]
-    )
-
-
-def _partition(groups, start: float, end: float) -> FailurePlan:
-    return FailurePlan(partitions=[PartitionFault(groups=groups, start=start, end=end)])
-
-
-def _corrupt(pid: str, at: float, mutator, description: str) -> FailurePlan:
-    return FailurePlan(
-        corruptions=[StateCorruptionFault(pid=pid, at=at, mutator=mutator, description=description)]
-    )
+    settings.update(overrides)
+    return Scenario(**settings)
 
 
 SCENARIOS = [
     # ------------------------------------------------------------------
     # primary/backup key-value store: backups may lag but never lead
     # ------------------------------------------------------------------
-    Scenario(
+    cell(
         "kvstore", "crash",
-        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
-        _crash("replica1", at=3.0, recover_at=8.0),
-        replica_consistency_invariant, recovering=("replica1",),
+        FaultSchedule.of(Crash("replica1", at=3.0, recover_at=8.0)),
+        recovering=("replica1",),
     ),
-    Scenario(
-        "kvstore", "drop",
-        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
-        _message("drop", "REPLICATE"),
-        replica_consistency_invariant,
-    ),
-    Scenario(
-        "kvstore", "duplicate",
-        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
-        _message("duplicate", "REPLICATE"),
-        replica_consistency_invariant,
-    ),
-    Scenario(
+    cell("kvstore", "drop", FaultSchedule.of(Drop(match_kind="REPLICATE"))),
+    cell("kvstore", "duplicate", FaultSchedule.of(Duplicate(match_kind="REPLICATE"))),
+    cell(
         "kvstore", "delay",
-        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
-        _message("delay", "REPLICATE", count=2, extra_delay=3.0),
-        replica_consistency_invariant,
+        FaultSchedule.of(Delay(match_kind="REPLICATE", count=2, extra_delay=3.0)),
     ),
-    Scenario(
+    cell(
         # The backup is cut off mid-replication: it lags but never leads.
         "kvstore", "partition",
-        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
-        _partition([["replica0", "client0"], ["replica1"]], start=2.0, end=6.0),
-        replica_consistency_invariant,
+        FaultSchedule.of(
+            Partition(groups=(("replica0", "client0"), ("replica1",)), start=2.0, end=6.0)
+        ),
     ),
-    Scenario(
+    cell(
         # A rogue key appears on the backup without a version entry —
         # the versions-track-store invariant fires and FixD rolls back.
         "kvstore", "state_corruption",
-        lambda c: build_kvstore_cluster(c, replicas=2, clients=1),
-        _corrupt(
-            "replica1", 4.0,
-            lambda state: state["store"].__setitem__("rogue", "corrupt"),
-            "rogue unversioned key on backup",
+        FaultSchedule.of(
+            Corrupt(
+                pid="replica1", at=4.0,
+                ops=(("set", ("store", "rogue"), "corrupt"),),
+                description="rogue unversioned key on backup",
+            )
         ),
-        replica_consistency_invariant, expect_violation=True,
+        expect_violation=True,
     ),
     # ------------------------------------------------------------------
     # bank (fixed branches): money is conserved across transfers
     # ------------------------------------------------------------------
-    Scenario(
+    cell(
         "bank", "crash",
-        lambda c: build_bank_cluster(c, branches=3, fixed=True),
-        _crash("branch2", at=3.0, recover_at=7.0),
-        bank_crash_consistent, recovering=("branch2",),
+        FaultSchedule.of(Crash("branch2", at=3.0, recover_at=7.0)),
+        recovering=("branch2",), check="conservation-bound",
     ),
-    Scenario(
+    cell(
         "bank", "drop",
-        lambda c: build_bank_cluster(c, branches=3, fixed=True),
-        _message("drop", "TRANSFER"),
-        total_balance_invariant,
+        FaultSchedule.of(Drop(match_kind="TRANSFER")),
+        check="conservation",
     ),
-    Scenario(
+    cell(
         # A duplicated acknowledgement double-settles one transfer:
         # in-flight accounting goes negative — a provoked violation FixD
         # must detect and roll back.
         "bank", "duplicate",
-        lambda c: build_bank_cluster(c, branches=3, fixed=True),
-        _message("duplicate", "TRANSFER_ACK"),
-        bank_locally_consistent, expect_violation=True,
+        FaultSchedule.of(Duplicate(match_kind="TRANSFER_ACK")),
+        check="local", expect_violation=True,
     ),
-    Scenario(
+    cell(
         "bank", "delay",
-        lambda c: build_bank_cluster(c, branches=3, fixed=True),
-        _message("delay", "TRANSFER", count=2, extra_delay=4.0),
-        total_balance_invariant,
+        FaultSchedule.of(Delay(match_kind="TRANSFER", count=2, extra_delay=4.0)),
+        check="conservation",
     ),
-    Scenario(
+    cell(
         # Transfers into the isolated branch drop: money stays tracked
         # as in-flight debits, so the one-sided conservation bound holds.
         "bank", "partition",
-        lambda c: build_bank_cluster(c, branches=3, fixed=True),
-        _partition([["branch0", "branch1"], ["branch2"]], start=2.0, end=6.0),
-        bank_crash_consistent,
+        FaultSchedule.of(
+            Partition(groups=(("branch0", "branch1"), ("branch2",)), start=2.0, end=6.0)
+        ),
+        check="conservation-bound",
     ),
-    Scenario(
+    cell(
         # In-flight accounting is silently driven negative — a provoked
         # violation of in-flight-non-negative that FixD must roll back.
         "bank", "state_corruption",
-        lambda c: build_bank_cluster(c, branches=3, fixed=True),
-        _corrupt(
-            "branch1", 3.5,
-            lambda state: state.__setitem__("in_flight_debits", -5),
-            "in-flight debit counter corrupted negative",
+        FaultSchedule.of(
+            Corrupt(
+                pid="branch1", at=3.5,
+                ops=(("set", ("in_flight_debits",), -5),),
+                description="in-flight debit counter corrupted negative",
+            )
         ),
-        bank_locally_consistent, expect_violation=True,
+        check="local", expect_violation=True,
     ),
     # ------------------------------------------------------------------
     # token ring: at most one token / one process in its critical section
     # ------------------------------------------------------------------
-    Scenario(
+    cell(
         "token_ring", "crash",
-        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
-        _crash("node1", at=2.5, recover_at=6.0),
-        token_ring_consistent, recovering=("node1",),
+        FaultSchedule.of(Crash("node1", at=2.5, recover_at=6.0)),
+        recovering=("node1",),
     ),
-    Scenario(
-        "token_ring", "drop",
-        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
-        _message("drop", "TOKEN"),
-        token_ring_consistent,
-    ),
-    Scenario(
-        "token_ring", "duplicate",
-        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
-        _message("duplicate", "TOKEN"),
-        token_ring_consistent,
-    ),
-    Scenario(
+    cell("token_ring", "drop", FaultSchedule.of(Drop(match_kind="TOKEN"))),
+    cell("token_ring", "duplicate", FaultSchedule.of(Duplicate(match_kind="TOKEN"))),
+    cell(
         "token_ring", "delay",
-        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
-        _message("delay", "TOKEN", count=1, extra_delay=2.5),
-        token_ring_consistent,
+        FaultSchedule.of(Delay(match_kind="TOKEN", count=1, extra_delay=2.5)),
     ),
-    Scenario(
+    cell(
         # The token is lost crossing the cut — a lost token is benign for
         # safety: at most one holder / one critical section still holds.
         "token_ring", "partition",
-        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
-        _partition([["node0"], ["node1", "node2"]], start=0.5, end=3.0),
-        token_ring_consistent,
-    ),
-    Scenario(
-        # A node is forced into its critical section without the token —
-        # the cs-requires-token invariant fires immediately.
-        "token_ring", "state_corruption",
-        lambda c: build_token_ring(c, nodes=3, max_rounds=4),
-        _corrupt(
-            # 3.5: node1 has already passed the token on (at 3.0) — being
-            # in the critical section without it is a real violation.
-            "node1", 3.5,
-            lambda state: state.__setitem__("in_critical_section", True),
-            "critical section entered without token",
+        FaultSchedule.of(
+            Partition(groups=(("node0",), ("node1", "node2")), start=0.5, end=3.0)
         ),
-        token_ring_consistent, expect_violation=True,
+    ),
+    cell(
+        # A node is forced into its critical section without the token —
+        # the cs-requires-token invariant fires immediately.  (3.5: node1
+        # has already passed the token on at 3.0.)
+        "token_ring", "state_corruption",
+        FaultSchedule.of(
+            Corrupt(
+                pid="node1", at=3.5,
+                ops=(("set", ("in_critical_section",), True),),
+                description="critical section entered without token",
+            )
+        ),
+        expect_violation=True,
     ),
     # ------------------------------------------------------------------
     # leader election: never two leaders, crashed nodes come back
     # ------------------------------------------------------------------
-    Scenario(
+    cell(
         "leader_election", "crash",
-        lambda c: build_election_ring(c, nodes=4),
-        _crash("elector3", at=1.5, recover_at=20.0),
-        at_most_one_leader_invariant, recovering=("elector3",),
+        FaultSchedule.of(Crash("elector3", at=1.5, recover_at=20.0)),
+        recovering=("elector3",),
     ),
-    Scenario(
-        "leader_election", "drop",
-        lambda c: build_election_ring(c, nodes=4),
-        _message("drop", "ELECTION"),
-        at_most_one_leader_invariant,
-    ),
-    Scenario(
-        "leader_election", "duplicate",
-        lambda c: build_election_ring(c, nodes=4),
-        _message("duplicate", "ELECTION"),
-        at_most_one_leader_invariant,
-    ),
-    Scenario(
+    cell("leader_election", "drop", FaultSchedule.of(Drop(match_kind="ELECTION"))),
+    cell("leader_election", "duplicate", FaultSchedule.of(Duplicate(match_kind="ELECTION"))),
+    cell(
         "leader_election", "delay",
-        lambda c: build_election_ring(c, nodes=4),
-        _message("delay", "ELECTED", count=1, extra_delay=4.0),
-        at_most_one_leader_invariant,
+        FaultSchedule.of(Delay(match_kind="ELECTED", count=1, extra_delay=4.0)),
     ),
-    Scenario(
+    cell(
         # Election traffic across the cut drops; whatever happens, two
         # nodes never both believe they are the leader.
         "leader_election", "partition",
-        lambda c: build_election_ring(c, nodes=4),
-        _partition([["elector0", "elector1"], ["elector2", "elector3"]], start=1.5, end=7.0),
-        at_most_one_leader_invariant,
+        FaultSchedule.of(
+            Partition(
+                groups=(("elector0", "elector1"), ("elector2", "elector3")),
+                start=1.5, end=7.0,
+            )
+        ),
     ),
-    Scenario(
+    cell(
         # A node is corrupted into believing it leads without recording a
         # leader id — self-leader-consistent fires.
         "leader_election", "state_corruption",
-        lambda c: build_election_ring(c, nodes=4),
-        _corrupt(
-            "elector1", 2.5,
-            lambda state: state.__setitem__("is_leader", True),
-            "node believes it leads without an election",
+        FaultSchedule.of(
+            Corrupt(
+                pid="elector1", at=2.5,
+                ops=(("set", ("is_leader",), True),),
+                description="node believes it leads without an election",
+            )
         ),
-        at_most_one_leader_invariant, expect_violation=True,
+        expect_violation=True,
     ),
     # ------------------------------------------------------------------
     # two-phase commit: no transaction both committed and aborted
     # ------------------------------------------------------------------
-    Scenario(
+    cell(
         "two_phase_commit", "crash",
-        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
-        _crash("participant1", at=1.5, recover_at=10.0),
-        atomicity_invariant, recovering=("participant1",),
+        FaultSchedule.of(Crash("participant1", at=1.5, recover_at=10.0)),
+        recovering=("participant1",),
     ),
-    Scenario(
-        "two_phase_commit", "drop",
-        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
-        _message("drop", "VOTE_YES"),
-        atomicity_invariant,
-    ),
-    Scenario(
-        "two_phase_commit", "duplicate",
-        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
-        _message("duplicate", "VOTE_YES"),
-        atomicity_invariant,
-    ),
-    Scenario(
+    cell("two_phase_commit", "drop", FaultSchedule.of(Drop(match_kind="VOTE_YES"))),
+    cell("two_phase_commit", "duplicate", FaultSchedule.of(Duplicate(match_kind="VOTE_YES"))),
+    cell(
         "two_phase_commit", "delay",
-        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
-        _message("delay", "COMMIT", count=1, extra_delay=5.0),
-        atomicity_invariant,
+        FaultSchedule.of(Delay(match_kind="COMMIT", count=1, extra_delay=5.0)),
     ),
-    Scenario(
+    cell(
         # One participant is unreachable during prepare: its vote never
         # arrives, the coordinator times out and aborts — atomically.
         "two_phase_commit", "partition",
-        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
-        _partition(
-            [["coordinator", "participant0", "participant1"], ["participant2"]],
-            start=1.0, end=4.0,
+        FaultSchedule.of(
+            Partition(
+                groups=(("coordinator", "participant0", "participant1"), ("participant2",)),
+                start=1.0, end=4.0,
+            )
         ),
-        atomicity_invariant, max_events=6000,
+        max_events=6000,
     ),
-    Scenario(
+    cell(
         # A participant's decision log is corrupted to hold a transaction
         # both committed and aborted — not-both fires, FixD rolls back.
         "two_phase_commit", "state_corruption",
-        lambda c: build_2pc_cluster(c, participants=3, transactions=2),
-        _corrupt(
-            "participant1", 3.0,
-            lambda state: (state["committed"].append(99), state["aborted"].append(99)),
-            "transaction recorded both committed and aborted",
+        FaultSchedule.of(
+            Corrupt(
+                pid="participant1", at=3.0,
+                ops=(
+                    ("append", ("committed",), 99),
+                    ("append", ("aborted",), 99),
+                ),
+                description="transaction recorded both committed and aborted",
+            )
         ),
-        atomicity_invariant, expect_violation=True,
+        expect_violation=True,
     ),
     # ------------------------------------------------------------------
     # wordcount: aggregation never outruns dispatch or the corpus
     # ------------------------------------------------------------------
-    Scenario(
+    cell(
         "wordcount", "crash",
-        lambda c: build_wordcount_cluster(c, workers=2, chunks=8),
-        _crash("worker0", at=4.0, recover_at=8.0),
-        wordcount_consistent, recovering=("worker0",),
+        FaultSchedule.of(Crash("worker0", at=4.0, recover_at=8.0)),
+        recovering=("worker0",),
     ),
-    Scenario(
-        "wordcount", "drop",
-        lambda c: build_wordcount_cluster(c, workers=2, chunks=8),
-        _message("drop", "COUNT"),
-        wordcount_consistent,
-    ),
-    Scenario(
+    cell("wordcount", "drop", FaultSchedule.of(Drop(match_kind="COUNT"))),
+    cell(
         # A duplicated result message double-counts one chunk, pushing
         # the master past its corpus bound — provoked violation.
         "wordcount", "duplicate",
-        lambda c: build_wordcount_cluster(c, workers=2, chunks=8),
-        _message("duplicate", "COUNTED"),
-        wordcount_consistent, expect_violation=True,
+        FaultSchedule.of(Duplicate(match_kind="COUNTED")),
+        expect_violation=True,
     ),
-    Scenario(
+    cell(
         "wordcount", "delay",
-        lambda c: build_wordcount_cluster(c, workers=2, chunks=8),
-        _message("delay", "COUNT", count=2, extra_delay=3.0),
-        wordcount_consistent,
+        FaultSchedule.of(Delay(match_kind="COUNT", count=2, extra_delay=3.0)),
     ),
-    Scenario(
+    cell(
         # Chunks routed to the cut-off worker drop: aggregation simply
         # never outruns dispatch.
         "wordcount", "partition",
-        lambda c: build_wordcount_cluster(c, workers=2, chunks=8),
-        _partition([["master", "worker0"], ["worker1"]], start=2.0, end=6.0),
-        wordcount_consistent,
+        FaultSchedule.of(
+            Partition(groups=(("master", "worker0"), ("worker1",)), start=2.0, end=6.0)
+        ),
     ),
-    Scenario(
+    cell(
         # The master's aggregation counter jumps ahead of dispatch — the
         # aggregated-bounded-by-dispatched invariant fires.
         "wordcount", "state_corruption",
-        lambda c: build_wordcount_cluster(c, workers=2, chunks=8),
-        _corrupt(
-            "master", 4.0,
-            lambda state: state.__setitem__("aggregated", state["aggregated"] + 5),
-            "aggregation counter corrupted past dispatch",
+        FaultSchedule.of(
+            Corrupt(
+                pid="master", at=4.0,
+                ops=(("add", ("aggregated",), 5),),
+                description="aggregation counter corrupted past dispatch",
+            )
         ),
-        wordcount_consistent, expect_violation=True,
+        expect_violation=True,
+    ),
+]
+
+#: Multi-fault composition: several fault kinds in one schedule, the
+#: ROADMAP "matrix multi-fault schedules" item.
+MULTI_FAULT_SCENARIOS = [
+    Scenario(
+        # The backup crashes *while* the network is partitioned and must
+        # still be back (and consistent) after both faults clear.
+        app="kvstore", name="kvstore-crash-during-partition",
+        params=APP_PARAMS["kvstore"], seed=7, hot_window=MATRIX_HOT_WINDOW,
+        faults=FaultSchedule.of(
+            Partition(groups=(("replica0", "client0"), ("replica1",)), start=2.0, end=6.0),
+            Crash(pid="replica1", at=3.0, recover_at=8.0),
+        ),
+        recovering=("replica1",),
+    ),
+    Scenario(
+        # Corruption lands while duplicated acknowledgements storm the
+        # branches: FixD must still detect and roll back the violation.
+        app="bank", name="bank-corruption-under-duplicate-storm",
+        params=APP_PARAMS["bank"], seed=7, hot_window=MATRIX_HOT_WINDOW, check="local",
+        faults=FaultSchedule.of(
+            Duplicate(match_kind="TRANSFER_ACK", count=2),
+            Corrupt(
+                pid="branch1", at=3.5,
+                ops=(("set", ("in_flight_debits",), -5),),
+                description="in-flight debit counter corrupted negative",
+            ),
+        ),
+        expect_violation=True,
+    ),
+    Scenario(
+        # A crashed worker plus a duplicated result: recovery and the
+        # double-count rollback must compose in one run.
+        app="wordcount", name="wordcount-crash+duplicate",
+        params=APP_PARAMS["wordcount"], seed=7, hot_window=MATRIX_HOT_WINDOW,
+        faults=FaultSchedule.of(
+            Crash(pid="worker0", at=4.0, recover_at=8.0),
+            Duplicate(match_kind="COUNTED", count=None),
+        ),
+        recovering=("worker0",), expect_violation=True,
+    ),
+    Scenario(
+        # A delayed token and then a dropped one: liveness suffers,
+        # safety (single token, single critical section) must not.  The
+        # delay rule comes first — once the drop kills the token the
+        # ring goes quiet, so a trailing delay rule would never fire.
+        app="token_ring", name="token_ring-delay+drop",
+        params=APP_PARAMS["token_ring"], seed=7, hot_window=MATRIX_HOT_WINDOW,
+        faults=FaultSchedule.of(
+            Delay(match_kind="TOKEN", count=1, extra_delay=2.5),
+            Drop(match_kind="TOKEN", count=1),
+        ),
+    ),
+]
+
+#: The mp slice: real OS processes, wall-clock quiescence — crash, drop
+#: and delay injection must be detected on the real substrate too.
+MP_SCENARIOS = [
+    Scenario(
+        app="wordcount", name="wordcount-crash-mp", backend="mp",
+        params=APP_PARAMS["wordcount"], seed=7, until=200.0, time_scale=0.01,
+        faults=FaultSchedule.of(Crash(pid="worker0", at=4.0, recover_at=8.0)),
+        recovering=("worker0",),
+    ),
+    Scenario(
+        app="kvstore", name="kvstore-drop-mp", backend="mp",
+        params=APP_PARAMS["kvstore"], seed=7, until=400.0, time_scale=0.01,
+        faults=FaultSchedule.of(Drop(match_kind="REPLICATE")),
+    ),
+    Scenario(
+        app="token_ring", name="token_ring-delay-mp", backend="mp",
+        params=APP_PARAMS["token_ring"], seed=7, until=200.0, time_scale=0.01,
+        faults=FaultSchedule.of(Delay(match_kind="TOKEN", count=1, extra_delay=2.5)),
     ),
 ]
 
 
-def run_scenario(scenario: Scenario):
-    cluster = Cluster(ClusterConfig(seed=scenario.seed, halt_on_violation=False))
-    scenario.build(cluster)
-    fixd = FixD(
-        FixDConfig(
-            investigate_on_fault=False,
-            recording_policy=MATRIX_RECORDING,
-            max_faults_handled=4,
-        )
-    )
-    fixd.attach(cluster)
-    cluster.set_failure_plan(scenario.plan)
-    result = cluster.run(max_events=scenario.max_events)
-    return cluster, fixd, result
+def assert_promises(scenario: Scenario, outcome) -> None:
+    """The three FixD promises, read off the structured outcome."""
+    # detection + expectation evaluation (consistency, recovery, handling)
+    assert outcome.passed, f"{scenario.name}: {outcome.failures}"
+    assert outcome.detected, f"{scenario.name}: missing evidence {outcome.observed}"
+    # reporting: the run-level incident artefact pairs plan and observation
+    assert "Injected faults" in outcome.incident
+    assert "Observed on the Scroll" in outcome.incident
+    if scenario.expect_violation:
+        assert outcome.reports >= 1
+        assert outcome.rolled_back
+        for report in outcome.bug_reports:
+            assert report["handled"] and report["scroll_tail_entries"] > 0
+    for pid in scenario.recovering:
+        assert outcome.recovered[pid], f"{pid} did not recover"
 
 
 @pytest.mark.matrix
-@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.id)
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
 def test_fault_scenario(scenario: Scenario):
-    cluster, fixd, result = run_scenario(scenario)
-    scroll = fixd.scroll
-
-    # --- detection -----------------------------------------------------
-    if scenario.fault == "crash":
-        assert scroll.of_kind(ActionKind.CRASH), "crash not recorded on the Scroll"
-        assert scroll.of_kind(ActionKind.RECOVER), "recovery not recorded on the Scroll"
-    elif scenario.fault in ("drop", "partition"):
-        assert scroll.of_kind(ActionKind.DROP), "drop not recorded on the Scroll"
-    elif scenario.fault == "duplicate":
-        assert scroll.of_kind(ActionKind.DUPLICATE), "duplicate not recorded on the Scroll"
-    elif scenario.fault == "state_corruption":
-        assert scroll.of_kind(ActionKind.CORRUPTION), "corruption not recorded on the Scroll"
-    if scenario.fault == "partition":
-        assert result.network_stats["dropped"] >= 1, "partition never dropped a message"
-    if scenario.fault in ("drop", "duplicate", "delay"):
-        hits = cluster.fault_engine.hit_counts()
-        assert sum(hits.values()) >= 1, "injected message-fault rule never fired"
-    if scenario.expect_violation:
-        assert fixd.detector.fault_count >= 1, "provoked violation was not detected"
-
-    # --- reporting -----------------------------------------------------
-    report_text = incident_report(scenario.plan, scroll, result)
-    assert "Injected faults" in report_text and "Observed on the Scroll" in report_text
-    observed_keyword = {
-        "crash": "crash", "drop": "drop", "duplicate": "duplicate",
-        "delay": "crash", "partition": "drop", "state_corruption": "corruption",
-    }[scenario.fault]
-    assert f"{observed_keyword}:" in report_text
-    if scenario.expect_violation:
-        assert fixd.reports, "no FixD bug report for the provoked violation"
-        bug_text = fixd.reports[0].bug_report.to_text()
-        assert fixd.reports[0].fault.invariant in bug_text
-        assert fixd.reports[0].bug_report.scroll_tail
-
-    # --- recovery / consistency ---------------------------------------
-    states = _states(cluster)
-    assert scenario.consistent(states), f"final state inconsistent: {states}"
-    for pid in scenario.recovering:
-        assert not cluster.process(pid).crashed, f"{pid} did not recover"
-    if scenario.expect_violation:
-        assert all(report.handled for report in fixd.reports)
-        assert all(
-            report.rollback is not None and report.rollback.restored_pids
-            for report in fixd.reports
-        )
-        assert result.ok, "violations should have been handled by FixD"
-
+    outcome = run_scenario(scenario)
+    assert_promises(scenario, outcome)
     # every scenario exercises the tiered Scroll in integration
-    assert scroll.is_tiered
-    if len(scroll) > MATRIX_RECORDING.hot_window:
-        assert scroll.spill_watermark > 0
+    storage = outcome.scroll["storage"]
+    assert storage["tiered"]
+    if outcome.scroll["entries"] > MATRIX_HOT_WINDOW:
+        assert storage["spilled_entries"] + storage["collected_entries"] > 0
+
+
+@pytest.mark.matrix
+@pytest.mark.parametrize("scenario", MULTI_FAULT_SCENARIOS, ids=lambda s: s.name)
+def test_multi_fault_scenario(scenario: Scenario):
+    outcome = run_scenario(scenario)
+    assert_promises(scenario, outcome)
+    assert len(scenario.faults.kinds) >= 2
+    for kind in scenario.faults.kinds:
+        assert outcome.observed[kind], f"no evidence for injected {kind}"
+
+
+@pytest.mark.matrix
+def test_multi_fault_suite_detect_report_recover():
+    """The crash-during-partition schedule travels as a JSON suite artefact."""
+    scenarios = load_suite(SUITE_PATH)
+    by_name = {scenario.name: scenario for scenario in scenarios}
+    assert "kvstore-crash-during-partition" in by_name
+    crash_partition = by_name["kvstore-crash-during-partition"]
+    assert set(crash_partition.faults.kinds) == {"partition", "crash"}
+
+    experiment = Experiment(scenarios)
+    outcomes = experiment.run()
+    assert experiment.passed, experiment.describe()
+    for scenario, outcome in zip(scenarios, outcomes):
+        assert_promises(scenario, outcome)
+
+    # the artefact round-trips canonically: load -> serialize -> load
+    for scenario in scenarios:
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+
+@pytest.mark.matrix
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", MP_SCENARIOS, ids=lambda s: s.name)
+def test_mp_fault_slice(scenario: Scenario):
+    """Fault injection detected on the real-process substrate via the facade."""
+    outcome = run_scenario(scenario)
+    assert outcome.passed, f"{scenario.name}: {outcome.failures}"
+    assert outcome.detected, f"{scenario.name}: missing evidence {outcome.observed}"
+    assert "Observed on the Scroll" in outcome.incident
 
 
 @pytest.mark.matrix
 def test_matrix_covers_all_apps_and_faults():
-    """The matrix itself must stay complete: 6 apps × 6 fault types."""
-    apps = {scenario.app for scenario in SCENARIOS}
-    faults = {scenario.fault for scenario in SCENARIOS}
+    """The matrix itself must stay complete: 6 apps x 6 fault types."""
+    cells = {(s.app, s.name.split("-", 1)[1]) for s in SCENARIOS}
+    apps = {app for app, _fault in cells}
+    faults = {fault for _app, fault in cells}
     assert len(apps) == 6
     assert faults == {"crash", "drop", "duplicate", "delay", "partition", "state_corruption"}
-    cells = {(scenario.app, scenario.fault) for scenario in SCENARIOS}
     assert cells == {(app, fault) for app in apps for fault in faults}, (
         "every app must face every fault kind"
     )
     assert len(SCENARIOS) >= 36
-    assert len({scenario.id for scenario in SCENARIOS}) == len(SCENARIOS)
+    names = [s.name for s in SCENARIOS + MULTI_FAULT_SCENARIOS + MP_SCENARIOS]
+    assert len(set(names)) == len(names)
+    # the multi-fault extension and mp slice stay present
+    assert all(len(s.faults.kinds) >= 2 for s in MULTI_FAULT_SCENARIOS)
+    assert {s.faults.kinds[0] for s in MP_SCENARIOS} >= {"crash", "drop", "delay"}
