@@ -1,12 +1,13 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: verify tier1 tier1-core matrix parity bench-smoke suite-smoke bench test-all
+.PHONY: verify tier1 tier1-core matrix parity mp-teardown bench-smoke suite-smoke bench test-all
 
-## The one-command gate: core tests, the fault matrix, backend parity,
-## benchmark smoke, and a suite-file run through the repro.api facade —
-## each exactly once (tier1-core deselects what the later steps own).
-verify: tier1-core matrix parity bench-smoke suite-smoke
+## The one-command gate: core tests, the fault matrix, backend parity
+## (both mp transports), mp teardown/leak regression, benchmark smoke,
+## and a suite-file run through the repro.api facade — each exactly
+## once (tier1-core deselects what the later steps own).
+verify: tier1-core matrix parity mp-teardown bench-smoke suite-smoke
 
 ## The plain default suite (what CI and `pytest -x -q` run): includes the
 ## matrix and the in-process bench smoke test.
@@ -20,9 +21,15 @@ tier1-core:
 matrix:
 	python -m pytest -m matrix -q
 
-## Every demo app on both substrates (simulator + real processes).
+## Every demo app on both substrates (simulator + real processes, the
+## latter on both the pipe and the shared-memory transport).
 parity:
 	python -m pytest -m parity -q
+
+## Leak-proof teardown of the mp backend (shm segments, sender threads,
+## resource-tracker-quiet exit) on clean, worker-lost and interrupt paths.
+mp-teardown:
+	python -m pytest tests/unit/test_mp_teardown.py -m "" -q
 
 bench-smoke:
 	python benchmarks/run_bench.py --quick --check

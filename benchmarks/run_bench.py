@@ -2,9 +2,10 @@
 """Hot-path benchmark entry point: emits and checks ``BENCH_hotpaths.json``.
 
 Measures the hot paths the perf PRs target — indexed Scroll queries, the
-lazy-deletion scheduler, dirty-page COW captures, and (since the tiered
-storage PR) whole-log replay from a spilled Scroll — and writes the
-results as two profiles::
+lazy-deletion scheduler, dirty-page COW captures, whole-log replay from
+a spilled Scroll, and the two multiprocessing transports (batched pipe
+writes; zero-pickle shared-memory rings) — and writes the results as
+two profiles::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full + quick
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # quick only
@@ -363,6 +364,94 @@ def measure_mp_batching(
 
 
 # ----------------------------------------------------------------------
+# shared-memory ring transport: zero-pickle frames vs the batched pipe
+# ----------------------------------------------------------------------
+def measure_shm_ring(
+    workers: int = 4,
+    chunks: int = 1200,
+    words_per_chunk: int = 24,
+    repeats: int = 3,
+    seed: int = 3,
+) -> Dict[str, float]:
+    """Serialization bytes and wall time: shm rings vs the batched pipe.
+
+    Runs the burst-dispatching wordcount fan-in on the ``mp`` backend
+    with both transports.  The shm transport moves every data frame
+    through per-worker shared-memory rings with a marshal fast path, so
+    the hot path never touches ``pickle`` — the guarded headline is
+    ``pickled_reduction`` (pickled bytes *per routed message*, pipe over
+    shm; acceptance floor 2x, measured orders of magnitude above it).
+
+    ``wall_speedup`` is the ratio of minima over ``repeats`` paired runs
+    (minima: uncontended cost, robust to machine load).  On a
+    single-core container wall tracks *total CPU across all processes*,
+    and the transport's share of a faithful workload bounds the
+    reachable ratio (~1.1x here; multi-core hosts, where the rings'
+    zero-copy path overlaps with application work, see more).  It is
+    therefore guarded as a no-regression backstop (green zone 0.85 =
+    "never materially slower than the pipe") rather than as the
+    headline.  Both runs must aggregate the full corpus exactly
+    (``results_complete``), which is a hard gate.
+    """
+    import time as wall_clock
+
+    def run(transport: str):
+        options = MPBackendOptions(time_scale=0.01, transport=transport)
+        backend = MPBackend(options)
+        cluster = Cluster(ClusterConfig(seed=seed), backend=backend)
+        apps.build(
+            cluster,
+            "wordcount_burst",
+            workers=workers,
+            chunks=chunks,
+            words_per_chunk=words_per_chunk,
+        )
+        began = wall_clock.perf_counter()
+        result = cluster.run(until=4000.0)
+        wall = wall_clock.perf_counter() - began
+        master = result.process_states.get("master", {})
+        expected = apps.app("wordcount_burst").exports["expected_counts"]
+        complete = (
+            result.stopped_reason == "quiescent"
+            and master.get("aggregated") == chunks
+            and master.get("counts") == expected(chunks, words_per_chunk)
+        )
+        return wall, backend.transport_stats, complete
+
+    pipe_walls, shm_walls = [], []
+    complete = True
+    pipe_stats = shm_stats = None
+    for _ in range(repeats):
+        wall, pipe_stats, ok = run("pipe")
+        pipe_walls.append(wall)
+        complete = complete and ok
+        wall, shm_stats, ok = run("shm")
+        shm_walls.append(wall)
+        complete = complete and ok
+
+    messages = max(1, pipe_stats["messages_routed"])
+    pipe_bytes_per_message = pipe_stats["pickled_bytes"] / messages
+    shm_bytes_per_message = shm_stats["pickled_bytes"] / max(1, shm_stats["messages_routed"])
+    return {
+        "workers": workers,
+        "chunks": chunks,
+        "messages": messages,
+        "pickled_bytes_per_message_pipe": pipe_bytes_per_message,
+        "pickled_bytes_per_message_shm": shm_bytes_per_message,
+        # pickle only survives on the shm control plane (probes/results)
+        "pickled_reduction": pipe_bytes_per_message / max(shm_bytes_per_message, 1e-9),
+        "messages_fast": shm_stats["messages_fast"],
+        "messages_pickled_shm": shm_stats["messages_pickled"],
+        "ring_bytes": shm_stats["ring_bytes"],
+        "nudges": shm_stats["nudges"],
+        "wall_pipe_s": min(pipe_walls),
+        "wall_shm_s": min(shm_walls),
+        "wall_speedup": min(pipe_walls) / min(shm_walls),
+        "results_complete": complete,
+    }
+
+
+# ----------------------------------------------------------------------
 # profiles and the regression guard
 # ----------------------------------------------------------------------
 def run_profile(profile: str) -> Dict[str, Dict[str, float]]:
@@ -376,6 +465,7 @@ def run_profile(profile: str) -> Dict[str, Dict[str, float]]:
             "cow_capture_dirty_pages": measure_cow(keys=100, captures=20),
             "scroll_spill_replay": measure_scroll_spill(n=20_000, pids=10, repeats=2),
             "mp_batching": measure_mp_batching(workers=2, chunks=120),
+            "shm_ring": measure_shm_ring(workers=2, chunks=240, words_per_chunk=12, repeats=2),
         }
     return {
         "scroll_per_pid_queries": measure_scroll(),
@@ -383,6 +473,7 @@ def run_profile(profile: str) -> Dict[str, Dict[str, float]]:
         "cow_capture_dirty_pages": measure_cow(),
         "scroll_spill_replay": measure_scroll_spill(),
         "mp_batching": measure_mp_batching(),
+        "shm_ring": measure_shm_ring(),
     }
 
 
@@ -400,6 +491,17 @@ GUARDED_METRICS: List[Tuple[str, str, str, float]] = [
     ("scroll_spill_replay", "memory_reduction", "higher", 5.0),
     ("scroll_spill_replay", "replay_slowdown", "lower", 1.6),
     ("mp_batching", "pipe_write_reduction", "higher", 2.0),
+    # conservative wall floor: 2x measured on this box, green zone well
+    # below it so scheduler noise can't flap CI
+    ("mp_batching", "wall_speedup", "higher", 1.2),
+    # the shm acceptance floor (2x); measured ~2 orders of magnitude above
+    ("shm_ring", "pickled_reduction", "higher", 2.0),
+    # shm must never be materially slower than the pipe.  The perf claim
+    # lives in pickled_reduction; wall_speedup is a no-regression
+    # backstop because on single-core hosts its honest value sits near
+    # 1.1 (see measure_shm_ring) over sub-second samples — a tight
+    # near-1.0 wall guard would flap CI on scheduler noise alone.
+    ("shm_ring", "wall_speedup", "higher", 0.85),
 ]
 
 
@@ -443,6 +545,9 @@ def check_against(
     batching = current.get("mp_batching", {})
     if batching and not batching.get("results_complete", True):
         failures.append("mp_batching: a run failed to aggregate the full corpus")
+    ring = current.get("shm_ring", {})
+    if ring and not ring.get("results_complete", True):
+        failures.append("shm_ring: a run failed to aggregate the full corpus")
     return failures
 
 

@@ -27,6 +27,28 @@ fi
 echo "boundary guard: no mp_backend imports outside dsim/"
 
 # ----------------------------------------------------------------------
+# Transport boundary guard: repro.dsim.shm_ring is the mp backend's
+# internal data plane.  The sanctioned surfaces are the transport knobs
+# (MPBackendOptions(transport=...), FixDConfig.transport,
+# Scenario.transport) — importing the ring machinery directly outside
+# src/repro/dsim/ is a boundary violation.  A line may opt out with a
+# trailing `# facade-ok: <reason>` marker, reserved for benchmarks and
+# tests that measure or property-test the ring protocol itself.
+# ----------------------------------------------------------------------
+violations=$(grep -rn --include='*.py' -E \
+    '(from|import)[[:space:]]+repro\.dsim\.shm_ring|from[[:space:]]+repro\.dsim[[:space:]]+import[[:space:]][^#]*\bshm_ring\b|import_module\([^)]*shm_ring' \
+    src tests benchmarks examples 2>/dev/null \
+    | grep -v '^src/repro/dsim/' \
+    | grep -v 'facade-ok' || true)
+if [[ -n "$violations" ]]; then
+    echo "Transport boundary violation: repro.dsim.shm_ring imported outside src/repro/dsim/" >&2
+    echo "Select the transport via MPBackend(transport=...), FixDConfig.transport or Scenario.transport:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "boundary guard: no shm_ring imports outside dsim/"
+
+# ----------------------------------------------------------------------
 # Facade boundary guard: examples/ and benchmarks/ express workloads
 # through the public facade (`repro.api`) — the execution substrate
 # (repro.dsim.*) and the demo-app builders (repro.apps.*) are internal.

@@ -50,6 +50,7 @@ def _fixd_config(scenario: Scenario) -> FixDConfig:
     )
     return FixDConfig(
         backend=scenario.backend,
+        transport=scenario.transport,
         recording_policy=policy,
         investigate_on_fault=scenario.investigate,
         max_faults_handled=scenario.max_faults_handled,
@@ -64,7 +65,9 @@ def _make_backend(scenario: Scenario):
         return SimBackend()
     from repro.dsim.backend import MPBackend, MPBackendOptions
 
-    return MPBackend(MPBackendOptions(time_scale=scenario.time_scale))
+    return MPBackend(
+        MPBackendOptions(time_scale=scenario.time_scale, transport=scenario.transport)
+    )
 
 
 def execute(scenario: Scenario, fixd_config: Optional[FixDConfig] = None) -> ScenarioRun:
@@ -135,13 +138,17 @@ class Experiment:
         faults: Sequence[FaultSchedule] = (FaultSchedule(),),
         backends: Sequence[str] = ("sim",),
         seeds: Sequence[int] = (7,),
+        transports: Sequence[str] = ("pipe",),
         processes: Optional[int] = None,
         **scenario_overrides,
     ) -> "Experiment":
-        """The cross product apps x faults x backends x seeds as one experiment.
+        """The cross product apps x faults x backends x transports x seeds.
 
         Extra keyword arguments become :class:`Scenario` fields shared
         by every cell (``params=...``, ``until=...``, ``hot_window=...``).
+        The ``transports`` axis applies to ``mp`` cells only — the
+        simulator has no transport, so ``sim`` cells are emitted once
+        regardless of how many transports are listed.
         """
         faults = list(faults)
         for schedule in faults:
@@ -150,6 +157,7 @@ class Experiment:
                     "grid faults must be FaultSchedule instances "
                     f"(got {type(schedule).__name__}); wrap specs with FaultSchedule.of(...)"
                 )
+        transports = list(transports)
         # Two schedules with the same kind-set share a label; qualify the
         # label with the schedule's grid position so cell names never collide.
         labels = [schedule.label for schedule in faults]
@@ -161,21 +169,26 @@ class Experiment:
         many_seeds = len(tuple(seeds)) > 1
         for app_name in apps:
             for backend in backends:
-                for schedule, fault_tag in zip(faults, fault_tags):
-                    for seed in seeds:
-                        name = f"{app_name}-{fault_tag}-{backend}"
-                        if many_seeds:
-                            name += f"-s{seed}"
-                        scenarios.append(
-                            Scenario(
-                                app=app_name,
-                                name=name,
-                                backend=backend,
-                                faults=schedule,
-                                seed=seed,
-                                **scenario_overrides,
+                cell_transports = transports if backend == "mp" else ["pipe"]
+                for transport in cell_transports:
+                    for schedule, fault_tag in zip(faults, fault_tags):
+                        for seed in seeds:
+                            name = f"{app_name}-{fault_tag}-{backend}"
+                            if transport != "pipe":
+                                name += f"-{transport}"
+                            if many_seeds:
+                                name += f"-s{seed}"
+                            scenarios.append(
+                                Scenario(
+                                    app=app_name,
+                                    name=name,
+                                    backend=backend,
+                                    faults=schedule,
+                                    seed=seed,
+                                    transport=transport,
+                                    **scenario_overrides,
+                                )
                             )
-                        )
         return cls(scenarios, processes=processes)
 
     def run(self) -> List[Outcome]:

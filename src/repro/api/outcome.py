@@ -53,7 +53,13 @@ class Outcome:
     #: consistency
     consistent: bool = True
     final_states: Dict[str, Dict[str, Any]] = field(default_factory=dict)
-    #: instrumentation
+    #: instrumentation.  On the mp backend ``transport`` carries the
+    #: full accounting of the run's data plane — identical keys on the
+    #: pipe and shm transports (``pickled_bytes``, ``ring_bytes``,
+    #: ``messages_fast``/``messages_pickled``, ...) plus the recording
+    #: depth counters batched into worker flushes (``rng_draws``,
+    #: ``clock_reads``), so observability does not depend on which
+    #: transport a scenario ran on.
     scroll: Dict[str, Any] = field(default_factory=dict)
     transport: Optional[Dict[str, int]] = None
     #: expectation evaluation (empty == passed)

@@ -21,6 +21,7 @@ from repro.api.faults import FaultSchedule
 from repro.errors import ScenarioError
 
 BACKENDS = ("sim", "mp")
+TRANSPORTS = ("pipe", "shm")
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,10 @@ class Scenario:
         commit interval (Scroll segment GC).
     time_scale:
         Wall seconds per simulated unit on the ``mp`` backend.
+    transport:
+        Data plane of the ``mp`` backend: ``"pipe"`` (batched pickled
+        pipe writes, the default) or ``"shm"`` (shared-memory rings, no
+        pickle on the hot path).  Only meaningful with ``backend="mp"``.
     """
 
     app: str
@@ -80,6 +85,7 @@ class Scenario:
     max_faults_handled: int = 4
     auto_commit_interval: Optional[float] = None
     time_scale: float = 0.01
+    transport: str = "pipe"
 
     def __post_init__(self) -> None:
         if not self.app or not isinstance(self.app, str):
@@ -90,10 +96,21 @@ class Scenario:
             )
         if not isinstance(self.faults, FaultSchedule):
             raise ScenarioError("scenario faults must be a FaultSchedule")
+        if self.transport not in TRANSPORTS:
+            raise ScenarioError(
+                f"unknown transport {self.transport!r}; expected one of {TRANSPORTS}"
+            )
+        if self.backend == "sim" and self.transport != "pipe":
+            raise ScenarioError(
+                f"scenario transport {self.transport!r} is an mp-backend knob; "
+                "the simulator has no transport"
+            )
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "recovering", tuple(self.recovering))
         if not self.name:
             suffix = "" if self.backend == "sim" else f"-{self.backend}"
+            if self.transport != "pipe":
+                suffix += f"-{self.transport}"
             object.__setattr__(self, "name", f"{self.app}-{self.faults.label}{suffix}")
         if self.backend == "mp" and self.until is None:
             raise ScenarioError(
@@ -123,6 +140,7 @@ class Scenario:
             "max_faults_handled": self.max_faults_handled,
             "auto_commit_interval": self.auto_commit_interval,
             "time_scale": self.time_scale,
+            "transport": self.transport,
         }
 
     def to_json(self) -> str:

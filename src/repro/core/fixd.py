@@ -60,6 +60,10 @@ class FixDConfig:
     #: (real OS processes; FixD degrades to detection + reporting
     #: because the backend advertises no checkpoint/rollback capability).
     backend: str = "sim"
+    #: data plane of the ``mp`` backend: ``"pipe"`` (batched pickled
+    #: pipe writes) or ``"shm"`` (shared-memory rings; the hot path
+    #: never touches pickle).  Ignored on the simulator.
+    transport: str = "pipe"
     checkpoint_policy: CheckpointPolicy = CheckpointPolicy.COMMUNICATION_INDUCED
     periodic_checkpoint_interval: int = 10
     recording_policy: RecordingPolicy = field(default_factory=RecordingPolicy)
@@ -199,7 +203,12 @@ class FixD:
         """
         from repro.dsim.cluster import Cluster
 
-        cluster = Cluster(cluster_config, backend=self.config.backend)
+        backend = self.config.backend
+        if backend == "mp" and self.config.transport != "pipe":
+            from repro.dsim.backend import MPBackend
+
+            backend = MPBackend(transport=self.config.transport)
+        cluster = Cluster(cluster_config, backend=backend)
         self.attach(cluster)
         return cluster
 

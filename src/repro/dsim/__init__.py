@@ -19,8 +19,9 @@ provides the equivalent substrate in pure Python:
 * :mod:`repro.dsim.backend` — the :class:`~repro.dsim.backend.Backend`
   protocol with two substrates: the deterministic simulator
   (:class:`~repro.dsim.backend.SimBackend`, the default) and real OS
-  processes over a batched pipe transport
-  (:class:`~repro.dsim.backend.MPBackend`).
+  processes (:class:`~repro.dsim.backend.MPBackend`) over a pluggable
+  transport — batched pipe writes or zero-pickle shared-memory rings
+  (:mod:`repro.dsim.shm_ring`).
 
 The FixD components attach to the simulator exclusively through the hook
 interfaces in :mod:`repro.dsim.hooks`, which keeps this substrate free of

@@ -14,16 +14,20 @@ actually *executes* lives behind the :class:`Backend` protocol:
   substrate the Time Machine and the Investigator require.
 
 * :class:`MPBackend` — the same :class:`~repro.dsim.process.Process`
-  subclasses on real OS processes.  The parent routes messages between
-  per-worker duplex pipes and **batches** them: a worker accumulates
-  outgoing messages up to a *flush watermark* and ships them as one
-  pickled pipe write; the parent groups each routing tick's deliveries
-  per destination and writes one batch per worker.  Batches preserve
-  per-sender FIFO order and every message carries its sender's vector
-  timestamp, so recording hooks observe the same causal surface as on
-  the simulator.  Fault plans map directly: crashes/recoveries become
-  control messages, message faults and partitions are applied by the
-  parent router, state corruptions fire inside the worker.
+  subclasses on real OS processes, over a pluggable **transport**: a
+  worker accumulates outgoing messages up to a *flush watermark* and
+  ships them as one frame; the parent groups each routing tick's
+  deliveries per destination and writes one batch per worker.  With
+  ``transport="pipe"`` every frame is a pickled pipe write; with
+  ``transport="shm"`` frames travel through per-worker shared-memory
+  rings with a marshal fast path that keeps the hot path out of
+  ``pickle`` entirely (see :mod:`repro.dsim.shm_ring`).  Either way,
+  batches preserve per-sender FIFO order and every message carries its
+  sender's vector timestamp, so recording hooks observe the same causal
+  surface as on the simulator.  Fault plans map directly:
+  crashes/recoveries become control messages, message faults and
+  partitions are applied by the parent router, state corruptions fire
+  inside the worker.
 
 Capability flags tell the FixD layers what a backend can do, so e.g.
 checkpoint/rollback machinery attaches only where it is meaningful.
@@ -38,10 +42,11 @@ import queue as queue_module
 import sys
 import threading
 import time as wall_time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from multiprocessing.connection import wait as mp_wait
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.dsim import shm_ring
 from repro.dsim.channel import DeliveryOutcome
 from repro.dsim.failure import MessageFaultEngine, StateCorruptionFault
 from repro.dsim.message import Message
@@ -50,6 +55,9 @@ from repro.dsim.process import ProcessContext
 from repro.dsim.rng import DeterministicRNG, derive_seed
 from repro.dsim.scheduler import Event, EventKind, Scheduler
 from repro.errors import InvariantViolation, SimulationError, UnknownProcessError
+
+#: Transports the multiprocessing backend can run on.
+TRANSPORTS = ("pipe", "shm")
 
 #: Capability names backends may advertise.
 CAP_DETERMINISTIC = "deterministic"    # a run is a pure function of (programs, seed, plan)
@@ -448,6 +456,22 @@ class MPBackendOptions:
     max_wall_seconds:
         Hard wall-clock cap on a run, protecting the test suite from a
         quiescence-detection bug or a livelocked application.
+    transport:
+        ``"pipe"`` (default) ships every batch as one pickled pipe
+        write; ``"shm"`` moves data frames through per-worker
+        shared-memory SPSC rings (:mod:`repro.dsim.shm_ring`) with a
+        struct fast path that keeps common payloads out of ``pickle``
+        entirely — the pipe is then reserved for control traffic and
+        oversize frames.  Both transports preserve per-sender FIFO
+        order, vector timestamps, the ordered single-log flush
+        protocol, and probe-based quiescence.
+    ring_bytes:
+        Per-direction ring capacity of the shm transport.  Frames
+        larger than a quarter of this spill to the pipe (behind an
+        in-ring ordering marker).
+    ring_write_timeout:
+        How long a full ring blocks a writer (backpressure) before the
+        frame is treated as undeliverable.
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` on Linux
         (cheap worker startup, no pickling of factories) and ``spawn``
@@ -465,6 +489,9 @@ class MPBackendOptions:
     batch_deliveries: bool = True
     max_batch_messages: int = 128
     max_wall_seconds: float = 30.0
+    transport: str = "pipe"
+    ring_bytes: int = shm_ring.DEFAULT_RING_BYTES
+    ring_write_timeout: float = 10.0
     start_method: Optional[str] = None
 
     def resolved_start_method(self) -> str:
@@ -486,14 +513,17 @@ def _mp_worker_main(
     wall_limit: float,
     corruptions: List[Tuple[float, bytes]],
     msg_id_base: int,
+    ring_handle=None,
 ) -> None:
     """Entry point of one worker process.
 
     The worker owns its :class:`Process` instance, services timers with
-    wall-clock granularity, and talks to the parent router over one
-    duplex pipe.  Outgoing messages, delivery receipts, timer firings
-    and detected violations accumulate in a *flush buffer* shipped as a
-    single pickled pipe write — per-sender FIFO order is preserved
+    wall-clock granularity, and talks to the parent router through a
+    transport endpoint: the duplex pipe alone (``transport="pipe"``) or
+    a shared-memory ring pair with the pipe demoted to control traffic
+    (``transport="shm"``).  Outgoing messages, delivery receipts, timer
+    firings and detected violations accumulate in a *flush buffer*
+    shipped as one transport frame — per-sender FIFO order is preserved
     because the buffer is drained in append order.
     """
     from repro.dsim.message import reset_message_ids
@@ -501,6 +531,46 @@ def _mp_worker_main(
     # each worker owns a disjoint msg_id range so ids stay cluster-unique
     # (the counter is interpreter-global; fork would otherwise clone it)
     reset_message_ids(msg_id_base)
+    if ring_handle is None:
+        endpoint = shm_ring.PipeEndpoint(conn)
+    else:
+        down_ring, up_ring, close_segments = ring_handle.attach()
+        endpoint = shm_ring.ShmEndpoint(
+            conn,
+            send_ring=up_ring,
+            recv_ring=down_ring,
+            close_segments=close_segments,
+            write_timeout=options.ring_write_timeout,
+        )
+    try:
+        _mp_worker_loop(
+            pid,
+            factory,
+            all_pids,
+            seed,
+            endpoint,
+            options,
+            check_invariants,
+            wall_limit,
+            corruptions,
+        )
+    finally:
+        # drops the worker's segment mappings on every exit path;
+        # the parent (segment owner) is the only side that unlinks
+        endpoint.close()
+
+
+def _mp_worker_loop(
+    pid: str,
+    factory,
+    all_pids: Tuple[str, ...],
+    seed: int,
+    endpoint,
+    options: MPBackendOptions,
+    check_invariants: bool,
+    wall_limit: float,
+    corruptions: List[Tuple[float, bytes]],
+) -> None:
     start = wall_time.monotonic()
     scale = options.time_scale
     watermark = max(1, options.flush_watermark)
@@ -512,9 +582,11 @@ def _mp_worker_main(
     timers: List[Tuple[float, int, str, Any]] = []
     timer_seq = 0
     crashed = False
-    uplink_writes = 0
     timer_fires = 0
-    recorded = 0
+    rng_draws = 0
+    clock_reads = 0
+    shipped_rng = 0
+    shipped_clock = 0
 
     # flush buffer: ONE tagged log in occurrence order, so the router
     # replays sends, receipts, timer firings, violations and fault
@@ -528,11 +600,19 @@ def _mp_worker_main(
     pending_units = 0
 
     def flush() -> None:
-        nonlocal uplink_writes, flush_log, pending_units
+        nonlocal flush_log, pending_units, shipped_rng, shipped_clock
+        # recording depth: rng-draw / clock-read counters ride in the
+        # flush payload as deltas, so both transports expose the same
+        # observability surface without a side channel
+        if rng_draws > shipped_rng or clock_reads > shipped_clock:
+            flush_log.append(
+                ("counters", rng_draws - shipped_rng, clock_reads - shipped_clock)
+            )
+            shipped_rng = rng_draws
+            shipped_clock = clock_reads
         if not flush_log:
             return
-        conn.send(("flush", pid, flush_log))
-        uplink_writes += 1
+        endpoint.send(("flush", pid, flush_log))
         flush_log = []
         pending_units = 0
 
@@ -556,9 +636,13 @@ def _mp_worker_main(
         timers = [entry for entry in timers if entry[2] != name]
         heapq.heapify(timers)
 
-    def record_action(*_args) -> None:
-        nonlocal recorded
-        recorded += 1
+    def record_random(*_args) -> None:
+        nonlocal rng_draws
+        rng_draws += 1
+
+    def record_clock(*_args) -> None:
+        nonlocal clock_reads
+        clock_reads += 1
 
     ctx = ProcessContext(
         pid=pid,
@@ -568,8 +652,8 @@ def _mp_worker_main(
         cancel_timer_fn=cancel_timer_fn,
         now_fn=sim_now,
         rng=DeterministicRNG(derive_seed(seed, "process", pid)),
-        record_random_fn=record_action,
-        record_clock_fn=record_action,
+        record_random_fn=record_random,
+        record_clock_fn=record_clock,
     )
 
     def after_handler() -> None:
@@ -595,6 +679,7 @@ def _mp_worker_main(
     corruption_index = 0
 
     error: Optional[str] = None
+    stopping = False
     try:
         process.bind(ctx)
         process.on_start()
@@ -602,7 +687,7 @@ def _mp_worker_main(
         after_handler()
 
         deadline = start + wall_limit
-        while wall_time.monotonic() < deadline:
+        while not stopping and wall_time.monotonic() < deadline:
             now_w = wall_time.monotonic()
             # injected state corruptions due at this wall moment
             while (
@@ -634,59 +719,61 @@ def _mp_worker_main(
             if corruption_index < len(corruption_schedule):
                 due = corruption_schedule[corruption_index][0] - (wall_time.monotonic() - start)
                 timeout = min(timeout, max(0.0, due))
-            if not conn.poll(timeout):
+            if not endpoint.poll(timeout):
                 flush()  # idle: everything buffered goes out now
                 continue
-            item = conn.recv()
-            tag = item[0]
-            if tag == "batch":
-                for tseq, message in item[1]:
+            for item in endpoint.drain():
+                tag = item[0]
+                if tag == "batch":
+                    for tseq, message in item[1]:
+                        if crashed:
+                            flush_log.append(("dead", tseq))
+                            continue
+                        flush_log.append(("brecv", tseq, sim_now()))
+                        process.deliver(message)
+                        flush_log.append(("recv", tseq, sim_now(), process.vector_timestamp))
+                        flush_log.append(("handled", f"deliver {message.kind}", sim_now()))
+                        note_unit()
+                        after_handler()
+                elif tag == "crash":
+                    if not crashed:
+                        process.mark_crashed()
+                        crashed = True
+                        timers.clear()
+                        flush_log.append(("event", "crash", "", sim_now(), process.vector_timestamp))
+                        flush()
+                elif tag == "recover":
                     if crashed:
-                        flush_log.append(("dead", tseq))
-                        continue
-                    flush_log.append(("brecv", tseq, sim_now()))
-                    process.deliver(message)
-                    flush_log.append(("recv", tseq, sim_now(), process.vector_timestamp))
-                    flush_log.append(("handled", f"deliver {message.kind}", sim_now()))
-                    note_unit()
-                    after_handler()
-            elif tag == "crash":
-                if not crashed:
-                    process.mark_crashed()
-                    crashed = True
-                    timers.clear()
-                    flush_log.append(("event", "crash", "", sim_now(), process.vector_timestamp))
+                        process.mark_recovered()
+                        crashed = False
+                        flush_log.append(("event", "recover", "", sim_now(), process.vector_timestamp))
+                        flush_log.append(("handled", "on_recover", sim_now()))
+                        after_handler()
+                        flush()
+                elif tag == "probe":
                     flush()
-            elif tag == "recover":
-                if crashed:
-                    process.mark_recovered()
-                    crashed = False
-                    flush_log.append(("event", "recover", "", sim_now(), process.vector_timestamp))
-                    flush_log.append(("handled", "on_recover", sim_now()))
-                    after_handler()
-                    flush()
-            elif tag == "probe":
-                flush()
-                conn.send(
-                    (
-                        "probe_ack",
-                        pid,
-                        item[1],
-                        {
-                            "sent_total": process.messages_sent,
-                            "timers_armed": 0 if crashed else len(timers),
-                            # scheduled-but-unfired corruptions count as
-                            # armed work: the router must not quiesce past
-                            # them (exact, clock-skew-free accounting)
-                            "corruptions_pending": len(corruption_schedule) - corruption_index,
-                            "crashed": crashed,
-                        },
+                    endpoint.send_control(
+                        (
+                            "probe_ack",
+                            pid,
+                            item[1],
+                            {
+                                "sent_total": process.messages_sent,
+                                "timers_armed": 0 if crashed else len(timers),
+                                # scheduled-but-unfired corruptions count as
+                                # armed work: the router must not quiesce past
+                                # them (exact, clock-skew-free accounting)
+                                "corruptions_pending": len(corruption_schedule) - corruption_index,
+                                "crashed": crashed,
+                            },
+                        )
                     )
-                )
-                uplink_writes += 1
-            elif tag == "stop":
-                break
+                elif tag == "stop":
+                    stopping = True
+                    break
     except EOFError:  # parent went away: nothing left to report to
+        return
+    except shm_ring.TransportError:  # parent stopped draining: same thing
         return
     except Exception as exc:  # noqa: BLE001 - shipped to the parent verbatim
         error = f"{type(exc).__name__}: {exc}"
@@ -698,7 +785,7 @@ def _mp_worker_main(
         except Exception as exc:  # noqa: BLE001 - must not lose the final state
             error = f"on_stop: {type(exc).__name__}: {exc}"
         flush()
-        conn.send(
+        endpoint.send_control(
             (
                 "result",
                 pid,
@@ -706,33 +793,86 @@ def _mp_worker_main(
                     "state": dict(process.state),
                     "sent": process.messages_sent,
                     "received": process.messages_received,
-                    "recorded": recorded,
+                    "recorded": rng_draws + clock_reads,
+                    "rng_draws": rng_draws,
+                    "clock_reads": clock_reads,
                     "timer_fires": timer_fires,
-                    "uplink_writes": uplink_writes + 1,  # counting this result write
+                    "uplink_writes": endpoint.stats["sends"] + 1,  # counting this result write
+                    "transport": dict(endpoint.stats),
                     "error": error,
                 },
             )
         )
-    except (EOFError, BrokenPipeError, OSError):  # pragma: no cover - parent gone
+    except (
+        EOFError,
+        BrokenPipeError,
+        OSError,
+        shm_ring.TransportError,
+    ):  # pragma: no cover - parent gone
         pass
 
 
-class _WorkerLink:
-    """Parent-side handle for one worker: its pipe plus a sender thread.
+class _ShmLink:
+    """Parent-side handle on the shm transport: threadless, direct writes.
 
-    All router→worker writes go through a queue drained by a dedicated
-    thread, so the router's main loop *never blocks on a pipe write*.
-    This is what makes the transport deadlock-free under arbitrary
-    payload sizes: a worker blocked mid-flush (its uplink full) is
-    always eventually drained by the router loop, because the router is
-    never itself stuck in ``send`` — at worst its sender thread is, and
-    that thread unblocks as soon as the worker finishes flushing.  A
-    worker that died simply absorbs the remaining queue (broken-pipe
-    writes are dropped, not raised into ``run()``).
+    The router thread writes data frames straight into the worker's
+    down ring — non-blocking in the common case, so a batch costs no
+    thread hop, no queue wakeup and no pipe syscall.  During ring
+    backpressure the endpoint's wait hook *drains the uplinks* (the
+    router is their only consumer), which preserves the no-deadlock
+    argument the pipe transport gets from its sender threads: the
+    router is never stuck in a write it cannot unblock itself.  The
+    pipe carries only tiny bounded control items and coalesced nudges,
+    so its direct blocking writes cannot fill the pipe buffer within a
+    run's wall cap.
     """
 
-    def __init__(self, conn) -> None:
-        self.conn = conn
+    def __init__(self, endpoint, drain_hook, on_stalled=None) -> None:
+        self.endpoint = endpoint
+        self.writes = 0
+        endpoint.wait_hook = drain_hook
+        self._on_stalled = on_stalled
+
+    def send(self, item) -> None:
+        try:
+            self.endpoint.send(item)
+            self.writes += 1
+        except shm_ring.RingBackpressureTimeout:
+            # The worker is ALIVE but has not drained its ring for the
+            # whole write timeout — dropping the frame silently would
+            # strand its tseqs in in_flight until the wall cap.  Surface
+            # the stall loudly instead (unless we are tearing down), and
+            # flip the endpoint to closing so the remaining queued
+            # batches for this destination abort immediately rather
+            # than each paying the full timeout before halt is noticed.
+            if not self.endpoint.closing and self._on_stalled is not None:
+                self.endpoint.closing = True
+                self._on_stalled()
+        except (EOFError, BrokenPipeError, OSError, ValueError, shm_ring.TransportError):
+            pass  # worker gone: the router loop detects the dead pipe
+
+    def close(self, timeout: float = 2.0) -> None:
+        self.endpoint.closing = True  # unblocks a backpressured ring write
+
+
+class _WorkerLink:
+    """Parent-side handle for one worker: its endpoint plus a sender thread.
+
+    All router→worker writes go through a queue drained by a dedicated
+    thread, so the router's main loop *never blocks on a transport
+    write*.  This is what makes the transport deadlock-free under
+    arbitrary payload sizes: a worker blocked mid-flush (its uplink
+    full) is always eventually drained by the router loop, because the
+    router is never itself stuck in ``send`` — at worst its sender
+    thread is, and that thread unblocks as soon as the worker finishes
+    flushing.  A worker that died simply absorbs the remaining queue
+    (broken-pipe writes and timed-out ring writes are dropped, not
+    raised into ``run()``); ``close`` flips the endpoint's ``closing``
+    flag so even a backpressured ring write gives up promptly.
+    """
+
+    def __init__(self, endpoint) -> None:
+        self.endpoint = endpoint
         self.writes = 0
         self._queue: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
         self._thread = threading.Thread(target=self._pump, daemon=True)
@@ -746,15 +886,16 @@ class _WorkerLink:
             if item is self._CLOSE:
                 return
             try:
-                self.conn.send(item)
+                self.endpoint.send(item)
                 self.writes += 1
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError, ValueError, shm_ring.TransportError):
                 continue  # worker gone: keep draining so close() terminates
 
     def send(self, item) -> None:
         self._queue.put(item)
 
     def close(self, timeout: float = 2.0) -> None:
+        self.endpoint.closing = True  # unblocks a backpressured ring write
         self._queue.put(self._CLOSE)
         self._thread.join(timeout=timeout)
 
@@ -792,15 +933,28 @@ class MPBackend(Backend):
     name = "mp"
     capabilities = frozenset({CAP_REAL_PROCESSES})
 
-    def __init__(self, options: Optional[MPBackendOptions] = None) -> None:
+    def __init__(
+        self,
+        options: Optional[MPBackendOptions] = None,
+        transport: Optional[str] = None,
+    ) -> None:
         super().__init__()
         self.options = options or MPBackendOptions()
+        if transport is not None:
+            self.options = dataclass_replace(self.options, transport=transport)
+        if self.options.transport not in TRANSPORTS:
+            raise SimulationError(
+                f"unknown mp transport {self.options.transport!r}; "
+                f"expected one of {TRANSPORTS}"
+            )
         self._now = 0.0
         self._fault_engine: Optional[MessageFaultEngine] = None
         #: transport accounting of the last run (the batching benchmark's metric)
         self.transport_stats: Dict[str, int] = {}
         #: per-worker counters of the last run (sent/received/recorded/...)
         self.worker_stats: Dict[str, Dict[str, int]] = {}
+        #: shared-memory segment names of the last run (teardown tests)
+        self.shm_segments: List[str] = []
 
     @property
     def now(self) -> float:
@@ -877,46 +1031,17 @@ class MPBackend(Backend):
 
         # setup validated: the run is now committed (workers about to start)
         cluster._started = True
+        use_shm = options.transport == "shm"
         ctx = mp.get_context(options.resolved_start_method())
-        conns = {}
+        endpoints: Dict[str, Any] = {}
+        all_endpoints: Dict[str, Any] = {}
+        ring_pairs: Dict[str, shm_ring.RingPair] = {}
         links: Dict[str, _WorkerLink] = {}
         workers = []
+        self.shm_segments = []
         start_wall = wall_time.monotonic()
-        for index, pid in enumerate(pids):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            worker = ctx.Process(
-                target=_mp_worker_main,
-                args=(
-                    pid,
-                    factories[pid],
-                    pids,
-                    config.seed,
-                    child_conn,
-                    options,
-                    config.check_invariants,
-                    wall_limit,
-                    corruptions_by_pid.get(pid, []),
-                    # disjoint per-worker msg_id ranges; the router (range
-                    # below 10^9, used for injected duplicates) never collides
-                    (index + 1) * 1_000_000_000,
-                ),
-                daemon=True,
-            )
-            worker.start()
-            child_conn.close()
-            conns[pid] = parent_conn
-            workers.append(worker)
-        # The sender threads start only after every worker process exists:
-        # forking a child while another link's thread may hold a lock is
-        # the classic fork-with-threads hazard.  Writes go through these
-        # threads so the router loop (also the only reader) can never
-        # block on a full pipe.
-        for pid, conn in conns.items():
-            links[pid] = _WorkerLink(conn)
-        conn_to_pid = {conn: pid for pid, conn in conns.items()}
 
         hooks = cluster.hooks
-        hooks.on_run_start(0.0)
 
         # router state
         tseq_counter = 0
@@ -941,6 +1066,7 @@ class MPBackend(Backend):
         #: writes while workers sit on long-armed timers
         probe_interval = 0.005
         results: Dict[str, Dict[str, Any]] = {}
+        recording = {"rng_draws": 0, "clock_reads": 0}
         reason = "time-limit"
 
         def elapsed() -> float:
@@ -1042,6 +1168,10 @@ class MPBackend(Backend):
                         cluster._record_trace(pid, "corrupt", detail)
                         hooks.on_corruption(pid, detail, at, vt)
                     probe_round_dirty = True
+                elif tag == "counters":
+                    # recording-depth deltas batched into the flush
+                    recording["rng_draws"] += entry[1]
+                    recording["clock_reads"] += entry[2]
 
         def handle_item(pid: str, item) -> None:
             nonlocal reason
@@ -1059,7 +1189,136 @@ class MPBackend(Backend):
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unexpected uplink item {tag!r} from {pid!r}")
 
+        conn_to_pid: Dict[Any, str] = {}
+        run_started = False
+
+        def drain_links(
+            link_map: Dict[str, Any], idle_timeout: float, lost_is_error: bool
+        ) -> None:
+            """Drain every uplink in ``link_map`` (ring frames and pipe items).
+
+            Dead peers are popped from ``link_map``; with
+            ``lost_is_error`` a peer that died without delivering its
+            result is recorded and halts the run (the router loop's
+            policy — the post-run collect loop tolerates it).
+            """
+            if not link_map:
+                # every uplink is gone; keep the loop's idle cadence
+                # instead of busy-spinning until the wall limit
+                wall_time.sleep(idle_timeout)
+                return
+            ready_pids = set()
+            for p, ep in link_map.items():
+                try:
+                    if ep.data_ready():
+                        ready_pids.add(p)
+                except shm_ring.TransportError:
+                    ready_pids.add(p)  # torn cursor: diagnose in the drain
+            ready = mp_wait(
+                [ep.conn for ep in link_map.values()],
+                timeout=0.0 if ready_pids else idle_timeout,
+            )
+            ready_pids.update(conn_to_pid[conn] for conn in ready)
+            for pid in sorted(ready_pids):
+                endpoint = link_map.get(pid)
+                if endpoint is None:
+                    continue
+                try:
+                    for item in endpoint.drain():
+                        handle_item(pid, item)
+                except (EOFError, OSError, shm_ring.TransportError):
+                    # The worker's pipe closed (or it died mid-publish and
+                    # left a torn ring cursor).  Salvage any frames it
+                    # committed to its ring before dying, drop it from
+                    # the wait set (a closed pipe reports permanently
+                    # ready and would busy-spin the router) and treat a
+                    # death without a result as a lost worker.
+                    try:
+                        for item in endpoint.drain_data():
+                            handle_item(pid, item)
+                    except shm_ring.TransportError:
+                        pass  # the ring itself is torn: nothing to salvage
+                    link_map.pop(pid, None)
+                    if lost_is_error and pid not in results:
+                        cluster._record_trace(
+                            pid, "error", "worker pipe closed unexpectedly"
+                        )
+                        cluster.halt(f"worker-lost:{pid}")
+
+        def drain_uplinks(idle_timeout: float) -> None:
+            """The router-loop drain: also re-entered from a backpressured
+            ring write (see :class:`_ShmLink`), which is safe because
+            routing never sends inline — routed messages only accumulate
+            in ``pending_out``."""
+            drain_links(endpoints, idle_timeout, lost_is_error=True)
         try:
+            for index, pid in enumerate(pids):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                ring_handle = None
+                if use_shm:
+                    pair = shm_ring.RingPair(options.ring_bytes)
+                    ring_pairs[pid] = pair
+                    self.shm_segments.extend(pair.segment_names)
+                    ring_handle = pair.child_handle()
+                worker = ctx.Process(
+                    target=_mp_worker_main,
+                    args=(
+                        pid,
+                        factories[pid],
+                        pids,
+                        config.seed,
+                        child_conn,
+                        options,
+                        config.check_invariants,
+                        wall_limit,
+                        corruptions_by_pid.get(pid, []),
+                        # disjoint per-worker msg_id ranges; the router (range
+                        # below 10^9, used for injected duplicates) never collides
+                        (index + 1) * 1_000_000_000,
+                        ring_handle,
+                    ),
+                    daemon=True,
+                )
+                worker.start()
+                child_conn.close()
+                if use_shm:
+                    endpoints[pid] = shm_ring.ShmEndpoint(
+                        parent_conn,
+                        send_ring=ring_pairs[pid].down_ring,
+                        recv_ring=ring_pairs[pid].up_ring,
+                        write_timeout=options.ring_write_timeout,
+                    )
+                else:
+                    endpoints[pid] = shm_ring.PipeEndpoint(parent_conn)
+                # registered as each is created, so a mid-spawn failure
+                # still closes every pipe/segment in the finally below
+                all_endpoints[pid] = endpoints[pid]
+                conn_to_pid[parent_conn] = pid
+                workers.append(worker)
+            # The sender threads start only after every worker process exists:
+            # forking a child while another link's thread may hold a lock is
+            # the classic fork-with-threads hazard.  On the pipe transport
+            # every write goes through the thread so the router loop (also
+            # the only reader) can never block on a full pipe; on shm the
+            # router writes rings directly and drains uplinks while
+            # backpressured, with the thread reserved for pipe blobs.
+            for pid, endpoint in endpoints.items():
+                if use_shm:
+                    def _stalled(stalled_pid=pid):
+                        cluster._record_trace(
+                            stalled_pid, "error",
+                            "worker stopped draining its ring (stalled)",
+                        )
+                        cluster.halt(f"worker-stalled:{stalled_pid}")
+
+                    links[pid] = _ShmLink(
+                        endpoint, lambda: drain_uplinks(0.0005), on_stalled=_stalled
+                    )
+                else:
+                    links[pid] = _WorkerLink(endpoint)
+
+            hooks.on_run_start(0.0)
+            run_started = True
             while True:
                 update_now()
                 if elapsed() >= wall_limit:
@@ -1084,29 +1343,19 @@ class MPBackend(Backend):
                 while delayed and delayed[0][0] <= elapsed():
                     _, _, message = heapq.heappop(delayed)
                     enqueue(message.dst, message)
-                # drain worker uplinks
-                ready = mp_wait(list(conns.values()), timeout=0.002)
-                for conn in ready:
-                    pid = conn_to_pid[conn]
-                    try:
-                        while conn.poll():
-                            handle_item(pid, conn.recv())
-                    except (EOFError, OSError):
-                        # The worker's pipe closed.  Drop it from the wait
-                        # set (a closed pipe reports permanently ready and
-                        # would busy-spin the router) and treat a death
-                        # without a result as a lost worker.
-                        conns.pop(pid, None)
-                        if pid not in results:
-                            cluster._record_trace(
-                                pid, "error", "worker pipe closed unexpectedly"
-                            )
-                            cluster.halt(f"worker-lost:{pid}")
-                        continue
-                # ship this tick's deliveries, one batch per destination
-                for dst, batch in pending_out.items():
+                # drain worker uplinks (ring frames and pipe items alike;
+                # ring senders nudge the pipe, so the wait wakes for both)
+                drain_uplinks(0.002)
+                # ship this tick's deliveries, one batch per destination.
+                # Swap the batch list out FIRST: a backpressured ring write
+                # re-enters drain_uplinks, whose routing may enqueue new
+                # deliveries for this very destination — they must land in
+                # the fresh list (next tick), not be dropped with the old.
+                for dst in pending_out:
+                    batch = pending_out[dst]
                     if not batch:
                         continue
+                    pending_out[dst] = []
                     if options.batch_deliveries:
                         for cut in range(0, len(batch), options.max_batch_messages):
                             piece = batch[cut:cut + options.max_batch_messages]
@@ -1118,7 +1367,6 @@ class MPBackend(Backend):
                             links[dst].send(("batch", [entry]))
                             delivered_batches += 1
                             max_batch = max(max_batch, 1)
-                    pending_out[dst] = []
                 # quiescence detection
                 busy = (
                     in_flight
@@ -1152,29 +1400,42 @@ class MPBackend(Backend):
                 probe_round_dirty = True
         finally:
             update_now()
-            for link in links.values():
-                link.send(("stop",))
-            # collect results (late flushes keep hooks complete)
-            collect_deadline = wall_time.monotonic() + 5.0
-            live = dict(conns)
-            while len(results) < len(pids) and wall_time.monotonic() < collect_deadline:
-                ready = mp_wait(list(live.values()), timeout=0.1)
-                for conn in ready:
-                    pid = conn_to_pid[conn]
+            try:
+                for link in links.values():
+                    link.send(("stop",))
+                # collect results (late flushes keep hooks complete)
+                collect_deadline = wall_time.monotonic() + 5.0
+                live = dict(endpoints)
+                while len(results) < len(pids) and wall_time.monotonic() < collect_deadline:
+                    if not live:
+                        break
+                    drain_links(live, 0.1, lost_is_error=False)
+                # a final flush can land in the ring just before the pipe
+                # carries its worker's result: one last in-order sweep
+                for pid, endpoint in all_endpoints.items():
                     try:
-                        handle_item(pid, conn.recv())
-                    except (EOFError, OSError):
-                        live.pop(pid, None)
-            for link in links.values():
-                link.close()
-            parent_writes = sum(link.writes for link in links.values())
-            for worker in workers:
-                worker.join(timeout=2.0)
-                if worker.is_alive():  # pragma: no cover - defensive cleanup
-                    worker.terminate()
-            for conn in conn_to_pid:  # every pipe, including dropped ones
-                conn.close()
-            hooks.on_run_end(self._now)
+                        for item in endpoint.drain_data():
+                            handle_item(pid, item)
+                    except shm_ring.TransportError:
+                        pass  # dead worker left a torn cursor
+            finally:
+                # reclamation must survive any error above (including a
+                # KeyboardInterrupt mid-run): sender threads, workers,
+                # pipes, and — on the shm transport — every segment.
+                for link in links.values():
+                    link.close()
+                parent_writes = sum(link.writes for link in links.values())
+                for worker in workers:
+                    worker.join(timeout=2.0)
+                    if worker.is_alive():  # pragma: no cover - defensive cleanup
+                        worker.terminate()
+                        worker.join(timeout=1.0)
+                for endpoint in all_endpoints.values():  # incl. dropped pids
+                    endpoint.close()
+                for pair in ring_pairs.values():
+                    pair.close()
+                if run_started:  # never fire an end without its start
+                    hooks.on_run_end(self._now)
 
         # a worker error discovered while collecting results (e.g. a failing
         # on_stop) must not masquerade as a clean quiescent run
@@ -1185,6 +1446,15 @@ class MPBackend(Backend):
                     break
         worker_writes = sum(result.get("uplink_writes", 0) for result in results.values())
         self.worker_stats = results
+        # both transports account serialization the same way: parent-side
+        # endpoint counters plus the per-worker counters shipped in results
+        codec = shm_ring.new_stats()
+        for endpoint in all_endpoints.values():
+            for key, value in endpoint.stats.items():
+                codec[key] += value
+        for result in results.values():
+            for key, value in result.get("transport", {}).items():
+                codec[key] += value
         self.transport_stats = {
             "messages_routed": routed,
             "messages_delivered": sum(r.get("received", 0) for r in results.values()),
@@ -1196,6 +1466,17 @@ class MPBackend(Backend):
             "pipe_writes": parent_writes + worker_writes,
             "delivery_batches": delivered_batches,
             "max_batch": max_batch,
+            # serialization accounting (identical keys on pipe and shm)
+            "pickled_bytes": codec["pickled_bytes"],
+            "ring_frames": codec["ring_frames"],
+            "ring_bytes": codec["ring_bytes"],
+            "oversize_frames": codec["oversize_frames"],
+            "nudges": codec["nudges"],
+            "messages_fast": codec["messages_fast"],
+            "messages_pickled": codec["messages_pickled"],
+            # recording depth: per-worker counters batched into flushes
+            "rng_draws": recording["rng_draws"],
+            "clock_reads": recording["clock_reads"],
         }
         events = sum(
             result.get("received", 0) + result.get("timer_fires", 0)

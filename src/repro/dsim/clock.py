@@ -144,35 +144,56 @@ class VectorClock:
     component-wise maximum with a received timestamp and then ticks.  The
     resulting timestamps characterise happens-before exactly, which the
     recovery-line computation relies on.
+
+    ``snapshot`` runs on every recorded action (twice per delivered
+    message), so the sorted order of the non-zero components is cached
+    and invalidated only when a component first becomes non-zero —
+    ticks and routine merges never pay the sort.
     """
 
-    __slots__ = ("pid", "_counters")
+    __slots__ = ("pid", "_counters", "_order")
 
     def __init__(self, pid: str, initial: Mapping[str, int] | None = None) -> None:
         self.pid = pid
         self._counters: Dict[str, int] = dict(initial or {})
         self._counters.setdefault(pid, 0)
+        self._order: Tuple[str, ...] | None = None
 
     def tick(self) -> VectorTimestamp:
         """Advance the local component and return the new timestamp."""
-        self._counters[self.pid] = self._counters.get(self.pid, 0) + 1
+        counters = self._counters
+        value = counters.get(self.pid, 0) + 1
+        counters[self.pid] = value
+        if value == 1:
+            self._order = None  # own component just became visible
         return self.snapshot()
 
     def merge(self, other: VectorTimestamp) -> VectorTimestamp:
         """Absorb a received timestamp (component-wise max), then tick."""
+        counters = self._counters
         for pid, count in other.entries:
-            if count > self._counters.get(pid, 0):
-                self._counters[pid] = count
+            current = counters.get(pid, 0)
+            if count > current:
+                counters[pid] = count
+                if current == 0:
+                    self._order = None  # a new component became visible
         return self.tick()
 
     def snapshot(self) -> VectorTimestamp:
         """Return an immutable copy of the current vector."""
-        return VectorTimestamp.from_mapping(self._counters)
+        order = self._order
+        if order is None:
+            order = self._order = tuple(
+                sorted(pid for pid, count in self._counters.items() if count)
+            )
+        counters = self._counters
+        return VectorTimestamp(tuple((pid, counters[pid]) for pid in order))
 
     def restore(self, timestamp: VectorTimestamp) -> None:
         """Reset the clock to ``timestamp`` (used on rollback)."""
         self._counters = timestamp.as_dict()
         self._counters.setdefault(self.pid, 0)
+        self._order = None
 
     def component(self, pid: str) -> int:
         """Return the current counter for ``pid``."""

@@ -12,7 +12,8 @@ violation policy and the run trace — and delegates execution to a
   deterministic discrete-event simulation (scheduler + network +
   channels);
 * :class:`~repro.dsim.backend.MPBackend` runs the same process classes
-  on real OS processes with a batched pipe transport.
+  on real OS processes, over a batched pipe transport or zero-pickle
+  shared-memory rings (``transport="pipe"|"shm"``).
 
 Both backends accept the same registration surface (``add_process``,
 ``add_hook``, ``set_failure_plan``, ``register_scroll``) and the same

@@ -115,6 +115,41 @@ class Message:
         )
 
 
+_EMPTY_SPECULATIONS: FrozenSet[str] = frozenset()
+
+
+def make_message(
+    src: str,
+    dst: str,
+    kind: str,
+    payload: Any,
+    send_time: float,
+    vt: "VectorTimestamp",
+    lamport: int,
+) -> Message:
+    """Fast constructor for the per-send hot path.
+
+    ``Message`` is a frozen dataclass, so its ``__init__`` routes every
+    field through ``object.__setattr__``; populating ``__dict__``
+    directly builds an identical instance at a fraction of the cost.
+    Semantics match ``Message(...)`` with default speculations and
+    ``duplicate_of`` — the only shape :meth:`Process.send` produces.
+    """
+    message = object.__new__(Message)
+    state = message.__dict__
+    state["src"] = src
+    state["dst"] = dst
+    state["kind"] = kind
+    state["payload"] = payload
+    state["msg_id"] = next(_message_counter)
+    state["send_time"] = send_time
+    state["vt"] = vt
+    state["lamport"] = lamport
+    state["speculations"] = _EMPTY_SPECULATIONS
+    state["duplicate_of"] = None
+    return message
+
+
 def reset_message_ids(start: int = 1) -> None:
     """Reset the global message id counter (tests; per-worker namespaces).
 

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dsim.clock import LamportClock, VectorClock, VectorTimestamp
-from repro.dsim.message import Message
+from repro.dsim.message import Message, make_message
 from repro.dsim.rng import DeterministicRNG
 from repro.errors import InvariantViolation, SimulationError
 
@@ -263,14 +263,8 @@ class Process:
         """Send a message; returns the message that entered the network."""
         vt = self._vector_clock.tick() if self._vector_clock else VectorTimestamp()
         lamport = self._lamport.tick() if self._lamport else 0
-        message = Message(
-            src=self.pid,
-            dst=dst,
-            kind=kind,
-            payload=payload,
-            send_time=self.ctx.now_fn(),
-            vt=vt,
-            lamport=lamport,
+        message = make_message(
+            self.pid, dst, kind, payload, self.ctx.now_fn(), vt, lamport
         )
         self._sent_count += 1
         self.ctx.send_fn(message)

@@ -1,11 +1,13 @@
 """Backend parity: every demo app computes the same result on both substrates.
 
 The Backend refactor promises one cluster API over two substrates — the
-deterministic simulator and real OS processes behind the batched pipe
-transport.  These tests run each of the six demo applications
-*fault-free* on :class:`~repro.dsim.backend.SimBackend` and
-:class:`~repro.dsim.backend.MPBackend` and assert the application-level
-final states are identical.
+deterministic simulator and real OS processes behind a pluggable
+transport (batched pipe writes, or zero-pickle shared-memory rings).
+These tests run each of the six demo applications *fault-free* on
+:class:`~repro.dsim.backend.SimBackend` and
+:class:`~repro.dsim.backend.MPBackend` — the latter on **both**
+transports — and assert the application-level final states are
+identical.
 
 "Application-level" is per app: the multiprocessing substrate services
 timers with wall-clock granularity, so sub-millisecond interleavings of
@@ -151,15 +153,19 @@ def _run(case: ParityCase, backend) -> States:
 
 
 @pytest.mark.parity
+@pytest.mark.parametrize("transport", ["pipe", "shm"])
 @pytest.mark.parametrize("case", CASES, ids=lambda case: case.app)
-def test_fault_free_parity(case: ParityCase):
+def test_fault_free_parity(case: ParityCase, transport: str):
     sim_states = _run(case, SimBackend())
-    mp_states = _run(case, MPBackend(MPBackendOptions(time_scale=0.01)))
+    mp_states = _run(
+        case, MPBackend(MPBackendOptions(time_scale=0.01, transport=transport))
+    )
     assert set(sim_states) == set(mp_states)
     case.check(sim_states)
     case.check(mp_states)
     assert case.project(sim_states) == case.project(mp_states), (
-        f"{case.app}: application-level final states diverge between backends"
+        f"{case.app}: application-level final states diverge between backends "
+        f"(transport={transport})"
     )
 
 
@@ -193,3 +199,40 @@ def test_mp_batching_preserves_results():
         return result.process_states
 
     assert run(True) == run(False)
+
+
+@pytest.mark.parity
+def test_shm_transport_preserves_results():
+    """The shm rings and the batched pipe must compute identical states."""
+    def run(transport: str) -> States:
+        options = MPBackendOptions(time_scale=0.01, transport=transport)
+        cluster = Cluster(ClusterConfig(seed=11), backend=MPBackend(options))
+        build_wordcount_burst_cluster(cluster, workers=3, chunks=30, words_per_chunk=10)
+        result = cluster.run(until=200.0)
+        assert result.ok
+        return result.process_states
+
+    assert run("shm") == run("pipe")
+
+
+@pytest.mark.parity
+def test_shm_transport_exposes_pipe_observability():
+    """Both transports surface identical recording-depth counters.
+
+    The rng-draw / clock-read counters batched into the flush payload
+    (MP recording depth) must come out equal however the flushes travel.
+    """
+    def counters(transport: str):
+        options = MPBackendOptions(time_scale=0.01, transport=transport)
+        backend = MPBackend(options)
+        cluster = Cluster(ClusterConfig(seed=5), backend=backend)
+        build_bank_cluster(cluster, branches=3, fixed=True)
+        result = cluster.run(until=120.0)
+        assert result.stopped_reason == "quiescent"
+        stats = backend.transport_stats
+        return stats["rng_draws"], stats["clock_reads"]
+
+    pipe_counts = counters("pipe")
+    shm_counts = counters("shm")
+    assert pipe_counts == shm_counts
+    assert pipe_counts[0] > 0, "the bank workload draws randomness"

@@ -27,6 +27,7 @@ under a duplicate storm), a serialized **suite file** loaded with
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -455,13 +456,26 @@ def test_multi_fault_suite_detect_report_recover():
 
 @pytest.mark.matrix
 @pytest.mark.slow
+@pytest.mark.parametrize("transport", ["pipe", "shm"])
 @pytest.mark.parametrize("scenario", MP_SCENARIOS, ids=lambda s: s.name)
-def test_mp_fault_slice(scenario: Scenario):
-    """Fault injection detected on the real-process substrate via the facade."""
+def test_mp_fault_slice(scenario: Scenario, transport: str):
+    """Fault injection detected on the real-process substrate via the facade.
+
+    The crash/drop/delay slice must pass unchanged on both mp
+    transports — the shared-memory rings preserve the fault-plan
+    mapping, FIFO order and the flush protocol the assertions rely on.
+    """
+    if transport != "pipe":
+        scenario = replace(
+            scenario, name=f"{scenario.name}-{transport}", transport=transport
+        )
     outcome = run_scenario(scenario)
     assert outcome.passed, f"{scenario.name}: {outcome.failures}"
     assert outcome.detected, f"{scenario.name}: missing evidence {outcome.observed}"
     assert "Observed on the Scroll" in outcome.incident
+    # MP recording depth: both transports surface the same counters
+    assert outcome.transport is not None
+    assert "rng_draws" in outcome.transport and "clock_reads" in outcome.transport
 
 
 @pytest.mark.matrix

@@ -203,6 +203,21 @@ class TestScenario:
         with pytest.raises(ScenarioError, match="unknown fields"):
             Scenario.from_dict(payload)
 
+    def test_transport_field_validated_and_serialized(self):
+        scenario = Scenario(app="token_ring", backend="mp", until=60.0, transport="shm")
+        assert scenario.name == "token_ring-fault-free-mp-shm"
+        rebuilt = Scenario.from_json(scenario.to_json())
+        assert rebuilt == scenario and rebuilt.transport == "shm"
+        # older artefacts without the field default to the pipe transport
+        payload = scenario.to_dict()
+        del payload["transport"]
+        payload["name"] = ""
+        assert Scenario.from_dict(payload).transport == "pipe"
+        with pytest.raises(ScenarioError, match="unknown transport"):
+            Scenario(app="token_ring", backend="mp", until=60.0, transport="carrier-pigeon")
+        with pytest.raises(ScenarioError, match="mp-backend knob"):
+            Scenario(app="token_ring", transport="shm")
+
     def test_from_json_rejects_garbage(self):
         with pytest.raises(ScenarioError, match="not valid JSON"):
             Scenario.from_json("{nope")
@@ -236,6 +251,24 @@ class TestExperiment:
     def test_grid_requires_schedules(self):
         with pytest.raises(ScenarioError, match="FaultSchedule"):
             Experiment.grid(apps=("token_ring",), faults=(Drop(),))
+
+    def test_grid_transport_axis_applies_to_mp_cells_only(self):
+        experiment = Experiment.grid(
+            apps=("token_ring",),
+            backends=("sim", "mp"),
+            transports=("pipe", "shm"),
+            until=60.0,
+        )
+        names = [scenario.name for scenario in experiment.scenarios]
+        # one sim cell (the simulator has no transport) + one mp cell per transport
+        assert names == [
+            "token_ring-fault-free-sim",
+            "token_ring-fault-free-mp",
+            "token_ring-fault-free-mp-shm",
+        ]
+        by_name = {s.name: s for s in experiment.scenarios}
+        assert by_name["token_ring-fault-free-mp-shm"].transport == "shm"
+        assert by_name["token_ring-fault-free-sim"].transport == "pipe"
 
     def test_run_preserves_order_and_collects_outcomes(self):
         experiment = Experiment.grid(

@@ -1,0 +1,134 @@
+"""Leak-proof teardown of the multiprocessing backend.
+
+The shm transport owns real kernel resources — two shared-memory
+segments per worker — and the pipe transport owns sender threads.  All
+of them must be reclaimed on *every* exit path: a clean quiescent run,
+a worker that dies mid-run (worker-lost halt), and a KeyboardInterrupt
+unwinding the router loop.  The resource-tracker regression test runs a
+whole interpreter and asserts the exit is tracker-quiet: no "leaked
+shared_memory objects" warning, no tracker KeyError spam — both of
+which CPython emits when attach-side registrations are left dangling.
+
+Marked ``slow`` (real OS processes); ``make verify`` runs this module
+explicitly via the ``mp-teardown`` step.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.dsim.backend import MPBackend, MPBackendOptions
+from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.dsim.hooks import RuntimeHook
+from repro.dsim.process import Process, handler
+from repro.apps.wordcount import build_wordcount_cluster
+
+pytestmark = pytest.mark.slow
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), "src")
+
+
+def _segments_gone(backend: MPBackend) -> bool:
+    return all(
+        not os.path.exists(f"/dev/shm/{name}") for name in backend.shm_segments
+    )
+
+
+class _Exiter(Process):
+    """Dies abruptly (hard exit, no result, broken pipe) on first delivery."""
+
+    def on_start(self) -> None:
+        self.state["ready"] = True
+
+    @handler("DIE")
+    def die(self, msg) -> None:
+        os._exit(13)
+
+
+class _Prodder(Process):
+    def on_start(self) -> None:
+        self.send("victim", "DIE", None)
+
+
+class _Interrupter(RuntimeHook):
+    """Simulates the operator hitting Ctrl-C while the router replays."""
+
+    def on_send(self, pid, message, time, vt=None):
+        raise KeyboardInterrupt
+
+
+@pytest.mark.parametrize("transport", ["pipe", "shm"])
+def test_clean_run_reclaims_segments_and_threads(transport: str):
+    threads_before = threading.active_count()
+    backend = MPBackend(MPBackendOptions(time_scale=0.01, transport=transport))
+    cluster = Cluster(ClusterConfig(seed=3), backend=backend)
+    build_wordcount_cluster(cluster, workers=2, chunks=4)
+    result = cluster.run(until=120.0)
+    assert result.stopped_reason == "quiescent"
+    if transport == "shm":
+        assert backend.shm_segments, "shm run must have created segments"
+    assert _segments_gone(backend)
+    assert threading.active_count() == threads_before, "sender threads leaked"
+
+
+def test_worker_lost_halt_reclaims_segments():
+    backend = MPBackend(MPBackendOptions(time_scale=0.01, transport="shm"))
+    cluster = Cluster(ClusterConfig(seed=3), backend=backend)
+    cluster.add_process("victim", _Exiter)
+    cluster.add_process("prodder", _Prodder)
+    result = cluster.run(until=60.0)
+    assert result.stopped_reason == "worker-lost:victim"
+    assert _segments_gone(backend)
+
+
+def test_keyboard_interrupt_reclaims_segments_and_threads():
+    threads_before = threading.active_count()
+    backend = MPBackend(MPBackendOptions(time_scale=0.01, transport="shm"))
+    cluster = Cluster(ClusterConfig(seed=3), backend=backend)
+    build_wordcount_cluster(cluster, workers=2, chunks=4)
+    cluster.add_hook(_Interrupter())
+    with pytest.raises(KeyboardInterrupt):
+        cluster.run(until=120.0)
+    assert _segments_gone(backend)
+    assert threading.active_count() == threads_before
+
+
+def test_shm_run_is_resource_tracker_quiet():
+    """A whole interpreter running on shm must exit without tracker noise.
+
+    CPython's resource tracker prints "leaked shared_memory objects"
+    warnings (and KeyError tracebacks on double-unregister) at
+    interpreter exit — exactly the failure modes of wrong attach-side
+    registration handling.  The child interpreter's stderr must be
+    silent and its exit clean.
+    """
+    script = (
+        "from repro.dsim.backend import MPBackend, MPBackendOptions\n"
+        "from repro.dsim.cluster import Cluster, ClusterConfig\n"
+        "from repro.apps.wordcount import build_wordcount_cluster\n"
+        "backend = MPBackend(MPBackendOptions(time_scale=0.01, transport='shm'))\n"
+        "cluster = Cluster(ClusterConfig(seed=3), backend=backend)\n"
+        "build_wordcount_cluster(cluster, workers=2, chunks=4)\n"
+        "result = cluster.run(until=120.0)\n"
+        "assert result.stopped_reason == 'quiescent', result.stopped_reason\n"
+        "print('RUN-OK')\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "RUN-OK" in proc.stdout
+    assert "resource_tracker" not in proc.stderr, proc.stderr
+    assert "leaked" not in proc.stderr, proc.stderr
+    assert "Traceback" not in proc.stderr, proc.stderr
