@@ -1,13 +1,14 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: verify tier1 tier1-core matrix parity mp-teardown bench-smoke suite-smoke bench test-all
+.PHONY: verify tier1 tier1-core matrix parity mp-teardown bench-smoke suite-smoke resume-smoke bench test-all
 
 ## The one-command gate: core tests, the fault matrix, backend parity
 ## (both mp transports), mp teardown/leak regression, benchmark smoke,
-## and a suite-file run through the repro.api facade — each exactly
-## once (tier1-core deselects what the later steps own).
-verify: tier1-core matrix parity mp-teardown bench-smoke suite-smoke
+## a suite-file run through the repro.api facade, and the durable-store
+## resume suite — each exactly once (tier1-core deselects what the
+## later steps own).
+verify: tier1-core matrix parity mp-teardown bench-smoke suite-smoke resume-smoke
 
 ## The plain default suite (what CI and `pytest -x -q` run): includes the
 ## matrix and the in-process bench smoke test.
@@ -15,7 +16,7 @@ tier1:
 	python -m pytest -x -q
 
 tier1-core:
-	python -m pytest -x -q -m "not slow and not matrix and not parity" \
+	python -m pytest -x -q -m "not slow and not matrix and not parity and not durable" \
 		--ignore=tests/integration/test_bench_smoke.py
 
 matrix:
@@ -38,6 +39,13 @@ bench-smoke:
 ## declarative facade (load_suite -> Experiment -> Outcome assertions).
 suite-smoke:
 	python -m repro.api suites/crash_during_partition.json
+
+## Disk-backed checkpoint-store tests (blob integrity, crash windows,
+## resume parity; every store lives in a pytest tmp_path) plus the
+## crash-and-resume example on the facade.
+resume-smoke:
+	python -m pytest -m durable -q
+	python examples/resume_after_crash.py
 
 ## Regenerate the committed benchmark baseline (full + quick profiles).
 bench:

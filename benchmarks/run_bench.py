@@ -53,6 +53,9 @@ from repro.dsim.scheduler import EventKind, Scheduler  # noqa: E402  # facade-ok
 from repro.scroll.entry import ActionKind, ScrollEntry  # noqa: E402
 from repro.scroll.replayer import Replayer  # noqa: E402
 from repro.scroll.scroll import Scroll  # noqa: E402
+from repro.dsim.clock import VectorTimestamp  # noqa: E402  # facade-ok: synthetic recovery lines for the durable store under measurement
+from repro.dsim.process import ProcessCheckpoint  # noqa: E402  # facade-ok: synthetic recovery lines for the durable store under measurement
+from repro.timemachine import DurableCheckpointStore, RecoveryLine  # noqa: E402
 from repro.timemachine.cow import CowPageStore  # noqa: E402
 
 DEFAULT_BASELINE = os.path.join(
@@ -211,6 +214,137 @@ def measure_cow(
         "naive_serialized_bytes_per_capture": naive.serialized_bytes_total / captures,
         "restore_ok": restore_ok,
     }
+
+
+def measure_chunked_cow(
+    elements: int = 100_000,
+    captures: int = 12,
+    mutate_fraction: float = 0.01,
+    commit_every: int = 3,
+    chunk_elems: int = 8,
+    page_size: int = 1024,
+) -> Dict[str, float]:
+    """Delta-chunked captures of one huge dict key vs whole-key re-serialization.
+
+    The kvstore-shaped worst case the chunking exists for: a state with
+    a single ``elements``-entry dict, mutated 1% per capture at
+    *scattered* positions (scatter is the hard case for chunk locality —
+    a contiguous mutation run would flatter the ratio).  The oracle is
+    the same store with chunking disabled (``chunk_threshold=None``),
+    which re-pickles and re-hashes the whole key per capture; both
+    guarded ratios (``pickled_reduction``, ``hash_reduction``) are
+    steady-state per-capture costs, excluding the first full capture
+    that both stores pay identically.
+
+    Every ``commit_every``-th capture also flushes a synthetic
+    single-process recovery line to a durable blob store in a scratch
+    directory; ``dedup_ratio`` (logical manifest bytes over unique bytes
+    on disk) is the content-addressing payoff across committed lines,
+    and ``resume_ok`` gates that the state read back from disk is
+    exactly the state at the last commit, insertion order included.
+    """
+    import shutil
+    import tempfile
+
+    def scattered_positions(round_index: int, count: int) -> list:
+        # deterministic pseudo-scatter (no RNG): Knuth-style multiplicative
+        # stride so mutations land all over the key space every round
+        return [
+            (round_index * 2654435761 + offset * 97003) % elements
+            for offset in range(count)
+        ]
+
+    state = {
+        "table": {f"k{i:06d}": f"v000-{i:06d}" for i in range(elements)},
+        "epoch": 0,
+    }
+    chunked = CowPageStore(
+        page_size=page_size, chunk_threshold=256, chunk_elems=chunk_elems
+    )
+    whole = CowPageStore(page_size=page_size, chunk_threshold=None)
+    mutated = max(1, int(elements * mutate_fraction))
+    store_dir = tempfile.mkdtemp(prefix="bench-blobstore-")
+    committed_snapshot = None
+    try:
+        durable = DurableCheckpointStore(
+            store_dir, run_id="bench", chunk_threshold=256, chunk_elems=chunk_elems
+        )
+        chunked_first = whole_first = (0, 0)
+        for round_index in range(captures):
+            if round_index:
+                state["epoch"] = round_index
+                for position in scattered_positions(round_index, mutated):
+                    state["table"][f"k{position:06d}"] = f"v{round_index:03d}-{position:06d}"
+            chunked.capture("p", state, float(round_index))
+            whole.capture("p", state, float(round_index))
+            if round_index == 0:
+                chunked_first = (chunked.serialized_bytes_total, chunked.hashed_bytes_total)
+                whole_first = (whole.serialized_bytes_total, whole.hashed_bytes_total)
+            if round_index and round_index % commit_every == 0:
+                checkpoint = ProcessCheckpoint(
+                    pid="p",
+                    sequence=round_index,
+                    time=float(round_index),
+                    state=state,
+                    vt=VectorTimestamp.from_mapping({"p": round_index}),
+                    lamport=round_index,
+                    rng_draws=0,
+                    sent_count=0,
+                    received_count=0,
+                )
+                durable.flush_line(
+                    RecoveryLine(
+                        checkpoints={"p": checkpoint},
+                        rolled_back_steps={},
+                        iterations=1,
+                        domino_effect=False,
+                        label=f"bench-{round_index}",
+                    )
+                )
+                committed_snapshot = {"table": dict(state["table"]), "epoch": state["epoch"]}
+
+        steady = captures - 1
+        chunked_pickled = (chunked.serialized_bytes_total - chunked_first[0]) / steady
+        chunked_hashed = (chunked.hashed_bytes_total - chunked_first[1]) / steady
+        whole_pickled = (whole.serialized_bytes_total - whole_first[0]) / steady
+        whole_hashed = (whole.hashed_bytes_total - whole_first[1]) / steady
+
+        restored_chunked = chunked.restore(chunked.latest("p"))
+        restored_whole = whole.restore(whole.latest("p"))
+        restore_ok = (
+            restored_chunked == state
+            and restored_whole == state
+            and list(restored_chunked["table"]) == list(state["table"])
+        )
+        _, resumed = DurableCheckpointStore.restore_line(store_dir, "bench")
+        resumed_state = resumed["p"].state
+        resume_ok = (
+            resumed_state == committed_snapshot
+            and list(resumed_state["table"]) == list(committed_snapshot["table"])
+        )
+        stats = durable.stats()
+        return {
+            "elements": elements,
+            "captures": captures,
+            "mutate_fraction": mutate_fraction,
+            "chunked_pickled_bytes_per_capture": chunked_pickled,
+            "whole_pickled_bytes_per_capture": whole_pickled,
+            "pickled_reduction": whole_pickled / chunked_pickled,
+            "chunked_hashed_bytes_per_capture": chunked_hashed,
+            "whole_hashed_bytes_per_capture": whole_hashed,
+            "hash_reduction": whole_hashed / chunked_hashed,
+            "lines_committed": stats["lines_committed"],
+            "chunks_written": stats["chunks_written"],
+            "chunks_deduped": stats["chunks_deduped"],
+            "chunks_reused": stats["chunks_reused"],
+            "logical_bytes": stats["logical_bytes"],
+            "bytes_on_disk": stats["bytes_on_disk"],
+            "dedup_ratio": stats["logical_bytes"] / max(1, stats["bytes_on_disk"]),
+            "restore_ok": restore_ok,
+            "resume_ok": resume_ok,
+        }
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
 
 
 # ----------------------------------------------------------------------
@@ -463,6 +597,7 @@ def run_profile(profile: str) -> Dict[str, Dict[str, float]]:
                 n=10_000, targets=50, repeats=2, naive_sample=15
             ),
             "cow_capture_dirty_pages": measure_cow(keys=100, captures=20),
+            "chunked_cow": measure_chunked_cow(elements=20_000, captures=6, commit_every=1),
             "scroll_spill_replay": measure_scroll_spill(n=20_000, pids=10, repeats=2),
             "mp_batching": measure_mp_batching(workers=2, chunks=120),
             "shm_ring": measure_shm_ring(workers=2, chunks=240, words_per_chunk=12, repeats=2),
@@ -471,6 +606,7 @@ def run_profile(profile: str) -> Dict[str, Dict[str, float]]:
         "scroll_per_pid_queries": measure_scroll(),
         "scheduler_drain_cancellations": measure_scheduler(),
         "cow_capture_dirty_pages": measure_cow(),
+        "chunked_cow": measure_chunked_cow(),
         "scroll_spill_replay": measure_scroll_spill(),
         "mp_batching": measure_mp_batching(),
         "shm_ring": measure_shm_ring(),
@@ -488,6 +624,13 @@ GUARDED_METRICS: List[Tuple[str, str, str, float]] = [
     ("scroll_per_pid_queries", "speedup", "higher", 10.0),
     ("scheduler_drain_cancellations", "speedup", "higher", 100.0),
     ("cow_capture_dirty_pages", "hash_reduction", "higher", 10.0),
+    # delta-chunked container captures: acceptance floor 10x on the full
+    # profile; green zones at half so the small quick profile (fewer
+    # elements -> coarser scatter math) can't flap CI
+    ("chunked_cow", "pickled_reduction", "higher", 5.0),
+    ("chunked_cow", "hash_reduction", "higher", 5.0),
+    # content-addressed dedup across committed lines (acceptance floor 2x)
+    ("chunked_cow", "dedup_ratio", "higher", 2.0),
     ("scroll_spill_replay", "memory_reduction", "higher", 5.0),
     ("scroll_spill_replay", "replay_slowdown", "lower", 1.6),
     ("mp_batching", "pipe_write_reduction", "higher", 2.0),
@@ -542,6 +685,11 @@ def check_against(
     cow = current.get("cow_capture_dirty_pages", {})
     if cow and not cow.get("restore_ok", True):
         failures.append("cow_capture_dirty_pages: restore mismatch")
+    chunked = current.get("chunked_cow", {})
+    if chunked and not chunked.get("restore_ok", True):
+        failures.append("chunked_cow: chunked restore does not match the live state")
+    if chunked and not chunked.get("resume_ok", True):
+        failures.append("chunked_cow: durable resume does not match the last committed state")
     batching = current.get("mp_batching", {})
     if batching and not batching.get("results_complete", True):
         failures.append("mp_batching: a run failed to aggregate the full corpus")

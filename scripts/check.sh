@@ -71,6 +71,29 @@ if [[ -n "$violations" ]]; then
 fi
 echo "boundary guard: examples/ and benchmarks/ import only the repro.api facade"
 
+# ----------------------------------------------------------------------
+# Durable-store boundary guard: repro.timemachine.blobstore is internal
+# plumbing of the Time Machine.  The sanctioned surfaces are the
+# timemachine package re-exports (BlobStore, DurableCheckpointStore),
+# the config knobs (FixDConfig.checkpoint_store, Scenario.checkpoint_store)
+# and Experiment.resume — importing the blobstore module directly
+# outside src/repro/timemachine/ is a boundary violation.  A line may
+# opt out with a trailing `# facade-ok: <reason>` marker, reserved for
+# tests that exercise the store's crash windows themselves.
+# ----------------------------------------------------------------------
+violations=$(grep -rn --include='*.py' -E \
+    '(from|import)[[:space:]]+repro\.timemachine\.blobstore|from[[:space:]]+repro\.timemachine[[:space:]]+import[[:space:]][^#]*\bblobstore\b|import_module\([^)]*blobstore' \
+    src tests benchmarks examples 2>/dev/null \
+    | grep -v '^src/repro/timemachine/' \
+    | grep -v 'facade-ok' || true)
+if [[ -n "$violations" ]]; then
+    echo "Durable-store boundary violation: repro.timemachine.blobstore imported outside src/repro/timemachine/" >&2
+    echo "Use the repro.timemachine re-exports, the checkpoint_store config knobs, or Experiment.resume:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "boundary guard: no blobstore imports outside timemachine/"
+
 if ! command -v make >/dev/null 2>&1; then
     echo "scripts/check.sh requires make; run the Makefile 'verify' steps manually:" >&2
     grep -A2 '^verify:' Makefile >&2

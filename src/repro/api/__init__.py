@@ -43,7 +43,14 @@ Quickstart::
 """
 
 from repro.api import apps
-from repro.api.experiment import Experiment, ScenarioRun, execute, run_scenario
+from repro.api.experiment import (
+    Experiment,
+    ResumedRun,
+    ScenarioRun,
+    execute,
+    resume_run,
+    run_scenario,
+)
 from repro.api.faults import (
     Corrupt,
     Crash,
@@ -70,6 +77,8 @@ __all__ = [
     "Scenario",
     "Experiment",
     "ScenarioRun",
+    "ResumedRun",
+    "resume_run",
     "Outcome",
     "FaultSchedule",
     "Crash",

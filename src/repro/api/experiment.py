@@ -55,6 +55,9 @@ def _fixd_config(scenario: Scenario) -> FixDConfig:
         investigate_on_fault=scenario.investigate,
         max_faults_handled=scenario.max_faults_handled,
         auto_commit_interval=scenario.auto_commit_interval,
+        checkpoint_store=scenario.checkpoint_store,
+        checkpoint_store_path=scenario.store_path,
+        run_id=scenario.name,
     )
 
 
@@ -86,6 +89,11 @@ def execute(scenario: Scenario, fixd_config: Optional[FixDConfig] = None) -> Sce
     app_registry.build(cluster, scenario.app, **scenario.params)
     fixd = FixD(fixd_config or _fixd_config(scenario))
     fixd.attach(cluster)
+    durable = getattr(fixd.time_machine, "durable_store", None)
+    if durable is not None:
+        # the scenario rides along in run.json so resume can rebuild the
+        # same cluster without the process that wrote the store
+        durable.set_run_metadata({"scenario": scenario.to_dict()})
     plan = scenario.faults.to_plan()
     if not plan.is_empty():
         cluster.set_failure_plan(plan)
@@ -100,6 +108,74 @@ def execute(scenario: Scenario, fixd_config: Optional[FixDConfig] = None) -> Sce
 def run_scenario(scenario: Scenario) -> Outcome:
     """Run one scenario and return its structured outcome."""
     return execute(scenario).outcome
+
+
+@dataclass
+class ResumedRun:
+    """A cluster rebuilt from a durable store's last committed recovery line.
+
+    ``cluster`` is started and restored — its processes hold the
+    committed line's states, clocks and RNG positions, with no in-flight
+    events — ready for ``cluster.run(...)`` to continue, for state
+    inspection, or for a fresh FixD attachment.
+    """
+
+    run_id: str
+    scenario: Scenario
+    cluster: Any
+    #: the durable line manifest that was restored (index, label, blob names)
+    manifest: Any
+    #: the restored per-process checkpoints, as live ProcessCheckpoint objects
+    checkpoints: Any
+
+    @property
+    def line_index(self) -> int:
+        return self.manifest.get("index", 0)
+
+    def states(self):
+        """Deep-ish view of every restored process state (pid -> dict)."""
+        return {pid: dict(self.cluster.process(pid).state) for pid in sorted(self.checkpoints)}
+
+
+def resume_run(run_id: str, store_path: str) -> ResumedRun:
+    """Rebuild a cluster from the last *committed* recovery line on disk.
+
+    The durable store under ``store_path`` is the authority: the
+    scenario recorded in ``runs/<run_id>/run.json`` rebuilds the same
+    application on a fresh simulator cluster, and the newest committed
+    line manifest (every blob integrity-validated on read) restores
+    process states, vector clocks, RNG draw positions and message
+    counters.  Partial flushes are invisible by construction — a line
+    manifest is written atomically *after* its blobs — so a run that
+    crashed mid-commit resumes from the previous committed line.
+
+    Raises :class:`~repro.errors.CheckpointError` when the run is
+    unknown or has no committed lines yet.
+    """
+    from repro.timemachine import DurableCheckpointStore
+
+    metadata = DurableCheckpointStore.run_metadata(store_path, run_id)
+    scenario_payload = metadata.get("scenario")
+    if not scenario_payload:
+        raise ScenarioError(
+            f"durable run {run_id!r} recorded no scenario; cannot rebuild its cluster"
+        )
+    scenario = Scenario.from_dict(scenario_payload)
+    manifest, checkpoints = DurableCheckpointStore.restore_line(store_path, run_id)
+    cluster = Cluster(
+        ClusterConfig(seed=scenario.seed, halt_on_violation=False),
+        backend=_make_backend(scenario),
+    )
+    app_registry.build(cluster, scenario.app, **scenario.params)
+    cluster.start()
+    cluster.restore_checkpoints(checkpoints)
+    return ResumedRun(
+        run_id=run_id,
+        scenario=scenario,
+        cluster=cluster,
+        manifest=manifest,
+        checkpoints=checkpoints,
+    )
 
 
 class Experiment:
@@ -190,6 +266,15 @@ class Experiment:
                                 )
                             )
         return cls(scenarios, processes=processes)
+
+    @staticmethod
+    def resume(run_id: str, store_path: str) -> ResumedRun:
+        """Resume a crashed run from its durable checkpoint store.
+
+        See :func:`resume_run`; exposed here because "the experiment
+        died, pick it back up" is an experiment-level operation.
+        """
+        return resume_run(run_id, store_path)
 
     def run(self) -> List[Outcome]:
         """Execute every scenario; outcomes are returned and kept on the object."""

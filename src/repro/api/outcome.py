@@ -62,6 +62,12 @@ class Outcome:
     #: transport a scenario ran on.
     scroll: Dict[str, Any] = field(default_factory=dict)
     transport: Optional[Dict[str, int]] = None
+    #: durable checkpoint store counters when the scenario ran with
+    #: ``checkpoint_store="disk"`` (lines committed, chunks
+    #: written/deduped/reused, logical bytes vs bytes on disk); None on
+    #: memory-store runs.  Excluded from the projection: bytes on disk
+    #: depend on what earlier runs left in a shared store.
+    store: Optional[Dict[str, int]] = None
     #: expectation evaluation (empty == passed)
     failures: List[str] = field(default_factory=list)
 
@@ -131,6 +137,7 @@ class Outcome:
                 "transport": dict(self.transport) if self.transport else None,
                 "auto_commits": self.auto_commits,
                 "scroll_entries_collected": self.scroll_entries_collected,
+                "store": dict(self.store) if self.store else None,
             }
         )
         return payload
@@ -242,6 +249,11 @@ class Outcome:
                 "storage": storage,
             },
             transport=dict(getattr(cluster.backend, "transport_stats", None) or {}) or None,
+            store=(
+                durable.stats()
+                if (durable := getattr(fixd.time_machine, "durable_store", None)) is not None
+                else None
+            ),
         )
         outcome.failures = _evaluate_expectations(scenario, outcome, can_rollback)
         return outcome

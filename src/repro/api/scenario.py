@@ -22,6 +22,7 @@ from repro.errors import ScenarioError
 
 BACKENDS = ("sim", "mp")
 TRANSPORTS = ("pipe", "shm")
+CHECKPOINT_STORES = ("memory", "disk")
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,14 @@ class Scenario:
         Data plane of the ``mp`` backend: ``"pipe"`` (batched pickled
         pipe writes, the default) or ``"shm"`` (shared-memory rings, no
         pickle on the hot path).  Only meaningful with ``backend="mp"``.
+    checkpoint_store / store_path:
+        ``"memory"`` keeps recovery lines in-process; ``"disk"`` flushes
+        every committed line to a durable content-addressed blob store
+        rooted at ``store_path`` (required for ``"disk"``), keyed by the
+        scenario name as the run id — which is what
+        :meth:`Experiment.resume` restores from.  Simulator only, and
+        only lines actually *committed* (``auto_commit_interval`` or a
+        manual commit) become durable.
     """
 
     app: str
@@ -86,6 +95,8 @@ class Scenario:
     auto_commit_interval: Optional[float] = None
     time_scale: float = 0.01
     transport: str = "pipe"
+    checkpoint_store: str = "memory"
+    store_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.app or not isinstance(self.app, str):
@@ -105,6 +116,21 @@ class Scenario:
                 f"scenario transport {self.transport!r} is an mp-backend knob; "
                 "the simulator has no transport"
             )
+        if self.checkpoint_store not in CHECKPOINT_STORES:
+            raise ScenarioError(
+                f"unknown checkpoint_store {self.checkpoint_store!r}; "
+                f"expected one of {CHECKPOINT_STORES}"
+            )
+        if self.checkpoint_store == "disk":
+            if self.backend != "sim":
+                raise ScenarioError(
+                    "checkpoint_store='disk' needs the sim backend; the mp backend "
+                    "advertises no checkpoint capability to persist"
+                )
+            if not self.store_path:
+                raise ScenarioError(
+                    "checkpoint_store='disk' requires an explicit store_path"
+                )
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "recovering", tuple(self.recovering))
         if not self.name:
@@ -141,6 +167,8 @@ class Scenario:
             "auto_commit_interval": self.auto_commit_interval,
             "time_scale": self.time_scale,
             "transport": self.transport,
+            "checkpoint_store": self.checkpoint_store,
+            "store_path": self.store_path,
         }
 
     def to_json(self) -> str:

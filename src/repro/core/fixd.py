@@ -87,6 +87,22 @@ class FixDConfig:
     #: default) keeps the whole log.  Committing is a promise: later
     #: rollbacks cannot reach past a committed line.
     auto_commit_interval: Optional[float] = None
+    #: where committed recovery lines live: ``"memory"`` (in-process
+    #: only; a crashed experiment loses them) or ``"disk"`` (every
+    #: committed line is also flushed to a durable content-addressed
+    #: blob store that ``Experiment.resume`` can rebuild a cluster from).
+    checkpoint_store: str = "memory"
+    #: root directory of the durable store; required for ``"disk"``.
+    checkpoint_store_path: Optional[str] = None
+    #: manifests of this run are scoped under ``runs/<run_id>/``.
+    run_id: str = "run"
+    #: keep only the newest N committed lines on disk (None keeps all).
+    durable_keep_lines: Optional[int] = None
+    #: state containers with at least this many elements are captured
+    #: per chunk by the COW store (None disables delta chunking).
+    cow_chunk_threshold: Optional[int] = 256
+    #: target element count per chunk / hash bucket.
+    cow_chunk_elems: int = 32
 
 
 @dataclass
@@ -171,6 +187,12 @@ class FixD:
             TimeMachineConfig(
                 policy=self.config.checkpoint_policy,
                 periodic_interval=self.config.periodic_checkpoint_interval,
+                chunk_threshold=self.config.cow_chunk_threshold,
+                chunk_elems=self.config.cow_chunk_elems,
+                checkpoint_store=self.config.checkpoint_store,
+                store_path=self.config.checkpoint_store_path,
+                run_id=self.config.run_id,
+                durable_keep_lines=self.config.durable_keep_lines,
             )
         )
         self.detector = FaultDetector()

@@ -87,6 +87,10 @@ class RecoveryLineError(CheckpointError):
     """No globally consistent recovery line could be constructed."""
 
 
+class BlobIntegrityError(CheckpointError):
+    """A durable blob's bytes do not hash to its content address."""
+
+
 class SpeculationError(ReproError):
     """Misuse of the speculation API (commit/abort without begin, etc.)."""
 

@@ -23,6 +23,11 @@ The package provides:
   facade that FixD uses.
 """
 
+from repro.timemachine.blobstore import (  # facade-ok
+    BlobStore,
+    DurableCheckpointStore,
+    IntegrityReport,
+)
 from repro.timemachine.checkpoint import CheckpointStore, GlobalCheckpoint, LocalCheckpointLog
 from repro.timemachine.comm_induced import CommunicationInducedCheckpointing, PeriodicCheckpointing
 from repro.timemachine.coordinated import CoordinatedSnapshotter
@@ -33,6 +38,9 @@ from repro.timemachine.speculation import Speculation, SpeculationManager, Specu
 from repro.timemachine.time_machine import CheckpointPolicy, TimeMachine
 
 __all__ = [
+    "BlobStore",
+    "DurableCheckpointStore",
+    "IntegrityReport",
     "CheckpointStore",
     "GlobalCheckpoint",
     "LocalCheckpointLog",

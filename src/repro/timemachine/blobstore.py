@@ -1,0 +1,493 @@
+"""A durable content-addressed blob store for committed recovery lines.
+
+In-memory COW checkpoints (:mod:`repro.timemachine.cow`) die with the
+experiment process: a crashed run loses every recovery line it paid to
+capture.  This module makes *committed* lines durable with the same
+content-addressing idea taken to disk:
+
+* every chunk of every checkpointed state value is pickled and stored as
+  a **SHA-256-named blob file** (``blobs/<aa>/<sha256>.blob``, sharded
+  by the first address byte).  Identical chunks — across keys,
+  checkpoints, processes and even runs — share one file, so dedup comes
+  free from the naming scheme;
+* blob writes are **atomic**: bytes go to a ``*.tmp`` file in the same
+  directory, are fsynced, then ``os.replace``d into the final name.  A
+  writer killed mid-flush leaves at worst an orphaned or truncated tmp
+  file, never a half-written addressed blob;
+* reads **validate integrity**: a blob whose bytes no longer hash to its
+  file name raises :class:`repro.errors.BlobIntegrityError` instead of
+  silently restoring corrupt state;
+* **run-scoped manifests** (``runs/<run_id>/run.json`` plus one
+  ``line-NNNNNN.json`` per committed recovery line, both atomically
+  written JSON) record which blobs make up each committed line, along
+  with the process metadata (vector clocks, RNG draw counts, message
+  counters) needed to rebuild :class:`repro.dsim.process.ProcessCheckpoint`
+  objects for :meth:`Experiment.resume`;
+* **rotation/GC is refcount-driven below committed lines**: dropping old
+  line manifests (``rotate``) recomputes blob reachability from the
+  manifests that remain — across *all* runs sharing the store — and
+  unlinks only blobs no committed line references any more.
+
+Chunk layout on disk is produced by the same pure chunk codec the
+in-memory store uses (:func:`repro.timemachine.cow.chunk_items`), so a
+value that was cheap to capture incrementally is equally cheap to flush:
+unchanged chunks hash to addresses that already exist on disk and are
+skipped.
+
+SHA-256 (not the BLAKE2b-128 of the in-memory hot path) names the
+files: durable addresses double as an integrity check and follow the
+conventional content-address format for on-disk stores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.dsim.clock import VectorTimestamp
+from repro.dsim.process import ProcessCheckpoint
+from repro.errors import BlobIntegrityError, CheckpointError
+from repro.timemachine.cow import (
+    DEFAULT_CHUNK_ELEMS,
+    DEFAULT_CHUNK_THRESHOLD,
+    assemble_chunked,
+    chunk_items,
+    chunk_kind,
+)
+
+MANIFEST_SCHEMA = 1
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _json_safe(mapping: Dict[str, Any]) -> Dict[str, Any]:
+    """The JSON-representable subset of a checkpoint's ``extra`` mapping."""
+    return {
+        key: value
+        for key, value in mapping.items()
+        if isinstance(key, str) and isinstance(value, _JSON_SCALARS)
+    }
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via tmp+rename so readers never see a torn file."""
+    tmp = path.parent / f"{path.name}.{os.getpid()}.tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+@dataclass
+class IntegrityReport:
+    """What :meth:`BlobStore.validate_integrity` found (and optionally repaired)."""
+
+    blobs_checked: int = 0
+    corrupt: List[str] = field(default_factory=list)
+    tmp_orphans: int = 0
+    removed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.corrupt
+
+
+class BlobStore:
+    """SHA-256-addressed blob files with atomic writes and validated reads."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.blob_root = self.root / "blobs"
+        self.blob_root.mkdir(parents=True, exist_ok=True)
+        self._write_counter = 0
+
+    @staticmethod
+    def address(data: bytes) -> str:
+        return hashlib.sha256(data).hexdigest()
+
+    def _path(self, name: str) -> Path:
+        return self.blob_root / name[:2] / f"{name}.blob"
+
+    def put(self, data: bytes) -> Tuple[str, bool]:
+        """Store ``data``; returns ``(address, written)``.
+
+        ``written`` is False when a blob with this address already
+        exists — the content-addressed dedup case — in which case no
+        bytes touch the disk.
+        """
+        name = self.address(data)
+        path = self._path(name)
+        if path.exists():
+            return name, False
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_counter += 1
+        tmp = path.parent / f"{name}.{os.getpid()}.{self._write_counter}.tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return name, True
+
+    def get(self, name: str) -> bytes:
+        """Read a blob, verifying its bytes still hash to its address."""
+        path = self._path(name)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise CheckpointError(f"blob {name!r} is missing from the store") from None
+        if self.address(data) != name:
+            raise BlobIntegrityError(
+                f"blob {name!r} failed integrity validation: stored bytes hash to "
+                f"{self.address(data)!r}"
+            )
+        return data
+
+    def exists(self, name: str) -> bool:
+        return self._path(name).exists()
+
+    def delete(self, name: str) -> bool:
+        try:
+            self._path(name).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def blob_names(self) -> Iterator[str]:
+        for shard in sorted(self.blob_root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                if entry.suffix == ".blob":
+                    yield entry.stem
+
+    def bytes_on_disk(self) -> int:
+        return sum(
+            entry.stat().st_size
+            for shard in self.blob_root.iterdir()
+            if shard.is_dir()
+            for entry in shard.iterdir()
+            if entry.suffix == ".blob"
+        )
+
+    def validate_integrity(self, repair: bool = False) -> IntegrityReport:
+        """Re-hash every blob and sweep writer-crash leftovers.
+
+        Orphaned ``*.tmp`` files (a writer died between write and
+        rename) are always removed — they were never addressable, so no
+        committed line can reference them.  Corrupt addressed blobs are
+        reported, and removed only with ``repair=True`` (a removed blob
+        surfaces as a missing-blob error on restore rather than as
+        silently wrong bytes).
+        """
+        report = IntegrityReport()
+        for shard in sorted(self.blob_root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                if entry.name.endswith(".tmp"):
+                    entry.unlink()
+                    report.tmp_orphans += 1
+                    continue
+                if entry.suffix != ".blob":
+                    continue
+                report.blobs_checked += 1
+                if self.address(entry.read_bytes()) != entry.stem:
+                    report.corrupt.append(entry.stem)
+                    if repair:
+                        entry.unlink()
+                        report.removed += 1
+        return report
+
+
+class DurableCheckpointStore:
+    """Run-scoped durable manifests over a shared :class:`BlobStore`.
+
+    One instance serves one run (``run_id``); the underlying blob store
+    is shared by every run under the same root, which is what makes
+    cross-run dedup work.  ``flush_line`` persists one committed
+    recovery line; the class methods read stores back without needing a
+    live instance (that is what resume uses — the writing process is
+    gone).
+    """
+
+    def __init__(
+        self,
+        root,
+        run_id: str,
+        chunk_threshold: Optional[int] = DEFAULT_CHUNK_THRESHOLD,
+        chunk_elems: int = DEFAULT_CHUNK_ELEMS,
+        order_elems: Optional[int] = None,
+        keep_lines: Optional[int] = None,
+    ) -> None:
+        if not run_id:
+            raise CheckpointError("a durable checkpoint store needs a non-empty run_id")
+        if keep_lines is not None and keep_lines < 1:
+            raise CheckpointError("keep_lines must be at least 1 (or None to keep all)")
+        self.root = Path(root)
+        self.run_id = run_id
+        self.blobs = BlobStore(self.root)
+        self.chunk_threshold = chunk_threshold
+        self.chunk_elems = chunk_elems
+        self.order_elems = order_elems if order_elems is not None else chunk_elems * 8
+        self.keep_lines = keep_lines
+        self.run_dir = self.root / "runs" / run_id
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._line_index = self._highest_line_index()
+        #: blob addresses flushed earlier in this run (the "reused" tier)
+        self._seen: set = set()
+        self.lines_committed = 0
+        self.chunks_written = 0
+        self.chunks_deduped = 0
+        self.chunks_reused = 0
+        self.logical_bytes = 0
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def set_run_metadata(self, payload: Dict[str, Any]) -> None:
+        """Atomically record run-level metadata (e.g. the Scenario) in run.json."""
+        document = {"schema": MANIFEST_SCHEMA, "run_id": self.run_id}
+        document.update(payload)
+        _atomic_write(
+            self.run_dir / "run.json",
+            (json.dumps(document, sort_keys=True, indent=2) + "\n").encode("utf-8"),
+        )
+
+    def flush_line(self, line) -> Dict[str, int]:
+        """Persist one committed recovery line; returns per-flush counters.
+
+        Every state key of every member checkpoint is chunked with the
+        same pure codec the in-memory store uses, each chunk blob is
+        ``put`` into the content-addressed store (a no-op for chunks
+        whose address already exists), and a line manifest naming the
+        blobs is atomically written.  The manifest write is last, so a
+        crash mid-flush leaves the previous committed line as the
+        newest readable one — never a partial line.
+        """
+        flushed = {"chunks_written": 0, "chunks_deduped": 0, "chunks_reused": 0, "logical_bytes": 0}
+        checkpoints_payload: Dict[str, Any] = {}
+        for pid, checkpoint in sorted(line.checkpoints.items()):
+            state_payload: Dict[str, Any] = {}
+            for key, value in checkpoint.state.items():
+                kind = chunk_kind(value, self.chunk_threshold)
+                if kind is None:
+                    blobs = [self._pickle_chunk(key, value)]
+                    order_blobs: List[bytes] = []
+                    kind = "whole"
+                else:
+                    value_chunks, order_chunks = chunk_items(
+                        kind, value, self.chunk_elems, self.order_elems
+                    )
+                    blobs = [self._pickle_chunk(key, chunk) for chunk in value_chunks]
+                    order_blobs = [self._pickle_chunk(key, chunk) for chunk in order_chunks]
+                state_payload[key] = {
+                    "kind": kind,
+                    "chunks": [self._put_counted(blob, flushed) for blob in blobs],
+                    "order": [self._put_counted(blob, flushed) for blob in order_blobs],
+                }
+            checkpoints_payload[pid] = {
+                "sequence": checkpoint.sequence,
+                "time": checkpoint.time,
+                "vt": checkpoint.vt.as_dict(),
+                "lamport": checkpoint.lamport,
+                "rng_draws": checkpoint.rng_draws,
+                "sent_count": checkpoint.sent_count,
+                "received_count": checkpoint.received_count,
+                "extra": _json_safe(checkpoint.extra),
+                "state": state_payload,
+            }
+        self._line_index += 1
+        manifest = {
+            "schema": MANIFEST_SCHEMA,
+            "run_id": self.run_id,
+            "index": self._line_index,
+            "label": getattr(line, "label", ""),
+            "checkpoints": checkpoints_payload,
+        }
+        _atomic_write(
+            self.run_dir / f"line-{self._line_index:06d}.json",
+            (json.dumps(manifest, sort_keys=True, indent=2) + "\n").encode("utf-8"),
+        )
+        self.lines_committed += 1
+        self.chunks_written += flushed["chunks_written"]
+        self.chunks_deduped += flushed["chunks_deduped"]
+        self.chunks_reused += flushed["chunks_reused"]
+        self.logical_bytes += flushed["logical_bytes"]
+        if self.keep_lines is not None:
+            self.rotate(self.keep_lines)
+        return flushed
+
+    def _pickle_chunk(self, key: str, value: Any) -> bytes:
+        try:
+            return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise CheckpointError(
+                f"state key {key!r} is not serializable for the durable store: {exc}"
+            ) from exc
+
+    def _put_counted(self, blob: bytes, flushed: Dict[str, int]) -> str:
+        flushed["logical_bytes"] += len(blob)
+        name = self.blobs.address(blob)
+        if name in self._seen:
+            flushed["chunks_reused"] += 1
+            return name
+        name, written = self.blobs.put(blob)
+        if written:
+            flushed["chunks_written"] += 1
+        else:
+            flushed["chunks_deduped"] += 1
+        self._seen.add(name)
+        return name
+
+    # ------------------------------------------------------------------
+    # rotation / GC
+    # ------------------------------------------------------------------
+    def rotate(self, keep_lines: int) -> int:
+        """Drop all but the newest ``keep_lines`` line manifests, then GC blobs.
+
+        Returns the number of blobs unlinked.  Reachability is computed
+        from the manifests that remain across *every* run under this
+        root, so rotating one run never breaks another run's lines.
+        """
+        if keep_lines < 1:
+            raise CheckpointError("keep_lines must be at least 1")
+        manifests = self._line_paths(self.run_dir)
+        for path in manifests[:-keep_lines]:
+            path.unlink()
+        return self.gc()
+
+    def gc(self) -> int:
+        """Unlink every blob no committed line manifest references any more."""
+        reachable: set = set()
+        runs_root = self.root / "runs"
+        if runs_root.is_dir():
+            for run_dir in runs_root.iterdir():
+                if not run_dir.is_dir():
+                    continue
+                for manifest_path in self._line_paths(run_dir):
+                    manifest = _read_json(manifest_path)
+                    if manifest is None:
+                        continue
+                    for entry in manifest.get("checkpoints", {}).values():
+                        for layout in entry.get("state", {}).values():
+                            reachable.update(layout.get("chunks", ()))
+                            reachable.update(layout.get("order", ()))
+        freed = 0
+        for name in list(self.blobs.blob_names()):
+            if name not in reachable:
+                if self.blobs.delete(name):
+                    freed += 1
+        return freed
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Store counters for Outcome reports and benchmarks."""
+        return {
+            "lines_committed": self.lines_committed,
+            "chunks_written": self.chunks_written,
+            "chunks_deduped": self.chunks_deduped,
+            "chunks_reused": self.chunks_reused,
+            "logical_bytes": self.logical_bytes,
+            "bytes_on_disk": self.blobs.bytes_on_disk(),
+        }
+
+    # ------------------------------------------------------------------
+    # read path (classmethods: resume runs without the writing process)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _line_paths(run_dir: Path) -> List[Path]:
+        return sorted(run_dir.glob("line-*.json"))
+
+    def _highest_line_index(self) -> int:
+        paths = self._line_paths(self.run_dir)
+        if not paths:
+            return 0
+        manifest = _read_json(paths[-1])
+        if manifest is not None and isinstance(manifest.get("index"), int):
+            return manifest["index"]
+        return len(paths)
+
+    @classmethod
+    def run_ids(cls, root) -> List[str]:
+        runs_root = Path(root) / "runs"
+        if not runs_root.is_dir():
+            return []
+        return sorted(entry.name for entry in runs_root.iterdir() if entry.is_dir())
+
+    @classmethod
+    def run_metadata(cls, root, run_id: str) -> Dict[str, Any]:
+        path = Path(root) / "runs" / run_id / "run.json"
+        metadata = _read_json(path)
+        if metadata is None:
+            raise CheckpointError(
+                f"run {run_id!r} has no readable run.json under {str(root)!r}"
+            )
+        return metadata
+
+    @classmethod
+    def last_line_manifest(cls, root, run_id: str) -> Dict[str, Any]:
+        """The newest committed line manifest of ``run_id`` (raises when none)."""
+        run_dir = Path(root) / "runs" / run_id
+        if not run_dir.is_dir():
+            raise CheckpointError(f"no durable run {run_id!r} under {str(root)!r}")
+        for path in reversed(cls._line_paths(run_dir)):
+            manifest = _read_json(path)
+            if manifest is not None:
+                return manifest
+        raise CheckpointError(
+            f"run {run_id!r} has no committed recovery lines to resume from"
+        )
+
+    @classmethod
+    def restore_line(cls, root, run_id: str) -> Tuple[Dict[str, Any], Dict[str, ProcessCheckpoint]]:
+        """Rebuild the newest committed line's checkpoints from disk.
+
+        Every referenced blob is read through the validating
+        :meth:`BlobStore.get`, so corrupt bytes raise instead of
+        restoring garbage.  Returns ``(manifest, {pid: ProcessCheckpoint})``.
+        """
+        manifest = cls.last_line_manifest(root, run_id)
+        blobs = BlobStore(root)
+        checkpoints: Dict[str, ProcessCheckpoint] = {}
+        for pid, entry in manifest.get("checkpoints", {}).items():
+            state: Dict[str, Any] = {}
+            for key, layout in entry.get("state", {}).items():
+                chunks = [pickle.loads(blobs.get(name)) for name in layout.get("chunks", ())]
+                if layout.get("kind", "whole") == "whole":
+                    state[key] = chunks[0] if chunks else None
+                    continue
+                order_keys: List[Any] = []
+                for name in layout.get("order", ()):
+                    order_keys.extend(pickle.loads(blobs.get(name)))
+                state[key] = assemble_chunked(layout["kind"], chunks, order_keys)
+            checkpoints[pid] = ProcessCheckpoint(
+                pid=pid,
+                sequence=entry["sequence"],
+                time=entry["time"],
+                state=state,
+                vt=VectorTimestamp.from_mapping(entry.get("vt", {})),
+                lamport=entry.get("lamport", 0),
+                rng_draws=entry.get("rng_draws", 0),
+                sent_count=entry.get("sent_count", 0),
+                received_count=entry.get("received_count", 0),
+                extra=dict(entry.get("extra", {})),
+            )
+        return manifest, checkpoints
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Parse a manifest, returning None for missing files (atomic writes mean
+    a manifest that exists is whole, but the caller may race a rotation)."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None

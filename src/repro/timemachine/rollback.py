@@ -43,12 +43,16 @@ class RollbackManager:
     request along a different path.
     """
 
-    def __init__(self, cluster) -> None:
+    def __init__(self, cluster, durable=None) -> None:
         self._cluster = cluster
         self._alternate_paths: Dict[str, Callable[[object], None]] = {}
         self.history: List[RollbackResult] = []
         #: recovery lines the caller promised never to roll back past
         self.committed_lines: List[RecoveryLine] = []
+        #: optional DurableCheckpointStore; committed lines flush to it
+        self._durable = durable
+        #: per-flush counter dicts returned by the durable store
+        self.durable_flushes: List[Dict[str, int]] = []
 
     def register_alternate_path(self, pid: str, callback: Callable[[object], None]) -> None:
         """Register a callback invoked with the process object after it is rolled back."""
@@ -156,7 +160,14 @@ class RollbackManager:
         number of Scroll entries collected (0 when the cluster has no
         registered Scroll, the Scroll is untiered, or nothing had
         spilled below the line yet).
+
+        When a durable checkpoint store is attached, the committed line
+        is flushed to disk *before* any garbage collection: a commit
+        whose flush fails must not have discarded the replay window it
+        promised to preserve.
         """
+        if self._durable is not None:
+            self.durable_flushes.append(self._durable.flush_line(line))
         self.committed_lines.append(line)
         if not collect_scroll:
             return 0

@@ -20,13 +20,18 @@ from enum import Enum
 from typing import Dict, Optional
 
 from repro.errors import CheckpointError
+from repro.timemachine.blobstore import DurableCheckpointStore
 from repro.timemachine.checkpoint import CheckpointStore, GlobalCheckpoint
 from repro.timemachine.comm_induced import (
     CommunicationInducedCheckpointing,
     PeriodicCheckpointing,
 )
 from repro.timemachine.coordinated import CoordinatedSnapshotter
-from repro.timemachine.cow import CowPageStore
+from repro.timemachine.cow import (
+    DEFAULT_CHUNK_ELEMS,
+    DEFAULT_CHUNK_THRESHOLD,
+    CowPageStore,
+)
 from repro.timemachine.recovery_line import RecoveryLine, compute_recovery_line
 from repro.timemachine.rollback import RollbackManager, RollbackResult
 from repro.timemachine.speculation import SpeculationManager
@@ -49,6 +54,20 @@ class TimeMachineConfig:
     use_cow_store: bool = True
     cow_page_size: int = 1024
     checkpoint_capacity_per_process: Optional[int] = None
+    #: containers with at least this many elements capture per chunk
+    #: (None disables delta chunking entirely)
+    chunk_threshold: Optional[int] = DEFAULT_CHUNK_THRESHOLD
+    #: target element count per chunk / hash bucket
+    chunk_elems: int = DEFAULT_CHUNK_ELEMS
+    #: "memory" keeps checkpoints in-process; "disk" also flushes every
+    #: committed recovery line to a durable content-addressed blob store
+    checkpoint_store: str = "memory"
+    #: root directory of the durable store (required for "disk")
+    store_path: Optional[str] = None
+    #: durable manifests are written under runs/<run_id>/
+    run_id: str = "run"
+    #: keep only the newest N committed lines on disk (None keeps all)
+    durable_keep_lines: Optional[int] = None
 
 
 class TimeMachine:
@@ -56,10 +75,35 @@ class TimeMachine:
 
     def __init__(self, config: Optional[TimeMachineConfig] = None) -> None:
         self.config = config or TimeMachineConfig()
+        if self.config.checkpoint_store not in ("memory", "disk"):
+            raise CheckpointError(
+                f"unknown checkpoint_store {self.config.checkpoint_store!r} "
+                "(expected 'memory' or 'disk')"
+            )
         self.store = CheckpointStore(self.config.checkpoint_capacity_per_process)
         self.cow_store = (
-            CowPageStore(self.config.cow_page_size) if self.config.use_cow_store else None
+            CowPageStore(
+                self.config.cow_page_size,
+                chunk_threshold=self.config.chunk_threshold,
+                chunk_elems=self.config.chunk_elems,
+            )
+            if self.config.use_cow_store
+            else None
         )
+        self.durable_store: Optional[DurableCheckpointStore] = None
+        if self.config.checkpoint_store == "disk":
+            if not self.config.store_path:
+                raise CheckpointError(
+                    "checkpoint_store='disk' requires an explicit store_path "
+                    "(no implicit default directory)"
+                )
+            self.durable_store = DurableCheckpointStore(
+                self.config.store_path,
+                run_id=self.config.run_id,
+                chunk_threshold=self.config.chunk_threshold,
+                chunk_elems=self.config.chunk_elems,
+                keep_lines=self.config.durable_keep_lines,
+            )
         self.speculations = SpeculationManager(self.store, self.cow_store)
         self._cluster = None
         self._rollback_manager: Optional[RollbackManager] = None
@@ -72,7 +116,7 @@ class TimeMachine:
     def attach(self, cluster) -> None:
         """Install the checkpoint policy and speculation manager on a cluster."""
         self._cluster = cluster
-        self._rollback_manager = RollbackManager(cluster)
+        self._rollback_manager = RollbackManager(cluster, durable=self.durable_store)
         if self.config.policy is CheckpointPolicy.COMMUNICATION_INDUCED:
             self._policy_hook = CommunicationInducedCheckpointing(self.store, self.cow_store)
             cluster.add_hook(self._policy_hook)
@@ -159,4 +203,6 @@ class TimeMachine:
             # per-key cache avoided across the run
             stats["cow_hashed_bytes"] = self.cow_store.hashed_bytes_total
             stats["cow_serialized_bytes"] = self.cow_store.serialized_bytes_total
+        if self.durable_store is not None:
+            stats["durable"] = self.durable_store.stats()
         return stats

@@ -119,3 +119,10 @@ def make_cluster(factories, seed: int = 0, **config_kwargs) -> Cluster:
     for pid, factory in factories.items():
         cluster.add_process(pid, factory)
     return cluster
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    """A scratch durable-checkpoint-store root, so `durable` tests never
+    touch a shared directory and tier-1 stays hermetic."""
+    return str(tmp_path / "checkpoint-store")

@@ -1,0 +1,239 @@
+"""Unit tests for the durable content-addressed blob store.
+
+Every store lives under the ``store_path`` fixture (a pytest tmp_path), so
+these tests are hermetic; they are marked ``durable`` and run via
+``make resume-smoke`` rather than the default tier-1 selection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.dsim.clock import VectorTimestamp
+from repro.dsim.process import ProcessCheckpoint
+from repro.errors import BlobIntegrityError, CheckpointError
+from repro.timemachine import (
+    BlobStore,
+    CowPageStore,
+    DurableCheckpointStore,
+    RecoveryLine,
+)
+
+pytestmark = pytest.mark.durable
+
+
+def make_line(label: str, sequence: int, state: dict) -> RecoveryLine:
+    checkpoint = ProcessCheckpoint(
+        pid="p0",
+        sequence=sequence,
+        time=float(sequence),
+        state=dict(state),
+        vt=VectorTimestamp.from_mapping({"p0": sequence}),
+        lamport=sequence,
+        rng_draws=sequence,
+        sent_count=sequence,
+        received_count=0,
+        extra={"label": label},
+    )
+    return RecoveryLine(
+        checkpoints={"p0": checkpoint},
+        rolled_back_steps={},
+        iterations=1,
+        domino_effect=False,
+        label=label,
+    )
+
+
+class TestBlobStore:
+    def test_put_get_roundtrip(self, store_path):
+        store = BlobStore(store_path)
+        name, written = store.put(b"hello blob")
+        assert written
+        assert store.exists(name)
+        assert store.get(name) == b"hello blob"
+
+    def test_put_is_content_addressed_and_deduped(self, store_path):
+        store = BlobStore(store_path)
+        first, wrote_first = store.put(b"same bytes")
+        second, wrote_second = store.put(b"same bytes")
+        assert first == second
+        assert wrote_first and not wrote_second  # second put touched no disk
+        assert len(list(store.blob_names())) == 1
+
+    def test_distinct_content_distinct_names(self, store_path):
+        store = BlobStore(store_path)
+        assert store.put(b"one")[0] != store.put(b"two")[0]
+        assert len(list(store.blob_names())) == 2
+
+    def test_get_unknown_name_raises(self, store_path):
+        store = BlobStore(store_path)
+        with pytest.raises(CheckpointError):
+            store.get("0" * 64)
+
+    def test_get_detects_corruption(self, store_path):
+        store = BlobStore(store_path)
+        name, _ = store.put(b"precious bytes")
+        (path,) = [p for p in _blob_paths(store_path) if name in p]
+        with open(path, "wb") as fh:
+            fh.write(b"tampered!")
+        with pytest.raises(BlobIntegrityError):
+            store.get(name)
+
+    def test_validate_integrity_reports_and_repairs(self, store_path):
+        store = BlobStore(store_path)
+        good, _ = store.put(b"good")
+        bad, _ = store.put(b"soon to be corrupted")
+        (bad_path,) = [p for p in _blob_paths(store_path) if bad in p]
+        with open(bad_path, "wb") as fh:
+            fh.write(b"garbage")
+        report = store.validate_integrity()
+        assert report.blobs_checked == 2
+        assert report.corrupt == [bad]
+        assert not report.ok
+        report = store.validate_integrity(repair=True)
+        assert report.removed
+        assert store.validate_integrity().ok
+        assert store.get(good) == b"good"
+
+    def test_validate_integrity_sweeps_tmp_orphans(self, store_path):
+        store = BlobStore(store_path)
+        store.put(b"real blob")
+        orphan = os.path.join(store_path, "blobs", "zz", "orphan.tmp")
+        os.makedirs(os.path.dirname(orphan), exist_ok=True)
+        with open(orphan, "wb") as fh:
+            fh.write(b"half-writ")
+        report = store.validate_integrity()
+        assert report.tmp_orphans == 1
+        assert not os.path.exists(orphan)  # always swept, even without repair
+        assert store.validate_integrity().ok
+
+    def test_bytes_on_disk_counts_blob_payloads(self, store_path):
+        store = BlobStore(store_path)
+        store.put(b"x" * 100)
+        store.put(b"y" * 50)
+        assert store.bytes_on_disk() == 150
+
+
+class TestDurableCheckpointStore:
+    def test_flush_and_restore_line(self, store_path):
+        durable = DurableCheckpointStore(store_path, run_id="r1")
+        durable.set_run_metadata({"scenario": {"name": "r1"}})
+        durable.flush_line(make_line("first", 1, {"count": 1}))
+        durable.flush_line(make_line("second", 2, {"count": 2}))
+        manifest, checkpoints = DurableCheckpointStore.restore_line(store_path, "r1")
+        assert manifest["label"] == "second"
+        assert checkpoints["p0"].state == {"count": 2}
+        assert checkpoints["p0"].sequence == 2
+        assert checkpoints["p0"].vt.as_dict() == {"p0": 2}
+
+    def test_restore_without_committed_lines_raises(self, store_path):
+        DurableCheckpointStore(store_path, run_id="empty")
+        with pytest.raises(CheckpointError):
+            DurableCheckpointStore.restore_line(store_path, "empty")
+
+    def test_restore_unknown_run_raises(self, store_path):
+        DurableCheckpointStore(store_path, run_id="known")
+        with pytest.raises(CheckpointError):
+            DurableCheckpointStore.restore_line(store_path, "never-heard-of-it")
+
+    def test_run_metadata_roundtrip(self, store_path):
+        durable = DurableCheckpointStore(store_path, run_id="meta")
+        durable.set_run_metadata({"scenario": {"name": "meta", "seed": 7}})
+        metadata = DurableCheckpointStore.run_metadata(store_path, "meta")
+        assert metadata["scenario"] == {"name": "meta", "seed": 7}
+        assert metadata["run_id"] == "meta"
+        assert "meta" in DurableCheckpointStore.run_ids(store_path)
+
+    def test_identical_lines_dedupe_on_disk(self, store_path):
+        durable = DurableCheckpointStore(store_path, run_id="dedup")
+        state = {"table": {f"k{i:04d}": i for i in range(400)}}
+        durable.flush_line(make_line("a", 1, state))
+        stats_first = durable.stats()
+        durable.flush_line(make_line("b", 2, state))
+        stats_second = durable.stats()
+        # same content: nothing new hits the disk beyond the manifest
+        assert stats_second["bytes_on_disk"] == stats_first["bytes_on_disk"]
+        assert stats_second["logical_bytes"] > stats_first["logical_bytes"]
+        assert (
+            stats_second["chunks_reused"] + stats_second["chunks_deduped"]
+            > stats_first["chunks_reused"] + stats_first["chunks_deduped"]
+        )
+
+    def test_small_delta_writes_few_chunks(self, store_path):
+        durable = DurableCheckpointStore(
+            store_path, run_id="delta", chunk_threshold=100, chunk_elems=8
+        )
+        state = {"table": {f"k{i:04d}": i for i in range(400)}}
+        durable.flush_line(make_line("base", 1, state))
+        written_base = durable.stats()["chunks_written"]
+        state["table"]["k0200"] = -1
+        flushed = durable.flush_line(make_line("delta", 2, state))
+        assert flushed["chunks_written"] <= 3  # dirty bucket + scalar keys
+        assert durable.stats()["chunks_written"] - written_base <= 3
+
+    def test_rotate_keeps_newest_lines_and_gc_frees_blobs(self, store_path):
+        durable = DurableCheckpointStore(
+            store_path, run_id="rot", chunk_threshold=100, chunk_elems=8
+        )
+        state = {"table": {f"k{i:04d}": f"gen0-{i}" for i in range(300)}}
+        for generation in range(1, 5):
+            for i in range(300):
+                state["table"][f"k{i:04d}"] = f"gen{generation}-{i}"
+            durable.flush_line(make_line(f"gen{generation}", generation, state))
+        bytes_before = durable.blobs.bytes_on_disk()
+        removed = durable.rotate(keep_lines=1)  # rotate runs GC itself
+        assert removed > 0
+        assert durable.blobs.bytes_on_disk() < bytes_before
+        manifest, checkpoints = DurableCheckpointStore.restore_line(store_path, "rot")
+        assert manifest["label"] == "gen4"
+        assert checkpoints["p0"].state["table"]["k0000"] == "gen4-0"
+        assert durable.blobs.validate_integrity().ok
+
+    def test_gc_preserves_blobs_shared_across_runs(self, store_path):
+        shared = {"table": {f"k{i:04d}": i for i in range(300)}}
+        unrelated = {"table": {f"x{i:04d}": -i for i in range(300)}}
+        run_a = DurableCheckpointStore(store_path, run_id="a")
+        run_a.flush_line(make_line("a1", 1, shared))
+        run_a.flush_line(make_line("a2", 2, unrelated))
+        run_b = DurableCheckpointStore(store_path, run_id="b")
+        run_b.flush_line(make_line("b1", 1, shared))
+        # rotating run a down to its newest line drops its reference to the
+        # shared state, but run b still holds one: those blobs must survive
+        run_a.rotate(keep_lines=1)
+        _, checkpoints = DurableCheckpointStore.restore_line(store_path, "b")
+        assert checkpoints["p0"].state == shared
+        assert run_a.blobs.validate_integrity().ok
+
+    def test_manifest_blobs_match_inmemory_cow_blobs(self, store_path):
+        """The chunk layout is a pure function of content: the durable store
+        and an in-memory CowPageStore must address identical blobs."""
+        durable = DurableCheckpointStore(
+            store_path, run_id="pure", chunk_threshold=100, chunk_elems=8
+        )
+        state = {"table": {f"k{i:04d}": i for i in range(400)}, "epoch": 3}
+        durable.flush_line(make_line("only", 1, state))
+        manifest, checkpoints = DurableCheckpointStore.restore_line(store_path, "pure")
+        oracle = CowPageStore(chunk_threshold=100, chunk_elems=8)
+        restored = oracle.restore(oracle.capture("p0", state, 0.0))
+        assert checkpoints["p0"].state == restored
+        assert list(checkpoints["p0"].state["table"]) == list(restored["table"])
+
+    def test_manifest_is_json_and_versioned(self, store_path):
+        durable = DurableCheckpointStore(store_path, run_id="schema")
+        durable.flush_line(make_line("only", 1, {"x": 1}))
+        run_dir = os.path.join(store_path, "runs", "schema")
+        manifests = sorted(p for p in os.listdir(run_dir) if p.startswith("line-"))
+        assert manifests == ["line-000001.json"]
+        with open(os.path.join(run_dir, manifests[0])) as fh:
+            payload = json.load(fh)
+        assert payload["schema"] == 1
+        assert "p0" in payload["checkpoints"]
+
+
+def _blob_paths(store_path):
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(store_path, "blobs")):
+        for filename in filenames:
+            yield os.path.join(dirpath, filename)

@@ -97,6 +97,192 @@ class TestDirtyTracking:
         assert checkpoint.new_bytes == 0  # content-addressing shares across pids
 
 
+class TestTrustedScalarFastPath:
+    """tuples and frozensets of scalars are immutable: equality with the
+    cached value must skip re-pickling entirely (the old _SCALAR_TYPES
+    fast path missed them and re-serialized clean keys every capture)."""
+
+    def test_clean_tuple_of_scalars_skips_pickling(self):
+        store = CowPageStore(page_size=64)
+        state = {"pair": ("host", 8080), "nested": (1, ("a", 2.5), None)}
+        store.capture("a", state, 0.0)
+        serialized_first = store.serialized_bytes_total
+        second = store.capture("a", state, 1.0)
+        assert store.serialized_bytes_total == serialized_first  # no re-pickle
+        assert second.serialized_bytes == 0
+        assert store.restore(second) == state
+
+    def test_clean_frozenset_of_scalars_skips_pickling(self):
+        store = CowPageStore(page_size=64)
+        state = {"members": frozenset({"a", "b", 3})}
+        store.capture("a", state, 0.0)
+        serialized_first = store.serialized_bytes_total
+        second = store.capture("a", state, 1.0)
+        assert store.serialized_bytes_total == serialized_first
+        assert store.restore(second) == state
+
+    def test_tuple_containing_mutable_is_not_trusted(self):
+        store = CowPageStore(page_size=64)
+        inner = [1, 2]
+        state = {"t": ("tag", inner)}
+        store.capture("a", state, 0.0)
+        inner.append(3)  # mutation through the tuple must be captured
+        second = store.capture("a", state, 1.0)
+        assert store.restore(second) == {"t": ("tag", [1, 2, 3])}
+
+    def test_replaced_tuple_is_detected(self):
+        store = CowPageStore(page_size=64)
+        state = {"pair": (1, 2)}
+        store.capture("a", state, 0.0)
+        state["pair"] = (1, 3)
+        second = store.capture("a", state, 1.0)
+        assert store.restore(second) == {"pair": (1, 3)}
+
+    def test_frozenset_negative_zero_not_conflated(self):
+        store = CowPageStore(page_size=64)
+        state = {"s": frozenset({0.0})}
+        store.capture("a", state, 0.0)
+        state["s"] = frozenset({-0.0})  # equal sets, different pickles
+        second = store.capture("a", state, 1.0)
+        (member,) = store.restore(second)["s"]
+        assert str(member) == "-0.0"
+
+    def test_tuple_bool_vs_int_not_conflated(self):
+        store = CowPageStore(page_size=64)
+        state = {"t": (1,)}
+        store.capture("a", state, 0.0)
+        state["t"] = (True,)
+        second = store.capture("a", state, 1.0)
+        assert store.restore(second)["t"][0] is True
+
+
+class TestChunkedCapture:
+    """Delta-chunked large containers: captures scale with the element delta."""
+
+    def test_large_list_single_mutation_pickles_one_chunk(self):
+        store = CowPageStore(page_size=1024, chunk_threshold=100, chunk_elems=8)
+        state = {"items": [f"value-{i:05d}" for i in range(1000)]}
+        store.capture("a", state, 0.0)
+        serialized_full = store.serialized_bytes_total
+        state["items"][500] = "mutated!"
+        second = store.capture("a", state, 1.0)
+        # one dirty chunk of 8 elements, not the whole 1000-element key
+        assert second.serialized_bytes < serialized_full / 20
+        assert second.hashed_bytes < serialized_full / 20
+        assert store.restore(second) == state
+
+    def test_large_dict_mutation_value_and_order_preserved(self):
+        store = CowPageStore(page_size=1024, chunk_threshold=100, chunk_elems=8)
+        state = {"table": {f"k{i:04d}": i for i in range(500)}}
+        store.capture("a", state, 0.0)
+        state["table"]["k0250"] = -1
+        second = store.capture("a", state, 1.0)
+        restored = store.restore(second)
+        assert restored == state
+        # insertion order is part of dict identity and must round-trip
+        assert list(restored["table"]) == list(state["table"])
+
+    def test_large_dict_insert_and_delete(self):
+        store = CowPageStore(page_size=1024, chunk_threshold=100, chunk_elems=8)
+        state = {"table": {f"k{i:04d}": i for i in range(300)}}
+        store.capture("a", state, 0.0)
+        del state["table"]["k0123"]
+        state["table"]["brand-new"] = 999
+        second = store.capture("a", state, 1.0)
+        restored = store.restore(second)
+        assert restored == state
+        assert list(restored["table"]) == list(state["table"])
+
+    def test_dict_value_mutation_leaves_order_chunks_clean(self):
+        store = CowPageStore(page_size=1024, chunk_threshold=100, chunk_elems=8)
+        state = {"table": {f"k{i:04d}": i for i in range(500)}}
+        store.capture("a", state, 0.0)
+        clean_before = store.chunks_clean_total
+        total_before = store.chunks_captured_total
+        state["table"]["k0001"] = -5  # value-only mutation: order untouched
+        store.capture("a", state, 1.0)
+        captured = store.chunks_captured_total - total_before
+        clean = store.chunks_clean_total - clean_before
+        assert captured - clean <= 2  # the one dirty bucket (+ rounding slack)
+
+    def test_large_set_add_and_remove(self):
+        store = CowPageStore(page_size=1024, chunk_threshold=100, chunk_elems=8)
+        state = {"seen": {f"id-{i:05d}" for i in range(400)}}
+        store.capture("a", state, 0.0)
+        state["seen"].discard("id-00123")
+        state["seen"].add("id-99999")
+        second = store.capture("a", state, 1.0)
+        assert store.restore(second) == state
+
+    def test_set_of_unhashable_reprs_falls_back_to_whole_value(self):
+        # sets whose elements are not trusted scalars are captured whole
+        store = CowPageStore(page_size=1024, chunk_threshold=10, chunk_elems=4)
+        state = {"pairs": {(i, ("nested", i)) for i in range(50)}}
+        checkpoint = store.capture("a", state, 0.0)
+        assert store.restore(checkpoint) == state
+
+    def test_below_threshold_containers_capture_whole(self):
+        store = CowPageStore(page_size=64, chunk_threshold=100, chunk_elems=8)
+        state = {"small": list(range(50))}
+        checkpoint = store.capture("a", state, 0.0)
+        assert checkpoint.key_layouts["small"].kind == "whole"
+        assert store.restore(checkpoint) == state
+
+    def test_chunking_disabled_with_none_threshold(self):
+        store = CowPageStore(page_size=1024, chunk_threshold=None)
+        state = {"items": list(range(1000))}
+        checkpoint = store.capture("a", state, 0.0)
+        assert checkpoint.key_layouts["items"].kind == "whole"
+        assert store.restore(checkpoint) == state
+
+    def test_list_growth_across_chunk_boundary(self):
+        store = CowPageStore(page_size=1024, chunk_threshold=10, chunk_elems=4)
+        state = {"log": [f"entry-{i}" for i in range(20)]}
+        store.capture("a", state, 0.0)
+        state["log"].extend(f"entry-{i}" for i in range(20, 35))
+        second = store.capture("a", state, 1.0)
+        assert store.restore(second) == state
+
+    def test_dict_growth_across_bucket_doubling(self):
+        store = CowPageStore(page_size=1024, chunk_threshold=10, chunk_elems=4)
+        state = {"table": {f"k{i}": i for i in range(16)}}
+        store.capture("a", state, 0.0)
+        for i in range(16, 100):  # forces a power-of-two bucket re-chunk
+            state["table"][f"k{i}"] = i
+        second = store.capture("a", state, 1.0)
+        restored = store.restore(second)
+        assert restored == state
+        assert list(restored["table"]) == list(state["table"])
+
+    def test_gc_frees_chunked_pages_and_keeps_later_checkpoints(self):
+        store = CowPageStore(page_size=256, chunk_threshold=50, chunk_elems=8)
+        state = {"table": {f"k{i:04d}": f"v-{i}" for i in range(200)}}
+        first = store.capture("a", state, 0.0)
+        state["table"]["k0007"] = "mutated"
+        second = store.capture("a", state, 1.0)
+        freed = store.drop_before("a", second.sequence)
+        assert freed >= 1  # the stale bucket's page(s)
+        assert store.restore(second) == state
+        with pytest.raises(CheckpointError):
+            store.restore(first)
+
+    def test_chunked_restore_after_many_rounds_matches(self):
+        store = CowPageStore(page_size=1024, chunk_threshold=64, chunk_elems=8)
+        state = {"table": {f"k{i:04d}": i for i in range(256)}, "round": 0}
+        checkpoints = [store.capture("a", state, 0.0)]
+        snapshots = [{k: dict(v) if isinstance(v, dict) else v for k, v in state.items()}]
+        for round_index in range(1, 6):
+            state["round"] = round_index
+            for j in range(5):
+                state["table"][f"k{(round_index * 37 + j * 11) % 256:04d}"] = round_index * 100 + j
+            checkpoints.append(store.capture("a", state, float(round_index)))
+            snapshots.append({k: dict(v) if isinstance(v, dict) else v for k, v in state.items()})
+        for checkpoint, snapshot in zip(checkpoints, snapshots):
+            restored = store.restore(checkpoint)
+            assert restored == snapshot
+            assert list(restored["table"]) == list(snapshot["table"])
+
+
 class TestAliasedStates:
     def test_cross_key_aliasing_survives_restore(self):
         store = CowPageStore(page_size=32)
