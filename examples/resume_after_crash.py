@@ -58,7 +58,8 @@ def main() -> None:
         )
 
         # the Experiment object is gone now — only the store directory and
-        # the run id survive the "crash"
+        # the scenario name survive the "crash"; the name resolves to this
+        # execution's uniquely-suffixed run id (also in outcome.run_id)
         resumed = Experiment.resume("kv-durable-demo", store)
         print(
             f"\nresumed run {resumed.run_id!r} from committed line "

@@ -13,6 +13,7 @@ data, so they ship to workers as-is).
 
 from __future__ import annotations
 
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Sequence
@@ -42,6 +43,19 @@ class ScenarioRun:
         return {pid: self.cluster.factory_for(pid) for pid in self.cluster.pids}
 
 
+def _new_run_id(scenario: Scenario) -> str:
+    """A unique, filesystem-safe run id for one execution of ``scenario``.
+
+    The scenario name alone would make repeated executions — or distinct
+    scenarios sharing a name — write into the same ``runs/<id>/``
+    directory, overwriting run.json and interleaving line indices; the
+    random suffix gives every execution its own durable run.
+    ``Experiment.resume`` accepts the bare scenario name and resolves it
+    to the most recently active matching run.
+    """
+    return f"{scenario.name}-{uuid.uuid4().hex[:8]}"
+
+
 def _fixd_config(scenario: Scenario) -> FixDConfig:
     policy = (
         RecordingPolicy(hot_window=scenario.hot_window)
@@ -57,7 +71,7 @@ def _fixd_config(scenario: Scenario) -> FixDConfig:
         auto_commit_interval=scenario.auto_commit_interval,
         checkpoint_store=scenario.checkpoint_store,
         checkpoint_store_path=scenario.store_path,
-        run_id=scenario.name,
+        run_id=_new_run_id(scenario),
     )
 
 
@@ -140,20 +154,25 @@ class ResumedRun:
 def resume_run(run_id: str, store_path: str) -> ResumedRun:
     """Rebuild a cluster from the last *committed* recovery line on disk.
 
-    The durable store under ``store_path`` is the authority: the
-    scenario recorded in ``runs/<run_id>/run.json`` rebuilds the same
-    application on a fresh simulator cluster, and the newest committed
-    line manifest (every blob integrity-validated on read) restores
-    process states, vector clocks, RNG draw positions and message
-    counters.  Partial flushes are invisible by construction — a line
-    manifest is written atomically *after* its blobs — so a run that
-    crashed mid-commit resumes from the previous committed line.
+    ``run_id`` may be the exact run id or the scenario name: every
+    execution gets a uniquely-suffixed run id (see
+    :attr:`~repro.api.outcome.Outcome.run_id`), and a bare name resolves
+    to the most recently active run recorded for it.  The durable store
+    under ``store_path`` is the authority: the scenario recorded in
+    ``runs/<run_id>/run.json`` rebuilds the same application on a fresh
+    simulator cluster, and the newest committed line manifest (every
+    blob integrity-validated on read) restores process states, vector
+    clocks, RNG draw positions and message counters.  Partial flushes
+    are invisible by construction — a line manifest is written
+    atomically *after* its blobs — so a run that crashed mid-commit
+    resumes from the previous committed line.
 
     Raises :class:`~repro.errors.CheckpointError` when the run is
     unknown or has no committed lines yet.
     """
     from repro.timemachine import DurableCheckpointStore
 
+    run_id = DurableCheckpointStore.resolve_run_id(store_path, run_id)
     metadata = DurableCheckpointStore.run_metadata(store_path, run_id)
     scenario_payload = metadata.get("scenario")
     if not scenario_payload:
@@ -271,8 +290,10 @@ class Experiment:
     def resume(run_id: str, store_path: str) -> ResumedRun:
         """Resume a crashed run from its durable checkpoint store.
 
-        See :func:`resume_run`; exposed here because "the experiment
-        died, pick it back up" is an experiment-level operation.
+        ``run_id`` is the exact id (``Outcome.run_id``) or the scenario
+        name, which resolves to its most recently active run.  See
+        :func:`resume_run`; exposed here because "the experiment died,
+        pick it back up" is an experiment-level operation.
         """
         return resume_run(run_id, store_path)
 

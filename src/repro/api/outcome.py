@@ -68,6 +68,11 @@ class Outcome:
     #: memory-store runs.  Excluded from the projection: bytes on disk
     #: depend on what earlier runs left in a shared store.
     store: Optional[Dict[str, int]] = None
+    #: the unique durable run id this execution wrote under (scenario
+    #: name + random suffix) — what ``Experiment.resume`` restores by;
+    #: None on memory-store runs.  Excluded from the projection: the
+    #: suffix differs between executions by design.
+    run_id: Optional[str] = None
     #: expectation evaluation (empty == passed)
     failures: List[str] = field(default_factory=list)
 
@@ -138,6 +143,7 @@ class Outcome:
                 "auto_commits": self.auto_commits,
                 "scroll_entries_collected": self.scroll_entries_collected,
                 "store": dict(self.store) if self.store else None,
+                "run_id": self.run_id,
             }
         )
         return payload
@@ -211,6 +217,7 @@ class Outcome:
         consistent = bool(check(final_states))
 
         storage = scroll.storage_stats()
+        durable = getattr(fixd.time_machine, "durable_store", None)
         outcome = Outcome(
             scenario_id=scenario.name,
             app=scenario.app,
@@ -249,11 +256,8 @@ class Outcome:
                 "storage": storage,
             },
             transport=dict(getattr(cluster.backend, "transport_stats", None) or {}) or None,
-            store=(
-                durable.stats()
-                if (durable := getattr(fixd.time_machine, "durable_store", None)) is not None
-                else None
-            ),
+            store=durable.stats() if durable is not None else None,
+            run_id=durable.run_id if durable is not None else None,
         )
         outcome.failures = _evaluate_expectations(scenario, outcome, can_rollback)
         return outcome

@@ -71,11 +71,13 @@ class Scenario:
     checkpoint_store / store_path:
         ``"memory"`` keeps recovery lines in-process; ``"disk"`` flushes
         every committed line to a durable content-addressed blob store
-        rooted at ``store_path`` (required for ``"disk"``), keyed by the
-        scenario name as the run id — which is what
-        :meth:`Experiment.resume` restores from.  Simulator only, and
-        only lines actually *committed* (``auto_commit_interval`` or a
-        manual commit) become durable.
+        rooted at ``store_path`` (required for ``"disk"``).  Each
+        execution writes under a unique run id — the scenario name plus
+        a random suffix, reported as ``Outcome.run_id`` — and
+        :meth:`Experiment.resume` accepts either that id or the bare
+        name (resolved to the most recently active matching run).
+        Simulator only, and only lines actually *committed*
+        (``auto_commit_interval`` or a manual commit) become durable.
     """
 
     app: str
@@ -138,6 +140,11 @@ class Scenario:
             if self.transport != "pipe":
                 suffix += f"-{self.transport}"
             object.__setattr__(self, "name", f"{self.app}-{self.faults.label}{suffix}")
+        if any(sep in self.name for sep in ("/", "\\", "\0")) or self.name in (".", ".."):
+            raise ScenarioError(
+                f"scenario name {self.name!r} must not contain path separators: "
+                "it becomes a durable run id, a filesystem path component"
+            )
         if self.backend == "mp" and self.until is None:
             raise ScenarioError(
                 f"scenario {self.name!r}: the mp backend detects quiescence in wall "

@@ -10,10 +10,11 @@ content-addressing idea taken to disk:
   by the first address byte).  Identical chunks — across keys,
   checkpoints, processes and even runs — share one file, so dedup comes
   free from the naming scheme;
-* blob writes are **atomic**: bytes go to a ``*.tmp`` file in the same
-  directory, are fsynced, then ``os.replace``d into the final name.  A
-  writer killed mid-flush leaves at worst an orphaned or truncated tmp
-  file, never a half-written addressed blob;
+* blob writes are **atomic and durable**: bytes go to a ``*.tmp`` file
+  in the same directory, are fsynced, ``os.replace``d into the final
+  name, and the parent directory is fsynced so the rename itself
+  survives power loss.  A writer killed mid-flush leaves at worst an
+  orphaned or truncated tmp file, never a half-written addressed blob;
 * reads **validate integrity**: a blob whose bytes no longer hash to its
   file name raises :class:`repro.errors.BlobIntegrityError` instead of
   silently restoring corrupt state;
@@ -24,9 +25,16 @@ content-addressing idea taken to disk:
   counters) needed to rebuild :class:`repro.dsim.process.ProcessCheckpoint`
   objects for :meth:`Experiment.resume`;
 * **rotation/GC is refcount-driven below committed lines**: dropping old
-  line manifests (``rotate``) recomputes blob reachability from the
-  manifests that remain — across *all* runs sharing the store — and
-  unlinks only blobs no committed line references any more.
+  line manifests (``rotate``) treats only the blobs those manifests
+  referenced as collection candidates, subtracts everything the
+  manifests that remain — across *all* runs sharing the store — still
+  reference, and unlinks the rest.  ``gc()`` is the full-store sweep
+  for offline maintenance.  Sweeps take an **exclusive store lock**
+  (``flock`` on ``store.lock``) while flushes hold it shared for their
+  blobs-then-manifest write window, so a sweep can never run between
+  another process's blob puts and the manifest that makes them
+  reachable; where ``flock`` is unavailable, sweeps instead skip blobs
+  younger than :data:`GC_GRACE_SECONDS`.
 
 Chunk layout on disk is produced by the same pure chunk codec the
 in-memory store uses (:func:`repro.timemachine.cow.chunk_items`), so a
@@ -45,9 +53,16 @@ import hashlib
 import json
 import os
 import pickle
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.dsim.clock import VectorTimestamp
 from repro.dsim.process import ProcessCheckpoint
@@ -62,6 +77,10 @@ from repro.timemachine.cow import (
 
 MANIFEST_SCHEMA = 1
 
+#: without an advisory store lock, sweeps skip blobs younger than this —
+#: another process may have written them for a manifest it has not landed yet
+GC_GRACE_SECONDS = 60.0
+
 _JSON_SCALARS = (str, int, float, bool, type(None))
 
 
@@ -74,6 +93,20 @@ def _json_safe(mapping: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename into it survives power loss, not just a crash."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. directories are not openable
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write(path: Path, data: bytes) -> None:
     """Write ``data`` to ``path`` via tmp+rename so readers never see a torn file."""
     tmp = path.parent / f"{path.name}.{os.getpid()}.tmp"
@@ -82,6 +115,54 @@ def _atomic_write(path: Path, data: bytes) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _manifest_blobs(manifest: Dict[str, Any]) -> Set[str]:
+    """Every blob address a line manifest references."""
+    names: Set[str] = set()
+    for entry in manifest.get("checkpoints", {}).values():
+        for layout in entry.get("state", {}).values():
+            names.update(layout.get("chunks", ()))
+            names.update(layout.get("order", ()))
+    return names
+
+
+class _StoreLock:
+    """Advisory inter-process lock serializing GC sweeps against flushes.
+
+    Flushes hold the lock *shared* over their blobs-then-manifest write
+    window; sweeps hold it *exclusive* — so a sweep can never land
+    between another process's blob puts and the manifest write that
+    makes those blobs reachable.  Backed by ``flock`` on
+    ``<root>/store.lock``; where ``flock`` is unavailable the lock is a
+    no-op and sweeps fall back to the mtime grace window instead.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.path = Path(root) / "store.lock"
+
+    @property
+    def available(self) -> bool:
+        return fcntl is not None
+
+    @contextmanager
+    def _held(self, flags: int):
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, flags)
+            yield
+        finally:
+            os.close(fd)  # closing the fd releases the flock
+
+    def shared(self):
+        return self._held(fcntl.LOCK_SH if fcntl else 0)
+
+    def exclusive(self):
+        return self._held(fcntl.LOCK_EX if fcntl else 0)
 
 
 @dataclass
@@ -133,6 +214,7 @@ class BlobStore:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+        _fsync_dir(path.parent)
         return name, True
 
     def get(self, name: str) -> bytes:
@@ -228,6 +310,11 @@ class DurableCheckpointStore:
     ) -> None:
         if not run_id:
             raise CheckpointError("a durable checkpoint store needs a non-empty run_id")
+        if any(sep in run_id for sep in ("/", "\\", "\0")) or run_id in (".", ".."):
+            raise CheckpointError(
+                f"run_id {run_id!r} is not a safe path component "
+                "(no separators, '.' or '..')"
+            )
         if keep_lines is not None and keep_lines < 1:
             raise CheckpointError("keep_lines must be at least 1 (or None to keep all)")
         self.root = Path(root)
@@ -239,6 +326,7 @@ class DurableCheckpointStore:
         self.keep_lines = keep_lines
         self.run_dir = self.root / "runs" / run_id
         self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = _StoreLock(self.root)
         self._line_index = self._highest_line_index()
         #: blob addresses flushed earlier in this run (the "reused" tier)
         self._seen: set = set()
@@ -272,6 +360,15 @@ class DurableCheckpointStore:
         newest readable one — never a partial line.
         """
         flushed = {"chunks_written": 0, "chunks_deduped": 0, "chunks_reused": 0, "logical_bytes": 0}
+        with self._lock.shared():
+            self._flush_line_locked(line, flushed)
+        if self.keep_lines is not None:
+            self.rotate(self.keep_lines)
+        return flushed
+
+    def _flush_line_locked(self, line, flushed: Dict[str, int]) -> None:
+        # holding the store lock shared keeps concurrent sweeps out of the
+        # window between these blob puts and the manifest write below
         checkpoints_payload: Dict[str, Any] = {}
         for pid, checkpoint in sorted(line.checkpoints.items()):
             state_payload: Dict[str, Any] = {}
@@ -320,9 +417,6 @@ class DurableCheckpointStore:
         self.chunks_deduped += flushed["chunks_deduped"]
         self.chunks_reused += flushed["chunks_reused"]
         self.logical_bytes += flushed["logical_bytes"]
-        if self.keep_lines is not None:
-            self.rotate(self.keep_lines)
-        return flushed
 
     def _pickle_chunk(self, key: str, value: Any) -> bytes:
         try:
@@ -335,7 +429,10 @@ class DurableCheckpointStore:
     def _put_counted(self, blob: bytes, flushed: Dict[str, int]) -> str:
         flushed["logical_bytes"] += len(blob)
         name = self.blobs.address(blob)
-        if name in self._seen:
+        # _seen alone is not proof the blob survives: a rotation (ours or
+        # another run's) may have unlinked it since it was first put, so a
+        # recurring chunk value must be re-written when its file is gone
+        if name in self._seen and self.blobs.exists(name):
             flushed["chunks_reused"] += 1
             return name
         name, written = self.blobs.put(blob)
@@ -350,22 +447,46 @@ class DurableCheckpointStore:
     # rotation / GC
     # ------------------------------------------------------------------
     def rotate(self, keep_lines: int) -> int:
-        """Drop all but the newest ``keep_lines`` line manifests, then GC blobs.
+        """Drop all but the newest ``keep_lines`` line manifests, then sweep.
 
-        Returns the number of blobs unlinked.  Reachability is computed
-        from the manifests that remain across *every* run under this
-        root, so rotating one run never breaks another run's lines.
+        Only blobs the *dropped* manifests referenced are collection
+        candidates, so a rotation reads the dropped manifests plus the
+        surviving manifests of every run under this root — never the
+        whole blob tree.  Per-commit cost is proportional to the live
+        state, not to store history.  Candidates a surviving line (of
+        any run) still references are kept, so rotating one run never
+        breaks another's.  Returns the number of blobs unlinked.
         """
         if keep_lines < 1:
             raise CheckpointError("keep_lines must be at least 1")
-        manifests = self._line_paths(self.run_dir)
-        for path in manifests[:-keep_lines]:
-            path.unlink()
-        return self.gc()
+        with self._lock.exclusive():
+            manifests = self._line_paths(self.run_dir)
+            dropped = manifests[:-keep_lines]
+            candidates: Set[str] = set()
+            for path in dropped:
+                manifest = _read_json(path)
+                if manifest is not None:
+                    candidates |= _manifest_blobs(manifest)
+            for path in dropped:
+                path.unlink()
+            if not candidates:
+                return 0
+            return self._sweep(candidates - self._reachable_blobs())
 
     def gc(self) -> int:
-        """Unlink every blob no committed line manifest references any more."""
-        reachable: set = set()
+        """Unlink every blob no committed line manifest references any more.
+
+        The full O(store size) sweep: it lists every blob on disk.  Use
+        it for offline maintenance and post-crash cleanup; per-commit
+        rotation uses the incremental candidate sweep in :meth:`rotate`.
+        """
+        with self._lock.exclusive():
+            dead = set(self.blobs.blob_names()) - self._reachable_blobs()
+            return self._sweep(dead)
+
+    def _reachable_blobs(self) -> Set[str]:
+        """Every blob referenced by any remaining line manifest of any run."""
+        reachable: Set[str] = set()
         runs_root = self.root / "runs"
         if runs_root.is_dir():
             for run_dir in runs_root.iterdir():
@@ -373,17 +494,32 @@ class DurableCheckpointStore:
                     continue
                 for manifest_path in self._line_paths(run_dir):
                     manifest = _read_json(manifest_path)
-                    if manifest is None:
-                        continue
-                    for entry in manifest.get("checkpoints", {}).values():
-                        for layout in entry.get("state", {}).values():
-                            reachable.update(layout.get("chunks", ()))
-                            reachable.update(layout.get("order", ()))
+                    if manifest is not None:
+                        reachable |= _manifest_blobs(manifest)
+        return reachable
+
+    def _sweep(self, names: Set[str]) -> int:
+        """Unlink ``names`` (caller holds the exclusive lock); returns count.
+
+        Swept addresses leave the in-run ``_seen`` cache, so a chunk
+        value that recurs after its blob died is re-written rather than
+        recorded against a missing file.  Without an advisory lock,
+        blobs younger than :data:`GC_GRACE_SECONDS` are skipped —
+        another process may be mid-flush, blobs written but manifest
+        not yet landed.
+        """
         freed = 0
-        for name in list(self.blobs.blob_names()):
-            if name not in reachable:
-                if self.blobs.delete(name):
-                    freed += 1
+        grace = None if self._lock.available else GC_GRACE_SECONDS
+        for name in names:
+            self._seen.discard(name)
+            if grace is not None:
+                try:
+                    if time.time() - self.blobs._path(name).stat().st_mtime < grace:
+                        continue
+                except OSError:
+                    continue
+            if self.blobs.delete(name):
+                freed += 1
         return freed
 
     # ------------------------------------------------------------------
@@ -422,6 +558,44 @@ class DurableCheckpointStore:
         if not runs_root.is_dir():
             return []
         return sorted(entry.name for entry in runs_root.iterdir() if entry.is_dir())
+
+    @classmethod
+    def resolve_run_id(cls, root, ref: str) -> str:
+        """Resolve ``ref`` — an exact run id *or* a scenario name — to a run id.
+
+        Run ids carry a unique per-execution suffix, so callers coming
+        back after a crash usually hold the scenario name instead.  An
+        exact ``runs/<ref>`` directory wins; otherwise the run whose
+        recorded scenario name equals ``ref`` and whose committed
+        activity is most recent is chosen.  Raises
+        :class:`~repro.errors.CheckpointError` when nothing matches.
+        """
+        root = Path(root)
+        if (root / "runs" / ref).is_dir():
+            return ref
+        best: Optional[Tuple[float, str]] = None
+        runs_root = root / "runs"
+        if runs_root.is_dir():
+            for run_dir in runs_root.iterdir():
+                if not run_dir.is_dir():
+                    continue
+                metadata = _read_json(run_dir / "run.json")
+                scenario = (metadata or {}).get("scenario") or {}
+                if scenario.get("name") != ref:
+                    continue
+                paths = cls._line_paths(run_dir) or [run_dir / "run.json"]
+                try:
+                    activity = max(path.stat().st_mtime for path in paths)
+                except OSError:
+                    continue
+                if best is None or (activity, run_dir.name) > best:
+                    best = (activity, run_dir.name)
+        if best is None:
+            raise CheckpointError(
+                f"no durable run matching {ref!r} under {str(root)!r} "
+                f"(known runs: {cls.run_ids(root)})"
+            )
+        return best[1]
 
     @classmethod
     def run_metadata(cls, root, run_id: str) -> Dict[str, Any]:

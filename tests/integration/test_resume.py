@@ -18,7 +18,7 @@ import os
 import pytest
 
 from repro.api import Experiment, Scenario
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, ScenarioError
 from repro.timemachine import DurableCheckpointStore
 
 pytestmark = pytest.mark.durable
@@ -53,9 +53,12 @@ class TestResume:
         assert outcome.store["lines_committed"] >= 2
         assert outcome.store["bytes_on_disk"] > 0
         assert outcome.store["bytes_on_disk"] <= outcome.store["logical_bytes"]
+        # each execution gets its own uniquely-suffixed durable run id
+        assert outcome.run_id.startswith("kv-run-")
 
+        # resume accepts the scenario name and resolves it to that run
         resumed = Experiment.resume("kv-run", store_path)
-        assert resumed.run_id == "kv-run"
+        assert resumed.run_id == outcome.run_id
         assert resumed.scenario.app == "kvstore"
         assert resumed.line_index == outcome.store["lines_committed"]
         assert sorted(resumed.states()) == sorted(resumed.checkpoints)
@@ -69,12 +72,13 @@ class TestResume:
         the same line of an uninterrupted twin in a separate store."""
         full_store = str(tmp_path / "full")
         crashed_store = str(tmp_path / "crashed")
-        Experiment([kv_scenario("twin", full_store, until=6.0)]).run()
-        Experiment([kv_scenario("twin", crashed_store, until=4.0)]).run()
+        full = Experiment([kv_scenario("twin", full_store, until=6.0)]).run()[0]
+        crashed = Experiment([kv_scenario("twin", crashed_store, until=4.0)]).run()[0]
 
         resumed = Experiment.resume("twin", crashed_store)
-        crashed_lines = manifest_paths(crashed_store, "twin")
-        full_lines = manifest_paths(full_store, "twin")
+        assert resumed.run_id == crashed.run_id
+        crashed_lines = manifest_paths(crashed_store, crashed.run_id)
+        full_lines = manifest_paths(full_store, full.run_id)
         assert len(full_lines) >= len(crashed_lines) >= 1
 
         # determinism + pure content addressing: the uninterrupted twin's
@@ -94,7 +98,7 @@ class TestResume:
 
         # and the facade restore agrees with reading the twin's store directly
         _, twin_checkpoints = DurableCheckpointStore.restore_line(
-            crashed_store, "twin"
+            crashed_store, crashed.run_id
         )
         assert resumed.states() == {
             pid: dict(cp.state) for pid, cp in twin_checkpoints.items()
@@ -114,6 +118,31 @@ class TestResume:
         # the second run wrote (almost) nothing new: its lines dedupe against
         # the first run's blobs
         assert second.store["chunks_written"] < first.store["chunks_written"]
+
+    def test_repeated_executions_of_one_name_get_distinct_runs(self, store_path):
+        """Re-running a same-named scenario must not overwrite the earlier
+        run's manifests; resume-by-name picks the most recent execution."""
+        first = Experiment([kv_scenario("again", store_path, until=4.0)]).run()[0]
+        second = Experiment([kv_scenario("again", store_path, until=4.0)]).run()[0]
+        assert first.run_id != second.run_id
+        assert set(DurableCheckpointStore.run_ids(store_path)) == {
+            first.run_id,
+            second.run_id,
+        }
+        # both runs kept their own complete manifest sequences
+        for outcome in (first, second):
+            lines = manifest_paths(store_path, outcome.run_id)
+            assert len(lines) == outcome.store["lines_committed"]
+            metadata = DurableCheckpointStore.run_metadata(store_path, outcome.run_id)
+            assert metadata["scenario"]["name"] == "again"
+        resumed = Experiment.resume("again", store_path)
+        assert resumed.run_id == second.run_id
+        # the exact run id still targets the older execution
+        assert Experiment.resume(first.run_id, store_path).run_id == first.run_id
+
+    def test_scenario_name_with_path_separator_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario(app="kvstore", name="../evil")
 
     def test_resume_unknown_run_raises(self, store_path):
         Experiment([kv_scenario("present", store_path, until=4.0)]).run()

@@ -177,11 +177,12 @@ def test_facade_resume_after_crashed_flush(tmp_path):
     assert outcome.store["lines_committed"] >= 2
 
     committed_manifest, committed = DurableCheckpointStore.restore_line(
-        store, "crash-facade"
+        store, outcome.run_id
     )
 
     # simulate a writer killed mid-flush AFTER the run: torn tmp debris
-    durable = DurableCheckpointStore(store, run_id="crash-facade")
+    # (a separate run id — the dying writer is its own run in the store)
+    durable = DurableCheckpointStore(store, run_id="killer")
     durable.blobs = CrashingBlobStore(store, 0)
     doomed_state = {"table": {f"k{i:04d}": i for i in range(300)}}
     with pytest.raises(WriterKilled):

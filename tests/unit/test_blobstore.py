@@ -221,6 +221,49 @@ class TestDurableCheckpointStore:
         assert checkpoints["p0"].state == restored
         assert list(checkpoints["p0"].state["table"]) == list(restored["table"])
 
+    def test_recurring_chunk_after_rotation_is_rewritten(self, store_path):
+        """Regression: a chunk value that recurs after rotation GC'd its blob
+        must be re-written, not recorded against the missing file.  With
+        keep_lines=1, flushing A, B, A rotates every A-blob away between the
+        first and third flush — the third must restore cleanly."""
+        durable = DurableCheckpointStore(
+            store_path, run_id="aba", chunk_threshold=100, chunk_elems=8, keep_lines=1
+        )
+        state_a = {"table": {f"k{i:04d}": f"a-{i}" for i in range(300)}}
+        state_b = {"table": {f"k{i:04d}": f"b-{i}" for i in range(300)}}
+        durable.flush_line(make_line("a1", 1, state_a))
+        durable.flush_line(make_line("b", 2, state_b))  # rotation GCs the a-blobs
+        durable.flush_line(make_line("a2", 3, state_a))  # the a-chunks recur
+        manifest, checkpoints = DurableCheckpointStore.restore_line(store_path, "aba")
+        assert manifest["label"] == "a2"
+        assert checkpoints["p0"].state == state_a
+        assert durable.blobs.validate_integrity().ok
+
+    def test_run_id_rejects_path_separators(self, store_path):
+        for bad in ("a/b", "a\\b", "..", "."):
+            with pytest.raises(CheckpointError):
+                DurableCheckpointStore(store_path, run_id=bad)
+
+    def test_resolve_run_id_exact_and_by_name(self, store_path):
+        durable = DurableCheckpointStore(store_path, run_id="kv-1a2b")
+        durable.set_run_metadata({"scenario": {"name": "kv"}})
+        durable.flush_line(make_line("only", 1, {"x": 1}))
+        assert DurableCheckpointStore.resolve_run_id(store_path, "kv-1a2b") == "kv-1a2b"
+        assert DurableCheckpointStore.resolve_run_id(store_path, "kv") == "kv-1a2b"
+        with pytest.raises(CheckpointError):
+            DurableCheckpointStore.resolve_run_id(store_path, "unknown")
+
+    def test_resolve_run_id_prefers_most_recent_activity(self, store_path):
+        for run_id, label in (("kv-old", "old"), ("kv-new", "new")):
+            durable = DurableCheckpointStore(store_path, run_id=run_id)
+            durable.set_run_metadata({"scenario": {"name": "kv"}})
+            durable.flush_line(make_line(label, 1, {"x": label}))
+        # age kv-old explicitly so the ordering does not hinge on write speed
+        old_dir = os.path.join(store_path, "runs", "kv-old")
+        for entry in os.listdir(old_dir):
+            os.utime(os.path.join(old_dir, entry), (1, 1))
+        assert DurableCheckpointStore.resolve_run_id(store_path, "kv") == "kv-new"
+
     def test_manifest_is_json_and_versioned(self, store_path):
         durable = DurableCheckpointStore(store_path, run_id="schema")
         durable.flush_line(make_line("only", 1, {"x": 1}))
