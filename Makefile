@@ -41,11 +41,14 @@ suite-smoke:
 	python -m repro.api suites/crash_during_partition.json
 
 ## Disk-backed checkpoint-store tests (blob integrity, crash windows,
-## resume parity; every store lives in a pytest tmp_path) plus the
-## crash-and-resume example on the facade.
+## continuation parity; every store lives in a pytest tmp_path), the
+## crash-resume-continue example on the facade, and the real-SIGKILL
+## kill-and-continue smoke (child run killed mid-flight, resumed,
+## continued, checked against an uninterrupted twin).
 resume-smoke:
 	python -m pytest -m durable -q
 	python examples/resume_after_crash.py
+	python scripts/resume_kill_continue.py
 
 ## Regenerate the committed benchmark baseline (full + quick profiles).
 bench:

@@ -1,19 +1,25 @@
-"""Durable checkpoints: crash an experiment, resume it from disk.
+"""Durable checkpoints: crash an experiment, resume it, finish the run.
 
 FixD's recovery lines normally live in process memory — a crashed run
 loses them.  With ``checkpoint_store="disk"`` every *committed* line is
-also flushed to a content-addressed blob store, so a new process can
-pick the run back up:
+flushed to a content-addressed blob store, and the Scroll window it
+makes reachable (plus the scheduler's in-flight events) is persisted
+alongside it, so a brand-new process can not only restore the run but
+**continue** it:
 
 * the run auto-commits a recovery line every 2 simulated seconds; each
   commit chunks the process states, writes only chunks whose SHA-256
-  address is new (unchanged state costs ~nothing), and lands an atomic
-  line manifest;
+  address is new, lands an atomic line manifest, and flushes the
+  recorded nondeterminism since the previous flush as one segment blob;
 * we then *throw the Experiment away* — simulating the driving process
-  dying — and ``Experiment.resume`` rebuilds a cluster from nothing but
-  the run id and the store directory;
-* the resumed cluster starts exactly at the last committed recovery
-  line: same per-process state, same vector clocks, same RNG positions.
+  dying mid-run — and ``Experiment.resume`` rebuilds a cluster from
+  nothing but the run id and the store directory, restores the last
+  committed line, and **replays the persisted Scroll forward** so every
+  process sits at the crash point (state, vector clocks, RNG position);
+* ``ResumedRun.continue_run`` re-attaches FixD, re-injects the
+  persisted in-flight deliveries and timers, re-arms the remaining
+  fault schedule, and runs to the scenario's horizon — landing on the
+  same application state as an uninterrupted twin of the run.
 
 Run with::
 
@@ -28,59 +34,79 @@ import tempfile
 from repro.api import Experiment, Scenario
 
 
-def main() -> None:
-    store = tempfile.mkdtemp(prefix="repro-durable-store-")
-    try:
-        scenario = Scenario(
-            app="kvstore",
-            name="kv-durable-demo",
-            params={"replicas": 2, "clients": 1},
-            seed=11,
-            until=6.0,
-            auto_commit_interval=2.0,
-            checkpoint_store="disk",
-            store_path=store,
-        )
+def kv_scenario(store: str, until: float) -> Scenario:
+    return Scenario(
+        app="kvstore",
+        name="kv-durable-demo",
+        params={"replicas": 2, "clients": 1},
+        seed=11,
+        until=until,
+        auto_commit_interval=2.0,
+        checkpoint_store="disk",
+        store_path=store,
+    )
 
-        outcome = Experiment([scenario]).run()[0]
-        stats = outcome.store
-        print("original run committed durable recovery lines:")
+
+def main() -> None:
+    twin_store = tempfile.mkdtemp(prefix="repro-durable-twin-")
+    crash_store = tempfile.mkdtemp(prefix="repro-durable-store-")
+    try:
+        # the uninterrupted twin: same scenario, run straight to the horizon
+        twin = Experiment([kv_scenario(twin_store, until=8.0)]).run()[0]
+
+        # the victim: the driving process "dies" at t=4.0, mid-run
+        crashed = Experiment([kv_scenario(crash_store, until=4.0)]).run()[0]
+        stats = crashed.store
+        print("crashed run committed durable recovery lines before dying:")
         print(f"  lines committed : {stats['lines_committed']}")
         print(f"  chunks written  : {stats['chunks_written']}")
         print(
-            f"  chunks reused   : {stats['chunks_reused']} "
-            f"(+{stats['chunks_deduped']} deduped against disk)"
+            f"  scroll flushes  : {stats['scroll_flushes']} "
+            f"({stats['scroll_bytes']} segment bytes)"
         )
         print(
             f"  bytes on disk   : {stats['bytes_on_disk']} "
-            f"of {stats['logical_bytes']} logical "
-            f"({stats['logical_bytes'] / max(1, stats['bytes_on_disk']):.1f}x dedup)"
+            f"of {stats['logical_bytes']} logical state bytes"
         )
 
         # the Experiment object is gone now — only the store directory and
         # the scenario name survive the "crash"; the name resolves to this
-        # execution's uniquely-suffixed run id (also in outcome.run_id)
-        resumed = Experiment.resume("kv-durable-demo", store)
+        # execution's uniquely-suffixed run id (also in crashed.run_id)
+        resumed = Experiment.resume("kv-durable-demo", crash_store)
         print(
             f"\nresumed run {resumed.run_id!r} from committed line "
             f"{resumed.line_index} ({resumed.manifest['label']!r}):"
         )
         for pid in sorted(resumed.checkpoints):
-            checkpoint = resumed.checkpoints[pid]
-            live = dict(resumed.cluster.process(pid).state)
-            match = "ok" if live == dict(checkpoint.state) else "MISMATCH"
+            replay = (resumed.replays or {}).get(pid)
+            if replay is None:
+                print(f"  {pid:<10} restored at the committed line (no stamp)")
+                continue
             print(
-                f"  {pid:<10} seq={checkpoint.sequence:<3} "
-                f"t={checkpoint.time:<5.2f} state-restored={match}"
+                f"  {pid:<10} replayed {replay.events_replayed} recorded "
+                f"event(s) forward to t={replay.last_time:.2f} "
+                f"({'clean' if replay.ok else 'DIVERGED'})"
             )
+        assert resumed.replays and all(r.ok for r in resumed.replays.values())
 
-        assert all(
-            dict(resumed.cluster.process(pid).state) == dict(cp.state)
-            for pid, cp in resumed.checkpoints.items()
-        ), "resumed cluster state must equal the committed recovery line"
-        print("\nresume restored the last committed recovery line exactly.")
+        # continue to the same horizon the twin ran to
+        continued = resumed.continue_run(until=8.0)
+        print(
+            f"\ncontinued to t={continued.final_time:.1f}: "
+            f"consistent={continued.consistent}, "
+            f"stopped={continued.stopped_reason}"
+        )
+
+        assert continued.state_projection() == twin.state_projection(), (
+            "the continued run must land on the uninterrupted twin's state"
+        )
+        print(
+            "crash + resume + continue reached the exact application state "
+            "of the uninterrupted twin."
+        )
     finally:
-        shutil.rmtree(store, ignore_errors=True)
+        shutil.rmtree(twin_store, ignore_errors=True)
+        shutil.rmtree(crash_store, ignore_errors=True)
 
 
 if __name__ == "__main__":

@@ -94,6 +94,30 @@ if [[ -n "$violations" ]]; then
 fi
 echo "boundary guard: no blobstore imports outside timemachine/"
 
+# ----------------------------------------------------------------------
+# Scroll-persistence boundary guard: repro.timemachine.scroll_persistence
+# is Time Machine internals (segment blobs, the scroll.json sidecar, the
+# pending-event snapshot).  The sanctioned surfaces are the
+# DurableCheckpointStore methods (flush_scroll, rebuild_scroll,
+# load_scroll_sidecar), FixDConfig.scroll_flush_entries and
+# Experiment.resume / ResumedRun.continue_run — importing the module
+# directly outside src/repro/timemachine/ is a boundary violation.  A
+# line may opt out with a trailing `# facade-ok: <reason>` marker,
+# reserved for tests that exercise the sidecar's crash windows.
+# ----------------------------------------------------------------------
+violations=$(grep -rn --include='*.py' -E \
+    '(from|import)[[:space:]]+repro\.timemachine\.scroll_persistence|from[[:space:]]+repro\.timemachine[[:space:]]+import[[:space:]][^#]*\bscroll_persistence\b|import_module\([^)]*scroll_persistence' \
+    src tests benchmarks examples scripts 2>/dev/null \
+    | grep -v '^src/repro/timemachine/' \
+    | grep -v 'facade-ok' || true)
+if [[ -n "$violations" ]]; then
+    echo "Scroll-persistence boundary violation: repro.timemachine.scroll_persistence imported outside src/repro/timemachine/" >&2
+    echo "Use DurableCheckpointStore.flush_scroll/rebuild_scroll, FixDConfig.scroll_flush_entries or Experiment.resume:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "boundary guard: no scroll_persistence imports outside timemachine/"
+
 if ! command -v make >/dev/null 2>&1; then
     echo "scripts/check.sh requires make; run the Makefile 'verify' steps manually:" >&2
     grep -A2 '^verify:' Makefile >&2

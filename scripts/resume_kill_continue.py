@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Kill-and-continue smoke: SIGKILL a durable run mid-flight, then finish it.
+
+The durable-store test suite simulates crashes by injecting faults into
+blob writes; this script is the real thing.  It
+
+1. runs an uninterrupted twin of the scenario in-process (its own store),
+2. spawns a child process running the same scenario against the victim
+   store; a runtime hook SIGKILLs the child the first time simulated
+   time reaches the kill point — no atexit, no cleanup, exactly like a
+   crashed driver,
+3. verifies the child died by signal, resumes the victim run from its
+   store (``Experiment.resume`` replays the persisted Scroll forward to
+   the crash point), continues it to the scenario horizon, and
+4. asserts the continued run landed on the uninterrupted twin's
+   application state.
+
+Wired into ``make resume-smoke``; exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import shutil
+
+SCENARIO_NAME = "kv-kill-continue"
+HORIZON = 8.0
+KILL_AT = 5.0
+
+
+def kv_scenario(store: str):
+    from repro.api import Scenario
+
+    return Scenario(
+        app="kvstore",
+        name=SCENARIO_NAME,
+        params={"replicas": 2, "clients": 1},
+        seed=11,
+        until=HORIZON,
+        auto_commit_interval=2.0,
+        checkpoint_store="disk",
+        store_path=store,
+    )
+
+
+def run_victim(store: str) -> None:
+    """Child: run the scenario, then die by SIGKILL mid-run.
+
+    Mirrors ``run_scenario`` with one addition — a hook that SIGKILLs
+    this process the first time a handler finishes at or past KILL_AT.
+    FixD's hooks are installed first, so the auto-commits (and their
+    Scroll flushes) before the kill point have already landed on disk.
+    """
+    from repro.api import apps as app_registry
+    from repro.api.experiment import _fixd_config, _make_backend
+    from repro.core.fixd import FixD
+    from repro.dsim.cluster import Cluster, ClusterConfig
+    from repro.dsim.hooks import RuntimeHook
+
+    scenario = kv_scenario(store)
+    cluster = Cluster(
+        ClusterConfig(seed=scenario.seed, halt_on_violation=False),
+        backend=_make_backend(scenario),
+    )
+    app_registry.build(cluster, scenario.app, **scenario.params)
+    fixd = FixD(_fixd_config(scenario))
+    fixd.attach(cluster)
+    fixd.time_machine.durable_store.set_run_metadata(
+        {"scenario": scenario.to_dict()}
+    )
+
+    class SigkillAt(RuntimeHook):
+        def after_handler(self, pid, description, time):
+            if time >= KILL_AT:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    cluster.add_hook(SigkillAt())
+    cluster.run(until=HORIZON, max_events=scenario.max_events)
+    raise SystemExit(f"victim survived to the horizon without reaching t={KILL_AT}")
+
+
+def main() -> int:
+    from repro.api import Experiment
+
+    twin_store = tempfile.mkdtemp(prefix="kill-continue-twin-")
+    victim_store = tempfile.mkdtemp(prefix="kill-continue-victim-")
+    try:
+        twin = Experiment([kv_scenario(twin_store)]).run()[0]
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        child = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--victim", victim_store],
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        if child.returncode != -signal.SIGKILL:
+            print(
+                f"FAIL: victim exited with {child.returncode}, "
+                f"expected death by SIGKILL ({-signal.SIGKILL})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"victim died by SIGKILL mid-run (rc={child.returncode})")
+
+        resumed = Experiment.resume(SCENARIO_NAME, victim_store)
+        if not resumed.replays or not all(
+            replay.ok for replay in resumed.replays.values()
+        ):
+            print(f"FAIL: replay-forward diverged: {resumed.replays}", file=sys.stderr)
+            return 1
+        print(
+            f"resumed {resumed.run_id!r} at committed line {resumed.line_index}; "
+            f"replayed {sum(r.events_replayed for r in resumed.replays.values())} "
+            "recorded events forward"
+        )
+
+        continued = resumed.continue_run(until=HORIZON)
+        if continued.state_projection() != twin.state_projection():
+            print("FAIL: continued state != uninterrupted twin state", file=sys.stderr)
+            print(f"  twin      : {twin.state_projection()}", file=sys.stderr)
+            print(f"  continued : {continued.state_projection()}", file=sys.stderr)
+            return 1
+        if not continued.consistent:
+            print("FAIL: continued run failed its consistency check", file=sys.stderr)
+            return 1
+        print(
+            f"continued to t={continued.final_time:.1f}: state matches the "
+            "uninterrupted twin — kill-and-continue smoke passed"
+        )
+        return 0
+    finally:
+        shutil.rmtree(twin_store, ignore_errors=True)
+        shutil.rmtree(victim_store, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--victim":
+        run_victim(sys.argv[2])
+        raise SystemExit(1)  # unreachable unless the kill never fired
+    raise SystemExit(main())

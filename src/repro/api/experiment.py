@@ -124,14 +124,75 @@ def run_scenario(scenario: Scenario) -> Outcome:
     return execute(scenario).outcome
 
 
+def _scenario_for_resume(payload) -> "tuple[Scenario, str]":
+    """Coerce a recorded scenario onto the simulator for resumption.
+
+    Only the simulator can restore checkpoints and cancel in-flight
+    events, so a run recorded on the ``mp`` backend (e.g. via a custom
+    FixD config that persisted lines for an mp scenario) resumes on a
+    rebuilt *sim* cluster.  The coercion happens on the raw payload —
+    an mp+disk combination would fail Scenario validation before we
+    ever got a chance to fix it up.  Returns the sim scenario and the
+    originally recorded backend name.
+    """
+    payload = dict(payload)
+    original_backend = payload.get("backend", "sim")
+    if original_backend != "sim":
+        payload["backend"] = "sim"
+        payload["transport"] = "pipe"
+    return Scenario.from_dict(payload), original_backend
+
+
+def _remaining_faults(schedule: FaultSchedule, flush_time: float):
+    """Split a fault schedule at the durable flush point.
+
+    Returns ``(remaining_schedule, pending_recoveries)``: the specs a
+    continuation must re-arm (timed faults strictly after
+    ``flush_time``; partitions still open; message faults unchanged —
+    their per-rule hit counts are not persisted, a documented
+    best-effort), plus ``(pid, recover_at)`` pairs for crashes that
+    already happened but whose scheduled recovery is still due.
+    """
+    specs = []
+    recoveries = []
+    for spec in schedule.faults:
+        if spec.kind == "crash":
+            if spec.at > flush_time:
+                specs.append(spec)
+            elif spec.recover_at is not None and spec.recover_at > flush_time:
+                recoveries.append((spec.pid, spec.recover_at))
+        elif spec.kind == "corruption":
+            if spec.at > flush_time:
+                specs.append(spec)
+        elif spec.kind == "partition":
+            if spec.end > flush_time:
+                specs.append(spec)
+        else:
+            specs.append(spec)
+    return FaultSchedule(faults=tuple(specs)), recoveries
+
+
 @dataclass
 class ResumedRun:
-    """A cluster rebuilt from a durable store's last committed recovery line.
+    """A crashed run rebuilt from its durable store, ready to continue.
 
-    ``cluster`` is started and restored — its processes hold the
-    committed line's states, clocks and RNG positions, with no in-flight
-    events — ready for ``cluster.run(...)`` to continue, for state
-    inspection, or for a fresh FixD attachment.
+    ``cluster`` is started, restored to the last committed recovery
+    line, and — when the run persisted its Scroll — **replayed forward**
+    through the recorded post-line history: each process re-consumed its
+    recorded deliveries, timer firings, random draws and clock reads, so
+    states, logical clocks and counters sit at the crash point, not at
+    the line.  :meth:`continue_run` then re-attaches a fresh FixD over
+    the rebuilt Scroll, re-injects the persisted in-flight events,
+    re-arms the scenario's remaining fault schedule, and runs the
+    scenario to completion — the continuation appends to the same
+    durable run.
+
+    Runs recorded on the ``mp`` backend resume on a rebuilt simulator
+    cluster (``original_backend`` records what the run executed on);
+    runs from stores that predate Scroll persistence degrade to the old
+    quiescent state-only restore (``scroll`` is None, ``continue_run``
+    still works but starts from the committed line with no in-flight
+    events).
     """
 
     run_id: str
@@ -141,6 +202,19 @@ class ResumedRun:
     manifest: Any
     #: the restored per-process checkpoints, as live ProcessCheckpoint objects
     checkpoints: Any
+    #: backend the run was originally recorded on ("sim" or "mp")
+    original_backend: str = "sim"
+    #: root of the durable store this run resumes from (continuation appends here)
+    store_path: Optional[str] = None
+    #: the Scroll rebuilt from persisted segments (None: state-only resume)
+    scroll: Any = None
+    #: the persisted-scroll sidecar manifest (None: state-only resume)
+    sidecar: Any = None
+    #: the persisted in-flight snapshot ({"deliveries": ..., "timers": ...})
+    pending: Any = None
+    #: per-pid ForwardReplay reports from the replay-forward pass
+    replays: Any = None
+    _continued: bool = False
 
     @property
     def line_index(self) -> int:
@@ -150,9 +224,65 @@ class ResumedRun:
         """Deep-ish view of every restored process state (pid -> dict)."""
         return {pid: dict(self.cluster.process(pid).state) for pid in sorted(self.checkpoints)}
 
+    def continue_run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> Outcome:
+        """Continue the resumed run to completion and return its outcome.
+
+        Re-attaches a fresh FixD (recording onto the rebuilt Scroll, so
+        new entries append past the persisted history and keep flushing
+        to the same durable run), rebases the entry-seq and message-id
+        counters past the persisted frontiers, re-injects the in-flight
+        deliveries and timers captured at the last flush, re-arms the
+        remaining fault schedule, and runs until ``until`` (default: the
+        scenario's own bound).
+        """
+        from repro.dsim.message import Message, reset_message_ids
+        from repro.scroll.entry import reset_entry_seq
+
+        if self._continued:
+            raise ScenarioError(
+                f"resumed run {self.run_id!r} was already continued; "
+                "resume again to continue again"
+            )
+        self._continued = True
+        cluster = self.cluster
+        flush_time = 0.0
+        if self.sidecar is not None:
+            flush_time = float(self.sidecar.get("flush_time", 0.0))
+            reset_entry_seq(int(self.sidecar.get("seq_next", 1)))
+            reset_message_ids(int(self.sidecar.get("msg_id_next", 1)))
+        config = _fixd_config(self.scenario)
+        config.run_id = self.run_id
+        if self.store_path:
+            config.checkpoint_store = "disk"
+            config.checkpoint_store_path = self.store_path
+        fixd = FixD(config, scroll=self.scroll)
+        fixd.attach(cluster)
+        backend = cluster.backend
+        if self.pending is not None:
+            for at, record in self.pending.get("deliveries", ()):
+                backend.inject_delivery(Message.from_record(record), at)
+            for at, pid, name, payload in self.pending.get("timers", ()):
+                backend.inject_timer(pid, name, at, payload)
+        remaining, recoveries = _remaining_faults(self.scenario.faults, flush_time)
+        plan = remaining.to_plan()
+        if not plan.is_empty():
+            cluster.set_failure_plan(plan)
+            backend._install_failure_plan()
+        for pid, recover_at in recoveries:
+            backend.inject_recovery(pid, recover_at)
+        spec = app_registry.app(self.scenario.app)
+        check = spec.check(self.scenario.check)
+        result = cluster.run(
+            until=until if until is not None else self.scenario.until,
+            max_events=max_events if max_events is not None else self.scenario.max_events,
+        )
+        return Outcome.from_run(self.scenario, cluster, fixd, result, check)
+
 
 def resume_run(run_id: str, store_path: str) -> ResumedRun:
-    """Rebuild a cluster from the last *committed* recovery line on disk.
+    """Rebuild a crashed run from disk and replay it forward to the crash point.
 
     ``run_id`` may be the exact run id or the scenario name: every
     execution gets a uniquely-suffixed run id (see
@@ -160,16 +290,30 @@ def resume_run(run_id: str, store_path: str) -> ResumedRun:
     to the most recently active run recorded for it.  The durable store
     under ``store_path`` is the authority: the scenario recorded in
     ``runs/<run_id>/run.json`` rebuilds the same application on a fresh
-    simulator cluster, and the newest committed line manifest (every
-    blob integrity-validated on read) restores process states, vector
-    clocks, RNG draw positions and message counters.  Partial flushes
-    are invisible by construction — a line manifest is written
-    atomically *after* its blobs — so a run that crashed mid-commit
-    resumes from the previous committed line.
+    **simulator** cluster (always — only the simulator can restore
+    checkpoints; runs recorded on ``mp`` note their original backend on
+    the handle), and the newest committed line manifest (every blob
+    integrity-validated on read, old manifest schemas migrated up)
+    restores process states, vector clocks, RNG draw positions and
+    message counters.
+
+    When the run persisted its Scroll (``runs/<run_id>/scroll.json``),
+    the recorded window *after* the committed line is then replayed
+    forward through each restored process — recorded nondeterminism
+    re-applied exactly — so the handle sits at the crash point and
+    :meth:`ResumedRun.continue_run` can finish the run.  Stores that
+    predate Scroll persistence degrade to the quiescent state-only
+    restore.
+
+    Partial flushes are invisible by construction — manifests and
+    sidecars are written atomically *after* their blobs — so a run that
+    crashed mid-commit resumes from the previous committed state.
 
     Raises :class:`~repro.errors.CheckpointError` when the run is
     unknown or has no committed lines yet.
     """
+    from repro.errors import CheckpointError
+    from repro.scroll.replayer import Replayer
     from repro.timemachine import DurableCheckpointStore
 
     run_id = DurableCheckpointStore.resolve_run_id(store_path, run_id)
@@ -179,7 +323,7 @@ def resume_run(run_id: str, store_path: str) -> ResumedRun:
         raise ScenarioError(
             f"durable run {run_id!r} recorded no scenario; cannot rebuild its cluster"
         )
-    scenario = Scenario.from_dict(scenario_payload)
+    scenario, original_backend = _scenario_for_resume(scenario_payload)
     manifest, checkpoints = DurableCheckpointStore.restore_line(store_path, run_id)
     cluster = Cluster(
         ClusterConfig(seed=scenario.seed, halt_on_violation=False),
@@ -188,12 +332,50 @@ def resume_run(run_id: str, store_path: str) -> ResumedRun:
     app_registry.build(cluster, scenario.app, **scenario.params)
     cluster.start()
     cluster.restore_checkpoints(checkpoints)
+    scroll = sidecar = pending = None
+    replays = {}
+    try:
+        scroll, sidecar, pending = DurableCheckpointStore.rebuild_scroll(
+            store_path, run_id
+        )
+    except CheckpointError:
+        pass  # no persisted Scroll: state-only resume (pre-continuation store)
+    if scroll is not None:
+        replayer = Replayer(scroll, {}, strict=False)
+        for pid in sorted(checkpoints):
+            checkpoint = checkpoints[pid]
+            from_position = checkpoint.extra.get("scroll_position")
+            if not isinstance(from_position, int):
+                continue
+            # A genesis checkpoint (taken at on_run_start, before any
+            # handler executed) predates the recorded effects of
+            # on_start — replay must re-run it to rebuild that history.
+            genesis = (
+                checkpoint.time == 0.0
+                and checkpoint.rng_draws == 0
+                and checkpoint.sent_count == 0
+                and checkpoint.received_count == 0
+            )
+            replays[pid] = replayer.replay_forward(
+                pid,
+                cluster.process(pid),
+                from_position=from_position,
+                start_time=checkpoint.time,
+                rng_draws_base=checkpoint.rng_draws,
+                run_on_start=genesis,
+            )
     return ResumedRun(
         run_id=run_id,
         scenario=scenario,
         cluster=cluster,
         manifest=manifest,
         checkpoints=checkpoints,
+        original_backend=original_backend,
+        store_path=store_path,
+        scroll=scroll,
+        sidecar=sidecar,
+        pending=pending,
+        replays=replays,
     )
 
 
@@ -244,15 +426,23 @@ class Experiment:
         The ``transports`` axis applies to ``mp`` cells only — the
         simulator has no transport, so ``sim`` cells are emitted once
         regardless of how many transports are listed.
+
+        Axes may be any iterable, including generators: every axis is
+        materialized exactly once up front (the cross product iterates
+        each axis many times — a generator would silently drain after
+        the first pass and leave the grid empty).
         """
-        faults = list(faults)
+        apps = tuple(apps)
+        backends = tuple(backends)
+        seeds = tuple(seeds)
+        faults = tuple(faults)
         for schedule in faults:
             if not isinstance(schedule, FaultSchedule):
                 raise ScenarioError(
                     "grid faults must be FaultSchedule instances "
                     f"(got {type(schedule).__name__}); wrap specs with FaultSchedule.of(...)"
                 )
-        transports = list(transports)
+        transports = tuple(transports)
         # Two schedules with the same kind-set share a label; qualify the
         # label with the schedule's grid position so cell names never collide.
         labels = [schedule.label for schedule in faults]
@@ -261,7 +451,7 @@ class Experiment:
             for index, label in enumerate(labels)
         ]
         scenarios = []
-        many_seeds = len(tuple(seeds)) > 1
+        many_seeds = len(seeds) > 1
         for app_name in apps:
             for backend in backends:
                 cell_transports = transports if backend == "mp" else ["pipe"]
@@ -284,6 +474,22 @@ class Experiment:
                                     **scenario_overrides,
                                 )
                             )
+        if not scenarios:
+            empty = [
+                axis
+                for axis, values in (
+                    ("apps", apps),
+                    ("faults", faults),
+                    ("backends", backends),
+                    ("seeds", seeds),
+                    ("transports", transports),
+                )
+                if not values
+            ]
+            raise ScenarioError(
+                f"experiment grid is empty (no values on axis: {empty}); "
+                "every axis needs at least one entry"
+            )
         return cls(scenarios, processes=processes)
 
     @staticmethod

@@ -131,6 +131,16 @@ class Outcome:
             "failures": list(self.failures),
         }
 
+    def state_projection(self) -> Dict[str, Dict[str, Any]]:
+        """The app-level final states alone (pid -> state dict).
+
+        The continuation-parity view: a run that crashed, resumed and
+        continued must end with the same application state as an
+        uninterrupted twin, even though run-shape numbers (events
+        executed, report counts) legitimately differ across the splice.
+        """
+        return {pid: dict(state) for pid, state in self.final_states.items()}
+
     def to_dict(self) -> Dict[str, Any]:
         """The full record (projection + instrumentation + report text)."""
         payload = self.projection()

@@ -98,6 +98,14 @@ class FixDConfig:
     run_id: str = "run"
     #: keep only the newest N committed lines on disk (None keeps all).
     durable_keep_lines: Optional[int] = None
+    #: with a ``"disk"`` store, flush the Scroll tail to a durable
+    #: segment once this many recorded entries await durability —
+    #: segment-granularity incremental flushing between line commits
+    #: (commits always flush regardless).  The flush rides the
+    #: auto-committer's ``after_handler``, so it is active whenever
+    #: ``auto_commit_interval`` is set.  ``0`` disables the incremental
+    #: path (the Scroll still flushes on every commit).
+    scroll_flush_entries: int = 256
     #: state containers with at least this many elements are captured
     #: per chunk by the COW store (None disables delta chunking).
     cow_chunk_threshold: Optional[int] = 256
@@ -135,16 +143,27 @@ class PeriodicLineCommitter(RuntimeHook):
     committed line is a hard floor for future rollbacks.
     """
 
-    def __init__(self, time_machine: TimeMachine, interval: float) -> None:
+    def __init__(
+        self,
+        time_machine: TimeMachine,
+        interval: float,
+        scroll_flush_entries: int = 0,
+    ) -> None:
         if interval <= 0:
             raise ValueError("auto_commit_interval must be positive")
         self._time_machine = time_machine
         self.interval = interval
+        self.scroll_flush_entries = scroll_flush_entries
         self._last_attempt = 0.0
         self.commits = 0
         self.entries_collected = 0
 
     def after_handler(self, pid: str, description: str, time: float) -> None:
+        if self.scroll_flush_entries:
+            # segment-granularity incremental durability between commits
+            self._time_machine.rollback_manager.maybe_flush_scroll(
+                self.scroll_flush_entries
+            )
         if time - self._last_attempt < self.interval:
             return
         self._last_attempt = time
@@ -177,11 +196,14 @@ class PeriodicLineCommitter(RuntimeHook):
 class FixD:
     """The FixD tool: attach it to a cluster and it takes over fault handling."""
 
-    def __init__(self, config: Optional[FixDConfig] = None) -> None:
+    def __init__(self, config: Optional[FixDConfig] = None, scroll=None) -> None:
+        """``scroll`` seeds the recorder with pre-existing history — a
+        resumed continuation passes the Scroll rebuilt from the durable
+        store so new recording appends past the persisted past."""
         self.config = config or FixDConfig()
         # The recorder builds the Scroll from the recording policy:
         # tiered (spill-to-disk) when the policy sets a hot_window.
-        self.recorder = ScrollRecorder(policy=self.config.recording_policy)
+        self.recorder = ScrollRecorder(scroll=scroll, policy=self.config.recording_policy)
         self.scroll = self.recorder.scroll
         self.time_machine = TimeMachine(
             TimeMachineConfig(
@@ -265,7 +287,13 @@ class FixD:
             self._healer = Healer(cluster, self.time_machine)
             if self.config.auto_commit_interval is not None:
                 self.auto_committer = PeriodicLineCommitter(
-                    self.time_machine, self.config.auto_commit_interval
+                    self.time_machine,
+                    self.config.auto_commit_interval,
+                    scroll_flush_entries=(
+                        self.config.scroll_flush_entries
+                        if self.config.checkpoint_store == "disk"
+                        else 0
+                    ),
                 )
                 cluster.add_hook(self.auto_committer)
         self.detector.add_responder(self._respond_to_fault)

@@ -267,6 +267,32 @@ class SimBackend(Backend):
             key: events for key, events in self._timer_events.items() if key[0] != pid
         }
 
+    # -- resume continuation: re-injecting a persisted in-flight window ----
+    def inject_delivery(self, message: Message, at: float) -> Event:
+        """Schedule a previously in-flight message for delivery at ``at``.
+
+        Used when a resumed run continues execution: deliveries that were
+        pending in the crashed scheduler are re-queued at their original
+        absolute times, bypassing the network (delay/loss were already
+        decided before the crash).
+        """
+        return self._scheduler.schedule_at(at, EventKind.DELIVER, message.dst, message)
+
+    def inject_timer(self, pid: str, name: str, at: float, payload: Any = None) -> Event:
+        """Re-arm a previously pending timer to fire at absolute time ``at``."""
+        event = self._scheduler.schedule_at(at, EventKind.TIMER, pid, (name, payload))
+        self._timer_events.setdefault((pid, name), []).append(event)
+        return event
+
+    def inject_recovery(self, pid: str, at: float) -> Event:
+        """Schedule a bare RECOVER for a process that crashed before a resume.
+
+        A continuation re-arms only the *remaining* fault schedule; a
+        crash that already happened must not fire again, but its
+        scheduled recovery still has to — this re-queues just that half.
+        """
+        return self._scheduler.schedule_at(at, EventKind.RECOVER, pid, None)
+
     # -- fault plan materialisation ----------------------------------------
     def _install_failure_plan(self) -> None:
         plan = self.cluster.failure_plan
@@ -379,7 +405,9 @@ class SimBackend(Backend):
         process = cluster.process(event.target)
         if process.crashed:
             return
-        cluster.hooks.on_timer(event.target, name, self._scheduler.now, process.vector_timestamp)
+        cluster.hooks.on_timer(
+            event.target, name, self._scheduler.now, process.vector_timestamp, payload
+        )
         cluster._record_trace(event.target, "timer", name)
         process.fire_timer(name, payload)
         cluster._after_handler(event.target, f"timer {name}")

@@ -63,8 +63,8 @@ class RuntimeHook:
         """The network duplicated ``message`` (``vt`` is the sender's)."""
 
     # -- local nondeterminism --------------------------------------------
-    def on_timer(self, pid: str, name: str, time: float, vt=None) -> None:
-        """A timer named ``name`` fired at ``pid``."""
+    def on_timer(self, pid: str, name: str, time: float, vt=None, payload=None) -> None:
+        """A timer named ``name`` fired at ``pid`` carrying ``payload``."""
 
     def on_random(self, pid: str, method: str, value: object, time: float, vt=None) -> None:
         """A process drew ``value`` from its random stream via ``method``."""
@@ -143,9 +143,9 @@ class HookChain(RuntimeHook):
         for hook in self.hooks:
             hook.on_duplicate(message, time, vt)
 
-    def on_timer(self, pid, name, time, vt=None):
+    def on_timer(self, pid, name, time, vt=None, payload=None):
         for hook in self.hooks:
-            hook.on_timer(pid, name, time, vt)
+            hook.on_timer(pid, name, time, vt, payload)
 
     def on_random(self, pid, method, value, time, vt=None):
         for hook in self.hooks:

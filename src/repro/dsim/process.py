@@ -193,6 +193,19 @@ class Process:
         self._vector_clock = VectorClock(ctx.pid)
         self._lamport = LamportClock(ctx.pid)
 
+    def swap_context(self, ctx: Optional[ProcessContext]) -> Optional[ProcessContext]:
+        """Swap the execution context *without* resetting logical clocks.
+
+        Replay-forward temporarily redirects a live, checkpoint-restored
+        process through a replay context (recorded rng/clock/send
+        interception); unlike :meth:`bind`, the vector and Lamport
+        clocks restored from the checkpoint keep evolving across the
+        swap.  Returns the previous context.
+        """
+        previous = self._ctx
+        self._ctx = ctx
+        return previous
+
     def _collect_decorated_members(self) -> None:
         # Walk the class hierarchy (not dir(self)) so instance properties are
         # never triggered; subclasses override base-class handlers because the

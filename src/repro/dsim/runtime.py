@@ -55,7 +55,7 @@ class TraceHook(RuntimeHook):
     def on_duplicate(self, message, time, vt=None):
         self._add(time, message.src, "duplicate", message.describe(), message)
 
-    def on_timer(self, pid, name, time, vt=None):
+    def on_timer(self, pid, name, time, vt=None, payload=None):
         self._add(time, pid, "timer", name)
 
     def on_random(self, pid, method, value, time, vt=None):
@@ -112,7 +112,7 @@ class StatsHook(RuntimeHook):
     def on_duplicate(self, message, time, vt=None):
         self.duplicated += 1
 
-    def on_timer(self, pid, name, time, vt=None):
+    def on_timer(self, pid, name, time, vt=None, payload=None):
         self.timers[pid] += 1
 
     def on_random(self, pid, method, value, time, vt=None):

@@ -56,10 +56,15 @@ def _next_entry_seq() -> int:
     return next(_entry_counter)
 
 
-def reset_entry_seq() -> None:
-    """Reset the global entry counter (test isolation helper)."""
+def reset_entry_seq(start: int = 1) -> None:
+    """Reset the global entry counter (test isolation; resume continuation).
+
+    A resumed run that keeps appending to a rebuilt Scroll rebases the
+    counter past the persisted history (``start``) so entry ``seq``
+    numbers stay a total order across the crash.
+    """
     global _entry_counter
-    _entry_counter = itertools.count(1)
+    _entry_counter = itertools.count(start)
 
 
 @dataclass(frozen=True)

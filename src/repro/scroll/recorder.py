@@ -97,8 +97,14 @@ class ScrollRecorder(RuntimeHook):
     def on_duplicate(self, message, time, vt=None):
         self._record(message.src, ActionKind.DUPLICATE, time, self._message_detail(message), vt)
 
-    def on_timer(self, pid, name, time, vt=None):
-        self._record(pid, ActionKind.TIMER, time, {"name": name}, vt)
+    def on_timer(self, pid, name, time, vt=None, payload=None):
+        # The payload rides along (when recorded) so replay-forward can
+        # fire timers whose set_timer predates the replay window; the
+        # common payload-less timer keeps its compact detail shape.
+        detail = {"name": name}
+        if payload is not None and self.policy.record_payloads:
+            detail["payload"] = payload
+        self._record(pid, ActionKind.TIMER, time, detail, vt)
 
     def on_random(self, pid, method, value, time, vt=None):
         self._record(pid, ActionKind.RANDOM, time, {"method": method, "value": value}, vt)

@@ -61,6 +61,23 @@ class ProcessReplay:
 
 
 @dataclass
+class ForwardReplay:
+    """Outcome of replaying one live process forward from a checkpoint."""
+
+    pid: str
+    from_position: int
+    events_replayed: int
+    draws_consumed: int
+    diverged: bool
+    divergence_detail: Optional[str]
+    last_time: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.diverged
+
+
+@dataclass
 class ReplayReport:
     """Outcome of replaying every process recorded on a Scroll."""
 
@@ -222,6 +239,128 @@ class Replayer:
             divergence_detail=divergence,
             final_state=dict(process.state),
             replayed_sends=list(checker.observed),
+        )
+
+    # ------------------------------------------------------------------
+    # replay-forward (resume continuation)
+    # ------------------------------------------------------------------
+    def replay_forward(
+        self,
+        pid: str,
+        process: Process,
+        *,
+        from_position: int,
+        start_time: float = 0.0,
+        rng_draws_base: Optional[int] = None,
+        run_on_start: bool = False,
+    ) -> ForwardReplay:
+        """Drive a *live, already-restored* process forward through the log.
+
+        Unlike :meth:`replay_process`, which rebuilds a fresh instance
+        and replays from the initial state, this method takes a process
+        just restored from a checkpoint and re-applies only the recorded
+        history *after* the checkpoint's Scroll position
+        (``from_position``): deliveries and timer firings are fed in
+        recorded order, random draws and clock reads substitute their
+        recorded outcomes, and replayed sends are checked against the
+        recorded ones.  The process's state, vector clock and counters
+        evolve exactly as they did in the original run, which is how
+        ``Experiment.resume`` closes the gap between the last committed
+        recovery line and the crash point.
+
+        The process's original context is restored afterwards; when
+        ``rng_draws_base`` is given (the checkpoint's ``rng_draws``),
+        the live context's deterministic RNG is fast-forwarded to
+        ``rng_draws_base + draws consumed during replay`` so post-replay
+        execution continues the original random stream.
+
+        ``run_on_start=True`` re-executes the process's ``on_start``
+        under the replay context first: a *genesis* checkpoint (taken at
+        ``on_run_start``, before any handler ran) precedes the recorded
+        effects of ``on_start`` — its state initialization, random draws
+        and timer registrations — so the window can only replay cleanly
+        if ``on_start`` runs again, consuming the recorded outcomes.
+        """
+        original_ctx = process.swap_context(None)
+
+        recorded_sends = self.scroll.sent_messages(pid, start=from_position)
+        checker = _ReplaySendChecker(pid, recorded_sends, self.strict)
+        rng = ReplayRandomStream(pid, self.scroll.random_outcomes(pid, start=from_position))
+        clock = ReplayClock(
+            pid, self.scroll.clock_reads(pid, start=from_position), fallback=start_time
+        )
+        pending_timer_payloads: Dict[str, deque] = defaultdict(deque)
+
+        def send_fn(message: Message) -> None:
+            checker.observe(message)
+
+        def timer_fn(name: str, delay: float, payload: Any) -> None:
+            pending_timer_payloads[name].append(payload)
+
+        def cancel_timer_fn(name: str) -> None:
+            pending_timer_payloads[name].clear()
+
+        all_pids = tuple(self.scroll.pids()) or (pid,)
+        ctx = ProcessContext(
+            pid=pid,
+            peers=original_ctx.peers if original_ctx is not None else all_pids,
+            send_fn=send_fn,
+            timer_fn=timer_fn,
+            cancel_timer_fn=cancel_timer_fn,
+            now_fn=clock.ambient,
+            rng=rng,  # type: ignore[arg-type] — same draw interface as DeterministicRNG
+            read_clock_fn=clock.read,
+        )
+        process.swap_context(ctx)
+
+        divergence: Optional[str] = None
+        events_replayed = 0
+        last_time = start_time
+        try:
+            if run_on_start:
+                process.on_start()
+            for entry in self.scroll.iter_entries_for(pid, start=from_position):
+                clock.advance_fallback(entry.time)
+                last_time = max(last_time, entry.time)
+                if entry.kind is ActionKind.RECEIVE and "message" in entry.detail:
+                    if process.crashed:
+                        continue  # dead-lettered in the original run too
+                    process.deliver(Message.from_record(entry.detail["message"]))
+                    events_replayed += 1
+                elif entry.kind is ActionKind.TIMER:
+                    if process.crashed:
+                        continue
+                    name = entry.detail.get("name")
+                    queue = pending_timer_payloads.get(name)
+                    # a timer set before the replay window carries no
+                    # queued payload here — fall back to the recorded one
+                    payload = queue.popleft() if queue else entry.detail.get("payload")
+                    process.fire_timer(name, payload)
+                    events_replayed += 1
+                elif entry.kind is ActionKind.CRASH:
+                    process.mark_crashed()
+                elif entry.kind is ActionKind.RECOVER:
+                    process.mark_recovered()
+            checker.finish()
+        except ReplayDivergenceError as error:
+            if self.strict:
+                raise
+            divergence = str(error)
+        finally:
+            process.swap_context(original_ctx)
+
+        if rng_draws_base is not None and original_ctx is not None:
+            original_ctx.rng.restore(rng_draws_base + rng.draws)
+
+        divergence = divergence or checker.divergence
+        return ForwardReplay(
+            pid=pid,
+            from_position=from_position,
+            events_replayed=events_replayed,
+            draws_consumed=rng.draws,
+            diverged=divergence is not None,
+            divergence_detail=divergence,
+            last_time=last_time,
         )
 
     # ------------------------------------------------------------------

@@ -130,6 +130,13 @@ class Scroll:
     store:
         An explicit :class:`SegmentStore` to spill into (overrides
         ``storage_dir``).
+    base:
+        Global position of the Scroll's first entry.  Non-zero when the
+        Scroll is rebuilt from a persisted window (resume continuation):
+        the entries passed in carry on from position ``base``, so every
+        recorded checkpoint position and positional query stays valid
+        against the rebuilt log.  Positions below ``base`` behave like a
+        garbage-collected prefix.
     """
 
     def __init__(
@@ -140,17 +147,23 @@ class Scroll:
         storage_dir: Optional[PathLike] = None,
         segment_size: Optional[int] = None,
         store: Optional[SegmentStore] = None,
+        base: int = 0,
     ) -> None:
         if hot_window is not None and hot_window < 1:
             raise ValueError("hot_window must be at least 1")
+        if base < 0:
+            raise ValueError("base must be non-negative")
         self._hot: List[ScrollEntry] = []
         self._hot_window = hot_window
         self._segment_size = segment_size
         self._storage_dir = storage_dir
         self._store = store
-        #: number of entries spilled to the cold tier; global positions
-        #: below the watermark are on disk, the rest are in ``_hot``.
-        self._watermark = 0
+        #: number of entries below the hot tier (spilled or rebased-away);
+        #: global positions below the watermark are on disk, the rest are
+        #: in ``_hot``.
+        self._watermark = int(base)
+        #: the rebased start position (collected_base floor without a store)
+        self._base = int(base)
         #: positions (global) per process, per kind and per (pid, kind)
         self._by_pid: Dict[str, List[int]] = {}
         self._by_kind: Dict[ActionKind, List[int]] = {}
@@ -160,7 +173,7 @@ class Scroll:
         #: list is trimmed by :meth:`collect` along with the cold tier, so
         #: ``self._times[p - self._times_base]`` is position ``p``'s time.
         self._times: List[float] = []
-        self._times_base = 0
+        self._times_base = int(base)
         self._time_monotone = True
         for entry in entries or ():
             self.append(entry)
@@ -187,9 +200,13 @@ class Scroll:
         if self._store is None:
             # Sized to hold one process's replay material (the replayer
             # issues several queries over the same positions back to
-            # back) while staying small next to the hot window.
+            # back) while staying small next to the hot window.  The
+            # store starts at the current watermark so a base-rebased
+            # Scroll (resume) spills at the right global positions.
             cache = max(1024, (self._hot_window or 0) // 2)
-            self._store = SegmentStore(self._storage_dir, cache_size=cache)
+            self._store = SegmentStore(
+                self._storage_dir, cache_size=cache, base=self._watermark
+            )
         return self._store
 
     def _spill(self) -> None:
@@ -277,8 +294,12 @@ class Scroll:
     # ------------------------------------------------------------------
     @property
     def collected_base(self) -> int:
-        """Global position of the first still-reachable entry (0 when no GC ran)."""
-        return self._store.base if self._store is not None else 0
+        """Global position of the first still-reachable entry.
+
+        ``0`` for a fresh log with no GC; the rebased start position for
+        a Scroll rebuilt from a persisted window.
+        """
+        return self._store.base if self._store is not None else self._base
 
     def collect(self, min_position: int) -> int:
         """Garbage-collect the log prefix below ``min_position``.
@@ -448,20 +469,33 @@ class Scroll:
             cold.extend(self._hot[:stop - watermark])
         return cold
 
+    def entries_between(self, start: int, stop: int) -> List[ScrollEntry]:
+        """Materialize the global position range ``[start, stop)``, tier-aware.
+
+        Positions below the garbage-collected base are skipped (they no
+        longer exist on any tier).  Durable Scroll persistence uses this
+        to frame the not-yet-flushed tail into a segment blob.
+        """
+        return self._range(start, stop)
+
     def entries_for(self, pid: str) -> List[ScrollEntry]:
         """All entries belonging to one process, in record order."""
         return self._at(self._by_pid.get(pid, ()))
 
-    def iter_entries_for(self, pid: str, batch: int = 1024) -> Iterator[ScrollEntry]:
+    def iter_entries_for(
+        self, pid: str, batch: int = 1024, start: int = 0
+    ) -> Iterator[ScrollEntry]:
         """Stream one process's entries without materializing them all.
 
         The replay driver uses this so replaying one process of a
         heavily spilled log keeps at most ``batch`` cold entries alive
-        at a time.
+        at a time.  ``start`` restricts the stream to entries at global
+        position >= ``start`` (replay-forward from a checkpoint).
         """
         positions = self._by_pid.get(pid, ())
-        for start in range(0, len(positions), batch):
-            yield from self._at(positions[start:start + batch])
+        first = bisect_left(positions, start) if start else 0
+        for index in range(first, len(positions), batch):
+            yield from self._at(positions[index:index + batch])
 
     def of_kind(self, *kinds: ActionKind) -> List[ScrollEntry]:
         """All entries whose kind is one of ``kinds``, in record order."""
@@ -518,44 +552,53 @@ class Scroll:
     # ------------------------------------------------------------------
     # per-process replay material (all O(k) via the (pid, kind) index)
     # ------------------------------------------------------------------
-    def _for_pid_kind(self, pid: str, kind: ActionKind) -> List[ScrollEntry]:
-        return self._at(self._by_pid_kind.get((pid, kind), ()))
+    def _for_pid_kind(self, pid: str, kind: ActionKind, start: int = 0) -> List[ScrollEntry]:
+        positions = self._by_pid_kind.get((pid, kind), ())
+        if start:
+            positions = positions[bisect_left(positions, start):]
+        return self._at(positions)
 
-    def received_messages(self, pid: str) -> List[Dict]:
-        """The serialized messages delivered to ``pid``, in delivery order."""
+    def received_messages(self, pid: str, start: int = 0) -> List[Dict]:
+        """The serialized messages delivered to ``pid``, in delivery order.
+
+        ``start`` (here and on the sibling replay-material queries)
+        restricts the result to entries at global position >= ``start``,
+        which is how replay-forward resumes from a checkpoint's recorded
+        Scroll position instead of the beginning of the log.
+        """
         return [
             entry.detail["message"]
-            for entry in self._for_pid_kind(pid, ActionKind.RECEIVE)
+            for entry in self._for_pid_kind(pid, ActionKind.RECEIVE, start)
             if "message" in entry.detail
         ]
 
-    def sent_messages(self, pid: str) -> List[Dict]:
+    def sent_messages(self, pid: str, start: int = 0) -> List[Dict]:
         """The serialized messages sent by ``pid``, in send order."""
         return [
             entry.detail["message"]
-            for entry in self._for_pid_kind(pid, ActionKind.SEND)
+            for entry in self._for_pid_kind(pid, ActionKind.SEND, start)
             if "message" in entry.detail
         ]
 
-    def random_outcomes(self, pid: str) -> List[Dict]:
+    def random_outcomes(self, pid: str, start: int = 0) -> List[Dict]:
         """Recorded random draws of ``pid``: ``{"method", "value"}`` in draw order."""
         return [
             {"method": entry.detail.get("method"), "value": entry.detail.get("value")}
-            for entry in self._for_pid_kind(pid, ActionKind.RANDOM)
+            for entry in self._for_pid_kind(pid, ActionKind.RANDOM, start)
         ]
 
-    def clock_reads(self, pid: str) -> List[float]:
+    def clock_reads(self, pid: str, start: int = 0) -> List[float]:
         """Recorded clock reads of ``pid`` in read order."""
         return [
             entry.detail.get("value", entry.time)
-            for entry in self._for_pid_kind(pid, ActionKind.CLOCK_READ)
+            for entry in self._for_pid_kind(pid, ActionKind.CLOCK_READ, start)
         ]
 
-    def timer_firings(self, pid: str) -> List[Dict]:
+    def timer_firings(self, pid: str, start: int = 0) -> List[Dict]:
         """Recorded timer firings of ``pid``: ``{"name", "time"}`` in order."""
         return [
             {"name": entry.detail.get("name"), "time": entry.time}
-            for entry in self._for_pid_kind(pid, ActionKind.TIMER)
+            for entry in self._for_pid_kind(pid, ActionKind.TIMER, start)
         ]
 
     # ------------------------------------------------------------------

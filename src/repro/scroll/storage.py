@@ -44,6 +44,7 @@ persistence and interchange.
 
 from __future__ import annotations
 
+import io
 import json
 import pickle
 import shutil
@@ -94,6 +95,38 @@ def decode_entry(blob: bytes) -> ScrollEntry:
     )
 
 
+def encode_segment(entries: Sequence[ScrollEntry]) -> bytes:
+    """Serialize a run of entries to one segment payload.
+
+    The payload is simply the concatenation of :func:`encode_entry`
+    frames — the exact byte layout a :class:`SegmentStore` segment file
+    uses — so durable scroll-segment blobs share the store's framing and
+    identical entry runs address identical blobs.  Pickle frames are
+    self-delimiting, so no separate offset index is needed to decode.
+    """
+    return b"".join(encode_entry(entry) for entry in entries)
+
+
+def decode_segment(blob: bytes) -> List[ScrollEntry]:
+    """Rebuild the entry run from :func:`encode_segment` output."""
+    entries: List[ScrollEntry] = []
+    buffer = io.BytesIO(blob)
+    end = len(blob)
+    while buffer.tell() < end:
+        pid, kind, time, detail, vt, seq = pickle.load(buffer)
+        entries.append(
+            ScrollEntry(
+                pid=pid,
+                kind=_KIND_BY_VALUE[kind],
+                time=time,
+                detail=detail,
+                vt=VectorTimestamp(vt) if vt is not None else None,
+                seq=seq,
+            )
+        )
+    return entries
+
+
 @dataclass
 class SegmentInfo:
     """Metadata for one immutable on-disk segment."""
@@ -133,9 +166,19 @@ class SegmentStore:
     cache_size:
         Capacity of the decoded-entry LRU cache.  Sized to cover one
         process's replay material by default; ``0`` disables caching.
+    base:
+        Global position of the store's first entry.  Non-zero when the
+        store backs a Scroll rebuilt from a persisted window (resume):
+        positions stay global, so a store created at ``base=N`` indexes
+        its first spilled entry at global position ``N``.
     """
 
-    def __init__(self, directory: Optional[PathLike] = None, cache_size: int = 8192) -> None:
+    def __init__(
+        self,
+        directory: Optional[PathLike] = None,
+        cache_size: int = 8192,
+        base: int = 0,
+    ) -> None:
         owned: Optional[str] = None
         if directory is None:
             owned = tempfile.mkdtemp(prefix="scroll-segments-")
@@ -146,7 +189,7 @@ class SegmentStore:
         self._segments: List[SegmentInfo] = []
         #: global position of the first still-reachable (uncollected) entry;
         #: index row for global position p is ``p - _base``.
-        self._base = 0
+        self._base = int(base)
         # Parallel index columns, one slot per reachable spilled position.
         self._seg_ids = array("q")
         self._offsets = array("q")

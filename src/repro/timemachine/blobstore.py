@@ -75,7 +75,11 @@ from repro.timemachine.cow import (
     chunk_kind,
 )
 
-MANIFEST_SCHEMA = 1
+#: v1 line manifests carried the committed Scroll position only per-pid in
+#: ``checkpoints.*.extra.scroll_position``; v2 lifts the line-wide frontier to
+#: a top-level ``scroll_position`` field (what commit-ordering checks and the
+#: scroll sidecar key on).  Old stores read through :func:`migrate_manifest`.
+MANIFEST_SCHEMA = 2
 
 #: without an advisory store lock, sweeps skip blobs younger than this —
 #: another process may have written them for a manifest it has not landed yet
@@ -116,6 +120,51 @@ def _atomic_write(path: Path, data: bytes) -> None:
         os.fsync(handle.fileno())
     os.replace(tmp, path)
     _fsync_dir(path.parent)
+
+
+def _line_scroll_position(manifest: Dict[str, Any]) -> Optional[int]:
+    """Line-wide Scroll frontier: the earliest position any member stamped."""
+    positions = [
+        entry.get("extra", {}).get("scroll_position")
+        for entry in manifest.get("checkpoints", {}).values()
+    ]
+    positions = [position for position in positions if isinstance(position, int)]
+    return min(positions) if positions else None
+
+
+def _migrate_manifest_v1(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    """v1 → v2: lift the per-pid scroll positions to a top-level frontier."""
+    manifest = dict(manifest)
+    manifest["scroll_position"] = _line_scroll_position(manifest)
+    manifest["schema"] = 2
+    return manifest
+
+
+#: schema migrations, keyed by the version they read; applied in sequence
+#: until the manifest reaches :data:`MANIFEST_SCHEMA`
+_MANIFEST_MIGRATIONS = {1: _migrate_manifest_v1}
+
+
+def migrate_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    """Upgrade a line manifest to the current schema (validating versions).
+
+    Manifests written by older stores are migrated step-by-step through
+    :data:`_MANIFEST_MIGRATIONS`; manifests from a *newer* store raise —
+    guessing at fields this code has never seen could restore wrong state.
+    """
+    schema = manifest.get("schema", 1)
+    if schema > MANIFEST_SCHEMA:
+        raise CheckpointError(
+            f"line manifest schema {schema} is newer than supported "
+            f"({MANIFEST_SCHEMA}); upgrade before resuming"
+        )
+    while schema < MANIFEST_SCHEMA:
+        migrate = _MANIFEST_MIGRATIONS.get(schema)
+        if migrate is None:
+            raise CheckpointError(f"no migration path from manifest schema {schema}")
+        manifest = migrate(manifest)
+        schema = manifest.get("schema", schema + 1)
+    return manifest
 
 
 def _manifest_blobs(manifest: Dict[str, Any]) -> Set[str]:
@@ -335,6 +384,8 @@ class DurableCheckpointStore:
         self.chunks_deduped = 0
         self.chunks_reused = 0
         self.logical_bytes = 0
+        #: lazily-built ScrollPersistence sharing this store's blobs and lock
+        self._scroll_persistence = None
 
     # ------------------------------------------------------------------
     # write path
@@ -401,11 +452,13 @@ class DurableCheckpointStore:
                 "state": state_payload,
             }
         self._line_index += 1
+        position = getattr(line, "scroll_position", None)
         manifest = {
             "schema": MANIFEST_SCHEMA,
             "run_id": self.run_id,
             "index": self._line_index,
             "label": getattr(line, "label", ""),
+            "scroll_position": position() if callable(position) else position,
             "checkpoints": checkpoints_payload,
         }
         _atomic_write(
@@ -442,6 +495,50 @@ class DurableCheckpointStore:
             flushed["chunks_deduped"] += 1
         self._seen.add(name)
         return name
+
+    # ------------------------------------------------------------------
+    # durable Scroll (continuation support)
+    # ------------------------------------------------------------------
+    @property
+    def scroll_persistence(self):
+        """The run's :class:`~repro.timemachine.scroll_persistence.ScrollPersistence`."""
+        if self._scroll_persistence is None:
+            from repro.timemachine.scroll_persistence import ScrollPersistence
+
+            self._scroll_persistence = ScrollPersistence(self)
+        return self._scroll_persistence
+
+    def flush_scroll(
+        self,
+        scroll,
+        pending=None,
+        now: float = 0.0,
+        committed_position: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Persist the Scroll tail (and in-flight snapshot) for this run.
+
+        Delegates to the run's scroll-persistence sidecar; see
+        :meth:`repro.timemachine.scroll_persistence.ScrollPersistence.flush`.
+        """
+        return self.scroll_persistence.flush(scroll, pending, now, committed_position)
+
+    def scroll_entries_pending(self, scroll) -> int:
+        """Recorded entries not yet covered by a durable segment."""
+        return self.scroll_persistence.pending_entries(scroll)
+
+    @classmethod
+    def load_scroll_sidecar(cls, root, run_id: str) -> Optional[Dict[str, Any]]:
+        """The run's persisted-scroll sidecar manifest, or None when absent."""
+        from repro.timemachine.scroll_persistence import ScrollPersistence
+
+        return ScrollPersistence.load_sidecar(root, run_id)
+
+    @classmethod
+    def rebuild_scroll(cls, root, run_id: str):
+        """Rebuild ``(scroll, sidecar, pending)`` for a resumed continuation."""
+        from repro.timemachine.scroll_persistence import ScrollPersistence
+
+        return ScrollPersistence.rebuild(root, run_id)
 
     # ------------------------------------------------------------------
     # rotation / GC
@@ -485,7 +582,13 @@ class DurableCheckpointStore:
             return self._sweep(dead)
 
     def _reachable_blobs(self) -> Set[str]:
-        """Every blob referenced by any remaining line manifest of any run."""
+        """Every blob referenced by any remaining line manifest of any run.
+
+        Scroll sidecars count as roots too: a sweep must never unlink a
+        segment or pending blob a continuation would replay from.
+        """
+        from repro.timemachine.scroll_persistence import sidecar_blobs
+
         reachable: Set[str] = set()
         runs_root = self.root / "runs"
         if runs_root.is_dir():
@@ -496,6 +599,7 @@ class DurableCheckpointStore:
                     manifest = _read_json(manifest_path)
                     if manifest is not None:
                         reachable |= _manifest_blobs(manifest)
+                reachable |= sidecar_blobs(_read_json(run_dir / "scroll.json"))
         return reachable
 
     def _sweep(self, names: Set[str]) -> int:
@@ -527,12 +631,15 @@ class DurableCheckpointStore:
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         """Store counters for Outcome reports and benchmarks."""
+        persistence = self._scroll_persistence
         return {
             "lines_committed": self.lines_committed,
             "chunks_written": self.chunks_written,
             "chunks_deduped": self.chunks_deduped,
             "chunks_reused": self.chunks_reused,
             "logical_bytes": self.logical_bytes,
+            "scroll_flushes": persistence.flushes if persistence else 0,
+            "scroll_bytes": persistence.segment_bytes if persistence else 0,
             "bytes_on_disk": self.blobs.bytes_on_disk(),
         }
 
@@ -616,7 +723,7 @@ class DurableCheckpointStore:
         for path in reversed(cls._line_paths(run_dir)):
             manifest = _read_json(path)
             if manifest is not None:
-                return manifest
+                return migrate_manifest(manifest)
         raise CheckpointError(
             f"run {run_id!r} has no committed recovery lines to resume from"
         )

@@ -53,6 +53,8 @@ class RollbackManager:
         self._durable = durable
         #: per-flush counter dicts returned by the durable store
         self.durable_flushes: List[Dict[str, int]] = []
+        #: per-flush counter dicts for durable Scroll segments
+        self.scroll_flushes: List[Dict[str, int]] = []
 
     def register_alternate_path(self, pid: str, callback: Callable[[object], None]) -> None:
         """Register a callback invoked with the process object after it is rolled back."""
@@ -164,19 +166,91 @@ class RollbackManager:
         When a durable checkpoint store is attached, the committed line
         is flushed to disk *before* any garbage collection: a commit
         whose flush fails must not have discarded the replay window it
-        promised to preserve.
+        promised to preserve.  The Scroll window the line makes
+        reachable (plus the scheduler's in-flight snapshot) is flushed
+        alongside it, which is what lets ``Experiment.resume`` continue
+        the run instead of merely restoring quiescent state.
+
+        Commits must advance: a line at or below the current commit
+        frontier raises :class:`~repro.errors.RecoveryLineError` *before*
+        anything durable is written — flushing an older line as the
+        newest manifest would make a later resume restore regressed
+        state.
         """
+        self._check_commit_advances(line)
+        position = line.scroll_position()
         if self._durable is not None:
             self.durable_flushes.append(self._durable.flush_line(line))
+            self._flush_scroll(committed_position=position)
         self.committed_lines.append(line)
         if not collect_scroll:
             return 0
         scroll = getattr(self._cluster, "scroll", None)
-        position = line.scroll_position()
         if scroll is None or position is None:
             return 0
         collector = getattr(scroll, "collect", None)
         return collector(position) if collector is not None else 0
+
+    def _check_commit_advances(self, line: RecoveryLine) -> None:
+        """Refuse to commit a line at or below the current commit frontier.
+
+        The newest durable line manifest is what resume restores; the
+        hot-side ``committed_lines`` list is what rollback-ordering
+        checks consult.  Both assume commits are monotonic in Scroll
+        position, so a stale line (auto-committer racing a rollback,
+        replayed commit, caller error) must be rejected up front — not
+        appended and flushed as if it were the new frontier.
+        """
+        position = line.scroll_position()
+        if position is None:
+            return
+        for committed in reversed(self.committed_lines):
+            committed_position = committed.scroll_position()
+            if committed_position is None:
+                continue
+            if position <= committed_position:
+                raise RecoveryLineError(
+                    f"cannot commit recovery line at Scroll position {position}: "
+                    f"the commit frontier is already at {committed_position} "
+                    "(commits must advance)"
+                )
+            return
+
+    def _flush_scroll(self, committed_position=None) -> None:
+        """Flush the registered Scroll's durable tail (no-op without one)."""
+        if self._durable is None:
+            return
+        scroll = getattr(self._cluster, "scroll", None)
+        if scroll is None:
+            return
+        from repro.timemachine.scroll_persistence import capture_pending
+
+        pending = capture_pending(self._cluster.backend)
+        self.scroll_flushes.append(
+            self._durable.flush_scroll(
+                scroll,
+                pending=pending,
+                now=self._cluster.now,
+                committed_position=committed_position,
+            )
+        )
+
+    def maybe_flush_scroll(self, threshold: int) -> bool:
+        """Incrementally flush when ``threshold`` entries await durability.
+
+        Called between commits (e.g. by the periodic committer's
+        ``after_handler``) so the durable log trails the hot log by at
+        most one window; returns True when a flush happened.
+        """
+        if self._durable is None or threshold <= 0:
+            return False
+        scroll = getattr(self._cluster, "scroll", None)
+        if scroll is None:
+            return False
+        if self._durable.scroll_entries_pending(scroll) < threshold:
+            return False
+        self._flush_scroll()
+        return True
 
     def rollback_single(self, checkpoint: ProcessCheckpoint) -> RollbackResult:
         """Roll back a single process (a degenerate one-process recovery line)."""

@@ -1,11 +1,13 @@
-"""Integration: ``Experiment.resume`` restores crashed runs from disk.
+"""Integration: ``Experiment.resume`` continues crashed runs from disk.
 
 The simulator is deterministic, so a run that "crashes" (stops early) and an
 uninterrupted twin of the same scenario commit byte-identical recovery lines
-up to the crash point.  Resume of the crashed store must reproduce exactly
-what the uninterrupted run committed at that line — checked both through the
-facade (restored process states) and at the content-address level (the same
-committed state chunks to the same blob names, whichever store wrote them).
+up to the crash point.  Resume of the crashed store restores the last
+committed line, replays the persisted Scroll window forward to the crash
+point, and ``continue_run`` finishes the run — landing on the same
+application state the uninterrupted twin reached (checked through the facade
+and at the content-address level: same committed state chunks to the same
+blob names, whichever store wrote them).
 
 Marked ``durable`` (disk stores under tmp_path); run via ``make resume-smoke``.
 """
@@ -52,7 +54,14 @@ class TestResume:
         assert outcome.store is not None
         assert outcome.store["lines_committed"] >= 2
         assert outcome.store["bytes_on_disk"] > 0
-        assert outcome.store["bytes_on_disk"] <= outcome.store["logical_bytes"]
+        # state chunks dedup against logical bytes; scroll segments and the
+        # pending snapshot are the only other writers into the blob tree
+        assert (
+            outcome.store["bytes_on_disk"]
+            <= outcome.store["logical_bytes"] + outcome.store["scroll_bytes"]
+        )
+        # every line commit flushed the Scroll window alongside the manifest
+        assert outcome.store["scroll_flushes"] >= outcome.store["lines_committed"]
         # each execution gets its own uniquely-suffixed durable run id
         assert outcome.run_id.startswith("kv-run-")
 
@@ -62,14 +71,21 @@ class TestResume:
         assert resumed.scenario.app == "kvstore"
         assert resumed.line_index == outcome.store["lines_committed"]
         assert sorted(resumed.states()) == sorted(resumed.checkpoints)
-        for pid, checkpoint in resumed.checkpoints.items():
-            assert resumed.states()[pid] == dict(checkpoint.state)
-            # the rebuilt cluster really carries the restored state
-            assert dict(resumed.cluster.process(pid).state) == dict(checkpoint.state)
+        # the persisted Scroll was rebuilt and replayed forward cleanly:
+        # the live cluster sits at the crash point, past the committed line
+        assert resumed.scroll is not None and resumed.sidecar is not None
+        assert resumed.replays
+        assert all(replay.ok for replay in resumed.replays.values())
+        # manifest schema v2 stamps the line's Scroll position; the sidecar
+        # covers at least that far (the committed window is replayable)
+        committed_position = resumed.manifest.get("scroll_position")
+        assert isinstance(committed_position, int)
+        assert int(resumed.sidecar["position"]) >= committed_position
 
     def test_crashed_run_resumes_to_uninterrupted_twin_line(self, tmp_path):
-        """Parity: stop a run early ("crash") and compare its resume against
-        the same line of an uninterrupted twin in a separate store."""
+        """Parity: stop a run early ("crash"), resume, and continue to the
+        twin's horizon — the continuation must land on the uninterrupted
+        twin's application state."""
         full_store = str(tmp_path / "full")
         crashed_store = str(tmp_path / "crashed")
         full = Experiment([kv_scenario("twin", full_store, until=6.0)]).run()[0]
@@ -96,13 +112,44 @@ class TestResume:
             assert crashed_entry["vt"] == twin_entry["vt"]
             assert crashed_entry["rng_draws"] == twin_entry["rng_draws"]
 
-        # and the facade restore agrees with reading the twin's store directly
-        _, twin_checkpoints = DurableCheckpointStore.restore_line(
-            crashed_store, crashed.run_id
-        )
-        assert resumed.states() == {
-            pid: dict(cp.state) for pid, cp in twin_checkpoints.items()
-        }
+        # replay-forward consumed the recorded post-line history cleanly
+        assert resumed.replays
+        assert all(replay.ok for replay in resumed.replays.values())
+
+        # continuation parity: finishing the crashed run reaches the same
+        # application state as the uninterrupted twin, and keeps appending
+        # durable lines to the same run
+        lines_before = len(manifest_paths(crashed_store, crashed.run_id))
+        continued = resumed.continue_run(until=6.0)
+        assert continued.state_projection() == full.state_projection()
+        assert continued.consistent
+        assert len(manifest_paths(crashed_store, crashed.run_id)) >= lines_before
+
+        # a handle only continues once; resume again for another attempt
+        with pytest.raises(ScenarioError):
+            resumed.continue_run(until=6.0)
+
+    def test_mp_recorded_run_resumes_on_the_simulator(self, store_path):
+        """Regression: resume used to rebuild the *recorded* backend, so an
+        mp-recorded run spawned an MPBackend whose restore path died with a
+        SimulationError in ``clear_in_flight``.  Resume must always rebuild
+        on the simulator and note the original backend on the handle."""
+        outcome = Experiment([kv_scenario("mp-rec", store_path, until=4.0)]).run()[0]
+        run_json = os.path.join(store_path, "runs", outcome.run_id, "run.json")
+        with open(run_json) as fh:
+            metadata = json.load(fh)
+        # rewrite the recorded scenario as an mp run would have written it
+        metadata["scenario"]["backend"] = "mp"
+        metadata["scenario"]["transport"] = "shm"
+        with open(run_json, "w") as fh:
+            json.dump(metadata, fh)
+
+        resumed = Experiment.resume("mp-rec", store_path)
+        assert resumed.original_backend == "mp"
+        assert resumed.scenario.backend == "sim"
+        assert resumed.scenario.transport == "pipe"
+        assert sorted(resumed.states()) == sorted(resumed.checkpoints)
+        assert type(resumed.cluster.backend).__name__ == "SimBackend"
 
     def test_repeated_runs_dedupe_in_a_shared_store(self, store_path):
         """Two identical runs under different run_ids share one blob set."""

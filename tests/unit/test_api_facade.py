@@ -252,6 +252,28 @@ class TestExperiment:
         with pytest.raises(ScenarioError, match="FaultSchedule"):
             Experiment.grid(apps=("token_ring",), faults=(Drop(),))
 
+    def test_grid_axes_may_be_generators(self):
+        """Regression: grid len()-ed the seeds axis and then iterated it
+        again, so a generator axis silently drained and produced either an
+        empty grid or unsuffixed duplicate names.  Every axis is now
+        materialized exactly once up front."""
+        experiment = Experiment.grid(
+            apps=(app for app in ("token_ring", "wordcount")),
+            faults=iter((FaultSchedule(),)),
+            seeds=(seed for seed in (1, 2, 3)),
+        )
+        assert len(experiment.scenarios) == 6
+        names = {scenario.name for scenario in experiment.scenarios}
+        assert len(names) == 6
+        # multi-seed grids still get the per-seed name suffix
+        assert "token_ring-fault-free-sim-s3" in names
+
+    def test_grid_with_empty_axis_is_rejected(self):
+        with pytest.raises(ScenarioError, match="empty"):
+            Experiment.grid(apps=("token_ring",), seeds=())
+        with pytest.raises(ScenarioError, match="empty"):
+            Experiment.grid(apps=(), seeds=(1,))
+
     def test_grid_transport_axis_applies_to_mp_cells_only(self):
         experiment = Experiment.grid(
             apps=("token_ring",),

@@ -272,8 +272,47 @@ class TestDurableCheckpointStore:
         assert manifests == ["line-000001.json"]
         with open(os.path.join(run_dir, manifests[0])) as fh:
             payload = json.load(fh)
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
+        # v2 stamps the line's Scroll position at top level (None when the
+        # line's checkpoints carried no stamp, as this hand-rolled one does)
+        assert "scroll_position" in payload
         assert "p0" in payload["checkpoints"]
+
+    def test_schema_v1_manifest_migrates_on_read(self, store_path):
+        """A store written before scroll persistence (schema 1, the Scroll
+        position only buried per-checkpoint) stays readable: the read path
+        migrates the manifest to v2 and lifts the position to top level."""
+        durable = DurableCheckpointStore(store_path, run_id="legacy")
+        line = make_line("old", 1, {"x": 1})
+        for checkpoint in line.checkpoints.values():
+            checkpoint.extra["scroll_position"] = 17
+        durable.flush_line(line)
+        manifest_path = os.path.join(store_path, "runs", "legacy", "line-000001.json")
+        with open(manifest_path) as fh:
+            payload = json.load(fh)
+        # rewrite on disk exactly as the v1 writer laid it out
+        payload["schema"] = 1
+        del payload["scroll_position"]
+        with open(manifest_path, "w") as fh:
+            json.dump(payload, fh)
+
+        migrated = DurableCheckpointStore.last_line_manifest(store_path, "legacy")
+        assert migrated["schema"] == 2
+        assert migrated["scroll_position"] == 17
+        _, checkpoints = DurableCheckpointStore.restore_line(store_path, "legacy")
+        assert checkpoints["p0"].state == {"x": 1}
+
+    def test_newer_manifest_schema_is_rejected(self, store_path):
+        durable = DurableCheckpointStore(store_path, run_id="future")
+        durable.flush_line(make_line("only", 1, {"x": 1}))
+        manifest_path = os.path.join(store_path, "runs", "future", "line-000001.json")
+        with open(manifest_path) as fh:
+            payload = json.load(fh)
+        payload["schema"] = 99
+        with open(manifest_path, "w") as fh:
+            json.dump(payload, fh)
+        with pytest.raises(CheckpointError, match="schema"):
+            DurableCheckpointStore.last_line_manifest(store_path, "future")
 
 
 def _blob_paths(store_path):

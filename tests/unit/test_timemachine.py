@@ -434,6 +434,66 @@ class TestRollbackAndFacade:
         manager.rollback(compute_recovery_line(policy.store))
         assert seen == ["p0"]
 
+    def test_commit_frontier_must_advance(self):
+        """Regression: commit accepted a line at or below the frontier, so a
+        stale line (auto-committer racing a rollback, replayed commit) was
+        flushed as the newest durable manifest and a later resume restored
+        regressed state.  Stale commits must be rejected *before* any
+        durable write happens."""
+        from repro.timemachine.recovery_line import RecoveryLine
+
+        cluster = make_cluster({"p0": PingPong, "p1": PingPong}, seed=1)
+        cluster.start()
+
+        def line_at(position: int, sequence: int) -> RecoveryLine:
+            member = ProcessCheckpoint(
+                pid="p0",
+                sequence=sequence,
+                time=float(sequence),
+                state={"x": sequence},
+                vt=VectorTimestamp.from_mapping({"p0": sequence}),
+                lamport=sequence,
+                rng_draws=0,
+                sent_count=0,
+                received_count=0,
+                extra={"scroll_position": position},
+            )
+            return RecoveryLine(
+                checkpoints={"p0": member},
+                rolled_back_steps={},
+                iterations=1,
+                domino_effect=False,
+                label=f"pos{position}",
+            )
+
+        class FlushRecorder:
+            def __init__(self):
+                self.flushed = []
+
+            def flush_line(self, line):
+                self.flushed.append(line)
+                return {}
+
+            def flush_scroll(self, scroll, pending=None, now=0.0, committed_position=None):
+                return {}
+
+            def scroll_entries_pending(self, scroll):
+                return 0
+
+        durable = FlushRecorder()
+        manager = RollbackManager(cluster, durable=durable)
+        manager.commit(line_at(10, 2))
+        assert len(durable.flushed) == 1
+        with pytest.raises(RecoveryLineError, match="commits must advance"):
+            manager.commit(line_at(10, 3))  # equal to the frontier: stale
+        with pytest.raises(RecoveryLineError, match="commits must advance"):
+            manager.commit(line_at(4, 4))  # below the frontier
+        # rejected before anything durable was written
+        assert len(durable.flushed) == 1
+        assert len(manager.committed_lines) == 1
+        manager.commit(line_at(11, 5))  # advancing is fine
+        assert len(manager.committed_lines) == 2
+
     def test_time_machine_facade_end_to_end(self):
         cluster = make_cluster({"r0": RandomWorker, "r1": RandomWorker}, seed=3)
         tm = TimeMachine()
