@@ -118,6 +118,29 @@ if [[ -n "$violations" ]]; then
 fi
 echo "boundary guard: no scroll_persistence imports outside timemachine/"
 
+# ----------------------------------------------------------------------
+# Flush-pipeline boundary guard: repro.timemachine.flush_pipeline is the
+# durable store's background-writer internals.  The sanctioned surfaces
+# are the config knobs (FixDConfig.flush_mode / flush_queue_bytes,
+# Scenario.flush_mode / flush_queue_bytes) and the timemachine package
+# re-exports (FlushPipeline, DEFAULT_FLUSH_QUEUE_BYTES) — importing the
+# module directly outside src/repro/timemachine/ is a boundary
+# violation.  A line may opt out with a trailing `# facade-ok: <reason>`
+# marker, reserved for tests that exercise the pipeline itself.
+# ----------------------------------------------------------------------
+violations=$(grep -rn --include='*.py' -E \
+    '(from|import)[[:space:]]+repro\.timemachine\.flush_pipeline|from[[:space:]]+repro\.timemachine[[:space:]]+import[[:space:]][^#]*\bflush_pipeline\b|import_module\([^)]*flush_pipeline' \
+    src tests benchmarks examples scripts 2>/dev/null \
+    | grep -v '^src/repro/timemachine/' \
+    | grep -v 'facade-ok' || true)
+if [[ -n "$violations" ]]; then
+    echo "Flush-pipeline boundary violation: repro.timemachine.flush_pipeline imported outside src/repro/timemachine/" >&2
+    echo "Use the flush_mode/flush_queue_bytes config knobs or the repro.timemachine re-exports:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "boundary guard: no flush_pipeline imports outside timemachine/"
+
 if ! command -v make >/dev/null 2>&1; then
     echo "scripts/check.sh requires make; run the Makefile 'verify' steps manually:" >&2
     grep -A2 '^verify:' Makefile >&2

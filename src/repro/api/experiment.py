@@ -72,6 +72,8 @@ def _fixd_config(scenario: Scenario) -> FixDConfig:
         checkpoint_store=scenario.checkpoint_store,
         checkpoint_store_path=scenario.store_path,
         run_id=_new_run_id(scenario),
+        flush_mode=scenario.flush_mode,
+        flush_queue_bytes=scenario.flush_queue_bytes,
     )
 
 
@@ -148,10 +150,12 @@ def _remaining_faults(schedule: FaultSchedule, flush_time: float):
 
     Returns ``(remaining_schedule, pending_recoveries)``: the specs a
     continuation must re-arm (timed faults strictly after
-    ``flush_time``; partitions still open; message faults unchanged —
-    their per-rule hit counts are not persisted, a documented
-    best-effort), plus ``(pid, recover_at)`` pairs for crashes that
-    already happened but whose scheduled recovery is still due.
+    ``flush_time``; partitions still open; message faults unchanged and
+    in their original order — their persisted per-rule hit counts are
+    restored separately by :meth:`ResumedRun.continue_run`, which is why
+    rule *indices* must survive this split), plus ``(pid, recover_at)``
+    pairs for crashes that already happened but whose scheduled recovery
+    is still due.
     """
     specs = []
     recoveries = []
@@ -272,6 +276,22 @@ class ResumedRun:
             backend._install_failure_plan()
         for pid, recover_at in recoveries:
             backend.inject_recovery(pid, recover_at)
+        if self.pending is not None:
+            # Re-arm consumed nondeterminism sources captured at the last
+            # flush: count-limited message-fault rules continue at their
+            # remaining budget instead of firing afresh, and per-channel
+            # RNG streams pick up at their recorded draw positions so the
+            # continuation's jitter/loss decisions match an uninterrupted
+            # run.  (_remaining_faults keeps every message fault at its
+            # original rule index, so the persisted counts line up.)
+            fault_hits = self.pending.get("fault_hits")
+            engine = getattr(backend, "fault_engine", None)
+            if fault_hits and engine is not None:
+                engine.restore_hits(fault_hits)
+            channels = self.pending.get("channels")
+            network = getattr(backend, "_network", None)
+            if channels and network is not None:
+                network.restore_channel_states(channels)
         spec = app_registry.app(self.scenario.app)
         check = spec.check(self.scenario.check)
         result = cluster.run(

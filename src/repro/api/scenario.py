@@ -23,6 +23,7 @@ from repro.errors import ScenarioError
 BACKENDS = ("sim", "mp")
 TRANSPORTS = ("pipe", "shm")
 CHECKPOINT_STORES = ("memory", "disk")
+FLUSH_MODES = ("sync", "pipelined")
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,14 @@ class Scenario:
         name (resolved to the most recently active matching run).
         Simulator only, and only lines actually *committed*
         (``auto_commit_interval`` or a manual commit) become durable.
+    flush_mode / flush_queue_bytes:
+        How committed lines reach the durable store: ``"sync"`` writes
+        blobs and manifests inline on the commit path; ``"pipelined"``
+        snapshots the payload at commit time and a bounded background
+        writer does the blob IO and fsyncs (same crash-window and
+        resume guarantees — the queue drains at every ordering-relevant
+        boundary).  ``flush_queue_bytes`` bounds the queued payload
+        before commits block.  Only meaningful with a ``"disk"`` store.
     """
 
     app: str
@@ -99,6 +108,8 @@ class Scenario:
     transport: str = "pipe"
     checkpoint_store: str = "memory"
     store_path: Optional[str] = None
+    flush_mode: str = "sync"
+    flush_queue_bytes: int = 32 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if not self.app or not isinstance(self.app, str):
@@ -133,6 +144,20 @@ class Scenario:
                 raise ScenarioError(
                     "checkpoint_store='disk' requires an explicit store_path"
                 )
+        if self.flush_mode not in FLUSH_MODES:
+            raise ScenarioError(
+                f"unknown flush_mode {self.flush_mode!r}; "
+                f"expected one of {FLUSH_MODES}"
+            )
+        if self.flush_mode == "pipelined" and self.checkpoint_store != "disk":
+            raise ScenarioError(
+                "flush_mode='pipelined' is a durable-store knob; it requires "
+                "checkpoint_store='disk'"
+            )
+        if not isinstance(self.flush_queue_bytes, int) or self.flush_queue_bytes < 1:
+            raise ScenarioError(
+                f"flush_queue_bytes must be a positive int, got {self.flush_queue_bytes!r}"
+            )
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "recovering", tuple(self.recovering))
         if not self.name:
@@ -176,6 +201,8 @@ class Scenario:
             "transport": self.transport,
             "checkpoint_store": self.checkpoint_store,
             "store_path": self.store_path,
+            "flush_mode": self.flush_mode,
+            "flush_queue_bytes": self.flush_queue_bytes,
         }
 
     def to_json(self) -> str:

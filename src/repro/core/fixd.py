@@ -45,6 +45,7 @@ from repro.investigator.investigator import InvestigationReport, Investigator, I
 from repro.dsim.hooks import RuntimeHook
 from repro.scroll.interceptor import RecordingPolicy
 from repro.scroll.recorder import ScrollRecorder
+from repro.timemachine import DEFAULT_FLUSH_QUEUE_BYTES
 from repro.timemachine.rollback import RollbackResult
 from repro.timemachine.time_machine import CheckpointPolicy, TimeMachine, TimeMachineConfig
 
@@ -111,6 +112,15 @@ class FixDConfig:
     cow_chunk_threshold: Optional[int] = 256
     #: target element count per chunk / hash bucket.
     cow_chunk_elems: int = 32
+    #: with a ``"disk"`` store, how committed lines reach the blob store:
+    #: ``"sync"`` writes blobs and manifests inline on the commit path;
+    #: ``"pipelined"`` snapshots the payload at commit time and moves all
+    #: blob IO and fsyncs to a bounded background writer (drained at
+    #: rollback, rotation/GC, run end and stats reads, so the crash-window
+    #: invariant and resume semantics are unchanged).
+    flush_mode: str = "sync"
+    #: pipelined mode: queued payload bytes before commits block.
+    flush_queue_bytes: int = DEFAULT_FLUSH_QUEUE_BYTES
 
 
 @dataclass
@@ -215,6 +225,8 @@ class FixD:
                 store_path=self.config.checkpoint_store_path,
                 run_id=self.config.run_id,
                 durable_keep_lines=self.config.durable_keep_lines,
+                flush_mode=self.config.flush_mode,
+                flush_queue_bytes=self.config.flush_queue_bytes,
             )
         )
         self.detector = FaultDetector()

@@ -90,6 +90,28 @@ class Channel:
         return self._sent, self._dropped, self._duplicated
 
     # ------------------------------------------------------------------
+    # continuation support
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """The channel's replay-relevant position as plain data.
+
+        Covers exactly what a continuation cannot rebuild from the
+        checkpointed process states: the RNG draw position (how far into
+        the channel's deterministic jitter/loss stream the run got) and
+        the FIFO delivery watermark.  The traffic counters are excluded
+        on purpose — they are reporting, not behaviour.
+        """
+        return {
+            "rng_draws": self._rng.draws,
+            "last_delivery_time": self._last_delivery_time,
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Fast-forward this channel to a persisted :meth:`state_snapshot`."""
+        self._rng.restore(int(snapshot.get("rng_draws", 0)))
+        self._last_delivery_time = float(snapshot.get("last_delivery_time", 0.0))
+
+    # ------------------------------------------------------------------
     # behaviour
     # ------------------------------------------------------------------
     def plan_delivery(

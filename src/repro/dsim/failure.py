@@ -166,3 +166,18 @@ class MessageFaultEngine:
     def hit_counts(self) -> Dict[int, int]:
         """Per-rule hit counters (rule index -> hits)."""
         return dict(self._hits)
+
+    def restore_hits(self, counts: Dict[int, int]) -> None:
+        """Re-arm the counters from persisted hit counts (continuation).
+
+        A resumed run rebuilds this engine from the scenario's fault
+        schedule, which resets every counter to zero; restoring the
+        persisted counts keeps count-limited rules at their remaining
+        budget instead of firing all over again.  Keys may arrive as
+        strings (JSON round-trip); unknown rule indices are ignored —
+        the schedule is authoritative for which rules exist.
+        """
+        for index, hits in counts.items():
+            index = int(index)
+            if index in self._hits:
+                self._hits[index] = max(self._hits[index], int(hits))

@@ -112,6 +112,27 @@ class Network:
         return self._channels[key]
 
     # ------------------------------------------------------------------
+    # continuation support
+    # ------------------------------------------------------------------
+    def channel_states(self) -> Dict[Tuple[str, str], dict]:
+        """Per-channel replay positions for every channel created so far.
+
+        Channels are created lazily with seeds derived purely from the
+        network seed and the endpoint pair, so a rebuilt network recreates
+        identical channels on demand — only their *positions* (RNG draws,
+        FIFO watermark) need persisting for a faithful continuation.
+        """
+        return {
+            key: channel.state_snapshot() for key, channel in self._channels.items()
+        }
+
+    def restore_channel_states(self, states: Dict[Tuple[str, str], dict]) -> None:
+        """Fast-forward channels to persisted :meth:`channel_states`."""
+        for key, snapshot in states.items():
+            src, dst = key
+            self.channel(src, dst).restore_state(snapshot)
+
+    # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
     def route(

@@ -32,6 +32,10 @@ from repro.timemachine.checkpoint import CheckpointStore, GlobalCheckpoint, Loca
 from repro.timemachine.comm_induced import CommunicationInducedCheckpointing, PeriodicCheckpointing
 from repro.timemachine.coordinated import CoordinatedSnapshotter
 from repro.timemachine.cow import CowCheckpoint, CowPageStore
+from repro.timemachine.flush_pipeline import (  # facade-ok
+    DEFAULT_FLUSH_QUEUE_BYTES,
+    FlushPipeline,
+)
 from repro.timemachine.recovery_line import RecoveryLine, compute_recovery_line, is_consistent
 from repro.timemachine.rollback import RollbackManager, RollbackResult
 from repro.timemachine.speculation import Speculation, SpeculationManager, SpeculationStatus
@@ -49,6 +53,8 @@ __all__ = [
     "CoordinatedSnapshotter",
     "CowCheckpoint",
     "CowPageStore",
+    "DEFAULT_FLUSH_QUEUE_BYTES",
+    "FlushPipeline",
     "RecoveryLine",
     "compute_recovery_line",
     "is_consistent",

@@ -70,10 +70,13 @@ from repro.errors import BlobIntegrityError, CheckpointError
 from repro.timemachine.cow import (
     DEFAULT_CHUNK_ELEMS,
     DEFAULT_CHUNK_THRESHOLD,
+    _CachedChunked,
+    _CachedKey,
     assemble_chunked,
     chunk_items,
     chunk_kind,
 )
+from repro.timemachine.flush_pipeline import DEFAULT_FLUSH_QUEUE_BYTES, FlushPipeline
 
 #: v1 line manifests carried the committed Scroll position only per-pid in
 #: ``checkpoints.*.extra.scroll_position``; v2 lifts the line-wide frontier to
@@ -356,6 +359,8 @@ class DurableCheckpointStore:
         chunk_elems: int = DEFAULT_CHUNK_ELEMS,
         order_elems: Optional[int] = None,
         keep_lines: Optional[int] = None,
+        flush_mode: str = "sync",
+        flush_queue_bytes: int = DEFAULT_FLUSH_QUEUE_BYTES,
     ) -> None:
         if not run_id:
             raise CheckpointError("a durable checkpoint store needs a non-empty run_id")
@@ -366,6 +371,10 @@ class DurableCheckpointStore:
             )
         if keep_lines is not None and keep_lines < 1:
             raise CheckpointError("keep_lines must be at least 1 (or None to keep all)")
+        if flush_mode not in ("sync", "pipelined"):
+            raise CheckpointError(
+                f"flush_mode must be 'sync' or 'pipelined', not {flush_mode!r}"
+            )
         self.root = Path(root)
         self.run_id = run_id
         self.blobs = BlobStore(self.root)
@@ -383,7 +392,20 @@ class DurableCheckpointStore:
         self.chunks_written = 0
         self.chunks_deduped = 0
         self.chunks_reused = 0
+        self.chunks_cached = 0
         self.logical_bytes = 0
+        #: commit-path serialization accounting: bytes pickled / hashed at
+        #: flush time (what the zero-re-pickle path keeps near zero)
+        self.commit_pickled_bytes = 0
+        self.commit_hashed_bytes = 0
+        self.flush_mode = flush_mode
+        self.flush_queue_bytes = flush_queue_bytes
+        #: background writer in pipelined mode; None means fully synchronous
+        self.pipeline: Optional[FlushPipeline] = (
+            FlushPipeline(flush_queue_bytes, name=run_id)
+            if flush_mode == "pipelined"
+            else None
+        )
         #: lazily-built ScrollPersistence sharing this store's blobs and lock
         self._scroll_persistence = None
 
@@ -399,7 +421,7 @@ class DurableCheckpointStore:
             (json.dumps(document, sort_keys=True, indent=2) + "\n").encode("utf-8"),
         )
 
-    def flush_line(self, line) -> Dict[str, int]:
+    def flush_line(self, line, chunk_sources=None) -> Dict[str, int]:
         """Persist one committed recovery line; returns per-flush counters.
 
         Every state key of every member checkpoint is chunked with the
@@ -409,56 +431,134 @@ class DurableCheckpointStore:
         blobs is atomically written.  The manifest write is last, so a
         crash mid-flush leaves the previous committed line as the
         newest readable one — never a partial line.
+
+        ``chunk_sources`` maps ``pid -> {key: cached chunk entries}``
+        straight out of the COW page store
+        (:meth:`~repro.timemachine.cow.CowPageStore.chunk_sources`): a
+        key covered there flushes the *capture-time* pickled bytes
+        without re-pickling, and a chunk whose durable address was
+        learned on an earlier commit and still exists on disk is flushed
+        by address alone — zero pickling, zero hashing, zero content IO.
+        Keys without a cached source fall back to re-chunking.
+
+        In pipelined mode the blob writes and the manifest rename run on
+        the background writer; the returned counter dict is filled in as
+        the job executes and is complete once :meth:`drain` returns.
         """
-        flushed = {"chunks_written": 0, "chunks_deduped": 0, "chunks_reused": 0, "logical_bytes": 0}
-        with self._lock.shared():
-            self._flush_line_locked(line, flushed)
-        if self.keep_lines is not None:
-            self.rotate(self.keep_lines)
+        flushed = {
+            "chunks_written": 0,
+            "chunks_deduped": 0,
+            "chunks_reused": 0,
+            "chunks_cached": 0,
+            "logical_bytes": 0,
+            "pickled_bytes": 0,
+            "hashed_bytes": 0,
+        }
+        payload, cost = self._prepare_line(line, chunk_sources, flushed)
+
+        def job() -> None:
+            # holding the store lock shared keeps concurrent sweeps out of
+            # the window between the blob puts and the manifest write
+            with self._lock.shared():
+                self._write_line_locked(payload, flushed)
+            if self.keep_lines is not None:
+                self._rotate_locked_path(self.keep_lines)
+
+        self._submit(job, cost)
         return flushed
 
-    def _flush_line_locked(self, line, flushed: Dict[str, int]) -> None:
-        # holding the store lock shared keeps concurrent sweeps out of the
-        # window between these blob puts and the manifest write below
-        checkpoints_payload: Dict[str, Any] = {}
+    def _prepare_line(self, line, chunk_sources, flushed: Dict[str, int]):
+        """Snapshot everything a line flush will write (the commit hot path).
+
+        Pickling happens here only for keys without a cached chunk
+        source; everything the job needs afterwards is immutable bytes
+        plus JSON-safe metadata, so the write itself can run on the
+        background pipeline without racing later state mutations.
+        """
+        checkpoints = []
+        cost = 0
         for pid, checkpoint in sorted(line.checkpoints.items()):
-            state_payload: Dict[str, Any] = {}
+            source = (chunk_sources or {}).get(pid) or {}
+            state_entries = []
             for key, value in checkpoint.state.items():
-                kind = chunk_kind(value, self.chunk_threshold)
-                if kind is None:
-                    blobs = [self._pickle_chunk(key, value)]
-                    order_blobs: List[bytes] = []
+                cached = source.get(key)
+                if isinstance(cached, _CachedKey):
                     kind = "whole"
+                    entries: List[_CachedKey] = [cached]
+                    order_entries: List[_CachedKey] = []
+                elif isinstance(cached, _CachedChunked):
+                    kind = cached.kind
+                    entries = list(cached.chunks)
+                    order_entries = list(cached.order)
                 else:
-                    value_chunks, order_chunks = chunk_items(
-                        kind, value, self.chunk_elems, self.order_elems
-                    )
-                    blobs = [self._pickle_chunk(key, chunk) for chunk in value_chunks]
-                    order_blobs = [self._pickle_chunk(key, chunk) for chunk in order_chunks]
+                    kind = chunk_kind(value, self.chunk_threshold)
+                    if kind is None:
+                        kind = "whole"
+                        blobs = [self._pickle_chunk(key, value)]
+                        order_blobs: List[bytes] = []
+                    else:
+                        value_chunks, order_chunks = chunk_items(
+                            kind, value, self.chunk_elems, self.order_elems
+                        )
+                        blobs = [self._pickle_chunk(key, chunk) for chunk in value_chunks]
+                        order_blobs = [
+                            self._pickle_chunk(key, chunk) for chunk in order_chunks
+                        ]
+                    flushed["pickled_bytes"] += sum(len(blob) for blob in blobs)
+                    flushed["pickled_bytes"] += sum(len(blob) for blob in order_blobs)
+                    entries = [_CachedKey(value=None, blob=blob, hashes=[]) for blob in blobs]
+                    order_entries = [
+                        _CachedKey(value=None, blob=blob, hashes=[]) for blob in order_blobs
+                    ]
+                for entry in entries:
+                    if entry.address is None:
+                        cost += len(entry.blob)
+                for entry in order_entries:
+                    if entry.address is None:
+                        cost += len(entry.blob)
+                state_entries.append((key, kind, entries, order_entries))
+            checkpoints.append(
+                (
+                    pid,
+                    {
+                        "sequence": checkpoint.sequence,
+                        "time": checkpoint.time,
+                        "vt": checkpoint.vt.as_dict(),
+                        "lamport": checkpoint.lamport,
+                        "rng_draws": checkpoint.rng_draws,
+                        "sent_count": checkpoint.sent_count,
+                        "received_count": checkpoint.received_count,
+                        "extra": _json_safe(checkpoint.extra),
+                    },
+                    state_entries,
+                )
+            )
+        position = getattr(line, "scroll_position", None)
+        payload = {
+            "label": getattr(line, "label", ""),
+            "scroll_position": position() if callable(position) else position,
+            "checkpoints": checkpoints,
+        }
+        return payload, cost
+
+    def _write_line_locked(self, payload, flushed: Dict[str, int]) -> None:
+        checkpoints_payload: Dict[str, Any] = {}
+        for pid, meta, state_entries in payload["checkpoints"]:
+            state_payload: Dict[str, Any] = {}
+            for key, kind, entries, order_entries in state_entries:
                 state_payload[key] = {
                     "kind": kind,
-                    "chunks": [self._put_counted(blob, flushed) for blob in blobs],
-                    "order": [self._put_counted(blob, flushed) for blob in order_blobs],
+                    "chunks": [self._put_entry(entry, flushed) for entry in entries],
+                    "order": [self._put_entry(entry, flushed) for entry in order_entries],
                 }
-            checkpoints_payload[pid] = {
-                "sequence": checkpoint.sequence,
-                "time": checkpoint.time,
-                "vt": checkpoint.vt.as_dict(),
-                "lamport": checkpoint.lamport,
-                "rng_draws": checkpoint.rng_draws,
-                "sent_count": checkpoint.sent_count,
-                "received_count": checkpoint.received_count,
-                "extra": _json_safe(checkpoint.extra),
-                "state": state_payload,
-            }
+            checkpoints_payload[pid] = dict(meta, state=state_payload)
         self._line_index += 1
-        position = getattr(line, "scroll_position", None)
         manifest = {
             "schema": MANIFEST_SCHEMA,
             "run_id": self.run_id,
             "index": self._line_index,
-            "label": getattr(line, "label", ""),
-            "scroll_position": position() if callable(position) else position,
+            "label": payload["label"],
+            "scroll_position": payload["scroll_position"],
             "checkpoints": checkpoints_payload,
         }
         _atomic_write(
@@ -469,7 +569,10 @@ class DurableCheckpointStore:
         self.chunks_written += flushed["chunks_written"]
         self.chunks_deduped += flushed["chunks_deduped"]
         self.chunks_reused += flushed["chunks_reused"]
+        self.chunks_cached += flushed["chunks_cached"]
         self.logical_bytes += flushed["logical_bytes"]
+        self.commit_pickled_bytes += flushed["pickled_bytes"]
+        self.commit_hashed_bytes += flushed["hashed_bytes"]
 
     def _pickle_chunk(self, key: str, value: Any) -> bytes:
         try:
@@ -479,16 +582,28 @@ class DurableCheckpointStore:
                 f"state key {key!r} is not serializable for the durable store: {exc}"
             ) from exc
 
-    def _put_counted(self, blob: bytes, flushed: Dict[str, int]) -> str:
-        flushed["logical_bytes"] += len(blob)
-        name = self.blobs.address(blob)
-        # _seen alone is not proof the blob survives: a rotation (ours or
-        # another run's) may have unlinked it since it was first put, so a
-        # recurring chunk value must be re-written when its file is gone
-        if name in self._seen and self.blobs.exists(name):
-            flushed["chunks_reused"] += 1
-            return name
-        name, written = self.blobs.put(blob)
+    def _put_entry(self, entry: _CachedKey, flushed: Dict[str, int]) -> str:
+        flushed["logical_bytes"] += len(entry.blob)
+        name = entry.address
+        if name is not None:
+            # the zero-cost tier: address learned on an earlier commit.
+            # _seen alone is not proof the blob survives: a rotation (ours
+            # or another run's) may have unlinked it since it was first
+            # put, so a recurring chunk must be re-written when its file
+            # is gone — the cached address itself stays valid (the bytes
+            # are immutable).
+            if name in self._seen and self.blobs.exists(name):
+                flushed["chunks_reused"] += 1
+                flushed["chunks_cached"] += 1
+                return name
+        else:
+            flushed["hashed_bytes"] += len(entry.blob)
+            name = self.blobs.address(entry.blob)
+            entry.address = name
+            if name in self._seen and self.blobs.exists(name):
+                flushed["chunks_reused"] += 1
+                return name
+        _, written = self.blobs.put(entry.blob)
         if written:
             flushed["chunks_written"] += 1
         else:
@@ -553,7 +668,16 @@ class DurableCheckpointStore:
         state, not to store history.  Candidates a surviving line (of
         any run) still references are kept, so rotating one run never
         breaks another's.  Returns the number of blobs unlinked.
+
+        A hard pipeline barrier: queued flushes land first, so a sweep
+        never reads a manifest set that is about to grow.
         """
+        self.drain()
+        return self._rotate_locked_path(keep_lines)
+
+    def _rotate_locked_path(self, keep_lines: int) -> int:
+        """The rotation body; also runs *on* the pipeline worker after each
+        pipelined line flush, where draining would self-deadlock."""
         if keep_lines < 1:
             raise CheckpointError("keep_lines must be at least 1")
         with self._lock.exclusive():
@@ -576,7 +700,9 @@ class DurableCheckpointStore:
         The full O(store size) sweep: it lists every blob on disk.  Use
         it for offline maintenance and post-crash cleanup; per-commit
         rotation uses the incremental candidate sweep in :meth:`rotate`.
+        Like :meth:`rotate`, a hard pipeline barrier.
         """
+        self.drain()
         with self._lock.exclusive():
             dead = set(self.blobs.blob_names()) - self._reachable_blobs()
             return self._sweep(dead)
@@ -627,21 +753,59 @@ class DurableCheckpointStore:
         return freed
 
     # ------------------------------------------------------------------
+    # pipelined IO
+    # ------------------------------------------------------------------
+    def _submit(self, job, cost: int) -> None:
+        """Run ``job`` inline (sync mode) or enqueue it (pipelined mode)."""
+        if self.pipeline is None:
+            job()
+        else:
+            self.pipeline.submit(job, cost)
+
+    def drain(self) -> None:
+        """Hard barrier: every queued flush is durable when this returns.
+
+        Re-raises the first error a background flush hit.  A no-op in
+        sync mode, so callers never need to know which mode they run in.
+        """
+        if self.pipeline is not None:
+            self.pipeline.drain()
+
+    def close(self) -> None:
+        """Drain and stop the background writer (idempotent)."""
+        if self.pipeline is not None:
+            self.pipeline.close()
+
+    # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """Store counters for Outcome reports and benchmarks."""
+        """Store counters for Outcome reports and benchmarks.
+
+        Reading stats is itself a pipeline barrier: the numbers describe
+        a store whose queued flushes have all landed.
+        """
+        self.drain()
         persistence = self._scroll_persistence
-        return {
+        counters = {
             "lines_committed": self.lines_committed,
             "chunks_written": self.chunks_written,
             "chunks_deduped": self.chunks_deduped,
             "chunks_reused": self.chunks_reused,
+            "chunks_cached": self.chunks_cached,
             "logical_bytes": self.logical_bytes,
+            "commit_pickled_bytes": self.commit_pickled_bytes,
+            "commit_hashed_bytes": self.commit_hashed_bytes,
             "scroll_flushes": persistence.flushes if persistence else 0,
             "scroll_bytes": persistence.segment_bytes if persistence else 0,
             "bytes_on_disk": self.blobs.bytes_on_disk(),
         }
+        if self.pipeline is not None:
+            pipe = self.pipeline.stats()
+            counters["flush_jobs"] = int(pipe["jobs_completed"])
+            counters["flush_stall_us"] = int(pipe["enqueue_stall_s"] * 1e6)
+            counters["flush_peak_queue_bytes"] = int(pipe["peak_queue_bytes"])
+        return counters
 
     # ------------------------------------------------------------------
     # read path (classmethods: resume runs without the writing process)

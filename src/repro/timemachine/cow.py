@@ -312,6 +312,11 @@ class _CachedKey:
     value: Any               # the trusted-scalar value, or _OPAQUE for mutable types
     blob: bytes              # serialized bytes of the captured version
     hashes: List[str]        # page hashes of ``blob``
+    #: SHA-256 blob-store address of ``blob``, learned lazily the first
+    #: time the durable store flushes this chunk.  ``blob`` is immutable,
+    #: so a learned address stays valid for the life of the entry; the
+    #: store still re-checks existence on disk (ABA after rotation).
+    address: Optional[str] = None
 
 
 @dataclass
@@ -363,6 +368,12 @@ class CowCheckpoint:
     serialized_bytes: int = 0
     #: chunk decomposition per state key; ``None`` for whole-blob checkpoints.
     key_layouts: Optional[Dict[str, KeyLayout]] = None
+    #: the capture's cached chunk entries per state key — the exact
+    #: pickled bytes (and, once learned, durable addresses) this
+    #: checkpoint's pages were derived from.  Entries are shared with
+    #: neighbouring checkpoints when clean, so holding them costs what
+    #: the page store already pays; ``None`` for whole-blob checkpoints.
+    chunk_cache: Optional[Dict[Any, Union["_CachedKey", "_CachedChunked"]]] = None
 
     @property
     def pages(self) -> int:
@@ -496,6 +507,7 @@ class CowPageStore:
             hashed_bytes=self._cap_hashed,
             serialized_bytes=self._cap_serialized,
             key_layouts=key_layouts,
+            chunk_cache=next_cache,
         )
         self._checkpoints.setdefault(pid, []).append(checkpoint)
         return checkpoint
@@ -680,6 +692,27 @@ class CowPageStore:
     def chain(self, pid: str) -> List[CowCheckpoint]:
         """All incremental checkpoints of ``pid`` in capture order."""
         return list(self._checkpoints.get(pid, ()))
+
+    def chunk_sources(
+        self, pid: str, sequence: Any
+    ) -> Optional[Dict[Any, Union[_CachedKey, _CachedChunked]]]:
+        """The cached chunk entries of the capture stamped ``sequence``.
+
+        ``sequence`` is the *process-checkpoint* sequence the policy
+        recorded in the capture's ``extra`` (not the COW store's own
+        counter).  This is what the durable store consumes to flush a
+        committed line without re-pickling: each entry holds the exact
+        bytes the capture serialized, plus the durable address once the
+        store has learned it.  Returns ``None`` when no matching capture
+        is held (dropped, whole-blob, or never routed through this
+        store) — the durable flush then falls back to re-chunking.
+        """
+        if sequence is None:
+            return None
+        for checkpoint in reversed(self._checkpoints.get(pid, ())):
+            if checkpoint.extra.get("sequence") == sequence:
+                return checkpoint.chunk_cache
+        return None
 
     # ------------------------------------------------------------------
     # accounting

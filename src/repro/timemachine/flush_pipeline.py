@@ -1,0 +1,169 @@
+"""A bounded background writer taking durable flush IO off the commit path.
+
+In sync mode every ``RollbackManager.commit`` pays for its blob writes
+and fsyncs inline: the run is stalled for the full disk round-trip of
+the committed line plus its Scroll window.  FixD monitors *deployed*
+applications, so that stall lands on the serving hot path.  This module
+moves the IO to a single background worker thread fed by a bounded
+FIFO queue:
+
+* the **hot path** only snapshots what must be written (already-pickled
+  chunk bytes, the Scroll tail slice, the pending-event snapshot) and
+  enqueues a job — wall time per commit drops to the snapshot cost;
+* the **worker** executes jobs strictly in submission order, so every
+  crash-window invariant of the sync path carries over unchanged:
+  blobs land first, the line manifest rename is last, and the scroll
+  sidecar (queued after its line) can never prune segments before the
+  manifest referencing their replay window is durable;
+* the queue is **bounded by payload bytes** (``max_bytes``): a submit
+  that would overflow it blocks until the worker drains — commit stall
+  degrades gracefully back toward sync behaviour instead of growing the
+  heap without limit;
+* a job that raises **poisons the pipeline**: the remaining queue is
+  discarded (executing a sidecar rewrite after its line flush failed
+  would violate the ordering invariant) and the error re-raises on the
+  next ``submit``/``drain``, so callers observe the failure exactly
+  once, just later than the sync path would have shown it;
+* ``drain()`` is the **hard barrier**: it returns only when every
+  submitted job has executed (or re-raises the poisoning error).  The
+  durable store drains at rollback, rotation/GC, run end, and before
+  reading its own stats, so every read-after-write site sees the same
+  store a sync-mode caller would.
+
+The worker is a daemon thread: an abandoned pipeline never blocks
+interpreter exit — exactly the crash the durable store's atomic-write
+discipline is designed to survive.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Optional
+
+from repro.errors import CheckpointError
+
+#: default queue bound: roughly a handful of committed lines of a large
+#: state before backpressure kicks in
+DEFAULT_FLUSH_QUEUE_BYTES = 32 * 1024 * 1024
+
+
+class FlushPipeline:
+    """One background worker executing flush jobs in strict FIFO order."""
+
+    def __init__(self, max_bytes: int = DEFAULT_FLUSH_QUEUE_BYTES, name: str = "flush") -> None:
+        if max_bytes < 1:
+            raise CheckpointError("flush_queue_bytes must be at least 1")
+        self.max_bytes = max_bytes
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._queued_bytes = 0
+        self._active = False          # worker is executing a job right now
+        self._error: Optional[BaseException] = None
+        self._closed = False
+        #: counters for stats(); written under the lock
+        self.jobs_enqueued = 0
+        self.jobs_completed = 0
+        self.enqueue_stall_s = 0.0
+        self.peak_queue_bytes = 0
+        self._worker = threading.Thread(
+            target=self._run, name=f"{name}-pipeline", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # hot-path side
+    # ------------------------------------------------------------------
+    def submit(self, job: Callable[[], None], cost: int = 0) -> None:
+        """Enqueue ``job``; blocks while the queue is over ``max_bytes``.
+
+        ``cost`` is the job's retained payload size in bytes — what the
+        bound meters.  A single oversized job is still accepted once the
+        queue is empty (the bound throttles, it never rejects).
+        """
+        cost = max(0, int(cost))
+        with self._wake:
+            self._raise_if_poisoned()
+            if self._closed:
+                raise CheckpointError("flush pipeline is closed")
+            if self._queued_bytes + cost > self.max_bytes and self._queue:
+                stalled_at = time.perf_counter()
+                while self._queued_bytes + cost > self.max_bytes and self._queue:
+                    self._wake.wait()
+                    self._raise_if_poisoned()
+                self.enqueue_stall_s += time.perf_counter() - stalled_at
+            self._queue.append((job, cost))
+            self._queued_bytes += cost
+            self.peak_queue_bytes = max(self.peak_queue_bytes, self._queued_bytes)
+            self.jobs_enqueued += 1
+            self._wake.notify_all()
+
+    def drain(self) -> None:
+        """Block until every submitted job has executed; re-raise any failure."""
+        with self._wake:
+            while self._error is None and (self._queue or self._active):
+                self._wake.wait()
+            self._raise_if_poisoned()
+
+    def close(self) -> None:
+        """Drain and stop the worker (idempotent; used by tests and teardown)."""
+        try:
+            self.drain()
+        finally:
+            with self._wake:
+                self._closed = True
+                self._wake.notify_all()
+            self._worker.join(timeout=5.0)
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "jobs_enqueued": self.jobs_enqueued,
+                "jobs_completed": self.jobs_completed,
+                "enqueue_stall_s": self.enqueue_stall_s,
+                "peak_queue_bytes": self.peak_queue_bytes,
+            }
+
+    def _raise_if_poisoned(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            # surface the worker's failure with its original type when it
+            # already is a store error; wrap anything else so callers see
+            # the durable layer as the source
+            raise error
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._wake:
+                # wake only for work or shutdown — a stashed error is the
+                # hot path's to observe, not a reason to spin here
+                while not self._queue and not self._closed:
+                    self._wake.wait()
+                if self._closed and not self._queue:
+                    return
+                job, cost = self._queue.popleft()
+                self._queued_bytes -= cost
+                self._active = True
+                self._wake.notify_all()
+            try:
+                job()
+            except BaseException as exc:  # noqa: BLE001 - stashed, re-raised at the barrier
+                with self._wake:
+                    # poisoned: discard the rest — executing job N+1 after
+                    # job N failed would break the blobs-first/manifest-last
+                    # and manifest-before-sidecar orderings
+                    self._error = exc
+                    self._queue.clear()
+                    self._queued_bytes = 0
+                    self._active = False
+                    self._wake.notify_all()
+                continue
+            with self._wake:
+                self._active = False
+                self.jobs_completed += 1
+                self._wake.notify_all()

@@ -43,7 +43,7 @@ class RollbackManager:
     request along a different path.
     """
 
-    def __init__(self, cluster, durable=None) -> None:
+    def __init__(self, cluster, durable=None, cow=None) -> None:
         self._cluster = cluster
         self._alternate_paths: Dict[str, Callable[[object], None]] = {}
         self.history: List[RollbackResult] = []
@@ -51,6 +51,10 @@ class RollbackManager:
         self.committed_lines: List[RecoveryLine] = []
         #: optional DurableCheckpointStore; committed lines flush to it
         self._durable = durable
+        #: optional CowPageStore whose per-capture chunk caches feed the
+        #: durable flush (zero-re-pickle commits); the caller guarantees
+        #: its chunk layout parameters match the durable store's
+        self._cow = cow
         #: per-flush counter dicts returned by the durable store
         self.durable_flushes: List[Dict[str, int]] = []
         #: per-flush counter dicts for durable Scroll segments
@@ -76,6 +80,11 @@ class RollbackManager:
             raise RecoveryLineError(
                 "refusing to roll back to an inconsistent set of checkpoints"
             )
+        if self._durable is not None:
+            # hard pipeline barrier: the commit-ordering check below reasons
+            # about the durable frontier, so queued flushes (and any error
+            # they hit) must land before state is rewound
+            self._durable.drain()
         self._check_not_past_commit(line)
         time_before = self._cluster.now
         distances = {
@@ -180,7 +189,15 @@ class RollbackManager:
         self._check_commit_advances(line)
         position = line.scroll_position()
         if self._durable is not None:
-            self.durable_flushes.append(self._durable.flush_line(line))
+            chunk_sources = None
+            if self._cow is not None:
+                chunk_sources = {
+                    pid: self._cow.chunk_sources(pid, checkpoint.sequence)
+                    for pid, checkpoint in line.checkpoints.items()
+                }
+            self.durable_flushes.append(
+                self._durable.flush_line(line, chunk_sources=chunk_sources)
+            )
             self._flush_scroll(committed_position=position)
         self.committed_lines.append(line)
         if not collect_scroll:

@@ -130,62 +130,89 @@ class ScrollPersistence:
         given, and atomically rewrites the sidecar — blobs first,
         sidecar last, under the store's shared lock, so a crash at any
         point leaves a consistent (at worst slightly stale) durable log.
+
+        The live Scroll is read on the caller's (hot) path: the tail
+        slice and the in-flight snapshot are captured at the same
+        instant, so a continuation can never see recorded history past
+        its pending snapshot.  In pipelined mode only the encoding, blob
+        puts and sidecar rename run on the background writer — queued
+        after the line flush they belong to, so the sidecar can never
+        prune a replay window before the manifest referencing it is
+        durable.
         """
         counters = {"segments_written": 0, "entries_flushed": 0, "segment_bytes": 0}
-        with self._lock.shared():
-            start = max(self._flushed_end, scroll.collected_base)
-            end = len(scroll)
-            if end > start:
-                entries = scroll.entries_between(start, end)
-                blob = encode_segment(entries)
-                name, _ = self._blobs.put(blob)
-                self._segments.append({"first": start, "count": len(entries), "blob": name})
-                self._flushed_end = end
-                self._seq_max = max(
-                    self._seq_max, max(entry.seq for entry in entries)
+        start = max(self._flushed_end, scroll.collected_base)
+        end = len(scroll)
+        entries = scroll.entries_between(start, end) if end > start else []
+        self._flushed_end = max(self._flushed_end, end)
+        frontier = self._flushed_end
+        now = float(now)
+
+        def job() -> None:
+            with self._lock.shared():
+                self._write_flush(
+                    entries, start, frontier, pending, now, committed_position, counters
                 )
-                self._msg_id_max = max(self._msg_id_max, _max_msg_id(entries))
-                counters["segments_written"] = 1
-                counters["entries_flushed"] = len(entries)
-                counters["segment_bytes"] = len(blob)
-                self.segment_bytes += len(blob)
-            if committed_position is not None:
-                self._segments = [
-                    segment
-                    for segment in self._segments
-                    if segment["first"] + segment["count"] > committed_position
-                ]
-            pending_name: Optional[str] = None
-            if pending is not None:
-                deliveries = pending.get("deliveries", ())
-                self._msg_id_max = max(
-                    self._msg_id_max,
-                    max(
-                        (record.get("msg_id", 0) for _, record in deliveries),
-                        default=0,
-                    ),
-                )
-                pending_blob = pickle.dumps(pending, protocol=pickle.HIGHEST_PROTOCOL)
-                pending_name, _ = self._blobs.put(pending_blob)
-                counters["segment_bytes"] += len(pending_blob)
-                self.segment_bytes += len(pending_blob)
-            start_position = (
-                self._segments[0]["first"] if self._segments else self._flushed_end
-            )
-            sidecar = {
-                "schema": SCROLL_SIDECAR_SCHEMA,
-                "run_id": self.run_id,
-                "flush_time": float(now),
-                "position": self._flushed_end,
-                "start": start_position,
-                "seq_next": self._seq_max + 1,
-                "msg_id_next": self._msg_id_max + 1,
-                "segments": self._segments,
-                "pending": pending_name,
-            }
-            _atomic_write_json(self.sidecar_path, sidecar)
-        self.flushes += 1
+            self.flushes += 1
+
+        # the retained payload is the entry list plus the pending snapshot;
+        # a rough per-entry estimate is plenty for queue backpressure
+        self._store._submit(job, cost=len(entries) * 256)
         return counters
+
+    def _write_flush(
+        self,
+        entries: List[ScrollEntry],
+        start: int,
+        frontier: int,
+        pending: Optional[Dict[str, Any]],
+        now: float,
+        committed_position: Optional[int],
+        counters: Dict[str, int],
+    ) -> None:
+        if entries:
+            blob = encode_segment(entries)
+            name, _ = self._blobs.put(blob)
+            self._segments.append({"first": start, "count": len(entries), "blob": name})
+            self._seq_max = max(self._seq_max, max(entry.seq for entry in entries))
+            self._msg_id_max = max(self._msg_id_max, _max_msg_id(entries))
+            counters["segments_written"] = 1
+            counters["entries_flushed"] = len(entries)
+            counters["segment_bytes"] = len(blob)
+            self.segment_bytes += len(blob)
+        if committed_position is not None:
+            self._segments = [
+                segment
+                for segment in self._segments
+                if segment["first"] + segment["count"] > committed_position
+            ]
+        pending_name: Optional[str] = None
+        if pending is not None:
+            deliveries = pending.get("deliveries", ())
+            self._msg_id_max = max(
+                self._msg_id_max,
+                max(
+                    (record.get("msg_id", 0) for _, record in deliveries),
+                    default=0,
+                ),
+            )
+            pending_blob = pickle.dumps(pending, protocol=pickle.HIGHEST_PROTOCOL)
+            pending_name, _ = self._blobs.put(pending_blob)
+            counters["segment_bytes"] += len(pending_blob)
+            self.segment_bytes += len(pending_blob)
+        start_position = self._segments[0]["first"] if self._segments else frontier
+        sidecar = {
+            "schema": SCROLL_SIDECAR_SCHEMA,
+            "run_id": self.run_id,
+            "flush_time": now,
+            "position": frontier,
+            "start": start_position,
+            "seq_next": self._seq_max + 1,
+            "msg_id_next": self._msg_id_max + 1,
+            "segments": self._segments,
+            "pending": pending_name,
+        }
+        _atomic_write_json(self.sidecar_path, sidecar)
 
     def referenced_blobs(self) -> Set[str]:
         """Blob addresses the current sidecar keeps reachable."""
@@ -273,6 +300,19 @@ def capture_pending(backend) -> Optional[Dict[str, Any]]:
     None for backends without an inspectable scheduler (e.g. the
     multiprocessing backend), in which case resume degrades to
     replay-without-pending.
+
+    The snapshot also carries the continuation-fidelity state that is
+    neither checkpointed process state nor recorded history:
+
+    * ``fault_hits`` — the message-fault engine's per-rule hit counters,
+      so count-limited drop/duplicate/delay rules re-arm with their
+      remaining budget instead of restarting from zero;
+    * ``channels`` — each created channel's RNG draw position and FIFO
+      delivery watermark, so non-default ``ChannelConfig``s draw exactly
+      the jitter/loss sequence the uninterrupted run would have.
+
+    Everything captured here is a fresh plain-data copy taken at the
+    caller's instant — safe to hand to the background flush pipeline.
     """
     scheduler = getattr(backend, "_scheduler", None)
     if scheduler is None:
@@ -287,7 +327,16 @@ def capture_pending(backend) -> Optional[Dict[str, Any]]:
         (event.time, event.target, event.payload[0], event.payload[1])
         for event in scheduler.pending(EventKind.TIMER)
     ]
-    return {"deliveries": deliveries, "timers": timers}
+    snapshot: Dict[str, Any] = {"deliveries": deliveries, "timers": timers}
+    engine = getattr(backend, "fault_engine", None)
+    if engine is not None:
+        snapshot["fault_hits"] = engine.hit_counts()
+    network = getattr(backend, "_network", None)
+    if network is not None:
+        channels = network.channel_states()
+        if channels:
+            snapshot["channels"] = channels
+    return snapshot
 
 
 def _atomic_write_json(path: Path, document: Dict[str, Any]) -> None:

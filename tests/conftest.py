@@ -126,3 +126,47 @@ def store_path(tmp_path):
     """A scratch durable-checkpoint-store root, so `durable` tests never
     touch a shared directory and tier-1 stays hermetic."""
     return str(tmp_path / "checkpoint-store")
+
+
+@pytest.fixture(params=["sync", "pipelined"])
+def durable_flush_mode(request, monkeypatch):
+    """Run a durable-store test in both flush modes.
+
+    In pipelined mode every :class:`DurableCheckpointStore` the test
+    constructs gets ``flush_mode="pipelined"`` and every flush is
+    followed by a hard :meth:`drain`, so tests that read the store right
+    back observe landed writes — and ``pytest.raises`` around a flush
+    still sees the worker's error, because the drain re-raises it.
+    """
+    mode = request.param
+    if mode == "pipelined":
+        from repro.timemachine import DurableCheckpointStore
+
+        orig_init = DurableCheckpointStore.__init__
+
+        def pipelined_init(self, *args, **kwargs):
+            kwargs.setdefault("flush_mode", "pipelined")
+            orig_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(DurableCheckpointStore, "__init__", pipelined_init)
+
+        def drained(method):
+            def wrapper(self, *args, **kwargs):
+                try:
+                    return method(self, *args, **kwargs)
+                finally:
+                    self.drain()
+
+            return wrapper
+
+        monkeypatch.setattr(
+            DurableCheckpointStore,
+            "flush_line",
+            drained(DurableCheckpointStore.flush_line),
+        )
+        monkeypatch.setattr(
+            DurableCheckpointStore,
+            "flush_scroll",
+            drained(DurableCheckpointStore.flush_scroll),
+        )
+    return mode

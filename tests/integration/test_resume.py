@@ -26,7 +26,19 @@ from repro.timemachine import DurableCheckpointStore
 pytestmark = pytest.mark.durable
 
 
-def kv_scenario(name: str, store: str, until: float) -> Scenario:
+@pytest.fixture(params=["sync", "pipelined"])
+def flush_mode(request):
+    """Key integration tests run against both durable flush modes."""
+    return request.param
+
+
+def kv_scenario(
+    name: str,
+    store: str,
+    until: float,
+    flush_mode: str = "sync",
+    faults=None,
+) -> Scenario:
     return Scenario(
         app="kvstore",
         name=name,
@@ -36,6 +48,8 @@ def kv_scenario(name: str, store: str, until: float) -> Scenario:
         auto_commit_interval=2.0,
         checkpoint_store="disk",
         store_path=store,
+        flush_mode=flush_mode,
+        **({"faults": faults} if faults is not None else {}),
     )
 
 
@@ -48,9 +62,21 @@ def manifest_paths(store: str, run_id: str):
     )
 
 
+def _blob_names(store: str) -> set:
+    blob_root = os.path.join(store, "blobs")
+    names = set()
+    for shard in os.listdir(blob_root):
+        for entry in os.listdir(os.path.join(blob_root, shard)):
+            if entry.endswith(".blob"):
+                names.add(entry[: -len(".blob")])
+    return names
+
+
 class TestResume:
-    def test_resume_restores_last_committed_line(self, store_path):
-        outcome = Experiment([kv_scenario("kv-run", store_path, until=6.0)]).run()[0]
+    def test_resume_restores_last_committed_line(self, store_path, flush_mode):
+        outcome = Experiment(
+            [kv_scenario("kv-run", store_path, until=6.0, flush_mode=flush_mode)]
+        ).run()[0]
         assert outcome.store is not None
         assert outcome.store["lines_committed"] >= 2
         assert outcome.store["bytes_on_disk"] > 0
@@ -82,14 +108,18 @@ class TestResume:
         assert isinstance(committed_position, int)
         assert int(resumed.sidecar["position"]) >= committed_position
 
-    def test_crashed_run_resumes_to_uninterrupted_twin_line(self, tmp_path):
+    def test_crashed_run_resumes_to_uninterrupted_twin_line(self, tmp_path, flush_mode):
         """Parity: stop a run early ("crash"), resume, and continue to the
         twin's horizon — the continuation must land on the uninterrupted
         twin's application state."""
         full_store = str(tmp_path / "full")
         crashed_store = str(tmp_path / "crashed")
-        full = Experiment([kv_scenario("twin", full_store, until=6.0)]).run()[0]
-        crashed = Experiment([kv_scenario("twin", crashed_store, until=4.0)]).run()[0]
+        full = Experiment(
+            [kv_scenario("twin", full_store, until=6.0, flush_mode=flush_mode)]
+        ).run()[0]
+        crashed = Experiment(
+            [kv_scenario("twin", crashed_store, until=4.0, flush_mode=flush_mode)]
+        ).run()[0]
 
         resumed = Experiment.resume("twin", crashed_store)
         assert resumed.run_id == crashed.run_id
@@ -128,6 +158,78 @@ class TestResume:
         # a handle only continues once; resume again for another attempt
         with pytest.raises(ScenarioError):
             resumed.continue_run(until=6.0)
+
+    def test_sync_and_pipelined_modes_commit_identical_manifests(self, tmp_path):
+        """The pipelined writer is pure plumbing: the same scenario committed
+        in both modes produces equal line manifests (modulo the unique run
+        id) and the exact same content-addressed blob set."""
+        from repro.dsim.message import reset_message_ids
+        from repro.scroll.entry import reset_entry_seq
+
+        stores = {}
+        for mode in ("sync", "pipelined"):
+            # message ids and scroll seqs are process-global counters; both
+            # runs must start from the same values for blob-level equality
+            reset_message_ids(1)
+            reset_entry_seq(1)
+            store = str(tmp_path / mode)
+            outcome = Experiment(
+                [kv_scenario("mode-twin", store, until=6.0, flush_mode=mode)]
+            ).run()[0]
+            stores[mode] = (store, outcome)
+        sync_store, sync_outcome = stores["sync"]
+        pipe_store, pipe_outcome = stores["pipelined"]
+        sync_lines = manifest_paths(sync_store, sync_outcome.run_id)
+        pipe_lines = manifest_paths(pipe_store, pipe_outcome.run_id)
+        assert len(sync_lines) == len(pipe_lines) >= 2
+        for sync_path, pipe_path in zip(sync_lines, pipe_lines):
+            with open(sync_path) as fh:
+                sync_manifest = json.load(fh)
+            with open(pipe_path) as fh:
+                pipe_manifest = json.load(fh)
+            sync_manifest.pop("run_id")
+            pipe_manifest.pop("run_id")
+            assert sync_manifest == pipe_manifest
+        assert _blob_names(sync_store) == _blob_names(pipe_store)
+        # and the pipelined run re-pickled nothing on the commit path
+        assert pipe_outcome.store["commit_pickled_bytes"] == 0
+
+    def test_continuation_rearms_count_limited_message_faults(
+        self, tmp_path, flush_mode
+    ):
+        """Regression: per-rule message-fault hit counts ride the pending
+        snapshot and are restored on continuation.  Before that, the
+        rebuilt engine re-armed an already-exhausted count-limited drop,
+        so the continuation dropped one extra REPLICATE and its final
+        state diverged from the uninterrupted twin's."""
+        from repro.api.faults import Drop, FaultSchedule
+
+        schedule = FaultSchedule.of(Drop(match_kind="REPLICATE", count=1, after=0.5))
+        full_store = str(tmp_path / "full")
+        crashed_store = str(tmp_path / "crashed")
+        full = Experiment(
+            [
+                kv_scenario(
+                    "fault-twin", full_store, until=8.0,
+                    flush_mode=flush_mode, faults=schedule,
+                )
+            ]
+        ).run()[0]
+        assert sum(full.fault_hits.values()) == 1  # budget consumed early
+        Experiment(
+            [
+                kv_scenario(
+                    "fault-twin", crashed_store, until=4.0,
+                    flush_mode=flush_mode, faults=schedule,
+                )
+            ]
+        ).run()
+
+        resumed = Experiment.resume("fault-twin", crashed_store)
+        continued = resumed.continue_run(until=8.0)
+        # the drop fired before the crash; the continuation must not re-fire
+        assert sum(continued.fault_hits.values()) == 1
+        assert continued.state_projection() == full.state_projection()
 
     def test_mp_recorded_run_resumes_on_the_simulator(self, store_path):
         """Regression: resume used to rebuild the *recorded* backend, so an

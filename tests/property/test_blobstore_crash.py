@@ -22,13 +22,19 @@ import shutil
 import tempfile
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.dsim.clock import VectorTimestamp
 from repro.dsim.process import ProcessCheckpoint
 from repro.timemachine import BlobStore, DurableCheckpointStore
 
-pytestmark = pytest.mark.durable
+# Every test runs in both flush modes; the fixture only patches class
+# methods (no per-example state), so its once-per-function scope is safe
+# to use under hypothesis.
+pytestmark = [pytest.mark.durable, pytest.mark.usefixtures("durable_flush_mode")]
+_SETTINGS = dict(
+    deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture]
+)
 
 
 class WriterKilled(Exception):
@@ -91,7 +97,7 @@ def make_state(generation: int, size: int) -> dict:
     }
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=20, **_SETTINGS)
 @given(
     committed_lines=st.integers(1, 3),
     size=st.integers(60, 200),
@@ -136,7 +142,7 @@ def test_crash_mid_flush_preserves_last_committed_line(
         shutil.rmtree(root, ignore_errors=True)
 
 
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=15, **_SETTINGS)
 @given(crash_after_writes=st.integers(0, 8), size=st.integers(60, 150))
 def test_crash_on_very_first_flush_leaves_nothing_committed(crash_after_writes, size):
     from repro.errors import CheckpointError
@@ -216,7 +222,7 @@ def make_entries(first_seq: int, count: int, base_time: float):
     ]
 
 
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=15, **_SETTINGS)
 @given(
     flushed_windows=st.integers(1, 3),
     window=st.integers(3, 12),

@@ -71,13 +71,21 @@ def apply_mutation(state: dict, mutation) -> None:
 def canonical(value):
     """Replace sets by sorted tuples so the pickle byte-compare ignores set
     iteration order (insertion-history-dependent, not part of state identity)
-    while still catching 0.0/-0.0 and bool/int drift everywhere else."""
+    while still catching 0.0/-0.0 and bool/int drift everywhere else.
+
+    Strings are rebuilt as fresh objects: pickle memoizes repeated *objects*,
+    and whether two equal strings are one interned object or two is an
+    accident of how the program constructed them (the chunked store splits
+    aliased elements across separately-pickled chunks), not state identity.
+    """
     if isinstance(value, dict):
-        return {k: canonical(v) for k, v in value.items()}
+        return {canonical(k): canonical(v) for k, v in value.items()}
     if isinstance(value, list):
         return [canonical(v) for v in value]
     if isinstance(value, (set, frozenset)):
         return tuple(sorted(((repr(v), canonical(v)) for v in value)))
+    if isinstance(value, str):
+        return str(value.encode("utf-8"), "utf-8")
     return value
 
 

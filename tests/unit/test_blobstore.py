@@ -117,6 +117,7 @@ class TestBlobStore:
         assert store.bytes_on_disk() == 150
 
 
+@pytest.mark.usefixtures("durable_flush_mode")
 class TestDurableCheckpointStore:
     def test_flush_and_restore_line(self, store_path):
         durable = DurableCheckpointStore(store_path, run_id="r1")

@@ -470,7 +470,7 @@ class TestRollbackAndFacade:
             def __init__(self):
                 self.flushed = []
 
-            def flush_line(self, line):
+            def flush_line(self, line, chunk_sources=None):
                 self.flushed.append(line)
                 return {}
 
