@@ -1,14 +1,14 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: verify tier1 tier1-core matrix parity mp-teardown bench-smoke suite-smoke resume-smoke bench test-all
+.PHONY: verify tier1 tier1-core matrix parity mp-teardown bench-smoke suite-smoke resume-smoke fuzz-smoke bench test-all
 
 ## The one-command gate: core tests, the fault matrix, backend parity
 ## (both mp transports), mp teardown/leak regression, benchmark smoke,
-## a suite-file run through the repro.api facade, and the durable-store
-## resume suite — each exactly once (tier1-core deselects what the
-## later steps own).
-verify: tier1-core matrix parity mp-teardown bench-smoke suite-smoke resume-smoke
+## a suite-file run through the repro.api facade, the durable-store
+## resume suite, and the fuzzing smoke gate — each exactly once
+## (tier1-core deselects what the later steps own).
+verify: tier1-core matrix parity mp-teardown bench-smoke suite-smoke resume-smoke fuzz-smoke
 
 ## The plain default suite (what CI and `pytest -x -q` run): includes the
 ## matrix and the in-process bench smoke test.
@@ -49,6 +49,12 @@ resume-smoke:
 	python -m pytest -m durable -q
 	python examples/resume_after_crash.py
 	python scripts/resume_kill_continue.py
+
+## Deterministic fuzzing gate: a pinned-seed budget must rediscover a
+## known-bad schedule, shrink it to <= 3 faults, dedup by coverage key,
+## and emit suite artefacts that replay immediately.
+fuzz-smoke:
+	python scripts/fuzz_smoke.py
 
 ## Regenerate the committed benchmark baseline (full + quick profiles).
 bench:

@@ -141,6 +141,29 @@ if [[ -n "$violations" ]]; then
 fi
 echo "boundary guard: no flush_pipeline imports outside timemachine/"
 
+# ----------------------------------------------------------------------
+# Fuzzing boundary guard: the submodules of repro.fuzz (generate,
+# coverage, corpus, shrink, driver) are subsystem internals.  The
+# sanctioned surfaces are the repro.fuzz package re-exports (fuzz,
+# Budget, Corpus, generate_scenario, shrink_scenario, coverage_key, ...),
+# Experiment.fuzz and the `python -m repro.fuzz` CLI — importing the
+# submodules directly outside src/repro/fuzz/ is a boundary violation.
+# A line may opt out with a trailing `# facade-ok: <reason>` marker,
+# reserved for tests that exercise an internal mechanism itself.
+# ----------------------------------------------------------------------
+violations=$(grep -rn --include='*.py' -E \
+    '(from|import)[[:space:]]+repro\.fuzz\.(generate|coverage|corpus|shrink|driver)\b|import_module\([^)]*repro\.fuzz\.' \
+    src tests benchmarks examples scripts 2>/dev/null \
+    | grep -v '^src/repro/fuzz/' \
+    | grep -v 'facade-ok' || true)
+if [[ -n "$violations" ]]; then
+    echo "Fuzzing boundary violation: repro.fuzz internals imported outside src/repro/fuzz/" >&2
+    echo "Use the repro.fuzz package re-exports, Experiment.fuzz or python -m repro.fuzz:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "boundary guard: no repro.fuzz internals imported outside fuzz/"
+
 if ! command -v make >/dev/null 2>&1; then
     echo "scripts/check.sh requires make; run the Makefile 'verify' steps manually:" >&2
     grep -A2 '^verify:' Makefile >&2

@@ -1,0 +1,106 @@
+"""Fuzzing smoke gate: fixed seed, tight budget, hard assertions.
+
+Runs the coverage-guided fuzzer against the ``bank`` app with a pinned
+seed and a 30-second ceiling and requires it to
+
+1. rediscover at least one substantive failure (invariant violation or
+   inconsistency — a known-bad schedule the generator can always reach
+   at this seed),
+2. shrink the first discovery down to at most 3 faults,
+3. deduplicate by coverage key when the same corpus is fuzzed again, and
+4. write minimized suite artefacts that immediately replay ok
+   (green, or reproducing their recorded failure signature).
+
+Everything is deterministic per seed, so a failure of this gate is a
+regression in the fuzz subsystem, not noise.  Part of ``make verify``
+(the ``fuzz-smoke`` target).
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api.suite import run_suite_records
+from repro.fuzz import Budget, Corpus, fuzz
+
+SEED = 1
+BUDGET = Budget(max_execs=40, max_seconds=30)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="fuzz-smoke-") as tmp:
+        corpus_dir = Path(tmp) / "corpus"
+        suites_dir = Path(tmp) / "suites"
+        report = fuzz(
+            "bank",
+            seed=SEED,
+            budget=BUDGET,
+            corpus_dir=corpus_dir,
+            suites_dir=suites_dir,
+            progress=lambda line: print(f"  {line}"),
+        )
+
+        print(
+            f"\nfuzz-smoke: {report.execs} execs in {report.elapsed_s:.1f}s "
+            f"({report.execs_per_sec:.1f}/s), "
+            f"{report.new_coverage} coverage points, "
+            f"{report.distinct_failures} distinct failure(s), "
+            f"{len(report.minimized)} minimized"
+        )
+
+        failures = []
+        if report.errors:
+            failures.append(f"candidate errors: {report.errors}")
+        if report.distinct_failures < 1:
+            failures.append("fuzzer rediscovered no failure at the pinned seed")
+        if not report.minimized:
+            failures.append("no failure was shrunk")
+        for minimized in report.minimized:
+            if minimized.faults_after > 3:
+                failures.append(
+                    f"{minimized.scenario.name} only shrank to "
+                    f"{minimized.faults_after} faults (> 3)"
+                )
+            if not minimized.record.get("ok"):
+                failures.append(
+                    f"artefact {minimized.suite_path} does not replay ok"
+                )
+
+        # artefacts replay through the ordinary suite machinery
+        artefacts = sorted(suites_dir.glob("*.json")) if suites_dir.exists() else []
+        if len(artefacts) != len(report.minimized):
+            failures.append(
+                f"{len(report.minimized)} minimized failures but "
+                f"{len(artefacts)} artefacts on disk"
+            )
+        for artefact in artefacts:
+            ok, records = run_suite_records(artefact)
+            verdicts = {r["name"]: r["ok"] for r in records}
+            print(f"  replay {artefact.name}: {verdicts}")
+            if not ok:
+                failures.append(f"artefact {artefact.name} failed replay")
+
+        # the corpus dedups a re-run of the very same seed
+        rerun = fuzz(
+            "bank", seed=SEED, budget=Budget(max_execs=10), corpus_dir=corpus_dir
+        )
+        if rerun.new_coverage != 0 or rerun.dedup_hits != 10:
+            failures.append(
+                f"corpus dedup broke: rerun found {rerun.new_coverage} 'new' "
+                f"coverage points, {rerun.dedup_hits} dedup hits (want 0/10)"
+            )
+        stats = Corpus(corpus_dir).stats()
+        print(f"  corpus after rerun: {stats}")
+
+    if failures:
+        for failure in failures:
+            print(f"FUZZ-SMOKE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("fuzz-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,38 +1,75 @@
 """Run scenario suite files from the command line::
 
     python -m repro.api suites/crash_during_partition.json [more.json ...]
+    python -m repro.api --json suites/crash_during_partition.json
 
-Exits non-zero when any scenario fails its declared expectations, so a
-suite file doubles as a CI gate (see ``make verify``'s suite smoke).
+Exits non-zero when any scenario fails its declared expectations (and
+does not reproduce the suite's recorded failure signature), so a suite
+file doubles as a CI gate (see ``make verify``'s suite smoke).
+
+``--json`` emits one machine-readable document on stdout instead of the
+human table: per-scenario records (name, pass/fail, failure signature,
+wall time) in the same shape the fuzz driver consumes — see
+:func:`repro.api.suite.scenario_record`.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.api.suite import run_suite
+from repro.api.suite import run_suite_records
 from repro.errors import ReproError
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    paths = sys.argv[1:] if argv is None else list(argv)
-    if not paths:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api", description=__doc__.strip().splitlines()[0]
+    )
+    parser.add_argument("suites", nargs="*", help="suite JSON files to run")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable per-scenario records on stdout",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="fan scenario execution out over a process pool",
+    )
+    args = parser.parse_args(sys.argv[1:] if argv is None else list(argv))
+    if not args.suites:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     failures = 0
-    for path in paths:
-        print(f"== suite {path}")
+    documents = []
+    for path in args.suites:
+        if not args.json:
+            print(f"== suite {path}")
         try:
-            passed, lines = run_suite(path)
+            ok, records = run_suite_records(path, processes=args.processes)
         except ReproError as error:
-            print(f"  error: {error}", file=sys.stderr)
+            if args.json:
+                documents.append({"suite": str(path), "error": str(error), "ok": False})
+            else:
+                print(f"  error: {error}", file=sys.stderr)
             failures += 1
             continue
-        for line in lines:
-            print(f"  {line}")
-        if not passed:
+        if args.json:
+            documents.append({"suite": str(path), "ok": ok, "scenarios": records})
+        else:
+            for record in records:
+                line = record["summary"]
+                if record["reproduced_expected"] and not record["passed"]:
+                    line += " [reproduced expected failure]"
+                print(f"  {line}")
+        if not ok:
             failures += 1
+    if args.json:
+        print(json.dumps({"ok": failures == 0, "suites": documents}, sort_keys=True))
     return 1 if failures else 0
 
 

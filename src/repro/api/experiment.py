@@ -13,6 +13,7 @@ data, so they ship to workers as-is).
 
 from __future__ import annotations
 
+import time
 import uuid
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -24,7 +25,7 @@ from repro.api.outcome import Outcome
 from repro.api.scenario import Scenario
 from repro.core.fixd import FixD, FixDConfig
 from repro.dsim.cluster import Cluster, ClusterConfig
-from repro.errors import ScenarioError
+from repro.errors import ScenarioError, ScenarioExecutionError
 from repro.scroll.interceptor import RecordingPolicy
 
 
@@ -123,7 +124,28 @@ def execute(scenario: Scenario, fixd_config: Optional[FixDConfig] = None) -> Sce
 
 def run_scenario(scenario: Scenario) -> Outcome:
     """Run one scenario and return its structured outcome."""
-    return execute(scenario).outcome
+    started = time.monotonic()
+    outcome = execute(scenario).outcome
+    outcome.wall_time_s = time.monotonic() - started
+    return outcome
+
+
+def _run_scenario_task(scenario: Scenario) -> Outcome:
+    """Pool-worker wrapper: attach the scenario name to anything raised.
+
+    ``pool.map(run_scenario, ...)`` re-raises a worker exception in the
+    parent with no hint of *which* grid cell died — on a 100-cell grid
+    that is a debugging dead end.  The wrapper re-raises as
+    :class:`~repro.errors.ScenarioExecutionError` carrying the scenario
+    name and the original error text (the original exception object may
+    not survive pickling back from the worker, its repr always does).
+    """
+    try:
+        return run_scenario(scenario)
+    except ScenarioExecutionError:
+        raise
+    except Exception as error:
+        raise ScenarioExecutionError(scenario.name, f"{type(error).__name__}: {error}") from error
 
 
 def _scenario_for_resume(payload) -> "tuple[Scenario, str]":
@@ -513,6 +535,23 @@ class Experiment:
         return cls(scenarios, processes=processes)
 
     @staticmethod
+    def fuzz(app: str, *, budget=None, **kwargs):
+        """Coverage-guided fault-scenario fuzzing against registered app ``app``.
+
+        Delegates to :func:`repro.fuzz.fuzz` (imported lazily — the fuzz
+        package builds on this module): generates seeded fault
+        schedules, fans them out over the same process-pool path
+        ``Experiment(processes=N)`` uses, keeps the coverage-novel ones
+        in a corpus, and delta-debugs every failing schedule down to a
+        minimal reproducer.  ``budget`` is a :class:`repro.fuzz.Budget`
+        (or ``max_execs=``/``max_seconds=`` via ``kwargs``); returns the
+        :class:`repro.fuzz.FuzzReport`.
+        """
+        from repro.fuzz import fuzz as _fuzz
+
+        return _fuzz(app, budget=budget, **kwargs)
+
+    @staticmethod
     def resume(run_id: str, store_path: str) -> ResumedRun:
         """Resume a crashed run from its durable checkpoint store.
 
@@ -527,9 +566,9 @@ class Experiment:
         """Execute every scenario; outcomes are returned and kept on the object."""
         if self.processes and len(self.scenarios) > 1:
             with ProcessPoolExecutor(max_workers=self.processes) as pool:
-                self.outcomes = list(pool.map(run_scenario, self.scenarios))
+                self.outcomes = list(pool.map(_run_scenario_task, self.scenarios))
         else:
-            self.outcomes = [run_scenario(scenario) for scenario in self.scenarios]
+            self.outcomes = [_run_scenario_task(scenario) for scenario in self.scenarios]
         return self.outcomes
 
     @property

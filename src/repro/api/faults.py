@@ -38,6 +38,11 @@ from repro.errors import ScenarioError
 MESSAGE_KINDS = ("drop", "duplicate", "delay")
 
 
+def _quantize(value: float) -> float:
+    """Shrunk float attributes stay on a coarse grid so canonical JSON stays tidy."""
+    return round(value, 3)
+
+
 def _freeze(value: Any) -> Any:
     """Lists arriving from JSON become tuples so specs stay hashable data."""
     if isinstance(value, list):
@@ -57,6 +62,9 @@ class Crash:
     """Crash ``pid`` at ``at``; optionally recover it at ``recover_at``."""
 
     kind: ClassVar[str] = "crash"
+    #: removal preference for the fuzz shrinker: lower values are tried
+    #: first (a crash reshapes the whole run, so it goes last)
+    shrink_order: ClassVar[int] = 5
 
     pid: str
     at: float
@@ -69,6 +77,19 @@ class Crash:
                 f"crash of {self.pid!r}: recovery at {self.recover_at} must come "
                 f"strictly after the crash at {self.at}"
             )
+
+    def shrink_candidates(self) -> List["Crash"]:
+        """Strictly simpler variants, in preference order.
+
+        Candidates only *propose*; the shrinker keeps one iff the run's
+        failure signature survives the substitution.
+        """
+        candidates = []
+        if self.recover_at is not None:
+            candidates.append(
+                Crash(self.pid, self.at, recover_at=None, recover_from_checkpoint=self.recover_from_checkpoint)
+            )
+        return candidates
 
     def to_fault(self) -> CrashFault:
         return CrashFault(
@@ -84,6 +105,7 @@ class _MessageSpec:
     """Shared shape of the three message-fault flavours."""
 
     kind: ClassVar[str]
+    shrink_order: ClassVar[int] = 2
 
     match_kind: Optional[str] = None
     match_src: Optional[str] = None
@@ -93,6 +115,20 @@ class _MessageSpec:
 
     def _extra_delay(self) -> float:
         return 0.0
+
+    def _replace(self, **changes):
+        payload = spec_to_dict(self)
+        payload.update(changes)
+        return spec_from_dict(payload)
+
+    def shrink_candidates(self) -> List[Any]:
+        """Simpler variants: fewer hits first, then an untimed rule."""
+        candidates = []
+        if self.count is None or self.count > 1:
+            candidates.append(self._replace(count=1))
+        if self.after > 0.0:
+            candidates.append(self._replace(after=0.0))
+        return candidates
 
     def to_fault(self) -> MessageFault:
         return MessageFault(
@@ -111,6 +147,7 @@ class Drop(_MessageSpec):
     """Drop up to ``count`` messages matching the predicates (``None`` = all)."""
 
     kind: ClassVar[str] = "drop"
+    shrink_order: ClassVar[int] = 2
 
 
 @dataclass(frozen=True)
@@ -118,6 +155,7 @@ class Duplicate(_MessageSpec):
     """Deliver matching messages twice."""
 
     kind: ClassVar[str] = "duplicate"
+    shrink_order: ClassVar[int] = 1
 
 
 @dataclass(frozen=True)
@@ -125,6 +163,7 @@ class Delay(_MessageSpec):
     """Delay matching messages by ``extra_delay`` simulated time units."""
 
     kind: ClassVar[str] = "delay"
+    shrink_order: ClassVar[int] = 0
 
     extra_delay: float = 1.0
 
@@ -135,12 +174,21 @@ class Delay(_MessageSpec):
     def _extra_delay(self) -> float:
         return self.extra_delay
 
+    def shrink_candidates(self) -> List[Any]:
+        candidates = super().shrink_candidates()
+        if self.extra_delay > 1.0:
+            # halve toward the unit delay, staying on a tidy grid
+            candidates.append(self._replace(extra_delay=max(1.0, _quantize(self.extra_delay / 2))))
+            candidates.append(self._replace(extra_delay=1.0))
+        return candidates
+
 
 @dataclass(frozen=True)
 class Partition:
     """Split the network into ``groups`` during ``[start, end)``."""
 
     kind: ClassVar[str] = "partition"
+    shrink_order: ClassVar[int] = 3
 
     groups: Tuple[Tuple[str, ...], ...]
     start: float
@@ -155,6 +203,16 @@ class Partition:
 
     def to_fault(self) -> PartitionFault:
         return PartitionFault(groups=[list(group) for group in self.groups], start=self.start, end=self.end)
+
+    def shrink_candidates(self) -> List["Partition"]:
+        """Narrow the healed-at-``end`` window toward the start."""
+        candidates = []
+        width = self.end - self.start
+        if width > 0.2:
+            midpoint = _quantize(self.start + width / 2)
+            if midpoint > self.start:
+                candidates.append(Partition(self.groups, self.start, midpoint))
+        return candidates
 
 
 #: mutation opcodes understood by :class:`Corrupt`
@@ -190,6 +248,7 @@ class Corrupt:
     """
 
     kind: ClassVar[str] = "corruption"
+    shrink_order: ClassVar[int] = 4
 
     pid: str
     at: float
@@ -217,6 +276,15 @@ class Corrupt:
             mutator=lambda state: apply_corruption_ops(state, ops),
             description=self.description,
         )
+
+    def shrink_candidates(self) -> List["Corrupt"]:
+        """Try each single mutation instruction on its own."""
+        if len(self.ops) <= 1:
+            return []
+        return [
+            Corrupt(self.pid, self.at, (op,), description=self.description)
+            for op in self.ops
+        ]
 
 
 #: JSON ``kind`` discriminator -> spec class

@@ -13,6 +13,7 @@ simulator must produce equal projections.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -52,6 +53,11 @@ class Outcome:
     recovered: Dict[str, bool] = field(default_factory=dict)
     #: consistency
     consistent: bool = True
+    #: non-empty when the consistency check itself raised over the final
+    #: states (counted as inconsistent: a check that cannot even evaluate
+    #: the states it was written for is evidence of a mangled run, the
+    #: kind fuzzed fault schedules routinely produce)
+    check_error: str = ""
     final_states: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: instrumentation.  On the mp backend ``transport`` carries the
     #: full accounting of the run's data plane — identical keys on the
@@ -73,6 +79,9 @@ class Outcome:
     #: None on memory-store runs.  Excluded from the projection: the
     #: suffix differs between executions by design.
     run_id: Optional[str] = None
+    #: wall-clock seconds the execution took (set by ``run_scenario``).
+    #: Excluded from the projection: wall time is not deterministic.
+    wall_time_s: float = 0.0
     #: expectation evaluation (empty == passed)
     failures: List[str] = field(default_factory=list)
 
@@ -130,6 +139,37 @@ class Outcome:
             "scroll_entries": self.scroll.get("entries", 0),
             "failures": list(self.failures),
         }
+
+    def failure_signature(self) -> Optional[str]:
+        """A canonical, deterministic fingerprint of *how* this run went wrong.
+
+        ``None`` means the run was boring: every expectation met and no
+        invariant violation detected.  Otherwise the signature is
+        compact canonical JSON over the failure-shaped outcome fields —
+        which invariants fired on which pids, whether the run stayed
+        consistent / ok / fully detected, which crashed pids never came
+        back, and whether FixD rolled back.  Two runs fail *the same
+        way* iff their signatures are byte-equal; the fuzz shrinker
+        keeps a smaller schedule only when this signature survives, and
+        suite files record it so a committed fuzzer artefact replays as
+        an expected violation.
+        """
+        if self.passed and self.faults_detected == 0:
+            return None
+        payload = {
+            "consistent": self.consistent,
+            "ok": self.ok,
+            "detected": self.detected,
+            "violations": sorted(
+                {(v["pid"], v["invariant"]) for v in self.violations}
+            ),
+            "unrecovered": sorted(
+                pid for pid, back in self.recovered.items() if not back
+            ),
+            "rolled_back": self.rolled_back,
+            "reported": self.reported,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def state_projection(self) -> Dict[str, Dict[str, Any]]:
         """The app-level final states alone (pid -> state dict).
@@ -224,9 +264,21 @@ class Outcome:
 
         # -- consistency -------------------------------------------------
         final_states = result.process_states
-        consistent = bool(check(final_states))
+        try:
+            consistent = bool(check(final_states))
+            check_error = ""
+        except Exception as error:  # a raising check is a failing check
+            consistent = False
+            check_error = f"{type(error).__name__}: {error}"
 
         storage = scroll.storage_stats()
+        # Per-pid entry-kind sequences: the raw material of the fuzz
+        # coverage signal (repro.fuzz.coverage n-grams over them).  The
+        # Scroll's seq order is the recorded total order, so the
+        # sequences are deterministic for a deterministic run.
+        kind_sequences: Dict[str, List[str]] = {}
+        for entry in scroll.entries:
+            kind_sequences.setdefault(entry.pid, []).append(entry.kind.value)
         durable = getattr(fixd.time_machine, "durable_store", None)
         outcome = Outcome(
             scenario_id=scenario.name,
@@ -259,11 +311,13 @@ class Outcome:
             scroll_entries_collected=committer.entries_collected if committer else 0,
             recovered=recovered,
             consistent=consistent,
+            check_error=check_error,
             final_states=final_states,
             scroll={
                 "entries": len(scroll),
                 "counts": counts,
                 "storage": storage,
+                "kind_sequences": kind_sequences,
             },
             transport=dict(getattr(cluster.backend, "transport_stats", None) or {}) or None,
             store=durable.stats() if durable is not None else None,
@@ -282,8 +336,9 @@ def _evaluate_expectations(
         missed = sorted(kind for kind, seen in outcome.observed.items() if not seen)
         failures.append(f"injected fault kind(s) never observed: {missed}")
     if not outcome.consistent:
+        detail = f" ({outcome.check_error})" if outcome.check_error else ""
         failures.append(
-            f"consistency check {scenario.check!r} failed over the final states"
+            f"consistency check {scenario.check!r} failed over the final states{detail}"
         )
     if not outcome.reported:
         failures.append("no incident report was assembled")

@@ -1,47 +1,72 @@
 """Scenario suite files: fault schedules as shareable repro artefacts.
 
 A suite file is a JSON document holding one or more serialized
-scenarios::
+scenarios, plus (optionally) the failure signature each scenario is
+*expected* to reproduce::
 
     {
       "version": 1,
-      "scenarios": [ { ...Scenario.to_dict()... }, ... ]
+      "scenarios": [ { ...Scenario.to_dict()... }, ... ],
+      "expected": { "<scenario name>": "<Outcome.failure_signature()>" }
     }
 
 ``load_suite`` turns it back into :class:`~repro.api.scenario.Scenario`
 objects; ``run_suite`` executes it and reports pass/fail — the same
 entry point ``python -m repro.api <suite.json>`` uses, so a suite file
 attached to a bug report reproduces the run with no test code at all.
+
+The ``expected`` block is how fuzzer-minimized artefacts stay green in
+CI: a scenario that *fails* its declared expectations still counts as
+reproduced when its :meth:`~repro.api.outcome.Outcome.failure_signature`
+is byte-equal to the recorded one — the artefact's job is to keep
+reproducing that exact failure, not to pass.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro.api.outcome import Outcome
 from repro.api.scenario import Scenario
 from repro.errors import ScenarioError
 
 SUITE_VERSION = 1
 
 
-def save_suite(scenarios: Iterable[Scenario], path) -> Path:
-    """Write scenarios as a (human-readable) suite file; returns the path."""
+def save_suite(
+    scenarios: Iterable[Scenario],
+    path,
+    expected: Optional[Mapping[str, str]] = None,
+) -> Path:
+    """Write scenarios as a (human-readable) suite file; returns the path.
+
+    ``expected`` maps scenario names to the failure signature a replay
+    must reproduce (see :func:`run_suite_records`); scenarios without an
+    entry must simply pass their declared expectations.
+    """
     scenarios = list(scenarios)
     if not scenarios:
         raise ScenarioError("refusing to save an empty suite")
-    payload = {
+    payload: Dict[str, Any] = {
         "version": SUITE_VERSION,
         "scenarios": [scenario.to_dict() for scenario in scenarios],
     }
+    if expected:
+        names = {scenario.name for scenario in scenarios}
+        unknown = set(expected) - names
+        if unknown:
+            raise ScenarioError(
+                f"expected signatures name scenarios absent from the suite: {sorted(unknown)}"
+            )
+        payload["expected"] = dict(sorted(expected.items()))
     path = Path(path)
     path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
     return path
 
 
-def load_suite(path) -> List[Scenario]:
-    """Load a suite file, failing loudly on malformed content."""
+def _load_payload(path) -> Dict[str, Any]:
     path = Path(path)
     if not path.exists():
         raise ScenarioError(f"suite file not found: {path}")
@@ -54,16 +79,82 @@ def load_suite(path) -> List[Scenario]:
     version = payload.get("version", SUITE_VERSION)
     if version != SUITE_VERSION:
         raise ScenarioError(f"suite file {path} has unsupported version {version!r}")
+    return payload
+
+
+def load_suite(path) -> List[Scenario]:
+    """Load a suite file, failing loudly on malformed content."""
+    payload = _load_payload(path)
     scenarios = [Scenario.from_dict(entry) for entry in payload["scenarios"]]
     if not scenarios:
         raise ScenarioError(f"suite file {path} holds no scenarios")
     return scenarios
 
 
-def run_suite(path, processes=None) -> Tuple[bool, List[str]]:
-    """Run a suite file; returns (all passed, per-scenario summary lines)."""
+def load_expected_signatures(path) -> Dict[str, str]:
+    """The suite's recorded failure signatures (empty when none declared)."""
+    expected = _load_payload(path).get("expected", {})
+    if not isinstance(expected, dict):
+        raise ScenarioError(f"suite file {path} 'expected' must map names to signatures")
+    return dict(expected)
+
+
+def scenario_record(
+    outcome: Outcome, expected_signature: Optional[str] = None
+) -> Dict[str, Any]:
+    """One scenario result as a machine-readable record.
+
+    The shared shape of ``python -m repro.api --json`` output and the
+    fuzz driver's per-execution bookkeeping — both sides of the
+    fuzz-found-artefact loop speak this record.
+
+    ``ok`` is the CI verdict: the scenario either met its declared
+    expectations, or reproduced exactly the failure signature the suite
+    recorded for it.
+    """
+    signature = outcome.failure_signature()
+    reproduced = expected_signature is not None and signature == expected_signature
+    return {
+        "name": outcome.scenario_id,
+        "app": outcome.app,
+        "backend": outcome.backend,
+        "passed": outcome.passed,
+        "failures": list(outcome.failures),
+        "failure_signature": signature,
+        "expected_signature": expected_signature,
+        "reproduced_expected": reproduced,
+        "ok": outcome.passed or reproduced,
+        "wall_time_s": round(outcome.wall_time_s, 6),
+        "summary": outcome.summary(),
+    }
+
+
+def run_suite_records(path, processes=None) -> Tuple[bool, List[Dict[str, Any]]]:
+    """Run a suite file; returns (all ok, per-scenario records).
+
+    A scenario is *ok* when it passes its declared expectations or
+    reproduces the failure signature the suite recorded for it.
+    """
     from repro.api.experiment import Experiment
 
-    experiment = Experiment(load_suite(path), processes=processes)
+    scenarios = load_suite(path)
+    expected = load_expected_signatures(path)
+    experiment = Experiment(scenarios, processes=processes)
     outcomes = experiment.run()
-    return experiment.passed, [outcome.summary() for outcome in outcomes]
+    records = [
+        scenario_record(outcome, expected.get(outcome.scenario_id))
+        for outcome in outcomes
+    ]
+    return all(record["ok"] for record in records), records
+
+
+def run_suite(path, processes=None) -> Tuple[bool, List[str]]:
+    """Run a suite file; returns (all passed, per-scenario summary lines)."""
+    ok, records = run_suite_records(path, processes=processes)
+    lines = []
+    for record in records:
+        line = record["summary"]
+        if record["reproduced_expected"] and not record["passed"]:
+            line += " [reproduced expected failure]"
+        lines.append(line)
+    return ok, lines

@@ -79,6 +79,27 @@ class ScenarioError(FacadeError):
     """A scenario or fault schedule specification is invalid."""
 
 
+class ScenarioExecutionError(FacadeError):
+    """A scenario raised while executing; carries *which* scenario died.
+
+    Raised by the :class:`~repro.api.experiment.Experiment` fan-out
+    paths so a failure inside a process-pool worker surfaces with the
+    originating grid cell's name instead of a bare traceback.  The
+    original error travels as text (``detail``) because arbitrary
+    exception objects may not pickle back across the pool boundary.
+    """
+
+    def __init__(self, scenario_name: str, detail: str) -> None:
+        super().__init__(f"scenario {scenario_name!r} raised during execution: {detail}")
+        self.scenario_name = scenario_name
+        self.detail = detail
+
+    def __reduce__(self):
+        # Exception subclasses with a multi-argument __init__ need an
+        # explicit recipe to survive pickling across the pool boundary.
+        return (type(self), (self.scenario_name, self.detail))
+
+
 class CheckpointError(ReproError):
     """Checkpoint creation, lookup or restoration failed."""
 

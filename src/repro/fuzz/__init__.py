@@ -1,0 +1,60 @@
+"""``repro.fuzz`` — coverage-guided fault-scenario fuzzing.
+
+FixD's pipeline (detect → report → rollback → heal) is only as good as
+the fault *interleavings* it has been shown; hand-written matrices stop
+at the interleavings somebody thought to write.  This package closes
+the loop the ROADMAP calls "coverage-guided scenario fuzzing at scale":
+
+* :func:`generate_scenario` / :func:`generate_schedule` — a **seeded
+  generator** sampling valid fault specs (Crash/Drop/Duplicate/Delay/
+  Partition/Corrupt) against a target app's learned vocabulary (pids,
+  observed message kinds, mutable state paths).  Same seed → byte-
+  identical canonical scenario JSON, in any process.
+* :func:`coverage_key` — a **coverage signal** fingerprinting a run
+  from its :class:`~repro.api.outcome.Outcome`: detection-evidence kind
+  set, Scroll entry-kind n-gram digests per pid, recovery-path shape
+  and the consistency verdict.
+* :class:`Corpus` — **corpus management**: coverage-keyed dedup with
+  on-disk canonical-JSON entries and metadata (seed, coverage key,
+  failure signature).
+* :func:`shrink_scenario` — **schedule shrinking**: delta debugging
+  over schedule entries plus per-fault attribute shrinking (via each
+  spec's ``shrink_candidates``), re-running after every candidate and
+  keeping it only when the identical failure signature reproduces —
+  the rerun-determinism property is what makes this sound.
+* :func:`fuzz` — the driver behind ``Experiment.fuzz(budget=...)`` and
+  ``python -m repro.fuzz``, fanning candidate scenarios over the same
+  process-pool path grids use and writing minimized failures into
+  suite files that replay green-or-expected-violation.
+
+This ``__init__`` is the public surface; the submodules are internal
+(boundary-guarded by ``scripts/check.sh``).
+"""
+
+from repro.fuzz.corpus import Corpus, CorpusEntry
+from repro.fuzz.coverage import coverage_key, coverage_projection, is_interesting_failure
+from repro.fuzz.driver import Budget, FuzzReport, fuzz
+from repro.fuzz.generate import (
+    Vocabulary,
+    generate_scenario,
+    generate_schedule,
+    vocabulary_for,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_scenario
+
+__all__ = [
+    "Budget",
+    "Corpus",
+    "CorpusEntry",
+    "FuzzReport",
+    "ShrinkResult",
+    "Vocabulary",
+    "coverage_key",
+    "coverage_projection",
+    "fuzz",
+    "generate_scenario",
+    "generate_schedule",
+    "is_interesting_failure",
+    "shrink_scenario",
+    "vocabulary_for",
+]

@@ -1,0 +1,158 @@
+"""``python -m repro.fuzz`` — the fuzzing CLI.
+
+Examples::
+
+    python -m repro.fuzz kvstore --max-execs 100 --seed 3
+    python -m repro.fuzz bank --max-seconds 30 --corpus .fuzz/bank \\
+        --suites suites --processes 4
+    python -m repro.fuzz token_ring --params nodes=5 --json
+
+Exit status: 0 always when the budget ran (found failures are the
+*product* of fuzzing, not an error), 2 for bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ScenarioError
+from repro.fuzz.driver import Budget, fuzz
+
+
+def _parse_params(pairs: List[str]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ScenarioError(f"--params takes key=value pairs, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Coverage-guided fault-scenario fuzzing of a registered app.",
+    )
+    parser.add_argument("app", help="registered application name (see repro.api.apps)")
+    parser.add_argument(
+        "--params",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="app parameter override (repeatable; values parsed as JSON when possible)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fuzzer seed (default 0)")
+    parser.add_argument(
+        "--max-execs",
+        type=int,
+        default=None,
+        help="budget: number of scenario executions (default 200 when no --max-seconds)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="budget: wall-clock seconds (combines with --max-execs; first limit wins)",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="persistent corpus directory (omit for an in-memory corpus)",
+    )
+    parser.add_argument(
+        "--suites",
+        default=None,
+        metavar="DIR",
+        help="write minimized failures as replayable suite artefacts into DIR",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="fan scenario executions over N worker processes",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=8, help="scenarios generated per round (default 8)"
+    )
+    parser.add_argument(
+        "--max-faults",
+        type=int,
+        default=4,
+        help="max faults per generated schedule (default 4)",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging of found failures",
+    )
+    parser.add_argument(
+        "--shrink-runs",
+        type=int,
+        default=96,
+        help="execution budget per shrink (default 96)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full machine-readable report on stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.max_execs is None and args.max_seconds is None:
+        budget = Budget()
+    else:
+        budget = Budget(max_execs=args.max_execs, max_seconds=args.max_seconds)
+
+    progress = None if args.json else (lambda line: print(line, flush=True))
+    try:
+        report = fuzz(
+            args.app,
+            _parse_params(args.params),
+            seed=args.seed,
+            budget=budget,
+            corpus_dir=args.corpus,
+            suites_dir=args.suites,
+            processes=args.processes,
+            batch=args.batch,
+            max_faults=args.max_faults,
+            shrink=not args.no_shrink,
+            shrink_runs=args.shrink_runs,
+            progress=progress,
+        )
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+        return 0
+
+    stats = report.corpus_stats
+    print(
+        f"\n{report.app}: {report.execs} execs in {report.elapsed_s:.1f}s "
+        f"({report.execs_per_sec:.1f}/s), corpus {stats.get('entries', 0)} "
+        f"(+{report.new_coverage} new, {report.dedup_hits} dedup), "
+        f"{report.distinct_failures} distinct failure(s)"
+    )
+    for failure in report.minimized:
+        where = f" -> {failure.suite_path}" if failure.suite_path else ""
+        print(
+            f"  minimized {failure.scenario.name}: "
+            f"{failure.faults_before} -> {failure.faults_after} fault(s) "
+            f"[{failure.scenario.faults.label}]{where}"
+        )
+    for error_line in report.errors:
+        print(f"  candidate error: {error_line}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""On-disk corpus management: coverage-keyed dedup over canonical JSON.
+
+One corpus entry per coverage key — the first scenario to reach a
+coverage point claims it; later scenarios with the same fingerprint are
+dedup hits and are not stored.  Entries are canonical-JSON files named
+by their coverage key::
+
+    <root>/entries/<coverage_key>.json
+    {
+      "meta": {
+        "coverage_key": ..., "seed": ..., "signature": ... | null,
+        "interesting": bool, "minimized": bool
+      },
+      "scenario": { ...Scenario.to_dict()... }
+    }
+
+so a corpus directory is diffable, committable and replayable with the
+ordinary suite machinery (the scenario payload *is* a suite scenario).
+Writes are atomic (tmp + ``os.replace``) — a fuzzing run killed
+mid-write never leaves a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.api.scenario import Scenario
+from repro.errors import ScenarioError
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One stored discovery: a scenario plus its coverage metadata."""
+
+    scenario: Scenario
+    coverage_key: str
+    seed: Optional[int] = None
+    #: failure signature when the run went wrong, None for healthy coverage
+    signature: Optional[str] = None
+    #: substantive failure (violation / inconsistency), not a boring mismatch
+    interesting: bool = False
+    #: True once the shrinker reduced this entry's schedule
+    minimized: bool = False
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "meta": {
+                "coverage_key": self.coverage_key,
+                "seed": self.seed,
+                "signature": self.signature,
+                "interesting": self.interesting,
+                "minimized": self.minimized,
+            },
+            "scenario": self.scenario.to_dict(),
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any]) -> "CorpusEntry":
+        meta = payload.get("meta")
+        if not isinstance(meta, dict) or "coverage_key" not in meta:
+            raise ScenarioError("corpus entry needs a 'meta' block with a coverage_key")
+        return CorpusEntry(
+            scenario=Scenario.from_dict(payload.get("scenario", {})),
+            coverage_key=meta["coverage_key"],
+            seed=meta.get("seed"),
+            signature=meta.get("signature"),
+            interesting=bool(meta.get("interesting", False)),
+            minimized=bool(meta.get("minimized", False)),
+        )
+
+
+class Corpus:
+    """A directory of coverage-deduped scenario entries.
+
+    ``root=None`` runs the same dedup logic purely in memory — the
+    driver's default when the caller wants a quick fuzz without a
+    persistent corpus directory.
+    """
+
+    def __init__(self, root=None) -> None:
+        self.root = Path(root) if root is not None else None
+        self.entries_dir = self.root / "entries" if self.root is not None else None
+        self._entries: Dict[str, CorpusEntry] = {}
+        self.dedup_hits = 0
+        if self.entries_dir is not None:
+            self.entries_dir.mkdir(parents=True, exist_ok=True)
+            for path in sorted(self.entries_dir.glob("*.json")):
+                entry = CorpusEntry.from_payload(json.loads(path.read_text()))
+                self._entries[entry.coverage_key] = entry
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, coverage_key: str) -> bool:
+        return coverage_key in self._entries
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        return iter(self._entries[key] for key in sorted(self._entries))
+
+    def get(self, coverage_key: str) -> Optional[CorpusEntry]:
+        return self._entries.get(coverage_key)
+
+    def failing(self) -> List[CorpusEntry]:
+        """Entries that recorded a failure signature, interesting first."""
+        failing = [entry for entry in self if entry.signature is not None]
+        return sorted(failing, key=lambda e: (not e.interesting, e.coverage_key))
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _write(self, entry: CorpusEntry) -> None:
+        if self.entries_dir is None:
+            return
+        path = self.entries_dir / f"{entry.coverage_key}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(entry.to_payload(), sort_keys=True, indent=2) + "\n"
+        )
+        os.replace(tmp, path)
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Store ``entry`` unless its coverage key is already claimed.
+
+        Returns True for new coverage; a dedup hit bumps ``dedup_hits``
+        and changes nothing on disk.
+        """
+        if entry.coverage_key in self._entries:
+            self.dedup_hits += 1
+            return False
+        self._entries[entry.coverage_key] = entry
+        self._write(entry)
+        return True
+
+    def replace(self, entry: CorpusEntry) -> None:
+        """Overwrite an existing key's entry (e.g. with its minimized form)."""
+        self._entries[entry.coverage_key] = entry
+        self._write(entry)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "failing": sum(1 for e in self._entries.values() if e.signature is not None),
+            "interesting": sum(1 for e in self._entries.values() if e.interesting),
+            "minimized": sum(1 for e in self._entries.values() if e.minimized),
+            "dedup_hits": self.dedup_hits,
+        }

@@ -1,0 +1,102 @@
+"""The coverage signal: fingerprint *what a run did*, not what it was fed.
+
+Two schedules that crash different pids at different times but drive
+FixD down the same path — same detection evidence, same Scroll entry
+interleaving shapes, same recovery route, same verdict — are the same
+discovery; keeping both teaches the corpus nothing.  The fingerprint
+folds together:
+
+* the **detection-evidence kind set** (which injected fault kinds the
+  run actually produced evidence for, plus per-kind hit counts bucketed
+  to 0/1/many),
+* per-pid **Scroll entry-kind n-gram digests** — the shape of each
+  process's recorded interleaving, order-sensitive but length-blind,
+* the **recovery-path shape** (rolled back / healed / which pids came
+  back), and
+* the **verdicts** (consistent / ok / detected, and which invariants
+  fired).
+
+Everything is read off the structured :class:`~repro.api.outcome.
+Outcome`, so coverage works identically for in-process and pool runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List
+
+from repro.api.outcome import Outcome
+
+#: n-gram window over per-pid Scroll entry-kind sequences
+NGRAM = 2
+
+
+def _digest(payload: Any) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode(), digest_size=8).hexdigest()
+
+
+def _bucket(count: int) -> str:
+    """Hit counts collapse to 0 / 1 / many — raw counts over-split coverage."""
+    if count <= 0:
+        return "0"
+    return "1" if count == 1 else "many"
+
+
+def kind_ngram_digests(outcome: Outcome, n: int = NGRAM) -> Dict[str, str]:
+    """Per-pid digest of the *set* of entry-kind n-grams the run recorded.
+
+    The set (not the sequence) keeps the signal length-blind: a run
+    that loops the same receive/send pattern 40 times instead of 20 is
+    not new coverage, while a new interleaving window is.
+    """
+    sequences = outcome.scroll.get("kind_sequences", {})
+    digests: Dict[str, str] = {}
+    for pid in sorted(sequences):
+        kinds: List[str] = sequences[pid]
+        grams = {">".join(kinds[i : i + n]) for i in range(max(0, len(kinds) - n + 1))}
+        digests[pid] = _digest(sorted(grams))
+    return digests
+
+
+def coverage_projection(outcome: Outcome, n: int = NGRAM) -> Dict[str, Any]:
+    """The structured coverage view :func:`coverage_key` hashes.
+
+    Exposed separately so tests (and curious humans) can see *why* two
+    runs were considered the same or different.
+    """
+    return {
+        "evidence": sorted(kind for kind, seen in outcome.observed.items() if seen),
+        "fault_hits": {
+            rule: _bucket(count) for rule, count in sorted(outcome.fault_hits.items())
+        },
+        "ngrams": kind_ngram_digests(outcome, n),
+        "recovery": {
+            "rolled_back": outcome.rolled_back,
+            "healed": outcome.healed,
+            "recovered": dict(sorted(outcome.recovered.items())),
+        },
+        "verdict": {
+            "consistent": outcome.consistent,
+            "ok": outcome.ok,
+            "detected": outcome.detected,
+            "violations": sorted({v["invariant"] for v in outcome.violations}),
+        },
+    }
+
+
+def coverage_key(outcome: Outcome, n: int = NGRAM) -> str:
+    """The hashable coverage fingerprint of one run (16 hex chars)."""
+    return _digest(coverage_projection(outcome, n))
+
+
+def is_interesting_failure(outcome: Outcome) -> bool:
+    """Worth shrinking and keeping: the run went wrong in *substance*.
+
+    An invariant fired, the final states flunked the consistency check,
+    or the run ended with unhandled violations.  A schedule whose only
+    sin is that a fault never produced evidence (e.g. a drop rule that
+    matched nothing) is a boring mismatch, not a found bug.
+    """
+    return bool(outcome.faults_detected > 0 or not outcome.consistent or not outcome.ok)

@@ -1,0 +1,338 @@
+"""The fuzzing driver: generate → execute → fingerprint → dedup → shrink.
+
+One loop, budgeted by executions and/or wall seconds: sample candidate
+scenarios from the seeded generator, fan them out over the same
+``ProcessPoolExecutor`` path :class:`~repro.api.experiment.Experiment`
+grids use (or run them inline), fingerprint every
+:class:`~repro.api.outcome.Outcome` with the coverage signal, keep
+coverage-novel scenarios in the corpus, and delta-debug every
+substantive failure down to a minimal schedule that reproduces the
+identical failure signature.
+
+Minimized failures can be written straight into a suites directory as
+regression artefacts: a failure FixD detected *and handled* is saved
+with ``expect_violation=True`` (it replays green), anything else is
+saved with its recorded failure signature (it replays as an expected
+violation) — either way ``python -m repro.api`` and the suite tests
+keep it honest forever after.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.api.scenario import Scenario
+from repro.api.suite import save_suite, scenario_record
+from repro.errors import ScenarioError, ScenarioExecutionError
+from repro.fuzz.corpus import Corpus, CorpusEntry
+from repro.fuzz.coverage import coverage_key, is_interesting_failure
+from repro.fuzz.generate import generate_scenario, vocabulary_for
+from repro.fuzz.shrink import shrink_scenario
+
+Progress = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """How much fuzzing to do; whichever limit trips first wins."""
+
+    max_execs: Optional[int] = 200
+    max_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_execs is None and self.max_seconds is None:
+            raise ScenarioError("a fuzz budget needs max_execs and/or max_seconds")
+        if self.max_execs is not None and self.max_execs < 1:
+            raise ScenarioError("budget max_execs must be >= 1")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ScenarioError("budget max_seconds must be positive")
+
+    @staticmethod
+    def coerce(value) -> "Budget":
+        """``Budget`` | int (execs) | None (defaults) → a Budget."""
+        if value is None:
+            return Budget()
+        if isinstance(value, Budget):
+            return value
+        if isinstance(value, int):
+            return Budget(max_execs=value)
+        raise ScenarioError(
+            f"budget must be a Budget or an execution count, got {value!r}"
+        )
+
+
+@dataclass
+class MinimizedFailure:
+    """One fuzzer-found failure, shrunk to its minimal reproducer."""
+
+    scenario: Scenario
+    coverage_key: str
+    signature: str
+    faults_before: int
+    faults_after: int
+    shrink_runs: int
+    #: where the regression artefact was written (None: no suites_dir)
+    suite_path: Optional[str] = None
+    #: True when the artefact replays green with expect_violation=True
+    replays_green: bool = False
+    #: the confirming rerun's machine-readable record (same shape as
+    #: ``python -m repro.api --json`` emits)
+    record: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.scenario.name,
+            "coverage_key": self.coverage_key,
+            "signature": self.signature,
+            "faults_before": self.faults_before,
+            "faults_after": self.faults_after,
+            "shrink_runs": self.shrink_runs,
+            "suite_path": self.suite_path,
+            "replays_green": self.replays_green,
+            "record": dict(self.record),
+        }
+
+
+@dataclass
+class FuzzReport:
+    """What one fuzzing run did."""
+
+    app: str
+    seed: int
+    execs: int = 0
+    elapsed_s: float = 0.0
+    new_coverage: int = 0
+    dedup_hits: int = 0
+    distinct_failures: int = 0
+    errors: List[str] = field(default_factory=list)
+    minimized: List[MinimizedFailure] = field(default_factory=list)
+    corpus_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def execs_per_sec(self) -> float:
+        return self.execs / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "app": self.app,
+            "seed": self.seed,
+            "execs": self.execs,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "execs_per_sec": round(self.execs_per_sec, 2),
+            "new_coverage": self.new_coverage,
+            "dedup_hits": self.dedup_hits,
+            "distinct_failures": self.distinct_failures,
+            "errors": list(self.errors),
+            "minimized": [failure.to_dict() for failure in self.minimized],
+            "corpus": dict(self.corpus_stats),
+        }
+
+
+def _save_artefact(
+    minimized: Scenario,
+    signature: str,
+    cover_key: str,
+    suites_dir,
+    runner,
+) -> "tuple[Optional[str], bool, Dict[str, Any]]":
+    """Write the minimized failure as a replayable suite artefact.
+
+    Preference order: a failure FixD detected and handled is re-labeled
+    ``expect_violation=True`` and committed green; everything else is
+    committed with its failure signature as the expected replay result.
+    Returns (path, replays_green, confirming record).
+    """
+    suites_dir = Path(suites_dir)
+    suites_dir.mkdir(parents=True, exist_ok=True)
+    path = suites_dir / f"fuzz_{minimized.app}_{cover_key}.json"
+    flipped = replace(minimized, expect_violation=True)
+    outcome = runner(flipped)
+    if outcome.passed:
+        save_suite([flipped], path)
+        return str(path), True, scenario_record(outcome)
+    outcome = runner(minimized)
+    save_suite([minimized], path, expected={minimized.name: signature})
+    return str(path), False, scenario_record(outcome, signature)
+
+
+def fuzz(
+    app: str,
+    params: Optional[Mapping[str, Any]] = None,
+    *,
+    seed: int = 0,
+    budget=None,
+    corpus_dir=None,
+    suites_dir=None,
+    processes: Optional[int] = None,
+    batch: int = 8,
+    max_faults: int = 4,
+    max_events: int = 4000,
+    check: str = "default",
+    shrink: bool = True,
+    shrink_runs: int = 96,
+    progress: Optional[Progress] = None,
+) -> FuzzReport:
+    """Coverage-guided fault-scenario fuzzing of registered app ``app``.
+
+    Deterministic per ``seed``: the candidate stream, coverage keys and
+    shrink results repeat exactly for a fixed budget (wall-seconds
+    budgets naturally cut the stream at a machine-dependent point).
+    """
+    from repro.api.experiment import _run_scenario_task, run_scenario
+
+    budget = Budget.coerce(budget)
+    if batch < 1:
+        raise ScenarioError("fuzz batch size must be >= 1")
+    vocabulary = vocabulary_for(app, params)
+    corpus = Corpus(corpus_dir)
+    report = FuzzReport(app=app, seed=seed)
+    emit = progress or (lambda line: None)
+    seen_signatures = {
+        entry.signature for entry in corpus if entry.signature is not None
+    }
+    started = time.monotonic()
+
+    def out_of_budget() -> bool:
+        if budget.max_execs is not None and report.execs >= budget.max_execs:
+            return True
+        if (
+            budget.max_seconds is not None
+            and time.monotonic() - started >= budget.max_seconds
+        ):
+            return True
+        return False
+
+    def handle(child_seed: int, scenario: Scenario, outcome) -> None:
+        report.execs += 1
+        cover = coverage_key(outcome)
+        signature = outcome.failure_signature()
+        interesting = signature is not None and is_interesting_failure(outcome)
+        entry = CorpusEntry(
+            scenario=scenario,
+            coverage_key=cover,
+            seed=child_seed,
+            signature=signature,
+            interesting=interesting,
+        )
+        if corpus.add(entry):
+            report.new_coverage += 1
+            emit(
+                f"new coverage {cover} via {scenario.name} "
+                f"[{scenario.faults.label}]"
+                + (" FAILING" if signature else "")
+            )
+        if not (interesting and signature not in seen_signatures):
+            return
+        seen_signatures.add(signature)
+        if not shrink:
+            return
+        result = shrink_scenario(
+            scenario, signature, runner=run_scenario, max_runs=shrink_runs
+        )
+        emit(
+            f"shrunk {scenario.name}: {result.original_faults} -> "
+            f"{result.faults} fault(s) in {result.runs} runs"
+        )
+        corpus.replace(
+            CorpusEntry(
+                scenario=result.scenario,
+                coverage_key=cover,
+                seed=child_seed,
+                signature=signature,
+                interesting=True,
+                minimized=True,
+            )
+        )
+        minimized = MinimizedFailure(
+            scenario=result.scenario,
+            coverage_key=cover,
+            signature=signature,
+            faults_before=result.original_faults,
+            faults_after=result.faults,
+            shrink_runs=result.runs,
+        )
+        if suites_dir is not None:
+            minimized.suite_path, minimized.replays_green, minimized.record = (
+                _save_artefact(
+                    result.scenario, signature, cover, suites_dir, run_scenario
+                )
+            )
+        report.minimized.append(minimized)
+
+    index = 0
+
+    def next_candidates(n: int):
+        nonlocal index
+        candidates = []
+        for _ in range(n):
+            child_seed = seed + index
+            candidates.append(
+                (
+                    child_seed,
+                    generate_scenario(
+                        app,
+                        child_seed,
+                        params,
+                        vocabulary=vocabulary,
+                        max_faults=max_faults,
+                        max_events=max_events,
+                        check=check,
+                        name=f"fuzz-{app}-{index:06d}",
+                    ),
+                )
+            )
+            index += 1
+        return candidates
+
+    pool = (
+        ProcessPoolExecutor(max_workers=processes)
+        if processes and processes > 1
+        else None
+    )
+    try:
+        while not out_of_budget():
+            remaining = (
+                budget.max_execs - report.execs
+                if budget.max_execs is not None
+                else batch
+            )
+            candidates = next_candidates(max(1, min(batch, remaining)))
+            if pool is not None:
+                runs = [
+                    pool.submit(_run_scenario_task, scenario)
+                    for _, scenario in candidates
+                ]
+            else:
+                runs = None
+            for position, (child_seed, scenario) in enumerate(candidates):
+                # one bad candidate is an error line, not a lost batch
+                try:
+                    if runs is not None:
+                        outcome = runs[position].result()
+                    else:
+                        outcome = _run_scenario_task(scenario)
+                except ScenarioExecutionError as error:
+                    report.execs += 1
+                    report.errors.append(str(error))
+                    emit(f"candidate error: {error}")
+                    continue
+                handle(child_seed, scenario, outcome)
+            elapsed = time.monotonic() - started
+            stats = corpus.stats()
+            emit(
+                f"execs={report.execs} corpus={stats['entries']} "
+                f"failing={stats['failing']} minimized={stats['minimized']} "
+                f"execs/s={report.execs / elapsed if elapsed > 0 else 0.0:.1f}"
+            )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    report.elapsed_s = time.monotonic() - started
+    report.dedup_hits = corpus.dedup_hits
+    report.distinct_failures = len(seen_signatures)
+    report.corpus_stats = corpus.stats()
+    return report

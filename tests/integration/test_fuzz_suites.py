@@ -1,0 +1,85 @@
+"""Every committed suite artefact replays green-or-expected-violation.
+
+``suites/`` is the repo's regression corpus: hand-written schedules plus
+fuzzer-minimized discoveries.  Each file must keep doing its job forever
+— either pass its declared expectations outright, or reproduce *exactly*
+the failure signature recorded in its ``expected`` block.  The fuzz
+driver writes artefacts through the same ``save_suite``/``scenario_record``
+machinery this test replays them with, so a drifting signature (an
+engine change that alters how a minimized schedule fails) turns red here
+first.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import Scenario
+from repro.api.suite import load_expected_signatures, load_suite, run_suite_records
+
+SUITES_DIR = Path(__file__).resolve().parents[2] / "suites"
+SUITE_FILES = sorted(SUITES_DIR.glob("*.json"))
+
+
+def test_corpus_is_grown():
+    """The committed corpus holds at least 4 fuzzer-minimized artefacts."""
+    fuzzed = [path for path in SUITE_FILES if path.name.startswith("fuzz_")]
+    assert len(fuzzed) >= 4
+    # spanning more than one target app
+    apps = {load_suite(path)[0].app for path in fuzzed}
+    assert len(apps) >= 3
+
+
+@pytest.mark.parametrize("suite_path", SUITE_FILES, ids=lambda p: p.stem)
+def test_suite_replays_ok(suite_path: Path):
+    ok, records = run_suite_records(suite_path)
+    assert ok, [r["summary"] for r in records if not r["ok"]]
+    expected = load_expected_signatures(suite_path)
+    for record in records:
+        if record["name"] in expected:
+            # the artefact's whole point: that exact failure, byte for byte
+            assert record["failure_signature"] == expected[record["name"]]
+            assert record["reproduced_expected"]
+        else:
+            assert record["passed"]
+
+
+def test_cli_json_matches_driver_records(capsys):
+    """``python -m repro.api --json`` emits the records the fuzz driver
+    consumes — same shape, same verdicts, machine-parseable."""
+    from repro.api.__main__ import main
+
+    fuzzed = [path for path in SUITE_FILES if path.name.startswith("fuzz_")]
+    target = fuzzed[0]
+    assert main([str(target), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    (suite,) = payload["suites"]
+    assert suite["suite"] == str(target)
+    direct_ok, direct_records = run_suite_records(target)
+    assert direct_ok
+    # wall time is the only legitimately nondeterministic field
+    def strip(records):
+        return [{k: v for k, v in r.items() if k != "wall_time_s"} for r in records]
+
+    assert strip(suite["scenarios"]) == strip(direct_records)
+    for record in suite["scenarios"]:
+        assert {"name", "app", "ok", "failure_signature", "wall_time_s"} <= set(record)
+
+
+@pytest.mark.parametrize("suite_path", SUITE_FILES, ids=lambda p: p.stem)
+def test_suite_artefacts_round_trip(suite_path: Path):
+    """Suite files are canonical: load -> serialize -> load is identity,
+    and minimized fuzz artefacts keep small schedules (<= 3 faults)."""
+    scenarios = load_suite(suite_path)
+    for scenario in scenarios:
+        assert Scenario.from_json(scenario.to_json()) == scenario
+        if suite_path.name.startswith("fuzz_"):
+            assert len(scenario.faults) <= 3
+    # expected signatures, when present, are valid canonical JSON
+    for signature in load_expected_signatures(suite_path).values():
+        payload = json.loads(signature)
+        assert json.dumps(payload, sort_keys=True, separators=(",", ":")) == signature

@@ -1,0 +1,98 @@
+"""Property tests for the fuzz generator's determinism contract.
+
+The whole fuzzing subsystem leans on one promise: ``generate_scenario
+(app, seed)`` is a pure function of its arguments — byte-identical
+canonical JSON in *any* process.  These tests enforce it the hard way
+(a worker process regenerates the scenarios and the parent compares
+bytes), plus the structural properties every generated artefact must
+hold: JSON round-trips, valid non-empty schedules, on-grid times, and
+shrink candidates that always construct.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Tuple
+
+from repro.api import FaultSchedule, Scenario
+from repro.fuzz import generate_scenario, generate_schedule, vocabulary_for
+from repro.fuzz.generate import TIME_GRID  # facade-ok: asserts the sampling grid itself
+
+APPS = ("token_ring", "kvstore", "bank")
+SEEDS = range(20)
+
+
+def _generate_json(app: str, seeds) -> Dict[Tuple[str, int], str]:
+    """Module-level (hence picklable) worker: seed -> canonical JSON."""
+    return {(app, seed): generate_scenario(app, seed).to_json() for seed in seeds}
+
+
+class TestCrossProcessDeterminism:
+    def test_same_seed_same_bytes_across_processes(self):
+        local = {}
+        for app in APPS:
+            local.update(_generate_json(app, SEEDS))
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(_generate_json, app, list(SEEDS)) for app in APPS]
+            remote = {}
+            for future in futures:
+                remote.update(future.result())
+        assert local == remote
+
+    def test_distinct_seeds_explore(self):
+        schedules = {generate_scenario("token_ring", seed).faults.label for seed in range(40)}
+        # the sampler must actually move through the fault vocabulary
+        assert len(schedules) >= 8
+
+
+class TestGeneratedArtefactShape:
+    def test_round_trips_byte_identically(self):
+        for app in APPS:
+            for seed in SEEDS:
+                scenario = generate_scenario(app, seed)
+                clone = Scenario.from_json(scenario.to_json())
+                assert clone == scenario
+                assert clone.to_json() == scenario.to_json()
+
+    def test_schedules_non_empty_and_on_grid(self):
+        for app in APPS:
+            vocabulary = vocabulary_for(app)
+            for seed in SEEDS:
+                schedule = generate_schedule(vocabulary, seed)
+                assert len(schedule) >= 1
+                for spec in schedule.faults:
+                    for attr in ("at", "recover_at", "start", "end", "after", "extra_delay"):
+                        value = getattr(spec, attr, None)
+                        if value is not None:
+                            assert value == round(value / TIME_GRID) * TIME_GRID
+
+    def test_faults_speak_the_vocabulary(self):
+        vocabulary = vocabulary_for("kvstore")
+        pids = set(vocabulary.pids)
+        kinds = set(vocabulary.message_kinds)
+        for seed in range(30):
+            for spec in generate_schedule(vocabulary, seed).faults:
+                if hasattr(spec, "pid"):
+                    assert spec.pid in pids
+                if getattr(spec, "match_kind", None) is not None:
+                    assert spec.match_kind in kinds
+                if hasattr(spec, "groups"):
+                    assert set(spec.groups[0]) | set(spec.groups[1]) <= pids
+
+    def test_shrink_candidates_always_construct(self):
+        vocabulary = vocabulary_for("bank")
+        for seed in range(30):
+            for spec in generate_schedule(vocabulary, seed).faults:
+                for candidate in spec.shrink_candidates():
+                    # a candidate must be a valid spec of the same kind
+                    # and must survive scheduling and serialization
+                    assert candidate.kind == spec.kind
+                    schedule = FaultSchedule.of(candidate)
+                    payload = json.dumps(
+                        Scenario(
+                            app="bank", name="cand", faults=schedule
+                        ).to_dict(),
+                        sort_keys=True,
+                    )
+                    assert json.loads(payload)

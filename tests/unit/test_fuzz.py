@@ -1,0 +1,373 @@
+"""Unit tests for ``repro.fuzz``: the coverage signal, corpus dedup and
+persistence, the shrinker's signature-preserving minimization, and the
+budgeted driver loop.
+
+Shrinker mechanics run against a *stub* runner (a pure function from
+schedules to signatures) so the minimization logic is tested exhaustively
+without paying for simulator runs; one real end-to-end shrink and one
+real driver run keep the stubs honest.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Crash, Delay, Drop, Duplicate, FaultSchedule, Scenario, run_scenario
+from repro.errors import ScenarioError, ScenarioExecutionError
+from repro.fuzz import (
+    Budget,
+    Corpus,
+    CorpusEntry,
+    coverage_key,
+    coverage_projection,
+    fuzz,
+    generate_scenario,
+    is_interesting_failure,
+    shrink_scenario,
+)
+from repro.fuzz.coverage import kind_ngram_digests  # facade-ok: tests the n-gram mechanism itself
+
+
+# ----------------------------------------------------------------------
+# coverage signal
+# ----------------------------------------------------------------------
+class TestCoverage:
+    def test_same_run_same_key(self):
+        scenario = Scenario(app="token_ring", name="cov-a", faults=FaultSchedule.of(Drop(match_kind="TOKEN", count=1)))
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        assert coverage_key(first) == coverage_key(second)
+        assert coverage_projection(first) == coverage_projection(second)
+
+    def test_different_behaviour_different_key(self):
+        healthy = run_scenario(Scenario(app="token_ring", name="cov-h"))
+        faulty = run_scenario(
+            Scenario(
+                app="token_ring",
+                name="cov-f",
+                faults=FaultSchedule.of(Crash(pid="node0", at=2.0)),
+            )
+        )
+        assert coverage_key(healthy) != coverage_key(faulty)
+
+    def test_projection_shape(self):
+        outcome = run_scenario(
+            Scenario(
+                app="token_ring",
+                name="cov-shape",
+                faults=FaultSchedule.of(Duplicate(match_kind="TOKEN", count=1)),
+            )
+        )
+        projection = coverage_projection(outcome)
+        assert set(projection) == {"evidence", "fault_hits", "ngrams", "recovery", "verdict"}
+        assert projection["evidence"] == ["duplicate"]
+        # hit counts are bucketed, never raw
+        assert set(projection["fault_hits"].values()) <= {"0", "1", "many"}
+        # one digest per pid that recorded entries
+        assert set(projection["ngrams"]) == set(outcome.scroll["kind_sequences"])
+
+    def test_ngram_digests_length_blind(self):
+        outcome = run_scenario(Scenario(app="token_ring", name="cov-ngram"))
+        digests = kind_ngram_digests(outcome)
+        # doubling every pid's sequence adds no new 2-gram windows except
+        # the seam; splice the same tail kind to keep the seam identical
+        doubled = type(outcome)(
+            scenario_id=outcome.scenario_id,
+            app=outcome.app,
+            backend=outcome.backend,
+            scroll={
+                "kind_sequences": {
+                    pid: seq + seq[-1:] * 3
+                    for pid, seq in outcome.scroll["kind_sequences"].items()
+                    if len(seq) >= 2 and seq[-1] == seq[-2]
+                }
+            },
+        )
+        for pid, digest in kind_ngram_digests(doubled).items():
+            assert digest == digests[pid]
+
+    def test_interesting_failure_gate(self):
+        healthy = run_scenario(Scenario(app="token_ring", name="int-h"))
+        assert not is_interesting_failure(healthy)
+        # a drop rule that matches nothing fails its expectations but is boring
+        boring = run_scenario(
+            Scenario(
+                app="token_ring",
+                name="int-b",
+                faults=FaultSchedule.of(Drop(match_kind="NO_SUCH_KIND", count=1)),
+            )
+        )
+        assert not boring.passed
+        assert boring.failure_signature() is not None
+        assert not is_interesting_failure(boring)
+
+
+# ----------------------------------------------------------------------
+# corpus
+# ----------------------------------------------------------------------
+def _entry(key: str, *, signature=None, interesting=False, minimized=False) -> CorpusEntry:
+    return CorpusEntry(
+        scenario=Scenario(app="token_ring", name=f"corpus-{key}"),
+        coverage_key=key,
+        seed=7,
+        signature=signature,
+        interesting=interesting,
+        minimized=minimized,
+    )
+
+
+class TestCorpus:
+    def test_add_dedup_and_stats(self):
+        corpus = Corpus()
+        assert corpus.add(_entry("aa"))
+        assert not corpus.add(_entry("aa"))
+        assert corpus.add(_entry("bb", signature="sig", interesting=True))
+        assert corpus.dedup_hits == 1
+        assert corpus.stats() == {
+            "entries": 2,
+            "failing": 1,
+            "interesting": 1,
+            "minimized": 0,
+            "dedup_hits": 1,
+        }
+        assert "aa" in corpus and "cc" not in corpus
+
+    def test_failing_orders_interesting_first(self):
+        corpus = Corpus()
+        corpus.add(_entry("zz", signature="s1"))
+        corpus.add(_entry("aa", signature="s2", interesting=True))
+        corpus.add(_entry("mm"))
+        assert [e.coverage_key for e in corpus.failing()] == ["aa", "zz"]
+
+    def test_disk_round_trip(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.add(_entry("aa", signature="sig", interesting=True))
+        corpus.replace(_entry("aa", signature="sig", interesting=True, minimized=True))
+        reloaded = Corpus(tmp_path / "corpus")
+        assert len(reloaded) == 1
+        entry = reloaded.get("aa")
+        assert entry.minimized and entry.interesting and entry.signature == "sig"
+        assert entry.scenario == _entry("aa").scenario
+        # entry files are canonical JSON named by coverage key
+        path = tmp_path / "corpus" / "entries" / "aa.json"
+        payload = json.loads(path.read_text())
+        assert payload["meta"]["coverage_key"] == "aa"
+
+    def test_malformed_entry_fails_loudly(self, tmp_path):
+        entries = tmp_path / "corpus" / "entries"
+        entries.mkdir(parents=True)
+        (entries / "bad.json").write_text('{"scenario": {}}')
+        with pytest.raises(ScenarioError, match="meta"):
+            Corpus(tmp_path / "corpus")
+
+
+# ----------------------------------------------------------------------
+# shrinker (stub runner: signature == "has a crash on node0")
+# ----------------------------------------------------------------------
+class _StubOutcome:
+    def __init__(self, signature):
+        self._signature = signature
+
+    def failure_signature(self):
+        return self._signature
+
+
+def _crash_sensitive_runner(calls):
+    """Fails (signature "boom") iff the schedule crashes node0."""
+
+    def runner(scenario):
+        calls.append(scenario)
+        crashed = any(
+            getattr(f, "kind", "") == "crash" and f.pid == "node0"
+            for f in scenario.faults.faults
+        )
+        return _StubOutcome("boom" if crashed else None)
+
+    return runner
+
+
+def _noisy_scenario() -> Scenario:
+    return Scenario(
+        app="token_ring",
+        name="shrink-me",
+        faults=FaultSchedule.of(
+            Delay(match_kind="TOKEN", extra_delay=4.0, count=2),
+            Drop(match_kind="TOKEN", count=1),
+            Crash(pid="node0", at=3.0, recover_at=8.0),
+            Duplicate(match_kind="TOKEN", count=3),
+            Crash(pid="node1", at=5.0, recover_at=9.0),
+        ),
+    )
+
+
+class TestShrinker:
+    def test_minimizes_to_single_relevant_fault(self):
+        calls = []
+        result = shrink_scenario(
+            _noisy_scenario(), "boom", runner=_crash_sensitive_runner(calls)
+        )
+        assert result.original_faults == 5
+        assert result.faults == 1
+        assert result.removed == 4
+        (fault,) = result.scenario.faults.faults
+        assert fault.kind == "crash" and fault.pid == "node0"
+        # attribute shrinking dropped the recovery time too
+        assert fault.recover_at is None
+        assert result.runs == len(calls)
+        assert not result.budget_exhausted
+
+    def test_signature_mismatch_keeps_schedule(self):
+        # a runner whose failure never reproduces: nothing may be removed
+        result = shrink_scenario(
+            _noisy_scenario(), "different-sig", runner=lambda s: _StubOutcome("boom")
+        )
+        assert result.faults == 5
+        assert result.removed == 0
+
+    def test_budget_is_respected(self):
+        calls = []
+        result = shrink_scenario(
+            _noisy_scenario(),
+            "boom",
+            runner=_crash_sensitive_runner(calls),
+            max_runs=3,
+        )
+        assert result.runs <= 3
+        assert result.budget_exhausted
+        # still a valid, failing scenario
+        assert any(f.kind == "crash" and f.pid == "node0" for f in result.scenario.faults.faults)
+
+    def test_healthy_scenario_refused(self):
+        with pytest.raises(ScenarioError, match="nothing to shrink"):
+            shrink_scenario(
+                Scenario(app="token_ring", name="healthy"),
+                runner=lambda s: _StubOutcome(None),
+            )
+
+    def test_shrinks_to_empty_when_failure_is_fault_free(self):
+        # when the failure reproduces with NO faults at all (an app bug,
+        # not an injection), the minimal reproducer is the empty schedule
+        result = shrink_scenario(
+            _noisy_scenario(), "boom", runner=lambda s: _StubOutcome("boom")
+        )
+        assert len(result.scenario.faults) == 0
+        assert result.removed == 5
+
+    @pytest.mark.slow
+    def test_real_end_to_end_shrink(self):
+        # real simulator runs: a duplicate REPLICATE violates the stale
+        # kvstore's version invariant; the noise faults shrink away
+        scenario = Scenario(
+            app="kvstore",
+            name="real-shrink",
+            params={"stale_backups": True},
+            faults=FaultSchedule.of(
+                Delay(match_kind="GET", extra_delay=1.0, count=1),
+                Duplicate(match_kind="REPLICATE", count=1),
+            ),
+        )
+        baseline = run_scenario(scenario)
+        assert is_interesting_failure(baseline)
+        result = shrink_scenario(scenario, baseline.failure_signature())
+        assert result.faults <= 2
+        confirm = run_scenario(result.scenario)
+        assert confirm.failure_signature() == result.signature
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+class TestDriver:
+    def test_budget_coercion(self):
+        assert Budget.coerce(None).max_execs == 200
+        assert Budget.coerce(12).max_execs == 12
+        budget = Budget(max_execs=None, max_seconds=5.0)
+        assert Budget.coerce(budget) is budget
+        with pytest.raises(ScenarioError, match="max_execs and/or max_seconds"):
+            Budget(max_execs=None, max_seconds=None)
+        with pytest.raises(ScenarioError, match="Budget or an execution count"):
+            Budget.coerce("lots")
+
+    def test_fuzz_loop_reports_and_dedups(self, tmp_path):
+        lines = []
+        report = fuzz(
+            "token_ring",
+            seed=5,
+            budget=Budget(max_execs=8),
+            corpus_dir=tmp_path / "corpus",
+            batch=4,
+            shrink=False,
+            progress=lines.append,
+        )
+        assert report.execs == 8
+        assert report.new_coverage + report.dedup_hits == 8 - len(report.errors)
+        assert report.corpus_stats["entries"] == report.new_coverage
+        assert any(line.startswith("execs=") for line in lines)
+        # the corpus persisted and reloads
+        assert len(Corpus(tmp_path / "corpus")) == report.new_coverage
+        # resuming against the same corpus dedups everything it re-finds
+        again = fuzz(
+            "token_ring",
+            seed=5,
+            budget=Budget(max_execs=8),
+            corpus_dir=tmp_path / "corpus",
+            batch=4,
+            shrink=False,
+        )
+        assert again.new_coverage == 0
+        assert again.dedup_hits == 8 - len(again.errors)
+
+    def test_fuzz_deterministic_per_seed(self):
+        first = fuzz("token_ring", seed=3, budget=Budget(max_execs=6), shrink=False)
+        second = fuzz("token_ring", seed=3, budget=Budget(max_execs=6), shrink=False)
+        assert first.execs == second.execs
+        assert first.distinct_failures == second.distinct_failures
+        assert first.corpus_stats == second.corpus_stats
+
+    def test_report_to_dict_round_trips_json(self):
+        report = fuzz("token_ring", seed=2, budget=Budget(max_execs=4), shrink=False)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["app"] == "token_ring"
+        assert payload["execs"] == 4
+        assert set(payload["corpus"]) == {
+            "entries",
+            "failing",
+            "interesting",
+            "minimized",
+            "dedup_hits",
+        }
+
+
+# ----------------------------------------------------------------------
+# pool fan-out error attribution (the failing-before regression)
+# ----------------------------------------------------------------------
+class TestPoolErrorAttribution:
+    def test_worker_exception_names_the_scenario(self):
+        from repro.api import Experiment
+
+        scenarios = [
+            Scenario(app="token_ring", name="fine"),
+            Scenario(app="token_ring", name="broken-check", check="no-such-check"),
+        ]
+        with pytest.raises(ScenarioExecutionError, match="broken-check") as excinfo:
+            Experiment(scenarios, processes=2).run()
+        assert excinfo.value.scenario_name == "broken-check"
+
+    def test_serial_path_matches(self):
+        from repro.api import Experiment
+
+        with pytest.raises(ScenarioExecutionError, match="solo-broken"):
+            Experiment(
+                [Scenario(app="token_ring", name="solo-broken", check="nope")]
+            ).run()
+
+    def test_execution_error_survives_pickling(self):
+        import pickle
+
+        error = ScenarioExecutionError("some-scenario", "KeyError: 'x'")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.scenario_name == "some-scenario"
+        assert clone.detail == "KeyError: 'x'"
+        assert "some-scenario" in str(clone)
