@@ -1,14 +1,15 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: verify tier1 tier1-core matrix parity mp-teardown bench-smoke suite-smoke resume-smoke fuzz-smoke bench test-all
+.PHONY: verify tier1 tier1-core matrix parity mp-teardown net-smoke bench-smoke suite-smoke resume-smoke fuzz-smoke bench test-all
 
 ## The one-command gate: core tests, the fault matrix, backend parity
-## (both mp transports), mp teardown/leak regression, benchmark smoke,
-## a suite-file run through the repro.api facade, the durable-store
-## resume suite, and the fuzzing smoke gate — each exactly once
-## (tier1-core deselects what the later steps own).
-verify: tier1-core matrix parity mp-teardown bench-smoke suite-smoke resume-smoke fuzz-smoke
+## (mp transports + the socket backend), mp teardown/leak regression,
+## net teardown/leak regression, benchmark smoke, a suite-file run
+## through the repro.api facade, the durable-store resume suite, and
+## the fuzzing smoke gate — each exactly once (tier1-core deselects
+## what the later steps own).
+verify: tier1-core matrix parity mp-teardown net-smoke bench-smoke suite-smoke resume-smoke fuzz-smoke
 
 ## The plain default suite (what CI and `pytest -x -q` run): includes the
 ## matrix and the in-process bench smoke test.
@@ -31,6 +32,12 @@ parity:
 ## resource-tracker-quiet exit) on clean, worker-lost and interrupt paths.
 mp-teardown:
 	python -m pytest tests/unit/test_mp_teardown.py -m "" -q
+
+## Small net-backend run plus teardown-leak regression: socket files
+## and shard-router threads reclaimed on clean, worker-lost, stalled
+## and interrupt paths.
+net-smoke:
+	python -m pytest tests/unit/test_net_teardown.py -m "" -q
 
 bench-smoke:
 	python benchmarks/run_bench.py --quick --check

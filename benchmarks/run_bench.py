@@ -3,9 +3,9 @@
 
 Measures the hot paths the perf PRs target — indexed Scroll queries, the
 lazy-deletion scheduler, dirty-page COW captures, whole-log replay from
-a spilled Scroll, and the two multiprocessing transports (batched pipe
-writes; zero-pickle shared-memory rings) — and writes the results as
-two profiles::
+a spilled Scroll, and the three real-process transports (batched pipe
+writes; zero-pickle shared-memory rings; batched socket frames) — and
+writes the results as two profiles::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full + quick
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # quick only
@@ -49,6 +49,7 @@ from repro.api import Cluster, ClusterConfig, Process, apps, handler  # noqa: E4
 # Internal perf oracles: this benchmark measures the scheduler and the
 # mp transport's batching knobs themselves, below the facade.
 from repro.dsim.backend import MPBackend, MPBackendOptions  # noqa: E402  # facade-ok: transport batching knobs under measurement
+from repro.dsim.net_backend import NetBackend, NetBackendOptions  # noqa: E402  # facade-ok: socket batching knobs under measurement
 from repro.dsim.scheduler import EventKind, Scheduler  # noqa: E402  # facade-ok: scheduler hot path under measurement
 from repro.scroll.entry import ActionKind, ScrollEntry  # noqa: E402
 from repro.scroll.replayer import Replayer  # noqa: E402
@@ -655,6 +656,79 @@ def measure_mp_batching(
 
 
 # ----------------------------------------------------------------------
+# socket transport: batched frames vs per-message socket writes
+# ----------------------------------------------------------------------
+def measure_net_transport(
+    workers: int = 4,
+    chunks: int = 360,
+    words_per_chunk: int = 12,
+    shards: int = 2,
+    seed: int = 3,
+) -> Dict[str, float]:
+    """Socket writes and pickle bytes for a heavy-traffic wordcount on ``net``.
+
+    Runs the burst-dispatching wordcount twice on the socket backend:
+    once with the batched transport (workers flush at the watermark, the
+    shard routers coalesce per-destination writes) and once degraded to
+    one framed socket write per message — the naive wire behaviour.
+    Both runs must aggregate the full corpus to the exact expected
+    counts.  The guarded headline is ``socket_write_reduction``
+    (acceptance floor 5x); ``messages_pickled_batched`` must be zero —
+    the delivery hot path rides the marshal fast frames, pickle only
+    survives on control frames (probes/results/hello).
+    """
+    import time as wall_clock
+
+    def run(batched: bool):
+        options = NetBackendOptions(
+            time_scale=0.01,
+            flush_watermark=64 if batched else 1,
+            batch_deliveries=batched,
+            shards=shards,
+        )
+        backend = NetBackend(options)
+        cluster = Cluster(ClusterConfig(seed=seed), backend=backend)
+        apps.build(
+            cluster,
+            "wordcount_burst",
+            workers=workers,
+            chunks=chunks,
+            words_per_chunk=words_per_chunk,
+        )
+        began = wall_clock.perf_counter()
+        result = cluster.run(until=1000.0)
+        wall = wall_clock.perf_counter() - began
+        master = result.process_states.get("master", {})
+        expected_counts = apps.app("wordcount_burst").exports["expected_counts"]
+        complete = (
+            master.get("aggregated") == chunks
+            and master.get("counts") == expected_counts(chunks, words_per_chunk)
+        )
+        return wall, backend.transport_stats, complete
+
+    batched_wall, batched_stats, batched_ok = run(True)
+    unbatched_wall, unbatched_stats, unbatched_ok = run(False)
+    return {
+        "workers": workers,
+        "chunks": chunks,
+        "shards": shards,
+        "messages": batched_stats["messages_routed"],
+        "socket_writes_batched": batched_stats["socket_writes"],
+        "socket_writes_unbatched": unbatched_stats["socket_writes"],
+        "socket_write_reduction": unbatched_stats["socket_writes"]
+        / max(1, batched_stats["socket_writes"]),
+        "socket_bytes_batched": batched_stats["socket_bytes"],
+        "messages_fast": batched_stats["messages_fast"],
+        "messages_pickled_batched": batched_stats["messages_pickled"],
+        "max_batch": batched_stats["max_batch"],
+        "wall_batched_s": batched_wall,
+        "wall_unbatched_s": unbatched_wall,
+        "wall_speedup": unbatched_wall / batched_wall,
+        "results_complete": batched_ok and unbatched_ok,
+    }
+
+
+# ----------------------------------------------------------------------
 # shared-memory ring transport: zero-pickle frames vs the batched pipe
 # ----------------------------------------------------------------------
 def measure_shm_ring(
@@ -758,6 +832,7 @@ def run_profile(profile: str) -> Dict[str, Dict[str, float]]:
             "durable_flush": measure_durable_flush(elements=10_000, commits=5),
             "scroll_spill_replay": measure_scroll_spill(n=20_000, pids=10, repeats=2),
             "mp_batching": measure_mp_batching(workers=2, chunks=120),
+            "net_transport": measure_net_transport(workers=2, chunks=120),
             # repeats=4: the sub-second quick samples need min-of-4 pairs
             # for a stable wall ratio (min-of-2 flaps under machine load)
             "shm_ring": measure_shm_ring(workers=2, chunks=240, words_per_chunk=12, repeats=4),
@@ -770,6 +845,7 @@ def run_profile(profile: str) -> Dict[str, Dict[str, float]]:
         "durable_flush": measure_durable_flush(),
         "scroll_spill_replay": measure_scroll_spill(),
         "mp_batching": measure_mp_batching(),
+        "net_transport": measure_net_transport(),
         "shm_ring": measure_shm_ring(),
     }
 
@@ -804,6 +880,13 @@ GUARDED_METRICS: List[Tuple[str, str, str, float]] = [
     # conservative wall floor: 2x measured on this box, green zone well
     # below it so scheduler noise can't flap CI
     ("mp_batching", "wall_speedup", "higher", 1.2),
+    # socket batching: one framed sendall per destination batch must cut
+    # socket writes >=5x vs per-message frames (the net acceptance floor)
+    ("net_transport", "socket_write_reduction", "higher", 5.0),
+    # zero pickle on the net delivery hot path — every batch/flush item
+    # rides the marshal fast frames; direction "lower" with green zone 0
+    # makes any nonzero count an immediate failure
+    ("net_transport", "messages_pickled_batched", "lower", 0.0),
     # the shm acceptance floor (2x); measured ~2 orders of magnitude above
     ("shm_ring", "pickled_reduction", "higher", 2.0),
     # shm must never be materially slower than the pipe.  The perf claim
@@ -865,6 +948,11 @@ def check_against(
     batching = current.get("mp_batching", {})
     if batching and not batching.get("results_complete", True):
         failures.append("mp_batching: a run failed to aggregate the full corpus")
+    net = current.get("net_transport", {})
+    if net and not net.get("results_complete", True):
+        failures.append("net_transport: a run failed to aggregate the full corpus")
+    if net and net.get("messages_pickled_batched", 0) != 0:
+        failures.append("net_transport: pickle leaked onto the delivery hot path")
     ring = current.get("shm_ring", {})
     if ring and not ring.get("results_complete", True):
         failures.append("shm_ring: a run failed to aggregate the full corpus")

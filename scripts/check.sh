@@ -49,6 +49,29 @@ fi
 echo "boundary guard: no shm_ring imports outside dsim/"
 
 # ----------------------------------------------------------------------
+# Transport boundary guard: repro.dsim.net_transport is the net
+# backend's internal wire plane (socket framing, the endpoint, the
+# reassembler).  The sanctioned surfaces are the backend knobs
+# (NetBackendOptions, Cluster(..., backend="net"), FixDConfig.backend,
+# Scenario.backend) — importing the framing machinery directly outside
+# src/repro/dsim/ is a boundary violation.  A line may opt out with a
+# trailing `# facade-ok: <reason>` marker, reserved for benchmarks and
+# tests that measure or property-test the frame codec itself.
+# ----------------------------------------------------------------------
+violations=$(grep -rn --include='*.py' -E \
+    '(from|import)[[:space:]]+repro\.dsim\.net_transport|from[[:space:]]+repro\.dsim[[:space:]]+import[[:space:]][^#]*\bnet_transport\b|import_module\([^)]*net_transport' \
+    src tests benchmarks examples 2>/dev/null \
+    | grep -v '^src/repro/dsim/' \
+    | grep -v 'facade-ok' || true)
+if [[ -n "$violations" ]]; then
+    echo "Transport boundary violation: repro.dsim.net_transport imported outside src/repro/dsim/" >&2
+    echo "Select the backend via Cluster(..., backend=\"net\"), NetBackendOptions, FixDConfig.backend or Scenario.backend:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "boundary guard: no net_transport imports outside dsim/"
+
+# ----------------------------------------------------------------------
 # Facade boundary guard: examples/ and benchmarks/ express workloads
 # through the public facade (`repro.api`) — the execution substrate
 # (repro.dsim.*) and the demo-app builders (repro.apps.*) are internal.

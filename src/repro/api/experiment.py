@@ -83,6 +83,10 @@ def _make_backend(scenario: Scenario):
         from repro.dsim.backend import SimBackend
 
         return SimBackend()
+    if scenario.backend == "net":
+        from repro.dsim.net_backend import NetBackend, NetBackendOptions
+
+        return NetBackend(NetBackendOptions(time_scale=scenario.time_scale))
     from repro.dsim.backend import MPBackend, MPBackendOptions
 
     return MPBackend(
@@ -114,7 +118,7 @@ def execute(scenario: Scenario, fixd_config: Optional[FixDConfig] = None) -> Sce
     plan = scenario.faults.to_plan()
     if not plan.is_empty():
         cluster.set_failure_plan(plan)
-    if scenario.backend == "mp":
+    if scenario.backend in ("mp", "net"):
         result = cluster.run(until=scenario.until)
     else:
         result = cluster.run(until=scenario.until, max_events=scenario.max_events)
@@ -466,8 +470,9 @@ class Experiment:
         Extra keyword arguments become :class:`Scenario` fields shared
         by every cell (``params=...``, ``until=...``, ``hot_window=...``).
         The ``transports`` axis applies to ``mp`` cells only — the
-        simulator has no transport, so ``sim`` cells are emitted once
-        regardless of how many transports are listed.
+        simulator has no transport and ``net`` is always sockets, so
+        ``sim``/``net`` cells are emitted once regardless of how many
+        transports are listed.
 
         Axes may be any iterable, including generators: every axis is
         materialized exactly once up front (the cross product iterates

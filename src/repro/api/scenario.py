@@ -20,7 +20,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from repro.api.faults import FaultSchedule
 from repro.errors import ScenarioError
 
-BACKENDS = ("sim", "mp")
+BACKENDS = ("sim", "mp", "net")
 TRANSPORTS = ("pipe", "shm")
 CHECKPOINT_STORES = ("memory", "disk")
 FLUSH_MODES = ("sync", "pipelined")
@@ -41,8 +41,10 @@ class Scenario:
         Application parameters merged over the registry defaults.
     backend:
         Execution substrate: ``"sim"`` (deterministic simulator, full
-        FixD pipeline) or ``"mp"`` (real OS processes; detection +
-        reporting only).  ``mp`` scenarios must set ``until``.
+        FixD pipeline), ``"mp"`` (real OS processes over pipes/shm
+        rings; detection + reporting only) or ``"net"`` (real OS
+        processes over sharded socket routers; same capability tier as
+        ``mp``).  ``mp``/``net`` scenarios must set ``until``.
     seed / until / max_events:
         Determinism root and run limits (``max_events`` applies to the
         simulator only).
@@ -64,7 +66,7 @@ class Scenario:
         faults, fault-handling budget, and the periodic recovery-line
         commit interval (Scroll segment GC).
     time_scale:
-        Wall seconds per simulated unit on the ``mp`` backend.
+        Wall seconds per simulated unit on the ``mp``/``net`` backends.
     transport:
         Data plane of the ``mp`` backend: ``"pipe"`` (batched pickled
         pipe writes, the default) or ``"shm"`` (shared-memory rings, no
@@ -124,10 +126,10 @@ class Scenario:
             raise ScenarioError(
                 f"unknown transport {self.transport!r}; expected one of {TRANSPORTS}"
             )
-        if self.backend == "sim" and self.transport != "pipe":
+        if self.backend != "mp" and self.transport != "pipe":
             raise ScenarioError(
                 f"scenario transport {self.transport!r} is an mp-backend knob; "
-                "the simulator has no transport"
+                "the simulator has no transport and the net backend is always sockets"
             )
         if self.checkpoint_store not in CHECKPOINT_STORES:
             raise ScenarioError(
@@ -137,8 +139,8 @@ class Scenario:
         if self.checkpoint_store == "disk":
             if self.backend != "sim":
                 raise ScenarioError(
-                    "checkpoint_store='disk' needs the sim backend; the mp backend "
-                    "advertises no checkpoint capability to persist"
+                    "checkpoint_store='disk' needs the sim backend; the real-process "
+                    "backends advertise no checkpoint capability to persist"
                 )
             if not self.store_path:
                 raise ScenarioError(
@@ -170,10 +172,10 @@ class Scenario:
                 f"scenario name {self.name!r} must not contain path separators: "
                 "it becomes a durable run id, a filesystem path component"
             )
-        if self.backend == "mp" and self.until is None:
+        if self.backend in ("mp", "net") and self.until is None:
             raise ScenarioError(
-                f"scenario {self.name!r}: the mp backend detects quiescence in wall "
-                "time, so an explicit until=... bound is required"
+                f"scenario {self.name!r}: the {self.backend} backend detects "
+                "quiescence in wall time, so an explicit until=... bound is required"
             )
 
     # ------------------------------------------------------------------

@@ -57,9 +57,11 @@ class FixDConfig:
     """Behaviour of the FixD controller."""
 
     #: which execution substrate :meth:`FixD.make_cluster` builds:
-    #: ``"sim"`` (deterministic simulator, full pipeline) or ``"mp"``
-    #: (real OS processes; FixD degrades to detection + reporting
-    #: because the backend advertises no checkpoint/rollback capability).
+    #: ``"sim"`` (deterministic simulator, full pipeline), ``"mp"``
+    #: (real OS processes over pipes/shm rings) or ``"net"`` (real OS
+    #: processes over sharded socket routers).  On ``mp``/``net`` FixD
+    #: degrades to detection + reporting because those backends
+    #: advertise no checkpoint/rollback capability.
     backend: str = "sim"
     #: data plane of the ``mp`` backend: ``"pipe"`` (batched pickled
     #: pipe writes) or ``"shm"`` (shared-memory rings; the hot path

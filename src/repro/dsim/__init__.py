@@ -17,11 +17,13 @@ provides the equivalent substrate in pure Python:
 * :mod:`repro.dsim.cluster` — the frontend: process registration, hooks,
   failure plans and the violation policy over a pluggable backend.
 * :mod:`repro.dsim.backend` — the :class:`~repro.dsim.backend.Backend`
-  protocol with two substrates: the deterministic simulator
-  (:class:`~repro.dsim.backend.SimBackend`, the default) and real OS
+  protocol with three substrates: the deterministic simulator
+  (:class:`~repro.dsim.backend.SimBackend`, the default), real OS
   processes (:class:`~repro.dsim.backend.MPBackend`) over a pluggable
   transport — batched pipe writes or zero-pickle shared-memory rings
-  (:mod:`repro.dsim.shm_ring`).
+  (:mod:`repro.dsim.shm_ring`) — and real OS processes over sharded
+  asyncio socket routers (:class:`~repro.dsim.net_backend.NetBackend`,
+  framing in :mod:`repro.dsim.net_transport`).
 
 The FixD components attach to the simulator exclusively through the hook
 interfaces in :mod:`repro.dsim.hooks`, which keeps this substrate free of
@@ -29,6 +31,7 @@ dependencies on the rest of the library.
 """
 
 from repro.dsim.backend import Backend, MPBackend, MPBackendOptions, SimBackend
+from repro.dsim.net_backend import NetBackend, NetBackendOptions
 from repro.dsim.clock import LamportClock, VectorClock, happens_before
 from repro.dsim.cluster import Cluster, ClusterConfig, RunResult
 from repro.dsim.failure import CrashFault, FailurePlan, MessageFault, PartitionFault, StateCorruptionFault
@@ -42,6 +45,8 @@ __all__ = [
     "SimBackend",
     "MPBackend",
     "MPBackendOptions",
+    "NetBackend",
+    "NetBackendOptions",
     "LamportClock",
     "VectorClock",
     "happens_before",

@@ -1,4 +1,4 @@
-"""Pluggable execution backends: one cluster API over two substrates.
+"""Pluggable execution backends: one cluster API over multiple substrates.
 
 The paper's FixD architecture assumes a single runtime substrate — a
 cluster of communicating POSIX processes — underneath its detection,
@@ -28,6 +28,10 @@ actually *executes* lives behind the :class:`Backend` protocol:
   crashes/recoveries become control messages, message faults and
   partitions are applied by the parent router, state corruptions fire
   inside the worker.
+
+* :class:`~repro.dsim.net_backend.NetBackend` (own module) — the same
+  worker loop over asyncio sockets to a consistent-hash-sharded router;
+  the first substrate whose wire protocol could leave the box.
 
 Capability flags tell the FixD layers what a backend can do, so e.g.
 checkpoint/rollback machinery attaches only where it is meaningful.

@@ -117,7 +117,7 @@ class RunResult:
 
 
 def _resolve_backend(spec):
-    """Turn a backend spec (None, "sim", "mp", or an instance) into a Backend."""
+    """Turn a backend spec (None, "sim", "mp", "net", or an instance) into a Backend."""
     # Imported lazily: backend.py needs this module's dataclasses.
     from repro.dsim.backend import Backend, MPBackend, SimBackend
 
@@ -125,10 +125,14 @@ def _resolve_backend(spec):
         return SimBackend()
     if spec == "mp":
         return MPBackend()
+    if spec == "net":
+        from repro.dsim.net_backend import NetBackend
+
+        return NetBackend()
     if isinstance(spec, Backend):
         return spec
     raise SimulationError(
-        f"unknown backend {spec!r}; expected 'sim', 'mp' or a Backend instance"
+        f"unknown backend {spec!r}; expected 'sim', 'mp', 'net' or a Backend instance"
     )
 
 

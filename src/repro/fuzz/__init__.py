@@ -16,7 +16,9 @@ the loop the ROADMAP calls "coverage-guided scenario fuzzing at scale":
   and the consistency verdict.
 * :class:`Corpus` — **corpus management**: coverage-keyed dedup with
   on-disk canonical-JSON entries and metadata (seed, coverage key,
-  failure signature).
+  failure signature, flattened coverage points), plus
+  :meth:`Corpus.minimize` dropping entries whose point set another
+  entry subsumes (``python -m repro.fuzz --minimize-corpus``).
 * :func:`shrink_scenario` — **schedule shrinking**: delta debugging
   over schedule entries plus per-fault attribute shrinking (via each
   spec's ``shrink_candidates``), re-running after every candidate and
@@ -32,7 +34,12 @@ This ``__init__`` is the public surface; the submodules are internal
 """
 
 from repro.fuzz.corpus import Corpus, CorpusEntry
-from repro.fuzz.coverage import coverage_key, coverage_projection, is_interesting_failure
+from repro.fuzz.coverage import (
+    coverage_key,
+    coverage_points,
+    coverage_projection,
+    is_interesting_failure,
+)
 from repro.fuzz.driver import Budget, FuzzReport, fuzz
 from repro.fuzz.generate import (
     Vocabulary,
@@ -50,6 +57,7 @@ __all__ = [
     "ShrinkResult",
     "Vocabulary",
     "coverage_key",
+    "coverage_points",
     "coverage_projection",
     "fuzz",
     "generate_scenario",

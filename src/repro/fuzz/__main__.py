@@ -6,6 +6,7 @@ Examples::
     python -m repro.fuzz bank --max-seconds 30 --corpus .fuzz/bank \\
         --suites suites --processes 4
     python -m repro.fuzz token_ring --params nodes=5 --json
+    python -m repro.fuzz --minimize-corpus --corpus .fuzz/bank
 
 Exit status: 0 always when the budget ran (found failures are the
 *product* of fuzzing, not an error), 2 for bad usage.
@@ -40,7 +41,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.fuzz",
         description="Coverage-guided fault-scenario fuzzing of a registered app.",
     )
-    parser.add_argument("app", help="registered application name (see repro.api.apps)")
+    parser.add_argument(
+        "app",
+        nargs="?",
+        default=None,
+        help="registered application name (see repro.api.apps); "
+        "not needed with --minimize-corpus",
+    )
     parser.add_argument(
         "--params",
         action="append",
@@ -104,7 +111,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="emit the full machine-readable report on stdout",
     )
+    parser.add_argument(
+        "--minimize-corpus",
+        action="store_true",
+        help="drop corpus entries whose coverage points another entry "
+        "subsumes (requires --corpus); no fuzzing is run",
+    )
     args = parser.parse_args(argv)
+
+    if args.minimize_corpus:
+        from repro.fuzz.corpus import Corpus
+
+        if args.corpus is None:
+            print("error: --minimize-corpus requires --corpus DIR", file=sys.stderr)
+            return 2
+        corpus = Corpus(args.corpus)
+        before = len(corpus)
+        dropped = corpus.minimize()
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "before": before,
+                        "after": len(corpus),
+                        "dropped": sorted(e.coverage_key for e in dropped),
+                        "stats": corpus.stats(),
+                    },
+                    sort_keys=True,
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                f"corpus {args.corpus}: {before} -> {len(corpus)} entries "
+                f"({len(dropped)} subsumed)"
+            )
+            for entry in dropped:
+                print(f"  dropped {entry.coverage_key} ({entry.scenario.name})")
+        return 0
+
+    if args.app is None:
+        print("error: an app name is required (unless --minimize-corpus)", file=sys.stderr)
+        return 2
 
     if args.max_execs is None and args.max_seconds is None:
         budget = Budget()

@@ -26,7 +26,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.api.scenario import Scenario
 from repro.errors import ScenarioError
@@ -45,6 +45,10 @@ class CorpusEntry:
     interesting: bool = False
     #: True once the shrinker reduced this entry's schedule
     minimized: bool = False
+    #: flattened coverage points (see ``coverage_points``); empty for
+    #: entries written before points were recorded — those are never
+    #: dropped by :meth:`Corpus.minimize` (unknown contribution)
+    points: Tuple[str, ...] = ()
 
     def to_payload(self) -> Dict[str, Any]:
         return {
@@ -54,6 +58,7 @@ class CorpusEntry:
                 "signature": self.signature,
                 "interesting": self.interesting,
                 "minimized": self.minimized,
+                "points": sorted(self.points),
             },
             "scenario": self.scenario.to_dict(),
         }
@@ -70,6 +75,7 @@ class CorpusEntry:
             signature=meta.get("signature"),
             interesting=bool(meta.get("interesting", False)),
             minimized=bool(meta.get("minimized", False)),
+            points=tuple(sorted(meta.get("points", ()))),
         )
 
 
@@ -142,6 +148,60 @@ class Corpus:
         """Overwrite an existing key's entry (e.g. with its minimized form)."""
         self._entries[entry.coverage_key] = entry
         self._write(entry)
+
+    def _delete(self, coverage_key: str) -> None:
+        self._entries.pop(coverage_key, None)
+        if self.entries_dir is not None:
+            try:
+                os.unlink(self.entries_dir / f"{coverage_key}.json")
+            except OSError:
+                pass  # in-memory-only entry, or already gone
+
+    def minimize(self) -> List[CorpusEntry]:
+        """Drop entries whose coverage points another entry subsumes.
+
+        Entry A is redundant when some other entry B covers a strict
+        superset of A's points — everything A can teach a future
+        campaign, B teaches too.  Two guards keep minimization safe:
+
+        * a **failing** entry (one with a signature) is only ever
+          subsumed by another entry with the *same* signature — a
+          healthy run (or a different bug) covering the same points
+          must not evict a reproducer;
+        * entries with **no recorded points** (pre-points corpora) have
+          unknown contribution and are never dropped.
+
+        Ties (equal point sets, equal failing-ness) keep the
+        lexicographically smallest coverage key, so minimization is
+        deterministic and idempotent.  Returns the dropped entries.
+        """
+        entries = [e for e in self if e.points]
+        dropped: List[CorpusEntry] = []
+        for entry in entries:
+            if entry.coverage_key not in self._entries:
+                continue  # already dropped this pass
+            mine = frozenset(entry.points)
+            for other in entries:
+                if other.coverage_key == entry.coverage_key:
+                    continue
+                if other.coverage_key not in self._entries:
+                    continue
+                if entry.signature is not None and other.signature != entry.signature:
+                    continue  # nothing but the same bug evicts a reproducer
+                theirs = frozenset(other.points)
+                if not (mine <= theirs):
+                    continue
+                if mine == theirs:
+                    # equal coverage: prefer failing over healthy, then
+                    # the smaller key (stable under re-runs)
+                    if entry.signature is None and other.signature is not None:
+                        pass  # other is strictly preferable
+                    elif other.coverage_key > entry.coverage_key:
+                        continue
+                dropped.append(entry)
+                self._delete(entry.coverage_key)
+                break
+        return dropped
 
     def stats(self) -> Dict[str, int]:
         return {

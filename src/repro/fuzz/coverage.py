@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, FrozenSet, List
 
 from repro.api.outcome import Outcome
 
@@ -89,6 +89,38 @@ def coverage_projection(outcome: Outcome, n: int = NGRAM) -> Dict[str, Any]:
 def coverage_key(outcome: Outcome, n: int = NGRAM) -> str:
     """The hashable coverage fingerprint of one run (16 hex chars)."""
     return _digest(coverage_projection(outcome, n))
+
+
+def coverage_points(projection: Dict[str, Any]) -> FrozenSet[str]:
+    """Flatten a projection into its individual coverage *points*.
+
+    Where :func:`coverage_key` answers "have we seen exactly this
+    behaviour before?" (dedup), the point set answers "what does this
+    run contribute?" (minimization): an entry whose points are all
+    covered by another entry adds nothing to the corpus and can be
+    dropped.  Each point is a stable string, so point sets survive a
+    JSON round trip through the entry file.
+    """
+    points = set()
+    for kind in projection.get("evidence", ()):
+        points.add(f"evidence:{kind}")
+    for rule, bucket in projection.get("fault_hits", {}).items():
+        points.add(f"fault:{rule}:{bucket}")
+    for pid, digest in projection.get("ngrams", {}).items():
+        points.add(f"ngram:{pid}:{digest}")
+    recovery = projection.get("recovery", {})
+    if recovery.get("rolled_back"):
+        points.add("recovery:rolled_back")
+    if recovery.get("healed"):
+        points.add("recovery:healed")
+    for pid, recovered in recovery.get("recovered", {}).items():
+        points.add(f"recovery:recovered:{pid}:{bool(recovered)}")
+    verdict = projection.get("verdict", {})
+    for flag in ("consistent", "ok", "detected"):
+        points.add(f"verdict:{flag}:{bool(verdict.get(flag))}")
+    for invariant in verdict.get("violations", ()):
+        points.add(f"violation:{invariant}")
+    return frozenset(points)
 
 
 def is_interesting_failure(outcome: Outcome) -> bool:

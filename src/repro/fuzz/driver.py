@@ -29,7 +29,12 @@ from repro.api.scenario import Scenario
 from repro.api.suite import save_suite, scenario_record
 from repro.errors import ScenarioError, ScenarioExecutionError
 from repro.fuzz.corpus import Corpus, CorpusEntry
-from repro.fuzz.coverage import coverage_key, is_interesting_failure
+from repro.fuzz.coverage import (
+    coverage_key,
+    coverage_points,
+    coverage_projection,
+    is_interesting_failure,
+)
 from repro.fuzz.generate import generate_scenario, vocabulary_for
 from repro.fuzz.shrink import shrink_scenario
 
@@ -209,6 +214,7 @@ def fuzz(
     def handle(child_seed: int, scenario: Scenario, outcome) -> None:
         report.execs += 1
         cover = coverage_key(outcome)
+        points = tuple(sorted(coverage_points(coverage_projection(outcome))))
         signature = outcome.failure_signature()
         interesting = signature is not None and is_interesting_failure(outcome)
         entry = CorpusEntry(
@@ -217,6 +223,7 @@ def fuzz(
             seed=child_seed,
             signature=signature,
             interesting=interesting,
+            points=points,
         )
         if corpus.add(entry):
             report.new_coverage += 1
@@ -245,6 +252,7 @@ def fuzz(
                 signature=signature,
                 interesting=True,
                 minimized=True,
+                points=points,
             )
         )
         minimized = MinimizedFailure(

@@ -1,13 +1,14 @@
-"""Backend parity: every demo app computes the same result on both substrates.
+"""Backend parity: every demo app computes the same result on every substrate.
 
-The Backend refactor promises one cluster API over two substrates — the
-deterministic simulator and real OS processes behind a pluggable
-transport (batched pipe writes, or zero-pickle shared-memory rings).
-These tests run each of the six demo applications *fault-free* on
-:class:`~repro.dsim.backend.SimBackend` and
-:class:`~repro.dsim.backend.MPBackend` — the latter on **both**
-transports — and assert the application-level final states are
-identical.
+The Backend refactor promises one cluster API over multiple substrates —
+the deterministic simulator, real OS processes behind a pluggable
+transport (batched pipe writes, or zero-pickle shared-memory rings), and
+real OS processes over sharded socket routers.  These tests run each of
+the demo applications *fault-free* on
+:class:`~repro.dsim.backend.SimBackend` and each real-process substrate
+(:class:`~repro.dsim.backend.MPBackend` on **both** transports,
+:class:`~repro.dsim.net_backend.NetBackend` on sockets) and assert the
+application-level final states are identical.
 
 "Application-level" is per app: the multiprocessing substrate services
 timers with wall-clock granularity, so sub-millisecond interleavings of
@@ -42,6 +43,7 @@ from repro.apps.wordcount import (
 )
 from repro.dsim.backend import MPBackend, MPBackendOptions, SimBackend
 from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.dsim.net_backend import NetBackend, NetBackendOptions
 
 States = Dict[str, Dict[str, Any]]
 
@@ -152,20 +154,25 @@ def _run(case: ParityCase, backend) -> States:
     return result.process_states
 
 
+def _real_backend(substrate: str):
+    """Build the real-process backend a parity substrate id names."""
+    if substrate == "net":
+        return NetBackend(NetBackendOptions(time_scale=0.01))
+    return MPBackend(MPBackendOptions(time_scale=0.01, transport=substrate))
+
+
 @pytest.mark.parity
-@pytest.mark.parametrize("transport", ["pipe", "shm"])
+@pytest.mark.parametrize("substrate", ["pipe", "shm", "net"])
 @pytest.mark.parametrize("case", CASES, ids=lambda case: case.app)
-def test_fault_free_parity(case: ParityCase, transport: str):
+def test_fault_free_parity(case: ParityCase, substrate: str):
     sim_states = _run(case, SimBackend())
-    mp_states = _run(
-        case, MPBackend(MPBackendOptions(time_scale=0.01, transport=transport))
-    )
-    assert set(sim_states) == set(mp_states)
+    real_states = _run(case, _real_backend(substrate))
+    assert set(sim_states) == set(real_states)
     case.check(sim_states)
-    case.check(mp_states)
-    assert case.project(sim_states) == case.project(mp_states), (
+    case.check(real_states)
+    assert case.project(sim_states) == case.project(real_states), (
         f"{case.app}: application-level final states diverge between backends "
-        f"(transport={transport})"
+        f"(substrate={substrate})"
     )
 
 
@@ -236,3 +243,40 @@ def test_shm_transport_exposes_pipe_observability():
     shm_counts = counters("shm")
     assert pipe_counts == shm_counts
     assert pipe_counts[0] > 0, "the bank workload draws randomness"
+
+
+@pytest.mark.parity
+def test_net_batching_preserves_results():
+    """Batched and per-message socket writes must compute identical states.
+
+    This is the correctness half of the ``measure_net_transport``
+    benchmark claim: batching changes only the syscall count, never the
+    protocol outcome.
+    """
+    def run(batched: bool) -> States:
+        options = NetBackendOptions(
+            time_scale=0.01,
+            flush_watermark=64 if batched else 1,
+            batch_deliveries=batched,
+        )
+        cluster = Cluster(ClusterConfig(seed=11), backend=NetBackend(options))
+        build_wordcount_burst_cluster(cluster, workers=3, chunks=30, words_per_chunk=10)
+        result = cluster.run(until=200.0)
+        assert result.ok
+        return result.process_states
+
+    assert run(True) == run(False)
+
+
+@pytest.mark.parity
+def test_net_sharding_preserves_results():
+    """Placement is a transport detail: 1 shard and 4 shards agree."""
+    def run(shards: int) -> States:
+        options = NetBackendOptions(time_scale=0.01, shards=shards)
+        cluster = Cluster(ClusterConfig(seed=11), backend=NetBackend(options))
+        build_wordcount_burst_cluster(cluster, workers=3, chunks=30, words_per_chunk=10)
+        result = cluster.run(until=200.0)
+        assert result.ok
+        return result.process_states
+
+    assert run(1) == run(4)

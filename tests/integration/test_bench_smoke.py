@@ -75,4 +75,6 @@ def test_check_against_flags_regressions():
     healthy: dict = {}
     for section, metric, direction, _zone in GUARDED_METRICS:
         healthy.setdefault(section, {})[metric] = 10_000.0 if direction == "higher" else 1.2
+    # count metrics are absolute, not ratios: healthy means exactly zero
+    healthy["net_transport"]["messages_pickled_batched"] = 0.0
     assert check_against(baseline, healthy) == []

@@ -479,6 +479,29 @@ def test_mp_fault_slice(scenario: Scenario, transport: str):
 
 
 @pytest.mark.matrix
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", MP_SCENARIOS, ids=lambda s: s.name.replace("-mp", "-net"))
+def test_net_fault_slice(scenario: Scenario):
+    """The same crash/drop/delay slice on the socket substrate.
+
+    The net backend reuses the mp worker protocol over sharded socket
+    routers; the fault-plan mapping (control frames, router-side
+    drop/delay, dead letters) must be observationally identical.
+    """
+    scenario = replace(
+        scenario, name=scenario.name.replace("-mp", "-net"), backend="net"
+    )
+    outcome = run_scenario(scenario)
+    assert outcome.passed, f"{scenario.name}: {outcome.failures}"
+    assert outcome.detected, f"{scenario.name}: missing evidence {outcome.observed}"
+    assert "Observed on the Scroll" in outcome.incident
+    assert outcome.transport is not None
+    # the socket substrate keeps the delivery hot path pickle-free
+    assert outcome.transport["messages_pickled"] == 0
+    assert outcome.transport["socket_writes"] > 0
+
+
+@pytest.mark.matrix
 def test_matrix_covers_all_apps_and_faults():
     """The matrix itself must stay complete: 6 apps x 6 fault types."""
     cells = {(s.app, s.name.split("-", 1)[1]) for s in SCENARIOS}

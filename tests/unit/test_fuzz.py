@@ -21,6 +21,7 @@ from repro.fuzz import (
     Corpus,
     CorpusEntry,
     coverage_key,
+    coverage_points,
     coverage_projection,
     fuzz,
     generate_scenario,
@@ -107,7 +108,9 @@ class TestCoverage:
 # ----------------------------------------------------------------------
 # corpus
 # ----------------------------------------------------------------------
-def _entry(key: str, *, signature=None, interesting=False, minimized=False) -> CorpusEntry:
+def _entry(
+    key: str, *, signature=None, interesting=False, minimized=False, points=()
+) -> CorpusEntry:
     return CorpusEntry(
         scenario=Scenario(app="token_ring", name=f"corpus-{key}"),
         coverage_key=key,
@@ -115,6 +118,7 @@ def _entry(key: str, *, signature=None, interesting=False, minimized=False) -> C
         signature=signature,
         interesting=interesting,
         minimized=minimized,
+        points=tuple(sorted(points)),
     )
 
 
@@ -161,6 +165,141 @@ class TestCorpus:
         (entries / "bad.json").write_text('{"scenario": {}}')
         with pytest.raises(ScenarioError, match="meta"):
             Corpus(tmp_path / "corpus")
+
+    def test_points_survive_disk_round_trip(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.add(_entry("aa", points=["evidence:crash", "verdict:ok:True"]))
+        reloaded = Corpus(tmp_path / "corpus")
+        assert reloaded.get("aa").points == ("evidence:crash", "verdict:ok:True")
+
+
+class TestCorpusMinimize:
+    def test_subsumed_healthy_entry_dropped(self):
+        corpus = Corpus()
+        corpus.add(_entry("small", points=["a", "b"]))
+        corpus.add(_entry("big", points=["a", "b", "c"]))
+        dropped = corpus.minimize()
+        assert [e.coverage_key for e in dropped] == ["small"]
+        assert "big" in corpus and "small" not in corpus
+
+    def test_incomparable_entries_both_kept(self):
+        corpus = Corpus()
+        corpus.add(_entry("left", points=["a", "b"]))
+        corpus.add(_entry("right", points=["b", "c"]))
+        assert corpus.minimize() == []
+        assert len(corpus) == 2
+
+    def test_equal_point_sets_keep_smaller_key(self):
+        corpus = Corpus()
+        corpus.add(_entry("zz", points=["a", "b"]))
+        corpus.add(_entry("aa", points=["a", "b"]))
+        dropped = corpus.minimize()
+        assert [e.coverage_key for e in dropped] == ["zz"]
+        assert "aa" in corpus
+
+    def test_failing_entry_not_evicted_by_healthy_superset(self):
+        corpus = Corpus()
+        corpus.add(_entry("bug", signature="sig", points=["a"]))
+        corpus.add(_entry("healthy", points=["a", "b", "c"]))
+        assert corpus.minimize() == []
+        assert "bug" in corpus
+
+    def test_failing_entry_not_evicted_by_different_bug(self):
+        corpus = Corpus()
+        corpus.add(_entry("bug1", signature="sig-one", points=["a"]))
+        corpus.add(_entry("bug2", signature="sig-two", points=["a", "b"]))
+        assert corpus.minimize() == []
+
+    def test_failing_entry_evicted_by_same_signature_superset(self):
+        corpus = Corpus()
+        corpus.add(_entry("narrow", signature="sig", points=["a"]))
+        corpus.add(_entry("wide", signature="sig", points=["a", "b"]))
+        dropped = corpus.minimize()
+        assert [e.coverage_key for e in dropped] == ["narrow"]
+
+    def test_failing_preferred_over_healthy_on_equal_points(self):
+        corpus = Corpus()
+        corpus.add(_entry("aa", points=["a"]))  # healthy, smaller key
+        corpus.add(_entry("zz", signature="sig", points=["a"]))
+        dropped = corpus.minimize()
+        assert [e.coverage_key for e in dropped] == ["aa"]
+        assert "zz" in corpus
+
+    def test_entries_without_points_never_dropped(self):
+        corpus = Corpus()
+        corpus.add(_entry("legacy"))  # pre-points entry: unknown contribution
+        corpus.add(_entry("big", points=["a", "b", "c"]))
+        assert corpus.minimize() == []
+        assert len(corpus) == 2
+
+    def test_minimize_is_idempotent(self):
+        corpus = Corpus()
+        corpus.add(_entry("small", points=["a"]))
+        corpus.add(_entry("mid", points=["a", "b"]))
+        corpus.add(_entry("big", points=["a", "b", "c"]))
+        assert len(corpus.minimize()) == 2
+        assert corpus.minimize() == []
+        assert [e.coverage_key for e in corpus] == ["big"]
+
+    def test_minimize_deletes_entry_files(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.add(_entry("small", points=["a"]))
+        corpus.add(_entry("big", points=["a", "b"]))
+        corpus.minimize()
+        entries = tmp_path / "corpus" / "entries"
+        assert not (entries / "small.json").exists()
+        assert (entries / "big.json").exists()
+        assert len(Corpus(tmp_path / "corpus")) == 1
+
+    def test_cli_minimize_corpus(self, tmp_path, capsys):
+        from repro.fuzz.__main__ import main
+
+        corpus = Corpus(tmp_path / "corpus")
+        corpus.add(_entry("small", points=["a"]))
+        corpus.add(_entry("big", points=["a", "b"]))
+        assert main(["--minimize-corpus", "--corpus", str(tmp_path / "corpus")]) == 0
+        out = capsys.readouterr().out
+        assert "2 -> 1 entries" in out
+        assert len(Corpus(tmp_path / "corpus")) == 1
+
+    def test_cli_minimize_requires_corpus_dir(self, capsys):
+        from repro.fuzz.__main__ import main
+
+        assert main(["--minimize-corpus"]) == 2
+
+    def test_cli_requires_app_without_minimize(self, capsys):
+        from repro.fuzz.__main__ import main
+
+        assert main([]) == 2
+
+
+class TestCoveragePoints:
+    def test_points_flatten_projection(self):
+        projection = {
+            "evidence": ["crash", "drop"],
+            "fault_hits": {"rule0": "many"},
+            "ngrams": {"p0": "abcd1234"},
+            "recovery": {"rolled_back": True, "healed": False,
+                         "recovered": {"p0": True}},
+            "verdict": {"consistent": True, "ok": False, "detected": True,
+                        "violations": ["conservation"]},
+        }
+        points = coverage_points(projection)
+        assert "evidence:crash" in points
+        assert "fault:rule0:many" in points
+        assert "ngram:p0:abcd1234" in points
+        assert "recovery:rolled_back" in points
+        assert "recovery:healed" not in points
+        assert "recovery:recovered:p0:True" in points
+        assert "verdict:ok:False" in points
+        assert "violation:conservation" in points
+
+    def test_real_outcome_points_are_nonempty_and_stable(self):
+        scenario = Scenario(app="token_ring", name="points-probe", seed=3)
+        outcome = run_scenario(scenario)
+        first = coverage_points(coverage_projection(outcome))
+        second = coverage_points(coverage_projection(run_scenario(scenario)))
+        assert first and first == second
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,156 @@
+"""Leak-proof teardown and failure surfacing of the net backend.
+
+The socket substrate owns real kernel resources — one listening socket
+per shard, a per-run unix socket directory, one connection per worker —
+and runs an asyncio loop thread per shard.  All of it must be reclaimed
+on *every* exit path, and the two ways a worker connection can go bad
+must surface as halts, never hangs:
+
+* a worker that dies abruptly (hard exit, connection reset) halts the
+  run as ``worker-lost:<pid>``;
+* a worker that stays alive but stops draining its socket trips the
+  router's write timeout and halts as ``worker-stalled:<pid>``.
+
+Marked ``slow`` (real OS processes); ``make verify`` runs this module
+explicitly via the ``net-smoke`` step.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.apps.wordcount import build_wordcount_cluster
+from repro.dsim.cluster import Cluster, ClusterConfig
+from repro.dsim.hooks import RuntimeHook
+from repro.dsim.net_backend import NetBackend, NetBackendOptions
+from repro.dsim.process import Process, handler
+
+pytestmark = pytest.mark.slow
+
+
+def _sockets_gone(backend: NetBackend) -> bool:
+    return all(not os.path.exists(path) for path in backend.socket_paths)
+
+
+class _Exiter(Process):
+    """Dies abruptly (hard exit, no result, dead socket) on first delivery."""
+
+    def on_start(self) -> None:
+        self.state["ready"] = True
+
+    @handler("DIE")
+    def die(self, msg) -> None:
+        os._exit(13)
+
+
+class _Prodder(Process):
+    def on_start(self) -> None:
+        self.send("victim", "DIE", None)
+
+
+class _Sleeper(Process):
+    """Stops servicing its event loop (and therefore its socket) on cue."""
+
+    def on_start(self) -> None:
+        self.state["ready"] = True
+
+    @handler("SLEEP")
+    def sleep(self, msg) -> None:
+        time.sleep(30.0)
+
+    @handler("BLOB")
+    def blob(self, msg) -> None:
+        self.state["blobs"] = self.state.get("blobs", 0) + 1
+
+
+class _Flooder(Process):
+    """Puts the victim to sleep, then floods its socket buffer."""
+
+    def on_start(self) -> None:
+        self.send("victim", "SLEEP", None)
+        for _ in range(80):
+            self.send("victim", "BLOB", b"z" * 32_768)
+
+
+class _Interrupter(RuntimeHook):
+    """Simulates the operator hitting Ctrl-C while the router replays."""
+
+    def on_send(self, pid, message, time, vt=None):
+        raise KeyboardInterrupt
+
+
+@pytest.mark.parametrize("family", ["unix", "tcp"])
+def test_clean_run_reclaims_sockets_and_threads(family: str):
+    threads_before = threading.active_count()
+    backend = NetBackend(NetBackendOptions(time_scale=0.01, family=family))
+    cluster = Cluster(ClusterConfig(seed=3), backend=backend)
+    build_wordcount_cluster(cluster, workers=2, chunks=4)
+    result = cluster.run(until=120.0)
+    assert result.stopped_reason == "quiescent"
+    if family == "unix":
+        assert backend.socket_paths, "unix run must have created socket files"
+    assert _sockets_gone(backend)
+    assert threading.active_count() == threads_before, "shard threads leaked"
+
+
+def test_worker_lost_halt_reclaims_sockets():
+    backend = NetBackend(NetBackendOptions(time_scale=0.01))
+    cluster = Cluster(ClusterConfig(seed=3), backend=backend)
+    cluster.add_process("victim", _Exiter)
+    cluster.add_process("prodder", _Prodder)
+    result = cluster.run(until=60.0)
+    assert result.stopped_reason == "worker-lost:victim"
+    assert _sockets_gone(backend)
+
+
+def test_stalled_worker_halts_instead_of_hanging():
+    """A live worker that stops draining trips the write timeout.
+
+    The victim's handler sleeps while the flooder fills its socket; with
+    a tiny SO_SNDBUF/SO_RCVBUF and a short write timeout, the shard's
+    sendall stalls and must surface as ``worker-stalled:victim`` well
+    before the wall limit — never a silent hang to the cap.
+    """
+    backend = NetBackend(
+        NetBackendOptions(
+            time_scale=0.01,
+            write_timeout=0.5,
+            socket_buffer_bytes=8192,
+            batch_deliveries=False,
+        )
+    )
+    cluster = Cluster(ClusterConfig(seed=3), backend=backend)
+    cluster.add_process("victim", _Sleeper)
+    cluster.add_process("flooder", _Flooder)
+    start = time.monotonic()
+    result = cluster.run(until=2000.0)
+    assert result.stopped_reason == "worker-stalled:victim"
+    assert time.monotonic() - start < 15.0, "stall detection took too long"
+    assert _sockets_gone(backend)
+
+
+def test_keyboard_interrupt_reclaims_sockets_and_threads():
+    threads_before = threading.active_count()
+    backend = NetBackend(NetBackendOptions(time_scale=0.01))
+    cluster = Cluster(ClusterConfig(seed=3), backend=backend)
+    build_wordcount_cluster(cluster, workers=2, chunks=4)
+    cluster.add_hook(_Interrupter())
+    with pytest.raises(KeyboardInterrupt):
+        cluster.run(until=120.0)
+    assert _sockets_gone(backend)
+    assert threading.active_count() == threads_before
+
+
+def test_socket_dir_removed_after_run():
+    """The per-run unix socket directory itself is gone, not just the files."""
+    backend = NetBackend(NetBackendOptions(time_scale=0.01))
+    cluster = Cluster(ClusterConfig(seed=3), backend=backend)
+    build_wordcount_cluster(cluster, workers=2, chunks=4)
+    cluster.run(until=120.0)
+    assert backend.socket_paths
+    for path in backend.socket_paths:
+        assert not os.path.exists(os.path.dirname(path))
